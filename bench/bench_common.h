@@ -1,0 +1,91 @@
+#ifndef STAR_BENCH_BENCH_COMMON_H_
+#define STAR_BENCH_BENCH_COMMON_H_
+
+// Shared harness for the figure-reproduction benchmarks.  Each binary
+// regenerates one table/figure of the paper's evaluation (Section 7),
+// printing the same series the paper plots.  Durations are kept short by
+// default so the whole suite runs in minutes on a laptop; set
+// STAR_BENCH_SCALE=<float> to lengthen every measurement window.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "baselines/calvin.h"
+#include "baselines/dist_engine.h"
+#include "baselines/pb_occ.h"
+#include "core/engine.h"
+#include "workload/tpcc.h"
+#include "workload/ycsb.h"
+
+namespace star::bench {
+
+inline double Scale() {
+  const char* s = std::getenv("STAR_BENCH_SCALE");
+  return s != nullptr ? std::atof(s) : 1.0;
+}
+
+inline int WarmMs() { return static_cast<int>(250 * Scale()); }
+inline int RunMs() { return static_cast<int>(1000 * Scale()); }
+
+/// Paper-testbed-shaped defaults scaled for a small host: 4 nodes (1 full +
+/// 3 partial), 2 workers each, partitions = workers.
+inline StarOptions DefaultStar(double cross_fraction) {
+  StarOptions o;
+  o.cluster.full_replicas = 1;
+  o.cluster.partial_replicas = 3;
+  o.cluster.workers_per_node = 2;
+  o.iteration_ms = 10;
+  o.cross_fraction = cross_fraction;
+  return o;
+}
+
+inline BaselineOptions DefaultBase(double cross_fraction) {
+  BaselineOptions o;
+  o.num_nodes = 4;
+  o.workers_per_node = 2;
+  o.partitions = 8;  // match STAR's partition count
+  o.cross_fraction = cross_fraction;
+  return o;
+}
+
+inline YcsbOptions BenchYcsb() {
+  YcsbOptions o;
+  o.rows_per_partition = 20'000;  // scaled from the paper's 200 K/partition
+  return o;
+}
+
+inline TpccOptions BenchTpcc() {
+  TpccOptions o;
+  o.districts_per_warehouse = 10;
+  o.customers_per_district = 300;  // scaled from the spec's 3000
+  o.items = 2000;                  // scaled from the spec's 100 K
+  return o;
+}
+
+template <class Engine>
+Metrics Measure(Engine& engine) {
+  engine.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(WarmMs()));
+  engine.ResetStats();
+  std::this_thread::sleep_for(std::chrono::milliseconds(RunMs()));
+  return engine.Stop();
+}
+
+inline void PrintHeader(const char* title, const char* caption) {
+  std::printf("\n=== %s ===\n%s\n", title, caption);
+}
+
+inline void PrintRow(const std::string& system, double p_percent,
+                     const Metrics& m) {
+  std::printf("%-16s P=%3.0f%%  %10.0f txns/sec  p50=%7.2f ms  p99=%7.2f ms"
+              "  aborts=%5.2f%%  %7.0f B/txn\n",
+              system.c_str(), p_percent, m.Tps(), m.latency.p50() / 1e6,
+              m.latency.p99() / 1e6, 100 * m.AbortRate(), m.BytesPerCommit());
+  std::fflush(stdout);
+}
+
+}  // namespace star::bench
+
+#endif  // STAR_BENCH_BENCH_COMMON_H_

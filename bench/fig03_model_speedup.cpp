@@ -1,0 +1,25 @@
+// Figure 3: speedup predicted by the analytical model for STAR with n nodes
+// over a single node, for P in {1, 5, 10, 15}%.
+
+#include <cstdio>
+
+#include "model/model.h"
+
+int main() {
+  std::printf("=== Figure 3: model speedup of asymmetric replication ===\n");
+  std::printf("Speedup I(n) = n / (nP - P + 1)  (Section 6.3)\n\n");
+  const double kPs[] = {0.01, 0.05, 0.10, 0.15};
+  std::printf("%6s", "nodes");
+  for (double p : kPs) std::printf("  P=%-3.0f%%", p * 100);
+  std::printf("\n");
+  for (int n = 1; n <= 16; ++n) {
+    std::printf("%6d", n);
+    for (double p : kPs) {
+      std::printf("  %7.2f", star::model::Speedup(p, n));
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper check: P=10%%, n=16 -> %.2f (paper plots ~6.4)\n",
+              star::model::Speedup(0.10, 16));
+  return 0;
+}

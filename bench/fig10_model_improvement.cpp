@@ -1,0 +1,28 @@
+// Figure 10: model improvement of STAR over partitioning-based systems
+// (K in {2,4,8,16}) and over non-partitioned systems, on 4 nodes.
+
+#include <cstdio>
+
+#include "model/model.h"
+
+int main() {
+  std::printf("=== Figure 10: effectiveness of STAR (model, n = 4) ===\n");
+  std::printf("Improvement (%%) = 100 * (I - 1); > 0 means STAR wins\n\n");
+  const double kKs[] = {2, 4, 8, 16};
+  std::printf("%7s", "P(%)");
+  for (double k : kKs) std::printf("   K=%-4.0f", k);
+  std::printf("  NonPart\n");
+  for (int p100 = 0; p100 <= 100; p100 += 10) {
+    double p = p100 / 100.0;
+    std::printf("%7d", p100);
+    for (double k : kKs) {
+      std::printf("  %6.0f%%",
+                  100 * (star::model::ImprovementOverPartitioning(k, p, 4) - 1));
+    }
+    std::printf("  %6.0f%%\n",
+                100 * (star::model::ImprovementOverNonPartitioned(p, 4) - 1));
+  }
+  std::printf("\npaper check: break-even K equals n (=4); K=16 curves peak "
+              "in the low-P region, the non-partitioned curve at P=0: +300%%\n");
+  return 0;
+}

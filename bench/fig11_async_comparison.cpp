@@ -1,0 +1,43 @@
+// Figure 11(a,b): throughput vs %% cross-partition transactions under
+// asynchronous replication + epoch-based group commit: STAR vs PB. OCC vs
+// Dist. OCC vs Dist. S2PL, on YCSB and TPC-C.
+
+#include "bench/bench_common.h"
+
+using namespace star;
+using namespace star::bench;
+
+template <class W>
+void Sweep(const char* wname, const W& wl) {
+  std::printf("\n--- %s ---\n", wname);
+  for (double p : {0.0, 0.1, 0.5, 0.9}) {
+    {
+      StarEngine e(DefaultStar(p), wl);
+      PrintRow("STAR", p * 100, Measure(e));
+    }
+    {
+      PbOccEngine e(DefaultBase(p), wl);
+      PrintRow("PB.OCC", p * 100, Measure(e));
+    }
+    {
+      DistOccEngine e(DefaultBase(p), wl);
+      PrintRow("Dist.OCC", p * 100, Measure(e));
+    }
+    {
+      DistS2plEngine e(DefaultBase(p), wl);
+      PrintRow("Dist.S2PL", p * 100, Measure(e));
+    }
+  }
+}
+
+int main() {
+  PrintHeader("Figure 11(a,b): async replication + epoch group commit",
+              "Expected shape: all partitioned systems comparable at P=0; "
+              "STAR flat-ish and above Dist.* from P>=10%; STAR approaches "
+              "PB.OCC as P->100% (paper: up to 10x over Dist.*).");
+  YcsbWorkload ycsb(BenchYcsb());
+  Sweep("YCSB (Figure 11a)", ycsb);
+  TpccWorkload tpcc(BenchTpcc());
+  Sweep("TPC-C (Figure 11b)", tpcc);
+  return 0;
+}

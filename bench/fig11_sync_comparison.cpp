@@ -1,0 +1,41 @@
+// Figure 11(c,d): the same comparison with synchronous replication — every
+// transaction holds write locks across the replication round trip, and the
+// distributed engines add two-phase commit.
+
+#include "bench/bench_common.h"
+
+using namespace star;
+using namespace star::bench;
+
+template <class W>
+void Sweep(const char* wname, const W& wl) {
+  std::printf("\n--- %s ---\n", wname);
+  for (double p : {0.0, 0.1, 0.5, 0.9}) {
+    BaselineOptions o = DefaultBase(p);
+    o.sync_replication = true;
+    {
+      PbOccEngine e(o, wl);
+      PrintRow("PB.OCC/sync", p * 100, Measure(e));
+    }
+    {
+      DistOccEngine e(o, wl);
+      PrintRow("Dist.OCC/sync", p * 100, Measure(e));
+    }
+    {
+      DistS2plEngine e(o, wl);
+      PrintRow("Dist.S2PL/sync", p * 100, Measure(e));
+    }
+  }
+}
+
+int main() {
+  PrintHeader("Figure 11(c,d): synchronous replication",
+              "Expected shape: far below the async numbers even at P=0 "
+              "(round trips on every commit); paper reports STAR at least "
+              "7x (YCSB) / 15x (TPC-C) above these.");
+  YcsbWorkload ycsb(BenchYcsb());
+  Sweep("YCSB (Figure 11c)", ycsb);
+  TpccWorkload tpcc(BenchTpcc());
+  Sweep("TPC-C (Figure 11d)", tpcc);
+  return 0;
+}

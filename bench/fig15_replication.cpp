@@ -1,0 +1,58 @@
+// Figure 15: replication strategies and fault tolerance.
+//  (a) SYNC STAR vs STAR vs STAR w/ hybrid replication, TPC-C.
+//  (b) throughput degradation with disk logging + checkpointing.
+
+#include "bench/bench_common.h"
+
+using namespace star;
+using namespace star::bench;
+
+int main() {
+  PrintHeader("Figure 15: replication and fault tolerance",
+              "(a) hybrid replication ships operations in the partitioned "
+              "phase (biggest win at low P); SYNC STAR pays a round trip "
+              "per cross-partition commit.  (b) logging overhead: paper "
+              "reports ~6% (YCSB) / ~14% (TPC-C).");
+  TpccWorkload tpcc(BenchTpcc());
+
+  std::printf("\n--- (a) replication strategies, TPC-C ---\n");
+  for (double p : {0.0, 0.1, 0.5, 0.9}) {
+    {
+      StarOptions o = DefaultStar(p);
+      o.replication = ReplicationMode::kSyncValue;
+      StarEngine e(o, tpcc);
+      PrintRow("SYNC STAR", p * 100, Measure(e));
+    }
+    {
+      StarOptions o = DefaultStar(p);
+      StarEngine e(o, tpcc);
+      PrintRow("STAR", p * 100, Measure(e));
+    }
+    {
+      StarOptions o = DefaultStar(p);
+      o.replication = ReplicationMode::kHybrid;
+      StarEngine e(o, tpcc);
+      PrintRow("STAR w/ Hybrid", p * 100, Measure(e));
+    }
+  }
+
+  std::printf("\n--- (b) disk logging + checkpointing overhead ---\n");
+  YcsbWorkload ycsb(BenchYcsb());
+  auto run = [&](const char* name, const Workload& wl, bool durable) {
+    StarOptions o = DefaultStar(0.1);
+    o.durable_logging = durable;
+    o.checkpointing = durable;
+    o.log_dir = "/tmp/star_bench_logs";
+    StarEngine e(o, wl);
+    Metrics m = Measure(e);
+    std::printf("%-24s %12.0f txns/sec\n", name, m.Tps());
+    return m.Tps();
+  };
+  double y0 = run("YCSB", ycsb, false);
+  double y1 = run("YCSB + disk logging", ycsb, true);
+  double t0 = run("TPC-C", tpcc, false);
+  double t1 = run("TPC-C + disk logging", tpcc, true);
+  std::printf("overhead: YCSB %.1f%%, TPC-C %.1f%% (paper: 6%% / 14%%)\n",
+              100 * (1 - y1 / y0), 100 * (1 - t1 / t0));
+  return 0;
+}

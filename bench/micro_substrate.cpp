@@ -1,0 +1,81 @@
+// Micro-benchmarks of the substrate data structures (google-benchmark):
+// hash-table probes, optimistic reads, TID generation, operation
+// application, replication entry encode/decode.
+
+#include <benchmark/benchmark.h>
+
+#include "cc/operation.h"
+#include "common/rng.h"
+#include "common/serializer.h"
+#include "replication/log_entry.h"
+#include "storage/hash_table.h"
+
+namespace star {
+
+static void BM_HashTableGet(benchmark::State& state) {
+  HashTable ht(100, 100000, false);
+  for (uint64_t k = 0; k < 100000; ++k) ht.GetOrInsert(k);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ht.Get(rng.Uniform(100000)));
+  }
+}
+BENCHMARK(BM_HashTableGet);
+
+static void BM_ReadStable(benchmark::State& state) {
+  HashTable ht(100, 1024, false);
+  auto row = ht.GetOrInsertRow(1);
+  row.rec->UnlockWithTid(Tid::Make(1, 1, 0));
+  char out[100];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(row.ReadStable(out));
+  }
+}
+BENCHMARK(BM_ReadStable);
+
+static void BM_ThomasApply(benchmark::State& state) {
+  HashTable ht(100, 1024, false);
+  auto row = ht.GetOrInsertRow(1);
+  char v[100] = {};
+  uint64_t seq = 1;
+  for (auto _ : state) {
+    row.rec->ApplyThomas(Tid::Make(1, seq++, 0), v, 100, row.value, false);
+  }
+}
+BENCHMARK(BM_ThomasApply);
+
+static void BM_TidGenerate(benchmark::State& state) {
+  TidGenerator gen(1);
+  uint64_t observed = 0;
+  for (auto _ : state) {
+    observed = gen.Generate(observed, 1);
+    benchmark::DoNotOptimize(observed);
+  }
+}
+BENCHMARK(BM_TidGenerate);
+
+static void BM_OperationStringPrepend(benchmark::State& state) {
+  char field[500];
+  std::memset(field, 'x', sizeof(field));
+  Operation op = Operation::StringPrepend(0, 500, "12 34 5 6 7 8.90|");
+  for (auto _ : state) {
+    op.ApplyTo(field);
+  }
+}
+BENCHMARK(BM_OperationStringPrepend);
+
+static void BM_RepEntryRoundTrip(benchmark::State& state) {
+  std::string value(100, 'v');
+  for (auto _ : state) {
+    WriteBuffer buf;
+    SerializeValueEntry(buf, 0, 0, 42, Tid::Make(1, 1, 0), value);
+    ReadBuffer in(buf.data());
+    RepEntry e = RepEntry::Deserialize(in);
+    benchmark::DoNotOptimize(e.value.size());
+  }
+}
+BENCHMARK(BM_RepEntryRoundTrip);
+
+}  // namespace star
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Fault-tolerance walkthrough (Section 4.5): inject a fail-stop failure on
+// a partial replica, watch the coordinator detect it at the fence, revert
+// the uncommitted epoch, re-master the lost partitions, keep processing —
+// then rejoin the node, which re-fetches its partitions from healthy
+// replicas while the cluster keeps running.
+//
+//   ./build/examples/fault_tolerance
+
+#include <cstdio>
+#include <thread>
+
+#include "core/engine.h"
+#include "workload/ycsb.h"
+
+using namespace std::chrono_literals;
+
+int main() {
+  star::YcsbOptions yopt;
+  yopt.rows_per_partition = 5'000;
+  star::YcsbWorkload workload(yopt);
+
+  star::StarOptions options;
+  options.cluster.full_replicas = 1;
+  options.cluster.partial_replicas = 3;
+  options.cluster.workers_per_node = 2;
+  options.cross_fraction = 0.1;
+  options.two_version = true;        // enables epoch revert on failure
+  options.fence_timeout_ms = 300;    // snappy failure detection for the demo
+
+  star::StarEngine engine(options, workload);
+  engine.Start();
+  std::printf("cluster up: 1 full replica + 3 partial replicas\n");
+  std::this_thread::sleep_for(500ms);
+
+  auto snapshot = [&](const char* label) {
+    star::Metrics m = engine.Snapshot();
+    std::printf("%-28s %9.0f txns/sec | epoch %llu | healthy:",
+                label, m.Tps(),
+                static_cast<unsigned long long>(engine.epoch()));
+    for (int n = 0; n < options.cluster.nodes(); ++n) {
+      std::printf(" %d%s", n, engine.IsNodeHealthy(n) ? "" : "(down)");
+    }
+    std::printf("\n");
+  };
+
+  engine.ResetStats();
+  std::this_thread::sleep_for(1s);
+  snapshot("steady state");
+
+  std::printf("\n>> injecting fail-stop failure on node 2\n");
+  engine.InjectFailure(2);
+  std::this_thread::sleep_for(1s);
+  snapshot("after failure (Case 1/3)");
+  std::printf("   node 2's partitions were re-mastered to the full replica;"
+              "\n   the uncommitted epoch was reverted on all survivors\n");
+
+  engine.ResetStats();
+  std::this_thread::sleep_for(1s);
+  snapshot("degraded throughput");
+
+  std::printf("\n>> rejoining node 2 (snapshot fetch runs in parallel with "
+              "processing)\n");
+  engine.RequestRejoin(2);
+  std::this_thread::sleep_for(3s);
+  snapshot("after rejoin");
+
+  engine.ResetStats();
+  std::this_thread::sleep_for(1s);
+  snapshot("recovered throughput");
+
+  star::Metrics final = engine.Stop();
+  std::printf("\nfinal state: %s, %llu transactions committed in the last "
+              "window\n",
+              engine.state() == star::SystemState::kStopped ? "clean stop"
+                                                            : "degraded",
+              static_cast<unsigned long long>(final.committed));
+  return 0;
+}

@@ -1,0 +1,622 @@
+#include "baselines/calvin.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace star {
+
+namespace {
+
+BaselineOptions CalvinBase(CalvinOptions o) {
+  // One replica group: each partition lives on exactly one node.
+  o.base.replicas = 1;
+  return o.base;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Context
+// ---------------------------------------------------------------------------
+
+/// Execution context on one participant: local reads come from the node's
+/// partitions (locks already granted), remote reads from the forwarded
+/// values, writes apply only to local partitions.
+class CalvinContext final : public TxnContext {
+ public:
+  CalvinContext(CalvinEngine* engine, CalvinEngine::Node* node,
+                CalvinEngine::NodeState* ns, CalvinEngine::NodeTxn* txn,
+                Rng* rng, const Workload* workload, Placement* placement,
+                uint64_t wait_ns)
+      : engine_(engine),
+        node_(node),
+        ns_(ns),
+        txn_(txn),
+        rng_(rng),
+        workload_(workload),
+        placement_(placement),
+        wait_ns_(wait_ns) {}
+
+  bool timed_out() const { return timed_out_; }
+  std::vector<WriteSetEntry>& writes() { return writes_; }
+
+  bool Read(int t, int p, uint64_t key, void* out) override {
+    if (WriteSetEntry* ws = FindWrite(t, p, key)) {
+      std::memcpy(out, ws->value.data(), ws->value.size());
+      return true;
+    }
+    int owner = placement_->master(p);
+    if (owner != node_->id && workload_->IsReadOnlyTable(t)) {
+      // Identical catalogue content in every partition: serve locally.
+      p = node_->primaries.front();
+      owner = node_->id;
+    }
+    if (owner == node_->id) {
+      HashTable* ht = node_->db->table(t, p);
+      HashTable::Row row = ht->GetRow(key);
+      if (!row.valid()) return false;
+      uint64_t word = row.ReadStable(out);
+      return !Record::IsAbsent(word);
+    }
+    // Remote: wait for the owner's forward (sent when its locks were
+    // granted).  Bounded wait; on timeout the executor requeues the txn.
+    uint64_t tkey = CalvinEngine::TxnKey(txn_->batch, txn_->index);
+    CalvinEngine::ForwardBox* box = engine_->GetForwardBox(*ns_, tkey);
+    uint64_t deadline = NowNanos() + wait_ns_;
+    int spins = 0;
+    for (;;) {
+      {
+        std::lock_guard<SpinLock> g(box->mu);
+        auto it = box->values.find({t, p, key});
+        if (it != box->values.end()) {
+          std::memcpy(out, it->second.data(), it->second.size());
+          return true;
+        }
+      }
+      if (NowNanos() > deadline) {
+        timed_out_ = true;
+        return false;
+      }
+      // Never busy-spin here: the io thread that delivers the forward needs
+      // the core (small-host substitution, DESIGN.md Section 2).
+      if (++spins < 32) {
+        CpuRelax();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+      }
+    }
+  }
+
+  void Write(int t, int p, uint64_t key, const void* value) override {
+    uint32_t size = node_->db->schema(t).value_size;
+    if (WriteSetEntry* ws = FindWrite(t, p, key)) {
+      ws->value.assign(static_cast<const char*>(value), size);
+      return;
+    }
+    WriteSetEntry e;
+    e.table = t;
+    e.partition = p;
+    e.key = key;
+    e.value.assign(static_cast<const char*>(value), size);
+    writes_.push_back(std::move(e));
+  }
+
+  void ApplyOperation(int t, int p, uint64_t key,
+                      const Operation& op) override {
+    if (WriteSetEntry* ws = FindWrite(t, p, key)) {
+      op.ApplyTo(ws->value.data());
+      return;
+    }
+    WriteSetEntry e;
+    e.table = t;
+    e.partition = p;
+    e.key = key;
+    e.value.resize(node_->db->schema(t).value_size);
+    if (!Read(t, p, key, e.value.data())) {
+      // Timed out or missing; leave a marker so the executor requeues.
+      timed_out_ = true;
+      return;
+    }
+    op.ApplyTo(e.value.data());
+    writes_.push_back(std::move(e));
+  }
+
+  void Insert(int t, int p, uint64_t key, const void* value) override {
+    Write(t, p, key, value);
+    writes_.back().is_insert = true;
+  }
+
+  Rng& rng() override { return *rng_; }
+
+ private:
+  WriteSetEntry* FindWrite(int t, int p, uint64_t key) {
+    for (auto& ws : writes_) {
+      if (ws.key == key && ws.table == t && ws.partition == p) return &ws;
+    }
+    return nullptr;
+  }
+
+  CalvinEngine* engine_;
+  CalvinEngine::Node* node_;
+  CalvinEngine::NodeState* ns_;
+  CalvinEngine::NodeTxn* txn_;
+  Rng* rng_;
+  const Workload* workload_;
+  Placement* placement_;
+  uint64_t wait_ns_;
+  bool timed_out_ = false;
+  std::vector<WriteSetEntry> writes_;
+};
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+CalvinEngine::CalvinEngine(const CalvinOptions& options,
+                           const Workload& workload)
+    : ClusterEngine(CalvinBase(options), workload,
+                    Placement::PrimaryBackup(options.base.num_nodes,
+                                             CalvinBase(options)
+                                                 .num_partitions(),
+                                             /*replicas=*/1),
+                    /*extra_endpoints=*/1),
+      copts_(options) {
+  assert(copts_.lock_managers >= 1 &&
+         copts_.lock_managers < options_.workers_per_node);
+  sequencer_ = std::make_unique<net::Endpoint>(fabric_.get(), num_nodes_, 1);
+  sequencer_->RegisterHandler(
+      net::MsgType::kCalvinBatchAck, [this](net::Message&& m) {
+        uint64_t batch = ReadBuffer(m.payload).Read<uint64_t>();
+        bool done = false;
+        {
+          std::lock_guard<SpinLock> g(acks_mu_);
+          if (++ack_counts_[batch] == num_nodes_) {
+            ack_counts_.erase(batch);
+            done = true;
+          }
+        }
+        if (done) {
+          {
+            std::lock_guard<SpinLock> g(batches_mu_);
+            batches_.erase(batch);
+          }
+          inflight_.fetch_sub(1, std::memory_order_acq_rel);
+        }
+      });
+
+  for (int i = 0; i < num_nodes_; ++i) {
+    auto ns = std::make_unique<NodeState>();
+    for (int s = 0; s < copts_.lock_managers; ++s) {
+      ns->shards.push_back(std::make_unique<LmShard>());
+    }
+    Node* n = nodes_[i].get();
+    NodeState* nsp = ns.get();
+    n->endpoint->RegisterHandler(
+        net::MsgType::kCalvinBatch, [this, nsp](net::Message&& m) {
+          ReadBuffer in(m.payload);
+          uint64_t batch_id = in.Read<uint64_t>();
+          {
+            std::lock_guard<SpinLock> g(nsp->batch_mu);
+            nsp->pending_batches.push_back(batch_id);
+          }
+        });
+    n->endpoint->RegisterHandler(
+        net::MsgType::kCalvinForward, [this, nsp](net::Message&& m) {
+          ReadBuffer in(m.payload);
+          uint64_t batch = in.Read<uint64_t>();
+          uint32_t index = in.Read<uint32_t>();
+          uint16_t count = in.Read<uint16_t>();
+          ForwardBox* box = GetForwardBox(*nsp, TxnKey(batch, index));
+          for (uint16_t i2 = 0; i2 < count; ++i2) {
+            int32_t t = in.Read<int32_t>();
+            int32_t p = in.Read<int32_t>();
+            uint64_t key = in.Read<uint64_t>();
+            std::string_view value = in.ReadBytes();
+            std::lock_guard<SpinLock> g(box->mu);
+            box->values[{t, p, key}] = std::string(value);
+          }
+        });
+    cstate_.push_back(std::move(ns));
+  }
+}
+
+CalvinEngine::~CalvinEngine() {
+  if (running_.load(std::memory_order_acquire)) Stop();
+}
+
+CalvinEngine::ForwardBox* CalvinEngine::GetForwardBox(NodeState& ns,
+                                                      uint64_t key) {
+  std::lock_guard<SpinLock> g(ns.fwd_mu);
+  auto& slot = ns.forwards[key];
+  if (slot == nullptr) slot = std::make_unique<ForwardBox>();
+  return slot.get();
+}
+
+void CalvinEngine::OnStart() {
+  sequencer_->Start();
+  sequencer_thread_ = std::thread([this] { SequencerLoop(); });
+}
+
+void CalvinEngine::OnStopBegin() {
+  running_.store(false, std::memory_order_release);
+  if (sequencer_thread_.joinable()) sequencer_thread_.join();
+  sequencer_->Stop();
+}
+
+void CalvinEngine::SequencerLoop() {
+  Rng rng(options_.seed * 31337ull);
+  uint64_t batch_id = 1;
+  while (running_.load(std::memory_order_acquire)) {
+    auto batch = std::make_shared<Batch>();
+    batch->id = batch_id;
+    batch->txns.reserve(copts_.batch_size);
+    size_t wire_bytes = 16;
+    for (int i = 0; i < copts_.batch_size; ++i) {
+      int home = static_cast<int>(rng.Uniform(num_partitions_));
+      bool cross = options_.cross_fraction > 0 &&
+                   rng.Flip(options_.cross_fraction);
+      TxnRequest req =
+          cross ? workload_.MakeCrossPartition(rng, home, num_partitions_)
+                : workload_.MakeSinglePartition(rng, home, num_partitions_);
+      wire_bytes += 64 + 17 * req.accesses.size();  // params + access list
+      batch->txns.push_back(std::move(req));
+    }
+    batch->dispatch_ns = NowNanos();
+    {
+      std::lock_guard<SpinLock> g(batches_mu_);
+      batches_[batch_id] = batch;
+    }
+    inflight_.fetch_add(1, std::memory_order_acq_rel);
+    // Dispatch: the payload carries the batch id plus padding that models
+    // the serialized inputs (the actual requests travel in process).
+    for (int i = 0; i < num_nodes_; ++i) {
+      WriteBuffer b;
+      b.Write<uint64_t>(batch_id);
+      std::string pad(wire_bytes / num_nodes_, '\0');
+      b.WriteRaw(pad.data(), pad.size());
+      sequencer_->Send(i, net::MsgType::kCalvinBatch, b.Release());
+    }
+    // Flow control: keep up to pipeline_batches in flight.
+    while (inflight_.load(std::memory_order_acquire) >=
+               copts_.pipeline_batches &&
+           running_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    ++batch_id;
+  }
+}
+
+void CalvinEngine::ScheduleBatch(Node& node, uint64_t batch_id) {
+  NodeState& ns = *cstate_[node.id];
+  std::shared_ptr<Batch> batch;
+  {
+    std::lock_guard<SpinLock> g(batches_mu_);
+    auto it = batches_.find(batch_id);
+    if (it == batches_.end()) return;
+    batch = it->second;
+  }
+
+  // Build this node's transaction instances and count participants.
+  std::vector<NodeTxn*> mine;
+  int local_count = 0;
+  for (uint32_t i = 0; i < batch->txns.size(); ++i) {
+    const TxnRequest& req = batch->txns[i];
+    std::vector<AccessDesc> local;
+    // The home node always participates (it applies the inserts and owns
+    // the result), even when none of the declared accesses land on it.
+    std::vector<int> participants{placement_.master(req.home_partition)};
+    for (const auto& a : req.accesses) {
+      int owner = placement_.master(a.partition);
+      bool seen = false;
+      for (int pn : participants) seen |= pn == owner;
+      if (!seen) participants.push_back(owner);
+      if (owner != node.id) continue;
+      // Dedup (strongest mode wins) to avoid self-conflicts in the FIFO
+      // lock queues.
+      bool merged = false;
+      for (auto& l : local) {
+        if (l.key == a.key && l.table == a.table &&
+            l.partition == a.partition) {
+          l.write |= a.write;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) local.push_back(a);
+    }
+    bool participant = !local.empty() ||
+                       placement_.master(req.home_partition) == node.id;
+    if (!participant) continue;
+    auto txn = std::make_unique<NodeTxn>();
+    txn->req = &batch->txns[i];
+    txn->batch = batch_id;
+    txn->index = i;
+    txn->dispatch_ns = batch->dispatch_ns;
+    txn->local_locks = std::move(local);
+    txn->participants = std::move(participants);
+    txn->pending_locks.store(static_cast<int>(txn->local_locks.size()),
+                             std::memory_order_release);
+    NodeTxn* raw = txn.get();
+    {
+      std::lock_guard<SpinLock> g(ns.txns_mu);
+      ns.txns[TxnKey(batch_id, i)] = std::move(txn);
+    }
+    mine.push_back(raw);
+    ++local_count;
+    diag_scheduled_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (local_count == 0) {
+    WriteBuffer ack;
+    ack.Write<uint64_t>(batch_id);
+    node.endpoint->Send(num_nodes_, net::MsgType::kCalvinBatchAck,
+                        ack.Release());
+    return;
+  }
+  {
+    // Retain the batch until this node finishes it (requests are referenced
+    // by the NodeTxn instances).
+    std::lock_guard<SpinLock> g(ns.prog_mu);
+    ns.outstanding[batch_id] = local_count;
+    ns.held_batches[batch_id] = batch;
+  }
+
+  // Deterministic lock acquisition in batch order.  Each shard owns a
+  // disjoint slice of the lock space, so processing per shard in order is
+  // equivalent to the single-threaded scan (the paper's multi-threaded
+  // lock manager).
+  for (NodeTxn* txn : mine) {
+    if (txn->local_locks.empty()) {
+      MarkReady(node, txn);
+      continue;
+    }
+    for (const auto& a : txn->local_locks) {
+      int shard_idx = static_cast<int>(SlotKey(a) % ns.shards.size());
+      LmShard& shard = *ns.shards[shard_idx];
+      std::lock_guard<SpinLock> g(shard.mu);
+      GrantOrQueue(node, shard, txn, a);
+    }
+  }
+}
+
+void CalvinEngine::GrantOrQueue(Node& node, LmShard& shard, NodeTxn* txn,
+                                const AccessDesc& a) {
+  LockSlot& slot = shard.slots[SlotKey(a)];
+  bool grantable;
+  if (a.write) {
+    grantable = slot.readers == 0 && !slot.writer && slot.waiters.empty();
+  } else {
+    grantable = !slot.writer && slot.waiters.empty();
+  }
+  if (grantable) {
+    if (a.write) {
+      slot.writer = true;
+    } else {
+      ++slot.readers;
+    }
+    if (txn->pending_locks.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      MarkReady(node, txn);
+    }
+  } else {
+    slot.waiters.emplace_back(txn, a.write);
+  }
+}
+
+void CalvinEngine::MarkReady(Node& node, NodeTxn* txn) {
+  NodeState& ns = *cstate_[node.id];
+  // Forward local reads as soon as the locks are granted: executors on
+  // other participants then never wait on a remote *worker*, only on lock
+  // progress, which keeps the deterministic schedule deadlock-free.
+  SendForwards(node, txn);
+  diag_ready_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<SpinLock> g(ns.ready_mu);
+  ns.ready[TxnKey(txn->batch, txn->index)] = txn;
+}
+
+void CalvinEngine::SendForwards(Node& node, NodeTxn* txn) {
+  if (txn->forwards_sent || txn->participants.size() <= 1) {
+    txn->forwards_sent = true;
+    return;
+  }
+  txn->forwards_sent = true;
+  diag_forwards_sent_.fetch_add(1, std::memory_order_relaxed);
+  WriteBuffer body;
+  uint16_t count = 0;
+  std::string scratch;
+  for (const auto& a : txn->req->accesses) {
+    if (placement_.master(a.partition) != node.id) continue;
+    HashTable* ht = node.db->table(a.table, a.partition);
+    HashTable::Row row = ht->GetRow(a.key);
+    if (!row.valid()) continue;
+    scratch.resize(row.size);
+    uint64_t w = row.ReadStable(scratch.data());
+    if (Record::IsAbsent(w)) continue;
+    body.Write<int32_t>(a.table);
+    body.Write<int32_t>(a.partition);
+    body.Write<uint64_t>(a.key);
+    body.WriteString(scratch);
+    ++count;
+  }
+  if (count == 0) return;
+  for (int pn : txn->participants) {
+    if (pn == node.id) continue;
+    WriteBuffer msg;
+    msg.Write<uint64_t>(txn->batch);
+    msg.Write<uint32_t>(txn->index);
+    msg.Write<uint16_t>(count);
+    msg.WriteRaw(body.data().data(), body.size());
+    node.endpoint->Send(pn, net::MsgType::kCalvinForward, msg.Release());
+  }
+}
+
+void CalvinEngine::WorkerLoop(Node& node, int worker_index) {
+  if (worker_index < copts_.lock_managers) {
+    LmLoop(node, worker_index);
+  } else {
+    ExecLoop(node, *node.workers[worker_index]);
+  }
+}
+
+void CalvinEngine::LmLoop(Node& node, int lm_index) {
+  NodeState& ns = *cstate_[node.id];
+  while (running_.load(std::memory_order_acquire)) {
+    // Lock-manager thread 0 also schedules arriving batches (the scan is
+    // sharded internally, so one scheduler keeps the order deterministic).
+    bool did_work = false;
+    if (lm_index == 0) {
+      uint64_t batch_id = 0;
+      {
+        std::lock_guard<SpinLock> g(ns.batch_mu);
+        if (!ns.pending_batches.empty()) {
+          batch_id = ns.pending_batches.front();
+          ns.pending_batches.pop_front();
+        }
+      }
+      if (batch_id != 0) {
+        ScheduleBatch(node, batch_id);
+        did_work = true;
+      }
+    }
+    // Drain lock releases and grant waiters in FIFO order.
+    LmShard& shard = *ns.shards[lm_index];
+    std::deque<std::pair<uint64_t, bool>> releases;
+    {
+      std::lock_guard<SpinLock> g(shard.mu);
+      releases.swap(shard.releases);
+      for (auto& [slot_key, was_write] : releases) {
+        LockSlot& slot = shard.slots[slot_key];
+        if (was_write) {
+          slot.writer = false;
+        } else {
+          --slot.readers;
+        }
+        while (!slot.waiters.empty()) {
+          auto [txn, write] = slot.waiters.front();
+          if (write) {
+            if (slot.readers != 0 || slot.writer) break;
+            slot.writer = true;
+          } else {
+            if (slot.writer) break;
+            ++slot.readers;
+          }
+          slot.waiters.pop_front();
+          if (txn->pending_locks.fetch_sub(1, std::memory_order_acq_rel) ==
+              1) {
+            MarkReady(node, txn);
+          }
+        }
+      }
+    }
+    if (!did_work && releases.empty()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+    }
+  }
+}
+
+void CalvinEngine::ExecLoop(Node& node, WorkerState& w) {
+  NodeState& ns = *cstate_[node.id];
+  while (running_.load(std::memory_order_acquire)) {
+    NodeTxn* txn = nullptr;
+    {
+      // Oldest runnable first; transactions waiting for forwards are parked
+      // behind their retry deadline so they cannot monopolise the executor.
+      uint64_t now = NowNanos();
+      std::lock_guard<SpinLock> g(ns.ready_mu);
+      for (auto it = ns.ready.begin(); it != ns.ready.end(); ++it) {
+        if (it->second->retry_at_ns <= now) {
+          txn = it->second;
+          ns.ready.erase(it);
+          break;
+        }
+      }
+    }
+    if (txn == nullptr) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      continue;
+    }
+    diag_pops_.fetch_add(1, std::memory_order_relaxed);
+    ExecuteTxn(node, w, txn);
+  }
+}
+
+void CalvinEngine::ExecuteTxn(Node& node, WorkerState& w, NodeTxn* txn) {
+  NodeState& ns = *cstate_[node.id];
+  diag_exec_enter_.fetch_add(1, std::memory_order_relaxed);
+  CalvinContext ctx(this, &node, &ns, txn, &w.rng, &workload_, &placement_,
+                    static_cast<uint64_t>(copts_.forward_wait_us * 1000));
+  TxnStatus status = txn->req->proc(ctx);
+  if (ctx.timed_out()) {
+    // Forwards not here yet: park briefly and let the executor pick other
+    // work.
+    diag_requeues_.fetch_add(1, std::memory_order_relaxed);
+    txn->retry_at_ns = NowNanos() + 500'000;
+    std::lock_guard<SpinLock> g(ns.ready_mu);
+    ns.ready[TxnKey(txn->batch, txn->index)] = txn;
+    return;
+  }
+  diag_executed_.fetch_add(1, std::memory_order_relaxed);
+
+  bool is_home = placement_.master(txn->req->home_partition) == node.id;
+  if (status == TxnStatus::kCommitted) {
+    // Deterministic TID: every replica group would install identical state.
+    uint64_t tid = Tid::Make(txn->batch & Tid::kEpochMask, txn->index, 0);
+    for (auto& ws : ctx.writes()) {
+      if (placement_.master(ws.partition) != node.id) continue;
+      HashTable* ht = node.db->table(ws.table, ws.partition);
+      HashTable::Row row =
+          ws.is_insert ? ht->GetOrInsertRow(ws.key) : ht->GetRow(ws.key);
+      row.rec->LockSpin();
+      row.rec->Store(tid, ws.value.data(), ws.value.size(), row.value, false);
+      row.rec->UnlockWithTid(tid);
+    }
+    if (is_home) {
+      w.stats.committed.fetch_add(1, std::memory_order_relaxed);
+      (txn->req->cross_partition ? w.stats.cross_partition
+                                 : w.stats.single_partition)
+          .fetch_add(1, std::memory_order_relaxed);
+      w.stats.latency.Record(NowNanos() - txn->dispatch_ns);
+    }
+  } else if (is_home) {
+    w.stats.aborted_user.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Release local locks via the owning shards.
+  for (const auto& a : txn->local_locks) {
+    int shard_idx = static_cast<int>(SlotKey(a) % ns.shards.size());
+    LmShard& shard = *ns.shards[shard_idx];
+    std::lock_guard<SpinLock> g(shard.mu);
+    shard.releases.emplace_back(SlotKey(a), a.write);
+  }
+
+  // Retire the transaction instance and its forward box.
+  uint64_t batch_of_txn = txn->batch;
+  uint64_t tkey = TxnKey(txn->batch, txn->index);
+  {
+    std::lock_guard<SpinLock> g(ns.fwd_mu);
+    ns.forwards.erase(tkey);
+  }
+  {
+    std::lock_guard<SpinLock> g(ns.txns_mu);
+    ns.txns.erase(tkey);
+  }
+  bool batch_done = false;
+  {
+    std::lock_guard<SpinLock> g(ns.prog_mu);
+    if (--ns.outstanding[batch_of_txn] == 0) {
+      ns.outstanding.erase(batch_of_txn);
+      ns.held_batches.erase(batch_of_txn);
+      batch_done = true;
+    }
+  }
+  if (batch_done) {
+    WriteBuffer ack;
+    ack.Write<uint64_t>(batch_of_txn);
+    node.endpoint->Send(num_nodes_, net::MsgType::kCalvinBatchAck,
+                        ack.Release());
+  }
+}
+
+void CalvinEngine::RunOne(Node&, WorkerState&, SiloContext&) {
+  // Unused: Calvin overrides WorkerLoop entirely.
+}
+
+}  // namespace star

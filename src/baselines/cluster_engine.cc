@@ -1,0 +1,182 @@
+#include "baselines/cluster_engine.h"
+
+namespace star {
+
+ClusterEngine::ClusterEngine(const BaselineOptions& options,
+                             const Workload& workload, Placement placement,
+                             int extra_endpoints)
+    : options_(options),
+      workload_(workload),
+      num_nodes_(options.num_nodes),
+      num_partitions_(options.num_partitions()),
+      placement_(std::move(placement)),
+      epoch_mgr_(options.epoch_ms) {
+  net::FabricOptions fopts;
+  fopts.link_latency_us = options_.link_latency_us;
+  fopts.local_latency_us = options_.local_latency_us;
+  fopts.bandwidth_gbps = options_.bandwidth_gbps;
+  fabric_ = std::make_unique<net::Fabric>(num_nodes_ + extra_endpoints, fopts);
+
+  auto schemas = workload_.Schemas();
+  for (int i = 0; i < num_nodes_; ++i) {
+    auto node = std::make_unique<Node>();
+    node->id = i;
+    node->db = std::make_unique<Database>(schemas, num_partitions_,
+                                          placement_.StoredPartitions(i),
+                                          /*two_version=*/false);
+    node->endpoint = std::make_unique<net::Endpoint>(
+        fabric_.get(), i, options_.io_threads_per_node);
+    node->counters = std::make_unique<ReplicationCounters>(num_nodes_);
+    node->applier = std::make_unique<ReplicationApplier>(node->db.get(),
+                                                         node->counters.get());
+    node->primaries = placement_.mastered_by(i);
+
+    Node* n = node.get();
+    node->endpoint->RegisterHandler(
+        net::MsgType::kReplicationBatch, [n](net::Message&& m) {
+          n->applier->ApplyBatch(m.src, m.payload);
+          if (m.rpc_id != 0) {
+            n->endpoint->Respond(m, net::MsgType::kReplicationAck, "");
+          }
+        });
+
+    for (int w = 0; w < options_.workers_per_node; ++w) {
+      uint64_t seed = options_.seed * 7349ull + i * 977 + w;
+      uint64_t tid_thread =
+          static_cast<uint64_t>(i) * options_.workers_per_node + w;
+      auto ws = std::make_unique<WorkerState>(seed, tid_thread, w);
+      ws->stream = std::make_unique<ReplicationStream>(
+          node->endpoint.get(), node->counters.get(), num_nodes_);
+      node->workers.push_back(std::move(ws));
+    }
+    nodes_.push_back(std::move(node));
+  }
+}
+
+ClusterEngine::~ClusterEngine() {
+  if (running_.load(std::memory_order_acquire)) Stop();
+}
+
+void ClusterEngine::Start() {
+  for (auto& node : nodes_) {
+    for (int p = 0; p < num_partitions_; ++p) {
+      if (node->db->HasPartition(p)) workload_.PopulatePartition(*node->db, p);
+    }
+  }
+  running_.store(true, std::memory_order_release);
+  epoch_mgr_.StartTimer();
+  for (auto& node : nodes_) node->endpoint->Start();
+  OnStart();
+  for (auto& node : nodes_) {
+    for (int w = 0; w < options_.workers_per_node; ++w) {
+      node->threads.emplace_back(
+          [this, n = node.get(), w] { WorkerLoop(*n, w); });
+    }
+  }
+  ResetStats();
+}
+
+void ClusterEngine::WorkerLoop(Node& node, int worker_index) {
+  WorkerState& w = *node.workers[worker_index];
+  SiloContext ctx(node.db.get(), &w.rng,
+                  node.id * options_.workers_per_node + worker_index);
+  while (running_.load(std::memory_order_acquire)) {
+    ctx.Reset();
+    RunOne(node, w, ctx);
+    w.tracker.Drain(epoch_mgr_.Current(), NowNanos(), w.stats.latency);
+    if (options_.yield_every_n_txns != 0 &&
+        ++w.txn_since_yield >= options_.yield_every_n_txns) {
+      w.txn_since_yield = 0;
+      std::this_thread::yield();
+    }
+  }
+  // Flush outstanding replication and release remaining group commits.
+  w.stream->FlushAll();
+  w.tracker.DrainAll(NowNanos(), w.stats.latency);
+}
+
+bool ClusterEngine::ReplicateSyncAndWait(
+    Node& node, uint64_t tid, const std::vector<WriteSetEntry>& writes) {
+  std::vector<WriteBuffer> batches(num_nodes_);
+  for (const auto& e : writes) {
+    int owner = placement_.master(e.partition);
+    for (int dst : placement_.storing(e.partition)) {
+      // Skip ourselves and the partition owner: the owner installs the
+      // write in the commit's install round, and its copy of the record is
+      // lock-held by this very transaction — replicating to it would wedge
+      // its io thread on our own lock (io-thread self-deadlock).
+      if (dst == node.id || dst == owner) continue;
+      SerializeValueEntry(batches[dst], e.table, e.partition, e.key, tid,
+                          e.value);
+    }
+  }
+  std::vector<uint64_t> tokens;
+  for (int dst = 0; dst < num_nodes_; ++dst) {
+    if (batches[dst].empty()) continue;
+    tokens.push_back(node.endpoint->CallAsync(
+        dst, net::MsgType::kReplicationBatch, batches[dst].Release()));
+  }
+  bool ok = true;
+  for (uint64_t t : tokens) {
+    if (!node.endpoint->Wait(t, nullptr,
+                             MillisToNanos(options_.rpc_timeout_ms))) {
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+Metrics ClusterEngine::Snapshot() const {
+  Metrics m;
+  for (const auto& node : nodes_) {
+    for (const auto& w : node->workers) {
+      m.committed += w->stats.committed.load(std::memory_order_relaxed);
+      m.aborted += w->stats.aborted.load(std::memory_order_relaxed);
+      m.aborted_user += w->stats.aborted_user.load(std::memory_order_relaxed);
+      m.single_partition +=
+          w->stats.single_partition.load(std::memory_order_relaxed);
+      m.cross_partition +=
+          w->stats.cross_partition.load(std::memory_order_relaxed);
+      m.latency.Merge(w->stats.latency);
+    }
+  }
+  m.seconds = (NowNanos() - measure_start_ns_) / 1e9;
+  m.network_bytes = fabric_->total_bytes() - fabric_bytes_at_reset_;
+  m.network_messages = fabric_->total_messages() - fabric_msgs_at_reset_;
+  return m;
+}
+
+void ClusterEngine::ResetStats() {
+  for (auto& node : nodes_) {
+    for (auto& w : node->workers) {
+      w->stats.committed.store(0, std::memory_order_relaxed);
+      w->stats.aborted.store(0, std::memory_order_relaxed);
+      w->stats.aborted_user.store(0, std::memory_order_relaxed);
+      w->stats.single_partition.store(0, std::memory_order_relaxed);
+      w->stats.cross_partition.store(0, std::memory_order_relaxed);
+    }
+  }
+  fabric_bytes_at_reset_ = fabric_->total_bytes();
+  fabric_msgs_at_reset_ = fabric_->total_messages();
+  measure_start_ns_ = NowNanos();
+}
+
+Metrics ClusterEngine::Stop() {
+  Metrics before = Snapshot();
+  double seconds = before.seconds;
+  OnStopBegin();
+  running_.store(false, std::memory_order_release);
+  for (auto& node : nodes_) {
+    for (auto& t : node->threads) {
+      if (t.joinable()) t.join();
+    }
+    node->threads.clear();
+  }
+  epoch_mgr_.StopTimer();
+  for (auto& node : nodes_) node->endpoint->Stop();
+  Metrics m = Snapshot();
+  m.seconds = seconds;
+  return m;
+}
+
+}  // namespace star

@@ -1,0 +1,134 @@
+#ifndef STAR_BASELINES_CLUSTER_ENGINE_H_
+#define STAR_BASELINES_CLUSTER_ENGINE_H_
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "baselines/options.h"
+#include "cc/epoch.h"
+#include "cc/silo.h"
+#include "cc/workload.h"
+#include "common/clock.h"
+#include "common/config.h"
+#include "common/stats.h"
+#include "net/endpoint.h"
+#include "net/fabric.h"
+#include "replication/applier.h"
+#include "replication/stream.h"
+
+namespace star {
+
+/// Shared chassis for the baseline engines: a fabric, one database replica
+/// per node (per a Placement), endpoints with a replication applier, an
+/// epoch timer for group commit, and worker threads.  Subclasses implement
+/// RunOne() (one transaction attempt cycle) and may register extra message
+/// handlers before Start().
+class ClusterEngine {
+ public:
+  ClusterEngine(const BaselineOptions& options, const Workload& workload,
+                Placement placement, int extra_endpoints = 0);
+  virtual ~ClusterEngine();
+
+  ClusterEngine(const ClusterEngine&) = delete;
+  ClusterEngine& operator=(const ClusterEngine&) = delete;
+
+  void Start();
+  Metrics Stop();
+  Metrics Snapshot() const;
+  void ResetStats();
+
+  Database* database(int node) { return nodes_[node]->db.get(); }
+  net::Fabric* fabric() { return fabric_.get(); }
+  const Placement& placement() const { return placement_; }
+  uint64_t epoch() const { return epoch_mgr_.Current(); }
+
+ protected:
+  struct WorkerState {
+    WorkerState(uint64_t seed, uint64_t tid_thread, int index)
+        : rng(seed), gen(tid_thread), index(index) {}
+    Rng rng;
+    TidGenerator gen;
+    WorkerStats stats;
+    GroupCommitTracker tracker;
+    std::unique_ptr<ReplicationStream> stream;
+    int index;  // worker index within the node
+    uint32_t txn_since_yield = 0;
+    size_t rr = 0;  // cursor over the node's primary partitions
+  };
+
+  struct Node {
+    int id = 0;
+    std::unique_ptr<Database> db;
+    std::unique_ptr<net::Endpoint> endpoint;
+    std::unique_ptr<ReplicationCounters> counters;
+    std::unique_ptr<ReplicationApplier> applier;
+    std::vector<std::unique_ptr<WorkerState>> workers;
+    std::vector<std::thread> threads;
+    std::vector<int> primaries;  // partitions this node masters
+  };
+
+  /// One unit of work for a worker; called in a loop until Stop().
+  /// Implementations run exactly one transaction to completion (with
+  /// internal retries if they choose) or sleep briefly when idle.
+  virtual void RunOne(Node& node, WorkerState& w, SiloContext& ctx) = 0;
+
+  /// Hooks around the run (register handlers in the constructor instead).
+  virtual void OnStart() {}
+  virtual void OnStopBegin() {}
+
+  /// Streams value-replication entries for a committed write set to every
+  /// replica of each touched partition (asynchronous replication; the
+  /// Thomas rule reconciles ordering).
+  void ReplicateAsync(WorkerState& w, int self, uint64_t tid,
+                      const std::vector<WriteSetEntry>& writes) {
+    for (const auto& e : writes) {
+      for (int dst : placement_.storing(e.partition)) {
+        if (dst != self) w.stream->AppendEntry(dst, tid, e, false);
+      }
+    }
+  }
+
+  /// Synchronous replication: ships the batch and waits for every ack while
+  /// the caller still holds its write locks.  Returns false on timeout.
+  bool ReplicateSyncAndWait(Node& node, uint64_t tid,
+                            const std::vector<WriteSetEntry>& writes);
+
+  /// Records a commit in the stats and the group-commit tracker (async) or
+  /// directly in the latency histogram (sync).
+  void FinishCommit(WorkerState& w, uint64_t tid, uint64_t start_ns,
+                    bool cross) {
+    w.stats.committed.fetch_add(1, std::memory_order_relaxed);
+    (cross ? w.stats.cross_partition : w.stats.single_partition)
+        .fetch_add(1, std::memory_order_relaxed);
+    if (options_.sync_replication) {
+      w.stats.latency.Record(NowNanos() - start_ns);
+    } else {
+      w.tracker.Add(Tid::Epoch(tid), start_ns);
+    }
+  }
+
+  /// Default loop: RunOne + group-commit drain + yield cadence.  Calvin
+  /// overrides it (its workers split into lock managers and executors).
+  virtual void WorkerLoop(Node& node, int worker_index);
+
+  BaselineOptions options_;
+  const Workload& workload_;
+  int num_nodes_;
+  int num_partitions_;
+  Placement placement_;
+  EpochManager epoch_mgr_;
+
+  std::unique_ptr<net::Fabric> fabric_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::atomic<bool> running_{false};
+
+  uint64_t measure_start_ns_ = 0;
+  uint64_t fabric_bytes_at_reset_ = 0;
+  uint64_t fabric_msgs_at_reset_ = 0;
+};
+
+}  // namespace star
+
+#endif  // STAR_BASELINES_CLUSTER_ENGINE_H_

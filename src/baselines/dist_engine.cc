@@ -1,0 +1,896 @@
+#include "baselines/dist_engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace star {
+
+namespace {
+
+/// Lock-table namespace id combining table and partition (a node masters
+/// several partitions; locks must not alias across them).
+int LockNs(int table, int partition) { return table * 1000003 + partition; }
+
+struct RemoteLock {
+  int32_t table;
+  int32_t partition;
+  uint64_t key;
+  bool write;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Transaction context
+// ---------------------------------------------------------------------------
+
+/// Execution context for one distributed transaction attempt.  Lives on the
+/// coordinator (the worker's node); remote operations are RPCs against
+/// partition owners.
+class DistContext final : public TxnContext {
+ public:
+  DistContext(DistEngine* engine, DistEngine::Node* node,
+              DistEngine::WorkerState* w, Placement* placement,
+              LockTable* local_locks, DistCc cc, double rpc_timeout_ms)
+      : engine_(engine),
+        node_(node),
+        w_(w),
+        placement_(placement),
+        lt_(local_locks),
+        cc_(cc),
+        timeout_ns_(MillisToNanos(rpc_timeout_ms)) {}
+
+  void Begin(const TxnRequest* req) {
+    req_ = req;
+    writes_.clear();
+    reads_.clear();
+    cache_.clear();
+    held_local_.clear();
+    held_remote_.clear();
+    remote_lock_words_ = 0;
+  }
+
+  // --- TxnContext ---
+
+  bool Read(int t, int p, uint64_t key, void* out) override {
+    if (WriteSetEntry* ws = FindWrite(t, p, key)) {
+      std::memcpy(out, ws->value.data(), ws->value.size());
+      return true;
+    }
+    int owner = placement_->master(p);
+    uint32_t size = 0;
+    if (cc_ == DistCc::kS2pl) {
+      // NO_WAIT lock acquired up front; re-reads of a held key hit the
+      // cache.
+      if (const std::string* v = FindCache(t, p, key)) {
+        std::memcpy(out, v->data(), v->size());
+        return true;
+      }
+      bool want_write = DeclaredWrite(t, p, key);
+      if (owner == node_->id) {
+        if (want_write ? !lt_->TryWriteLock(LockNs(t, p), key)
+                       : !lt_->TryReadLock(LockNs(t, p), key)) {
+          return false;
+        }
+        held_local_.push_back({t, p, key, want_write});
+        HashTable* ht = node_->db->table(t, p);
+        HashTable::Row row = ht->GetRow(key);
+        if (!row.valid()) return false;
+        size = row.size;
+        uint64_t word = row.ReadStable(out);
+        if (Record::IsAbsent(word)) return false;
+        reads_.push_back({t, p, key, word, false, row, false});
+      } else {
+        WriteBuffer b;
+        b.Write<uint8_t>(want_write ? 2 : 1);
+        b.Write<uint16_t>(1);
+        b.Write<int32_t>(t);
+        b.Write<int32_t>(p);
+        b.Write<uint64_t>(key);
+        std::string resp;
+        if (!node_->endpoint->Call(owner, net::MsgType::kLockRequest,
+                                   b.Release(), &resp, timeout_ns_)) {
+          return false;
+        }
+        ReadBuffer in(resp);
+        if (in.Read<uint8_t>() == 0) return false;
+        uint64_t word = in.Read<uint64_t>();
+        std::string_view value = in.ReadBytes();
+        size = static_cast<uint32_t>(value.size());
+        std::memcpy(out, value.data(), value.size());
+        held_remote_.push_back({t, p, key, want_write});
+        reads_.push_back({t, p, key, word, true, {}, false});
+        remote_lock_words_ = std::max(remote_lock_words_, word);
+      }
+    } else {  // OCC: optimistic reads, no locks
+      if (owner == node_->id) {
+        HashTable* ht = node_->db->table(t, p);
+        HashTable::Row row = ht->GetRow(key);
+        if (!row.valid()) return false;
+        size = row.size;
+        uint64_t word = row.ReadStable(out);
+        if (Record::IsAbsent(word)) return false;
+        reads_.push_back({t, p, key, word, false, row, false});
+      } else {
+        WriteBuffer b;
+        b.Write<int32_t>(t);
+        b.Write<int32_t>(p);
+        b.Write<uint64_t>(key);
+        std::string resp;
+        if (!node_->endpoint->Call(owner, net::MsgType::kReadRequest,
+                                   b.Release(), &resp, timeout_ns_)) {
+          return false;
+        }
+        ReadBuffer in(resp);
+        if (in.Read<uint8_t>() == 0) return false;
+        uint64_t word = in.Read<uint64_t>();
+        std::string_view value = in.ReadBytes();
+        size = static_cast<uint32_t>(value.size());
+        std::memcpy(out, value.data(), value.size());
+        reads_.push_back({t, p, key, word, true, {}, false});
+      }
+    }
+    cache_.push_back({t, p, key, std::string(static_cast<char*>(out), size)});
+    return true;
+  }
+
+  void Write(int t, int p, uint64_t key, const void* value) override {
+    uint32_t size = node_->db->schema(t).value_size;
+    if (WriteSetEntry* ws = FindWrite(t, p, key)) {
+      ws->value.assign(static_cast<const char*>(value), size);
+      ws->ops_only = false;
+      return;
+    }
+    WriteSetEntry e;
+    e.table = t;
+    e.partition = p;
+    e.key = key;
+    e.value.assign(static_cast<const char*>(value), size);
+    writes_.push_back(std::move(e));
+  }
+
+  void ApplyOperation(int t, int p, uint64_t key,
+                      const Operation& op) override {
+    if (WriteSetEntry* ws = FindWrite(t, p, key)) {
+      op.ApplyTo(ws->value.data());
+      ws->ops.push_back(op);
+      return;
+    }
+    WriteSetEntry e;
+    e.table = t;
+    e.partition = p;
+    e.key = key;
+    const std::string* seed = FindCache(t, p, key);
+    assert(seed != nullptr && "operation without a preceding read");
+    e.value = *seed;
+    op.ApplyTo(e.value.data());
+    e.ops.push_back(op);
+    e.ops_only = true;
+    writes_.push_back(std::move(e));
+  }
+
+  void Insert(int t, int p, uint64_t key, const void* value) override {
+    // Inserts target the transaction's home partition in our workloads;
+    // remote inserts would need owner-side GetOrInsert in the lock round.
+    WriteSetEntry e;
+    e.table = t;
+    e.partition = p;
+    e.key = key;
+    e.value.assign(static_cast<const char*>(value),
+                   node_->db->schema(t).value_size);
+    e.is_insert = true;
+    writes_.push_back(std::move(e));
+  }
+
+  Rng& rng() override { return w_->rng; }
+
+  // --- commit / abort drivers (called by the engine) ---
+
+  CommitResult Commit(const std::atomic<uint64_t>& epoch);
+  void Abort();
+
+  std::vector<WriteSetEntry>& writes() { return writes_; }
+
+ private:
+  struct ReadEntry {
+    int32_t t;
+    int32_t p;
+    uint64_t key;
+    uint64_t word;
+    bool remote;
+    HashTable::Row row;  // local only
+    bool self_write;     // filled during validation
+  };
+  struct CacheEntry {
+    int32_t t;
+    int32_t p;
+    uint64_t key;
+    std::string value;
+  };
+
+  WriteSetEntry* FindWrite(int t, int p, uint64_t key) {
+    for (auto& ws : writes_) {
+      if (ws.key == key && ws.table == t && ws.partition == p) return &ws;
+    }
+    return nullptr;
+  }
+  const std::string* FindCache(int t, int p, uint64_t key) const {
+    for (const auto& c : cache_) {
+      if (c.key == key && c.t == t && c.p == p) return &c.value;
+    }
+    return nullptr;
+  }
+  bool DeclaredWrite(int t, int p, uint64_t key) const {
+    for (const auto& a : req_->accesses) {
+      if (a.write && a.key == key && a.table == t && a.partition == p) {
+        return true;
+      }
+    }
+    return false;
+  }
+  bool InWriteSet(int t, int p, uint64_t key) const {
+    for (const auto& ws : writes_) {
+      if (ws.key == key && ws.table == t && ws.partition == p) return true;
+    }
+    return false;
+  }
+
+  CommitResult CommitOcc(const std::atomic<uint64_t>& epoch);
+  CommitResult CommitS2pl(const std::atomic<uint64_t>& epoch);
+  void SendRemoteUnlocks();
+  void ReleaseLocalS2pl() {
+    for (const auto& l : held_local_) {
+      if (l.write) {
+        lt_->WriteUnlock(LockNs(l.table, l.partition), l.key);
+      } else {
+        lt_->ReadUnlock(LockNs(l.table, l.partition), l.key);
+      }
+    }
+    held_local_.clear();
+  }
+
+  DistEngine* engine_;
+  DistEngine::Node* node_;
+  DistEngine::WorkerState* w_;
+  Placement* placement_;
+  LockTable* lt_;
+  DistCc cc_;
+  uint64_t timeout_ns_;
+
+  const TxnRequest* req_ = nullptr;
+  std::vector<WriteSetEntry> writes_;
+  std::vector<ReadEntry> reads_;
+  std::vector<CacheEntry> cache_;
+  std::vector<RemoteLock> held_local_;   // S2PL locks on this node
+  std::vector<RemoteLock> held_remote_;  // S2PL locks at remote owners
+  uint64_t remote_lock_words_ = 0;
+
+  // OCC commit bookkeeping (reset per commit attempt).
+  std::vector<WriteSetEntry*> locked_local_;
+  std::vector<RemoteLock> locked_remote_;
+};
+
+void DistContext::SendRemoteUnlocks() {
+  // Group held/locked remote locks by owner and send one-way unlocks.
+  const auto& locks = cc_ == DistCc::kS2pl ? held_remote_ : locked_remote_;
+  std::vector<WriteBuffer> per_owner(placement_->num_nodes());
+  std::vector<uint16_t> counts(placement_->num_nodes(), 0);
+  for (const auto& l : locks) {
+    int owner = placement_->master(l.partition);
+    per_owner[owner].Write<int32_t>(l.table);
+    per_owner[owner].Write<int32_t>(l.partition);
+    per_owner[owner].Write<uint64_t>(l.key);
+    per_owner[owner].Write<uint8_t>(l.write ? 1 : 0);
+    counts[owner]++;
+  }
+  for (int o = 0; o < placement_->num_nodes(); ++o) {
+    if (counts[o] == 0) continue;
+    WriteBuffer b;
+    b.Write<uint16_t>(counts[o]);
+    b.WriteRaw(per_owner[o].data().data(), per_owner[o].size());
+    node_->endpoint->Send(o, net::MsgType::kUnlockRequest, b.Release());
+  }
+}
+
+void DistContext::Abort() {
+  if (cc_ == DistCc::kS2pl) {
+    ReleaseLocalS2pl();
+    SendRemoteUnlocks();
+    held_remote_.clear();
+  }
+  // OCC: execution acquired nothing; commit-time cleanup happens inline.
+}
+
+CommitResult DistContext::Commit(const std::atomic<uint64_t>& epoch) {
+  return cc_ == DistCc::kOcc ? CommitOcc(epoch) : CommitS2pl(epoch);
+}
+
+CommitResult DistContext::CommitOcc(const std::atomic<uint64_t>& epoch) {
+  locked_local_.clear();
+  locked_remote_.clear();
+  uint64_t floor = 0;
+
+  // --- lock phase (paper: "first acquires all write locks") ---
+  // Local writes: materialise inserts, then NO_WAIT-lock in address order.
+  std::vector<WriteSetEntry*> local;
+  std::vector<std::vector<WriteSetEntry*>> remote(placement_->num_nodes());
+  for (auto& ws : writes_) {
+    int owner = placement_->master(ws.partition);
+    if (owner == node_->id) {
+      HashTable* ht = node_->db->table(ws.table, ws.partition);
+      if (ws.is_insert) {
+        bool inserted = false;
+        ws.row = ht->GetOrInsertRow(ws.key, &inserted);
+        ws.created_here = inserted;
+      } else if (!ws.row.valid()) {
+        ws.row = ht->GetRow(ws.key);
+      }
+      local.push_back(&ws);
+    } else {
+      assert(!ws.is_insert && "remote inserts unsupported by this workload");
+      remote[owner].push_back(&ws);
+    }
+  }
+  std::sort(local.begin(), local.end(),
+            [](const WriteSetEntry* a, const WriteSetEntry* b) {
+              return a->row.rec < b->row.rec;
+            });
+  auto abort_cleanup = [&]() {
+    for (WriteSetEntry* ws : locked_local_) {
+      // Plain unlock (see SiloOccCommit): never mark absent on abort.
+      ws->row.rec->Unlock();
+    }
+    SendRemoteUnlocks();
+    locked_local_.clear();
+    locked_remote_.clear();
+  };
+  for (WriteSetEntry* ws : local) {
+    if (!ws->row.rec->TryLock()) {  // NO_WAIT
+      abort_cleanup();
+      return {TxnStatus::kAbortConflict, 0};
+    }
+    locked_local_.push_back(ws);
+    floor = std::max(floor, Record::TidOf(ws->row.rec->LoadWord()));
+  }
+  // Remote lock rounds, in parallel across owners.
+  {
+    std::vector<std::pair<int, uint64_t>> tokens;
+    for (int o = 0; o < placement_->num_nodes(); ++o) {
+      if (remote[o].empty()) continue;
+      WriteBuffer b;
+      b.Write<uint8_t>(0);  // mode 0: OCC write locks
+      b.Write<uint16_t>(static_cast<uint16_t>(remote[o].size()));
+      for (WriteSetEntry* ws : remote[o]) {
+        b.Write<int32_t>(ws->table);
+        b.Write<int32_t>(ws->partition);
+        b.Write<uint64_t>(ws->key);
+      }
+      tokens.emplace_back(o, node_->endpoint->CallAsync(
+                                 o, net::MsgType::kLockRequest, b.Release()));
+    }
+    bool ok = true;
+    for (auto& [o, tok] : tokens) {
+      std::string resp;
+      if (!node_->endpoint->Wait(tok, &resp, timeout_ns_)) {
+        ok = false;
+        continue;
+      }
+      ReadBuffer in(resp);
+      if (in.Read<uint8_t>() == 0) {
+        ok = false;
+        continue;
+      }
+      for (WriteSetEntry* ws : remote[o]) {
+        floor = std::max(floor, in.Read<uint64_t>());
+        locked_remote_.push_back({ws->table, ws->partition, ws->key, true});
+      }
+    }
+    if (!ok) {
+      abort_cleanup();
+      return {TxnStatus::kAbortConflict, 0};
+    }
+  }
+
+  // --- validation phase ("next validates all reads") ---
+  std::vector<std::vector<ReadEntry*>> vremote(placement_->num_nodes());
+  for (auto& r : reads_) {
+    floor = std::max(floor, Record::TidOf(r.word));
+    r.self_write = InWriteSet(r.t, r.p, r.key);
+    if (!r.remote) {
+      uint64_t cur = r.row.rec->LoadWord();
+      if (Record::TidOf(cur) != Record::TidOf(r.word) ||
+          (Record::IsLocked(cur) && !r.self_write)) {
+        abort_cleanup();
+        return {TxnStatus::kAbortConflict, 0};
+      }
+    } else {
+      vremote[placement_->master(r.p)].push_back(&r);
+    }
+  }
+  {
+    std::vector<uint64_t> tokens;
+    for (int o = 0; o < placement_->num_nodes(); ++o) {
+      if (vremote[o].empty()) continue;
+      WriteBuffer b;
+      b.Write<uint16_t>(static_cast<uint16_t>(vremote[o].size()));
+      for (ReadEntry* r : vremote[o]) {
+        b.Write<int32_t>(r->t);
+        b.Write<int32_t>(r->p);
+        b.Write<uint64_t>(r->key);
+        b.Write<uint64_t>(r->word);
+        b.Write<uint8_t>(r->self_write ? 1 : 0);
+      }
+      tokens.push_back(node_->endpoint->CallAsync(
+          o, net::MsgType::kValidateRequest, b.Release()));
+    }
+    for (uint64_t tok : tokens) {
+      std::string resp;
+      if (!node_->endpoint->Wait(tok, &resp, timeout_ns_) ||
+          ReadBuffer(resp).Read<uint8_t>() == 0) {
+        abort_cleanup();
+        return {TxnStatus::kAbortConflict, 0};
+      }
+    }
+  }
+
+  // --- TID + (optional) 2PC prepare + synchronous replication ---
+  uint64_t tid =
+      w_->gen.Generate(floor, epoch.load(std::memory_order_acquire));
+  if (engine_->options_.sync_replication) {
+    std::vector<uint64_t> tokens;
+    for (int o = 0; o < placement_->num_nodes(); ++o) {
+      if (remote[o].empty()) continue;
+      tokens.push_back(
+          node_->endpoint->CallAsync(o, net::MsgType::kPrepareRequest, ""));
+    }
+    bool ok = true;
+    for (uint64_t tok : tokens) {
+      ok &= node_->endpoint->Wait(tok, nullptr, timeout_ns_);
+    }
+    if (ok) ok = engine_->ReplicateSyncAndWait(*node_, tid, writes_);
+    if (!ok) {
+      abort_cleanup();
+      return {TxnStatus::kAbortNetwork, 0};
+    }
+  }
+
+  // --- install phase ("applies the writes ... releases the write locks") ---
+  for (WriteSetEntry* ws : local) {
+    ws->row.rec->Store(tid, ws->value.data(), ws->value.size(),
+                       ws->row.value, false);
+    ws->row.rec->UnlockWithTid(tid);
+  }
+  {
+    std::vector<uint64_t> tokens;
+    for (int o = 0; o < placement_->num_nodes(); ++o) {
+      if (remote[o].empty()) continue;
+      WriteBuffer b;
+      b.Write<uint64_t>(tid);
+      b.Write<uint16_t>(static_cast<uint16_t>(remote[o].size()));
+      for (WriteSetEntry* ws : remote[o]) {
+        b.Write<int32_t>(ws->table);
+        b.Write<int32_t>(ws->partition);
+        b.Write<uint64_t>(ws->key);
+        b.WriteString(ws->value);
+      }
+      b.Write<uint16_t>(0);  // no S2PL read locks to release
+      tokens.push_back(node_->endpoint->CallAsync(
+          o, net::MsgType::kInstallRequest, b.Release()));
+    }
+    for (uint64_t tok : tokens) {
+      node_->endpoint->Wait(tok, nullptr, timeout_ns_);
+    }
+  }
+  return {TxnStatus::kCommitted, tid};
+}
+
+CommitResult DistContext::CommitS2pl(const std::atomic<uint64_t>& epoch) {
+  // Every lock is already held (acquired during execution).  Compute the
+  // TID, optionally run 2PC + synchronous replication, then install and
+  // release everywhere.
+  uint64_t floor = remote_lock_words_;
+  for (const auto& r : reads_) floor = std::max(floor, Record::TidOf(r.word));
+  uint64_t tid =
+      w_->gen.Generate(floor, epoch.load(std::memory_order_acquire));
+
+  // Partition writes by owner; resolve local rows.
+  std::vector<WriteSetEntry*> local;
+  std::vector<std::vector<WriteSetEntry*>> remote(placement_->num_nodes());
+  for (auto& ws : writes_) {
+    int owner = placement_->master(ws.partition);
+    if (owner == node_->id) {
+      HashTable* ht = node_->db->table(ws.table, ws.partition);
+      if (ws.is_insert) {
+        ws.row = ht->GetOrInsertRow(ws.key);
+      } else if (!ws.row.valid()) {
+        ws.row = ht->GetRow(ws.key);
+      }
+      local.push_back(&ws);
+    } else {
+      assert(!ws.is_insert && "remote inserts unsupported by this workload");
+      remote[owner].push_back(&ws);
+    }
+  }
+
+  if (engine_->options_.sync_replication) {
+    std::vector<uint64_t> tokens;
+    for (int o = 0; o < placement_->num_nodes(); ++o) {
+      if (remote[o].empty()) continue;
+      tokens.push_back(
+          node_->endpoint->CallAsync(o, net::MsgType::kPrepareRequest, ""));
+    }
+    bool ok = true;
+    for (uint64_t tok : tokens) {
+      ok &= node_->endpoint->Wait(tok, nullptr, timeout_ns_);
+    }
+    if (ok) ok = engine_->ReplicateSyncAndWait(*node_, tid, writes_);
+    if (!ok) {
+      Abort();
+      return {TxnStatus::kAbortNetwork, 0};
+    }
+  }
+
+  // Install local writes (record latch shields optimistic readers).
+  for (WriteSetEntry* ws : local) {
+    ws->row.rec->LockSpin();
+    ws->row.rec->Store(tid, ws->value.data(), ws->value.size(),
+                       ws->row.value, false);
+    ws->row.rec->UnlockWithTid(tid);
+  }
+  ReleaseLocalS2pl();
+
+  // Install remote writes and release every lock held at each owner.
+  std::vector<std::vector<const RemoteLock*>> locks_at(
+      placement_->num_nodes());
+  for (const auto& l : held_remote_) {
+    locks_at[placement_->master(l.partition)].push_back(&l);
+  }
+  std::vector<uint64_t> tokens;
+  for (int o = 0; o < placement_->num_nodes(); ++o) {
+    if (remote[o].empty() && locks_at[o].empty()) continue;
+    WriteBuffer b;
+    b.Write<uint64_t>(tid);
+    b.Write<uint16_t>(static_cast<uint16_t>(remote[o].size()));
+    for (WriteSetEntry* ws : remote[o]) {
+      b.Write<int32_t>(ws->table);
+      b.Write<int32_t>(ws->partition);
+      b.Write<uint64_t>(ws->key);
+      b.WriteString(ws->value);
+    }
+    b.Write<uint16_t>(static_cast<uint16_t>(locks_at[o].size()));
+    for (const RemoteLock* l : locks_at[o]) {
+      b.Write<int32_t>(l->table);
+      b.Write<int32_t>(l->partition);
+      b.Write<uint64_t>(l->key);
+      b.Write<uint8_t>(l->write ? 1 : 0);
+    }
+    tokens.push_back(node_->endpoint->CallAsync(
+        o, net::MsgType::kInstallRequest, b.Release()));
+  }
+  for (uint64_t tok : tokens) {
+    node_->endpoint->Wait(tok, nullptr, timeout_ns_);
+  }
+  held_remote_.clear();
+  return {TxnStatus::kCommitted, tid};
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+DistEngine::DistEngine(const BaselineOptions& options,
+                       const Workload& workload, DistCc cc)
+    : ClusterEngine(options, workload,
+                    Placement::PrimaryBackup(options.num_nodes,
+                                             options.num_partitions(),
+                                             options.replicas)),
+      cc_(cc) {
+  lock_tables_.resize(num_nodes_);
+  for (int i = 0; i < num_nodes_; ++i) {
+    lock_tables_[i] = std::make_unique<LockTable>();
+    RegisterHandlers(*nodes_[i]);
+  }
+}
+
+void DistEngine::RegisterHandlers(Node& node) {
+  Node* n = &node;
+  n->endpoint->RegisterHandler(net::MsgType::kReadRequest,
+                               [this, n](net::Message&& m) {
+                                 HandleRead(*n, std::move(m));
+                               });
+  n->endpoint->RegisterHandler(net::MsgType::kLockRequest,
+                               [this, n](net::Message&& m) {
+                                 HandleLock(*n, std::move(m));
+                               });
+  n->endpoint->RegisterHandler(net::MsgType::kValidateRequest,
+                               [this, n](net::Message&& m) {
+                                 HandleValidate(*n, std::move(m));
+                               });
+  n->endpoint->RegisterHandler(net::MsgType::kInstallRequest,
+                               [this, n](net::Message&& m) {
+                                 HandleInstall(*n, std::move(m));
+                               });
+  n->endpoint->RegisterHandler(net::MsgType::kUnlockRequest,
+                               [this, n](net::Message&& m) {
+                                 HandleUnlock(*n, std::move(m));
+                               });
+  n->endpoint->RegisterHandler(net::MsgType::kPrepareRequest,
+                               [this, n](net::Message&& m) {
+                                 HandlePrepare(*n, std::move(m));
+                               });
+}
+
+void DistEngine::HandleRead(Node& node, net::Message&& m) {
+  ReadBuffer in(m.payload);
+  int32_t t = in.Read<int32_t>();
+  int32_t p = in.Read<int32_t>();
+  uint64_t key = in.Read<uint64_t>();
+  WriteBuffer out;
+  HashTable* ht = node.db->table(t, p);
+  HashTable::Row row = ht != nullptr ? ht->GetRow(key) : HashTable::Row{};
+  uint64_t word = 0;
+  std::string value(row.valid() ? row.size : 0, '\0');
+  // Bounded read: the io thread must never block on a commit-locked record
+  // (the lock holder may itself be waiting on this io thread — a classic
+  // network-thread deadlock).  A busy record reads as a conflict; the
+  // coordinator aborts and retries, NO_WAIT style.
+  if (!row.valid() ||
+      !row.rec->TryReadStable(value.data(), row.size, row.value, &word) ||
+      Record::IsAbsent(word)) {
+    out.Write<uint8_t>(0);
+  } else {
+    out.Write<uint8_t>(1);
+    out.Write<uint64_t>(word);
+    out.WriteString(value);
+  }
+  node.endpoint->Respond(m, net::MsgType::kReadResponse, out.Release());
+}
+
+void DistEngine::HandleLock(Node& node, net::Message&& m) {
+  ReadBuffer in(m.payload);
+  uint8_t mode = in.Read<uint8_t>();
+  uint16_t count = in.Read<uint16_t>();
+  WriteBuffer out;
+  if (mode == 0) {
+    // OCC write locks on record headers, NO_WAIT.
+    std::vector<HashTable::Row> locked;
+    WriteBuffer words;
+    bool ok = true;
+    for (uint16_t i = 0; i < count && ok; ++i) {
+      int32_t t = in.Read<int32_t>();
+      int32_t p = in.Read<int32_t>();
+      uint64_t key = in.Read<uint64_t>();
+      HashTable* ht = node.db->table(t, p);
+      HashTable::Row row = ht != nullptr ? ht->GetRow(key) : HashTable::Row{};
+      if (!row.valid() || !row.rec->TryLock()) {
+        ok = false;
+        break;
+      }
+      locked.push_back(row);
+      words.Write<uint64_t>(Record::TidOf(row.rec->LoadWord()));
+    }
+    if (!ok) {
+      for (auto& row : locked) row.rec->Unlock();
+      out.Write<uint8_t>(0);
+    } else {
+      out.Write<uint8_t>(1);
+      out.WriteRaw(words.data().data(), words.size());
+    }
+  } else {
+    // S2PL shared/exclusive via the owner's lock table; returns the record
+    // word and the current value on success (lock + read in one trip).
+    LockTable* lt = lock_tables_[node.id].get();
+    struct Acq {
+      int32_t t;
+      int32_t p;
+      uint64_t key;
+      bool write;
+    };
+    std::vector<Acq> acquired;
+    WriteBuffer body;
+    bool ok = true;
+    bool write_mode = mode == 2;
+    for (uint16_t i = 0; i < count && ok; ++i) {
+      int32_t t = in.Read<int32_t>();
+      int32_t p = in.Read<int32_t>();
+      uint64_t key = in.Read<uint64_t>();
+      bool got = write_mode ? lt->TryWriteLock(LockNs(t, p), key)
+                            : lt->TryReadLock(LockNs(t, p), key);
+      if (!got) {
+        ok = false;
+        break;
+      }
+      acquired.push_back({t, p, key, write_mode});
+      HashTable* ht = node.db->table(t, p);
+      HashTable::Row row = ht != nullptr ? ht->GetRow(key) : HashTable::Row{};
+      if (!row.valid()) {
+        ok = false;
+        break;
+      }
+      std::string value(row.size, '\0');
+      uint64_t word = 0;
+      if (!row.rec->TryReadStable(value.data(), row.size, row.value, &word) ||
+          Record::IsAbsent(word)) {
+        ok = false;
+        break;
+      }
+      body.Write<uint64_t>(word);
+      body.WriteString(value);
+    }
+    if (!ok) {
+      for (const auto& a : acquired) {
+        if (a.write) {
+          lt->WriteUnlock(LockNs(a.t, a.p), a.key);
+        } else {
+          lt->ReadUnlock(LockNs(a.t, a.p), a.key);
+        }
+      }
+      out.Write<uint8_t>(0);
+    } else {
+      out.Write<uint8_t>(1);
+      out.WriteRaw(body.data().data(), body.size());
+    }
+  }
+  node.endpoint->Respond(m, net::MsgType::kLockResponse, out.Release());
+}
+
+void DistEngine::HandleValidate(Node& node, net::Message&& m) {
+  ReadBuffer in(m.payload);
+  uint16_t count = in.Read<uint16_t>();
+  bool ok = true;
+  for (uint16_t i = 0; i < count; ++i) {
+    int32_t t = in.Read<int32_t>();
+    int32_t p = in.Read<int32_t>();
+    uint64_t key = in.Read<uint64_t>();
+    uint64_t expected = in.Read<uint64_t>();
+    bool self_locked = in.Read<uint8_t>() != 0;
+    if (!ok) continue;
+    HashTable* ht = node.db->table(t, p);
+    HashTable::Row row = ht != nullptr ? ht->GetRow(key) : HashTable::Row{};
+    if (!row.valid()) {
+      ok = false;
+      continue;
+    }
+    uint64_t cur = row.rec->LoadWord();
+    if (Record::TidOf(cur) != Record::TidOf(expected) ||
+        (Record::IsLocked(cur) && !self_locked)) {
+      ok = false;
+    }
+  }
+  WriteBuffer out;
+  out.Write<uint8_t>(ok ? 1 : 0);
+  node.endpoint->Respond(m, net::MsgType::kValidateResponse, out.Release());
+}
+
+void DistEngine::HandleInstall(Node& node, net::Message&& m) {
+  ReadBuffer in(m.payload);
+  uint64_t tid = in.Read<uint64_t>();
+  uint16_t wcount = in.Read<uint16_t>();
+  std::vector<uint64_t> installed_keys;
+  installed_keys.reserve(wcount);
+  for (uint16_t i = 0; i < wcount; ++i) {
+    int32_t t = in.Read<int32_t>();
+    int32_t p = in.Read<int32_t>();
+    uint64_t key = in.Read<uint64_t>();
+    std::string_view value = in.ReadBytes();
+    HashTable* ht = node.db->table(t, p);
+    HashTable::Row row = ht->GetRow(key);
+    if (cc_ == DistCc::kOcc) {
+      // Record lock held since the lock round.
+      row.rec->Store(tid, value.data(), row.size, row.value, false);
+      row.rec->UnlockWithTid(tid);
+    } else {
+      row.rec->LockSpin();
+      row.rec->Store(tid, value.data(), row.size, row.value, false);
+      row.rec->UnlockWithTid(tid);
+      lock_tables_[node.id]->WriteUnlock(LockNs(t, p), key);
+      installed_keys.push_back(static_cast<uint64_t>(LockNs(t, p)) << 32 ^
+                               key);
+    }
+  }
+  uint16_t rcount = in.Read<uint16_t>();
+  LockTable* lt = lock_tables_[node.id].get();
+  for (uint16_t i = 0; i < rcount; ++i) {
+    int32_t t = in.Read<int32_t>();
+    int32_t p = in.Read<int32_t>();
+    uint64_t key = in.Read<uint64_t>();
+    bool write = in.Read<uint8_t>() != 0;
+    if (write) {
+      // Write locks whose key was installed above were already released;
+      // release the rest (declared-write keys the transaction never wrote).
+      bool installed = false;
+      for (uint64_t ik : installed_keys) {
+        if (ik == (static_cast<uint64_t>(LockNs(t, p)) << 32 ^ key)) {
+          installed = true;
+          break;
+        }
+      }
+      if (!installed) lt->WriteUnlock(LockNs(t, p), key);
+    } else {
+      lt->ReadUnlock(LockNs(t, p), key);
+    }
+  }
+  node.endpoint->Respond(m, net::MsgType::kInstallResponse, "");
+}
+
+void DistEngine::HandleUnlock(Node& node, net::Message&& m) {
+  ReadBuffer in(m.payload);
+  uint16_t count = in.Read<uint16_t>();
+  LockTable* lt = lock_tables_[node.id].get();
+  for (uint16_t i = 0; i < count; ++i) {
+    int32_t t = in.Read<int32_t>();
+    int32_t p = in.Read<int32_t>();
+    uint64_t key = in.Read<uint64_t>();
+    bool write = in.Read<uint8_t>() != 0;
+    if (cc_ == DistCc::kOcc) {
+      HashTable* ht = node.db->table(t, p);
+      HashTable::Row row = ht->GetRow(key);
+      if (row.valid()) row.rec->Unlock();
+    } else if (write) {
+      lt->WriteUnlock(LockNs(t, p), key);
+    } else {
+      lt->ReadUnlock(LockNs(t, p), key);
+    }
+  }
+}
+
+void DistEngine::HandlePrepare(Node& node, net::Message&& m) {
+  // Participants vote yes: locks are held and in-memory state is in place.
+  // (A durable implementation would force a prepare record here.)
+  node.endpoint->Respond(m, net::MsgType::kPrepareResponse, "");
+}
+
+void DistEngine::RunOne(Node& node, WorkerState& w, SiloContext& base_ctx) {
+  (void)base_ctx;  // the distributed engines use their own context
+  if (node.primaries.empty()) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    return;
+  }
+  // Home partition: one of this node's primaries handled by this worker.
+  int home = node.primaries[w.rr++ % node.primaries.size()];
+  bool cross =
+      options_.cross_fraction > 0 && w.rng.Flip(options_.cross_fraction);
+  TxnRequest req =
+      cross ? workload_.MakeCrossPartition(w.rng, home, num_partitions_)
+            : workload_.MakeSinglePartition(w.rng, home, num_partitions_);
+
+  DistContext ctx(this, &node, &w, &placement_, lock_tables_[node.id].get(),
+                  cc_, options_.rpc_timeout_ms);
+  uint64_t start = NowNanos();
+  for (int attempt = 0;; ++attempt) {
+    ctx.Begin(&req);
+    TxnStatus status = req.proc(ctx);
+    if (status == TxnStatus::kAbortUser) {
+      ctx.Abort();
+      w.stats.aborted_user.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    CommitResult cr{TxnStatus::kAbortConflict, 0};
+    if (status == TxnStatus::kCommitted) {
+      cr = ctx.Commit(epoch_mgr_.counter());
+    } else {
+      ctx.Abort();
+    }
+    if (cr.status == TxnStatus::kCommitted) {
+      if (!options_.sync_replication) {
+        // Asynchronous replication to every backup copy.
+        for (const auto& e : ctx.writes()) {
+          int owner = placement_.master(e.partition);
+          for (int dst : placement_.storing(e.partition)) {
+            if (dst != owner) w.stream->AppendEntry(dst, cr.tid, e, false);
+          }
+        }
+      }
+      FinishCommit(w, cr.tid, start, cross);
+      return;
+    }
+    w.stats.aborted.fetch_add(1, std::memory_order_relaxed);
+    if (!running_.load(std::memory_order_acquire)) return;
+    // NO_WAIT backoff before retrying the same transaction (long enough
+    // that a blocker holding locks across a round trip usually finishes).
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(std::min(1000, 50 * (attempt + 1))));
+  }
+}
+
+}  // namespace star

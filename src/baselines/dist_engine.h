@@ -1,0 +1,74 @@
+#ifndef STAR_BASELINES_DIST_ENGINE_H_
+#define STAR_BASELINES_DIST_ENGINE_H_
+
+#include <unordered_map>
+
+#include "baselines/cluster_engine.h"
+#include "cc/lock_table.h"
+
+namespace star {
+
+/// Concurrency-control discipline of the distributed engine.
+enum class DistCc : uint8_t {
+  kOcc,   // Dist. OCC: optimistic execution, lock/validate/install rounds
+  kS2pl,  // Dist. S2PL: NO_WAIT strict two-phase locking during execution
+};
+
+/// The partitioning-based baselines of Section 7.1.2.  Each transaction
+/// executes at the node that generated it; reads and writes on partitions
+/// mastered elsewhere turn into RPC round trips against the owner, and with
+/// synchronous replication commits add two-phase-commit rounds — precisely
+/// the costs Figure 11 charges against these systems.
+///
+///  * Dist. OCC: "a transaction reads from the database and maintains a
+///    local write set in the execution phase.  The transaction first
+///    acquires all write locks and next validates all reads.  Finally, it
+///    applies the writes to the database and releases the write locks."
+///  * Dist. S2PL: "a transaction acquires read and write locks during
+///    execution [NO_WAIT on conflict].  The transaction next executes to
+///    compute the value of each write.  Finally, it applies the writes and
+///    releases all acquired locks."
+class DistEngine : public ClusterEngine {
+ public:
+  DistEngine(const BaselineOptions& options, const Workload& workload,
+             DistCc cc);
+
+  DistCc cc() const { return cc_; }
+
+ protected:
+  void RunOne(Node& node, WorkerState& w, SiloContext& ctx) override;
+
+ private:
+  friend class DistContext;
+
+  /// Per-node striped lock table for the S2PL discipline.
+  std::vector<std::unique_ptr<LockTable>> lock_tables_;
+  DistCc cc_;
+
+  void RegisterHandlers(Node& node);
+
+  // io-thread handlers (run on the owner node).
+  void HandleRead(Node& node, net::Message&& m);
+  void HandleLock(Node& node, net::Message&& m);
+  void HandleValidate(Node& node, net::Message&& m);
+  void HandleInstall(Node& node, net::Message&& m);
+  void HandleUnlock(Node& node, net::Message&& m);
+  void HandlePrepare(Node& node, net::Message&& m);
+};
+
+/// Convenience aliases matching the paper's names.
+class DistOccEngine final : public DistEngine {
+ public:
+  DistOccEngine(const BaselineOptions& o, const Workload& w)
+      : DistEngine(o, w, DistCc::kOcc) {}
+};
+
+class DistS2plEngine final : public DistEngine {
+ public:
+  DistS2plEngine(const BaselineOptions& o, const Workload& w)
+      : DistEngine(o, w, DistCc::kS2pl) {}
+};
+
+}  // namespace star
+
+#endif  // STAR_BASELINES_DIST_ENGINE_H_

@@ -1,0 +1,47 @@
+#ifndef STAR_BASELINES_OPTIONS_H_
+#define STAR_BASELINES_OPTIONS_H_
+
+#include <cstdint>
+
+namespace star {
+
+/// Configuration shared by the baseline engines of Section 7.1.2/7.1.3:
+/// PB. OCC (non-partitioned primary/backup), Dist. OCC and Dist. S2PL
+/// (partitioning-based, 2 replicas per partition), and Calvin (deterministic,
+/// one replica group).
+struct BaselineOptions {
+  int num_nodes = 4;
+  int workers_per_node = 2;
+  int io_threads_per_node = 1;
+  /// 0 = one partition per worker thread (the paper's setup).
+  int partitions = 0;
+  /// Copies of each partition (primary + backups), Section 7.1.3.
+  int replicas = 2;
+
+  /// Group-commit epoch for asynchronous replication (Silo-style timer).
+  double epoch_ms = 10.0;
+  /// Synchronous replication: transactions hold write locks across the
+  /// replication round trip, and the distributed engines add two-phase
+  /// commit rounds (Figure 11(c,d)).
+  bool sync_replication = false;
+
+  /// Fraction of generated transactions that are cross-partition.
+  double cross_fraction = 0.1;
+
+  // Fabric parameters (same defaults as STAR's cluster).
+  double link_latency_us = 50.0;
+  double local_latency_us = 0.0;
+  double bandwidth_gbps = 4.8;
+
+  uint64_t seed = 42;
+  uint32_t yield_every_n_txns = 64;
+  double rpc_timeout_ms = 10000.0;
+
+  int num_partitions() const {
+    return partitions > 0 ? partitions : num_nodes * workers_per_node;
+  }
+};
+
+}  // namespace star
+
+#endif  // STAR_BASELINES_OPTIONS_H_

@@ -1,0 +1,127 @@
+#ifndef STAR_CC_EPOCH_H_
+#define STAR_CC_EPOCH_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace star {
+
+/// The global epoch used for group commit.  In STAR the epoch is advanced by
+/// the phase-switch coordinator (a phase switch *is* an epoch boundary,
+/// Section 3); in the baselines a timer thread advances it every
+/// `period_ms`, Silo-style (Section 7.1.3's "asynchronous replication +
+/// epoch-based group commit" configuration).
+class EpochManager {
+ public:
+  explicit EpochManager(double period_ms = 10.0) : period_ms_(period_ms) {}
+  ~EpochManager() { StopTimer(); }
+
+  uint64_t Current() const { return epoch_.load(std::memory_order_acquire); }
+  const std::atomic<uint64_t>& counter() const { return epoch_; }
+
+  /// Manual advance (STAR's coordinator at each phase switch).
+  uint64_t Advance() {
+    return epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+  /// Starts the Silo-style timer thread for baseline engines.
+  void StartTimer() {
+    running_.store(true, std::memory_order_release);
+    timer_ = std::thread([this] {
+      while (running_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(static_cast<int64_t>(period_ms_ * 1000)));
+        Advance();
+      }
+    });
+  }
+
+  void StopTimer() {
+    if (!timer_.joinable()) return;
+    running_.store(false, std::memory_order_release);
+    timer_.join();
+    // One final advance releases transactions committed in the last epoch.
+    Advance();
+  }
+
+  double period_ms() const { return period_ms_; }
+
+ private:
+  double period_ms_;
+  std::atomic<uint64_t> epoch_{1};
+  std::atomic<bool> running_{false};
+  std::thread timer_;
+};
+
+/// Tracks transactions awaiting epoch release (group commit) and records
+/// their end-to-end latency once the epoch they committed in has closed.
+/// Single-writer: each worker owns one tracker; the drain happens on the
+/// worker's own thread when it notices the epoch advanced.
+class GroupCommitTracker {
+ public:
+  /// A transaction committed in `epoch`, having started at `start_ns`.
+  void Add(uint64_t epoch, uint64_t start_ns) {
+    pending_.push_back(Pending{epoch, start_ns});
+  }
+
+  /// Releases every transaction whose epoch is now closed (epoch <
+  /// current_epoch), recording latency against `now_ns`.  Returns the number
+  /// released.
+  size_t Drain(uint64_t current_epoch, uint64_t now_ns, Histogram& latency) {
+    size_t released = 0;
+    size_t w = 0;
+    for (size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i].epoch < current_epoch) {
+        latency.Record(now_ns - pending_[i].start_ns);
+        ++released;
+      } else {
+        pending_[w++] = pending_[i];
+      }
+    }
+    pending_.resize(w);
+    return released;
+  }
+
+  /// Discards pending transactions from `epoch` and later without recording
+  /// latency — they were reverted by failure handling (Section 4.5.2) and
+  /// never released to clients.
+  size_t DropFrom(uint64_t epoch) {
+    size_t dropped = 0;
+    size_t w = 0;
+    for (size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i].epoch >= epoch) {
+        ++dropped;
+      } else {
+        pending_[w++] = pending_[i];
+      }
+    }
+    pending_.resize(w);
+    return dropped;
+  }
+
+  /// Releases everything unconditionally (engine shutdown).
+  size_t DrainAll(uint64_t now_ns, Histogram& latency) {
+    size_t released = pending_.size();
+    for (const auto& p : pending_) latency.Record(now_ns - p.start_ns);
+    pending_.clear();
+    return released;
+  }
+
+  size_t pending() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    uint64_t epoch;
+    uint64_t start_ns;
+  };
+  std::vector<Pending> pending_;
+};
+
+}  // namespace star
+
+#endif  // STAR_CC_EPOCH_H_

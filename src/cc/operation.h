@@ -1,0 +1,133 @@
+#ifndef STAR_CC_OPERATION_H_
+#define STAR_CC_OPERATION_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/serializer.h"
+
+namespace star {
+
+/// A logical update to one field of a record — the unit of *operation
+/// replication* (Section 5).  Instead of shipping the whole record value,
+/// the partitioned phase can ship the operation and let each replica
+/// recompute the field.  The canonical example is TPC-C Payment, which
+/// prepends a short string to the 500-byte C_DATA field: shipping the delta
+/// is an order of magnitude cheaper than shipping the field.
+///
+/// Operations are deterministic functions of (old field value, operand), so
+/// replaying them in commit order — guaranteed in the partitioned phase,
+/// where each partition has a single writer and links are FIFO — reproduces
+/// the primary's state exactly.
+struct Operation {
+  enum class Code : uint8_t {
+    kSet = 0,            // overwrite field bytes with operand
+    kAddI64 = 1,         // 64-bit integer add at offset
+    kAddF64 = 2,         // double add at offset
+    kStringPrepend = 3,  // new = truncate(operand + old, field_len)
+  };
+
+  Code code = Code::kSet;
+  uint32_t offset = 0;     // field offset within the record value
+  uint32_t field_len = 0;  // field capacity (string ops)
+  std::string operand;
+
+  /// Applies the operation to a record value in place.
+  void ApplyTo(char* value) const {
+    char* field = value + offset;
+    switch (code) {
+      case Code::kSet:
+        std::memcpy(field, operand.data(),
+                    std::min<size_t>(operand.size(), field_len));
+        break;
+      case Code::kAddI64: {
+        int64_t cur;
+        std::memcpy(&cur, field, sizeof(cur));
+        int64_t delta;
+        std::memcpy(&delta, operand.data(), sizeof(delta));
+        cur += delta;
+        std::memcpy(field, &cur, sizeof(cur));
+        break;
+      }
+      case Code::kAddF64: {
+        double cur;
+        std::memcpy(&cur, field, sizeof(cur));
+        double delta;
+        std::memcpy(&delta, operand.data(), sizeof(delta));
+        cur += delta;
+        std::memcpy(field, &cur, sizeof(cur));
+        break;
+      }
+      case Code::kStringPrepend: {
+        size_t keep = operand.size() >= field_len
+                          ? 0
+                          : static_cast<size_t>(field_len) - operand.size();
+        std::memmove(field + std::min<size_t>(operand.size(), field_len),
+                     field, keep);
+        std::memcpy(field, operand.data(),
+                    std::min<size_t>(operand.size(), field_len));
+        break;
+      }
+    }
+  }
+
+  void Serialize(WriteBuffer& out) const {
+    out.Write<uint8_t>(static_cast<uint8_t>(code));
+    out.Write<uint32_t>(offset);
+    out.Write<uint32_t>(field_len);
+    out.WriteString(operand);
+  }
+
+  static Operation Deserialize(ReadBuffer& in) {
+    Operation op;
+    op.code = static_cast<Code>(in.Read<uint8_t>());
+    op.offset = in.Read<uint32_t>();
+    op.field_len = in.Read<uint32_t>();
+    op.operand = std::string(in.ReadBytes());
+    return op;
+  }
+
+  /// Wire size (used to report replication savings, Figure 15(a)).
+  size_t SerializedSize() const { return 1 + 4 + 4 + 4 + operand.size(); }
+
+  // --- convenience constructors ---
+  static Operation Set(uint32_t offset, std::string bytes) {
+    Operation op;
+    op.code = Code::kSet;
+    op.offset = offset;
+    op.field_len = static_cast<uint32_t>(bytes.size());
+    op.operand = std::move(bytes);
+    return op;
+  }
+  static Operation AddI64(uint32_t offset, int64_t delta) {
+    Operation op;
+    op.code = Code::kAddI64;
+    op.offset = offset;
+    op.field_len = 8;
+    op.operand.assign(reinterpret_cast<const char*>(&delta), sizeof(delta));
+    return op;
+  }
+  static Operation AddF64(uint32_t offset, double delta) {
+    Operation op;
+    op.code = Code::kAddF64;
+    op.offset = offset;
+    op.field_len = 8;
+    op.operand.assign(reinterpret_cast<const char*>(&delta), sizeof(delta));
+    return op;
+  }
+  static Operation StringPrepend(uint32_t offset, uint32_t field_len,
+                                 std::string prefix) {
+    Operation op;
+    op.code = Code::kStringPrepend;
+    op.offset = offset;
+    op.field_len = field_len;
+    op.operand = std::move(prefix);
+    return op;
+  }
+};
+
+}  // namespace star
+
+#endif  // STAR_CC_OPERATION_H_

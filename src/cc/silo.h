@@ -1,0 +1,299 @@
+#ifndef STAR_CC_SILO_H_
+#define STAR_CC_SILO_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cc/txn.h"
+#include "common/tid.h"
+#include "storage/database.h"
+
+namespace star {
+
+/// An entry in the optimistic read set: the row and the meta word observed
+/// by the stable read, compared again at validation.
+struct ReadSetEntry {
+  HashTable::Row row;
+  uint64_t observed_word = 0;
+};
+
+/// A buffered write: the full new value plus, when the modification was
+/// expressed through field operations, the operation list for operation
+/// replication (Section 5).
+struct WriteSetEntry {
+  int32_t table = 0;
+  int32_t partition = 0;
+  uint64_t key = 0;
+  HashTable::Row row;  // resolved at execution (updates) or commit (inserts)
+  std::string value;
+  std::vector<Operation> ops;
+  bool is_insert = false;
+  /// True while every modification came in via ApplyOperation — only then
+  /// may the engine replicate operations instead of the value.
+  bool ops_only = false;
+  bool locked = false;       // commit bookkeeping
+  bool created_here = false; // insert materialised a new node
+};
+
+/// Local-memory transaction context shared by every executor that runs
+/// transactions against this node's own storage: STAR's two phases, the
+/// PB. OCC primary, and the local legs of the distributed baselines.
+class SiloContext : public TxnContext {
+ public:
+  SiloContext(Database* db, Rng* rng, int worker_id)
+      : db_(db), rng_(rng), worker_id_(worker_id) {}
+
+  // --- TxnContext ---
+
+  bool Read(int table, int partition, uint64_t key, void* out) override {
+    if (WriteSetEntry* w = FindWrite(table, partition, key)) {
+      std::memcpy(out, w->value.data(), w->value.size());
+      return true;
+    }
+    HashTable* ht = db_->table(table, partition);
+    if (ht == nullptr) return false;  // partition not stored here: mis-route
+    HashTable::Row row = ht->GetRow(key);
+    if (!row.valid()) return false;
+    uint64_t w = row.ReadStable(out);
+    if (Record::IsAbsent(w)) return false;
+    read_set_.push_back(ReadSetEntry{row, w});
+    max_observed_ = std::max(max_observed_, Record::TidOf(w));
+    return true;
+  }
+
+  void Write(int table, int partition, uint64_t key,
+             const void* value) override {
+    HashTable* ht = db_->table(table, partition);
+    uint32_t size = ht->value_size();
+    if (WriteSetEntry* w = FindWrite(table, partition, key)) {
+      w->value.assign(static_cast<const char*>(value), size);
+      w->ops_only = false;
+      return;
+    }
+    WriteSetEntry e;
+    e.table = table;
+    e.partition = partition;
+    e.key = key;
+    e.row = ht->GetRow(key);
+    e.value.assign(static_cast<const char*>(value), size);
+    e.ops_only = false;
+    write_set_.push_back(std::move(e));
+  }
+
+  void ApplyOperation(int table, int partition, uint64_t key,
+                      const Operation& op) override {
+    if (WriteSetEntry* w = FindWrite(table, partition, key)) {
+      op.ApplyTo(w->value.data());
+      w->ops.push_back(op);
+      return;
+    }
+    HashTable* ht = db_->table(table, partition);
+    WriteSetEntry e;
+    e.table = table;
+    e.partition = partition;
+    e.key = key;
+    e.row = ht->GetRow(key);
+    e.value.resize(ht->value_size());
+    // Seed the new value from the current record.  If this read races with
+    // a concurrent writer, OCC validation of the earlier Read (our workloads
+    // always read before ApplyOperation) aborts the transaction.
+    if (e.row.valid()) {
+      e.row.ReadStable(e.value.data());
+    }
+    op.ApplyTo(e.value.data());
+    e.ops.push_back(op);
+    e.ops_only = true;
+    write_set_.push_back(std::move(e));
+  }
+
+  void Insert(int table, int partition, uint64_t key,
+              const void* value) override {
+    HashTable* ht = db_->table(table, partition);
+    WriteSetEntry e;
+    e.table = table;
+    e.partition = partition;
+    e.key = key;
+    e.value.assign(static_cast<const char*>(value), ht->value_size());
+    e.is_insert = true;
+    e.ops_only = false;
+    write_set_.push_back(std::move(e));
+  }
+
+  Rng& rng() override { return *rng_; }
+  int worker_id() const override { return worker_id_; }
+
+  // --- engine-side accessors ---
+
+  std::vector<ReadSetEntry>& read_set() { return read_set_; }
+  std::vector<WriteSetEntry>& write_set() { return write_set_; }
+  uint64_t max_observed_tid() const { return max_observed_; }
+  Database* db() const { return db_; }
+
+  void Reset() {
+    read_set_.clear();
+    write_set_.clear();
+    max_observed_ = 0;
+  }
+
+ private:
+  WriteSetEntry* FindWrite(int table, int partition, uint64_t key) {
+    for (auto& w : write_set_) {
+      if (w.key == key && w.table == table && w.partition == partition) {
+        return &w;
+      }
+    }
+    return nullptr;
+  }
+
+  Database* db_;
+  Rng* rng_;
+  int worker_id_;
+  std::vector<ReadSetEntry> read_set_;
+  std::vector<WriteSetEntry> write_set_;
+  uint64_t max_observed_ = 0;
+};
+
+struct CommitResult {
+  TxnStatus status = TxnStatus::kCommitted;
+  uint64_t tid = 0;
+};
+
+/// Hook invoked after validation and TID generation but before values are
+/// installed and locks released.  Used by synchronous replication (Figure 9
+/// / Figure 15(a)'s SYNC STAR): the transaction holds its write locks for a
+/// replication round trip.  Returning false aborts the transaction.
+using PreInstallHook =
+    std::function<bool(uint64_t tid, std::vector<WriteSetEntry>&)>;
+
+/// The OCC commit protocol of Section 4.2 (Silo variant), used wherever
+/// multiple threads share partitions: STAR's single-master phase and the
+/// PB. OCC primary.
+///
+///  1. materialise inserts,
+///  2. lock the write set in a global order (record addresses),
+///  3. read the global epoch,
+///  4. validate the read set (TID unchanged, not locked by others),
+///  5. generate the commit TID (criteria a/b/c of Section 3),
+///  6. install values and release locks by publishing the new TID.
+inline CommitResult SiloOccCommit(SiloContext& ctx, TidGenerator& gen,
+                                  const std::atomic<uint64_t>& global_epoch,
+                                  const PreInstallHook& pre_install = nullptr) {
+  auto& writes = ctx.write_set();
+  Database* db = ctx.db();
+
+  // (1) Materialise inserts so they have lockable records.
+  for (auto& w : writes) {
+    if (w.is_insert) {
+      HashTable* ht = db->table(w.table, w.partition);
+      bool inserted = false;
+      w.row = ht->GetOrInsertRow(w.key, &inserted);
+      w.created_here = inserted;
+    }
+  }
+
+  // (2) Address-ordered locking: deadlock-free.
+  std::sort(writes.begin(), writes.end(),
+            [](const WriteSetEntry& a, const WriteSetEntry& b) {
+              return a.row.rec < b.row.rec;
+            });
+  uint64_t max_tid = ctx.max_observed_tid();
+  auto abort_unlock = [&]() {
+    for (auto& w : writes) {
+      if (!w.locked) continue;
+      // Plain unlock: a record materialised by this transaction's insert is
+      // still absent (nothing was stored), and a record another transaction
+      // committed in the meantime must not be touched.  (Marking absent here
+      // would erase a concurrent committed insert that reused the node.)
+      w.row.rec->Unlock();
+    }
+  };
+  for (auto& w : writes) {
+    if (w.is_insert) {
+      w.row.rec->LockSpin();
+      w.locked = true;
+      if (!w.created_here && w.row.rec->IsPresent()) {
+        // Unique-key violation: someone else committed this key first.
+        abort_unlock();
+        return {TxnStatus::kAbortConflict, 0};
+      }
+    } else {
+      w.row.rec->LockSpin();
+      w.locked = true;
+    }
+    max_tid = std::max(max_tid, Record::TidOf(w.row.rec->LoadWord()));
+  }
+
+  // (3) Epoch after locks, as in Silo, so the TID epoch can't run ahead of
+  // a concurrent epoch bump observed by the fence.
+  uint64_t epoch = global_epoch.load(std::memory_order_acquire);
+
+  // (4) Read validation.
+  for (auto& r : ctx.read_set()) {
+    uint64_t w = r.row.rec->LoadWord();
+    bool in_write_set = false;
+    for (auto& ws : writes) {
+      if (ws.row.rec == r.row.rec) {
+        in_write_set = true;
+        break;
+      }
+    }
+    if (Record::TidOf(w) != Record::TidOf(r.observed_word) ||
+        (Record::IsLocked(w) && !in_write_set)) {
+      abort_unlock();
+      return {TxnStatus::kAbortConflict, 0};
+    }
+  }
+
+  // (5) + (6) Generate the TID, install, unlock.
+  uint64_t tid = gen.Generate(max_tid, epoch);
+  if (pre_install && !pre_install(tid, writes)) {
+    abort_unlock();
+    return {TxnStatus::kAbortNetwork, 0};
+  }
+  for (auto& w : writes) {
+    w.row.rec->Store(tid, w.value.data(), w.value.size(), w.row.value,
+                     db->two_version());
+    w.row.rec->UnlockWithTid(tid);
+  }
+  return {TxnStatus::kCommitted, tid};
+}
+
+/// The partitioned-phase commit of Section 4.1: the partition has exactly
+/// one worker thread, so neither write locks nor read validation are needed.
+/// We still toggle the record lock around the value copy so concurrent
+/// optimistic readers (checkpointer, remote read handlers) cannot observe a
+/// torn value.
+inline CommitResult SiloSerialCommit(SiloContext& ctx, TidGenerator& gen,
+                                     const std::atomic<uint64_t>& global_epoch) {
+  auto& writes = ctx.write_set();
+  Database* db = ctx.db();
+  uint64_t epoch = global_epoch.load(std::memory_order_acquire);
+  uint64_t max_tid = ctx.max_observed_tid();
+  for (auto& w : writes) {
+    if (w.is_insert) {
+      HashTable* ht = db->table(w.table, w.partition);
+      bool inserted = false;
+      w.row = ht->GetOrInsertRow(w.key, &inserted);
+      w.created_here = inserted;
+      if (!inserted && w.row.rec->IsPresent()) {
+        return {TxnStatus::kAbortConflict, 0};  // duplicate key
+      }
+    }
+    max_tid = std::max(max_tid, Record::TidOf(w.row.rec->LoadWord()));
+  }
+  uint64_t tid = gen.Generate(max_tid, epoch);
+  for (auto& w : writes) {
+    w.row.rec->LockSpin();  // uncontended: single writer per partition
+    w.row.rec->Store(tid, w.value.data(), w.value.size(), w.row.value,
+                     db->two_version());
+    w.row.rec->UnlockWithTid(tid);
+  }
+  return {TxnStatus::kCommitted, tid};
+}
+
+}  // namespace star
+
+#endif  // STAR_CC_SILO_H_

@@ -1,0 +1,86 @@
+#ifndef STAR_CC_TXN_H_
+#define STAR_CC_TXN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cc/operation.h"
+#include "common/rng.h"
+#include "storage/hash_table.h"
+
+namespace star {
+
+/// Outcome of one transaction attempt.
+enum class TxnStatus : uint8_t {
+  kCommitted = 0,
+  kAbortConflict = 1,  // concurrency-control abort (validation/lock failure)
+  kAbortUser = 2,      // application abort (e.g. TPC-C invalid item id)
+  kAbortNetwork = 3,   // remote operation failed (node down / timeout)
+};
+
+/// The interface stored procedures are written against.  Implemented by
+/// every engine (STAR's two phase executors, PB. OCC, Dist. OCC, Dist. S2PL,
+/// Calvin), so a single workload definition drives all comparisons — the
+/// paper's "implemented in C++ in our framework" methodology (Section 7.1.2).
+class TxnContext {
+ public:
+  virtual ~TxnContext() = default;
+
+  /// Reads the record into `out` (exactly the table's value size).  Returns
+  /// false if the transaction must abort: concurrency conflict, missing
+  /// record, or failed remote read.  Reads observe the transaction's own
+  /// earlier writes.
+  virtual bool Read(int table, int partition, uint64_t key, void* out) = 0;
+
+  /// Buffers a full-record write, installed at commit.
+  virtual void Write(int table, int partition, uint64_t key,
+                     const void* value) = 0;
+
+  /// Buffers a field-level operation (Section 5).  The caller must have read
+  /// the record in this transaction; the operation is applied to the local
+  /// copy immediately and shipped as an operation when the engine's
+  /// replication mode allows, or folded into a value write otherwise.
+  virtual void ApplyOperation(int table, int partition, uint64_t key,
+                              const Operation& op) = 0;
+
+  /// Buffers an insert of a new record.
+  virtual void Insert(int table, int partition, uint64_t key,
+                      const void* value) = 0;
+
+  /// Per-worker RNG (kept on the context so procedures are deterministic
+  /// given a seed).
+  virtual Rng& rng() = 0;
+
+  /// Worker-global id of the executing thread (for diagnostics).
+  virtual int worker_id() const { return 0; }
+};
+
+/// One element of a transaction's a-priori read/write set.  Used by
+/// deterministic execution (Calvin, Section 7.3), whose lock manager must
+/// know every lockable record before the transaction runs, and by the
+/// distributed baselines for routing.  Records created by inserts are not
+/// listed: their keys are derived from locked counters and cannot conflict.
+struct AccessDesc {
+  int32_t table = 0;
+  int32_t partition = 0;
+  uint64_t key = 0;
+  bool write = false;
+};
+
+/// A stored-procedure invocation: body plus routing metadata.  `proc`
+/// returns kCommitted or kAbortUser; concurrency aborts are produced by the
+/// engine when a context call fails.
+struct TxnRequest {
+  std::function<TxnStatus(TxnContext&)> proc;
+  bool cross_partition = false;
+  int home_partition = 0;
+  /// Declared accesses (see AccessDesc).  Filled by every workload since
+  /// keys are chosen at generation time.
+  std::vector<AccessDesc> accesses;
+};
+
+}  // namespace star
+
+#endif  // STAR_CC_TXN_H_

@@ -1,0 +1,59 @@
+#ifndef STAR_CC_WORKLOAD_H_
+#define STAR_CC_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "cc/txn.h"
+#include "common/rng.h"
+#include "storage/database.h"
+
+namespace star {
+
+/// A benchmark workload: schema, initial population, and transaction
+/// generation.  One implementation drives every engine (Section 7.1.2's
+/// same-framework methodology).
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Table schemas, in table-id order.
+  virtual std::vector<TableSchema> Schemas() const = 0;
+
+  /// True for catalogue tables that are never written and loaded with
+  /// identical content in every partition (TPC-C's item table).  Engines may
+  /// serve such reads from any local partition.
+  virtual bool IsReadOnlyTable(int table) const {
+    (void)table;
+    return false;
+  }
+
+  /// Fills one partition's tables with initial records.  Called once per
+  /// partition per replica; must be deterministic in `partition` so that
+  /// all replicas of a partition start identical.
+  virtual void PopulatePartition(Database& db, int partition) const = 0;
+
+  /// A transaction confined to `partition`.
+  virtual TxnRequest MakeSinglePartition(Rng& rng, int partition,
+                                         int num_partitions) const = 0;
+
+  /// A transaction that may touch any partition (home + remote ones).
+  virtual TxnRequest MakeCrossPartition(Rng& rng, int home_partition,
+                                        int num_partitions) const = 0;
+
+  /// Generates the configured mix: cross-partition with probability
+  /// `cross_fraction`.
+  TxnRequest Make(Rng& rng, int home_partition, int num_partitions,
+                  double cross_fraction) const {
+    if (cross_fraction > 0 && rng.Flip(cross_fraction)) {
+      return MakeCrossPartition(rng, home_partition, num_partitions);
+    }
+    return MakeSinglePartition(rng, home_partition, num_partitions);
+  }
+};
+
+}  // namespace star
+
+#endif  // STAR_CC_WORKLOAD_H_

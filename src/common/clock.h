@@ -1,0 +1,29 @@
+#ifndef STAR_COMMON_CLOCK_H_
+#define STAR_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace star {
+
+/// Nanoseconds from a monotonic clock.  All engine timing (phase lengths,
+/// message delivery deadlines, latency measurements) uses this single source
+/// so values are directly comparable.
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline double NanosToMillis(uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+inline uint64_t MillisToNanos(double ms) {
+  return static_cast<uint64_t>(ms * 1e6);
+}
+inline uint64_t MicrosToNanos(double us) {
+  return static_cast<uint64_t>(us * 1e3);
+}
+
+}  // namespace star
+
+#endif  // STAR_COMMON_CLOCK_H_

@@ -1,0 +1,182 @@
+#ifndef STAR_COMMON_CONFIG_H_
+#define STAR_COMMON_CONFIG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace star {
+
+/// Replication strategies from Section 5 / Figure 9 of the paper.
+enum class ReplicationMode : uint8_t {
+  kValue,      // full-record value replication everywhere
+  kHybrid,     // value in the single-master phase, operation in partitioned
+  kSyncValue,  // synchronous value replication (locks held across the wire)
+};
+
+/// Cluster-wide configuration shared by STAR and the baseline engines.
+/// The simulated fabric (src/net) stands in for the paper's EC2 cluster;
+/// latency/bandwidth defaults approximate the m5.4xlarge testbed (Section
+/// 7.1): ~100 microsecond round trips and a 4.8 Gbit/s per-node network.
+struct ClusterConfig {
+  int full_replicas = 1;     // f: nodes holding a complete copy (Figure 2)
+  int partial_replicas = 3;  // k: nodes holding a partition subset
+  int workers_per_node = 2;
+  int io_threads_per_node = 1;
+
+  /// Number of partitions; 0 means "one per worker thread", the paper's
+  /// configuration (Section 7.1: partitions == total worker threads).
+  int partitions = 0;
+
+  // --- simulated network fabric ---
+  double link_latency_us = 50.0;  // one-way latency between distinct nodes
+  double local_latency_us = 0.0;  // loopback latency
+  double bandwidth_gbps = 4.8;    // per-node egress cap; <= 0 disables
+  uint64_t seed = 42;
+
+  int nodes() const { return full_replicas + partial_replicas; }
+  int total_workers() const { return nodes() * workers_per_node; }
+  int num_partitions() const {
+    return partitions > 0 ? partitions : total_workers();
+  }
+};
+
+/// Which nodes store and master each partition.
+///
+/// STAR layout (Figure 2): nodes [0, f) are full replicas and store every
+/// partition; nodes [f, f+k) are partial replicas that collectively store at
+/// least one complete copy.  Every partition is mastered by exactly one node
+/// during the partitioned phase, and every node masters some portion.
+/// Committed writes reach f+1 copies.
+///
+/// Baseline layout (Section 7.1.3): every partition has 2 replicas, primary
+/// and secondary hashed to different nodes.
+class Placement {
+ public:
+  /// Builds the asymmetric STAR placement.
+  static Placement Star(int full_replicas, int partial_replicas,
+                        int num_partitions) {
+    Placement p;
+    int n = full_replicas + partial_replicas;
+    p.num_nodes_ = n;
+    p.master_.resize(num_partitions);
+    p.storing_.resize(num_partitions);
+    p.mastered_by_.resize(n);
+    for (int part = 0; part < num_partitions; ++part) {
+      int master = part % n;
+      p.master_[part] = master;
+      p.mastered_by_[master].push_back(part);
+      for (int fnode = 0; fnode < full_replicas; ++fnode) {
+        p.storing_[part].push_back(fnode);
+      }
+      // The one partial replica holding this partition: the master itself if
+      // the master is a partial node, otherwise assigned round-robin so the
+      // partial nodes collectively store a complete copy.
+      int partial_holder = master >= full_replicas
+                               ? master
+                               : full_replicas + (part % partial_replicas);
+      if (partial_replicas > 0) {
+        p.storing_[part].push_back(partial_holder);
+      }
+      p.Dedup(part);
+    }
+    return p;
+  }
+
+  /// Builds the symmetric primary/secondary placement used by Dist. OCC and
+  /// Dist. S2PL: primary = p mod n, secondary = (p+1) mod n.
+  static Placement PrimaryBackup(int num_nodes, int num_partitions,
+                                 int replicas = 2) {
+    Placement p;
+    p.num_nodes_ = num_nodes;
+    p.master_.resize(num_partitions);
+    p.storing_.resize(num_partitions);
+    p.mastered_by_.resize(num_nodes);
+    for (int part = 0; part < num_partitions; ++part) {
+      int master = part % num_nodes;
+      p.master_[part] = master;
+      p.mastered_by_[master].push_back(part);
+      for (int r = 0; r < replicas && r < num_nodes; ++r) {
+        p.storing_[part].push_back((master + r) % num_nodes);
+      }
+    }
+    return p;
+  }
+
+  /// Non-partitioned layout (PB. OCC, Section 7.1.2): node 0 masters every
+  /// partition; nodes 1..replicas-1 hold backups.
+  static Placement AllOnPrimary(int num_nodes, int num_partitions,
+                                int replicas = 2) {
+    Placement p;
+    p.num_nodes_ = num_nodes;
+    p.master_.assign(num_partitions, 0);
+    p.storing_.resize(num_partitions);
+    p.mastered_by_.resize(num_nodes);
+    for (int part = 0; part < num_partitions; ++part) {
+      p.mastered_by_[0].push_back(part);
+      for (int r = 0; r < replicas && r < num_nodes; ++r) {
+        p.storing_[part].push_back(r);
+      }
+    }
+    return p;
+  }
+
+  int master(int partition) const { return master_[partition]; }
+  const std::vector<int>& storing(int partition) const {
+    return storing_[partition];
+  }
+  const std::vector<int>& mastered_by(int node) const {
+    return mastered_by_[node];
+  }
+
+  bool IsStored(int node, int partition) const {
+    for (int s : storing_[partition]) {
+      if (s == node) return true;
+    }
+    return false;
+  }
+
+  /// Partitions present on `node` (stored, whether as primary or secondary).
+  std::vector<int> StoredPartitions(int node) const {
+    std::vector<int> out;
+    for (size_t part = 0; part < storing_.size(); ++part) {
+      if (IsStored(node, static_cast<int>(part))) {
+        out.push_back(static_cast<int>(part));
+      }
+    }
+    return out;
+  }
+
+  /// Replication targets for a write on `partition` originating at `from`:
+  /// every node storing the partition except the writer.
+  std::vector<int> ReplicaTargets(int from, int partition) const {
+    std::vector<int> out;
+    for (int s : storing_[partition]) {
+      if (s != from) out.push_back(s);
+    }
+    return out;
+  }
+
+  int num_partitions() const { return static_cast<int>(master_.size()); }
+  int num_nodes() const { return num_nodes_; }
+
+ private:
+  void Dedup(int part) {
+    auto& v = storing_[part];
+    std::vector<int> out;
+    for (int s : v) {
+      bool seen = false;
+      for (int o : out) seen |= (o == s);
+      if (!seen) out.push_back(s);
+    }
+    v = std::move(out);
+  }
+
+  int num_nodes_ = 0;
+  std::vector<int> master_;
+  std::vector<std::vector<int>> storing_;
+  std::vector<std::vector<int>> mastered_by_;
+};
+
+}  // namespace star
+
+#endif  // STAR_COMMON_CONFIG_H_

@@ -1,0 +1,95 @@
+#ifndef STAR_COMMON_HISTOGRAM_H_
+#define STAR_COMMON_HISTOGRAM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace star {
+
+/// Log-scale latency histogram (nanosecond samples), in the style of the
+/// HdrHistogram used by transaction-processing benchmarks.  Buckets grow
+/// geometrically: 128 linear buckets per power-of-two decade, giving < 1%
+/// relative error, which is plenty for the p50/p99 columns of Figure 12.
+///
+/// Recording is single-writer (each worker owns one); Merge combines worker
+/// histograms at the end of a measurement window.
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 128;  // per power of two
+  static constexpr int kDecades = 36;      // covers up to ~2^36 ns (~68 s)
+
+  Histogram() : buckets_(kSubBuckets * kDecades, 0) {}
+
+  void Record(uint64_t value_ns) {
+    ++count_;
+    sum_ += value_ns;
+    max_ = std::max(max_, value_ns);
+    buckets_[Index(value_ns)]++;
+  }
+
+  void Merge(const Histogram& other) {
+    count_ += other.count_;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+  }
+
+  /// Value (ns) at quantile q in [0, 1].  Returns 0 for an empty histogram.
+  uint64_t Quantile(double q) const {
+    if (count_ == 0) return 0;
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_));
+    if (rank >= count_) rank = count_ - 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      seen += buckets_[i];
+      if (seen > rank) return UpperBound(i);
+    }
+    return max_;
+  }
+
+  uint64_t p50() const { return Quantile(0.50); }
+  uint64_t p99() const { return Quantile(0.99); }
+  uint64_t max() const { return max_; }
+  uint64_t count() const { return count_; }
+  double MeanNs() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+  }
+
+  void Reset() {
+    count_ = 0;
+    sum_ = 0;
+    max_ = 0;
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+  }
+
+ private:
+  static size_t Index(uint64_t v) {
+    if (v < kSubBuckets) return static_cast<size_t>(v);
+    int msb = 63 - __builtin_clzll(v);
+    int decade = msb - 6;  // values < 128 handled above (2^7)
+    if (decade >= kDecades) decade = kDecades - 1;
+    uint64_t sub = (v >> (decade - 1)) & (kSubBuckets - 1);
+    return static_cast<size_t>(decade) * kSubBuckets + sub;
+  }
+
+  static uint64_t UpperBound(size_t index) {
+    size_t decade = index / kSubBuckets;
+    uint64_t sub = index % kSubBuckets;
+    if (decade == 0) return sub;
+    return (static_cast<uint64_t>(kSubBuckets) + sub + 1)
+           << (decade - 1);
+  }
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace star
+
+#endif  // STAR_COMMON_HISTOGRAM_H_

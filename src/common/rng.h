@@ -1,0 +1,129 @@
+#ifndef STAR_COMMON_RNG_H_
+#define STAR_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace star {
+
+/// xoshiro256** — a small, fast, statistically strong PRNG.  Each worker
+/// thread owns one instance, seeded from its (node, worker) coordinates so
+/// experiments are reproducible run to run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed, as recommended by the xoshiro
+    // authors, so that nearby seeds produce unrelated streams.
+    uint64_t z = seed;
+    for (int i = 0; i < 4; ++i) {
+      z += 0x9E3779B97F4A7C15ull;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+      s_[i] = x ^ (x >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound).  bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive (TPC-C's rand(x, y)).
+  uint64_t UniformInclusive(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Bernoulli trial: true with probability p.
+  bool Flip(double p) { return NextDouble() < p; }
+
+  /// TPC-C non-uniform random distribution NURand(A, x, y).
+  uint64_t NonUniform(uint64_t a, uint64_t x, uint64_t y, uint64_t c = 42) {
+    return (((UniformInclusive(0, a) | UniformInclusive(x, y)) + c) %
+            (y - x + 1)) +
+           x;
+  }
+
+  /// Fills `out` with `len` random alphanumeric bytes.
+  void FillString(char* out, size_t len) {
+    static const char kAlphabet[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    for (size_t i = 0; i < len; ++i) {
+      out[i] = kAlphabet[Uniform(sizeof(kAlphabet) - 1)];
+    }
+  }
+
+  std::string RandomString(size_t len) {
+    std::string s(len, '\0');
+    FillString(s.data(), len);
+    return s;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+/// Zipfian sampler over [0, n) using the classic YCSB construction
+/// (Gray et al. "Quickly generating billion-record synthetic databases").
+/// The paper's default YCSB configuration is uniform; this is provided for
+/// skew experiments beyond the paper's defaults.
+class Zipf {
+ public:
+  Zipf(uint64_t n, double theta) : n_(n), theta_(theta) {
+    zetan_ = Zeta(n_, theta_);
+    zeta2_ = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Sample(Rng& rng) const {
+    double u = rng.NextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    uint64_t v = static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return v >= n_ ? n_ - 1 : v;
+  }
+
+  uint64_t n() const { return n_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+}  // namespace star
+
+#endif  // STAR_COMMON_RNG_H_

@@ -1,0 +1,119 @@
+#ifndef STAR_COMMON_SERIALIZER_H_
+#define STAR_COMMON_SERIALIZER_H_
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace star {
+
+/// Append-only byte buffer used to build network messages and WAL entries.
+/// Integers are encoded little-endian fixed-width; blobs are length-prefixed
+/// when written via WriteBytes, or raw via WriteRaw when the length is known
+/// from the schema.
+class WriteBuffer {
+ public:
+  WriteBuffer() = default;
+  explicit WriteBuffer(size_t reserve) { data_.reserve(reserve); }
+
+  template <typename T>
+  void Write(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    size_t off = data_.size();
+    data_.resize(off + sizeof(T));
+    std::memcpy(data_.data() + off, &v, sizeof(T));
+  }
+
+  void WriteRaw(const void* p, size_t n) {
+    size_t off = data_.size();
+    data_.resize(off + n);
+    std::memcpy(data_.data() + off, p, n);
+  }
+
+  void WriteBytes(const void* p, size_t n) {
+    Write<uint32_t>(static_cast<uint32_t>(n));
+    WriteRaw(p, n);
+  }
+
+  void WriteString(std::string_view s) { WriteBytes(s.data(), s.size()); }
+
+  /// Overwrites sizeof(T) bytes at `offset` — used to patch headers (e.g.
+  /// entry counts) after the body has been appended.
+  template <typename T>
+  void Patch(size_t offset, T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    assert(offset + sizeof(T) <= data_.size());
+    std::memcpy(data_.data() + offset, &v, sizeof(T));
+  }
+
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  const std::string& data() const { return data_; }
+  std::string Release() { return std::move(data_); }
+  void Clear() { data_.clear(); }
+
+ private:
+  std::string data_;
+};
+
+/// Cursor over a byte span produced by WriteBuffer.  Reads must mirror the
+/// write sequence exactly; violations trip the assertions in debug builds.
+class ReadBuffer {
+ public:
+  ReadBuffer(const void* data, size_t size)
+      : data_(static_cast<const char*>(data)), size_(size) {}
+  explicit ReadBuffer(std::string_view s) : ReadBuffer(s.data(), s.size()) {}
+
+  template <typename T>
+  T Read() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    assert(pos_ + sizeof(T) <= size_);
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  void ReadRaw(void* out, size_t n) {
+    assert(pos_ + n <= size_);
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  /// Returns a view over the next length-prefixed blob without copying.
+  std::string_view ReadBytes() {
+    uint32_t n = Read<uint32_t>();
+    assert(pos_ + n <= size_);
+    std::string_view v(data_ + pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  /// Returns a view over the next `n` raw bytes without copying.
+  std::string_view View(size_t n) {
+    assert(pos_ + n <= size_);
+    std::string_view v(data_ + pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  void Skip(size_t n) {
+    assert(pos_ + n <= size_);
+    pos_ += n;
+  }
+
+  bool Done() const { return pos_ >= size_; }
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace star
+
+#endif  // STAR_COMMON_SERIALIZER_H_

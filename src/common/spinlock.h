@@ -1,0 +1,94 @@
+#ifndef STAR_COMMON_SPINLOCK_H_
+#define STAR_COMMON_SPINLOCK_H_
+
+#include <atomic>
+#include <thread>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace star {
+
+/// Relaxes the CPU inside a spin loop (PAUSE on x86, yield elsewhere).
+inline void CpuRelax() {
+#if defined(__x86_64__)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// A test-and-test-and-set spinlock.  Used for hash-table buckets and other
+/// short critical sections where a futex-based mutex would dominate the cost
+/// of the protected work.  Satisfies the Lockable named requirement so it can
+/// be used with std::lock_guard.
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    int spins = 0;
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      while (flag_.load(std::memory_order_relaxed)) {
+        CpuRelax();
+        // On oversubscribed hosts (fewer cores than worker threads) the lock
+        // holder may be descheduled; yield after a bounded spin so we do not
+        // burn a whole quantum.
+        if (++spins > 256) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+  bool try_lock() {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// A sense-reversing barrier for synchronizing a fixed set of threads at
+/// engine start/stop.  Unlike std::barrier it can be waited on repeatedly by
+/// exactly `count` participants with no allocation.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int count) : count_(count), remaining_(count) {}
+
+  void Wait() {
+    bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(count_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      int spins = 0;
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        CpuRelax();
+        if (++spins > 128) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+ private:
+  const int count_;
+  std::atomic<int> remaining_;
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace star
+
+#endif  // STAR_COMMON_SPINLOCK_H_

@@ -1,0 +1,58 @@
+#ifndef STAR_COMMON_STATS_H_
+#define STAR_COMMON_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/histogram.h"
+
+namespace star {
+
+/// Per-worker counters, cache-line padded so neighbouring workers do not
+/// false-share.  Workers increment their own slot without synchronization;
+/// readers aggregate with relaxed loads (benchmark snapshots tolerate a few
+/// in-flight increments).
+struct alignas(64) WorkerStats {
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> aborted{0};          // concurrency-control aborts
+  std::atomic<uint64_t> aborted_user{0};     // application-requested aborts
+  std::atomic<uint64_t> single_partition{0};
+  std::atomic<uint64_t> cross_partition{0};
+  Histogram latency;  // written only by the owning worker / release thread
+
+  void Reset() {
+    committed.store(0, std::memory_order_relaxed);
+    aborted.store(0, std::memory_order_relaxed);
+    aborted_user.store(0, std::memory_order_relaxed);
+    single_partition.store(0, std::memory_order_relaxed);
+    cross_partition.store(0, std::memory_order_relaxed);
+    latency.Reset();
+  }
+};
+
+/// Aggregated snapshot returned by every engine.
+struct Metrics {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t aborted_user = 0;
+  uint64_t single_partition = 0;
+  uint64_t cross_partition = 0;
+  double seconds = 0;
+  uint64_t network_bytes = 0;
+  uint64_t network_messages = 0;
+  Histogram latency;
+
+  double Tps() const { return seconds > 0 ? committed / seconds : 0.0; }
+  double AbortRate() const {
+    uint64_t attempts = committed + aborted;
+    return attempts == 0 ? 0.0 : static_cast<double>(aborted) / attempts;
+  }
+  double BytesPerCommit() const {
+    return committed == 0 ? 0.0
+                          : static_cast<double>(network_bytes) / committed;
+  }
+};
+
+}  // namespace star
+
+#endif  // STAR_COMMON_STATS_H_

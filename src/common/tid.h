@@ -1,0 +1,89 @@
+#ifndef STAR_COMMON_TID_H_
+#define STAR_COMMON_TID_H_
+
+#include <cstdint>
+
+namespace star {
+
+/// Transaction IDs (TIDs) follow Silo's layout, packed into the low 62 bits
+/// of a 64-bit word so that the two top bits of a record's meta word can
+/// serve as the lock bit and the absent (logically-deleted) bit.  The epoch
+/// lives in the most significant TID bits, which makes a plain integer
+/// comparison respect the three TID-generation criteria of the paper
+/// (Section 3):
+///
+///   (a) larger than every TID in the transaction's read/write set,
+///   (b) larger than the thread's previously chosen TID,
+///   (c) within the current global epoch.
+///
+/// Layout (62 bits):  [ epoch : 22 ][ sequence : 32 ][ thread : 8 ]
+///
+/// The sequence field is per-thread and monotonically increasing; the thread
+/// field breaks ties between threads so TIDs are globally unique.  Numeric
+/// order of TIDs from conflicting transactions is therefore a valid
+/// serial-equivalent order, which is what the Thomas write rule relies on.
+class Tid {
+ public:
+  static constexpr int kThreadBits = 8;
+  static constexpr int kSequenceBits = 32;
+  static constexpr int kEpochBits = 22;
+  static constexpr uint64_t kThreadMask = (1ull << kThreadBits) - 1;
+  static constexpr uint64_t kSequenceMask = (1ull << kSequenceBits) - 1;
+  static constexpr uint64_t kEpochMask = (1ull << kEpochBits) - 1;
+  static constexpr uint64_t kTidMask =
+      (1ull << (kThreadBits + kSequenceBits + kEpochBits)) - 1;
+
+  /// Packs (epoch, sequence, thread) into a 62-bit TID.
+  static constexpr uint64_t Make(uint64_t epoch, uint64_t sequence,
+                                 uint64_t thread) {
+    return ((epoch & kEpochMask) << (kSequenceBits + kThreadBits)) |
+           ((sequence & kSequenceMask) << kThreadBits) |
+           (thread & kThreadMask);
+  }
+
+  static constexpr uint64_t Epoch(uint64_t tid) {
+    return (tid >> (kSequenceBits + kThreadBits)) & kEpochMask;
+  }
+
+  static constexpr uint64_t Sequence(uint64_t tid) {
+    return (tid >> kThreadBits) & kSequenceMask;
+  }
+
+  static constexpr uint64_t Thread(uint64_t tid) { return tid & kThreadMask; }
+
+  /// Returns a TID in `epoch` that is strictly larger than `floor` (assuming
+  /// `floor` is from `epoch` or an earlier one) and tagged with `thread`.
+  static uint64_t Next(uint64_t floor, uint64_t epoch, uint64_t thread) {
+    uint64_t seq = 0;
+    if (Epoch(floor) == epoch) {
+      seq = Sequence(floor) + 1;
+    }
+    return Make(epoch, seq, thread);
+  }
+};
+
+/// A per-thread TID generator.  Remembers the last TID handed out so that
+/// criterion (b) holds without any shared state.
+class TidGenerator {
+ public:
+  explicit TidGenerator(uint64_t thread_id) : thread_id_(thread_id) {}
+
+  /// Generates a commit TID given the maximum TID observed in the
+  /// transaction's read and write sets and the current global epoch.
+  uint64_t Generate(uint64_t observed_max, uint64_t epoch) {
+    uint64_t floor = observed_max > last_ ? observed_max : last_;
+    last_ = Tid::Next(floor, epoch, thread_id_);
+    return last_;
+  }
+
+  uint64_t last() const { return last_; }
+  uint64_t thread_id() const { return thread_id_; }
+
+ private:
+  uint64_t thread_id_;
+  uint64_t last_ = 0;
+};
+
+}  // namespace star
+
+#endif  // STAR_COMMON_TID_H_

@@ -1,0 +1,1034 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+
+namespace star {
+
+namespace {
+
+/// Payload helpers for the coordination messages (Figure 5's protocol).
+
+std::string EncodePhaseStart(Phase phase, uint64_t epoch, int master) {
+  WriteBuffer b;
+  b.Write<uint8_t>(static_cast<uint8_t>(phase));
+  b.Write<uint64_t>(epoch);
+  b.Write<int32_t>(master);
+  return b.Release();
+}
+
+std::string EncodeExpected(const std::vector<uint64_t>& expected) {
+  WriteBuffer b;
+  b.Write<uint32_t>(static_cast<uint32_t>(expected.size()));
+  for (uint64_t e : expected) b.Write<uint64_t>(e);
+  return b.Release();
+}
+
+}  // namespace
+
+StarEngine::StarEngine(const StarOptions& options, const Workload& workload)
+    : options_(options),
+      workload_(workload),
+      num_nodes_(options.cluster.nodes()),
+      num_partitions_(options.cluster.num_partitions()),
+      placement_(Placement::Star(options.cluster.full_replicas,
+                                 options.cluster.partial_replicas,
+                                 num_partitions_)),
+      node_healthy_(num_nodes_) {
+  net::FabricOptions fopts;
+  fopts.link_latency_us = options_.cluster.link_latency_us;
+  fopts.local_latency_us = options_.cluster.local_latency_us;
+  fopts.bandwidth_gbps = options_.cluster.bandwidth_gbps;
+  // +1 endpoint: the stand-alone phase-switching coordinator (Section 4.3).
+  // It needs an io thread of its own to receive fence responses.
+  fabric_ = std::make_unique<net::Fabric>(num_nodes_ + 1, fopts);
+  coordinator_ = std::make_unique<net::Endpoint>(fabric_.get(), num_nodes_,
+                                                 /*io_threads=*/1);
+
+  bool durable = options_.durable_logging;
+  if (durable) {
+    std::filesystem::create_directories(options_.log_dir);
+  }
+
+  auto schemas = workload_.Schemas();
+  int workers = options_.cluster.workers_per_node;
+  int io_threads = options_.cluster.io_threads_per_node;
+
+  for (int i = 0; i < num_nodes_; ++i) {
+    node_healthy_[i].store(true, std::memory_order_relaxed);
+    auto node = std::make_unique<Node>();
+    node->id = i;
+    node->db = std::make_unique<Database>(schemas, num_partitions_,
+                                          placement_.StoredPartitions(i),
+                                          options_.two_version);
+    node->endpoint =
+        std::make_unique<net::Endpoint>(fabric_.get(), i, io_threads);
+    node->counters = std::make_unique<ReplicationCounters>(num_nodes_);
+    node->applier = std::make_unique<ReplicationApplier>(node->db.get(),
+                                                         node->counters.get());
+
+    // WAL files: one per worker thread, then one per io thread (replicated
+    // writes are logged by the thread that applies them, Section 5).
+    if (durable) {
+      for (int w = 0; w < workers + io_threads; ++w) {
+        node->wals.push_back(std::make_unique<wal::WalWriter>(
+            wal::WalPath(options_.log_dir, i, w), options_.fsync));
+      }
+      node->applier->set_wal_hook(
+          [this, n = node.get(), workers](int32_t t, int32_t p, uint64_t key,
+                                          uint64_t tid, std::string_view val) {
+            // io threads share the trailing WAL writers; with one io thread
+            // (the default) this is the single writer at index `workers`.
+            n->wals[workers]->Append(t, p, key, tid, val);
+          });
+      if (options_.checkpointing) {
+        node->checkpointer = std::make_unique<wal::Checkpointer>(
+            node->db.get(), options_.log_dir, i, &epoch_);
+      }
+    }
+
+    for (int w = 0; w < workers; ++w) {
+      uint64_t seed = options_.cluster.seed * 1000003ull + i * 131 + w;
+      uint64_t tid_thread = static_cast<uint64_t>(i) * workers + w;
+      auto ws = std::make_unique<WorkerState>(seed, tid_thread);
+      ws->stream = std::make_unique<ReplicationStream>(
+          node->endpoint.get(), node->counters.get(), num_nodes_);
+      if (durable) ws->wal = node->wals[w].get();
+      node->workers.push_back(std::move(ws));
+    }
+
+    // --- io-thread handlers ---
+    Node* n = node.get();
+    node->endpoint->RegisterHandler(
+        net::MsgType::kReplicationBatch, [this, n](net::Message&& m) {
+          // Replication from a node declared failed is ignored (Section
+          // 4.5.2: healthy nodes "safely ignore all replication messages
+          // from failed nodes").
+          if (!node_healthy_[m.src].load(std::memory_order_acquire)) return;
+          n->applier->ApplyBatch(m.src, m.payload);
+          if (m.rpc_id != 0) {  // synchronous replication wants an ack
+            n->endpoint->Respond(m, net::MsgType::kReplicationAck, "");
+          }
+        });
+    node->endpoint->RegisterHandler(
+        net::MsgType::kSnapshotRequest, [n](net::Message&& m) {
+          ReadBuffer in(m.payload);
+          int32_t t = in.Read<int32_t>();
+          int32_t p = in.Read<int32_t>();
+          WriteBuffer out;
+          HashTable* ht = n->db->table(t, p);
+          if (ht != nullptr) {
+            std::string scratch(ht->value_size(), '\0');
+            ht->ForEach([&](uint64_t key, Record* rec, char* value) {
+              uint64_t w =
+                  rec->ReadStable(scratch.data(), scratch.size(), value);
+              if (Record::IsAbsent(w)) return;
+              out.Write<uint64_t>(key);
+              out.Write<uint64_t>(Record::TidOf(w));
+              out.WriteBytes(scratch.data(), scratch.size());
+            });
+          }
+          n->endpoint->Respond(m, net::MsgType::kSnapshotResponse,
+                               out.Release());
+        });
+    // Control-plane messages are executed serially by the control thread.
+    for (auto type :
+         {net::MsgType::kPhaseStart, net::MsgType::kFenceStop,
+          net::MsgType::kFenceExpect, net::MsgType::kViewChange,
+          net::MsgType::kRejoinFetch}) {
+      node->endpoint->RegisterHandler(type, [n](net::Message&& m) {
+        {
+          std::lock_guard<std::mutex> g(n->mail_mu);
+          n->mail.push_back(std::move(m));
+        }
+        n->mail_cv.notify_one();
+      });
+    }
+
+    nodes_.push_back(std::move(node));
+  }
+
+  replica_targets_.resize(num_partitions_);
+  sm_targets_.resize(num_partitions_);
+  RecomputeAssignments();
+}
+
+StarEngine::~StarEngine() {
+  if (running_.load(std::memory_order_acquire)) Stop();
+}
+
+std::vector<int> StarEngine::HealthyNodes() const {
+  std::vector<int> out;
+  for (int i = 0; i < num_nodes_; ++i) {
+    if (node_healthy_[i].load(std::memory_order_acquire)) out.push_back(i);
+  }
+  return out;
+}
+
+void StarEngine::RecomputeAssignments() {
+  // Called while every worker is parked (construction, fences, view
+  // changes); rebuilds replication targets and per-worker partition lists.
+  int workers = options_.cluster.workers_per_node;
+
+  // Effective master of each partition: its placement master if healthy,
+  // otherwise the first healthy full replica (Case 3's "mastership of
+  // records on lost partitions [is] reassigned to the nodes with full
+  // replicas").
+  std::vector<int> eff_master(num_partitions_, -1);
+  int full_fallback = -1;
+  for (int i = 0; i < options_.cluster.full_replicas; ++i) {
+    if (node_healthy_[i].load(std::memory_order_acquire)) {
+      full_fallback = i;
+      break;
+    }
+  }
+  for (int p = 0; p < num_partitions_; ++p) {
+    int m = placement_.master(p);
+    if (!node_healthy_[m].load(std::memory_order_acquire)) m = full_fallback;
+    eff_master[p] = m;
+    replica_targets_[p].clear();
+    for (int s : placement_.storing(p)) {
+      if (s != m && node_healthy_[s].load(std::memory_order_acquire)) {
+        replica_targets_[p].push_back(s);
+      }
+    }
+  }
+  // Single-master-phase targets are filled below, once the designated
+  // master is known.
+
+  for (auto& node : nodes_) {
+    for (auto& w : node->workers) w->partitions.clear();
+    int next = 0;
+    for (int p = 0; p < num_partitions_; ++p) {
+      if (eff_master[p] != node->id) continue;
+      node->workers[next % workers]->partitions.push_back(p);
+      ++next;
+    }
+  }
+
+  // Designated master for the single-master phase: first healthy full
+  // replica.
+  if (full_fallback >= 0) master_node_ = full_fallback;
+  for (int p = 0; p < num_partitions_; ++p) {
+    sm_targets_[p].clear();
+    for (int s : placement_.storing(p)) {
+      if (s != master_node_ &&
+          node_healthy_[s].load(std::memory_order_acquire)) {
+        sm_targets_[p].push_back(s);
+      }
+    }
+  }
+}
+
+void StarEngine::Start() {
+  assert(!running_.load(std::memory_order_acquire));
+
+  // Populate every replica of every partition deterministically.
+  for (auto& node : nodes_) {
+    for (int p = 0; p < num_partitions_; ++p) {
+      if (node->db->HasPartition(p)) {
+        workload_.PopulatePartition(*node->db, p);
+      }
+    }
+  }
+
+  running_.store(true, std::memory_order_release);
+  state_.store(SystemState::kRunning, std::memory_order_release);
+
+  UpdateTaus();
+
+  for (auto& node : nodes_) {
+    node->endpoint->Start();
+    node->control_running.store(true, std::memory_order_release);
+    node->control_thread = std::thread([this, n = node.get()] {
+      ControlLoop(*n);
+    });
+    int workers = options_.cluster.workers_per_node;
+    for (int w = 0; w < workers; ++w) {
+      node->worker_threads.emplace_back(
+          [this, n = node.get(), w] { WorkerLoop(*n, w); });
+    }
+    if (node->checkpointer) {
+      node->checkpointer->StartPeriodic(options_.checkpoint_period_ms);
+    }
+  }
+  coordinator_->Start();  // no io threads; Call() polls via Wait on pending
+  coordinator_thread_ = std::thread([this] { CoordinatorLoop(); });
+
+  ResetStats();
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator (Figure 5)
+// ---------------------------------------------------------------------------
+
+void StarEngine::UpdateTaus() {
+  // Equations (1)-(2): pick tau_p + tau_s = e such that the fraction of
+  // committed work that is cross-partition equals P.  The paper solves the
+  // equations with the monitored throughputs t_p, t_s; we drive the same
+  // fixed point with a multiplicative feedback step on the *achieved* mix of
+  // the last iteration, which stays accurate even when fence overhead
+  // stretches the effective phase lengths (common on small hosts).
+  double e = options_.iteration_ms;
+  double P = options_.cross_fraction;
+  if (P <= 0) {
+    tau_p_ms_ = e;
+    tau_s_ms_ = 0;
+    return;
+  }
+  if (P >= 1) {
+    tau_p_ms_ = 0;
+    tau_s_ms_ = e;
+    return;
+  }
+  if (tau_s_ms_ <= 0) {  // bootstrap: assume t_p == t_s
+    tau_s_ms_ = P * e;
+    tau_p_ms_ = e - tau_s_ms_;
+    return;
+  }
+  uint64_t single = last_single_delta_;
+  uint64_t cross = last_cross_delta_;
+  if (single + cross == 0) return;
+  double achieved =
+      static_cast<double>(cross) / static_cast<double>(single + cross);
+  double step = achieved > 0 ? std::clamp(P / achieved, 0.5, 2.0) : 2.0;
+  double tau_s = std::clamp(tau_s_ms_ * step, options_.min_phase_ms,
+                            e - options_.min_phase_ms);
+  tau_s_ms_ = tau_s;
+  tau_p_ms_ = e - tau_s;
+}
+
+void StarEngine::StartPhaseOnNodes(Phase phase) {
+  uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  std::string payload = EncodePhaseStart(phase, epoch, master_node_);
+  std::vector<std::pair<int, uint64_t>> tokens;
+  for (int i : HealthyNodes()) {
+    tokens.emplace_back(
+        i, coordinator_->CallAsync(i, net::MsgType::kPhaseStart, payload));
+  }
+  for (auto& [i, tok] : tokens) {
+    (void)i;
+    coordinator_->Wait(tok, nullptr,
+                       MillisToNanos(options_.fence_timeout_ms));
+  }
+}
+
+StarEngine::FenceOutcome StarEngine::Fence(Phase ended_phase,
+                                           double phase_seconds) {
+  FenceOutcome out;
+  uint64_t t0 = NowNanos();
+  uint64_t phase_start_ns = t0 - static_cast<uint64_t>(phase_seconds * 1e9);
+  auto healthy = HealthyNodes();
+
+  // Round 1: stop workers, collect committed counts + cumulative sent
+  // counters ("all participant nodes synchronize statistics about the
+  // number of committed transactions", Section 4.3).
+  std::vector<uint64_t> tokens(num_nodes_, 0);
+  for (int i : healthy) {
+    tokens[i] = coordinator_->CallAsync(i, net::MsgType::kFenceStop, "");
+  }
+  // sent[src][dst], cumulative since the last counter reset.
+  std::vector<std::vector<uint64_t>> sent(num_nodes_,
+                                          std::vector<uint64_t>(num_nodes_, 0));
+  uint64_t committed_delta = 0;
+  for (int i : healthy) {
+    std::string resp;
+    if (!coordinator_->Wait(tokens[i], &resp,
+                            MillisToNanos(options_.fence_timeout_ms))) {
+      out.failed_nodes.push_back(i);
+      continue;
+    }
+    ReadBuffer in(resp);
+    committed_delta += in.Read<uint64_t>();
+    uint32_t n = in.Read<uint32_t>();
+    for (uint32_t d = 0; d < n; ++d) sent[i][d] = in.Read<uint64_t>();
+  }
+  out.committed_delta = committed_delta;
+
+  // Throughput monitoring (t_p, t_s of Equation 2), measured over the real
+  // execution window: phase start until the stop round completed (workers
+  // keep committing until they observe the fence).
+  double exec_seconds = (NowNanos() - phase_start_ns) / 1e9;
+  if (exec_seconds > 0) {
+    double rate = committed_delta / exec_seconds;
+    double a = options_.throughput_ewma;
+    if (ended_phase == Phase::kPartitioned) {
+      tp_ = tp_ > 0 ? a * rate + (1 - a) * tp_ : rate;
+      last_single_delta_ = committed_delta;
+    } else if (ended_phase == Phase::kSingleMaster) {
+      ts_ = ts_ > 0 ? a * rate + (1 - a) * ts_ : rate;
+      last_cross_delta_ = committed_delta;
+    }
+  }
+
+  if (!out.failed_nodes.empty()) {
+    out.ok = false;
+    return out;  // caller runs failure handling; no epoch advance
+  }
+  uint64_t t_stop_done = NowNanos();
+  fence_stop_ns_.fetch_add(t_stop_done - t0, std::memory_order_relaxed);
+
+  // Round 2: each node waits for the replication stream it is owed ("nodes
+  // then wait until they have received and applied all writes").
+  for (int d : healthy) {
+    std::vector<uint64_t> expected(num_nodes_, 0);
+    for (int s : healthy) expected[s] = sent[s][d];
+    tokens[d] = coordinator_->CallAsync(d, net::MsgType::kFenceExpect,
+                                        EncodeExpected(expected));
+  }
+  for (int d : healthy) {
+    std::string resp;
+    if (!coordinator_->Wait(tokens[d], &resp,
+                            MillisToNanos(options_.fence_timeout_ms) * 4)) {
+      out.failed_nodes.push_back(d);
+    }
+  }
+  if (!out.failed_nodes.empty()) {
+    out.ok = false;
+    return out;
+  }
+
+  fence_drain_ns_.fetch_add(NowNanos() - t_stop_done,
+                            std::memory_order_relaxed);
+  // The fence is an epoch boundary (Section 3).
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  fence_count_.fetch_add(1, std::memory_order_relaxed);
+  fence_ns_.fetch_add(NowNanos() - t0, std::memory_order_relaxed);
+  return out;
+}
+
+void StarEngine::CoordinatorLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    // Handle rejoin requests at iteration boundaries (all nodes parked).
+    std::vector<int> rejoin;
+    {
+      std::lock_guard<std::mutex> g(rejoin_mu_);
+      rejoin.swap(rejoin_requests_);
+    }
+    for (int j : rejoin) PerformRejoin(j);
+
+    UpdateTaus();
+
+    if (tau_p_ms_ > 0) {
+      uint64_t t0 = NowNanos();
+      StartPhaseOnNodes(Phase::kPartitioned);
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<int64_t>(tau_p_ms_ * 1000)));
+      double secs = (NowNanos() - t0) / 1e9;
+      FenceOutcome out = Fence(Phase::kPartitioned, secs);
+      if (!out.ok) {
+        HandleFailures(out.failed_nodes);
+        continue;
+      }
+    }
+    if (!running_.load(std::memory_order_acquire)) break;
+    if (tau_s_ms_ > 0) {
+      uint64_t t0 = NowNanos();
+      StartPhaseOnNodes(Phase::kSingleMaster);
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<int64_t>(tau_s_ms_ * 1000)));
+      double secs = (NowNanos() - t0) / 1e9;
+      FenceOutcome out = Fence(Phase::kSingleMaster, secs);
+      if (!out.ok) {
+        HandleFailures(out.failed_nodes);
+        continue;
+      }
+    }
+    if (state_.load(std::memory_order_acquire) != SystemState::kRunning) {
+      break;  // failure handling downgraded the system; stop switching
+    }
+  }
+  // Park everyone.
+  StartPhaseOnNodes(Phase::kStopped);
+}
+
+void StarEngine::HandleFailures(const std::vector<int>& newly_failed) {
+  if (std::getenv("STAR_DEBUG_FAILURES") != nullptr) {
+    std::fprintf(stderr, "[star] HandleFailures:");
+    for (int f : newly_failed) std::fprintf(stderr, " %d", f);
+    std::fprintf(stderr, "\n");
+  }
+  uint64_t reverted_epoch = epoch_.load(std::memory_order_acquire);
+
+  // 1. Update the view: io threads immediately start ignoring replication
+  //    from failed nodes; the fabric cuts their links (fail-stop), and the
+  //    crashed process stops executing (park its workers).
+  for (int f : newly_failed) {
+    node_healthy_[f].store(false, std::memory_order_release);
+    fabric_->SetDown(f, true);
+    Node& n = *nodes_[f];
+    uint64_t word = n.phase_word.load(std::memory_order_acquire);
+    n.phase_word.store(PackPhase(Phase::kStopped, SeqOf(word) + 1),
+                       std::memory_order_release);
+  }
+  // Give io threads a moment to finish in-flight batches from the failed
+  // node (they belong to the epoch being reverted anyway).
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+
+  // 2. Classification (Section 4.5.3).  A "complete partial replica" exists
+  //    when the healthy partial nodes collectively store every partition.
+  bool full_ok = false;
+  for (int i = 0; i < options_.cluster.full_replicas; ++i) {
+    if (node_healthy_[i].load(std::memory_order_acquire)) full_ok = true;
+  }
+  bool partial_complete = true;
+  for (int p = 0; p < num_partitions_; ++p) {
+    bool covered = false;
+    for (int s : placement_.storing(p)) {
+      if (s >= options_.cluster.full_replicas &&
+          node_healthy_[s].load(std::memory_order_acquire)) {
+        covered = true;
+      }
+    }
+    if (!covered) partial_complete = false;
+  }
+
+  // 3. Revert the uncommitted epoch on every healthy node and resync the
+  //    replication accounting (Figure 6).
+  auto healthy = HealthyNodes();
+  WriteBuffer vb;
+  vb.Write<uint64_t>(reverted_epoch);
+  std::string payload = vb.Release();
+  std::vector<uint64_t> tokens;
+  for (int i : healthy) {
+    tokens.push_back(
+        coordinator_->CallAsync(i, net::MsgType::kViewChange, payload));
+  }
+  for (uint64_t t : tokens) {
+    coordinator_->Wait(t, nullptr, MillisToNanos(options_.fence_timeout_ms));
+  }
+
+  // 4. Re-master lost partitions / pick a new designated master.
+  RecomputeAssignments();
+
+  if (!full_ok) {
+    state_.store(partial_complete ? SystemState::kFallbackDistributed
+                                  : SystemState::kUnavailable,
+                 std::memory_order_release);
+    return;
+  }
+  // Cases 1 and 3: continue with the phase-switching algorithm.  (With no
+  // partial replicas left, every partition is mastered by the full replica
+  // and the partitioned phase degenerates to single-node execution, which
+  // is the paper's "runs transactions only on full replicas" mode.)
+}
+
+void StarEngine::PerformRejoin(int j) {
+  // Stage 1: re-admit the node as a storage target.  Its database restarts
+  // empty (crash lost memory); live replication resumes immediately, and a
+  // background fetch copies the partitions from healthy replicas (Case 1:
+  // "it copies data from remote nodes ... In parallel, it processes updates
+  // from the relevant currently healthy nodes using the Thomas write rule").
+  nodes_[j]->db->ResetStorage();
+  fabric_->SetDown(j, false);
+  node_healthy_[j].store(true, std::memory_order_release);
+
+  // The node's counters are stale; reset everyone's accounting while all
+  // workers are parked.
+  auto healthy = HealthyNodes();
+  WriteBuffer vb;
+  vb.Write<uint64_t>(0);  // nothing to revert; counter resync only
+  std::string payload = vb.Release();
+  std::vector<uint64_t> tokens;
+  for (int i : healthy) {
+    tokens.push_back(
+        coordinator_->CallAsync(i, net::MsgType::kViewChange, payload));
+  }
+  for (uint64_t t : tokens) {
+    coordinator_->Wait(t, nullptr, MillisToNanos(options_.fence_timeout_ms));
+  }
+
+  // Stage 2: replication targets now include j again, but j masters nothing
+  // until the fetch completes.
+  std::vector<int> save_masters;  // partitions whose mastership returns to j
+  RecomputeAssignments();
+  // Temporarily strip j's masterships: reassign to the designated master.
+  for (auto& w : nodes_[j]->workers) {
+    for (int p : w->partitions) save_masters.push_back(p);
+    w->partitions.clear();
+  }
+  if (!save_masters.empty()) {
+    int workers = options_.cluster.workers_per_node;
+    Node* m = nodes_[master_node_].get();
+    int next = 0;
+    for (int p : save_masters) {
+      m->workers[(next++) % workers]->partitions.push_back(p);
+      replica_targets_[p].clear();
+      for (int s : placement_.storing(p)) {
+        if (s != master_node_ &&
+            node_healthy_[s].load(std::memory_order_acquire)) {
+          replica_targets_[p].push_back(s);
+        }
+      }
+    }
+  }
+
+  // Kick off the snapshot fetch on node j's control thread.
+  uint64_t tok = coordinator_->CallAsync(j, net::MsgType::kRejoinFetch, "");
+
+  // Let the system run while the fetch proceeds; poll for completion.
+  // (The fetch response arrives via the RPC reply.)
+  uint64_t deadline = NowNanos() + MillisToNanos(30'000);
+  bool done = false;
+  while (NowNanos() < deadline && running_.load(std::memory_order_acquire)) {
+    // Run a few iterations while fetching, so recovery overlaps processing.
+    UpdateTaus();
+    uint64_t t0 = NowNanos();
+    StartPhaseOnNodes(Phase::kPartitioned);
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(tau_p_ms_ * 1000)));
+    FenceOutcome out = Fence(Phase::kPartitioned, (NowNanos() - t0) / 1e9);
+    if (!out.ok) {
+      HandleFailures(out.failed_nodes);
+      return;
+    }
+    if (coordinator_->IsReady(tok)) {
+      coordinator_->Wait(tok, nullptr, 1);
+      done = true;
+      break;
+    }
+  }
+  if (done) {
+    // Stage 3: restore j's masterships.
+    RecomputeAssignments();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Node control thread (fence participation, Figure 5 right-hand side)
+// ---------------------------------------------------------------------------
+
+void StarEngine::ControlLoop(Node& node) {
+  uint64_t seq = 0;
+  while (node.control_running.load(std::memory_order_acquire)) {
+    net::Message msg;
+    {
+      std::unique_lock<std::mutex> lk(node.mail_mu);
+      node.mail_cv.wait_for(lk, std::chrono::milliseconds(50), [&] {
+        return !node.mail.empty() ||
+               !node.control_running.load(std::memory_order_acquire);
+      });
+      if (node.mail.empty()) continue;
+      msg = std::move(node.mail.front());
+      node.mail.pop_front();
+    }
+    switch (msg.type) {
+      case net::MsgType::kFenceStop: {
+        // Enter the fence: park workers, then report statistics.
+        node.parked.store(0, std::memory_order_release);
+        node.phase_word.store(PackPhase(Phase::kFence, ++seq),
+                              std::memory_order_release);
+        int want = static_cast<int>(node.workers.size());
+        while (node.parked.load(std::memory_order_acquire) < want) {
+          std::this_thread::sleep_for(std::chrono::microseconds(20));
+        }
+        uint64_t committed = 0;
+        for (auto& w : node.workers) {
+          committed += w->stats.committed.load(std::memory_order_relaxed);
+        }
+        WriteBuffer b;
+        b.Write<uint64_t>(committed - node.reported_committed);
+        node.reported_committed = committed;
+        b.Write<uint32_t>(static_cast<uint32_t>(num_nodes_));
+        for (int d = 0; d < num_nodes_; ++d) {
+          b.Write<uint64_t>(node.counters->sent_to(d));
+        }
+        node.endpoint->Respond(msg, net::MsgType::kFenceStats, b.Release());
+        break;
+      }
+      case net::MsgType::kFenceExpect: {
+        ReadBuffer in(msg.payload);
+        uint32_t n = in.Read<uint32_t>();
+        std::vector<uint64_t> expected(n);
+        for (uint32_t s = 0; s < n; ++s) expected[s] = in.Read<uint64_t>();
+        // Wait for the replication stream to drain.
+        uint64_t deadline =
+            NowNanos() + MillisToNanos(options_.fence_timeout_ms * 4);
+        for (uint32_t s = 0; s < n; ++s) {
+          if (static_cast<int>(s) == node.id) continue;
+          while (node.counters->applied_from(s) < expected[s] &&
+                 NowNanos() < deadline &&
+                 !fabric_->IsDown(static_cast<int>(s))) {
+            std::this_thread::yield();
+          }
+        }
+        // Flush + mark the io-thread logs; workers marked theirs at park.
+        uint64_t epoch = node.epoch.load(std::memory_order_acquire);
+        size_t workers = node.workers.size();
+        for (size_t i = workers; i < node.wals.size(); ++i) {
+          node.wals[i]->MarkEpochAndFlush(epoch);
+        }
+        node.endpoint->Respond(msg, net::MsgType::kFenceDrained, "");
+        break;
+      }
+      case net::MsgType::kPhaseStart: {
+        ReadBuffer in(msg.payload);
+        Phase phase = static_cast<Phase>(in.Read<uint8_t>());
+        uint64_t epoch = in.Read<uint64_t>();
+        (void)in.Read<int32_t>();  // master id: engine-global in this build
+        node.epoch.store(epoch, std::memory_order_release);
+        node.parked.store(0, std::memory_order_release);
+        node.phase_word.store(PackPhase(phase, ++seq),
+                              std::memory_order_release);
+        node.endpoint->Respond(msg, net::MsgType::kPhaseStart, "");
+        break;
+      }
+      case net::MsgType::kViewChange: {
+        ReadBuffer in(msg.payload);
+        uint64_t revert_epoch = in.Read<uint64_t>();
+        if (revert_epoch != 0) {
+          node.db->RevertEpoch(revert_epoch);
+          for (auto& w : node.workers) {
+            w->tracker.DropFrom(revert_epoch);
+          }
+        }
+        node.counters->Reset();
+        node.endpoint->Respond(msg, net::MsgType::kViewChange, "");
+        break;
+      }
+      case net::MsgType::kRejoinFetch: {
+        // Fetch on a helper thread: the control loop must stay responsive
+        // to fences while recovery proceeds in parallel (Case 1).
+        std::thread([this, &node, msg = std::move(msg)] {
+        for (int p = 0; p < num_partitions_; ++p) {
+          if (!placement_.IsStored(node.id, p)) continue;
+          int donor = -1;
+          for (int s : placement_.storing(p)) {
+            if (s != node.id &&
+                node_healthy_[s].load(std::memory_order_acquire)) {
+              donor = s;
+              break;
+            }
+          }
+          if (donor < 0) continue;
+          for (int t = 0; t < node.db->num_tables(); ++t) {
+            WriteBuffer req;
+            req.Write<int32_t>(t);
+            req.Write<int32_t>(p);
+            std::string resp;
+            if (!node.endpoint->Call(donor, net::MsgType::kSnapshotRequest,
+                                     req.Release(), &resp)) {
+              continue;
+            }
+            HashTable* ht = node.db->table(t, p);
+            ReadBuffer in(resp);
+            while (!in.Done()) {
+              uint64_t key = in.Read<uint64_t>();
+              uint64_t tid = in.Read<uint64_t>();
+              std::string_view value = in.ReadBytes();
+              HashTable::Row row = ht->GetOrInsertRow(key);
+              row.rec->ApplyThomas(tid, value.data(), row.size, row.value,
+                                   node.db->two_version());
+            }
+          }
+        }
+        node.endpoint->Respond(msg, net::MsgType::kRejoinDone, "");
+        }).detach();
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+void StarEngine::WorkerLoop(Node& node, int worker_index) {
+  WorkerState& w = *node.workers[worker_index];
+  SiloContext ctx(node.db.get(), &w.rng,
+                  node.id * options_.cluster.workers_per_node + worker_index);
+  bool parked_this_seq = false;
+  for (;;) {
+    uint64_t word = node.phase_word.load(std::memory_order_acquire);
+    Phase phase = PhaseOf(word);
+    uint64_t seq = SeqOf(word);
+    if (seq != w.seen_seq) {
+      w.seen_seq = seq;
+      parked_this_seq = false;
+    }
+
+    if (phase == Phase::kFence || phase == Phase::kStopped) {
+      if (!parked_this_seq) {
+        // Flush outbound replication and the local log, then park.  The
+        // epoch marker certifies "all my writes up to this epoch are
+        // durable" (Section 4.5.1).
+        w.stream->FlushAll();
+        if (w.wal != nullptr) {
+          w.wal->MarkEpochAndFlush(node.epoch.load(std::memory_order_acquire));
+        }
+        parked_this_seq = true;
+        node.parked.fetch_add(1, std::memory_order_acq_rel);
+      }
+      if (phase == Phase::kStopped &&
+          !running_.load(std::memory_order_acquire)) {
+        w.tracker.DrainAll(NowNanos(), w.stats.latency);
+        return;
+      }
+      // Parked: sleep rather than spin — on an oversubscribed host the
+      // active workers need the cores (2-core substitution note, DESIGN.md).
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      continue;
+    }
+
+    // Release transactions whose epoch has closed (group commit).
+    w.tracker.Drain(node.epoch.load(std::memory_order_acquire), NowNanos(),
+                    w.stats.latency);
+
+    if (phase == Phase::kPartitioned) {
+      if (w.partitions.empty()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        continue;
+      }
+      int partition = w.partitions[w.rr++ % w.partitions.size()];
+      RunPartitionedTxn(node, w, ctx, partition);
+    } else {  // kSingleMaster
+      if (node.id != master_node_) {
+        // Standby: io threads apply the master's replication stream.
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        continue;
+      }
+      RunSingleMasterTxn(node, w, ctx);
+    }
+    // On hosts with fewer cores than workers, rotate the run queue often so
+    // every worker observes fence flags quickly (keeps the stop round — and
+    // thus the fence — short).
+    if (options_.yield_every_n_txns != 0 &&
+        ++w.txn_since_yield >= options_.yield_every_n_txns) {
+      w.txn_since_yield = 0;
+      std::this_thread::yield();
+    }
+  }
+}
+
+void StarEngine::RunPartitionedTxn(Node& node, WorkerState& w,
+                                   SiloContext& ctx, int partition) {
+  TxnRequest req =
+      workload_.MakeSinglePartition(w.rng, partition, num_partitions_);
+  uint64_t start = NowNanos();
+  ctx.Reset();
+  TxnStatus status = req.proc(ctx);
+  if (status == TxnStatus::kAbortUser) {
+    w.stats.aborted_user.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (status != TxnStatus::kCommitted) {
+    w.stats.aborted.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  CommitResult cr = SiloSerialCommit(ctx, w.gen, node.epoch);
+  if (cr.status != TxnStatus::kCommitted) {
+    w.stats.aborted.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  bool allow_ops = options_.replication == ReplicationMode::kHybrid;
+  ReplicateCommit(w, cr.tid, ctx.write_set(), allow_ops, replica_targets_);
+  LogCommitToWal(w, cr.tid, ctx.write_set());
+  w.stats.committed.fetch_add(1, std::memory_order_relaxed);
+  w.stats.single_partition.fetch_add(1, std::memory_order_relaxed);
+  w.tracker.Add(Tid::Epoch(cr.tid), start);
+}
+
+void StarEngine::RunSingleMasterTxn(Node& node, WorkerState& w,
+                                    SiloContext& ctx) {
+  int home = static_cast<int>(w.rng.Uniform(num_partitions_));
+  TxnRequest req = workload_.MakeCrossPartition(w.rng, home, num_partitions_);
+  uint64_t start = NowNanos();
+  bool is_sync = options_.replication == ReplicationMode::kSyncValue;
+
+  // Retry loop: conflicts restart the transaction until the phase ends.
+  for (;;) {
+    ctx.Reset();
+    TxnStatus status = req.proc(ctx);
+    if (status == TxnStatus::kAbortUser) {
+      w.stats.aborted_user.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    CommitResult cr;
+    if (status != TxnStatus::kCommitted) {
+      cr.status = TxnStatus::kAbortConflict;
+    } else if (is_sync) {
+      cr = SiloOccCommit(ctx, w.gen, node.epoch,
+                         [&](uint64_t tid, std::vector<WriteSetEntry>& ws) {
+                           return SyncReplicate(node, tid, ws);
+                         });
+    } else {
+      cr = SiloOccCommit(ctx, w.gen, node.epoch);
+    }
+    if (cr.status == TxnStatus::kCommitted) {
+      if (!is_sync) {
+        ReplicateCommit(w, cr.tid, ctx.write_set(), /*allow_ops=*/false,
+                        sm_targets_);
+      }
+      LogCommitToWal(w, cr.tid, ctx.write_set());
+      w.stats.committed.fetch_add(1, std::memory_order_relaxed);
+      w.stats.cross_partition.fetch_add(1, std::memory_order_relaxed);
+      w.tracker.Add(Tid::Epoch(cr.tid), start);
+      return;
+    }
+    w.stats.aborted.fetch_add(1, std::memory_order_relaxed);
+    // Stop retrying if the phase ended under us.
+    uint64_t word = node.phase_word.load(std::memory_order_acquire);
+    if (PhaseOf(word) != Phase::kSingleMaster) return;
+  }
+}
+
+void StarEngine::ReplicateCommit(WorkerState& w, uint64_t tid,
+                                 std::vector<WriteSetEntry>& writes,
+                                 bool allow_ops,
+                                 const std::vector<std::vector<int>>& targets) {
+  for (const auto& entry : writes) {
+    for (int dst : targets[entry.partition]) {
+      w.stream->AppendEntry(dst, tid, entry, allow_ops);
+    }
+  }
+}
+
+bool StarEngine::SyncReplicate(Node& node, uint64_t tid,
+                               std::vector<WriteSetEntry>& writes) {
+  // Build one batch per replica target and wait for every ack while the
+  // commit holds its write locks (Figure 9's SYNC column).
+  std::vector<WriteBuffer> batches(num_nodes_);
+  std::vector<uint64_t> counts(num_nodes_, 0);
+  for (const auto& entry : writes) {
+    for (int dst : sm_targets_[entry.partition]) {
+      SerializeValueEntry(batches[dst], entry.table, entry.partition,
+                          entry.key, tid, entry.value);
+      ++counts[dst];
+    }
+  }
+  std::vector<std::pair<int, uint64_t>> tokens;
+  for (int dst = 0; dst < num_nodes_; ++dst) {
+    if (batches[dst].empty()) continue;
+    node.counters->AddSent(dst, counts[dst]);
+    tokens.emplace_back(
+        dst, node.endpoint->CallAsync(dst, net::MsgType::kReplicationBatch,
+                                      batches[dst].Release()));
+  }
+  bool ok = true;
+  for (auto& [dst, tok] : tokens) {
+    (void)dst;
+    if (!node.endpoint->Wait(tok, nullptr,
+                             MillisToNanos(options_.fence_timeout_ms))) {
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+void StarEngine::LogCommitToWal(WorkerState& w, uint64_t tid,
+                                const std::vector<WriteSetEntry>& writes) {
+  if (w.wal == nullptr) return;
+  for (const auto& entry : writes) {
+    w.wal->Append(entry.table, entry.partition, entry.key, tid, entry.value);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle / metrics
+// ---------------------------------------------------------------------------
+
+void StarEngine::InjectFailure(int node) {
+  // Fail-stop: cut the node off the fabric; the coordinator notices at the
+  // next fence (Section 4.5.2's definition of a failed node).  The crashed
+  // process stops executing: park its workers.
+  fabric_->SetDown(node, true);
+  Node& n = *nodes_[node];
+  uint64_t word = n.phase_word.load(std::memory_order_acquire);
+  n.phase_word.store(PackPhase(Phase::kStopped, SeqOf(word) + 1),
+                     std::memory_order_release);
+}
+
+void StarEngine::RequestRejoin(int node) {
+  std::lock_guard<std::mutex> g(rejoin_mu_);
+  rejoin_requests_.push_back(node);
+}
+
+void StarEngine::ResetStats() {
+  for (auto& node : nodes_) {
+    for (auto& w : node->workers) {
+      w->stats.committed.store(0, std::memory_order_relaxed);
+      w->stats.aborted.store(0, std::memory_order_relaxed);
+      w->stats.aborted_user.store(0, std::memory_order_relaxed);
+      w->stats.single_partition.store(0, std::memory_order_relaxed);
+      w->stats.cross_partition.store(0, std::memory_order_relaxed);
+    }
+  }
+  fence_count_.store(0, std::memory_order_relaxed);
+  fence_ns_.store(0, std::memory_order_relaxed);
+  fabric_bytes_at_reset_ = fabric_->total_bytes();
+  fabric_msgs_at_reset_ = fabric_->total_messages();
+  measure_start_ns_ = NowNanos();
+}
+
+Metrics StarEngine::Snapshot() const {
+  Metrics m;
+  for (const auto& node : nodes_) {
+    for (const auto& w : node->workers) {
+      m.committed += w->stats.committed.load(std::memory_order_relaxed);
+      m.aborted += w->stats.aborted.load(std::memory_order_relaxed);
+      m.aborted_user += w->stats.aborted_user.load(std::memory_order_relaxed);
+      m.single_partition +=
+          w->stats.single_partition.load(std::memory_order_relaxed);
+      m.cross_partition +=
+          w->stats.cross_partition.load(std::memory_order_relaxed);
+      m.latency.Merge(w->stats.latency);
+    }
+  }
+  m.seconds = (NowNanos() - measure_start_ns_) / 1e9;
+  m.network_bytes = fabric_->total_bytes() - fabric_bytes_at_reset_;
+  m.network_messages = fabric_->total_messages() - fabric_msgs_at_reset_;
+  return m;
+}
+
+Metrics StarEngine::Stop() {
+  Metrics before = Snapshot();
+  double seconds = before.seconds;
+
+  running_.store(false, std::memory_order_release);
+  if (coordinator_thread_.joinable()) coordinator_thread_.join();
+
+  for (auto& node : nodes_) {
+    // The coordinator only messages healthy nodes; make sure every worker
+    // (including those on failed nodes) observes the stop.
+    uint64_t word = node->phase_word.load(std::memory_order_acquire);
+    if (PhaseOf(word) != Phase::kStopped) {
+      node->phase_word.store(PackPhase(Phase::kStopped, SeqOf(word) + 1),
+                             std::memory_order_release);
+    }
+    for (auto& t : node->worker_threads) {
+      if (t.joinable()) t.join();
+    }
+    node->control_running.store(false, std::memory_order_release);
+    node->mail_cv.notify_all();
+    if (node->control_thread.joinable()) node->control_thread.join();
+    if (node->checkpointer) node->checkpointer->Stop();
+  }
+  // Drain in-flight replication so all replicas converge before the io
+  // threads stop (workers flushed their streams when they parked).
+  uint64_t drain_deadline = NowNanos() + MillisToNanos(500);
+  for (auto& node : nodes_) {
+    if (!node_healthy_[node->id].load(std::memory_order_acquire)) continue;
+    while (fabric_->HasTraffic(node->id) && NowNanos() < drain_deadline) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  for (auto& node : nodes_) {
+    node->endpoint->Stop();
+    for (auto& wal : node->wals) wal->Flush();
+  }
+  coordinator_->Stop();
+  state_.store(SystemState::kStopped, std::memory_order_release);
+
+  Metrics m = Snapshot();
+  m.seconds = seconds;  // measure window ends at Stop() entry
+  return m;
+}
+
+}  // namespace star

@@ -1,0 +1,236 @@
+#ifndef STAR_CORE_ENGINE_H_
+#define STAR_CORE_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cc/epoch.h"
+#include "cc/silo.h"
+#include "cc/workload.h"
+#include "common/clock.h"
+#include "common/config.h"
+#include "common/stats.h"
+#include "core/options.h"
+#include "net/endpoint.h"
+#include "net/fabric.h"
+#include "replication/applier.h"
+#include "replication/stream.h"
+#include "wal/wal.h"
+
+namespace star {
+
+/// The STAR engine: a simulated cluster of f full replicas and k partial
+/// replicas running the phase-switching protocol of Section 4.
+///
+/// Threads per node: `workers_per_node` transaction workers, one control
+/// thread (fence participation, Figure 5), and `io_threads_per_node` fabric
+/// pollers that apply inbound replication.  A stand-alone coordinator thread
+/// (its own fabric endpoint, as the paper deploys it "outside of STAR
+/// instances") drives phase transitions.
+///
+/// Usage:
+///   StarEngine engine(options, workload);
+///   engine.Start();
+///   ... let it run ...
+///   Metrics m = engine.Stop();
+class StarEngine {
+ public:
+  StarEngine(const StarOptions& options, const Workload& workload);
+  ~StarEngine();
+
+  StarEngine(const StarEngine&) = delete;
+  StarEngine& operator=(const StarEngine&) = delete;
+
+  /// Populates all replicas and launches worker/control/io/coordinator
+  /// threads.  Returns once the first partitioned phase has begun.
+  void Start();
+
+  /// Runs a final fence, stops all threads, and returns the metrics
+  /// accumulated since Start()/ResetStats().
+  Metrics Stop();
+
+  /// Snapshot of the counters without stopping (approximate while running).
+  Metrics Snapshot() const;
+
+  /// Clears counters and restarts the measurement clock (used to exclude
+  /// warm-up).
+  void ResetStats();
+
+  // --- fault tolerance (Section 4.5) ---
+
+  /// Fail-stop failure injection: the node's endpoint drops off the fabric.
+  /// Detected by the coordinator at the next fence.
+  void InjectFailure(int node);
+
+  /// Asks the coordinator to re-admit a previously failed node at the next
+  /// fence: the node re-fetches its partitions from healthy replicas
+  /// (Case 1's "copies data from remote nodes"), then regains mastership.
+  void RequestRejoin(int node);
+
+  SystemState state() const { return state_.load(std::memory_order_acquire); }
+  bool IsNodeHealthy(int node) const {
+    return node_healthy_[node].load(std::memory_order_acquire);
+  }
+
+  // --- introspection (tests, benches, docs) ---
+
+  Database* database(int node) { return nodes_[node]->db.get(); }
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  uint64_t fence_count() const {
+    return fence_count_.load(std::memory_order_relaxed);
+  }
+  double fence_seconds() const {
+    return static_cast<double>(
+               fence_ns_.load(std::memory_order_relaxed)) /
+           1e9;
+  }
+  double current_tau_p_ms() const { return tau_p_ms_; }
+  double current_tau_s_ms() const { return tau_s_ms_; }
+  int master_node() const { return master_node_; }
+  const StarOptions& options() const { return options_; }
+  net::Fabric* fabric() { return fabric_.get(); }
+
+ private:
+  struct WorkerState {
+    explicit WorkerState(uint64_t seed, uint64_t tid_thread)
+        : rng(seed), gen(tid_thread) {}
+    Rng rng;
+    TidGenerator gen;
+    WorkerStats stats;
+    GroupCommitTracker tracker;
+    std::unique_ptr<ReplicationStream> stream;
+    wal::WalWriter* wal = nullptr;  // owned by Node
+    /// Partitions this worker masters in the partitioned phase (rebuilt on
+    /// view changes, while workers are parked).
+    std::vector<int> partitions;
+    size_t rr = 0;              // round-robin cursor over `partitions`
+    uint64_t seen_seq = 0;      // last phase sequence acted upon
+    uint32_t txn_since_yield = 0;
+  };
+
+  struct Node {
+    int id = 0;
+    std::unique_ptr<Database> db;
+    std::unique_ptr<net::Endpoint> endpoint;
+    std::unique_ptr<ReplicationCounters> counters;
+    std::unique_ptr<ReplicationApplier> applier;
+    std::vector<std::unique_ptr<wal::WalWriter>> wals;  // workers then io
+    std::unique_ptr<wal::Checkpointer> checkpointer;
+    std::vector<std::unique_ptr<WorkerState>> workers;
+    std::vector<std::thread> worker_threads;
+    std::thread control_thread;
+
+    /// Phase word: [ phase : 8 | sequence : 56 ].  Written by the control
+    /// thread, polled by workers.
+    std::atomic<uint64_t> phase_word{0};
+    std::atomic<uint64_t> epoch{1};
+    std::atomic<int> parked{0};
+    uint64_t reported_committed = 0;  // control-thread only
+
+    // Control-thread mailbox (requests from the coordinator RPCs).
+    std::mutex mail_mu;
+    std::condition_variable mail_cv;
+    std::deque<net::Message> mail;
+    std::atomic<bool> control_running{false};
+  };
+
+  static uint64_t PackPhase(Phase p, uint64_t seq) {
+    return (static_cast<uint64_t>(p) << 56) | seq;
+  }
+  static Phase PhaseOf(uint64_t word) {
+    return static_cast<Phase>(word >> 56);
+  }
+  static uint64_t SeqOf(uint64_t word) { return word & ((1ull << 56) - 1); }
+
+  // Thread bodies.
+  void WorkerLoop(Node& node, int worker_index);
+  void ControlLoop(Node& node);
+  void CoordinatorLoop();
+
+  // Worker helpers.
+  void RunPartitionedTxn(Node& node, WorkerState& w, SiloContext& ctx,
+                         int partition);
+  void RunSingleMasterTxn(Node& node, WorkerState& w, SiloContext& ctx);
+  void ReplicateCommit(WorkerState& w, uint64_t tid,
+                       std::vector<WriteSetEntry>& writes, bool allow_ops,
+                       const std::vector<std::vector<int>>& targets);
+  bool SyncReplicate(Node& node, uint64_t tid,
+                     std::vector<WriteSetEntry>& writes);
+  void LogCommitToWal(WorkerState& w, uint64_t tid,
+                      const std::vector<WriteSetEntry>& writes);
+
+  // Coordinator helpers.
+  struct FenceOutcome {
+    bool ok = true;
+    std::vector<int> failed_nodes;
+    uint64_t committed_delta = 0;
+  };
+  FenceOutcome Fence(Phase ended_phase, double phase_seconds);
+  void StartPhaseOnNodes(Phase phase);
+  void HandleFailures(const std::vector<int>& newly_failed);
+  void PerformRejoin(int node);
+  void RecomputeAssignments();
+  void UpdateTaus();
+
+  std::vector<int> HealthyNodes() const;
+
+  StarOptions options_;
+  const Workload& workload_;
+  int num_nodes_;
+  int num_partitions_;
+  Placement placement_;
+
+  std::unique_ptr<net::Fabric> fabric_;
+  std::unique_ptr<net::Endpoint> coordinator_;  // endpoint id == num_nodes_
+  std::vector<std::unique_ptr<Node>> nodes_;
+
+  /// Replication targets per partition, derived from placement_ and node
+  /// health; only mutated while all workers are parked (fence).
+  /// replica_targets_: for partitioned-phase writers (storing minus the
+  /// partition's master).  sm_targets_: for the single-master phase (every
+  /// healthy node storing the partition except the designated master).
+  std::vector<std::vector<int>> replica_targets_;
+  std::vector<std::vector<int>> sm_targets_;
+
+  std::thread coordinator_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> epoch_{1};
+  std::atomic<SystemState> state_{SystemState::kStopped};
+  std::vector<std::atomic<bool>> node_healthy_;
+
+  // Rejoin requests (coordinator picks them up between iterations).
+  std::mutex rejoin_mu_;
+  std::vector<int> rejoin_requests_;
+
+  // Monitored throughputs for Equations (1)-(2).
+  double tp_ = 0;  // partitioned-phase committed txns/sec
+  double ts_ = 0;  // single-master-phase committed txns/sec
+  double tau_p_ms_ = 0;
+  double tau_s_ms_ = 0;
+  uint64_t last_single_delta_ = 0;  // committed in the last partitioned phase
+  uint64_t last_cross_delta_ = 0;   // committed in the last single-master phase
+  int master_node_ = 0;
+
+  std::atomic<uint64_t> fence_count_{0};
+  std::atomic<uint64_t> fence_ns_{0};
+
+ public:
+  std::atomic<uint64_t> fence_stop_ns_{0};   // stop+stats round time
+  std::atomic<uint64_t> fence_drain_ns_{0};  // drain round time
+
+ private:
+
+  uint64_t measure_start_ns_ = 0;
+  uint64_t fabric_bytes_at_reset_ = 0;
+  uint64_t fabric_msgs_at_reset_ = 0;
+};
+
+}  // namespace star
+
+#endif  // STAR_CORE_ENGINE_H_

@@ -1,0 +1,95 @@
+#ifndef STAR_CORE_OPTIONS_H_
+#define STAR_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.h"
+
+namespace star {
+
+/// Execution phases of the phase-switching algorithm (Section 4).
+enum class Phase : uint8_t {
+  kStopped = 0,
+  kPartitioned = 1,   // Section 4.1: serial per-partition execution
+  kSingleMaster = 2,  // Section 4.2: Silo OCC on the designated master
+  kFence = 3,         // Section 4.3: replication fence between phases
+};
+
+inline const char* PhaseName(Phase p) {
+  switch (p) {
+    case Phase::kStopped: return "stopped";
+    case Phase::kPartitioned: return "partitioned";
+    case Phase::kSingleMaster: return "single-master";
+    case Phase::kFence: return "fence";
+  }
+  return "?";
+}
+
+/// Configuration of a StarEngine instance.
+struct StarOptions {
+  ClusterConfig cluster;
+
+  /// Iteration time e = tau_p + tau_s (Equation 1).  The paper's default is
+  /// 10 ms (Section 4.3).
+  double iteration_ms = 10.0;
+
+  /// Fraction P of cross-partition transactions in the offered workload
+  /// (drives Equation 2's phase-length split).
+  double cross_fraction = 0.1;
+
+  /// Replication strategy (Section 5).  kHybrid is the paper's full design:
+  /// value replication in the single-master phase, operation replication in
+  /// the partitioned phase.  kValue is the default experimental baseline
+  /// ("the hybrid replication optimization [is] disabled unless otherwise
+  /// stated", Section 7.1.2).  kSyncValue holds write locks across the
+  /// replication round trip in the single-master phase (SYNC STAR).
+  ReplicationMode replication = ReplicationMode::kValue;
+
+  /// Durability (Section 4.5.1).  Disabled by default, as in the paper's
+  /// main experiments.
+  bool durable_logging = false;
+  bool checkpointing = false;
+  double checkpoint_period_ms = 500.0;
+  std::string log_dir = "/tmp/star_logs";
+  bool fsync = false;
+
+  /// Maintain two versions per record so an uncommitted epoch can be
+  /// reverted after a failure (Section 4.5.2).  Required for failure
+  /// injection; costs one value copy on the first write per record per
+  /// epoch.
+  bool two_version = false;
+
+  /// Floor on a phase length when both kinds of transactions are present.
+  double min_phase_ms = 0.2;
+
+  /// Failure detection: how long the coordinator waits for a fence response
+  /// before declaring a node failed (Section 4.5.2).
+  double fence_timeout_ms = 3000.0;
+
+  /// Exponential smoothing for the monitored throughputs t_p, t_s.
+  double throughput_ewma = 0.5;
+
+  /// Workers call sched_yield after this many transactions so that, on
+  /// hosts with fewer cores than workers, every worker observes fence flags
+  /// promptly (keeps the stop round short).  0 disables.
+  uint32_t yield_every_n_txns = 64;
+};
+
+/// State of the system as a whole, driven by failure handling
+/// (Section 4.5.3).
+enum class SystemState : uint8_t {
+  kRunning = 0,
+  /// Case 2: no full replica remains; a production deployment falls back to
+  /// a distributed concurrency-control mode (our DistOccEngine).  The engine
+  /// halts and reports this state.
+  kFallbackDistributed = 2,
+  /// Case 4: no complete copy remains; availability is lost until recovery
+  /// from disk (wal::Recover).
+  kUnavailable = 4,
+  kStopped = 255,
+};
+
+}  // namespace star
+
+#endif  // STAR_CORE_OPTIONS_H_

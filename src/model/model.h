@@ -1,0 +1,44 @@
+#ifndef STAR_MODEL_MODEL_H_
+#define STAR_MODEL_MODEL_H_
+
+namespace star::model {
+
+/// The analytical model of Section 6.3.
+///
+/// A workload has n_s single-partition and n_c cross-partition transactions;
+/// t_s and t_c are the average times to run each kind in a partitioning-
+/// based system, K = t_c / t_s, and P = n_c / (n_c + n_s).
+///
+///   T_partitioning(n) = (n_s t_s + n_c t_c) / n          (Equation 3)
+///   T_non-partitioned(n) = (n_s + n_c) t_s               (Equation 4)
+///   T_STAR(n) = (n_s / n + n_c) t_s                      (Equation 5)
+///
+/// All ratios below are unitless and depend only on K, P and n.
+
+/// I_partitioning(n) = (KP - P + 1) / (nP - P + 1): STAR's improvement over
+/// a partitioning-based system on n nodes (Figure 10's K-curves).
+inline double ImprovementOverPartitioning(double k, double p, double n) {
+  return (k * p - p + 1.0) / (n * p - p + 1.0);
+}
+
+/// I_non-partitioned(n) = n / (nP - P + 1): STAR's improvement over a
+/// non-partitioned (primary/backup) system (Figure 10's dashed curve).
+inline double ImprovementOverNonPartitioned(double p, double n) {
+  return n / (n * p - p + 1.0);
+}
+
+/// I(n) = n / (nP - P + 1): speedup of STAR on n nodes over STAR on a
+/// single node (Figure 3).  Identical in form to the non-partitioned
+/// improvement because one STAR node degenerates to a non-partitioned
+/// system.
+inline double Speedup(double p, double n) {
+  return n / (n * p - p + 1.0);
+}
+
+/// Break-even cost ratio: STAR outperforms a partitioning-based system when
+/// K > n (Section 6.3's closing observation).
+inline double BreakEvenK(double n) { return n; }
+
+}  // namespace star::model
+
+#endif  // STAR_MODEL_MODEL_H_

@@ -1,0 +1,128 @@
+#include "net/endpoint.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/clock.h"
+
+namespace star::net {
+
+void Endpoint::Start() {
+  running_.store(true, std::memory_order_release);
+  for (int i = 0; i < io_threads_; ++i) {
+    threads_.emplace_back([this] { IoLoop(); });
+  }
+}
+
+void Endpoint::Stop() {
+  running_.store(false, std::memory_order_release);
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void Endpoint::Send(int dst, MsgType type, std::string payload) {
+  Message m;
+  m.src = node_;
+  m.dst = dst;
+  m.type = type;
+  m.payload = std::move(payload);
+  fabric_->Send(std::move(m));
+}
+
+void Endpoint::Respond(const Message& request, MsgType type,
+                       std::string payload) {
+  Message m;
+  m.src = node_;
+  m.dst = request.src;
+  m.type = type;
+  m.flags = kFlagResponse;
+  m.rpc_id = request.rpc_id;
+  m.payload = std::move(payload);
+  fabric_->Send(std::move(m));
+}
+
+uint64_t Endpoint::CallAsync(int dst, MsgType type, std::string payload) {
+  uint64_t id = next_rpc_.fetch_add(1, std::memory_order_relaxed);
+  auto pending = std::make_shared<PendingCall>();
+  {
+    std::lock_guard<SpinLock> g(pending_mu_);
+    pending_.emplace(id, pending);
+  }
+  Message m;
+  m.src = node_;
+  m.dst = dst;
+  m.type = type;
+  m.rpc_id = id;
+  m.payload = std::move(payload);
+  fabric_->Send(std::move(m));
+  return id;
+}
+
+bool Endpoint::Wait(uint64_t token, std::string* response,
+                    uint64_t timeout_ns) {
+  std::shared_ptr<PendingCall> pending;
+  {
+    std::lock_guard<SpinLock> g(pending_mu_);
+    auto it = pending_.find(token);
+    if (it == pending_.end()) return false;
+    pending = it->second;
+  }
+  uint64_t deadline = NowNanos() + timeout_ns;
+  int spins = 0;
+  while (!pending->ready.load(std::memory_order_acquire)) {
+    CpuRelax();
+    // The simulated link latency is tens of microseconds, so a short spin
+    // usually wins; fall back to yielding on an oversubscribed host.
+    if (++spins > 128) {
+      std::this_thread::yield();
+      spins = 0;
+      if (NowNanos() > deadline) {
+        std::lock_guard<SpinLock> g(pending_mu_);
+        pending_.erase(token);
+        return false;
+      }
+    }
+  }
+  if (response != nullptr) *response = std::move(pending->payload);
+  std::lock_guard<SpinLock> g(pending_mu_);
+  pending_.erase(token);
+  return true;
+}
+
+void Endpoint::IoLoop() {
+  int idle = 0;
+  Message m;
+  while (running_.load(std::memory_order_acquire)) {
+    if (!fabric_->Poll(node_, &m)) {
+      // Back off gradually: spin briefly for latency, then sleep with
+      // growing intervals to leave CPU for worker threads on small hosts.
+      if (++idle > 64) {
+        int us = std::min(200, (idle - 64) / 4 + 20);
+        std::this_thread::sleep_for(std::chrono::microseconds(us));
+      } else {
+        CpuRelax();
+      }
+      continue;
+    }
+    idle = 0;
+    if ((m.flags & kFlagResponse) != 0) {
+      std::shared_ptr<PendingCall> pending;
+      {
+        std::lock_guard<SpinLock> g(pending_mu_);
+        auto it = pending_.find(m.rpc_id);
+        if (it != pending_.end()) pending = it->second;
+      }
+      if (pending != nullptr) {
+        pending->payload = std::move(m.payload);
+        pending->ready.store(true, std::memory_order_release);
+      }
+      continue;
+    }
+    Handler& h = handlers_[static_cast<size_t>(m.type)];
+    if (h) h(std::move(m));
+  }
+}
+
+}  // namespace star::net

@@ -1,0 +1,107 @@
+#ifndef STAR_NET_ENDPOINT_H_
+#define STAR_NET_ENDPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/spinlock.h"
+#include "net/fabric.h"
+#include "net/message.h"
+
+namespace star::net {
+
+/// A node's attachment to the fabric: io threads that poll for inbound
+/// messages and dispatch them, plus a blocking RPC facility for worker
+/// threads.  This plays the role of the paper's "2 threads for network
+/// communication" per node (Section 7.1).
+///
+/// Threading contract:
+///  * Handlers run on io threads and must not block on RPCs themselves
+///    (they may touch node-local storage, which is latch-protected).
+///  * With io_threads == 1 (the default), messages from a given source are
+///    handled in FIFO order — a property operation replication relies on
+///    (Section 5).  Engines that enable more io threads must only do so for
+///    order-insensitive traffic (value replication via the Thomas rule).
+class Endpoint {
+ public:
+  using Handler = std::function<void(Message&&)>;
+
+  Endpoint(Fabric* fabric, int node_id, int io_threads = 1)
+      : fabric_(fabric), node_(node_id), io_threads_(io_threads) {}
+  ~Endpoint() { Stop(); }
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  /// Registers the callback for a request type.  Must happen before Start().
+  void RegisterHandler(MsgType type, Handler handler) {
+    handlers_[static_cast<size_t>(type)] = std::move(handler);
+  }
+
+  void Start();
+  void Stop();
+
+  /// One-way message (replication batches, unlock notifications, ...).
+  void Send(int dst, MsgType type, std::string payload);
+
+  /// Sends the response leg of an RPC initiated by `request`.
+  void Respond(const Message& request, MsgType type, std::string payload);
+
+  /// Issues a request and returns a token to wait on.  Several calls may be
+  /// outstanding simultaneously (used for fan-out rounds such as 2PC).
+  uint64_t CallAsync(int dst, MsgType type, std::string payload);
+
+  /// Blocks until the response for `token` arrives.  Returns false on
+  /// timeout (e.g. the peer died); the token is consumed either way.
+  bool Wait(uint64_t token, std::string* response,
+            uint64_t timeout_ns = kDefaultTimeoutNs);
+
+  /// Non-destructive readiness check for an outstanding token.
+  bool IsReady(uint64_t token) {
+    std::lock_guard<SpinLock> g(pending_mu_);
+    auto it = pending_.find(token);
+    return it != pending_.end() &&
+           it->second->ready.load(std::memory_order_acquire);
+  }
+
+  /// Convenience: CallAsync + Wait.
+  bool Call(int dst, MsgType type, std::string payload, std::string* response,
+            uint64_t timeout_ns = kDefaultTimeoutNs) {
+    return Wait(CallAsync(dst, type, std::move(payload)), response,
+                timeout_ns);
+  }
+
+  int node() const { return node_; }
+  Fabric* fabric() const { return fabric_; }
+
+  static constexpr uint64_t kDefaultTimeoutNs = 5'000'000'000ull;  // 5 s
+
+ private:
+  struct PendingCall {
+    std::atomic<bool> ready{false};
+    std::string payload;
+  };
+
+  void IoLoop();
+
+  Fabric* fabric_;
+  int node_;
+  int io_threads_;
+  std::vector<Handler> handlers_{256};
+  std::vector<std::thread> threads_;
+  std::atomic<bool> running_{false};
+
+  SpinLock pending_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<PendingCall>> pending_;
+  std::atomic<uint64_t> next_rpc_{1};
+};
+
+}  // namespace star::net
+
+#endif  // STAR_NET_ENDPOINT_H_

@@ -1,0 +1,71 @@
+#include "net/fabric.h"
+
+#include "common/clock.h"
+
+namespace star::net {
+
+void Fabric::Send(Message&& m) {
+  if (down_[m.src].load(std::memory_order_acquire) ||
+      down_[m.dst].load(std::memory_order_acquire)) {
+    return;  // fail-stop: the wire to/from a dead node is cut
+  }
+
+  uint64_t now = NowNanos();
+  uint64_t wire_bytes = m.payload.size() + options_.per_message_overhead_bytes;
+  uint64_t depart = now;
+
+  if (m.src != m.dst && options_.bandwidth_gbps > 0) {
+    // Per-endpoint egress serialization: claim a transmission slot on the
+    // sender's NIC.  CAS loop because multiple worker threads share a node.
+    uint64_t tx_ns = static_cast<uint64_t>(
+        static_cast<double>(wire_bytes) * 8.0 / options_.bandwidth_gbps);
+    auto& clock = egress_free_at_[m.src];
+    uint64_t prev = clock.load(std::memory_order_relaxed);
+    uint64_t start, end;
+    do {
+      start = prev > now ? prev : now;
+      end = start + tx_ns;
+    } while (!clock.compare_exchange_weak(prev, end,
+                                          std::memory_order_acq_rel));
+    depart = end;
+  }
+
+  double latency_us =
+      m.src == m.dst ? options_.local_latency_us : options_.link_latency_us;
+  m.deliver_at = depart + MicrosToNanos(latency_us);
+
+  bytes_.fetch_add(wire_bytes, std::memory_order_relaxed);
+  messages_.fetch_add(1, std::memory_order_relaxed);
+
+  Link& link = LinkFor(m.src, m.dst);
+  std::lock_guard<SpinLock> g(link.mu);
+  link.q.push_back(std::move(m));
+}
+
+bool Fabric::Poll(int dst, Message* out) {
+  if (down_[dst].load(std::memory_order_acquire)) return false;
+  uint64_t now = NowNanos();
+  uint32_t start = cursors_[dst].v.fetch_add(1, std::memory_order_relaxed);
+  for (int i = 0; i < endpoints_; ++i) {
+    int src = static_cast<int>((start + i) % endpoints_);
+    Link& link = LinkFor(src, dst);
+    std::lock_guard<SpinLock> g(link.mu);
+    if (!link.q.empty() && link.q.front().deliver_at <= now) {
+      *out = std::move(link.q.front());
+      link.q.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Fabric::HasTraffic(int dst) const {
+  for (int src = 0; src < endpoints_; ++src) {
+    const Link& link = LinkFor(src, dst);
+    // Benign race: used only by idle-detection loops in tests.
+    if (!link.q.empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace star::net

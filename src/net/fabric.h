@@ -1,0 +1,115 @@
+#ifndef STAR_NET_FABRIC_H_
+#define STAR_NET_FABRIC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/spinlock.h"
+#include "net/message.h"
+
+namespace star::net {
+
+/// Parameters of the simulated network.  Defaults approximate the paper's
+/// EC2 testbed (Section 7.1): same-AZ one-way latency of ~50 us and a
+/// 4.8 Gbit/s per-node link as measured by iperf.
+struct FabricOptions {
+  double link_latency_us = 50.0;
+  double local_latency_us = 0.0;  // loopback (src == dst)
+  double bandwidth_gbps = 4.8;    // per-endpoint egress; <= 0 -> unlimited
+  /// Fixed per-message overhead charged against bandwidth, modelling
+  /// TCP/IP + framing headers.
+  uint32_t per_message_overhead_bytes = 54;
+};
+
+/// In-process message fabric standing in for the cluster network.
+///
+/// Substitution note (DESIGN.md Section 2): the paper's experiments hinge on
+/// (i) round-trip stalls, (ii) message counts, and (iii) bytes shipped.  The
+/// fabric models all three explicitly: each message is delivered no earlier
+/// than send_time + serialization_delay + link_latency, where serialization
+/// delay is produced by a per-endpoint egress token clock (so a 4.8 Gbit/s
+/// node saturates exactly as in Figure 16(b)).
+///
+/// Per (src, dst) ordering is FIFO, like a TCP connection; this is what makes
+/// operation replication safe in the partitioned phase (Section 5).
+class Fabric {
+ public:
+  Fabric(int endpoints, const FabricOptions& options)
+      : options_(options),
+        endpoints_(endpoints),
+        links_(static_cast<size_t>(endpoints) * endpoints),
+        egress_free_at_(endpoints),
+        down_(endpoints),
+        cursors_(endpoints) {
+    for (auto& e : egress_free_at_) e.store(0, std::memory_order_relaxed);
+    for (auto& d : down_) d.store(false, std::memory_order_relaxed);
+  }
+
+  /// Stamps the delivery deadline and enqueues.  Messages to or from a downed
+  /// endpoint are silently dropped (fail-stop model, Section 4.5.2).
+  void Send(Message&& m);
+
+  /// Retrieves one ready message for `dst`, scanning source queues round-
+  /// robin for fairness.  Returns false if nothing is deliverable yet.
+  bool Poll(int dst, Message* out);
+
+  /// True if any message (ready or in flight) is queued for `dst`.
+  bool HasTraffic(int dst) const;
+
+  /// Fail-stop injection: while down, an endpoint sends and receives
+  /// nothing.  Bringing it back up does not resurrect dropped messages.
+  void SetDown(int endpoint, bool down) {
+    down_[endpoint].store(down, std::memory_order_release);
+  }
+  bool IsDown(int endpoint) const {
+    return down_[endpoint].load(std::memory_order_acquire);
+  }
+
+  uint64_t total_bytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_messages() const {
+    return messages_.load(std::memory_order_relaxed);
+  }
+  void ResetStats() {
+    bytes_.store(0, std::memory_order_relaxed);
+    messages_.store(0, std::memory_order_relaxed);
+  }
+
+  int endpoints() const { return endpoints_; }
+  const FabricOptions& options() const { return options_; }
+
+ private:
+  struct Link {
+    SpinLock mu;
+    std::deque<Message> q;
+  };
+
+  Link& LinkFor(int src, int dst) {
+    return links_[static_cast<size_t>(src) * endpoints_ + dst];
+  }
+  const Link& LinkFor(int src, int dst) const {
+    return links_[static_cast<size_t>(src) * endpoints_ + dst];
+  }
+
+  FabricOptions options_;
+  int endpoints_;
+  std::vector<Link> links_;
+  /// Per-endpoint egress clock: the time at which the sender's NIC frees up.
+  std::vector<std::atomic<uint64_t>> egress_free_at_;
+  std::vector<std::atomic<bool>> down_;
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> messages_{0};
+  /// Round-robin cursor per destination (one cache line each).
+  struct alignas(64) Cursor {
+    std::atomic<uint32_t> v{0};
+  };
+  std::vector<Cursor> cursors_;
+};
+
+}  // namespace star::net
+
+#endif  // STAR_NET_FABRIC_H_

@@ -1,0 +1,79 @@
+#ifndef STAR_REPLICATION_LOG_ENTRY_H_
+#define STAR_REPLICATION_LOG_ENTRY_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "cc/operation.h"
+#include "common/serializer.h"
+
+namespace star {
+
+/// Replication entry kinds (Section 5).
+///  * kValue: the full record value; applied with the Thomas write rule, so
+///    batches may be applied in any order (single-master phase, where a
+///    partition is written by many threads).
+///  * kOperation: field operations; must be applied in stream order, which
+///    the partitioned phase guarantees (one writer per partition, FIFO
+///    links).
+enum class RepKind : uint8_t { kValue = 0, kOperation = 1 };
+
+/// Serialises one replication entry into a batch buffer.
+inline void SerializeValueEntry(WriteBuffer& out, int32_t table,
+                                int32_t partition, uint64_t key, uint64_t tid,
+                                std::string_view value) {
+  out.Write<uint8_t>(static_cast<uint8_t>(RepKind::kValue));
+  out.Write<int32_t>(table);
+  out.Write<int32_t>(partition);
+  out.Write<uint64_t>(key);
+  out.Write<uint64_t>(tid);
+  out.WriteBytes(value.data(), value.size());
+}
+
+inline void SerializeOperationEntry(WriteBuffer& out, int32_t table,
+                                    int32_t partition, uint64_t key,
+                                    uint64_t tid,
+                                    const std::vector<Operation>& ops) {
+  out.Write<uint8_t>(static_cast<uint8_t>(RepKind::kOperation));
+  out.Write<int32_t>(table);
+  out.Write<int32_t>(partition);
+  out.Write<uint64_t>(key);
+  out.Write<uint64_t>(tid);
+  out.Write<uint16_t>(static_cast<uint16_t>(ops.size()));
+  for (const auto& op : ops) op.Serialize(out);
+}
+
+/// A decoded replication entry (views point into the batch payload).
+struct RepEntry {
+  RepKind kind;
+  int32_t table;
+  int32_t partition;
+  uint64_t key;
+  uint64_t tid;
+  std::string_view value;       // kValue
+  std::vector<Operation> ops;   // kOperation
+
+  static RepEntry Deserialize(ReadBuffer& in) {
+    RepEntry e;
+    e.kind = static_cast<RepKind>(in.Read<uint8_t>());
+    e.table = in.Read<int32_t>();
+    e.partition = in.Read<int32_t>();
+    e.key = in.Read<uint64_t>();
+    e.tid = in.Read<uint64_t>();
+    if (e.kind == RepKind::kValue) {
+      e.value = in.ReadBytes();
+    } else {
+      uint16_t n = in.Read<uint16_t>();
+      e.ops.reserve(n);
+      for (uint16_t i = 0; i < n; ++i) {
+        e.ops.push_back(Operation::Deserialize(in));
+      }
+    }
+    return e;
+  }
+};
+
+}  // namespace star
+
+#endif  // STAR_REPLICATION_LOG_ENTRY_H_

@@ -1,0 +1,126 @@
+#ifndef STAR_REPLICATION_STREAM_H_
+#define STAR_REPLICATION_STREAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "cc/silo.h"
+#include "common/config.h"
+#include "common/serializer.h"
+#include "net/endpoint.h"
+#include "replication/log_entry.h"
+
+namespace star {
+
+/// Node-wide replication accounting used by the replication fence (Section
+/// 4.3): during the fence "all participant nodes synchronize statistics
+/// about the number of committed transactions with one another; from these
+/// statistics each node learns how many outstanding writes it is waiting to
+/// see".  We count replication entries per (src, dst) pair.
+class ReplicationCounters {
+ public:
+  explicit ReplicationCounters(int nodes) : sent_(nodes), applied_(nodes) {
+    for (auto& a : sent_) a.store(0, std::memory_order_relaxed);
+    for (auto& a : applied_) a.store(0, std::memory_order_relaxed);
+  }
+
+  void AddSent(int dst, uint64_t n) {
+    sent_[dst].fetch_add(n, std::memory_order_acq_rel);
+  }
+  void AddApplied(int src, uint64_t n) {
+    applied_[src].fetch_add(n, std::memory_order_acq_rel);
+  }
+  uint64_t sent_to(int dst) const {
+    return sent_[dst].load(std::memory_order_acquire);
+  }
+  uint64_t applied_from(int src) const {
+    return applied_[src].load(std::memory_order_acquire);
+  }
+  int nodes() const { return static_cast<int>(sent_.size()); }
+
+  /// Zeroes both directions; used on view changes after an epoch revert,
+  /// when the coordinator resynchronises the replication accounting.
+  void Reset() {
+    for (auto& a : sent_) a.store(0, std::memory_order_release);
+    for (auto& a : applied_) a.store(0, std::memory_order_release);
+  }
+
+ private:
+  std::vector<std::atomic<uint64_t>> sent_;
+  std::vector<std::atomic<uint64_t>> applied_;
+};
+
+/// Per-worker replication output: batches committed writes per destination
+/// and ships them asynchronously (Section 3: "writes of committed
+/// transactions are buffered and asynchronously shipped to replicas" — the
+/// primary does NOT hold locks while replicating).
+class ReplicationStream {
+ public:
+  ReplicationStream(net::Endpoint* endpoint, ReplicationCounters* counters,
+                    int nodes, size_t flush_bytes = 8 * 1024)
+      : endpoint_(endpoint),
+        counters_(counters),
+        flush_bytes_(flush_bytes),
+        buffers_(nodes),
+        counts_(nodes, 0) {}
+
+  /// Appends the write set of a committed transaction for one destination.
+  /// `allow_operations` selects operation replication for ops-only writes
+  /// (hybrid mode, partitioned phase).
+  void Append(int dst, uint64_t tid, const std::vector<WriteSetEntry>& writes,
+              bool allow_operations) {
+    WriteBuffer& buf = buffers_[dst];
+    for (const auto& w : writes) {
+      if (allow_operations && w.ops_only && !w.is_insert) {
+        SerializeOperationEntry(buf, w.table, w.partition, w.key, tid, w.ops);
+      } else {
+        SerializeValueEntry(buf, w.table, w.partition, w.key, tid, w.value);
+      }
+      ++counts_[dst];
+    }
+    if (buf.size() >= flush_bytes_) Flush(dst);
+  }
+
+  /// Appends a single write-set entry for one destination (cross-partition
+  /// transactions replicate each entry to that partition's replica set).
+  void AppendEntry(int dst, uint64_t tid, const WriteSetEntry& w,
+                   bool allow_operations) {
+    WriteBuffer& buf = buffers_[dst];
+    if (allow_operations && w.ops_only && !w.is_insert) {
+      SerializeOperationEntry(buf, w.table, w.partition, w.key, tid, w.ops);
+    } else {
+      SerializeValueEntry(buf, w.table, w.partition, w.key, tid, w.value);
+    }
+    ++counts_[dst];
+    if (buf.size() >= flush_bytes_) Flush(dst);
+  }
+
+  /// Ships the pending batch for one destination.
+  void Flush(int dst) {
+    if (buffers_[dst].empty()) return;
+    counters_->AddSent(dst, counts_[dst]);
+    endpoint_->Send(dst, net::MsgType::kReplicationBatch,
+                    buffers_[dst].Release());
+    buffers_[dst].Clear();
+    counts_[dst] = 0;
+  }
+
+  /// Ships everything (called before acknowledging a fence stop).
+  void FlushAll() {
+    for (size_t dst = 0; dst < buffers_.size(); ++dst) {
+      Flush(static_cast<int>(dst));
+    }
+  }
+
+ private:
+  net::Endpoint* endpoint_;
+  ReplicationCounters* counters_;
+  size_t flush_bytes_;
+  std::vector<WriteBuffer> buffers_;
+  std::vector<uint64_t> counts_;
+};
+
+}  // namespace star
+
+#endif  // STAR_REPLICATION_STREAM_H_

@@ -1,0 +1,130 @@
+#ifndef STAR_STORAGE_DATABASE_H_
+#define STAR_STORAGE_DATABASE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/hash_table.h"
+
+namespace star {
+
+/// Schema of one table: fixed-size values keyed by 64-bit primary keys
+/// (composite keys are packed by the workload; Section 3's hash-table
+/// storage model).
+struct TableSchema {
+  std::string name;
+  uint32_t value_size = 0;
+  /// Sizing hint per partition for the bucket array.
+  size_t expected_rows_per_partition = 1024;
+};
+
+/// One node's copy of the database: a [table x partition] grid of hash
+/// tables, instantiated only for the partitions this node stores (full
+/// replicas store all partitions, partial replicas a subset — Figure 2).
+class Database {
+ public:
+  Database(std::vector<TableSchema> schemas, int num_partitions,
+           const std::vector<int>& present_partitions, bool two_version)
+      : schemas_(std::move(schemas)),
+        num_partitions_(num_partitions),
+        present_(num_partitions, false),
+        two_version_(two_version) {
+    tables_.resize(schemas_.size());
+    for (size_t t = 0; t < schemas_.size(); ++t) {
+      tables_[t].resize(num_partitions);
+    }
+    for (int p : present_partitions) {
+      present_[p] = true;
+      for (size_t t = 0; t < schemas_.size(); ++t) {
+        tables_[t][p] = std::make_unique<HashTable>(
+            schemas_[t].value_size, schemas_[t].expected_rows_per_partition,
+            two_version_);
+      }
+    }
+  }
+
+  /// The hash table for (table, partition); nullptr if the partition is not
+  /// stored on this node.
+  HashTable* table(int table_id, int partition) const {
+    return tables_[table_id][partition].get();
+  }
+
+  bool HasPartition(int partition) const { return present_[partition]; }
+
+  /// Adds storage for a partition (used when mastership is reassigned during
+  /// recovery, Section 4.5.3 Case 3, or when a recovering node re-fetches
+  /// partitions).
+  void AddPartition(int partition) {
+    if (present_[partition]) return;
+    present_[partition] = true;
+    for (size_t t = 0; t < schemas_.size(); ++t) {
+      tables_[t][partition] = std::make_unique<HashTable>(
+          schemas_[t].value_size, schemas_[t].expected_rows_per_partition,
+          two_version_);
+    }
+  }
+
+  /// Bulk-load path used by workload population: installs a record with the
+  /// load-time TID (epoch 0), which any transactional write outranks under
+  /// the Thomas write rule.
+  void Load(int table_id, int partition, uint64_t key, const void* value) {
+    HashTable* ht = tables_[table_id][partition].get();
+    HashTable::Row row = ht->GetOrInsertRow(key);
+    row.rec->LockSpin();
+    row.rec->Store(kLoadTid, value, row.size, row.value, false);
+    row.rec->UnlockWithTid(kLoadTid);
+  }
+
+  /// TID assigned to loaded records: epoch 0, sequence 1.
+  static constexpr uint64_t kLoadTid = 1ull << Tid::kThreadBits;
+
+  /// Discards every version written in `epoch` (Section 4.5.2: on failure
+  /// the system "reverts the database to the last committed epoch").  All
+  /// workers must be quiesced.
+  void RevertEpoch(uint64_t epoch) {
+    for (size_t t = 0; t < tables_.size(); ++t) {
+      for (int p = 0; p < num_partitions_; ++p) {
+        HashTable* ht = tables_[t][p].get();
+        if (ht == nullptr) continue;
+        ht->ForEach([&](uint64_t, Record* rec, char* value) {
+          rec->RevertEpoch(epoch, ht->value_size(), value);
+        });
+      }
+    }
+  }
+
+  /// Discards all data while keeping the Database object (and every pointer
+  /// to it) valid — models a node restarting with empty memory before
+  /// re-fetching its partitions (Section 4.5.3, Case 1 recovery).
+  void ResetStorage() {
+    for (size_t t = 0; t < tables_.size(); ++t) {
+      for (int p = 0; p < num_partitions_; ++p) {
+        if (tables_[t][p] != nullptr) {
+          tables_[t][p] = std::make_unique<HashTable>(
+              schemas_[t].value_size, schemas_[t].expected_rows_per_partition,
+              two_version_);
+        }
+      }
+    }
+  }
+
+  int num_tables() const { return static_cast<int>(schemas_.size()); }
+  int num_partitions() const { return num_partitions_; }
+  bool two_version() const { return two_version_; }
+  const TableSchema& schema(int table_id) const { return schemas_[table_id]; }
+  const std::vector<TableSchema>& schemas() const { return schemas_; }
+
+ private:
+  std::vector<TableSchema> schemas_;
+  int num_partitions_;
+  std::vector<bool> present_;
+  bool two_version_;
+  /// tables_[table][partition]; null for partitions not stored here.
+  std::vector<std::vector<std::unique_ptr<HashTable>>> tables_;
+};
+
+}  // namespace star
+
+#endif  // STAR_STORAGE_DATABASE_H_

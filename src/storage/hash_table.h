@@ -1,0 +1,210 @@
+#ifndef STAR_STORAGE_HASH_TABLE_H_
+#define STAR_STORAGE_HASH_TABLE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/spinlock.h"
+#include "storage/record.h"
+
+namespace star {
+
+/// Mixes a 64-bit key (finalizer of SplitMix64); good avalanche for the
+/// dense integer keys our workloads use.
+inline uint64_t HashKey(uint64_t k) {
+  k = (k ^ (k >> 30)) * 0xBF58476D1CE4E5B9ull;
+  k = (k ^ (k >> 27)) * 0x94D049BB133111EBull;
+  return k ^ (k >> 31);
+}
+
+/// Chaining hash table with per-bucket spinlocks and arena-allocated nodes,
+/// the primary-index structure of Section 3 ("Tables in STAR are implemented
+/// as collections of hash tables").
+///
+/// Properties the engines rely on:
+///  * Record pointers are stable for the table's lifetime (nodes are never
+///    moved or freed), so transactions can stash `Record*` in read/write
+///    sets and replication can target records directly.
+///  * Lookups of existing keys only take the bucket latch on the miss path
+///    of an insert; Get is latch-free (bucket chains are immutable except
+///    for head insertion, done with release stores).
+///  * Values are fixed-size byte arrays (`value_size`), with an optional
+///    trailing backup slot of the same size for epoch revert (two-version
+///    records, Section 4.5.2).
+class HashTable {
+ public:
+  /// `expected_rows` sizes the bucket array (no resizing; chains absorb
+  /// growth).  `two_version` reserves the backup slot in every node.
+  HashTable(uint32_t value_size, size_t expected_rows, bool two_version)
+      : value_size_(value_size),
+        two_version_(two_version),
+        node_bytes_((sizeof(NodeHeader) + sizeof(Record) +
+                     static_cast<size_t>(value_size) * (two_version ? 2 : 1) +
+                     15) &
+                    ~size_t{15}) {
+    size_t want = expected_rows + expected_rows / 2 + 16;
+    size_t cap = 16;
+    while (cap < want) cap <<= 1;
+    buckets_ = std::vector<Bucket>(cap);
+    mask_ = cap - 1;
+  }
+
+  HashTable(const HashTable&) = delete;
+  HashTable& operator=(const HashTable&) = delete;
+
+  ~HashTable() {
+    for (char* chunk : chunks_) delete[] chunk;
+  }
+
+  /// Returns the record for `key`, or nullptr if the key has never been
+  /// inserted.  A present node whose Record is marked absent is returned:
+  /// absence is a visibility property, existence a storage property.
+  Record* Get(uint64_t key) const {
+    const Bucket& b = buckets_[HashKey(key) & mask_];
+    for (NodeHeader* n = b.head.load(std::memory_order_acquire); n != nullptr;
+         n = n->next) {
+      if (n->key == key) return RecordOf(n);
+    }
+    return nullptr;
+  }
+
+  /// Returns the record for `key`, creating an absent-marked record if the
+  /// key is new.  `*inserted` reports whether a node was created.
+  Record* GetOrInsert(uint64_t key, bool* inserted = nullptr) {
+    Bucket& b = buckets_[HashKey(key) & mask_];
+    // Fast path: already present.
+    for (NodeHeader* n = b.head.load(std::memory_order_acquire); n != nullptr;
+         n = n->next) {
+      if (n->key == key) {
+        if (inserted != nullptr) *inserted = false;
+        return RecordOf(n);
+      }
+    }
+    std::lock_guard<SpinLock> g(b.mu);
+    // Re-check under the latch: another thread may have inserted.
+    for (NodeHeader* n = b.head.load(std::memory_order_relaxed); n != nullptr;
+         n = n->next) {
+      if (n->key == key) {
+        if (inserted != nullptr) *inserted = false;
+        return RecordOf(n);
+      }
+    }
+    NodeHeader* n = AllocateNode();
+    n->key = key;
+    n->next = b.head.load(std::memory_order_relaxed);
+    Record* rec = RecordOf(n);
+    rec->Init(/*absent=*/true);
+    std::memset(ValueOf(n), 0, value_size_);
+    b.head.store(n, std::memory_order_release);
+    size_.fetch_add(1, std::memory_order_relaxed);
+    if (inserted != nullptr) *inserted = true;
+    return rec;
+  }
+
+  /// Value bytes that belong to `rec` (the Record returned by Get).
+  char* ValueOfRecord(Record* rec) const {
+    return reinterpret_cast<char*>(rec) + sizeof(Record);
+  }
+  const char* ValueOfRecord(const Record* rec) const {
+    return reinterpret_cast<const char*>(rec) + sizeof(Record);
+  }
+
+  /// A record with its value pointer — the unit engines keep in read/write
+  /// sets.
+  struct Row {
+    Record* rec = nullptr;
+    char* value = nullptr;
+    uint32_t size = 0;
+
+    bool valid() const { return rec != nullptr; }
+    /// Consistent optimistic read; returns the observed meta word.
+    uint64_t ReadStable(void* out) const {
+      return rec->ReadStable(out, size, value);
+    }
+  };
+
+  /// Row lookup; Row.rec == nullptr when the key was never inserted.
+  Row GetRow(uint64_t key) const {
+    Record* rec = Get(key);
+    if (rec == nullptr) return Row{};
+    return Row{rec, const_cast<HashTable*>(this)->ValueOfRecord(rec),
+               value_size_};
+  }
+
+  Row GetOrInsertRow(uint64_t key, bool* inserted = nullptr) {
+    Record* rec = GetOrInsert(key, inserted);
+    return Row{rec, ValueOfRecord(rec), value_size_};
+  }
+
+  /// Iterates every node: fn(key, record, value_bytes).  Takes each bucket
+  /// latch; safe against concurrent inserts (used by the checkpointer and
+  /// by epoch revert).
+  void ForEach(
+      const std::function<void(uint64_t, Record*, char*)>& fn) {
+    for (Bucket& b : buckets_) {
+      std::lock_guard<SpinLock> g(b.mu);
+      for (NodeHeader* n = b.head.load(std::memory_order_relaxed);
+           n != nullptr; n = n->next) {
+        fn(n->key, RecordOf(n), ValueOf(n));
+      }
+    }
+  }
+
+  uint32_t value_size() const { return value_size_; }
+  bool two_version() const { return two_version_; }
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+ private:
+  struct NodeHeader {
+    NodeHeader* next;
+    uint64_t key;
+    // followed by: Record (16 bytes), value bytes, optional backup bytes
+  };
+
+  struct Bucket {
+    SpinLock mu;
+    std::atomic<NodeHeader*> head{nullptr};
+  };
+
+  static Record* RecordOf(NodeHeader* n) {
+    return reinterpret_cast<Record*>(reinterpret_cast<char*>(n) +
+                                     sizeof(NodeHeader));
+  }
+  char* ValueOf(NodeHeader* n) const {
+    return reinterpret_cast<char*>(n) + sizeof(NodeHeader) + sizeof(Record);
+  }
+
+  /// Bump allocator; called with the bucket latch held, guarded by its own
+  /// latch because different buckets share the arena.
+  NodeHeader* AllocateNode() {
+    std::lock_guard<SpinLock> g(arena_mu_);
+    if (arena_used_ + node_bytes_ > kChunkBytes || chunks_.empty()) {
+      size_t chunk_size = node_bytes_ > kChunkBytes ? node_bytes_ : kChunkBytes;
+      chunks_.push_back(new char[chunk_size]);
+      arena_used_ = 0;
+    }
+    char* p = chunks_.back() + arena_used_;
+    arena_used_ += node_bytes_;
+    return reinterpret_cast<NodeHeader*>(p);
+  }
+
+  static constexpr size_t kChunkBytes = 1 << 20;
+
+  uint32_t value_size_;
+  bool two_version_;
+  size_t node_bytes_;
+  std::vector<Bucket> buckets_;
+  size_t mask_;
+  std::atomic<size_t> size_{0};
+
+  SpinLock arena_mu_;
+  std::vector<char*> chunks_;
+  size_t arena_used_ = 0;
+};
+
+}  // namespace star
+
+#endif  // STAR_STORAGE_HASH_TABLE_H_

@@ -1,0 +1,192 @@
+#ifndef STAR_STORAGE_RECORD_H_
+#define STAR_STORAGE_RECORD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+
+#include "common/spinlock.h"
+#include "common/tid.h"
+
+namespace star {
+
+/// A record slot: one 64-bit meta word followed (in the enclosing hash-table
+/// node) by the value bytes and, when fault tolerance is enabled, a backup
+/// copy of the previous epoch's value (Section 4.5.2: "the database maintains
+/// two versions of each record").
+///
+/// Meta word layout:  [ lock : 1 ][ absent : 1 ][ tid : 62 ]
+///
+/// Concurrency protocol (Silo variant, Section 3):
+///  * Readers use ReadStable: copy the value between two meta-word loads and
+///    retry if the word changed or was locked — an optimistic, latch-free
+///    read.
+///  * Writers either own the partition exclusively (partitioned phase: no
+///    locking at all) or hold the record lock (single-master phase commit).
+///  * Replication appliers use ApplyThomas: last-writer-wins on TID, which
+///    tolerates arbitrary reordering of the replication stream.
+class Record {
+ public:
+  static constexpr uint64_t kLockBit = 1ull << 63;
+  static constexpr uint64_t kAbsentBit = 1ull << 62;
+
+  /// In-place initialisation (records live inside arena-allocated hash
+  /// nodes; there is no constructor call path through operator new).
+  void Init(bool absent) {
+    word_.store(absent ? kAbsentBit : 0, std::memory_order_relaxed);
+    backup_tid_ = kNoBackup;
+  }
+
+  // --- meta word ---
+
+  uint64_t LoadWord(std::memory_order order = std::memory_order_acquire) const {
+    return word_.load(order);
+  }
+  static bool IsLocked(uint64_t word) { return (word & kLockBit) != 0; }
+  static bool IsAbsent(uint64_t word) { return (word & kAbsentBit) != 0; }
+  static uint64_t TidOf(uint64_t word) { return word & Tid::kTidMask; }
+
+  bool IsPresent() const { return !IsAbsent(LoadWord()); }
+  uint64_t LoadTid() const { return TidOf(LoadWord()); }
+
+  bool TryLock() {
+    uint64_t w = word_.load(std::memory_order_relaxed);
+    if (IsLocked(w)) return false;
+    return word_.compare_exchange_strong(w, w | kLockBit,
+                                         std::memory_order_acquire);
+  }
+
+  /// Acquires the record lock, spinning.  Deadlock freedom is the caller's
+  /// obligation (write sets are locked in address order).
+  void LockSpin() {
+    int spins = 0;
+    while (!TryLock()) {
+      CpuRelax();
+      if (++spins > 256) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+
+  void Unlock() {
+    word_.store(word_.load(std::memory_order_relaxed) & ~kLockBit,
+                std::memory_order_release);
+  }
+
+  /// Releases the lock and installs a new TID (and clears the absent bit):
+  /// the final step of a Silo commit on this record.
+  void UnlockWithTid(uint64_t tid) {
+    word_.store(tid & Tid::kTidMask, std::memory_order_release);
+  }
+
+  /// Releases the lock leaving the record logically absent — the abort path
+  /// for a record created by this transaction's insert.
+  void UnlockMarkAbsent() { word_.store(kAbsentBit, std::memory_order_release); }
+
+  // --- data access ---
+
+  /// Optimistic consistent read: copies `size` bytes of the value into `out`
+  /// and returns the meta word observed (TID + absent bit).  Spins while the
+  /// record is locked or the copy raced with a writer.
+  uint64_t ReadStable(void* out, size_t size, const char* value) const {
+    for (;;) {
+      uint64_t w1 = word_.load(std::memory_order_acquire);
+      if (IsLocked(w1)) {
+        CpuRelax();
+        continue;
+      }
+      std::memcpy(out, value, size);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      uint64_t w2 = word_.load(std::memory_order_acquire);
+      if (w1 == w2) return w1;
+    }
+  }
+
+  /// Bounded variant of ReadStable for io-thread handlers, which must never
+  /// block indefinitely (a handler stuck on a locked record can deadlock
+  /// with the lock holder waiting for that handler's own io thread).
+  /// Returns false if the record stayed locked/unstable for `max_attempts`.
+  bool TryReadStable(void* out, size_t size, const char* value,
+                     uint64_t* word_out, int max_attempts = 256) const {
+    for (int i = 0; i < max_attempts; ++i) {
+      uint64_t w1 = word_.load(std::memory_order_acquire);
+      if (IsLocked(w1)) {
+        CpuRelax();
+        continue;
+      }
+      std::memcpy(out, value, size);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      uint64_t w2 = word_.load(std::memory_order_acquire);
+      if (w1 == w2) {
+        *word_out = w1;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Installs a value while the caller has exclusive access (partition owner
+  /// or lock holder).  Maintains the previous-epoch backup when
+  /// `keep_backup`: the first write in a new epoch saves the last committed
+  /// version so the epoch can be reverted on failure (Section 4.5.2).
+  void Store(uint64_t tid, const void* val, size_t size, char* value,
+             bool keep_backup) {
+    uint64_t cur = word_.load(std::memory_order_relaxed);
+    if (keep_backup && Tid::Epoch(TidOf(cur)) != Tid::Epoch(tid)) {
+      backup_tid_ = IsAbsent(cur) ? kBackupAbsent : TidOf(cur);
+      std::memcpy(value + size, value, size);
+    }
+    std::memcpy(value, val, size);
+  }
+
+  /// Thomas write rule (Section 3): applies the write iff `tid` exceeds the
+  /// record's current TID.  Returns true if the value was installed.  Safe
+  /// against concurrent appliers and readers; takes the record lock.
+  bool ApplyThomas(uint64_t tid, const void* val, size_t size, char* value,
+                   bool keep_backup) {
+    LockSpin();
+    uint64_t w = word_.load(std::memory_order_relaxed);
+    if (!IsAbsent(w) && TidOf(w) >= tid) {
+      Unlock();
+      return false;
+    }
+    Store(tid, val, size, value, keep_backup);
+    UnlockWithTid(tid);
+    return true;
+  }
+
+  /// Reverts the record to the previous-epoch version if its current version
+  /// belongs to `epoch` (the epoch being discarded after a failure).  Caller
+  /// must have quiesced all writers.
+  void RevertEpoch(uint64_t epoch, size_t size, char* value) {
+    uint64_t w = word_.load(std::memory_order_relaxed);
+    if (IsAbsent(w) || Tid::Epoch(TidOf(w)) != epoch) return;
+    if (backup_tid_ == kNoBackup || backup_tid_ == kBackupAbsent) {
+      // The record was created in the reverted epoch: it logically
+      // disappears again.
+      word_.store(kAbsentBit, std::memory_order_release);
+      return;
+    }
+    std::memcpy(value, value + size, size);
+    word_.store(backup_tid_ & Tid::kTidMask, std::memory_order_release);
+  }
+
+  uint64_t backup_tid() const { return backup_tid_; }
+
+ private:
+  static constexpr uint64_t kNoBackup = ~0ull;
+  static constexpr uint64_t kBackupAbsent = ~0ull - 1;
+
+  std::atomic<uint64_t> word_;
+  /// TID of the backup (previous-epoch) version; kNoBackup when the backup
+  /// slot has never been written, kBackupAbsent when the record did not
+  /// exist before the current epoch.
+  uint64_t backup_tid_;
+};
+
+static_assert(sizeof(Record) == 16, "Record header should stay compact");
+
+}  // namespace star
+
+#endif  // STAR_STORAGE_RECORD_H_

@@ -1,0 +1,115 @@
+#ifndef STAR_WAL_WAL_H_
+#define STAR_WAL_WAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "common/serializer.h"
+#include "common/spinlock.h"
+#include "storage/database.h"
+
+namespace star::wal {
+
+/// Per-worker write-ahead log (Section 4.5.1): "each worker thread has a
+/// local recovery log.  The writes of committed transactions along with some
+/// metadata are buffered in memory and periodically flushed."
+///
+/// Record entry: key, value and TID (the TID embeds the epoch).  Epoch
+/// markers are appended at every replication fence; recovery replays only
+/// epochs whose marker is present in *every* worker log, which restores the
+/// database "to the end of the last epoch" (Section 4.5.3, Case 4).
+class WalWriter {
+ public:
+  WalWriter(std::string path, bool fsync_on_flush, size_t flush_bytes = 1 << 20);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Buffers one committed write (whole record, Section 5's transform makes
+  /// this possible even under operation replication).
+  void Append(int32_t table, int32_t partition, uint64_t key, uint64_t tid,
+              std::string_view value);
+
+  /// Appends the epoch-commit marker and flushes (called in the fence).
+  void MarkEpochAndFlush(uint64_t epoch);
+
+  void Flush();
+
+  uint64_t bytes_written() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  const std::string& path() const { return path_; }
+
+  // Entry tags in the on-disk stream.
+  static constexpr uint8_t kWriteTag = 0;
+  static constexpr uint8_t kEpochTag = 1;
+
+ private:
+  void FlushLocked();
+
+  std::string path_;
+  FILE* file_;
+  bool fsync_;
+  size_t flush_bytes_;
+  WriteBuffer buf_;
+  std::atomic<uint64_t> bytes_{0};
+  /// Appends come from one thread in the common case, but fence-time epoch
+  /// markers on io-thread logs are written by the node control thread, so
+  /// every mutation takes this latch.
+  SpinLock mu_;
+};
+
+/// Non-quiescent checkpointer (Section 4.5.1): scans the database and logs
+/// each record with its TID.  The snapshot need not be transactionally
+/// consistent — recovery fixes it up with the Thomas write rule — so workers
+/// keep running.
+class Checkpointer {
+ public:
+  Checkpointer(Database* db, std::string dir, int node,
+               const std::atomic<uint64_t>* epoch)
+      : db_(db), dir_(std::move(dir)), node_(node), epoch_(epoch) {}
+  ~Checkpointer() { Stop(); }
+
+  /// Writes one full checkpoint; returns the epoch recorded at its start.
+  uint64_t RunOnce();
+
+  /// Background loop checkpointing every `period_ms`.
+  void StartPeriodic(double period_ms);
+  void Stop();
+
+  std::string FinalPath() const;
+
+ private:
+  Database* db_;
+  std::string dir_;
+  int node_;
+  const std::atomic<uint64_t>* epoch_;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+struct RecoveryResult {
+  uint64_t committed_epoch = 0;  // database restored to the end of this epoch
+  uint64_t checkpoint_entries = 0;
+  uint64_t log_entries_replayed = 0;
+  uint64_t log_entries_skipped = 0;  // newer than the committed epoch
+};
+
+/// Rebuilds a node's database from its checkpoint + worker logs (Section
+/// 4.5.3, Case 4).  The checkpoint is loaded first (possibly inconsistent),
+/// then every log entry with epoch <= committed_epoch is replayed under the
+/// Thomas write rule; order is irrelevant.
+RecoveryResult Recover(Database* db, const std::string& dir, int node,
+                       int num_workers);
+
+/// Helper naming scheme shared by writer and recovery.
+std::string WalPath(const std::string& dir, int node, int worker);
+
+}  // namespace star::wal
+
+#endif  // STAR_WAL_WAL_H_

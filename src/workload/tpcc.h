@@ -1,0 +1,231 @@
+#ifndef STAR_WORKLOAD_TPCC_H_
+#define STAR_WORKLOAD_TPCC_H_
+
+#include <cstddef>
+#include <cstring>
+
+#include "cc/workload.h"
+
+namespace star {
+
+/// TPC-C as configured in Section 7.1.1: nine tables partitioned by
+/// warehouse id, running the NewOrder + Payment mix (88% of the standard
+/// mix; the remaining transactions need range scans the paper's hash-table
+/// storage does not support).  One warehouse per partition.
+///
+/// Scale knobs default to a laptop-friendly fraction of the spec sizes; the
+/// schema, access patterns, skew (NURand) and abort behaviour follow the
+/// spec.  Cross-partition behaviour matches the paper: a cross-partition
+/// NewOrder sources some items from remote warehouses, a cross-partition
+/// Payment pays through a customer of a remote warehouse.
+struct TpccOptions {
+  int districts_per_warehouse = 10;
+  int customers_per_district = 600;
+  int items = 5000;
+  /// Fraction of order lines drawn from a remote warehouse within a
+  /// cross-partition NewOrder.
+  double remote_item_prob = 0.5;
+};
+
+// --- row types (fixed-size, standard layout; offsets feed Operation) ---
+
+struct WarehouseRow {
+  double ytd;
+  double tax;
+  char name[10];
+  char street[20];
+  char city[20];
+  char state[2];
+  char zip[9];
+};
+
+struct DistrictRow {
+  double ytd;
+  double tax;
+  int64_t next_o_id;
+  char name[10];
+  char street[20];
+  char city[20];
+  char state[2];
+  char zip[9];
+};
+
+struct CustomerRow {
+  double balance;
+  double ytd_payment;
+  double discount;
+  int64_t payment_cnt;
+  int64_t delivery_cnt;
+  char first[16];
+  char middle[2];
+  char last[16];
+  char street[20];
+  char city[20];
+  char state[2];
+  char zip[9];
+  char credit[2];  // "GC" or "BC"
+  char data[500];  // the 500-character field Payment appends to (Section 5)
+};
+
+struct HistoryRow {
+  int64_t c_id;
+  int64_t c_d_id;
+  int64_t c_w_id;
+  int64_t d_id;
+  int64_t w_id;
+  double amount;
+  char data[24];
+};
+
+struct NewOrderRow {
+  int64_t placeholder;
+};
+
+struct OrderRow {
+  int64_t c_id;
+  int64_t entry_d;
+  int64_t carrier_id;
+  int64_t ol_cnt;
+  int64_t all_local;
+};
+
+struct OrderLineRow {
+  int64_t i_id;
+  int64_t supply_w_id;
+  int64_t quantity;
+  double amount;
+  int64_t delivery_d;
+  char dist_info[24];
+};
+
+struct ItemRow {
+  double price;
+  int64_t im_id;
+  char name[24];
+  char data[50];
+};
+
+struct StockRow {
+  int64_t quantity;
+  double ytd;
+  int64_t order_cnt;
+  int64_t remote_cnt;
+  char dist[24];
+  char data[50];
+};
+
+/// Secondary index: (district, last-name id) -> representative customer id
+/// ("Fields with secondary indexes can be accessed by mapping a value to the
+/// relevant primary key", Section 3).  Loaded with the median matching
+/// customer, per the spec's by-last-name selection.
+struct CustomerNameIndexRow {
+  int64_t c_id;
+};
+
+class TpccWorkload final : public Workload {
+ public:
+  enum Table : int {
+    kWarehouse = 0,
+    kDistrict = 1,
+    kCustomer = 2,
+    kHistory = 3,
+    kNewOrder = 4,
+    kOrder = 5,
+    kOrderLine = 6,
+    kItem = 7,
+    kStock = 8,
+    kCustomerNameIndex = 9,
+  };
+
+  explicit TpccWorkload(const TpccOptions& options = {}) : options_(options) {
+    // The by-last-name index resolution used for a-priori access lists
+    // (Calvin) relies on last-name ids mapping to themselves, which holds
+    // while every district has at most 1000 customers (spec last-name rule).
+    assert(options_.customers_per_district <= 1000);
+  }
+
+  std::string name() const override { return "tpcc"; }
+
+  bool IsReadOnlyTable(int table) const override {
+    return table == kItem || table == kCustomerNameIndex;
+  }
+
+  std::vector<TableSchema> Schemas() const override {
+    size_t d = options_.districts_per_warehouse;
+    size_t c = d * options_.customers_per_district;
+    size_t i = options_.items;
+    return {
+        TableSchema{"warehouse", sizeof(WarehouseRow), 1},
+        TableSchema{"district", sizeof(DistrictRow), d},
+        TableSchema{"customer", sizeof(CustomerRow), c},
+        TableSchema{"history", sizeof(HistoryRow), 4 * c},
+        TableSchema{"new_order", sizeof(NewOrderRow), 4 * c},
+        TableSchema{"order", sizeof(OrderRow), 4 * c},
+        TableSchema{"order_line", sizeof(OrderLineRow), 8 * c},
+        TableSchema{"item", sizeof(ItemRow), i},
+        TableSchema{"stock", sizeof(StockRow), i},
+        TableSchema{"customer_name_index", sizeof(CustomerNameIndexRow), c},
+    };
+  }
+
+  // --- key packing (warehouse == partition; keys are partition-local) ---
+
+  uint64_t DistrictKey(int d) const { return static_cast<uint64_t>(d); }
+  uint64_t CustomerKey(int d, int c) const {
+    return static_cast<uint64_t>(d) * options_.customers_per_district + c;
+  }
+  static uint64_t OrderKey(int d, int64_t o) {
+    return (static_cast<uint64_t>(d) << 40) | static_cast<uint64_t>(o);
+  }
+  static uint64_t OrderLineKey(int d, int64_t o, int ol) {
+    return (OrderKey(d, o) << 4) | static_cast<uint64_t>(ol);
+  }
+  static uint64_t StockKey(int item) { return static_cast<uint64_t>(item); }
+  static uint64_t NameIndexKey(int d, int name_id) {
+    return static_cast<uint64_t>(d) * 1000 + name_id;
+  }
+
+  void PopulatePartition(Database& db, int partition) const override;
+
+  TxnRequest MakeSinglePartition(Rng& rng, int partition,
+                                 int num_partitions) const override {
+    // Standard mix: a NewOrder is followed by a Payment (Section 7.1.1).
+    if (rng.Flip(0.5)) {
+      return MakeNewOrder(rng, partition, num_partitions, /*cross=*/false);
+    }
+    return MakePayment(rng, partition, num_partitions, /*cross=*/false);
+  }
+
+  TxnRequest MakeCrossPartition(Rng& rng, int home,
+                                int num_partitions) const override {
+    if (rng.Flip(0.5)) {
+      return MakeNewOrder(rng, home, num_partitions, /*cross=*/true);
+    }
+    return MakePayment(rng, home, num_partitions, /*cross=*/true);
+  }
+
+  TxnRequest MakeNewOrder(Rng& rng, int w, int num_partitions,
+                          bool cross) const;
+  TxnRequest MakePayment(Rng& rng, int w, int num_partitions,
+                         bool cross) const;
+
+  const TpccOptions& options() const { return options_; }
+
+  /// Spec last-name generator: three syllables indexed by a 0..999 id.
+  static void LastName(int id, char out[16]) {
+    static const char* kSyllables[] = {"BAR", "OUGHT", "ABLE", "PRI",
+                                       "PRES", "ESE",   "ANTI", "CALLY",
+                                       "ATION", "EYING"};
+    std::memset(out, 0, 16);
+    std::string s = std::string(kSyllables[id / 100]) +
+                    kSyllables[(id / 10) % 10] + kSyllables[id % 10];
+    std::memcpy(out, s.data(), std::min<size_t>(s.size(), 15));
+  }
+
+ private:
+  TpccOptions options_;
+};
+
+}  // namespace star
+
+#endif  // STAR_WORKLOAD_TPCC_H_

@@ -1,0 +1,131 @@
+#ifndef STAR_WORKLOAD_YCSB_H_
+#define STAR_WORKLOAD_YCSB_H_
+
+#include <cstring>
+#include <memory>
+
+#include "cc/workload.h"
+
+namespace star {
+
+/// YCSB as configured in Section 7.1.1: a single table with 10 columns of 10
+/// random bytes, 64-bit integer keys, 200 K records per partition, and
+/// transactions of 10 accesses following a uniform distribution with a 90/10
+/// read / read-modify-write mix.
+///
+/// A cross-partition transaction draws each access's partition uniformly at
+/// random ("access multiple partitions"); a single-partition transaction
+/// confines every access to its home partition.
+struct YcsbOptions {
+  uint64_t rows_per_partition = 200'000;
+  int ops_per_txn = 10;
+  /// Probability that an access is a read (the rest are read-modify-writes).
+  double read_ratio = 0.9;
+  /// 0 = uniform (the paper's default); > 0 enables Zipfian skew.
+  double zipf_theta = 0.0;
+};
+
+/// The YCSB row: 10 columns x 10 bytes.
+struct YcsbRow {
+  char columns[10][10];
+};
+static_assert(sizeof(YcsbRow) == 100);
+
+class YcsbWorkload final : public Workload {
+ public:
+  explicit YcsbWorkload(const YcsbOptions& options = {}) : options_(options) {
+    if (options_.zipf_theta > 0) {
+      zipf_ = std::make_unique<Zipf>(options_.rows_per_partition,
+                                     options_.zipf_theta);
+    }
+  }
+
+  std::string name() const override { return "ycsb"; }
+
+  std::vector<TableSchema> Schemas() const override {
+    return {TableSchema{"usertable", sizeof(YcsbRow),
+                        options_.rows_per_partition}};
+  }
+
+  void PopulatePartition(Database& db, int partition) const override {
+    // Deterministic per partition so every replica loads identical bytes.
+    Rng rng(0xC0FFEEull * (partition + 1));
+    YcsbRow row;
+    for (uint64_t k = 0; k < options_.rows_per_partition; ++k) {
+      for (auto& col : row.columns) rng.FillString(col, sizeof(col));
+      db.Load(kTable, partition, k, &row);
+    }
+  }
+
+  TxnRequest MakeSinglePartition(Rng& rng, int partition,
+                                 int num_partitions) const override {
+    return MakeTxn(rng, partition, num_partitions, /*cross=*/false);
+  }
+
+  TxnRequest MakeCrossPartition(Rng& rng, int home_partition,
+                                int num_partitions) const override {
+    return MakeTxn(rng, home_partition, num_partitions, /*cross=*/true);
+  }
+
+  static constexpr int kTable = 0;
+
+ private:
+  uint64_t SampleKey(Rng& rng) const {
+    if (zipf_ != nullptr) return zipf_->Sample(rng);
+    return rng.Uniform(options_.rows_per_partition);
+  }
+
+  TxnRequest MakeTxn(Rng& rng, int home, int num_partitions,
+                     bool cross) const {
+    TxnRequest req;
+    req.cross_partition = cross;
+    req.home_partition = home;
+    req.accesses.reserve(options_.ops_per_txn);
+
+    for (int i = 0; i < options_.ops_per_txn; ++i) {
+      AccessDesc a;
+      a.table = kTable;
+      a.partition = cross ? static_cast<int>(rng.Uniform(num_partitions))
+                          : home;
+      a.key = SampleKey(rng);
+      a.write = !rng.Flip(options_.read_ratio);
+      req.accesses.push_back(a);
+    }
+    // Guarantee a cross-partition transaction actually leaves home.
+    if (cross && num_partitions > 1) {
+      bool leaves = false;
+      for (const auto& a : req.accesses) leaves |= (a.partition != home);
+      if (!leaves) {
+        req.accesses[0].partition =
+            (home + 1 + static_cast<int>(
+                            rng.Uniform(num_partitions - 1))) %
+            num_partitions;
+      }
+    }
+
+    req.proc = [accesses = req.accesses](TxnContext& ctx) {
+      YcsbRow row;
+      for (const auto& a : accesses) {
+        if (!ctx.Read(kTable, a.partition, a.key, &row)) {
+          return TxnStatus::kAbortConflict;
+        }
+        if (a.write) {
+          // Read-modify-write: rewrite one column (the whole record is
+          // replicated — "a transaction in YCSB always updates the whole
+          // record", Section 7.5).
+          ctx.rng().FillString(row.columns[0], sizeof(row.columns[0]));
+          ctx.Write(kTable, a.partition, a.key, &row);
+        }
+      }
+      return TxnStatus::kCommitted;
+    };
+    return req;
+  }
+
+  YcsbOptions options_;
+  std::unique_ptr<Zipf> zipf_;
+};
+
+}  // namespace star
+
+#endif  // STAR_WORKLOAD_YCSB_H_

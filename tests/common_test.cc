@@ -1,0 +1,208 @@
+// Utility substrate: RNG, histogram, serialization, locks, placement.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/config.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/serializer.h"
+#include "common/spinlock.h"
+
+namespace star {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = rng.UniformInclusive(5, 15);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 15u);
+  }
+}
+
+TEST(Rng, FlipProbability) {
+  Rng rng(11);
+  int heads = 0;
+  for (int i = 0; i < 100000; ++i) heads += rng.Flip(0.1);
+  EXPECT_NEAR(heads / 100000.0, 0.1, 0.01);
+}
+
+TEST(Rng, NonUniformWithinBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = rng.NonUniform(255, 0, 999);
+    EXPECT_LE(v, 999u);
+  }
+}
+
+TEST(Zipf, SamplesInRangeAndSkewed) {
+  Rng rng(5);
+  Zipf zipf(1000, 0.9);
+  uint64_t low = 0;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = zipf.Sample(rng);
+    ASSERT_LT(v, 1000u);
+    if (v < 100) ++low;
+  }
+  // With theta=0.9 the head is much hotter than uniform (10%).
+  EXPECT_GT(low, 20000 * 0.3);
+}
+
+TEST(Histogram, QuantilesOfUniformRamp) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100000; ++v) h.Record(v);
+  EXPECT_NEAR(static_cast<double>(h.p50()), 50000, 50000 * 0.02);
+  EXPECT_NEAR(static_cast<double>(h.p99()), 99000, 99000 * 0.02);
+  EXPECT_EQ(h.count(), 100000u);
+}
+
+TEST(Histogram, MergeEqualsCombined) {
+  Histogram a, b, all;
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t v = rng.Uniform(1000000) + 1;
+    ((i % 2 == 0) ? a : b).Record(v);
+    all.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.p50(), all.p50());
+  EXPECT_EQ(a.p99(), all.p99());
+}
+
+TEST(Serializer, RoundTrip) {
+  WriteBuffer w;
+  w.Write<uint32_t>(7);
+  w.Write<int64_t>(-55);
+  w.WriteString("hello");
+  w.Write<uint8_t>(255);
+  ReadBuffer r(w.data());
+  EXPECT_EQ(r.Read<uint32_t>(), 7u);
+  EXPECT_EQ(r.Read<int64_t>(), -55);
+  EXPECT_EQ(r.ReadBytes(), "hello");
+  EXPECT_EQ(r.Read<uint8_t>(), 255);
+  EXPECT_TRUE(r.Done());
+}
+
+TEST(Serializer, PatchUpdatesHeader) {
+  WriteBuffer w;
+  w.Write<uint32_t>(0);  // placeholder count
+  w.Write<uint64_t>(1);
+  w.Write<uint64_t>(2);
+  w.Patch<uint32_t>(0, 2);
+  ReadBuffer r(w.data());
+  EXPECT_EQ(r.Read<uint32_t>(), 2u);
+}
+
+TEST(SpinLock, MutualExclusion) {
+  SpinLock mu;
+  int counter = 0;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < 20000; ++i) {
+        std::lock_guard<SpinLock> g(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(counter, 80000);
+}
+
+TEST(SpinBarrier, ReusableAcrossRounds) {
+  constexpr int kThreads = 4;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> phase_counts[3] = {{0}, {0}, {0}};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int round = 0; round < 3; ++round) {
+        phase_counts[round].fetch_add(1);
+        barrier.Wait();
+        // After the barrier, every thread must have bumped this round.
+        EXPECT_EQ(phase_counts[round].load(), kThreads);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+}
+
+// --- Placement (Figure 2 invariants) ---
+
+struct PlacementCase {
+  int f, k, partitions;
+};
+
+class StarPlacementProperty : public ::testing::TestWithParam<PlacementCase> {};
+
+TEST_P(StarPlacementProperty, AsymmetricInvariantsHold) {
+  auto [f, k, parts] = GetParam();
+  Placement p = Placement::Star(f, k, parts);
+  std::set<int> partial_coverage;
+  for (int part = 0; part < parts; ++part) {
+    // Full replicas store everything.
+    for (int fn = 0; fn < f; ++fn) EXPECT_TRUE(p.IsStored(fn, part));
+    // Writes reach f+1 copies (Section 3).
+    EXPECT_EQ(p.storing(part).size(), static_cast<size_t>(f + 1));
+    // The master stores its own partition.
+    EXPECT_TRUE(p.IsStored(p.master(part), part));
+    for (int s : p.storing(part)) {
+      if (s >= f) partial_coverage.insert(part);
+    }
+  }
+  // Partial replicas collectively store at least one full copy.
+  EXPECT_EQ(partial_coverage.size(), static_cast<size_t>(parts));
+  // Every node masters some portion (partitions >= nodes).
+  if (parts >= f + k) {
+    for (int n = 0; n < f + k; ++n) {
+      EXPECT_FALSE(p.mastered_by(n).empty()) << "node " << n;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, StarPlacementProperty,
+    ::testing::Values(PlacementCase{1, 3, 8}, PlacementCase{1, 3, 48},
+                      PlacementCase{2, 6, 16}, PlacementCase{1, 1, 2},
+                      PlacementCase{2, 2, 12}, PlacementCase{1, 15, 64}));
+
+TEST(Placement, PrimaryBackupDistinctNodes) {
+  Placement p = Placement::PrimaryBackup(4, 8, 2);
+  for (int part = 0; part < 8; ++part) {
+    ASSERT_EQ(p.storing(part).size(), 2u);
+    EXPECT_NE(p.storing(part)[0], p.storing(part)[1])
+        << "primary and secondary must land on different nodes";
+    EXPECT_EQ(p.master(part), part % 4);
+  }
+}
+
+TEST(Placement, AllOnPrimaryMastersEverything) {
+  Placement p = Placement::AllOnPrimary(2, 8, 2);
+  EXPECT_EQ(p.mastered_by(0).size(), 8u);
+  EXPECT_TRUE(p.mastered_by(1).empty());
+  for (int part = 0; part < 8; ++part) {
+    EXPECT_TRUE(p.IsStored(1, part)) << "backup stores every partition";
+  }
+}
+
+TEST(Placement, ReplicaTargetsExcludeSelf) {
+  Placement p = Placement::Star(1, 3, 8);
+  for (int part = 0; part < 8; ++part) {
+    for (int t : p.ReplicaTargets(p.master(part), part)) {
+      EXPECT_NE(t, p.master(part));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace star

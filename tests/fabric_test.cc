@@ -1,0 +1,157 @@
+// Simulated network fabric and RPC endpoints (the substitution for the
+// paper's EC2 cluster; see DESIGN.md Section 2).
+
+#include "net/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/clock.h"
+#include "net/endpoint.h"
+
+namespace star::net {
+namespace {
+
+FabricOptions FastNet() {
+  FabricOptions o;
+  o.link_latency_us = 50;
+  o.bandwidth_gbps = 4.8;
+  return o;
+}
+
+Message Make(int src, int dst, std::string payload) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.type = MsgType::kPing;
+  m.payload = std::move(payload);
+  return m;
+}
+
+TEST(Fabric, DeliversAfterLatency) {
+  Fabric f(2, FastNet());
+  uint64_t t0 = NowNanos();
+  f.Send(Make(0, 1, "hi"));
+  Message out;
+  EXPECT_FALSE(f.Poll(1, &out)) << "nothing deliverable immediately";
+  while (!f.Poll(1, &out)) {
+    CpuRelax();
+  }
+  uint64_t elapsed = NowNanos() - t0;
+  EXPECT_GE(elapsed, MicrosToNanos(50));
+  EXPECT_EQ(out.payload, "hi");
+}
+
+TEST(Fabric, FifoPerLink) {
+  Fabric f(2, FastNet());
+  for (int i = 0; i < 100; ++i) {
+    f.Send(Make(0, 1, std::to_string(i)));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  Message out;
+  for (int i = 0; i < 100; ++i) {
+    while (!f.Poll(1, &out)) CpuRelax();
+    EXPECT_EQ(out.payload, std::to_string(i)) << "FIFO violated";
+  }
+}
+
+TEST(Fabric, BandwidthSerialisesLargeMessages) {
+  FabricOptions o = FastNet();
+  o.bandwidth_gbps = 0.1;  // 100 Mbit/s: 1 MB takes ~80 ms
+  Fabric f(2, o);
+  uint64_t t0 = NowNanos();
+  f.Send(Make(0, 1, std::string(1 << 20, 'x')));
+  Message out;
+  while (!f.Poll(1, &out)) std::this_thread::yield();
+  double ms = (NowNanos() - t0) / 1e6;
+  EXPECT_GT(ms, 50) << "transmission delay must reflect bandwidth";
+}
+
+TEST(Fabric, DownNodeDropsTraffic) {
+  Fabric f(2, FastNet());
+  f.SetDown(1, true);
+  f.Send(Make(0, 1, "lost"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  Message out;
+  EXPECT_FALSE(f.Poll(1, &out));
+  f.SetDown(1, false);
+  EXPECT_FALSE(f.Poll(1, &out)) << "dropped messages do not resurrect";
+}
+
+TEST(Fabric, CountsBytesAndMessages) {
+  Fabric f(2, FastNet());
+  f.Send(Make(0, 1, std::string(100, 'a')));
+  EXPECT_EQ(f.total_messages(), 1u);
+  EXPECT_GT(f.total_bytes(), 100u) << "per-message overhead counted";
+}
+
+TEST(Endpoint, RpcRoundTrip) {
+  Fabric f(2, FastNet());
+  Endpoint server(&f, 0), client(&f, 1);
+  server.RegisterHandler(MsgType::kPing, [&](Message&& m) {
+    server.Respond(m, MsgType::kPong, "pong:" + m.payload);
+  });
+  server.Start();
+  client.Start();
+  std::string resp;
+  ASSERT_TRUE(client.Call(0, MsgType::kPing, "42", &resp));
+  EXPECT_EQ(resp, "pong:42");
+  client.Stop();
+  server.Stop();
+}
+
+TEST(Endpoint, ParallelCallsComplete) {
+  Fabric f(2, FastNet());
+  Endpoint server(&f, 0), client(&f, 1);
+  server.RegisterHandler(MsgType::kPing, [&](Message&& m) {
+    server.Respond(m, MsgType::kPong, m.payload);
+  });
+  server.Start();
+  client.Start();
+  std::vector<uint64_t> tokens;
+  for (int i = 0; i < 32; ++i) {
+    tokens.push_back(client.CallAsync(0, MsgType::kPing, std::to_string(i)));
+  }
+  for (int i = 0; i < 32; ++i) {
+    std::string resp;
+    ASSERT_TRUE(client.Wait(tokens[i], &resp));
+    EXPECT_EQ(resp, std::to_string(i));
+  }
+  client.Stop();
+  server.Stop();
+}
+
+TEST(Endpoint, CallToDeadNodeTimesOut) {
+  Fabric f(2, FastNet());
+  Endpoint client(&f, 1);
+  client.Start();
+  f.SetDown(0, true);
+  std::string resp;
+  uint64_t t0 = NowNanos();
+  EXPECT_FALSE(client.Call(0, MsgType::kPing, "x", &resp,
+                           MillisToNanos(50)));
+  EXPECT_GE(NowNanos() - t0, MillisToNanos(40));
+  client.Stop();
+}
+
+TEST(Endpoint, IsReadyNonDestructive) {
+  Fabric f(2, FastNet());
+  Endpoint server(&f, 0), client(&f, 1);
+  server.RegisterHandler(MsgType::kPing, [&](Message&& m) {
+    server.Respond(m, MsgType::kPong, "done");
+  });
+  server.Start();
+  client.Start();
+  uint64_t tok = client.CallAsync(0, MsgType::kPing, "x");
+  while (!client.IsReady(tok)) std::this_thread::yield();
+  EXPECT_TRUE(client.IsReady(tok)) << "IsReady must not consume the token";
+  std::string resp;
+  EXPECT_TRUE(client.Wait(tok, &resp));
+  EXPECT_EQ(resp, "done");
+  client.Stop();
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace star::net

@@ -1,0 +1,197 @@
+// Fault tolerance: failure detection at the fence, epoch revert, the four
+// recovery scenarios of Section 4.5.3 (Figure 7), and node rejoin.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/engine.h"
+#include "tests/test_util.h"
+#include "workload/ycsb.h"
+
+namespace star {
+namespace {
+
+/// Polls `pred` until it holds or `ms` elapses (the 2-core host can delay
+/// fence rounds well beyond their nominal timing).
+template <typename Pred>
+bool WaitUntil(Pred pred, int ms) {
+  uint64_t deadline = NowNanos() + MillisToNanos(ms);
+  while (NowNanos() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return pred();
+}
+
+YcsbOptions SmallYcsb() {
+  YcsbOptions o;
+  o.rows_per_partition = 1000;
+  return o;
+}
+
+StarOptions FtStar(int f = 1, int k = 3) {
+  StarOptions o;
+  o.cluster.full_replicas = f;
+  o.cluster.partial_replicas = k;
+  o.cluster.workers_per_node = 2;
+  o.iteration_ms = 10;
+  o.cross_fraction = 0.1;
+  o.two_version = true;  // required for epoch revert
+  o.fence_timeout_ms = 300;  // fast failure detection for tests
+  return o;
+}
+
+TEST(Failure, Case1PartialNodeFailureKeepsRunning) {
+  YcsbWorkload wl(SmallYcsb());
+  StarOptions o = FtStar();
+  StarEngine engine(o, wl);
+  engine.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+
+  engine.InjectFailure(3);  // a partial replica
+  EXPECT_TRUE(WaitUntil([&] { return !engine.IsNodeHealthy(3); }, 8000));
+  EXPECT_EQ(engine.state(), SystemState::kRunning)
+      << "Case 1/3: a full replica and coverage remain";
+
+  engine.ResetStats();
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+  Metrics m = engine.Stop();
+  EXPECT_GT(m.committed, 100u)
+      << "the system must keep committing after a partial failure";
+}
+
+TEST(Failure, Case3MastershipMovesToFullReplica) {
+  YcsbWorkload wl(SmallYcsb());
+  StarOptions o = FtStar();
+  StarEngine engine(o, wl);
+  engine.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  engine.InjectFailure(2);
+  ASSERT_TRUE(WaitUntil([&] { return !engine.IsNodeHealthy(2); }, 8000));
+  ASSERT_EQ(engine.state(), SystemState::kRunning);
+
+  // Partitions previously mastered by node 2 must now commit via node 0
+  // (the full replica): total throughput covers all partitions.
+  engine.ResetStats();
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  Metrics m = engine.Stop();
+  EXPECT_GT(m.committed, 0u);
+  // The failed node's partitions are still being written: check that node
+  // 0's copy of a partition mastered by node 2 advances.
+  Database* full = engine.database(0);
+  bool advanced = false;
+  for (int p = 2; p < o.cluster.num_partitions(); p += o.cluster.nodes()) {
+    HashTable* ht = full->table(0, p);
+    std::string scratch(ht->value_size(), '\0');
+    ht->ForEach([&](uint64_t, Record* rec, char* value) {
+      uint64_t w = rec->ReadStable(scratch.data(), scratch.size(), value);
+      if (Record::TidOf(w) > Database::kLoadTid) advanced = true;
+    });
+  }
+  EXPECT_TRUE(advanced) << "re-mastered partitions must keep being updated";
+}
+
+TEST(Failure, Case2NoFullReplicaFallsBack) {
+  YcsbWorkload wl(SmallYcsb());
+  StarOptions o = FtStar(/*f=*/1, /*k=*/3);
+  StarEngine engine(o, wl);
+  engine.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  engine.InjectFailure(0);  // the only full replica
+  EXPECT_TRUE(WaitUntil(
+      [&] { return engine.state() == SystemState::kFallbackDistributed; },
+      10000));
+  EXPECT_EQ(engine.state(), SystemState::kFallbackDistributed)
+      << "no full replica left, partial coverage intact (Case 2)";
+  engine.Stop();
+}
+
+TEST(Failure, Case4TotalLossIsUnavailable) {
+  YcsbWorkload wl(SmallYcsb());
+  StarOptions o = FtStar(/*f=*/1, /*k=*/2);
+  StarEngine engine(o, wl);
+  engine.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  engine.InjectFailure(0);
+  engine.InjectFailure(1);
+  EXPECT_TRUE(WaitUntil(
+      [&] { return engine.state() == SystemState::kUnavailable; }, 10000));
+  EXPECT_EQ(engine.state(), SystemState::kUnavailable)
+      << "neither a full replica nor complete partial coverage remains";
+  engine.Stop();
+}
+
+TEST(Failure, SecondFullReplicaTakesOverAsMaster) {
+  YcsbWorkload wl(SmallYcsb());
+  StarOptions o = FtStar(/*f=*/2, /*k=*/2);
+  StarEngine engine(o, wl);
+  engine.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  EXPECT_EQ(engine.master_node(), 0);
+  engine.InjectFailure(0);
+  EXPECT_TRUE(WaitUntil([&] { return engine.master_node() == 1; }, 10000));
+  EXPECT_EQ(engine.state(), SystemState::kRunning)
+      << "f=2 survives the loss of one full replica";
+  EXPECT_EQ(engine.master_node(), 1)
+      << "the surviving full replica becomes the designated master";
+  engine.ResetStats();
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  Metrics m = engine.Stop();
+  EXPECT_GT(m.committed, 0u);
+}
+
+TEST(Failure, RejoinRestoresReplicaAndConverges) {
+  YcsbWorkload wl(SmallYcsb());
+  StarOptions o = FtStar();
+  StarEngine engine(o, wl);
+  engine.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+
+  engine.InjectFailure(2);
+  ASSERT_TRUE(WaitUntil([&] { return !engine.IsNodeHealthy(2); }, 8000));
+
+  engine.RequestRejoin(2);
+  // Recovery runs in parallel with processing (Case 1); give it time to
+  // fetch snapshots and resume mastership.
+  EXPECT_TRUE(WaitUntil([&] { return engine.IsNodeHealthy(2); }, 15000));
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+
+  engine.Stop();
+  // After a clean stop the rejoined node's partitions must match the full
+  // replica byte for byte.
+  Database* full = engine.database(0);
+  Database* rejoined = engine.database(2);
+  int compared = 0;
+  for (int p = 0; p < o.cluster.num_partitions(); ++p) {
+    if (!rejoined->HasPartition(p)) continue;
+    EXPECT_EQ(testutil::DatabasePartitionChecksum(*rejoined, p),
+              testutil::DatabasePartitionChecksum(*full, p))
+        << "partition " << p;
+    ++compared;
+  }
+  EXPECT_GT(compared, 0);
+}
+
+TEST(Failure, EpochRevertDropsUncommittedWrites) {
+  // Unit-level check of the Figure 6 behaviour through the Database API.
+  std::vector<TableSchema> schemas{{"t", 8, 64}};
+  Database db(schemas, 1, {0}, /*two_version=*/true);
+  uint64_t v = 1;
+  db.Load(0, 0, 1, &v);
+  HashTable::Row row = db.table(0, 0)->GetRow(1);
+  // Committed epoch 3 write, then an uncommitted epoch 4 write.
+  for (uint64_t e : {3ull, 4ull}) {
+    uint64_t nv = e * 100;
+    row.rec->LockSpin();
+    row.rec->Store(Tid::Make(e, 1, 0), &nv, 8, row.value, true);
+    row.rec->UnlockWithTid(Tid::Make(e, 1, 0));
+  }
+  db.RevertEpoch(4);
+  uint64_t out;
+  row.ReadStable(&out);
+  EXPECT_EQ(out, 300u) << "epoch 4 must vanish, epoch 3 survive";
+}
+
+}  // namespace
+}  // namespace star

@@ -1,0 +1,136 @@
+// Bucket-locked chaining hash table (Section 3's storage structure).
+
+#include "storage/hash_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <thread>
+
+#include "storage/database.h"
+
+namespace star {
+namespace {
+
+TEST(HashTable, GetMissingReturnsNull) {
+  HashTable ht(8, 16, false);
+  EXPECT_EQ(ht.Get(42), nullptr);
+}
+
+TEST(HashTable, InsertThenGet) {
+  HashTable ht(8, 16, false);
+  bool inserted = false;
+  HashTable::Row row = ht.GetOrInsertRow(42, &inserted);
+  EXPECT_TRUE(inserted);
+  EXPECT_FALSE(row.rec->IsPresent()) << "new records start absent";
+  uint64_t v = 77;
+  row.rec->LockSpin();
+  row.rec->Store(Tid::Make(1, 1, 0), &v, 8, row.value, false);
+  row.rec->UnlockWithTid(Tid::Make(1, 1, 0));
+
+  HashTable::Row again = ht.GetRow(42);
+  ASSERT_TRUE(again.valid());
+  uint64_t out = 0;
+  again.ReadStable(&out);
+  EXPECT_EQ(out, 77u);
+}
+
+TEST(HashTable, PointerStabilityAcrossGrowth) {
+  HashTable ht(16, 4, false);  // deliberately undersized buckets
+  std::vector<Record*> ptrs;
+  for (uint64_t k = 0; k < 5000; ++k) {
+    ptrs.push_back(ht.GetOrInsert(k));
+  }
+  for (uint64_t k = 0; k < 5000; ++k) {
+    EXPECT_EQ(ht.Get(k), ptrs[k]) << "record pointers must never move";
+  }
+  EXPECT_EQ(ht.size(), 5000u);
+}
+
+TEST(HashTable, ConcurrentInsertNoDuplicatesNoLoss) {
+  HashTable ht(8, 1024, false);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kKeys = 20000;
+  std::atomic<uint64_t> created{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (uint64_t k = 0; k < kKeys; ++k) {
+        bool inserted = false;
+        ht.GetOrInsert(k, &inserted);
+        if (inserted) created.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(created.load(), kKeys) << "each key created exactly once";
+  EXPECT_EQ(ht.size(), kKeys);
+}
+
+TEST(HashTable, ForEachVisitsEveryNode) {
+  HashTable ht(8, 64, false);
+  for (uint64_t k = 100; k < 200; ++k) ht.GetOrInsert(k);
+  std::set<uint64_t> seen;
+  ht.ForEach([&](uint64_t key, Record*, char*) { seen.insert(key); });
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 100u);
+  EXPECT_EQ(*seen.rbegin(), 199u);
+}
+
+TEST(Database, PartitionPresenceHonoursPlacement) {
+  std::vector<TableSchema> schemas{{"t", 8, 16}};
+  Database db(schemas, 4, {1, 3}, false);
+  EXPECT_FALSE(db.HasPartition(0));
+  EXPECT_TRUE(db.HasPartition(1));
+  EXPECT_EQ(db.table(0, 0), nullptr);
+  EXPECT_NE(db.table(0, 1), nullptr);
+}
+
+TEST(Database, LoadInstallsVisibleRecord) {
+  std::vector<TableSchema> schemas{{"t", 8, 16}};
+  Database db(schemas, 1, {0}, false);
+  uint64_t v = 99;
+  db.Load(0, 0, 7, &v);
+  HashTable::Row row = db.table(0, 0)->GetRow(7);
+  ASSERT_TRUE(row.valid());
+  EXPECT_TRUE(row.rec->IsPresent());
+  uint64_t out = 0;
+  row.ReadStable(&out);
+  EXPECT_EQ(out, 99u);
+  EXPECT_EQ(row.rec->LoadTid(), Database::kLoadTid);
+}
+
+TEST(Database, RevertEpochAcrossTables) {
+  std::vector<TableSchema> schemas{{"a", 8, 16}, {"b", 8, 16}};
+  Database db(schemas, 1, {0}, /*two_version=*/true);
+  uint64_t v0 = 1, v1 = 2;
+  db.Load(0, 0, 5, &v0);
+  db.Load(1, 0, 5, &v0);
+  for (int t = 0; t < 2; ++t) {
+    HashTable::Row row = db.table(t, 0)->GetRow(5);
+    row.rec->LockSpin();
+    row.rec->Store(Tid::Make(9, 1, 0), &v1, 8, row.value, true);
+    row.rec->UnlockWithTid(Tid::Make(9, 1, 0));
+  }
+  db.RevertEpoch(9);
+  for (int t = 0; t < 2; ++t) {
+    uint64_t out = 0;
+    db.table(t, 0)->GetRow(5).ReadStable(&out);
+    EXPECT_EQ(out, 1u) << "table " << t;
+  }
+}
+
+TEST(Database, ResetStorageKeepsPointersValidAndEmpties) {
+  std::vector<TableSchema> schemas{{"t", 8, 16}};
+  Database db(schemas, 2, {0, 1}, false);
+  uint64_t v = 5;
+  db.Load(0, 0, 1, &v);
+  EXPECT_EQ(db.table(0, 0)->size(), 1u);
+  db.ResetStorage();
+  EXPECT_TRUE(db.HasPartition(0));
+  EXPECT_EQ(db.table(0, 0)->size(), 0u);
+}
+
+}  // namespace
+}  // namespace star

@@ -1,0 +1,57 @@
+// The analytical model of Section 6.3 (Figures 3 and 10).
+
+#include "model/model.h"
+
+#include <gtest/gtest.h>
+
+namespace star::model {
+namespace {
+
+TEST(Model, SingleNodeIsBaseline) {
+  EXPECT_DOUBLE_EQ(Speedup(0.1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(ImprovementOverNonPartitioned(0.5, 1), 1.0);
+}
+
+TEST(Model, PerfectPartitioningScalesLinearly) {
+  // P = 0: STAR behaves like a partitioning-based system, speedup = n.
+  EXPECT_DOUBLE_EQ(Speedup(0.0, 4), 4.0);
+  EXPECT_DOUBLE_EQ(Speedup(0.0, 16), 16.0);
+}
+
+TEST(Model, AllCrossPartitionGivesNoSpeedup) {
+  // P = 1: everything runs on the single master.
+  EXPECT_DOUBLE_EQ(Speedup(1.0, 8), 1.0);
+}
+
+TEST(Model, Figure3KnownPoints) {
+  // Figure 3: n = 16, P = 10% -> 16 / (1.6 - 0.1 + 1) = 6.4.
+  EXPECT_NEAR(Speedup(0.10, 16), 6.4, 1e-9);
+  // P = 1%: 16 / (0.16 - 0.01 + 1) = ~13.9.
+  EXPECT_NEAR(Speedup(0.01, 16), 16.0 / 1.15, 1e-9);
+}
+
+TEST(Model, Figure10BreakEvenAtKEqualsN) {
+  // STAR beats partitioning-based systems iff K > n (Section 6.3).
+  double n = 4;
+  EXPECT_NEAR(ImprovementOverPartitioning(n, 0.5, n), 1.0, 1e-12);
+  EXPECT_GT(ImprovementOverPartitioning(8, 0.5, n), 1.0);
+  EXPECT_LT(ImprovementOverPartitioning(2, 0.5, n), 1.0);
+}
+
+TEST(Model, ImprovementOverNonPartitionedPositiveWheneverLocalWorkExists) {
+  for (double p : {0.0, 0.1, 0.5, 0.9}) {
+    EXPECT_GT(ImprovementOverNonPartitioned(p, 4), 1.0) << "P=" << p;
+  }
+  // P = 1: no single-partition work, no advantage.
+  EXPECT_DOUBLE_EQ(ImprovementOverNonPartitioned(1.0, 4), 1.0);
+}
+
+TEST(Model, MonotonicInP) {
+  for (int i = 1; i < 10; ++i) {
+    EXPECT_LT(Speedup(i / 10.0, 8), Speedup((i - 1) / 10.0, 8))
+        << "speedup must fall as cross-partition work grows";
+  }
+}
+
+}  // namespace
+}  // namespace star::model

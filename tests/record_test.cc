@@ -1,0 +1,193 @@
+// Record meta-word protocol, stable reads, Thomas write rule, two-version
+// epoch revert (Sections 3 and 4.5.2).
+
+#include "storage/record.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/hash_table.h"
+
+namespace star {
+namespace {
+
+struct Slot {
+  Record rec;
+  char value[16];
+  char backup[16];
+
+  Slot() {
+    rec.Init(false);
+    std::memset(value, 0, sizeof(value));
+  }
+};
+
+TEST(Record, LockTransitions) {
+  Slot s;
+  EXPECT_TRUE(s.rec.TryLock());
+  EXPECT_FALSE(s.rec.TryLock()) << "second lock must fail";
+  s.rec.Unlock();
+  EXPECT_TRUE(s.rec.TryLock());
+  s.rec.UnlockWithTid(Tid::Make(1, 5, 0));
+  EXPECT_EQ(s.rec.LoadTid(), Tid::Make(1, 5, 0));
+  EXPECT_TRUE(s.rec.IsPresent()) << "UnlockWithTid clears the absent bit";
+}
+
+TEST(Record, UnlockMarkAbsentRestoresInvisibility) {
+  Slot s;
+  s.rec.Init(true);
+  EXPECT_FALSE(s.rec.IsPresent());
+  ASSERT_TRUE(s.rec.TryLock());
+  s.rec.UnlockMarkAbsent();
+  EXPECT_FALSE(s.rec.IsPresent());
+  EXPECT_FALSE(Record::IsLocked(s.rec.LoadWord()));
+}
+
+TEST(Record, ThomasWriteRuleOrdering) {
+  Slot s;
+  char v1[16] = "first";
+  char v2[16] = "second";
+  EXPECT_TRUE(s.rec.ApplyThomas(Tid::Make(1, 2, 0), v2, 16, s.value, false));
+  // An older write must be discarded.
+  EXPECT_FALSE(s.rec.ApplyThomas(Tid::Make(1, 1, 0), v1, 16, s.value, false));
+  EXPECT_STREQ(s.value, "second");
+  EXPECT_EQ(s.rec.LoadTid(), Tid::Make(1, 2, 0));
+}
+
+TEST(Record, ThomasAppliesToAbsentRecord) {
+  Slot s;
+  s.rec.Init(true);
+  char v[16] = "x";
+  EXPECT_TRUE(s.rec.ApplyThomas(Tid::Make(1, 1, 0), v, 16, s.value, false));
+  EXPECT_TRUE(s.rec.IsPresent());
+}
+
+// Property: applying any permutation of a write stream converges to the
+// state with the largest TID — the guarantee asynchronous value replication
+// rests on (Section 3).
+class ThomasShuffleProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ThomasShuffleProperty, AnyOrderConverges) {
+  Rng rng(GetParam());
+  std::vector<std::pair<uint64_t, std::string>> writes;
+  for (int i = 1; i <= 50; ++i) {
+    writes.emplace_back(Tid::Make(1 + i / 25, i, i % 3),
+                        "v" + std::to_string(i));
+  }
+  auto expect = writes.back();
+  for (int shuffle = 0; shuffle < 20; ++shuffle) {
+    for (size_t i = writes.size(); i > 1; --i) {
+      std::swap(writes[i - 1], writes[rng.Uniform(i)]);
+    }
+    Slot s;
+    for (auto& [tid, v] : writes) {
+      char buf[16] = {};
+      std::memcpy(buf, v.data(), v.size());
+      s.rec.ApplyThomas(tid, buf, 16, s.value, false);
+    }
+    EXPECT_EQ(s.rec.LoadTid(), expect.first);
+    EXPECT_EQ(std::string(s.value), expect.second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThomasShuffleProperty,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1234u));
+
+TEST(Record, StableReadNeverTears) {
+  // A writer repeatedly installs all-same-byte values; readers must never
+  // observe a mix of bytes from two versions.
+  Slot s;
+  std::memset(s.value, 'a', 16);
+  s.rec.UnlockWithTid(Tid::Make(1, 1, 0));
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Rng rng(3);
+    uint64_t seq = 2;
+    while (!stop.load()) {
+      char buf[16];
+      std::memset(buf, 'a' + static_cast<char>(rng.Uniform(26)), 16);
+      s.rec.LockSpin();
+      s.rec.Store(Tid::Make(1, seq, 0), buf, 16, s.value, false);
+      s.rec.UnlockWithTid(Tid::Make(1, seq, 0));
+      ++seq;
+    }
+  });
+  for (int i = 0; i < 200000; ++i) {
+    char out[16];
+    s.rec.ReadStable(out, 16, s.value);
+    for (int j = 1; j < 16; ++j) {
+      ASSERT_EQ(out[j], out[0]) << "torn read at byte " << j;
+    }
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST(Record, TwoVersionRevertRestoresPreviousEpoch) {
+  Slot s;
+  char v1[16] = "epoch1";
+  char v2[16] = "epoch2";
+  s.rec.LockSpin();
+  s.rec.Store(Tid::Make(1, 1, 0), v1, 16, s.value, true);
+  s.rec.UnlockWithTid(Tid::Make(1, 1, 0));
+  s.rec.LockSpin();
+  s.rec.Store(Tid::Make(2, 1, 0), v2, 16, s.value, true);
+  s.rec.UnlockWithTid(Tid::Make(2, 1, 0));
+  EXPECT_STREQ(s.value, "epoch2");
+
+  s.rec.RevertEpoch(2, 16, s.value);
+  EXPECT_STREQ(s.value, "epoch1");
+  EXPECT_EQ(Tid::Epoch(s.rec.LoadTid()), 1u);
+}
+
+TEST(Record, RevertLeavesOtherEpochsAlone) {
+  Slot s;
+  char v1[16] = "keep";
+  s.rec.LockSpin();
+  s.rec.Store(Tid::Make(3, 1, 0), v1, 16, s.value, true);
+  s.rec.UnlockWithTid(Tid::Make(3, 1, 0));
+  s.rec.RevertEpoch(4, 16, s.value);  // nothing from epoch 4
+  EXPECT_STREQ(s.value, "keep");
+}
+
+TEST(Record, RevertRemovesRecordsCreatedInEpoch) {
+  Slot s;
+  s.rec.Init(true);  // brand-new record, never existed before
+  char v[16] = "new";
+  s.rec.LockSpin();
+  s.rec.Store(Tid::Make(5, 1, 0), v, 16, s.value, true);
+  s.rec.UnlockWithTid(Tid::Make(5, 1, 0));
+  EXPECT_TRUE(s.rec.IsPresent());
+  s.rec.RevertEpoch(5, 16, s.value);
+  EXPECT_FALSE(s.rec.IsPresent())
+      << "an insert from the reverted epoch must disappear";
+}
+
+TEST(Record, MultipleWritesSameEpochRevertToPreEpochVersion) {
+  Slot s;
+  char v0[16] = "base";
+  char v1[16] = "mid";
+  char v2[16] = "late";
+  s.rec.LockSpin();
+  s.rec.Store(Tid::Make(1, 1, 0), v0, 16, s.value, true);
+  s.rec.UnlockWithTid(Tid::Make(1, 1, 0));
+  for (auto* v : {v1, v2}) {
+    static uint64_t seq = 1;
+    s.rec.LockSpin();
+    s.rec.Store(Tid::Make(2, seq, 0), v, 16, s.value, true);
+    s.rec.UnlockWithTid(Tid::Make(2, seq, 0));
+    ++seq;
+  }
+  s.rec.RevertEpoch(2, 16, s.value);
+  EXPECT_STREQ(s.value, "base")
+      << "backup must hold the newest pre-epoch version, not an intra-epoch "
+         "one";
+}
+
+}  // namespace
+}  // namespace star

@@ -1,0 +1,192 @@
+// Replication formats, the value-vs-operation correctness argument of
+// Figure 8, and the stream/applier accounting used by the fence.
+
+#include "replication/applier.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "replication/log_entry.h"
+#include "replication/stream.h"
+
+namespace star {
+namespace {
+
+std::unique_ptr<Database> MakeDb() {
+  std::vector<TableSchema> schemas{{"t", 16, 64}};
+  auto db = std::make_unique<Database>(schemas, 1, std::vector<int>{0}, false);
+  char zero[16] = {};
+  for (uint64_t k = 0; k < 10; ++k) db->Load(0, 0, k, zero);
+  return db;
+}
+
+TEST(RepEntry, ValueRoundTrip) {
+  WriteBuffer buf;
+  SerializeValueEntry(buf, 1, 2, 42, Tid::Make(3, 4, 5), "hello world!....");
+  ReadBuffer in(buf.data());
+  RepEntry e = RepEntry::Deserialize(in);
+  EXPECT_EQ(e.kind, RepKind::kValue);
+  EXPECT_EQ(e.table, 1);
+  EXPECT_EQ(e.partition, 2);
+  EXPECT_EQ(e.key, 42u);
+  EXPECT_EQ(e.tid, Tid::Make(3, 4, 5));
+  EXPECT_EQ(e.value, "hello world!....");
+  EXPECT_TRUE(in.Done());
+}
+
+TEST(RepEntry, OperationRoundTrip) {
+  WriteBuffer buf;
+  std::vector<Operation> ops{Operation::AddI64(0, 9),
+                             Operation::StringPrepend(8, 8, "ab")};
+  SerializeOperationEntry(buf, 0, 0, 7, Tid::Make(1, 1, 1), ops);
+  ReadBuffer in(buf.data());
+  RepEntry e = RepEntry::Deserialize(in);
+  EXPECT_EQ(e.kind, RepKind::kOperation);
+  ASSERT_EQ(e.ops.size(), 2u);
+  EXPECT_EQ(e.ops[0].code, Operation::Code::kAddI64);
+  EXPECT_EQ(e.ops[1].operand, "ab");
+}
+
+TEST(Operation, StringPrependTruncates) {
+  char field[8] = {'1', '2', '3', '4', '5', '6', '7', '8'};
+  Operation::StringPrepend(0, 8, "XY").ApplyTo(field);
+  EXPECT_EQ(std::string(field, 8), "XY123456");
+}
+
+TEST(Operation, AddF64) {
+  char field[8];
+  double v = 1.5;
+  std::memcpy(field, &v, 8);
+  Operation::AddF64(0, 2.25).ApplyTo(field);
+  std::memcpy(&v, field, 8);
+  EXPECT_DOUBLE_EQ(v, 3.75);
+}
+
+// Figure 8: with multi-threaded writers, value replication must ship the
+// whole record.  Partial-field values applied out of order lose T1's update;
+// full-record values converge correctly under the Thomas rule.
+TEST(Replication, Figure8WholeRecordValueSurvivesReordering) {
+  // Record layout: [A: 8 bytes][B: 8 bytes], initial A=0, B=0.
+  // T1 (tid 1): A = 1.   T2 (tid 2): B = 2.   Applied in order T2, T1.
+  auto db = MakeDb();
+  HashTable::Row row = db->table(0, 0)->GetRow(0);
+
+  // Correct scheme: each write carries all fields.
+  char t1_full[16] = {};
+  t1_full[0] = 1;  // A=1, B=0 (T1 ran first on the primary)
+  char t2_full[16] = {};
+  t2_full[0] = 1;
+  t2_full[8] = 2;  // A=1, B=2 (T2 observed T1's A)
+  row.rec->ApplyThomas(Tid::Make(1, 2, 0), t2_full, 16, row.value, false);
+  row.rec->ApplyThomas(Tid::Make(1, 1, 0), t1_full, 16, row.value, false);
+  EXPECT_EQ(row.value[0], 1) << "A must survive";
+  EXPECT_EQ(row.value[8], 2) << "B must survive";
+
+  // Incorrect scheme (what the paper warns against): T2 ships only B, so
+  // its record image carries a stale A; T1's later-arriving write is
+  // discarded by the Thomas rule and A is lost.
+  HashTable::Row row2 = db->table(0, 0)->GetRow(1);
+  char t2_partial[16] = {};
+  t2_partial[8] = 2;  // B=2 but A missing (stale 0)
+  char t1_partial[16] = {};
+  t1_partial[0] = 1;  // A=1 but B missing
+  row2.rec->ApplyThomas(Tid::Make(1, 2, 0), t2_partial, 16, row2.value,
+                        false);
+  row2.rec->ApplyThomas(Tid::Make(1, 1, 0), t1_partial, 16, row2.value,
+                        false);
+  EXPECT_EQ(row2.value[0], 0) << "demonstrates the lost update of Figure 8";
+}
+
+// Figure 8 right side: with a single writer per partition and FIFO delivery,
+// operation replication applies updated fields in order and converges.
+TEST(Replication, Figure8OperationReplicationInOrder) {
+  auto db = MakeDb();
+  ReplicationCounters counters(2);
+  ReplicationApplier applier(db.get(), &counters);
+
+  WriteBuffer batch;
+  SerializeOperationEntry(batch, 0, 0, 2, Tid::Make(1, 1, 0),
+                          {Operation::AddI64(0, 1)});  // T1: A += 1
+  SerializeOperationEntry(batch, 0, 0, 2, Tid::Make(1, 2, 0),
+                          {Operation::AddI64(8, 2)});  // T2: B += 2
+  EXPECT_EQ(applier.ApplyBatch(0, batch.data()), 2u);
+
+  HashTable::Row row = db->table(0, 0)->GetRow(2);
+  int64_t a, b;
+  std::memcpy(&a, row.value, 8);
+  std::memcpy(&b, row.value + 8, 8);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+  EXPECT_EQ(row.rec->LoadTid(), Tid::Make(1, 2, 0));
+  EXPECT_EQ(counters.applied_from(0), 2u);
+}
+
+TEST(Replication, StaleOperationSkipped) {
+  auto db = MakeDb();
+  ReplicationCounters counters(2);
+  ReplicationApplier applier(db.get(), &counters);
+  WriteBuffer b1;
+  SerializeOperationEntry(b1, 0, 0, 3, Tid::Make(2, 5, 0),
+                          {Operation::AddI64(0, 10)});
+  applier.ApplyBatch(0, b1.data());
+  // Replay of an older entry must not double-apply.
+  WriteBuffer b2;
+  SerializeOperationEntry(b2, 0, 0, 3, Tid::Make(2, 4, 0),
+                          {Operation::AddI64(0, 100)});
+  applier.ApplyBatch(0, b2.data());
+  int64_t a;
+  std::memcpy(&a, db->table(0, 0)->GetRow(3).value, 8);
+  EXPECT_EQ(a, 10);
+}
+
+TEST(Replication, ApplierCreatesMissingRecords) {
+  auto db = MakeDb();
+  ReplicationCounters counters(1);
+  ReplicationApplier applier(db.get(), &counters);
+  WriteBuffer batch;
+  char v[16] = "inserted";
+  SerializeValueEntry(batch, 0, 0, 999, Tid::Make(1, 1, 0),
+                      std::string_view(v, 16));
+  applier.ApplyBatch(0, batch.data());
+  HashTable::Row row = db->table(0, 0)->GetRow(999);
+  ASSERT_TRUE(row.valid());
+  EXPECT_TRUE(row.rec->IsPresent());
+  EXPECT_STREQ(row.value, "inserted");
+}
+
+TEST(Replication, WalHookSeesFullRecordForOperations) {
+  // Section 5: operation entries are transformed into whole-record values
+  // before logging so recovery can replay in any order.
+  auto db = MakeDb();
+  ReplicationCounters counters(1);
+  ReplicationApplier applier(db.get(), &counters);
+  std::string logged;
+  applier.set_wal_hook([&](int32_t, int32_t, uint64_t, uint64_t,
+                           std::string_view value) {
+    logged = std::string(value);
+  });
+  WriteBuffer batch;
+  SerializeOperationEntry(batch, 0, 0, 4, Tid::Make(1, 1, 0),
+                          {Operation::AddI64(0, 42)});
+  applier.ApplyBatch(0, batch.data());
+  ASSERT_EQ(logged.size(), 16u);
+  int64_t a;
+  std::memcpy(&a, logged.data(), 8);
+  EXPECT_EQ(a, 42) << "the log must contain the post-operation record image";
+}
+
+TEST(ReplicationCounters, TracksBothDirections) {
+  ReplicationCounters c(3);
+  c.AddSent(1, 5);
+  c.AddSent(2, 7);
+  c.AddApplied(0, 3);
+  EXPECT_EQ(c.sent_to(1), 5u);
+  EXPECT_EQ(c.sent_to(2), 7u);
+  EXPECT_EQ(c.applied_from(0), 3u);
+  c.Reset();
+  EXPECT_EQ(c.sent_to(1), 0u);
+}
+
+}  // namespace
+}  // namespace star

@@ -1,0 +1,250 @@
+// Silo-variant OCC and the serial (partitioned-phase) commit path
+// (Sections 4.1 and 4.2), including a multi-threaded serializability
+// witness.
+
+#include "cc/silo.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "cc/lock_table.h"
+
+namespace star {
+namespace {
+
+std::unique_ptr<Database> MakeDb(int partitions = 1) {
+  std::vector<TableSchema> schemas{{"t", 8, 1024}};
+  std::vector<int> present;
+  for (int p = 0; p < partitions; ++p) present.push_back(p);
+  auto db = std::make_unique<Database>(schemas, partitions, present, false);
+  for (int p = 0; p < partitions; ++p) {
+    for (uint64_t k = 0; k < 100; ++k) {
+      uint64_t v = 1000;
+      db->Load(0, p, k, &v);
+    }
+  }
+  return db;
+}
+
+TEST(SiloContext, ReadSeesOwnWrites) {
+  auto db = MakeDb();
+  Rng rng(1);
+  SiloContext ctx(db.get(), &rng, 0);
+  uint64_t v = 7;
+  ctx.Write(0, 0, 3, &v);
+  uint64_t out = 0;
+  ASSERT_TRUE(ctx.Read(0, 0, 3, &out));
+  EXPECT_EQ(out, 7u);
+  EXPECT_TRUE(ctx.read_set().empty()) << "own-write reads skip the read set";
+}
+
+TEST(SiloContext, ReadMissingKeyFails) {
+  auto db = MakeDb();
+  Rng rng(1);
+  SiloContext ctx(db.get(), &rng, 0);
+  uint64_t out;
+  EXPECT_FALSE(ctx.Read(0, 0, 9999, &out));
+}
+
+TEST(SiloOcc, CommitInstallsAndTags) {
+  auto db = MakeDb();
+  Rng rng(1);
+  TidGenerator gen(0);
+  std::atomic<uint64_t> epoch{3};
+  SiloContext ctx(db.get(), &rng, 0);
+  uint64_t out;
+  ASSERT_TRUE(ctx.Read(0, 0, 1, &out));
+  uint64_t v = out + 1;
+  ctx.Write(0, 0, 1, &v);
+  CommitResult cr = SiloOccCommit(ctx, gen, epoch);
+  ASSERT_EQ(cr.status, TxnStatus::kCommitted);
+  EXPECT_EQ(Tid::Epoch(cr.tid), 3u);
+
+  uint64_t now = 0;
+  db->table(0, 0)->GetRow(1).ReadStable(&now);
+  EXPECT_EQ(now, 1001u);
+}
+
+TEST(SiloOcc, StaleReadAborts) {
+  auto db = MakeDb();
+  Rng rng(1);
+  TidGenerator gen(0);
+  std::atomic<uint64_t> epoch{1};
+  SiloContext ctx(db.get(), &rng, 0);
+  uint64_t out;
+  ASSERT_TRUE(ctx.Read(0, 0, 1, &out));
+
+  // A concurrent transaction commits to the same record.
+  {
+    SiloContext other(db.get(), &rng, 1);
+    TidGenerator gen2(1);
+    uint64_t dummy;
+    ASSERT_TRUE(other.Read(0, 0, 1, &dummy));
+    uint64_t v = 5;
+    other.Write(0, 0, 1, &v);
+    ASSERT_EQ(SiloOccCommit(other, gen2, epoch).status,
+              TxnStatus::kCommitted);
+  }
+
+  uint64_t v = out + 1;
+  ctx.Write(0, 0, 1, &v);
+  EXPECT_EQ(SiloOccCommit(ctx, gen, epoch).status,
+            TxnStatus::kAbortConflict);
+}
+
+TEST(SiloOcc, LockedReadAborts) {
+  auto db = MakeDb();
+  Rng rng(1);
+  TidGenerator gen(0);
+  std::atomic<uint64_t> epoch{1};
+  SiloContext ctx(db.get(), &rng, 0);
+  uint64_t out;
+  ASSERT_TRUE(ctx.Read(0, 0, 2, &out));
+  // Someone holds the record lock at validation time.
+  HashTable::Row row = db->table(0, 0)->GetRow(2);
+  row.rec->LockSpin();
+  uint64_t v = 1;
+  ctx.Write(0, 0, 3, &v);  // disjoint write so the lock isn't ours
+  EXPECT_EQ(SiloOccCommit(ctx, gen, epoch).status,
+            TxnStatus::kAbortConflict);
+  row.rec->Unlock();
+}
+
+TEST(SiloOcc, InsertAbortLeavesRecordAbsent) {
+  auto db = MakeDb();
+  Rng rng(1);
+  TidGenerator gen(0);
+  std::atomic<uint64_t> epoch{1};
+  SiloContext ctx(db.get(), &rng, 0);
+  uint64_t out;
+  ASSERT_TRUE(ctx.Read(0, 0, 1, &out));
+  uint64_t v = 1;
+  ctx.Insert(0, 0, 777, &v);
+  // Force a validation failure.
+  {
+    SiloContext other(db.get(), &rng, 1);
+    TidGenerator gen2(1);
+    uint64_t dummy;
+    ASSERT_TRUE(other.Read(0, 0, 1, &dummy));
+    uint64_t nv = 2;
+    other.Write(0, 0, 1, &nv);
+    ASSERT_EQ(SiloOccCommit(other, gen2, epoch).status,
+              TxnStatus::kCommitted);
+  }
+  ASSERT_EQ(SiloOccCommit(ctx, gen, epoch).status, TxnStatus::kAbortConflict);
+  Record* rec = db->table(0, 0)->Get(777);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_FALSE(rec->IsPresent()) << "aborted insert must stay invisible";
+}
+
+TEST(SiloOcc, DuplicateInsertConflicts) {
+  auto db = MakeDb();
+  Rng rng(1);
+  std::atomic<uint64_t> epoch{1};
+  uint64_t v = 1;
+  {
+    SiloContext a(db.get(), &rng, 0);
+    TidGenerator gen(0);
+    a.Insert(0, 0, 500, &v);
+    ASSERT_EQ(SiloOccCommit(a, gen, epoch).status, TxnStatus::kCommitted);
+  }
+  {
+    SiloContext b(db.get(), &rng, 1);
+    TidGenerator gen(1);
+    b.Insert(0, 0, 500, &v);
+    EXPECT_EQ(SiloOccCommit(b, gen, epoch).status,
+              TxnStatus::kAbortConflict);
+  }
+}
+
+TEST(SiloSerial, CommitWithoutValidation) {
+  auto db = MakeDb();
+  Rng rng(1);
+  TidGenerator gen(0);
+  std::atomic<uint64_t> epoch{2};
+  SiloContext ctx(db.get(), &rng, 0);
+  uint64_t out;
+  ASSERT_TRUE(ctx.Read(0, 0, 4, &out));
+  uint64_t v = out * 2;
+  ctx.Write(0, 0, 4, &v);
+  CommitResult cr = SiloSerialCommit(ctx, gen, epoch);
+  ASSERT_EQ(cr.status, TxnStatus::kCommitted);
+  uint64_t now;
+  db->table(0, 0)->GetRow(4).ReadStable(&now);
+  EXPECT_EQ(now, 2000u);
+}
+
+TEST(SiloContext, ApplyOperationComposesWithReads) {
+  auto db = MakeDb();
+  Rng rng(1);
+  TidGenerator gen(0);
+  std::atomic<uint64_t> epoch{1};
+  SiloContext ctx(db.get(), &rng, 0);
+  uint64_t out;
+  ASSERT_TRUE(ctx.Read(0, 0, 6, &out));
+  ctx.ApplyOperation(0, 0, 6, Operation::AddI64(0, 5));
+  ctx.ApplyOperation(0, 0, 6, Operation::AddI64(0, 7));
+  ASSERT_TRUE(ctx.Read(0, 0, 6, &out));
+  EXPECT_EQ(out, 1012u) << "reads must observe buffered operations";
+  EXPECT_TRUE(ctx.write_set()[0].ops_only);
+  EXPECT_EQ(ctx.write_set()[0].ops.size(), 2u);
+  ASSERT_EQ(SiloOccCommit(ctx, gen, epoch).status, TxnStatus::kCommitted);
+  uint64_t now;
+  db->table(0, 0)->GetRow(6).ReadStable(&now);
+  EXPECT_EQ(now, 1012u);
+}
+
+// Serializability witness: concurrent balance transfers preserve the total.
+TEST(SiloOcc, ConcurrentTransfersConserveTotal) {
+  auto db = MakeDb();
+  constexpr int kThreads = 4;
+  constexpr int kTxns = 4000;
+  std::atomic<uint64_t> epoch{1};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      Rng rng(100 + t);
+      TidGenerator gen(t);
+      SiloContext ctx(db.get(), &rng, t);
+      for (int i = 0; i < kTxns; ++i) {
+        ctx.Reset();
+        uint64_t from = rng.Uniform(100);
+        uint64_t to = rng.Uniform(100);
+        if (from == to) continue;
+        uint64_t a, b;
+        if (!ctx.Read(0, 0, from, &a) || !ctx.Read(0, 0, to, &b)) continue;
+        if (a == 0) continue;
+        uint64_t na = a - 1, nb = b + 1;
+        ctx.Write(0, 0, from, &na);
+        ctx.Write(0, 0, to, &nb);
+        SiloOccCommit(ctx, gen, epoch);  // aborts are fine
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  uint64_t total = 0;
+  for (uint64_t k = 0; k < 100; ++k) {
+    uint64_t v;
+    db->table(0, 0)->GetRow(k).ReadStable(&v);
+    total += v;
+  }
+  EXPECT_EQ(total, 100 * 1000u)
+      << "a lost update or dirty read changed the total balance";
+}
+
+TEST(LockTable, NoWaitSemantics) {
+  LockTable lt(1024);
+  EXPECT_TRUE(lt.TryReadLock(0, 5));
+  EXPECT_TRUE(lt.TryReadLock(0, 5)) << "shared locks coexist";
+  EXPECT_FALSE(lt.TryWriteLock(0, 5)) << "writer blocked by readers";
+  lt.ReadUnlock(0, 5);
+  EXPECT_TRUE(lt.TryUpgrade(0, 5)) << "sole reader may upgrade";
+  EXPECT_FALSE(lt.TryReadLock(0, 5)) << "readers blocked by writer";
+  lt.WriteUnlock(0, 5);
+  EXPECT_TRUE(lt.AllFree());
+}
+
+}  // namespace
+}  // namespace star

@@ -1,0 +1,156 @@
+// WAL, checkpointing, recovery (Section 4.5.1, Case 4 of Section 4.5.3).
+
+#include "wal/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <unistd.h>
+
+namespace star::wal {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "/tmp/star_wal_test_" + std::to_string(::getpid());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<Database> MakeDb() {
+    std::vector<TableSchema> schemas{{"t", 8, 64}};
+    return std::make_unique<Database>(schemas, 1, std::vector<int>{0}, false);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(WalTest, RoundTripThroughRecovery) {
+  {
+    WalWriter w(WalPath(dir_, 0, 0), false);
+    uint64_t v = 111;
+    w.Append(0, 0, 1, Tid::Make(1, 1, 0), {reinterpret_cast<char*>(&v), 8});
+    v = 222;
+    w.Append(0, 0, 2, Tid::Make(1, 2, 0), {reinterpret_cast<char*>(&v), 8});
+    w.MarkEpochAndFlush(1);
+  }
+  auto db = MakeDb();
+  RecoveryResult r = Recover(db.get(), dir_, 0, 1);
+  EXPECT_EQ(r.committed_epoch, 1u);
+  EXPECT_EQ(r.log_entries_replayed, 2u);
+  uint64_t out;
+  db->table(0, 0)->GetRow(1).ReadStable(&out);
+  EXPECT_EQ(out, 111u);
+  db->table(0, 0)->GetRow(2).ReadStable(&out);
+  EXPECT_EQ(out, 222u);
+}
+
+TEST_F(WalTest, UncommittedEpochIsNotReplayed) {
+  {
+    WalWriter w(WalPath(dir_, 0, 0), false);
+    uint64_t v = 1;
+    w.Append(0, 0, 1, Tid::Make(1, 1, 0), {reinterpret_cast<char*>(&v), 8});
+    w.MarkEpochAndFlush(1);
+    v = 99;  // epoch 2 write whose fence never completed
+    w.Append(0, 0, 1, Tid::Make(2, 1, 0), {reinterpret_cast<char*>(&v), 8});
+    w.Flush();
+  }
+  auto db = MakeDb();
+  RecoveryResult r = Recover(db.get(), dir_, 0, 1);
+  EXPECT_EQ(r.committed_epoch, 1u);
+  EXPECT_EQ(r.log_entries_skipped, 1u);
+  uint64_t out;
+  db->table(0, 0)->GetRow(1).ReadStable(&out);
+  EXPECT_EQ(out, 1u) << "writes of the torn epoch must be discarded";
+}
+
+TEST_F(WalTest, CommittedEpochIsMinAcrossWorkers) {
+  // Worker 0 saw the fence for epoch 2; worker 1 crashed before flushing
+  // its marker: only epoch 1 is recoverable (Figure 6's revert).
+  {
+    WalWriter w0(WalPath(dir_, 0, 0), false);
+    uint64_t v = 10;
+    w0.Append(0, 0, 1, Tid::Make(1, 1, 0), {reinterpret_cast<char*>(&v), 8});
+    w0.MarkEpochAndFlush(1);
+    v = 20;
+    w0.Append(0, 0, 1, Tid::Make(2, 1, 0), {reinterpret_cast<char*>(&v), 8});
+    w0.MarkEpochAndFlush(2);
+  }
+  {
+    WalWriter w1(WalPath(dir_, 0, 1), false);
+    uint64_t v = 30;
+    w1.Append(0, 0, 2, Tid::Make(1, 1, 1), {reinterpret_cast<char*>(&v), 8});
+    w1.MarkEpochAndFlush(1);
+    v = 40;
+    w1.Append(0, 0, 2, Tid::Make(2, 1, 1), {reinterpret_cast<char*>(&v), 8});
+    w1.Flush();  // no epoch-2 marker
+  }
+  auto db = MakeDb();
+  RecoveryResult r = Recover(db.get(), dir_, 0, 2);
+  EXPECT_EQ(r.committed_epoch, 1u);
+  uint64_t out;
+  db->table(0, 0)->GetRow(1).ReadStable(&out);
+  EXPECT_EQ(out, 10u);
+  db->table(0, 0)->GetRow(2).ReadStable(&out);
+  EXPECT_EQ(out, 30u);
+}
+
+TEST_F(WalTest, CheckpointPlusLogReplay) {
+  std::atomic<uint64_t> epoch{1};
+  auto db = MakeDb();
+  uint64_t v = 7;
+  db->Load(0, 0, 5, &v);
+  {
+    HashTable::Row row = db->table(0, 0)->GetRow(5);
+    row.rec->LockSpin();
+    uint64_t nv = 8;
+    row.rec->Store(Tid::Make(1, 3, 0), &nv, 8, row.value, false);
+    row.rec->UnlockWithTid(Tid::Make(1, 3, 0));
+  }
+  Checkpointer ckpt(db.get(), dir_, 0, &epoch);
+  ckpt.RunOnce();
+
+  // A later write goes only to the log.
+  {
+    WalWriter w(WalPath(dir_, 0, 0), false);
+    uint64_t nv = 9;
+    w.Append(0, 0, 5, Tid::Make(2, 1, 0), {reinterpret_cast<char*>(&nv), 8});
+    w.MarkEpochAndFlush(2);
+  }
+
+  auto fresh = MakeDb();
+  RecoveryResult r = Recover(fresh.get(), dir_, 0, 1);
+  EXPECT_GT(r.checkpoint_entries, 0u);
+  uint64_t out;
+  fresh->table(0, 0)->GetRow(5).ReadStable(&out);
+  EXPECT_EQ(out, 9u) << "log entry must supersede the checkpoint image";
+}
+
+TEST_F(WalTest, RecoveryIsIdempotent) {
+  {
+    WalWriter w(WalPath(dir_, 0, 0), false);
+    uint64_t v = 3;
+    w.Append(0, 0, 1, Tid::Make(1, 1, 0), {reinterpret_cast<char*>(&v), 8});
+    w.MarkEpochAndFlush(1);
+  }
+  auto db = MakeDb();
+  Recover(db.get(), dir_, 0, 1);
+  RecoveryResult again = Recover(db.get(), dir_, 0, 1);
+  EXPECT_EQ(again.committed_epoch, 1u);
+  uint64_t out;
+  db->table(0, 0)->GetRow(1).ReadStable(&out);
+  EXPECT_EQ(out, 3u);
+}
+
+TEST_F(WalTest, EmptyDirectoryRecoversToEpochZero) {
+  auto db = MakeDb();
+  RecoveryResult r = Recover(db.get(), dir_, 0, 2);
+  EXPECT_EQ(r.committed_epoch, 0u);
+  EXPECT_EQ(r.log_entries_replayed, 0u);
+}
+
+}  // namespace
+}  // namespace star::wal

@@ -1,0 +1,239 @@
+// Workload generators: schema sanity, deterministic population, request
+// shapes (Section 7.1.1's configurations).
+
+#include <gtest/gtest.h>
+
+#include "cc/silo.h"
+#include "workload/tpcc.h"
+#include "workload/ycsb.h"
+
+namespace star {
+namespace {
+
+YcsbOptions SmallYcsb() {
+  YcsbOptions o;
+  o.rows_per_partition = 1000;
+  return o;
+}
+
+TpccOptions SmallTpcc() {
+  TpccOptions o;
+  o.districts_per_warehouse = 4;
+  o.customers_per_district = 50;
+  o.items = 200;
+  return o;
+}
+
+TEST(Ycsb, PopulationIsDeterministicPerPartition) {
+  YcsbWorkload wl(SmallYcsb());
+  auto mk = [&] {
+    auto db = std::make_unique<Database>(wl.Schemas(), 2,
+                                         std::vector<int>{0, 1}, false);
+    wl.PopulatePartition(*db, 0);
+    wl.PopulatePartition(*db, 1);
+    return db;
+  };
+  auto a = mk();
+  auto b = mk();
+  for (int p = 0; p < 2; ++p) {
+    for (uint64_t k = 0; k < 1000; k += 97) {
+      YcsbRow ra, rb;
+      a->table(0, p)->GetRow(k).ReadStable(&ra);
+      b->table(0, p)->GetRow(k).ReadStable(&rb);
+      EXPECT_EQ(0, std::memcmp(&ra, &rb, sizeof(ra)))
+          << "replicas must load identical bytes";
+    }
+  }
+}
+
+TEST(Ycsb, SinglePartitionStaysHome) {
+  YcsbWorkload wl(SmallYcsb());
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    TxnRequest req = wl.MakeSinglePartition(rng, 3, 8);
+    EXPECT_FALSE(req.cross_partition);
+    for (const auto& a : req.accesses) {
+      EXPECT_EQ(a.partition, 3);
+      EXPECT_LT(a.key, 1000u);
+    }
+  }
+}
+
+TEST(Ycsb, CrossPartitionLeavesHome) {
+  YcsbWorkload wl(SmallYcsb());
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    TxnRequest req = wl.MakeCrossPartition(rng, 3, 8);
+    bool leaves = false;
+    for (const auto& a : req.accesses) leaves |= (a.partition != 3);
+    EXPECT_TRUE(leaves);
+  }
+}
+
+TEST(Ycsb, MixRespectsReadRatio) {
+  YcsbWorkload wl(SmallYcsb());
+  Rng rng(2);
+  int writes = 0, total = 0;
+  for (int i = 0; i < 2000; ++i) {
+    TxnRequest req = wl.MakeSinglePartition(rng, 0, 8);
+    for (const auto& a : req.accesses) {
+      writes += a.write;
+      ++total;
+    }
+  }
+  EXPECT_NEAR(writes / static_cast<double>(total), 0.1, 0.02)
+      << "90/10 read/read-modify-write mix (Section 7.1.1)";
+}
+
+TEST(Tpcc, SchemasCoverNineTablesPlusIndex) {
+  TpccWorkload wl(SmallTpcc());
+  auto schemas = wl.Schemas();
+  ASSERT_EQ(schemas.size(), 10u);  // 9 TPC-C tables + name index
+  EXPECT_EQ(schemas[TpccWorkload::kCustomer].value_size,
+            sizeof(CustomerRow));
+  EXPECT_GE(sizeof(CustomerRow::data), 500u)
+      << "C_DATA must be the 500-character field of Section 5";
+}
+
+TEST(Tpcc, PopulateLoadsExpectedCounts) {
+  TpccWorkload wl(SmallTpcc());
+  Database db(wl.Schemas(), 1, {0}, false);
+  wl.PopulatePartition(db, 0);
+  EXPECT_EQ(db.table(TpccWorkload::kWarehouse, 0)->size(), 1u);
+  EXPECT_EQ(db.table(TpccWorkload::kDistrict, 0)->size(), 4u);
+  EXPECT_EQ(db.table(TpccWorkload::kCustomer, 0)->size(), 200u);
+  EXPECT_EQ(db.table(TpccWorkload::kItem, 0)->size(), 200u);
+  EXPECT_EQ(db.table(TpccWorkload::kStock, 0)->size(), 200u);
+}
+
+TEST(Tpcc, ItemCatalogueIdenticalAcrossPartitions) {
+  TpccWorkload wl(SmallTpcc());
+  Database db(wl.Schemas(), 2, {0, 1}, false);
+  wl.PopulatePartition(db, 0);
+  wl.PopulatePartition(db, 1);
+  for (int i = 0; i < 200; i += 17) {
+    ItemRow a, b;
+    db.table(TpccWorkload::kItem, 0)->GetRow(i).ReadStable(&a);
+    db.table(TpccWorkload::kItem, 1)->GetRow(i).ReadStable(&b);
+    EXPECT_EQ(0, std::memcmp(&a, &b, sizeof(a)));
+  }
+}
+
+TEST(Tpcc, NewOrderExecutesAgainstPopulatedPartition) {
+  TpccWorkload wl(SmallTpcc());
+  Database db(wl.Schemas(), 1, {0}, false);
+  wl.PopulatePartition(db, 0);
+  Rng rng(7);
+  TidGenerator gen(0);
+  std::atomic<uint64_t> epoch{1};
+  int committed = 0, user_aborts = 0;
+  for (int i = 0; i < 500; ++i) {
+    TxnRequest req = wl.MakeSinglePartition(rng, 0, 1);
+    SiloContext ctx(&db, &rng, 0);
+    TxnStatus st = req.proc(ctx);
+    if (st == TxnStatus::kCommitted) {
+      ASSERT_EQ(SiloSerialCommit(ctx, gen, epoch).status,
+                TxnStatus::kCommitted);
+      ++committed;
+    } else {
+      ASSERT_EQ(st, TxnStatus::kAbortUser)
+          << "single-partition TPC-C must only abort by application choice";
+      ++user_aborts;
+    }
+  }
+  EXPECT_GT(committed, 450);
+  // Orders were inserted.
+  EXPECT_GT(db.table(TpccWorkload::kOrder, 0)->size(), 0u);
+  EXPECT_EQ(db.table(TpccWorkload::kOrder, 0)->size(),
+            db.table(TpccWorkload::kNewOrder, 0)->size());
+}
+
+TEST(Tpcc, PaymentPreservesYtdInvariant) {
+  // Payment adds its amount to the warehouse and to one of its districts:
+  // w_ytd - 300000 == sum_d (d_ytd - 30000) at all times.
+  TpccWorkload wl(SmallTpcc());
+  Database db(wl.Schemas(), 1, {0}, false);
+  wl.PopulatePartition(db, 0);
+  Rng rng(3);
+  TidGenerator gen(0);
+  std::atomic<uint64_t> epoch{1};
+  for (int i = 0; i < 300; ++i) {
+    TxnRequest req = wl.MakePayment(rng, 0, 1, false);
+    SiloContext ctx(&db, &rng, 0);
+    ASSERT_EQ(req.proc(ctx), TxnStatus::kCommitted);
+    ASSERT_EQ(SiloSerialCommit(ctx, gen, epoch).status,
+              TxnStatus::kCommitted);
+  }
+  WarehouseRow w;
+  db.table(TpccWorkload::kWarehouse, 0)->GetRow(0).ReadStable(&w);
+  double district_sum = 0;
+  for (int d = 0; d < 4; ++d) {
+    DistrictRow dr;
+    db.table(TpccWorkload::kDistrict, 0)
+        ->GetRow(wl.DistrictKey(d))
+        .ReadStable(&dr);
+    district_sum += dr.ytd - 30000.0;
+  }
+  EXPECT_NEAR(w.ytd - 300000.0, district_sum, 0.01);
+  EXPECT_GT(w.ytd, 300000.0);
+}
+
+TEST(Tpcc, BadCreditPaymentPrependsCustomerData) {
+  TpccWorkload wl(SmallTpcc());
+  Database db(wl.Schemas(), 1, {0}, false);
+  wl.PopulatePartition(db, 0);
+  // Find a bad-credit customer.
+  int bc_d = -1, bc_c = -1;
+  for (int d = 0; d < 4 && bc_d < 0; ++d) {
+    for (int c = 0; c < 50; ++c) {
+      CustomerRow cr;
+      db.table(TpccWorkload::kCustomer, 0)
+          ->GetRow(wl.CustomerKey(d, c))
+          .ReadStable(&cr);
+      if (cr.credit[0] == 'B') {
+        bc_d = d;
+        bc_c = c;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(bc_d, 0) << "population must create ~10% bad-credit customers";
+  CustomerRow before;
+  db.table(TpccWorkload::kCustomer, 0)
+      ->GetRow(wl.CustomerKey(bc_d, bc_c))
+      .ReadStable(&before);
+
+  Rng rng(1);
+  SiloContext ctx(&db, &rng, 0);
+  ctx.ApplyOperation(
+      TpccWorkload::kCustomer, 0, wl.CustomerKey(bc_d, bc_c),
+      Operation::StringPrepend(offsetof(CustomerRow, data),
+                               sizeof(CustomerRow::data), "PAY|"));
+  TidGenerator gen(0);
+  std::atomic<uint64_t> epoch{1};
+  ASSERT_EQ(SiloSerialCommit(ctx, gen, epoch).status, TxnStatus::kCommitted);
+
+  CustomerRow after;
+  db.table(TpccWorkload::kCustomer, 0)
+      ->GetRow(wl.CustomerKey(bc_d, bc_c))
+      .ReadStable(&after);
+  EXPECT_EQ(std::string(after.data, 4), "PAY|");
+  EXPECT_EQ(std::string(after.data + 4, 8), std::string(before.data, 8))
+      << "old C_DATA shifted right";
+}
+
+TEST(Tpcc, CrossPaymentTargetsRemoteWarehouse) {
+  TpccWorkload wl(SmallTpcc());
+  Rng rng(5);
+  int remote = 0;
+  for (int i = 0; i < 200; ++i) {
+    TxnRequest req = wl.MakePayment(rng, 2, 8, true);
+    for (const auto& a : req.accesses) {
+      if (a.table == TpccWorkload::kCustomer && a.partition != 2) ++remote;
+    }
+  }
+  EXPECT_EQ(remote, 200) << "cross Payment pays through a remote customer";
+}
+
+}  // namespace
+}  // namespace star
