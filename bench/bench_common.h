@@ -7,10 +7,14 @@
 // default so the whole suite runs in minutes on a laptop; set
 // STAR_BENCH_SCALE=<float> to lengthen every measurement window.
 
+#include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "baselines/calvin.h"
 #include "baselines/dist_engine.h"
@@ -20,6 +24,98 @@
 #include "workload/ycsb.h"
 
 namespace star::bench {
+
+/// Machine-readable results sink: every PrintHeader/PrintRow pair is mirrored
+/// into `BENCH_<slug-of-first-title>.json` in the working directory (override
+/// the path with STAR_BENCH_JSON=<file>), so the perf trajectory of each
+/// bench binary can be tracked across commits.  The file is an array of row
+/// objects; numeric fields are emitted as numbers, everything else as
+/// strings.
+class JsonLog {
+ public:
+  static JsonLog& Instance() {
+    static JsonLog log;
+    return log;
+  }
+
+  void SetTitle(const std::string& title) {
+    section_ = title;
+    if (name_.empty()) name_ = Slug(title);
+  }
+
+  /// One result row: alternating key/value pairs; values that parse as
+  /// numbers are written unquoted.
+  void Row(std::vector<std::pair<std::string, std::string>> fields) {
+    std::string row = "  {";
+    row += "\"section\": \"" + Escape(section_) + "\"";
+    for (auto& [k, v] : fields) {
+      row += ", \"" + Escape(k) + "\": ";
+      row += IsNumber(v) ? v : "\"" + Escape(v) + "\"";
+    }
+    row += "}";
+    rows_.push_back(std::move(row));
+  }
+
+  ~JsonLog() {
+    if (rows_.empty()) return;
+    std::string path;
+    if (const char* p = std::getenv("STAR_BENCH_JSON")) {
+      path = p;
+    } else {
+      path = "BENCH_" + (name_.empty() ? std::string("results") : name_) +
+             ".json";
+    }
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+  }
+
+  static std::string Format(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+
+ private:
+  static std::string Slug(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      } else if (!out.empty() && out.back() != '_') {
+        out += '_';
+      }
+    }
+    while (!out.empty() && out.back() == '_') out.pop_back();
+    return out;
+  }
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+  static bool IsNumber(const std::string& s) {
+    if (s.empty()) return false;
+    char* end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    // NaN/Infinity parse via strtod but are not valid JSON numbers; emit
+    // them quoted instead so the file stays parseable.
+    return end != nullptr && *end == '\0' && std::isfinite(v);
+  }
+
+  std::string name_;
+  std::string section_;
+  std::vector<std::string> rows_;
+};
 
 inline double Scale() {
   const char* s = std::getenv("STAR_BENCH_SCALE");
@@ -75,6 +171,7 @@ Metrics Measure(Engine& engine) {
 
 inline void PrintHeader(const char* title, const char* caption) {
   std::printf("\n=== %s ===\n%s\n", title, caption);
+  JsonLog::Instance().SetTitle(title);
 }
 
 inline void PrintRow(const std::string& system, double p_percent,
@@ -84,6 +181,14 @@ inline void PrintRow(const std::string& system, double p_percent,
               system.c_str(), p_percent, m.Tps(), m.latency.p50() / 1e6,
               m.latency.p99() / 1e6, 100 * m.AbortRate(), m.BytesPerCommit());
   std::fflush(stdout);
+  JsonLog::Instance().Row({{"system", system},
+                           {"p_percent", JsonLog::Format(p_percent)},
+                           {"tps", JsonLog::Format(m.Tps())},
+                           {"p50_ms", JsonLog::Format(m.latency.p50() / 1e6)},
+                           {"p99_ms", JsonLog::Format(m.latency.p99() / 1e6)},
+                           {"abort_rate", JsonLog::Format(m.AbortRate())},
+                           {"bytes_per_commit",
+                            JsonLog::Format(m.BytesPerCommit())}});
 }
 
 }  // namespace star::bench

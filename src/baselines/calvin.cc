@@ -27,7 +27,7 @@ class CalvinContext final : public TxnContext {
   CalvinContext(CalvinEngine* engine, CalvinEngine::Node* node,
                 CalvinEngine::NodeState* ns, CalvinEngine::NodeTxn* txn,
                 Rng* rng, const Workload* workload, Placement* placement,
-                uint64_t wait_ns)
+                uint64_t wait_ns, WriteSet* scratch)
       : engine_(engine),
         node_(node),
         ns_(ns),
@@ -35,14 +35,17 @@ class CalvinContext final : public TxnContext {
         rng_(rng),
         workload_(workload),
         placement_(placement),
-        wait_ns_(wait_ns) {}
+        wait_ns_(wait_ns),
+        ws_(scratch) {
+    ws_->Clear();
+  }
 
   bool timed_out() const { return timed_out_; }
-  std::vector<WriteSetEntry>& writes() { return writes_; }
+  WriteSet& writes() { return *ws_; }
 
   bool Read(int t, int p, uint64_t key, void* out) override {
-    if (WriteSetEntry* ws = FindWrite(t, p, key)) {
-      std::memcpy(out, ws->value.data(), ws->value.size());
+    if (WriteSetEntry* ws = ws_->Find(t, p, key)) {
+      std::memcpy(out, ws_->ValuePtr(*ws), ws->value_len);
       return true;
     }
     int owner = placement_->master(p);
@@ -89,53 +92,43 @@ class CalvinContext final : public TxnContext {
 
   void Write(int t, int p, uint64_t key, const void* value) override {
     uint32_t size = node_->db->schema(t).value_size;
-    if (WriteSetEntry* ws = FindWrite(t, p, key)) {
-      ws->value.assign(static_cast<const char*>(value), size);
+    if (WriteSetEntry* ws = ws_->Find(t, p, key)) {
+      ws_->AssignValue(*ws, value, size);
       return;
     }
-    WriteSetEntry e;
-    e.table = t;
-    e.partition = p;
-    e.key = key;
-    e.value.assign(static_cast<const char*>(value), size);
-    writes_.push_back(std::move(e));
+    WriteSetEntry& e = ws_->Add(t, p, key);
+    ws_->AssignValue(e, value, size);
   }
 
   void ApplyOperation(int t, int p, uint64_t key,
                       const Operation& op) override {
-    if (WriteSetEntry* ws = FindWrite(t, p, key)) {
-      op.ApplyTo(ws->value.data());
+    if (WriteSetEntry* ws = ws_->Find(t, p, key)) {
+      op.ApplyTo(ws_->ValuePtr(*ws));
       return;
     }
-    WriteSetEntry e;
-    e.table = t;
-    e.partition = p;
-    e.key = key;
-    e.value.resize(node_->db->schema(t).value_size);
-    if (!Read(t, p, key, e.value.data())) {
+    // Seed from the current version *before* the entry becomes visible to
+    // Read's own-write check (the read may come from a remote forward).
+    uint32_t size = node_->db->schema(t).value_size;
+    uint32_t off = ws_->arena().Alloc(size);
+    if (!Read(t, p, key, ws_->arena().ptr(off))) {
       // Timed out or missing; leave a marker so the executor requeues.
       timed_out_ = true;
       return;
     }
-    op.ApplyTo(e.value.data());
-    writes_.push_back(std::move(e));
+    WriteSetEntry& e = ws_->Add(t, p, key);
+    e.value_off = off;
+    e.value_len = size;
+    op.ApplyTo(ws_->ValuePtr(e));
   }
 
   void Insert(int t, int p, uint64_t key, const void* value) override {
     Write(t, p, key, value);
-    writes_.back().is_insert = true;
+    ws_->entries().back().is_insert = true;
   }
 
   Rng& rng() override { return *rng_; }
 
  private:
-  WriteSetEntry* FindWrite(int t, int p, uint64_t key) {
-    for (auto& ws : writes_) {
-      if (ws.key == key && ws.table == t && ws.partition == p) return &ws;
-    }
-    return nullptr;
-  }
-
   CalvinEngine* engine_;
   CalvinEngine::Node* node_;
   CalvinEngine::NodeState* ns_;
@@ -144,8 +137,8 @@ class CalvinContext final : public TxnContext {
   const Workload* workload_;
   Placement* placement_;
   uint64_t wait_ns_;
+  WriteSet* ws_;
   bool timed_out_ = false;
-  std::vector<WriteSetEntry> writes_;
 };
 
 // ---------------------------------------------------------------------------
@@ -542,7 +535,8 @@ void CalvinEngine::ExecuteTxn(Node& node, WorkerState& w, NodeTxn* txn) {
   NodeState& ns = *cstate_[node.id];
   diag_exec_enter_.fetch_add(1, std::memory_order_relaxed);
   CalvinContext ctx(this, &node, &ns, txn, &w.rng, &workload_, &placement_,
-                    static_cast<uint64_t>(copts_.forward_wait_us * 1000));
+                    static_cast<uint64_t>(copts_.forward_wait_us * 1000),
+                    &w.write_scratch);
   TxnStatus status = txn->req->proc(ctx);
   if (ctx.timed_out()) {
     // Forwards not here yet: park briefly and let the executor pick other
@@ -559,13 +553,15 @@ void CalvinEngine::ExecuteTxn(Node& node, WorkerState& w, NodeTxn* txn) {
   if (status == TxnStatus::kCommitted) {
     // Deterministic TID: every replica group would install identical state.
     uint64_t tid = Tid::Make(txn->batch & Tid::kEpochMask, txn->index, 0);
-    for (auto& ws : ctx.writes()) {
+    WriteSet& writes = ctx.writes();
+    for (auto& ws : writes.entries()) {
       if (placement_.master(ws.partition) != node.id) continue;
       HashTable* ht = node.db->table(ws.table, ws.partition);
       HashTable::Row row =
           ws.is_insert ? ht->GetOrInsertRow(ws.key) : ht->GetRow(ws.key);
       row.rec->LockSpin();
-      row.rec->Store(tid, ws.value.data(), ws.value.size(), row.value, false);
+      row.rec->Store(tid, writes.ValuePtr(ws), ws.value_len, row.value,
+                     false);
       row.rec->UnlockWithTid(tid);
     }
     if (is_home) {

@@ -95,10 +95,10 @@ void ClusterEngine::WorkerLoop(Node& node, int worker_index) {
   w.tracker.DrainAll(NowNanos(), w.stats.latency);
 }
 
-bool ClusterEngine::ReplicateSyncAndWait(
-    Node& node, uint64_t tid, const std::vector<WriteSetEntry>& writes) {
+bool ClusterEngine::ReplicateSyncAndWait(Node& node, uint64_t tid,
+                                         const WriteSet& writes) {
   std::vector<WriteBuffer> batches(num_nodes_);
-  for (const auto& e : writes) {
+  for (const auto& e : writes.entries()) {
     int owner = placement_.master(e.partition);
     for (int dst : placement_.storing(e.partition)) {
       // Skip ourselves and the partition owner: the owner installs the
@@ -107,7 +107,7 @@ bool ClusterEngine::ReplicateSyncAndWait(
       // its io thread on our own lock (io-thread self-deadlock).
       if (dst == node.id || dst == owner) continue;
       SerializeValueEntry(batches[dst], e.table, e.partition, e.key, tid,
-                          e.value);
+                          writes.ValueView(e));
     }
   }
   std::vector<uint64_t> tokens;

@@ -53,6 +53,9 @@ class ClusterEngine {
     WorkerStats stats;
     GroupCommitTracker tracker;
     std::unique_ptr<ReplicationStream> stream;
+    /// Per-worker write-set scratch for engines whose contexts are built per
+    /// transaction (Calvin): capacity persists across transactions.
+    WriteSet write_scratch;
     int index;  // worker index within the node
     uint32_t txn_since_yield = 0;
     size_t rr = 0;  // cursor over the node's primary partitions
@@ -82,18 +85,17 @@ class ClusterEngine {
   /// replica of each touched partition (asynchronous replication; the
   /// Thomas rule reconciles ordering).
   void ReplicateAsync(WorkerState& w, int self, uint64_t tid,
-                      const std::vector<WriteSetEntry>& writes) {
-    for (const auto& e : writes) {
+                      const WriteSet& writes) {
+    for (const auto& e : writes.entries()) {
       for (int dst : placement_.storing(e.partition)) {
-        if (dst != self) w.stream->AppendEntry(dst, tid, e, false);
+        if (dst != self) w.stream->AppendEntry(dst, tid, writes, e, false);
       }
     }
   }
 
   /// Synchronous replication: ships the batch and waits for every ack while
   /// the caller still holds its write locks.  Returns false on timeout.
-  bool ReplicateSyncAndWait(Node& node, uint64_t tid,
-                            const std::vector<WriteSetEntry>& writes);
+  bool ReplicateSyncAndWait(Node& node, uint64_t tid, const WriteSet& writes);
 
   /// Records a commit in the stats and the group-commit tracker (async) or
   /// directly in the latency histogram (sync).

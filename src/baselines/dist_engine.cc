@@ -42,7 +42,7 @@ class DistContext final : public TxnContext {
 
   void Begin(const TxnRequest* req) {
     req_ = req;
-    writes_.clear();
+    ws_.Clear();
     reads_.clear();
     cache_.clear();
     held_local_.clear();
@@ -53,8 +53,8 @@ class DistContext final : public TxnContext {
   // --- TxnContext ---
 
   bool Read(int t, int p, uint64_t key, void* out) override {
-    if (WriteSetEntry* ws = FindWrite(t, p, key)) {
-      std::memcpy(out, ws->value.data(), ws->value.size());
+    if (WriteSetEntry* ws = ws_.Find(t, p, key)) {
+      std::memcpy(out, ws_.ValuePtr(*ws), ws->value_len);
       return true;
     }
     int owner = placement_->master(p);
@@ -62,8 +62,8 @@ class DistContext final : public TxnContext {
     if (cc_ == DistCc::kS2pl) {
       // NO_WAIT lock acquired up front; re-reads of a held key hit the
       // cache.
-      if (const std::string* v = FindCache(t, p, key)) {
-        std::memcpy(out, v->data(), v->size());
+      if (const CacheEntry* v = FindCache(t, p, key)) {
+        std::memcpy(out, ws_.arena().ptr(v->off), v->len);
         return true;
       }
       bool want_write = DeclaredWrite(t, p, key);
@@ -130,56 +130,50 @@ class DistContext final : public TxnContext {
         reads_.push_back({t, p, key, word, true, {}, false});
       }
     }
-    cache_.push_back({t, p, key, std::string(static_cast<char*>(out), size)});
+    // Read cache: value bytes live in the write set's arena (rewound at
+    // Begin), so caching never allocates in steady state.
+    CacheEntry c{t, p, key, ws_.arena().Alloc(size), size};
+    std::memcpy(ws_.arena().ptr(c.off), out, size);
+    cache_.push_back(c);
     return true;
   }
 
   void Write(int t, int p, uint64_t key, const void* value) override {
     uint32_t size = node_->db->schema(t).value_size;
-    if (WriteSetEntry* ws = FindWrite(t, p, key)) {
-      ws->value.assign(static_cast<const char*>(value), size);
+    if (WriteSetEntry* ws = ws_.Find(t, p, key)) {
+      ws_.AssignValue(*ws, value, size);
       ws->ops_only = false;
       return;
     }
-    WriteSetEntry e;
-    e.table = t;
-    e.partition = p;
-    e.key = key;
-    e.value.assign(static_cast<const char*>(value), size);
-    writes_.push_back(std::move(e));
+    WriteSetEntry& e = ws_.Add(t, p, key);
+    ws_.AssignValue(e, value, size);
   }
 
   void ApplyOperation(int t, int p, uint64_t key,
                       const Operation& op) override {
-    if (WriteSetEntry* ws = FindWrite(t, p, key)) {
-      op.ApplyTo(ws->value.data());
-      ws->ops.push_back(op);
+    if (WriteSetEntry* ws = ws_.Find(t, p, key)) {
+      op.ApplyTo(ws_.ValuePtr(*ws));
+      ws_.AppendOp(*ws, op);
       return;
     }
-    WriteSetEntry e;
-    e.table = t;
-    e.partition = p;
-    e.key = key;
-    const std::string* seed = FindCache(t, p, key);
+    const CacheEntry* seed = FindCache(t, p, key);
     assert(seed != nullptr && "operation without a preceding read");
-    e.value = *seed;
-    op.ApplyTo(e.value.data());
-    e.ops.push_back(op);
+    WriteSetEntry& e = ws_.Add(t, p, key);
+    // Allocate before resolving the seed pointer: cache and value share the
+    // arena, and Alloc may move it.
+    char* dst = ws_.AllocValue(e, seed->len);
+    std::memcpy(dst, ws_.arena().ptr(seed->off), seed->len);
+    op.ApplyTo(ws_.ValuePtr(e));
+    ws_.AppendOp(e, op);
     e.ops_only = true;
-    writes_.push_back(std::move(e));
   }
 
   void Insert(int t, int p, uint64_t key, const void* value) override {
     // Inserts target the transaction's home partition in our workloads;
     // remote inserts would need owner-side GetOrInsert in the lock round.
-    WriteSetEntry e;
-    e.table = t;
-    e.partition = p;
-    e.key = key;
-    e.value.assign(static_cast<const char*>(value),
-                   node_->db->schema(t).value_size);
+    WriteSetEntry& e = ws_.Add(t, p, key);
+    ws_.AssignValue(e, value, node_->db->schema(t).value_size);
     e.is_insert = true;
-    writes_.push_back(std::move(e));
   }
 
   Rng& rng() override { return w_->rng; }
@@ -189,7 +183,7 @@ class DistContext final : public TxnContext {
   CommitResult Commit(const std::atomic<uint64_t>& epoch);
   void Abort();
 
-  std::vector<WriteSetEntry>& writes() { return writes_; }
+  WriteSet& writes() { return ws_; }
 
  private:
   struct ReadEntry {
@@ -205,18 +199,13 @@ class DistContext final : public TxnContext {
     int32_t t;
     int32_t p;
     uint64_t key;
-    std::string value;
+    uint32_t off;  // arena view of the cached value
+    uint32_t len;
   };
 
-  WriteSetEntry* FindWrite(int t, int p, uint64_t key) {
-    for (auto& ws : writes_) {
-      if (ws.key == key && ws.table == t && ws.partition == p) return &ws;
-    }
-    return nullptr;
-  }
-  const std::string* FindCache(int t, int p, uint64_t key) const {
+  const CacheEntry* FindCache(int t, int p, uint64_t key) const {
     for (const auto& c : cache_) {
-      if (c.key == key && c.t == t && c.p == p) return &c.value;
+      if (c.key == key && c.t == t && c.p == p) return &c;
     }
     return nullptr;
   }
@@ -228,11 +217,8 @@ class DistContext final : public TxnContext {
     }
     return false;
   }
-  bool InWriteSet(int t, int p, uint64_t key) const {
-    for (const auto& ws : writes_) {
-      if (ws.key == key && ws.table == t && ws.partition == p) return true;
-    }
-    return false;
+  bool InWriteSet(int t, int p, uint64_t key) {
+    return ws_.Find(t, p, key) != nullptr;
   }
 
   CommitResult CommitOcc(const std::atomic<uint64_t>& epoch);
@@ -258,16 +244,20 @@ class DistContext final : public TxnContext {
   uint64_t timeout_ns_;
 
   const TxnRequest* req_ = nullptr;
-  std::vector<WriteSetEntry> writes_;
+  WriteSet ws_;
   std::vector<ReadEntry> reads_;
   std::vector<CacheEntry> cache_;
   std::vector<RemoteLock> held_local_;   // S2PL locks on this node
   std::vector<RemoteLock> held_remote_;  // S2PL locks at remote owners
   uint64_t remote_lock_words_ = 0;
 
-  // OCC commit bookkeeping (reset per commit attempt).
+  // OCC commit bookkeeping (reset per commit attempt).  The context is
+  // reused across transactions, so all of these retain capacity.
   std::vector<WriteSetEntry*> locked_local_;
   std::vector<RemoteLock> locked_remote_;
+  std::vector<WriteSetEntry*> local_writes_;
+  std::vector<std::vector<WriteSetEntry*>> remote_writes_;
+  std::vector<std::vector<ReadEntry*>> remote_reads_;
 };
 
 void DistContext::SendRemoteUnlocks() {
@@ -312,9 +302,12 @@ CommitResult DistContext::CommitOcc(const std::atomic<uint64_t>& epoch) {
 
   // --- lock phase (paper: "first acquires all write locks") ---
   // Local writes: materialise inserts, then NO_WAIT-lock in address order.
-  std::vector<WriteSetEntry*> local;
-  std::vector<std::vector<WriteSetEntry*>> remote(placement_->num_nodes());
-  for (auto& ws : writes_) {
+  auto& local = local_writes_;
+  auto& remote = remote_writes_;
+  local.clear();
+  remote.resize(placement_->num_nodes());
+  for (auto& v : remote) v.clear();
+  for (auto& ws : ws_.entries()) {
     int owner = placement_->master(ws.partition);
     if (owner == node_->id) {
       HashTable* ht = node_->db->table(ws.table, ws.partition);
@@ -392,7 +385,9 @@ CommitResult DistContext::CommitOcc(const std::atomic<uint64_t>& epoch) {
   }
 
   // --- validation phase ("next validates all reads") ---
-  std::vector<std::vector<ReadEntry*>> vremote(placement_->num_nodes());
+  auto& vremote = remote_reads_;
+  vremote.resize(placement_->num_nodes());
+  for (auto& v : vremote) v.clear();
   for (auto& r : reads_) {
     floor = std::max(floor, Record::TidOf(r.word));
     r.self_write = InWriteSet(r.t, r.p, r.key);
@@ -447,7 +442,7 @@ CommitResult DistContext::CommitOcc(const std::atomic<uint64_t>& epoch) {
     for (uint64_t tok : tokens) {
       ok &= node_->endpoint->Wait(tok, nullptr, timeout_ns_);
     }
-    if (ok) ok = engine_->ReplicateSyncAndWait(*node_, tid, writes_);
+    if (ok) ok = engine_->ReplicateSyncAndWait(*node_, tid, ws_);
     if (!ok) {
       abort_cleanup();
       return {TxnStatus::kAbortNetwork, 0};
@@ -456,8 +451,8 @@ CommitResult DistContext::CommitOcc(const std::atomic<uint64_t>& epoch) {
 
   // --- install phase ("applies the writes ... releases the write locks") ---
   for (WriteSetEntry* ws : local) {
-    ws->row.rec->Store(tid, ws->value.data(), ws->value.size(),
-                       ws->row.value, false);
+    ws->row.rec->Store(tid, ws_.ValuePtr(*ws), ws->value_len, ws->row.value,
+                       false);
     ws->row.rec->UnlockWithTid(tid);
   }
   {
@@ -471,7 +466,7 @@ CommitResult DistContext::CommitOcc(const std::atomic<uint64_t>& epoch) {
         b.Write<int32_t>(ws->table);
         b.Write<int32_t>(ws->partition);
         b.Write<uint64_t>(ws->key);
-        b.WriteString(ws->value);
+        b.WriteString(ws_.ValueView(*ws));
       }
       b.Write<uint16_t>(0);  // no S2PL read locks to release
       tokens.push_back(node_->endpoint->CallAsync(
@@ -494,9 +489,12 @@ CommitResult DistContext::CommitS2pl(const std::atomic<uint64_t>& epoch) {
       w_->gen.Generate(floor, epoch.load(std::memory_order_acquire));
 
   // Partition writes by owner; resolve local rows.
-  std::vector<WriteSetEntry*> local;
-  std::vector<std::vector<WriteSetEntry*>> remote(placement_->num_nodes());
-  for (auto& ws : writes_) {
+  auto& local = local_writes_;
+  auto& remote = remote_writes_;
+  local.clear();
+  remote.resize(placement_->num_nodes());
+  for (auto& v : remote) v.clear();
+  for (auto& ws : ws_.entries()) {
     int owner = placement_->master(ws.partition);
     if (owner == node_->id) {
       HashTable* ht = node_->db->table(ws.table, ws.partition);
@@ -523,7 +521,7 @@ CommitResult DistContext::CommitS2pl(const std::atomic<uint64_t>& epoch) {
     for (uint64_t tok : tokens) {
       ok &= node_->endpoint->Wait(tok, nullptr, timeout_ns_);
     }
-    if (ok) ok = engine_->ReplicateSyncAndWait(*node_, tid, writes_);
+    if (ok) ok = engine_->ReplicateSyncAndWait(*node_, tid, ws_);
     if (!ok) {
       Abort();
       return {TxnStatus::kAbortNetwork, 0};
@@ -533,8 +531,8 @@ CommitResult DistContext::CommitS2pl(const std::atomic<uint64_t>& epoch) {
   // Install local writes (record latch shields optimistic readers).
   for (WriteSetEntry* ws : local) {
     ws->row.rec->LockSpin();
-    ws->row.rec->Store(tid, ws->value.data(), ws->value.size(),
-                       ws->row.value, false);
+    ws->row.rec->Store(tid, ws_.ValuePtr(*ws), ws->value_len, ws->row.value,
+                       false);
     ws->row.rec->UnlockWithTid(tid);
   }
   ReleaseLocalS2pl();
@@ -555,7 +553,7 @@ CommitResult DistContext::CommitS2pl(const std::atomic<uint64_t>& epoch) {
       b.Write<int32_t>(ws->table);
       b.Write<int32_t>(ws->partition);
       b.Write<uint64_t>(ws->key);
-      b.WriteString(ws->value);
+      b.WriteString(ws_.ValueView(*ws));
     }
     b.Write<uint16_t>(static_cast<uint16_t>(locks_at[o].size()));
     for (const RemoteLock* l : locks_at[o]) {
@@ -589,6 +587,15 @@ DistEngine::DistEngine(const BaselineOptions& options,
   for (int i = 0; i < num_nodes_; ++i) {
     lock_tables_[i] = std::make_unique<LockTable>();
     RegisterHandlers(*nodes_[i]);
+  }
+  // Persistent per-worker contexts: write-set arena/pool capacity survives
+  // across transactions (see DistContext members).
+  for (int i = 0; i < num_nodes_; ++i) {
+    for (int w = 0; w < options_.workers_per_node; ++w) {
+      worker_ctxs_.push_back(std::make_unique<DistContext>(
+          this, nodes_[i].get(), nodes_[i]->workers[w].get(), &placement_,
+          lock_tables_[i].get(), cc_, options_.rpc_timeout_ms));
+    }
   }
 }
 
@@ -854,8 +861,8 @@ void DistEngine::RunOne(Node& node, WorkerState& w, SiloContext& base_ctx) {
       cross ? workload_.MakeCrossPartition(w.rng, home, num_partitions_)
             : workload_.MakeSinglePartition(w.rng, home, num_partitions_);
 
-  DistContext ctx(this, &node, &w, &placement_, lock_tables_[node.id].get(),
-                  cc_, options_.rpc_timeout_ms);
+  DistContext& ctx = *static_cast<DistContext*>(
+      worker_ctxs_[node.id * options_.workers_per_node + w.index].get());
   uint64_t start = NowNanos();
   for (int attempt = 0;; ++attempt) {
     ctx.Begin(&req);
@@ -874,10 +881,13 @@ void DistEngine::RunOne(Node& node, WorkerState& w, SiloContext& base_ctx) {
     if (cr.status == TxnStatus::kCommitted) {
       if (!options_.sync_replication) {
         // Asynchronous replication to every backup copy.
-        for (const auto& e : ctx.writes()) {
+        const WriteSet& writes = ctx.writes();
+        for (const auto& e : writes.entries()) {
           int owner = placement_.master(e.partition);
           for (int dst : placement_.storing(e.partition)) {
-            if (dst != owner) w.stream->AppendEntry(dst, cr.tid, e, false);
+            if (dst != owner) {
+              w.stream->AppendEntry(dst, cr.tid, writes, e, false);
+            }
           }
         }
       }

@@ -45,6 +45,13 @@ class DistEngine : public ClusterEngine {
   std::vector<std::unique_ptr<LockTable>> lock_tables_;
   DistCc cc_;
 
+  /// One persistent DistContext per worker (indexed node * workers + index):
+  /// write-set arenas, read sets, and RPC scratch keep their capacity across
+  /// transactions, so the coordinator-side hot path stops allocating once
+  /// warmed up.  Stored through the TxnContext interface to keep the
+  /// concrete class local to the .cc file.
+  std::vector<std::unique_ptr<TxnContext>> worker_ctxs_;
+
   void RegisterHandlers(Node& node);
 
   // io-thread handlers (run on the owner node).

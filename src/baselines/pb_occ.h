@@ -51,7 +51,7 @@ class PbOccEngine final : public ClusterEngine {
         // Locks stay held while the backup acknowledges (high write
         // latency, low commit latency — Figure 9).
         cr = SiloOccCommit(ctx, w.gen, epoch_mgr_.counter(),
-                           [&](uint64_t tid, std::vector<WriteSetEntry>& ws) {
+                           [&](uint64_t tid, WriteSet& ws) {
                              return ReplicateSyncAndWait(node, tid, ws);
                            });
       } else {

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <string_view>
 
 #include "common/serializer.h"
 
@@ -34,8 +35,11 @@ struct Operation {
   uint32_t field_len = 0;  // field capacity (string ops)
   std::string operand;
 
-  /// Applies the operation to a record value in place.
-  void ApplyTo(char* value) const {
+  /// Applies an operation to a record value in place.  Static so replication
+  /// appliers can execute operations straight off the wire (operand viewed
+  /// into the batch payload) without materialising an Operation.
+  static void Apply(Code code, uint32_t offset, uint32_t field_len,
+                    std::string_view operand, char* value) {
     char* field = value + offset;
     switch (code) {
       case Code::kSet:
@@ -71,6 +75,10 @@ struct Operation {
         break;
       }
     }
+  }
+
+  void ApplyTo(char* value) const {
+    Apply(code, offset, field_len, operand, value);
   }
 
   void Serialize(WriteBuffer& out) const {

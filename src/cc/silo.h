@@ -4,10 +4,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
-#include <string>
 #include <vector>
 
 #include "cc/txn.h"
+#include "cc/write_set.h"
 #include "common/tid.h"
 #include "storage/database.h"
 
@@ -20,27 +20,13 @@ struct ReadSetEntry {
   uint64_t observed_word = 0;
 };
 
-/// A buffered write: the full new value plus, when the modification was
-/// expressed through field operations, the operation list for operation
-/// replication (Section 5).
-struct WriteSetEntry {
-  int32_t table = 0;
-  int32_t partition = 0;
-  uint64_t key = 0;
-  HashTable::Row row;  // resolved at execution (updates) or commit (inserts)
-  std::string value;
-  std::vector<Operation> ops;
-  bool is_insert = false;
-  /// True while every modification came in via ApplyOperation — only then
-  /// may the engine replicate operations instead of the value.
-  bool ops_only = false;
-  bool locked = false;       // commit bookkeeping
-  bool created_here = false; // insert materialised a new node
-};
-
 /// Local-memory transaction context shared by every executor that runs
 /// transactions against this node's own storage: STAR's two phases, the
 /// PB. OCC primary, and the local legs of the distributed baselines.
+///
+/// The context is reused across transactions (`Reset()` between attempts):
+/// the read set, write-set entries, value arena, and operation pool all keep
+/// their capacity, so a warmed-up worker commits without heap allocation.
 class SiloContext : public TxnContext {
  public:
   SiloContext(Database* db, Rng* rng, int worker_id)
@@ -49,8 +35,8 @@ class SiloContext : public TxnContext {
   // --- TxnContext ---
 
   bool Read(int table, int partition, uint64_t key, void* out) override {
-    if (WriteSetEntry* w = FindWrite(table, partition, key)) {
-      std::memcpy(out, w->value.data(), w->value.size());
+    if (WriteSetEntry* w = write_set_.Find(table, partition, key)) {
+      std::memcpy(out, write_set_.ValuePtr(*w), w->value_len);
       return true;
     }
     HashTable* ht = db_->table(table, partition);
@@ -68,58 +54,48 @@ class SiloContext : public TxnContext {
              const void* value) override {
     HashTable* ht = db_->table(table, partition);
     uint32_t size = ht->value_size();
-    if (WriteSetEntry* w = FindWrite(table, partition, key)) {
-      w->value.assign(static_cast<const char*>(value), size);
+    if (WriteSetEntry* w = write_set_.Find(table, partition, key)) {
+      write_set_.AssignValue(*w, value, size);
       w->ops_only = false;
       return;
     }
-    WriteSetEntry e;
-    e.table = table;
-    e.partition = partition;
-    e.key = key;
+    WriteSetEntry& e = write_set_.Add(table, partition, key);
     e.row = ht->GetRow(key);
-    e.value.assign(static_cast<const char*>(value), size);
+    write_set_.AssignValue(e, value, size);
     e.ops_only = false;
-    write_set_.push_back(std::move(e));
   }
 
   void ApplyOperation(int table, int partition, uint64_t key,
                       const Operation& op) override {
-    if (WriteSetEntry* w = FindWrite(table, partition, key)) {
-      op.ApplyTo(w->value.data());
-      w->ops.push_back(op);
+    if (WriteSetEntry* w = write_set_.Find(table, partition, key)) {
+      op.ApplyTo(write_set_.ValuePtr(*w));
+      write_set_.AppendOp(*w, op);
       return;
     }
     HashTable* ht = db_->table(table, partition);
-    WriteSetEntry e;
-    e.table = table;
-    e.partition = partition;
-    e.key = key;
+    WriteSetEntry& e = write_set_.Add(table, partition, key);
     e.row = ht->GetRow(key);
-    e.value.resize(ht->value_size());
+    char* value = write_set_.AllocValue(e, ht->value_size());
     // Seed the new value from the current record.  If this read races with
     // a concurrent writer, OCC validation of the earlier Read (our workloads
     // always read before ApplyOperation) aborts the transaction.
     if (e.row.valid()) {
-      e.row.ReadStable(e.value.data());
+      e.row.ReadStable(value);
+    } else {
+      std::memset(value, 0, e.value_len);
     }
-    op.ApplyTo(e.value.data());
-    e.ops.push_back(op);
+    op.ApplyTo(value);
+    write_set_.AppendOp(e, op);
     e.ops_only = true;
-    write_set_.push_back(std::move(e));
   }
 
   void Insert(int table, int partition, uint64_t key,
               const void* value) override {
     HashTable* ht = db_->table(table, partition);
-    WriteSetEntry e;
-    e.table = table;
-    e.partition = partition;
-    e.key = key;
-    e.value.assign(static_cast<const char*>(value), ht->value_size());
+    WriteSetEntry& e = write_set_.Add(table, partition, key);
+    write_set_.AssignValue(e, value, ht->value_size());
     e.is_insert = true;
     e.ops_only = false;
-    write_set_.push_back(std::move(e));
   }
 
   Rng& rng() override { return *rng_; }
@@ -128,31 +104,22 @@ class SiloContext : public TxnContext {
   // --- engine-side accessors ---
 
   std::vector<ReadSetEntry>& read_set() { return read_set_; }
-  std::vector<WriteSetEntry>& write_set() { return write_set_; }
+  WriteSet& write_set() { return write_set_; }
   uint64_t max_observed_tid() const { return max_observed_; }
   Database* db() const { return db_; }
 
   void Reset() {
     read_set_.clear();
-    write_set_.clear();
+    write_set_.Clear();
     max_observed_ = 0;
   }
 
  private:
-  WriteSetEntry* FindWrite(int table, int partition, uint64_t key) {
-    for (auto& w : write_set_) {
-      if (w.key == key && w.table == table && w.partition == partition) {
-        return &w;
-      }
-    }
-    return nullptr;
-  }
-
   Database* db_;
   Rng* rng_;
   int worker_id_;
   std::vector<ReadSetEntry> read_set_;
-  std::vector<WriteSetEntry> write_set_;
+  WriteSet write_set_;
   uint64_t max_observed_ = 0;
 };
 
@@ -165,8 +132,7 @@ struct CommitResult {
 /// installed and locks released.  Used by synchronous replication (Figure 9
 /// / Figure 15(a)'s SYNC STAR): the transaction holds its write locks for a
 /// replication round trip.  Returning false aborts the transaction.
-using PreInstallHook =
-    std::function<bool(uint64_t tid, std::vector<WriteSetEntry>&)>;
+using PreInstallHook = std::function<bool(uint64_t tid, WriteSet&)>;
 
 /// The OCC commit protocol of Section 4.2 (Silo variant), used wherever
 /// multiple threads share partitions: STAR's single-master phase and the
@@ -181,7 +147,8 @@ using PreInstallHook =
 inline CommitResult SiloOccCommit(SiloContext& ctx, TidGenerator& gen,
                                   const std::atomic<uint64_t>& global_epoch,
                                   const PreInstallHook& pre_install = nullptr) {
-  auto& writes = ctx.write_set();
+  WriteSet& ws = ctx.write_set();
+  auto& writes = ws.entries();
   Database* db = ctx.db();
 
   // (1) Materialise inserts so they have lockable records.
@@ -194,7 +161,8 @@ inline CommitResult SiloOccCommit(SiloContext& ctx, TidGenerator& gen,
     }
   }
 
-  // (2) Address-ordered locking: deadlock-free.
+  // (2) Address-ordered locking: deadlock-free.  Entries are views into the
+  // write set's arena/pool, so the sort moves plain structs only.
   std::sort(writes.begin(), writes.end(),
             [](const WriteSetEntry& a, const WriteSetEntry& b) {
               return a.row.rec < b.row.rec;
@@ -234,8 +202,8 @@ inline CommitResult SiloOccCommit(SiloContext& ctx, TidGenerator& gen,
   for (auto& r : ctx.read_set()) {
     uint64_t w = r.row.rec->LoadWord();
     bool in_write_set = false;
-    for (auto& ws : writes) {
-      if (ws.row.rec == r.row.rec) {
+    for (auto& wse : writes) {
+      if (wse.row.rec == r.row.rec) {
         in_write_set = true;
         break;
       }
@@ -249,12 +217,12 @@ inline CommitResult SiloOccCommit(SiloContext& ctx, TidGenerator& gen,
 
   // (5) + (6) Generate the TID, install, unlock.
   uint64_t tid = gen.Generate(max_tid, epoch);
-  if (pre_install && !pre_install(tid, writes)) {
+  if (pre_install && !pre_install(tid, ws)) {
     abort_unlock();
     return {TxnStatus::kAbortNetwork, 0};
   }
   for (auto& w : writes) {
-    w.row.rec->Store(tid, w.value.data(), w.value.size(), w.row.value,
+    w.row.rec->Store(tid, ws.ValuePtr(w), w.value_len, w.row.value,
                      db->two_version());
     w.row.rec->UnlockWithTid(tid);
   }
@@ -268,7 +236,8 @@ inline CommitResult SiloOccCommit(SiloContext& ctx, TidGenerator& gen,
 /// torn value.
 inline CommitResult SiloSerialCommit(SiloContext& ctx, TidGenerator& gen,
                                      const std::atomic<uint64_t>& global_epoch) {
-  auto& writes = ctx.write_set();
+  WriteSet& ws = ctx.write_set();
+  auto& writes = ws.entries();
   Database* db = ctx.db();
   uint64_t epoch = global_epoch.load(std::memory_order_acquire);
   uint64_t max_tid = ctx.max_observed_tid();
@@ -287,7 +256,7 @@ inline CommitResult SiloSerialCommit(SiloContext& ctx, TidGenerator& gen,
   uint64_t tid = gen.Generate(max_tid, epoch);
   for (auto& w : writes) {
     w.row.rec->LockSpin();  // uncontended: single writer per partition
-    w.row.rec->Store(tid, w.value.data(), w.value.size(), w.row.value,
+    w.row.rec->Store(tid, ws.ValuePtr(w), w.value_len, w.row.value,
                      db->two_version());
     w.row.rec->UnlockWithTid(tid);
   }

@@ -1,0 +1,157 @@
+#ifndef STAR_CC_WRITE_SET_H_
+#define STAR_CC_WRITE_SET_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "cc/operation.h"
+#include "common/arena.h"
+#include "storage/hash_table.h"
+
+namespace star {
+
+/// A buffered write: the full new value plus, when the modification was
+/// expressed through field operations, the operation list for operation
+/// replication (Section 5).
+///
+/// Memory model: entries own nothing.  Value bytes live in the enclosing
+/// WriteSet's bump arena as an (offset, length) view, and operations live in
+/// the WriteSet's recycled operation pool as a (begin, count) range, so an
+/// entry is trivially copyable and the commit protocols can sort the write
+/// set without touching the allocator.  Resolve the views through the
+/// WriteSet that produced the entry (`ValuePtr` / `ops`); the stable
+/// `Record*` in `row` makes the resolved value safe to install directly.
+struct WriteSetEntry {
+  int32_t table = 0;
+  int32_t partition = 0;
+  uint64_t key = 0;
+  HashTable::Row row;  // resolved at execution (updates) or commit (inserts)
+  uint32_t value_off = 0;  // arena view of the buffered value bytes
+  uint32_t value_len = 0;
+  uint32_t ops_begin = 0;  // range in the WriteSet's operation pool
+  uint32_t ops_count = 0;
+  bool is_insert = false;
+  /// True while every modification came in via ApplyOperation — only then
+  /// may the engine replicate operations instead of the value.
+  bool ops_only = false;
+  bool locked = false;        // commit bookkeeping
+  bool created_here = false;  // insert materialised a new node
+};
+
+/// A transaction's write set: entry list + value arena + operation pool,
+/// shared by every execution context (SiloContext, the distributed
+/// baselines' contexts, Calvin).
+///
+/// `Clear()` rewinds the arena, resets the operation-pool cursor, and clears
+/// the entry vector — none of which releases memory — so a worker reusing
+/// one WriteSet across transactions stops allocating once all three have
+/// reached the workload's high-water mark.
+class WriteSet {
+ public:
+  WriteSetEntry* Find(int table, int partition, uint64_t key) {
+    for (auto& w : entries_) {
+      if (w.key == key && w.table == table && w.partition == partition) {
+        return &w;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Appends a blank entry (no value storage yet).
+  WriteSetEntry& Add(int table, int partition, uint64_t key) {
+    entries_.emplace_back();
+    WriteSetEntry& e = entries_.back();
+    e.table = table;
+    e.partition = partition;
+    e.key = key;
+    return e;
+  }
+
+  /// Reserves `size` uninitialised value bytes for `e`; returns the write
+  /// pointer (valid until the next arena allocation).
+  char* AllocValue(WriteSetEntry& e, uint32_t size) {
+    e.value_off = arena_.Alloc(size);
+    e.value_len = size;
+    return arena_.ptr(e.value_off);
+  }
+
+  /// Copies `size` bytes into `e`'s value, allocating on first use and
+  /// overwriting in place afterwards (table value sizes are fixed).
+  void AssignValue(WriteSetEntry& e, const void* data, uint32_t size) {
+    if (e.value_len != size) AllocValue(e, size);
+    std::memcpy(arena_.ptr(e.value_off), data, size);
+  }
+
+  char* ValuePtr(const WriteSetEntry& e) { return arena_.ptr(e.value_off); }
+  const char* ValuePtr(const WriteSetEntry& e) const {
+    return arena_.ptr(e.value_off);
+  }
+  std::string_view ValueView(const WriteSetEntry& e) const {
+    return std::string_view(arena_.ptr(e.value_off), e.value_len);
+  }
+
+  /// Appends an operation to `e`'s range.  Ranges must stay contiguous in
+  /// the pool; if another entry appended since `e`'s last operation, `e`'s
+  /// range is first relocated to the pool tail (capacity is recycled, so
+  /// this too stops allocating in steady state).
+  void AppendOp(WriteSetEntry& e, const Operation& op) {
+    if (e.ops_count == 0) {
+      e.ops_begin = ops_used_;
+    } else if (e.ops_begin + e.ops_count != ops_used_) {
+      ops_pool_.reserve(static_cast<size_t>(ops_used_) + e.ops_count + 1);
+      uint32_t new_begin = ops_used_;
+      for (uint32_t i = 0; i < e.ops_count; ++i) {
+        PushOp(ops_pool_[e.ops_begin + i]);
+      }
+      e.ops_begin = new_begin;
+    }
+    PushOp(op);
+    ++e.ops_count;
+  }
+
+  const Operation* ops(const WriteSetEntry& e) const {
+    return ops_pool_.data() + e.ops_begin;
+  }
+
+  std::vector<WriteSetEntry>& entries() { return entries_; }
+  const std::vector<WriteSetEntry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  TxnArena& arena() { return arena_; }
+
+  /// Forgets everything while keeping all capacity (see class comment).
+  void Clear() {
+    entries_.clear();
+    arena_.Rewind();
+    ops_used_ = 0;
+  }
+
+ private:
+  /// Writes into a recycled pool slot when one exists: Operation owns a
+  /// std::string operand whose heap buffer survives across transactions
+  /// under assign(), unlike a cleared vector whose destructors free it.
+  void PushOp(const Operation& op) {
+    if (ops_used_ < ops_pool_.size()) {
+      Operation& slot = ops_pool_[ops_used_];
+      slot.code = op.code;
+      slot.offset = op.offset;
+      slot.field_len = op.field_len;
+      slot.operand.assign(op.operand);
+    } else {
+      ops_pool_.push_back(op);
+    }
+    ++ops_used_;
+  }
+
+  std::vector<WriteSetEntry> entries_;
+  TxnArena arena_;
+  std::vector<Operation> ops_pool_;  // first ops_used_ slots are live
+  uint32_t ops_used_ = 0;
+};
+
+}  // namespace star
+
+#endif  // STAR_CC_WRITE_SET_H_

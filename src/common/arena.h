@@ -1,0 +1,60 @@
+#ifndef STAR_COMMON_ARENA_H_
+#define STAR_COMMON_ARENA_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace star {
+
+/// Per-worker bump arena backing a transaction's scratch byte storage
+/// (write-set values, read caches).
+///
+/// Memory model: the arena owns a single contiguous buffer that only ever
+/// grows.  Allocations hand out *offsets*, not pointers — the buffer may be
+/// reallocated by a later Alloc, so holders resolve an offset to a pointer
+/// (`ptr()`) at each use and never retain the pointer across an Alloc.
+/// `Rewind()` resets the bump cursor without releasing capacity, which is
+/// what makes the per-transaction hot path allocation-free in steady state:
+/// after the first few transactions have grown the buffer to the workload's
+/// high-water mark, every subsequent transaction reuses it.
+///
+/// Not thread-safe: each worker thread owns its own arena (the same
+/// discipline as the per-worker replication streams).
+class TxnArena {
+ public:
+  TxnArena() = default;
+  explicit TxnArena(size_t reserve) { buf_.resize(reserve); }
+
+  /// Reserves `n` bytes and returns their offset.  The bytes are
+  /// uninitialised (callers always overwrite them in full).
+  uint32_t Alloc(size_t n) {
+    size_t off = used_;
+    if (used_ + n > buf_.size()) {
+      size_t want = used_ + n;
+      size_t cap = buf_.empty() ? 4096 : buf_.size();
+      while (cap < want) cap *= 2;
+      buf_.resize(cap);
+    }
+    used_ += n;
+    return static_cast<uint32_t>(off);
+  }
+
+  char* ptr(uint32_t offset) { return buf_.data() + offset; }
+  const char* ptr(uint32_t offset) const { return buf_.data() + offset; }
+
+  /// Resets the cursor; capacity (and stale bytes) stay.  Offsets handed out
+  /// before the rewind must not be dereferenced afterwards.
+  void Rewind() { used_ = 0; }
+
+  size_t used() const { return used_; }
+  size_t capacity() const { return buf_.size(); }
+
+ private:
+  std::vector<char> buf_;
+  size_t used_ = 0;
+};
+
+}  // namespace star
+
+#endif  // STAR_COMMON_ARENA_H_

@@ -54,6 +54,14 @@ class WriteBuffer {
   std::string Release() { return std::move(data_); }
   void Clear() { data_.clear(); }
 
+  /// Replaces the backing string (cleared, capacity kept) — used to refill a
+  /// buffer from a recycled payload pool after Release() donated the old
+  /// backing string to a message.
+  void Adopt(std::string&& backing) {
+    data_ = std::move(backing);
+    data_.clear();
+  }
+
  private:
   std::string data_;
 };

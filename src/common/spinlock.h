@@ -2,6 +2,7 @@
 #define STAR_COMMON_SPINLOCK_H_
 
 #include <atomic>
+#include <mutex>  // std::lock_guard, used with SpinLock throughout
 #include <thread>
 
 #if defined(__x86_64__)

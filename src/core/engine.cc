@@ -854,7 +854,7 @@ void StarEngine::RunSingleMasterTxn(Node& node, WorkerState& w,
       cr.status = TxnStatus::kAbortConflict;
     } else if (is_sync) {
       cr = SiloOccCommit(ctx, w.gen, node.epoch,
-                         [&](uint64_t tid, std::vector<WriteSetEntry>& ws) {
+                         [&](uint64_t tid, WriteSet& ws) {
                            return SyncReplicate(node, tid, ws);
                          });
     } else {
@@ -879,32 +879,37 @@ void StarEngine::RunSingleMasterTxn(Node& node, WorkerState& w,
 }
 
 void StarEngine::ReplicateCommit(WorkerState& w, uint64_t tid,
-                                 std::vector<WriteSetEntry>& writes,
-                                 bool allow_ops,
+                                 const WriteSet& writes, bool allow_ops,
                                  const std::vector<std::vector<int>>& targets) {
-  for (const auto& entry : writes) {
+  for (const auto& entry : writes.entries()) {
     for (int dst : targets[entry.partition]) {
-      w.stream->AppendEntry(dst, tid, entry, allow_ops);
+      w.stream->AppendEntry(dst, tid, writes, entry, allow_ops);
     }
   }
 }
 
-bool StarEngine::SyncReplicate(Node& node, uint64_t tid,
-                               std::vector<WriteSetEntry>& writes) {
+bool StarEngine::SyncReplicate(Node& node, uint64_t tid, WriteSet& writes) {
   // Build one batch per replica target and wait for every ack while the
   // commit holds its write locks (Figure 9's SYNC column).
   std::vector<WriteBuffer> batches(num_nodes_);
   std::vector<uint64_t> counts(num_nodes_, 0);
-  for (const auto& entry : writes) {
+  for (const auto& entry : writes.entries()) {
     for (int dst : sm_targets_[entry.partition]) {
       SerializeValueEntry(batches[dst], entry.table, entry.partition,
-                          entry.key, tid, entry.value);
+                          entry.key, tid, writes.ValueView(entry));
       ++counts[dst];
     }
   }
   std::vector<std::pair<int, uint64_t>> tokens;
   for (int dst = 0; dst < num_nodes_; ++dst) {
     if (batches[dst].empty()) continue;
+    // Counted before the call on purpose: an ack timeout does not mean the
+    // replica skipped the batch (it may apply late), so skipping AddSent
+    // here could leave applied > sent and let a fence drain round exit
+    // early.  Over-counting toward a genuinely dead node is benign — failed
+    // nodes are excluded from fences and counters reset on view changes.
+    // (The one-way stream path in ReplicationStream::Flush does get exact
+    // drop information from the fabric and counts only accepted batches.)
     node.counters->AddSent(dst, counts[dst]);
     tokens.emplace_back(
         dst, node.endpoint->CallAsync(dst, net::MsgType::kReplicationBatch,
@@ -922,11 +927,9 @@ bool StarEngine::SyncReplicate(Node& node, uint64_t tid,
 }
 
 void StarEngine::LogCommitToWal(WorkerState& w, uint64_t tid,
-                                const std::vector<WriteSetEntry>& writes) {
+                                const WriteSet& writes) {
   if (w.wal == nullptr) return;
-  for (const auto& entry : writes) {
-    w.wal->Append(entry.table, entry.partition, entry.key, tid, entry.value);
-  }
+  w.wal->AppendCommit(tid, writes);
 }
 
 // ---------------------------------------------------------------------------

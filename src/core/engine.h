@@ -157,13 +157,11 @@ class StarEngine {
   void RunPartitionedTxn(Node& node, WorkerState& w, SiloContext& ctx,
                          int partition);
   void RunSingleMasterTxn(Node& node, WorkerState& w, SiloContext& ctx);
-  void ReplicateCommit(WorkerState& w, uint64_t tid,
-                       std::vector<WriteSetEntry>& writes, bool allow_ops,
+  void ReplicateCommit(WorkerState& w, uint64_t tid, const WriteSet& writes,
+                       bool allow_ops,
                        const std::vector<std::vector<int>>& targets);
-  bool SyncReplicate(Node& node, uint64_t tid,
-                     std::vector<WriteSetEntry>& writes);
-  void LogCommitToWal(WorkerState& w, uint64_t tid,
-                      const std::vector<WriteSetEntry>& writes);
+  bool SyncReplicate(Node& node, uint64_t tid, WriteSet& writes);
+  void LogCommitToWal(WorkerState& w, uint64_t tid, const WriteSet& writes);
 
   // Coordinator helpers.
   struct FenceOutcome {

@@ -22,13 +22,17 @@ void Endpoint::Stop() {
   threads_.clear();
 }
 
-void Endpoint::Send(int dst, MsgType type, std::string payload) {
+bool Endpoint::Send(int dst, MsgType type, std::string payload) {
   Message m;
   m.src = node_;
   m.dst = dst;
   m.type = type;
   m.payload = std::move(payload);
-  fabric_->Send(std::move(m));
+  return fabric_->Send(std::move(m));
+}
+
+std::string Endpoint::AcquirePayload() {
+  return fabric_->payload_pool().Acquire(node_);
 }
 
 void Endpoint::Respond(const Message& request, MsgType type,
@@ -122,6 +126,9 @@ void Endpoint::IoLoop() {
     }
     Handler& h = handlers_[static_cast<size_t>(m.type)];
     if (h) h(std::move(m));
+    // Delivery complete: recycle the payload buffer unless the handler took
+    // ownership (moved-from strings are empty and skipped by the pool).
+    fabric_->payload_pool().Release(node_, std::move(m.payload));
   }
 }
 

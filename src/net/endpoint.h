@@ -48,7 +48,15 @@ class Endpoint {
   void Stop();
 
   /// One-way message (replication batches, unlock notifications, ...).
-  void Send(int dst, MsgType type, std::string payload);
+  /// Returns false if the fabric dropped the message (fail-stop peer), so
+  /// callers tracking delivery accounting can stay exact.
+  bool Send(int dst, MsgType type, std::string payload);
+
+  /// A cleared payload buffer with recycled capacity from the fabric's
+  /// payload pool — serialise into this (WriteBuffer::Adopt) before Send to
+  /// keep the send path allocation-free.  Buffers return to the pool when
+  /// the receiving endpoint finishes delivering them.
+  std::string AcquirePayload();
 
   /// Sends the response leg of an RPC initiated by `request`.
   void Respond(const Message& request, MsgType type, std::string payload);

@@ -4,10 +4,13 @@
 
 namespace star::net {
 
-void Fabric::Send(Message&& m) {
+bool Fabric::Send(Message&& m) {
   if (down_[m.src].load(std::memory_order_acquire) ||
       down_[m.dst].load(std::memory_order_acquire)) {
-    return;  // fail-stop: the wire to/from a dead node is cut
+    // Fail-stop: the wire to/from a dead node is cut.  Recycle the payload —
+    // the sender keeps committing and needs its buffers back.
+    pool_.Release(m.src, std::move(m.payload));
+    return false;
   }
 
   uint64_t now = NowNanos();
@@ -37,33 +40,64 @@ void Fabric::Send(Message&& m) {
   bytes_.fetch_add(wire_bytes, std::memory_order_relaxed);
   messages_.fetch_add(1, std::memory_order_relaxed);
 
-  Link& link = LinkFor(m.src, m.dst);
-  std::lock_guard<SpinLock> g(link.mu);
-  link.q.push_back(std::move(m));
+  int src = m.src;
+  int dst = m.dst;
+  Link& link = LinkFor(src, dst);
+  {
+    std::lock_guard<SpinLock> g(link.mu);
+    link.q.push_back(std::move(m));
+    // Publish readiness under the link lock (see ready_ docs).
+    ReadyWord(dst, static_cast<size_t>(src) / 64)
+        .fetch_or(1ull << (src % 64), std::memory_order_release);
+    dst_state_[dst].pending.fetch_add(1, std::memory_order_release);
+  }
+  return true;
 }
 
 bool Fabric::Poll(int dst, Message* out) {
   if (down_[dst].load(std::memory_order_acquire)) return false;
+  DstState& ds = dst_state_[dst];
+  if (ds.pending.load(std::memory_order_acquire) == 0) return false;
+
   uint64_t now = NowNanos();
-  uint32_t start = cursors_[dst].v.fetch_add(1, std::memory_order_relaxed);
-  for (int i = 0; i < endpoints_; ++i) {
-    int src = static_cast<int>((start + i) % endpoints_);
-    Link& link = LinkFor(src, dst);
-    std::lock_guard<SpinLock> g(link.mu);
-    if (!link.q.empty() && link.q.front().deliver_at <= now) {
+  uint32_t start = ds.cursor.fetch_add(1, std::memory_order_relaxed) %
+                   static_cast<uint32_t>(endpoints_);
+  size_t start_word = start / 64;
+  uint32_t start_bit = start % 64;
+
+  // Circular scan over the ready bitmap beginning at `start`: words
+  // [start_word .. end), then [0 .. start_word], with the first and last
+  // visit of start_word masked to the bits at/after and before `start`.
+  for (size_t step = 0; step <= words_per_dst_; ++step) {
+    size_t w = (start_word + step) % words_per_dst_;  // wraps to start_word
+    if (step == words_per_dst_ && start_bit == 0) break;
+    uint64_t bits = ReadyWord(dst, w).load(std::memory_order_acquire);
+    if (step == 0) {
+      bits &= ~uint64_t{0} << start_bit;
+    } else if (step == words_per_dst_) {
+      bits &= (uint64_t{1} << start_bit) - 1;
+    }
+    while (bits != 0) {
+      uint32_t bit = static_cast<uint32_t>(__builtin_ctzll(bits));
+      bits &= bits - 1;
+      int src = static_cast<int>(w * 64 + bit);
+      if (src >= endpoints_) break;
+      Link& link = LinkFor(src, dst);
+      std::lock_guard<SpinLock> g(link.mu);
+      if (link.q.empty()) {
+        // Stale bit (a racing Poll drained the queue): clear it.
+        ReadyWord(dst, w).fetch_and(~(1ull << bit), std::memory_order_release);
+        continue;
+      }
+      if (link.q.front().deliver_at > now) continue;  // in flight: keep bit
       *out = std::move(link.q.front());
       link.q.pop_front();
+      if (link.q.empty()) {
+        ReadyWord(dst, w).fetch_and(~(1ull << bit), std::memory_order_release);
+      }
+      ds.pending.fetch_sub(1, std::memory_order_release);
       return true;
     }
-  }
-  return false;
-}
-
-bool Fabric::HasTraffic(int dst) const {
-  for (int src = 0; src < endpoints_; ++src) {
-    const Link& link = LinkFor(src, dst);
-    // Benign race: used only by idle-detection loops in tests.
-    if (!link.q.empty()) return true;
   }
   return false;
 }

@@ -9,6 +9,7 @@
 
 #include "common/spinlock.h"
 #include "net/message.h"
+#include "net/payload_pool.h"
 
 namespace star::net {
 
@@ -35,29 +36,41 @@ struct FabricOptions {
 ///
 /// Per (src, dst) ordering is FIFO, like a TCP connection; this is what makes
 /// operation replication safe in the partitioned phase (Section 5).
+///
+/// Polling is O(ready sources), not O(endpoints): each destination keeps an
+/// atomic bitmap of sources with queued traffic plus a pending-message
+/// counter, so idle io threads return after one load and busy ones jump
+/// straight to non-empty queues.
 class Fabric {
  public:
   Fabric(int endpoints, const FabricOptions& options)
       : options_(options),
         endpoints_(endpoints),
+        words_per_dst_((static_cast<size_t>(endpoints) + 63) / 64),
         links_(static_cast<size_t>(endpoints) * endpoints),
         egress_free_at_(endpoints),
         down_(endpoints),
-        cursors_(endpoints) {
+        dst_state_(endpoints),
+        ready_(static_cast<size_t>(endpoints) * words_per_dst_) {
     for (auto& e : egress_free_at_) e.store(0, std::memory_order_relaxed);
     for (auto& d : down_) d.store(false, std::memory_order_relaxed);
+    for (auto& r : ready_) r.store(0, std::memory_order_relaxed);
   }
 
   /// Stamps the delivery deadline and enqueues.  Messages to or from a downed
-  /// endpoint are silently dropped (fail-stop model, Section 4.5.2).
-  void Send(Message&& m);
+  /// endpoint are dropped (fail-stop model, Section 4.5.2); the return value
+  /// reports whether the fabric accepted the message, so senders can keep
+  /// delivery accounting (e.g. the replication fence) truthful.
+  bool Send(Message&& m);
 
-  /// Retrieves one ready message for `dst`, scanning source queues round-
-  /// robin for fairness.  Returns false if nothing is deliverable yet.
+  /// Retrieves one ready message for `dst`, scanning ready source queues
+  /// round-robin for fairness.  Returns false if nothing is deliverable yet.
   bool Poll(int dst, Message* out);
 
   /// True if any message (ready or in flight) is queued for `dst`.
-  bool HasTraffic(int dst) const;
+  bool HasTraffic(int dst) const {
+    return dst_state_[dst].pending.load(std::memory_order_acquire) != 0;
+  }
 
   /// Fail-stop injection: while down, an endpoint sends and receives
   /// nothing.  Bringing it back up does not resurrect dropped messages.
@@ -79,6 +92,10 @@ class Fabric {
     messages_.store(0, std::memory_order_relaxed);
   }
 
+  /// Shared payload recycler (see PayloadPool).  Senders acquire their batch
+  /// buffers here; endpoints return payloads after delivery.
+  PayloadPool& payload_pool() { return pool_; }
+
   int endpoints() const { return endpoints_; }
   const FabricOptions& options() const { return options_; }
 
@@ -95,19 +112,33 @@ class Fabric {
     return links_[static_cast<size_t>(src) * endpoints_ + dst];
   }
 
+  std::atomic<uint64_t>& ReadyWord(int dst, size_t word) {
+    return ready_[static_cast<size_t>(dst) * words_per_dst_ + word];
+  }
+
   FabricOptions options_;
   int endpoints_;
+  size_t words_per_dst_;
   std::vector<Link> links_;
   /// Per-endpoint egress clock: the time at which the sender's NIC frees up.
   std::vector<std::atomic<uint64_t>> egress_free_at_;
   std::vector<std::atomic<bool>> down_;
   std::atomic<uint64_t> bytes_{0};
   std::atomic<uint64_t> messages_{0};
-  /// Round-robin cursor per destination (one cache line each).
-  struct alignas(64) Cursor {
-    std::atomic<uint32_t> v{0};
+
+  /// Per-destination poll state (one cache line each): round-robin cursor
+  /// and the count of queued messages (ready or still in flight).
+  struct alignas(64) DstState {
+    std::atomic<uint32_t> cursor{0};
+    std::atomic<uint64_t> pending{0};
   };
-  std::vector<Cursor> cursors_;
+  std::vector<DstState> dst_state_;
+  /// ready_[dst * words_per_dst_ + w] bit b set <=> link (w*64+b) -> dst has
+  /// queued messages.  Set/cleared under the link lock, so Send and Poll
+  /// cannot lose a wakeup.
+  std::vector<std::atomic<uint64_t>> ready_;
+
+  PayloadPool pool_;
 };
 
 }  // namespace star::net

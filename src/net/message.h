@@ -64,6 +64,14 @@ inline constexpr uint16_t kFlagResponse = 1;
 /// A datagram on the simulated fabric.  `payload` is an opaque byte string
 /// (engines use WriteBuffer/ReadBuffer); `deliver_at` is stamped by the
 /// fabric's latency/bandwidth model at send time.
+///
+/// Payload ownership: the buffer travels with the message.  Senders that
+/// care about the allocator obtain it from the fabric's PayloadPool
+/// (Endpoint::AcquirePayload); after a handler runs, the receiving endpoint
+/// returns whatever the handler left in `payload` to the pool, closing the
+/// recycle loop.  A handler that needs the bytes beyond its own invocation
+/// must move the payload out (which leaves nothing to recycle) — it must
+/// never retain views into a payload it did not move.
 struct Message {
   int32_t src = -1;
   int32_t dst = -1;

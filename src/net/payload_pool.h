@@ -1,0 +1,74 @@
+#ifndef STAR_NET_PAYLOAD_POOL_H_
+#define STAR_NET_PAYLOAD_POOL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/spinlock.h"
+
+namespace star::net {
+
+/// Recycles message payload buffers so the steady-state send path does not
+/// heap-allocate.
+///
+/// Memory model: payload strings circulate — a sender Acquire()s a buffer
+/// (receiving its retained capacity), serialises into it, and moves it into
+/// a Message; after delivery the receiving endpoint Release()s the buffer
+/// back.  The pool is sharded to keep senders on different nodes off each
+/// other's cache lines; Acquire falls back to stealing from other shards, so
+/// asymmetric flows (single-master phase: one node sends, many release)
+/// still recirculate instead of growing.  Buffers outside [kMinUseful,
+/// kMaxPooled] are dropped rather than hoarded, and each shard is capped.
+class PayloadPool {
+ public:
+  /// Returns a cleared buffer with recycled capacity, or a fresh empty
+  /// string when the pool is dry.  `hint` selects the preferred shard
+  /// (callers pass their endpoint id).
+  std::string Acquire(int hint) {
+    size_t home = Shard(hint);
+    for (size_t i = 0; i < kShards; ++i) {
+      ShardState& s = shards_[(home + i) % kShards];
+      std::lock_guard<SpinLock> g(s.mu);
+      if (!s.free.empty()) {
+        std::string out = std::move(s.free.back());
+        s.free.pop_back();
+        return out;
+      }
+    }
+    return std::string();
+  }
+
+  /// Returns a buffer to `hint`'s shard.  Cheap to call with any string:
+  /// buffers too small to matter or too large to hoard are simply freed.
+  void Release(int hint, std::string&& payload) {
+    size_t cap = payload.capacity();
+    if (cap < kMinUseful || cap > kMaxPooled) return;
+    payload.clear();
+    ShardState& s = shards_[Shard(hint)];
+    std::lock_guard<SpinLock> g(s.mu);
+    if (s.free.size() >= kMaxPerShard) return;  // drop: pool is full
+    s.free.push_back(std::move(payload));
+  }
+
+  static constexpr size_t kShards = 8;
+  static constexpr size_t kMaxPerShard = 64;
+  static constexpr size_t kMinUseful = 64;        // below SSO-ish: not worth it
+  static constexpr size_t kMaxPooled = 4u << 20;  // don't hoard giant buffers
+
+ private:
+  static size_t Shard(int hint) {
+    return static_cast<size_t>(hint < 0 ? 0 : hint) % kShards;
+  }
+
+  struct alignas(64) ShardState {
+    SpinLock mu;
+    std::vector<std::string> free;
+  };
+
+  ShardState shards_[kShards];
+};
+
+}  // namespace star::net
+
+#endif  // STAR_NET_PAYLOAD_POOL_H_

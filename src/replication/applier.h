@@ -19,6 +19,10 @@ namespace star {
 ///    partitioned phase's single-writer discipline plus FIFO links make that
 ///    order the commit order (Section 5).
 ///
+/// The batch walk is allocation- and copy-free: entry headers and operation
+/// operands are decoded as views into the batch payload and applied directly
+/// to the record's value bytes.
+///
 /// When durable logging is enabled, operation entries are transformed into
 /// full-record values before logging (Section 5: "the replication messages
 /// are transformed ... before logging to disk"), so recovery can replay the
@@ -40,46 +44,63 @@ class ReplicationApplier {
     ReadBuffer in(payload);
     uint64_t n = 0;
     while (!in.Done()) {
-      RepEntry e = RepEntry::Deserialize(in);
-      Apply(e);
+      RepEntryHeader h = RepEntryHeader::Deserialize(in);
+      if (h.kind == RepKind::kValue) {
+        ApplyValue(h, in.ReadBytes());
+      } else {
+        ApplyOperations(h, in);
+      }
       ++n;
     }
     if (counters_ != nullptr) counters_->AddApplied(src, n);
     return n;
   }
 
-  void Apply(const RepEntry& e) {
-    HashTable* ht = db_->table(e.table, e.partition);
+  void ApplyValue(const RepEntryHeader& h, std::string_view value) {
+    HashTable* ht = db_->table(h.table, h.partition);
     if (ht == nullptr) return;  // node does not store this partition
-    HashTable::Row row = ht->GetOrInsertRow(e.key);
-    if (e.kind == RepKind::kValue) {
-      row.rec->ApplyThomas(e.tid, e.value.data(), row.size, row.value,
-                           db_->two_version());
-      if (wal_hook_) wal_hook_(e.table, e.partition, e.key, e.tid,
-                               std::string_view(row.value, row.size));
-    } else {
-      // Operation replay: single writer per partition in the partitioned
-      // phase, but the record lock still guards against concurrent
-      // optimistic readers seeing a torn update.
-      row.rec->LockSpin();
-      uint64_t w = row.rec->LoadWord();
-      if (Record::TidOf(w) < e.tid || Record::IsAbsent(w)) {
-        // Maintain the previous-epoch backup before the in-place mutation.
-        if (db_->two_version() &&
-            Tid::Epoch(Record::TidOf(w)) != Tid::Epoch(e.tid)) {
-          // Store() handles backup+copy for value writes; replicate that
-          // behaviour for in-place ops by copying the pre-image first.
-          std::string pre(row.value, row.size);
-          row.rec->Store(e.tid, pre.data(), row.size, row.value,
-                         /*keep_backup=*/true);
-        }
-        for (const auto& op : e.ops) op.ApplyTo(row.value);
-        row.rec->UnlockWithTid(e.tid);
-      } else {
-        row.rec->Unlock();  // stale (already reflected); nothing to do
+    HashTable::Row row = ht->GetOrInsertRow(h.key);
+    row.rec->ApplyThomas(h.tid, value.data(), row.size, row.value,
+                         db_->two_version());
+    if (wal_hook_) {
+      wal_hook_(h.table, h.partition, h.key, h.tid,
+                std::string_view(row.value, row.size));
+    }
+  }
+
+  /// Consumes the operation list following `h` from the batch cursor and
+  /// replays it onto the record, operands viewed in place.
+  void ApplyOperations(const RepEntryHeader& h, ReadBuffer& in) {
+    uint16_t count = in.Read<uint16_t>();
+    HashTable* ht = db_->table(h.table, h.partition);
+    if (ht == nullptr) {
+      // Not stored here: still consume the entry's bytes.
+      for (uint16_t i = 0; i < count; ++i) (void)OpView::Deserialize(in);
+      return;
+    }
+    HashTable::Row row = ht->GetOrInsertRow(h.key);
+    // Operation replay: single writer per partition in the partitioned
+    // phase, but the record lock still guards against concurrent
+    // optimistic readers seeing a torn update.
+    row.rec->LockSpin();
+    uint64_t w = row.rec->LoadWord();
+    if (Record::TidOf(w) < h.tid || Record::IsAbsent(w)) {
+      // Maintain the previous-epoch backup before the in-place mutation.
+      if (db_->two_version()) {
+        row.rec->PrepareBackup(h.tid, row.size, row.value);
       }
-      if (wal_hook_) wal_hook_(e.table, e.partition, e.key, e.tid,
-                               std::string_view(row.value, row.size));
+      for (uint16_t i = 0; i < count; ++i) {
+        OpView::Deserialize(in).ApplyTo(row.value);
+      }
+      row.rec->UnlockWithTid(h.tid);
+    } else {
+      // Stale (already reflected); consume without applying.
+      for (uint16_t i = 0; i < count; ++i) (void)OpView::Deserialize(in);
+      row.rec->Unlock();
+    }
+    if (wal_hook_) {
+      wal_hook_(h.table, h.partition, h.key, h.tid,
+                std::string_view(row.value, row.size));
     }
   }
 

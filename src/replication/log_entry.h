@@ -33,34 +33,88 @@ inline void SerializeValueEntry(WriteBuffer& out, int32_t table,
 
 inline void SerializeOperationEntry(WriteBuffer& out, int32_t table,
                                     int32_t partition, uint64_t key,
-                                    uint64_t tid,
-                                    const std::vector<Operation>& ops) {
+                                    uint64_t tid, const Operation* ops,
+                                    size_t count) {
   out.Write<uint8_t>(static_cast<uint8_t>(RepKind::kOperation));
   out.Write<int32_t>(table);
   out.Write<int32_t>(partition);
   out.Write<uint64_t>(key);
   out.Write<uint64_t>(tid);
-  out.Write<uint16_t>(static_cast<uint16_t>(ops.size()));
-  for (const auto& op : ops) op.Serialize(out);
+  out.Write<uint16_t>(static_cast<uint16_t>(count));
+  for (size_t i = 0; i < count; ++i) ops[i].Serialize(out);
 }
 
-/// A decoded replication entry (views point into the batch payload).
+inline void SerializeOperationEntry(WriteBuffer& out, int32_t table,
+                                    int32_t partition, uint64_t key,
+                                    uint64_t tid,
+                                    const std::vector<Operation>& ops) {
+  SerializeOperationEntry(out, table, partition, key, tid, ops.data(),
+                          ops.size());
+}
+
+/// A decoded operation that still views its operand inside the batch
+/// payload — the allocation-free unit the applier consumes.
+struct OpView {
+  Operation::Code code;
+  uint32_t offset;
+  uint32_t field_len;
+  std::string_view operand;
+
+  static OpView Deserialize(ReadBuffer& in) {
+    OpView v;
+    v.code = static_cast<Operation::Code>(in.Read<uint8_t>());
+    v.offset = in.Read<uint32_t>();
+    v.field_len = in.Read<uint32_t>();
+    v.operand = in.ReadBytes();
+    return v;
+  }
+
+  void ApplyTo(char* value) const {
+    Operation::Apply(code, offset, field_len, operand, value);
+  }
+};
+
+/// The header of one replication entry; the body (value bytes or operation
+/// list) is consumed by the caller directly from the ReadBuffer, so batch
+/// application performs no intermediate copies.
+struct RepEntryHeader {
+  RepKind kind;
+  int32_t table;
+  int32_t partition;
+  uint64_t key;
+  uint64_t tid;
+
+  static RepEntryHeader Deserialize(ReadBuffer& in) {
+    RepEntryHeader h;
+    h.kind = static_cast<RepKind>(in.Read<uint8_t>());
+    h.table = in.Read<int32_t>();
+    h.partition = in.Read<int32_t>();
+    h.key = in.Read<uint64_t>();
+    h.tid = in.Read<uint64_t>();
+    return h;
+  }
+};
+
+/// A fully decoded replication entry (value views into the batch payload,
+/// operations materialised).  Convenience for tests and offline tools; the
+/// hot path (ReplicationApplier) walks RepEntryHeader/OpView instead.
 struct RepEntry {
   RepKind kind;
   int32_t table;
   int32_t partition;
   uint64_t key;
   uint64_t tid;
-  std::string_view value;       // kValue
-  std::vector<Operation> ops;   // kOperation
+  std::string_view value;      // kValue
+  std::vector<Operation> ops;  // kOperation
 
   static RepEntry Deserialize(ReadBuffer& in) {
     RepEntry e;
-    e.kind = static_cast<RepKind>(in.Read<uint8_t>());
-    e.table = in.Read<int32_t>();
-    e.partition = in.Read<int32_t>();
-    e.key = in.Read<uint64_t>();
-    e.tid = in.Read<uint64_t>();
+    RepEntryHeader h = RepEntryHeader::Deserialize(in);
+    e.kind = h.kind;
+    e.table = h.table;
+    e.partition = h.partition;
+    e.key = h.key;
+    e.tid = h.tid;
     if (e.kind == RepKind::kValue) {
       e.value = in.ReadBytes();
     } else {

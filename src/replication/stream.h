@@ -5,7 +5,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "cc/silo.h"
+#include "cc/write_set.h"
 #include "common/config.h"
 #include "common/serializer.h"
 #include "net/endpoint.h"
@@ -55,6 +55,16 @@ class ReplicationCounters {
 /// and ships them asynchronously (Section 3: "writes of committed
 /// transactions are buffered and asynchronously shipped to replicas" — the
 /// primary does NOT hold locks while replicating).
+///
+/// Entries are serialised straight from the committing transaction's
+/// write-set views (arena value bytes, pooled operation ranges) into batch
+/// buffers whose backing strings come from the fabric's payload pool, so a
+/// warmed-up stream ships batches without heap allocation.
+///
+/// Fence accounting is exact under fail-stop drops: a batch rejected by the
+/// fabric (peer declared down) is NOT counted as sent, so the fence never
+/// waits on — and the rebuilt accounting never credits — writes that no one
+/// will apply.
 class ReplicationStream {
  public:
   ReplicationStream(net::Endpoint* endpoint, ReplicationCounters* counters,
@@ -68,29 +78,24 @@ class ReplicationStream {
   /// Appends the write set of a committed transaction for one destination.
   /// `allow_operations` selects operation replication for ops-only writes
   /// (hybrid mode, partitioned phase).
-  void Append(int dst, uint64_t tid, const std::vector<WriteSetEntry>& writes,
+  void Append(int dst, uint64_t tid, const WriteSet& ws,
               bool allow_operations) {
-    WriteBuffer& buf = buffers_[dst];
-    for (const auto& w : writes) {
-      if (allow_operations && w.ops_only && !w.is_insert) {
-        SerializeOperationEntry(buf, w.table, w.partition, w.key, tid, w.ops);
-      } else {
-        SerializeValueEntry(buf, w.table, w.partition, w.key, tid, w.value);
-      }
-      ++counts_[dst];
+    for (const auto& w : ws.entries()) {
+      AppendEntry(dst, tid, ws, w, allow_operations);
     }
-    if (buf.size() >= flush_bytes_) Flush(dst);
   }
 
   /// Appends a single write-set entry for one destination (cross-partition
   /// transactions replicate each entry to that partition's replica set).
-  void AppendEntry(int dst, uint64_t tid, const WriteSetEntry& w,
-                   bool allow_operations) {
+  void AppendEntry(int dst, uint64_t tid, const WriteSet& ws,
+                   const WriteSetEntry& w, bool allow_operations) {
     WriteBuffer& buf = buffers_[dst];
     if (allow_operations && w.ops_only && !w.is_insert) {
-      SerializeOperationEntry(buf, w.table, w.partition, w.key, tid, w.ops);
+      SerializeOperationEntry(buf, w.table, w.partition, w.key, tid,
+                              ws.ops(w), w.ops_count);
     } else {
-      SerializeValueEntry(buf, w.table, w.partition, w.key, tid, w.value);
+      SerializeValueEntry(buf, w.table, w.partition, w.key, tid,
+                          ws.ValueView(w));
     }
     ++counts_[dst];
     if (buf.size() >= flush_bytes_) Flush(dst);
@@ -99,11 +104,14 @@ class ReplicationStream {
   /// Ships the pending batch for one destination.
   void Flush(int dst) {
     if (buffers_[dst].empty()) return;
-    counters_->AddSent(dst, counts_[dst]);
-    endpoint_->Send(dst, net::MsgType::kReplicationBatch,
-                    buffers_[dst].Release());
-    buffers_[dst].Clear();
+    uint64_t n = counts_[dst];
     counts_[dst] = 0;
+    std::string payload = buffers_[dst].Release();
+    buffers_[dst].Adopt(endpoint_->AcquirePayload());
+    if (endpoint_->Send(dst, net::MsgType::kReplicationBatch,
+                        std::move(payload))) {
+      counters_->AddSent(dst, n);
+    }
   }
 
   /// Ships everything (called before acknowledging a fence stop).

@@ -126,17 +126,24 @@ class Record {
     return false;
   }
 
+  /// Saves the current version into the backup slot if `tid` opens a new
+  /// epoch for this record.  Callers that mutate the value in place
+  /// (operation replay) use this directly; value installs go through Store.
+  void PrepareBackup(uint64_t tid, size_t size, char* value) {
+    uint64_t cur = word_.load(std::memory_order_relaxed);
+    if (Tid::Epoch(TidOf(cur)) != Tid::Epoch(tid)) {
+      backup_tid_ = IsAbsent(cur) ? kBackupAbsent : TidOf(cur);
+      std::memcpy(value + size, value, size);
+    }
+  }
+
   /// Installs a value while the caller has exclusive access (partition owner
   /// or lock holder).  Maintains the previous-epoch backup when
   /// `keep_backup`: the first write in a new epoch saves the last committed
   /// version so the epoch can be reverted on failure (Section 4.5.2).
   void Store(uint64_t tid, const void* val, size_t size, char* value,
              bool keep_backup) {
-    uint64_t cur = word_.load(std::memory_order_relaxed);
-    if (keep_backup && Tid::Epoch(TidOf(cur)) != Tid::Epoch(tid)) {
-      backup_tid_ = IsAbsent(cur) ? kBackupAbsent : TidOf(cur);
-      std::memcpy(value + size, value, size);
-    }
+    if (keep_backup) PrepareBackup(tid, size, value);
     std::memcpy(value, val, size);
   }
 

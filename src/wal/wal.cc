@@ -33,15 +33,28 @@ WalWriter::~WalWriter() {
   }
 }
 
-void WalWriter::Append(int32_t table, int32_t partition, uint64_t key,
-                       uint64_t tid, std::string_view value) {
-  std::lock_guard<SpinLock> g(mu_);
+void WalWriter::AppendLocked(int32_t table, int32_t partition, uint64_t key,
+                             uint64_t tid, std::string_view value) {
   buf_.Write<uint8_t>(kWriteTag);
   buf_.Write<int32_t>(table);
   buf_.Write<int32_t>(partition);
   buf_.Write<uint64_t>(key);
   buf_.Write<uint64_t>(tid);
   buf_.WriteBytes(value.data(), value.size());
+}
+
+void WalWriter::Append(int32_t table, int32_t partition, uint64_t key,
+                       uint64_t tid, std::string_view value) {
+  std::lock_guard<SpinLock> g(mu_);
+  AppendLocked(table, partition, key, tid, value);
+  if (buf_.size() >= flush_bytes_) FlushLocked();
+}
+
+void WalWriter::AppendCommit(uint64_t tid, const WriteSet& writes) {
+  std::lock_guard<SpinLock> g(mu_);
+  for (const auto& e : writes.entries()) {
+    AppendLocked(e.table, e.partition, e.key, tid, writes.ValueView(e));
+  }
   if (buf_.size() >= flush_bytes_) FlushLocked();
 }
 

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <thread>
 
+#include "cc/write_set.h"
 #include "common/serializer.h"
 #include "common/spinlock.h"
 #include "storage/database.h"
@@ -35,6 +36,11 @@ class WalWriter {
   void Append(int32_t table, int32_t partition, uint64_t key, uint64_t tid,
               std::string_view value);
 
+  /// Buffers every entry of a committed transaction's write set (values
+  /// serialised straight from the arena views) under a single latch
+  /// acquisition — the per-commit fast path for worker logs.
+  void AppendCommit(uint64_t tid, const WriteSet& writes);
+
   /// Appends the epoch-commit marker and flushes (called in the fence).
   void MarkEpochAndFlush(uint64_t epoch);
 
@@ -50,6 +56,8 @@ class WalWriter {
   static constexpr uint8_t kEpochTag = 1;
 
  private:
+  void AppendLocked(int32_t table, int32_t partition, uint64_t key,
+                    uint64_t tid, std::string_view value);
   void FlushLocked();
 
   std::string path_;

@@ -1,0 +1,307 @@
+// The zero-allocation hot-path machinery: bump arena, arena-backed write
+// sets, payload pooling, and the ready-bitmap fabric poll.
+
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "cc/silo.h"
+#include "cc/write_set.h"
+#include "net/endpoint.h"
+#include "net/fabric.h"
+#include "net/payload_pool.h"
+#include "replication/applier.h"
+#include "replication/stream.h"
+
+namespace star {
+namespace {
+
+TEST(TxnArena, OffsetsSurviveGrowth) {
+  TxnArena arena;
+  uint32_t a = arena.Alloc(8);
+  std::memcpy(arena.ptr(a), "aaaaaaaa", 8);
+  // Force many growths; `a` must keep addressing the same bytes.
+  for (int i = 0; i < 200; ++i) arena.Alloc(1024);
+  EXPECT_EQ(std::string(arena.ptr(a), 8), "aaaaaaaa");
+}
+
+TEST(TxnArena, RewindKeepsCapacity) {
+  TxnArena arena;
+  arena.Alloc(10000);
+  size_t cap = arena.capacity();
+  arena.Rewind();
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_EQ(arena.capacity(), cap);
+  arena.Alloc(10000);
+  EXPECT_EQ(arena.capacity(), cap) << "rewound arena must not grow again";
+}
+
+TEST(WriteSet, ClearRecyclesWithoutStaleBytes) {
+  WriteSet ws;
+  WriteSetEntry& a = ws.Add(0, 0, 1);
+  ws.AssignValue(a, "XXXXXXXX", 8);
+  ws.Clear();
+  EXPECT_TRUE(ws.empty());
+  // The next transaction's value starts from its own bytes, not txn 1's.
+  WriteSetEntry& b = ws.Add(0, 0, 2);
+  ws.AssignValue(b, "YY", 2);
+  EXPECT_EQ(ws.ValueView(b), "YY");
+  EXPECT_EQ(b.value_len, 2u);
+  EXPECT_EQ(b.ops_count, 0u);
+}
+
+TEST(WriteSet, InterleavedOpsStayContiguousPerEntry) {
+  WriteSet ws;
+  WriteSetEntry& a = ws.Add(0, 0, 1);
+  ws.AllocValue(a, 16);
+  std::memset(ws.ValuePtr(a), 0, 16);
+  WriteSetEntry& b = ws.Add(0, 0, 2);
+  ws.AllocValue(b, 16);
+  std::memset(ws.ValuePtr(b), 0, 16);
+
+  // a, b, a, b: appending to `a` after `b` has ops forces relocation.
+  ws.AppendOp(a, Operation::AddI64(0, 1));
+  ws.AppendOp(b, Operation::AddI64(0, 10));
+  ws.AppendOp(a, Operation::AddI64(8, 2));
+  ws.AppendOp(b, Operation::AddI64(8, 20));
+
+  ASSERT_EQ(a.ops_count, 2u);
+  ASSERT_EQ(b.ops_count, 2u);
+  const Operation* aops = ws.ops(a);
+  EXPECT_EQ(aops[0].offset, 0u);
+  EXPECT_EQ(aops[1].offset, 8u);
+  int64_t delta;
+  std::memcpy(&delta, aops[1].operand.data(), 8);
+  EXPECT_EQ(delta, 2);
+  const Operation* bops = ws.ops(b);
+  std::memcpy(&delta, bops[1].operand.data(), 8);
+  EXPECT_EQ(delta, 20);
+}
+
+std::unique_ptr<Database> MakeDb() {
+  std::vector<TableSchema> schemas{{"t", 16, 64}};
+  auto db = std::make_unique<Database>(schemas, 1, std::vector<int>{0}, false);
+  char zero[16] = {};
+  for (uint64_t k = 0; k < 10; ++k) db->Load(0, 0, k, zero);
+  return db;
+}
+
+TEST(SiloContext, ResetDoesNotLeakValueBytesAcrossTransactions) {
+  auto db = MakeDb();
+  Rng rng(1);
+  TidGenerator gen(0);
+  std::atomic<uint64_t> epoch{1};
+  SiloContext ctx(db.get(), &rng, 0);
+
+  // Txn 1: write a distinctive pattern to key 1.
+  char loud[16];
+  std::memset(loud, 'Z', sizeof(loud));
+  ctx.Write(0, 0, 1, loud);
+  ASSERT_EQ(SiloSerialCommit(ctx, gen, epoch).status, TxnStatus::kCommitted);
+  ctx.Reset();
+
+  // Txn 2: ops-only touch of key 2 (value zero in storage).  Its buffered
+  // value must be seeded from the record, not from txn 1's arena bytes.
+  ctx.ApplyOperation(0, 0, 2, Operation::AddI64(0, 7));
+  WriteSet& ws = ctx.write_set();
+  ASSERT_EQ(ws.size(), 1u);
+  const WriteSetEntry& e = ws.entries()[0];
+  int64_t v;
+  std::memcpy(&v, ws.ValuePtr(e), 8);
+  EXPECT_EQ(v, 7);
+  for (uint32_t i = 8; i < e.value_len; ++i) {
+    EXPECT_EQ(ws.ValuePtr(e)[i], 0) << "stale byte at " << i;
+  }
+}
+
+/// Ops-only entries round-trip through operation replication and converge
+/// the replica to the primary's record image.
+TEST(WriteSet, OpsOnlyEntriesRoundTripThroughReplication) {
+  auto primary = MakeDb();
+  auto replica = MakeDb();
+  net::FabricOptions fopts;
+  fopts.link_latency_us = 0;
+  fopts.bandwidth_gbps = 0;
+  net::Fabric fabric(2, fopts);
+  net::Endpoint ep(&fabric, 0);
+  ReplicationCounters counters(2);
+  ReplicationStream stream(&ep, &counters, 2);
+  ReplicationApplier applier(replica.get(), &counters);
+
+  Rng rng(3);
+  TidGenerator gen(0);
+  std::atomic<uint64_t> epoch{1};
+  SiloContext ctx(primary.get(), &rng, 0);
+  ctx.ApplyOperation(0, 0, 5, Operation::AddI64(0, 11));
+  ctx.ApplyOperation(0, 0, 5, Operation::StringPrepend(8, 8, "hi"));
+  ASSERT_TRUE(ctx.write_set().entries()[0].ops_only);
+  CommitResult cr = SiloSerialCommit(ctx, gen, epoch);
+  ASSERT_EQ(cr.status, TxnStatus::kCommitted);
+  stream.Append(1, cr.tid, ctx.write_set(), /*allow_operations=*/true);
+  stream.FlushAll();
+
+  net::Message m;
+  while (!fabric.Poll(1, &m)) CpuRelax();
+  EXPECT_EQ(applier.ApplyBatch(m.src, m.payload), 1u);
+
+  HashTable::Row p = primary->table(0, 0)->GetRow(5);
+  HashTable::Row r = replica->table(0, 0)->GetRow(5);
+  EXPECT_EQ(std::string(p.value, 16), std::string(r.value, 16));
+  EXPECT_EQ(r.rec->LoadTid(), cr.tid);
+  EXPECT_EQ(counters.sent_to(1), 1u);
+  EXPECT_EQ(counters.applied_from(0), 1u);
+}
+
+/// Flush thresholds: appends below the threshold buffer locally; crossing it
+/// ships exactly one batch, and sent/applied counters agree entry-for-entry.
+TEST(ReplicationStream, FlushThresholdAndCountersExactUnderBatching) {
+  auto db = MakeDb();
+  net::FabricOptions fopts;
+  fopts.link_latency_us = 0;
+  fopts.bandwidth_gbps = 0;
+  net::Fabric fabric(2, fopts);
+  net::Endpoint ep(&fabric, 0);
+  ReplicationCounters counters(2);
+  // Threshold fits ~3 value entries (1+4+4+8+8 header + 4+16 value = 45 B).
+  ReplicationStream stream(&ep, &counters, 2, /*flush_bytes=*/100);
+  ReplicationApplier applier(db.get(), &counters);
+
+  WriteSet ws;
+  char v[16] = "abc";
+  for (uint64_t k = 0; k < 7; ++k) {
+    WriteSetEntry& e = ws.Add(0, 0, k);
+    ws.AssignValue(e, v, 16);
+  }
+  for (const auto& e : ws.entries()) {
+    stream.AppendEntry(1, Tid::Make(1, 1, 0), ws, e, false);
+  }
+  uint64_t auto_flushed = fabric.total_messages();
+  EXPECT_GT(auto_flushed, 0u) << "threshold crossings must auto-flush";
+  uint64_t sent_before_flushall = counters.sent_to(1);
+  EXPECT_LT(sent_before_flushall, 7u) << "tail below threshold stays buffered";
+  stream.FlushAll();
+  EXPECT_EQ(counters.sent_to(1), 7u);
+
+  uint64_t applied = 0;
+  net::Message m;
+  while (fabric.Poll(1, &m)) {
+    applied += applier.ApplyBatch(m.src, m.payload);
+  }
+  EXPECT_EQ(applied, 7u);
+  EXPECT_EQ(counters.applied_from(0), counters.sent_to(1))
+      << "fence accounting must balance";
+}
+
+/// Regression: entries dropped by a fail-stopped endpoint must not be
+/// counted as sent, or the fence would wait for writes nobody will apply.
+TEST(ReplicationStream, FailStopDropsAreNotCountedAsSent) {
+  auto db = MakeDb();
+  net::FabricOptions fopts;
+  fopts.link_latency_us = 0;
+  net::Fabric fabric(2, fopts);
+  net::Endpoint ep(&fabric, 0);
+  ReplicationCounters counters(2);
+  ReplicationStream stream(&ep, &counters, 2);
+
+  WriteSet ws;
+  char v[16] = "x";
+  WriteSetEntry& e = ws.Add(0, 0, 3);
+  ws.AssignValue(e, v, 16);
+
+  fabric.SetDown(1, true);
+  stream.AppendEntry(1, Tid::Make(1, 1, 0), ws, e, false);
+  stream.FlushAll();
+  EXPECT_EQ(counters.sent_to(1), 0u)
+      << "dropped batch must not inflate the sent counter";
+
+  fabric.SetDown(1, false);
+  stream.AppendEntry(1, Tid::Make(1, 2, 0), ws, e, false);
+  stream.FlushAll();
+  EXPECT_EQ(counters.sent_to(1), 1u) << "healthy sends are counted";
+}
+
+TEST(PayloadPool, RecyclesBuffers) {
+  net::PayloadPool pool;
+  std::string s(1024, 'x');
+  const char* data = s.data();
+  pool.Release(0, std::move(s));
+  std::string back = pool.Acquire(0);
+  EXPECT_TRUE(back.empty());
+  EXPECT_GE(back.capacity(), 1024u);
+  EXPECT_EQ(back.data(), data) << "same buffer must come back";
+}
+
+TEST(PayloadPool, StealsAcrossShardsAndDropsUseless) {
+  net::PayloadPool pool;
+  pool.Release(3, std::string(1024, 'y'));
+  // Different shard hint still finds the buffer (asymmetric flows).
+  EXPECT_GE(pool.Acquire(0).capacity(), 1024u);
+  // Tiny buffers are not pooled.
+  pool.Release(0, std::string("s"));
+  EXPECT_EQ(pool.Acquire(0).capacity(), std::string().capacity());
+}
+
+TEST(WriteBuffer, AdoptReusesBackingCapacity) {
+  WriteBuffer buf;
+  buf.Write<uint64_t>(42);
+  std::string payload = buf.Release();
+  EXPECT_TRUE(buf.empty());
+  std::string recycled(4096, 'r');
+  recycled.clear();
+  buf.Adopt(std::move(recycled));
+  EXPECT_TRUE(buf.empty());
+  buf.Write<uint32_t>(7);
+  EXPECT_EQ(buf.size(), 4u);
+}
+
+/// The ready-bitmap poll must work past one 64-bit word of sources.
+TEST(Fabric, PollScalesPastSixtyFourEndpoints) {
+  net::FabricOptions fopts;
+  fopts.link_latency_us = 0;
+  fopts.bandwidth_gbps = 0;
+  net::Fabric fabric(70, fopts);
+  auto send = [&](int src, const char* body) {
+    net::Message m;
+    m.src = src;
+    m.dst = 1;
+    m.type = net::MsgType::kPing;
+    m.payload = body;
+    EXPECT_TRUE(fabric.Send(std::move(m)));
+  };
+  send(69, "from-69");
+  send(0, "from-0");
+  send(33, "from-33");
+  EXPECT_TRUE(fabric.HasTraffic(1));
+  int got = 0;
+  net::Message m;
+  bool seen69 = false;
+  while (fabric.Poll(1, &m)) {
+    ++got;
+    if (m.payload == "from-69") seen69 = true;
+  }
+  EXPECT_EQ(got, 3);
+  EXPECT_TRUE(seen69);
+  EXPECT_FALSE(fabric.HasTraffic(1));
+}
+
+TEST(Fabric, SendReportsFailStopDrop) {
+  net::FabricOptions fopts;
+  net::Fabric fabric(2, fopts);
+  fabric.SetDown(1, true);
+  net::Message m;
+  m.src = 0;
+  m.dst = 1;
+  m.type = net::MsgType::kPing;
+  EXPECT_FALSE(fabric.Send(std::move(m)));
+  net::Message m2;
+  m2.src = 0;
+  m2.dst = 0;
+  m2.type = net::MsgType::kPing;
+  EXPECT_TRUE(fabric.Send(std::move(m2)));
+}
+
+}  // namespace
+}  // namespace star

@@ -188,8 +188,8 @@ TEST(SiloContext, ApplyOperationComposesWithReads) {
   ctx.ApplyOperation(0, 0, 6, Operation::AddI64(0, 7));
   ASSERT_TRUE(ctx.Read(0, 0, 6, &out));
   EXPECT_EQ(out, 1012u) << "reads must observe buffered operations";
-  EXPECT_TRUE(ctx.write_set()[0].ops_only);
-  EXPECT_EQ(ctx.write_set()[0].ops.size(), 2u);
+  EXPECT_TRUE(ctx.write_set().entries()[0].ops_only);
+  EXPECT_EQ(ctx.write_set().entries()[0].ops_count, 2u);
   ASSERT_EQ(SiloOccCommit(ctx, gen, epoch).status, TxnStatus::kCommitted);
   uint64_t now;
   db->table(0, 0)->GetRow(6).ReadStable(&now);
