@@ -194,6 +194,81 @@ HotPathResult BenchSingleMasterPhase(uint64_t txns) {
       });
 }
 
+/// Synchronous-replication hot path (Figure 9's SYNC column): the commit
+/// serialises one batch per replica inside the pre-install hook, while the
+/// write locks are held.  This reproduces StarEngine::SyncReplicate's
+/// memory behaviour — per-worker batch buffers that re-adopt recycled
+/// payload-pool strings, and a hook constructed once per worker — so the
+/// alloc counter certifies the sync path stays off the allocator too (the
+/// ack round trip is the fabric's latency domain, not the allocator's).
+HotPathResult BenchSyncReplicationPath(uint64_t txns) {
+  auto db = MakeDb();
+  auto replica = MakeDb();
+  net::Fabric fabric(2, IdealNet());
+  net::Endpoint ep(&fabric, 0);  // never Start()ed: we drain inline
+  ReplicationCounters counters(2);
+  ReplicationApplier applier(replica.get(), &counters);
+  Rng rng(13);
+  TidGenerator gen(0);
+  std::atomic<uint64_t> epoch{1};
+  SiloContext ctx(db.get(), &rng, 0);
+
+  // The worker-state scratch StarEngine hoists: persists across commits.
+  std::vector<WriteBuffer> batches(2);
+
+  net::Message m;
+  auto drain = [&] {
+    while (fabric.Poll(1, &m)) {
+      applier.ApplyBatch(m.src, m.payload);
+      fabric.payload_pool().Release(1, std::move(m.payload));
+    }
+  };
+  PreInstallHook hook = [&](uint64_t tid, WriteSet& ws) {
+    WriteBuffer& b = batches[1];
+    uint64_t n = 0;
+    for (const auto& e : ws.entries()) {
+      if (e.is_delete) {
+        SerializeDeleteEntry(b, e.table, e.partition, e.key, tid);
+      } else {
+        SerializeValueEntry(b, e.table, e.partition, e.key, tid,
+                            ws.ValueView(e));
+      }
+      ++n;
+    }
+    if (!b.empty()) {
+      if (ep.Send(1, net::MsgType::kReplicationBatch, b.Release())) {
+        counters.AddSent(1, n);
+      }
+      b.Adopt(ep.AcquirePayload());
+    }
+    return true;
+  };
+  // Synchronous replication is ack-paced — at most one batch per worker in
+  // flight — so the replica drains after every commit (draining lazily
+  // would overflow the payload pool's per-shard cap and charge the
+  // allocator for a backlog the real sync path never builds).
+  auto one = [&] {
+    ctx.Reset();
+    RunProc(ctx, rng);
+    SiloOccCommit(ctx, gen, epoch, hook);
+    drain();
+  };
+
+  for (uint64_t i = 0; i < txns / 8; ++i) one();  // warm up capacities
+
+  uint64_t allocs0 = g_allocations.load();
+  uint64_t t0 = NowNanos();
+  for (uint64_t i = 0; i < txns; ++i) one();
+  drain();
+  uint64_t dt = NowNanos() - t0;
+  uint64_t allocs = g_allocations.load() - allocs0;
+
+  HotPathResult r;
+  r.tps = static_cast<double>(txns) / (static_cast<double>(dt) / 1e9);
+  r.allocs_per_txn = static_cast<double>(allocs) / static_cast<double>(txns);
+  return r;
+}
+
 // ---------------------------------------------------------------------------
 // Substrate micro-ops (ns/op)
 // ---------------------------------------------------------------------------
@@ -264,5 +339,7 @@ int main() {
   uint64_t txns = static_cast<uint64_t>(200'000 * star::bench::Scale());
   star::Report("partitioned_hot_path", star::BenchPartitionedPhase(txns));
   star::Report("single_master_hot_path", star::BenchSingleMasterPhase(txns));
+  star::Report("sync_replication_hot_path",
+               star::BenchSyncReplicationPath(txns));
   return 0;
 }

@@ -569,6 +569,7 @@ void CalvinEngine::ExecuteTxn(Node& node, WorkerState& w, NodeTxn* txn) {
       (txn->req->cross_partition ? w.stats.cross_partition
                                  : w.stats.single_partition)
           .fetch_add(1, std::memory_order_relaxed);
+      w.stats.MaybeResetLatency();
       w.stats.latency.Record(NowNanos() - txn->dispatch_ns);
     }
   } else if (is_home) {

@@ -82,6 +82,7 @@ void ClusterEngine::WorkerLoop(Node& node, int worker_index) {
                   node.id * options_.workers_per_node + worker_index);
   while (running_.load(std::memory_order_acquire)) {
     ctx.Reset();
+    w.stats.MaybeResetLatency();
     RunOne(node, w, ctx);
     w.tracker.Drain(epoch_mgr_.Current(), NowNanos(), w.stats.latency);
     if (options_.yield_every_n_txns != 0 &&
@@ -95,9 +96,16 @@ void ClusterEngine::WorkerLoop(Node& node, int worker_index) {
   w.tracker.DrainAll(NowNanos(), w.stats.latency);
 }
 
-bool ClusterEngine::ReplicateSyncAndWait(Node& node, uint64_t tid,
+bool ClusterEngine::ReplicateSyncAndWait(Node& node, WorkerState& w,
+                                         uint64_t tid,
                                          const WriteSet& writes) {
-  std::vector<WriteBuffer> batches(num_nodes_);
+  // Per-worker scratch: the sync path must not regress the zero-allocation
+  // hot path (buffer capacity and recycled payload-pool strings persist
+  // across commits).
+  if (w.sync_batches.size() != static_cast<size_t>(num_nodes_)) {
+    w.sync_batches.resize(num_nodes_);
+  }
+  auto& batches = w.sync_batches;
   for (const auto& e : writes.entries()) {
     int owner = placement_.master(e.partition);
     for (int dst : placement_.storing(e.partition)) {
@@ -106,15 +114,21 @@ bool ClusterEngine::ReplicateSyncAndWait(Node& node, uint64_t tid,
       // lock-held by this very transaction — replicating to it would wedge
       // its io thread on our own lock (io-thread self-deadlock).
       if (dst == node.id || dst == owner) continue;
-      SerializeValueEntry(batches[dst], e.table, e.partition, e.key, tid,
-                          writes.ValueView(e));
+      if (e.is_delete) {
+        SerializeDeleteEntry(batches[dst], e.table, e.partition, e.key, tid);
+      } else {
+        SerializeValueEntry(batches[dst], e.table, e.partition, e.key, tid,
+                            writes.ValueView(e));
+      }
     }
   }
-  std::vector<uint64_t> tokens;
+  auto& tokens = w.sync_tokens;
+  tokens.clear();
   for (int dst = 0; dst < num_nodes_; ++dst) {
     if (batches[dst].empty()) continue;
     tokens.push_back(node.endpoint->CallAsync(
         dst, net::MsgType::kReplicationBatch, batches[dst].Release()));
+    batches[dst].Adopt(node.endpoint->AcquirePayload());
   }
   bool ok = true;
   for (uint64_t t : tokens) {
@@ -147,13 +161,14 @@ Metrics ClusterEngine::Snapshot() const {
 }
 
 void ClusterEngine::ResetStats() {
+  bool live = running_.load(std::memory_order_acquire);
   for (auto& node : nodes_) {
     for (auto& w : node->workers) {
-      w->stats.committed.store(0, std::memory_order_relaxed);
-      w->stats.aborted.store(0, std::memory_order_relaxed);
-      w->stats.aborted_user.store(0, std::memory_order_relaxed);
-      w->stats.single_partition.store(0, std::memory_order_relaxed);
-      w->stats.cross_partition.store(0, std::memory_order_relaxed);
+      // Also clears the latency histogram (warm-up samples must not leak
+      // into the measured window).  While running, the histogram reset is
+      // deferred to the owning worker; on a stopped engine, do it directly.
+      w->stats.Reset();
+      if (!live) w->stats.MaybeResetLatency();
     }
   }
   fabric_bytes_at_reset_ = fabric_->total_bytes();

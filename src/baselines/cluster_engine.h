@@ -56,6 +56,9 @@ class ClusterEngine {
     /// Per-worker write-set scratch for engines whose contexts are built per
     /// transaction (Calvin): capacity persists across transactions.
     WriteSet write_scratch;
+    /// Synchronous-replication scratch (see ReplicateSyncAndWait).
+    std::vector<WriteBuffer> sync_batches;
+    std::vector<uint64_t> sync_tokens;
     int index;  // worker index within the node
     uint32_t txn_since_yield = 0;
     size_t rr = 0;  // cursor over the node's primary partitions
@@ -95,7 +98,8 @@ class ClusterEngine {
 
   /// Synchronous replication: ships the batch and waits for every ack while
   /// the caller still holds its write locks.  Returns false on timeout.
-  bool ReplicateSyncAndWait(Node& node, uint64_t tid, const WriteSet& writes);
+  bool ReplicateSyncAndWait(Node& node, WorkerState& w, uint64_t tid,
+                            const WriteSet& writes);
 
   /// Records a commit in the stats and the group-commit tracker (async) or
   /// directly in the latency histogram (sync).

@@ -47,6 +47,7 @@ class DistContext final : public TxnContext {
     cache_.clear();
     held_local_.clear();
     held_remote_.clear();
+    scans_.Clear();
     remote_lock_words_ = 0;
   }
 
@@ -54,6 +55,7 @@ class DistContext final : public TxnContext {
 
   bool Read(int t, int p, uint64_t key, void* out) override {
     if (WriteSetEntry* ws = ws_.Find(t, p, key)) {
+      if (ws->is_delete) return false;  // own delete: the row reads absent
       std::memcpy(out, ws_.ValuePtr(*ws), ws->value_len);
       return true;
     }
@@ -142,6 +144,7 @@ class DistContext final : public TxnContext {
     uint32_t size = node_->db->schema(t).value_size;
     if (WriteSetEntry* ws = ws_.Find(t, p, key)) {
       ws_.AssignValue(*ws, value, size);
+      ws->is_delete = false;  // write-after-delete resurrects the row
       ws->ops_only = false;
       return;
     }
@@ -152,6 +155,16 @@ class DistContext final : public TxnContext {
   void ApplyOperation(int t, int p, uint64_t key,
                       const Operation& op) override {
     if (WriteSetEntry* ws = ws_.Find(t, p, key)) {
+      if (ws->is_delete) {
+        // See SiloContext::ApplyOperation: unreachable from correct
+        // procedures (reads observe the delete); resurrect from zeros.
+        char* dst = ws_.AllocValue(*ws, node_->db->schema(t).value_size);
+        std::memset(dst, 0, ws->value_len);
+        ws->is_delete = false;
+        op.ApplyTo(dst);
+        ws->ops_only = false;
+        return;
+      }
       op.ApplyTo(ws_.ValuePtr(*ws));
       ws_.AppendOp(*ws, op);
       return;
@@ -171,9 +184,49 @@ class DistContext final : public TxnContext {
   void Insert(int t, int p, uint64_t key, const void* value) override {
     // Inserts target the transaction's home partition in our workloads;
     // remote inserts would need owner-side GetOrInsert in the lock round.
+    if (WriteSetEntry* ws = ws_.Find(t, p, key)) {
+      // Re-insert after this transaction's own delete/write: plain write.
+      ws_.AssignValue(*ws, value, node_->db->schema(t).value_size);
+      ws->is_delete = false;
+      ws->ops_only = false;
+      return;
+    }
     WriteSetEntry& e = ws_.Add(t, p, key);
     ws_.AssignValue(e, value, node_->db->schema(t).value_size);
     e.is_insert = true;
+  }
+
+  void Delete(int t, int p, uint64_t key) override {
+    // Deletes, like inserts, stay on the home partition in our workloads.
+    if (WriteSetEntry* w = ws_.Find(t, p, key)) {
+      w->is_delete = true;
+      w->ops_only = false;
+      return;
+    }
+    HashTable* ht = node_->db->table(t, p);
+    HashTable::Row row = ht != nullptr ? ht->GetRow(key) : HashTable::Row{};
+    if (!row.valid()) return;
+    WriteSetEntry& e = ws_.Add(t, p, key);
+    e.row = row;
+    e.is_delete = true;
+  }
+
+  bool Scan(int t, int p, uint64_t lo, uint64_t hi, int limit,
+            ScanVisitor visit, void* arg) override {
+    // Scans run against locally-mastered partitions only (the TPC-C scan
+    // transactions are single-home) and under the OCC discipline, whose
+    // commit re-validates the range; S2PL would need range locks the lock
+    // table does not provide.  Remote scans would need an owner-side RPC.
+    if (cc_ != DistCc::kOcc || placement_->master(p) != node_->id) {
+      return false;
+    }
+    HashTable* ht = node_->db->table(t, p);
+    if (ht == nullptr || ht->index() == nullptr) return false;
+    scans_.Walk(ht, t, p, lo, hi, limit, visit, arg, ws_,
+                [&](uint64_t key, const HashTable::Row& row, uint64_t word) {
+                  reads_.push_back({t, p, key, word, false, row, false});
+                });
+    return true;
   }
 
   Rng& rng() override { return w_->rng; }
@@ -202,6 +255,11 @@ class DistContext final : public TxnContext {
     uint32_t off;  // arena view of the cached value
     uint32_t len;
   };
+
+  /// Phantom validation for scanned ranges (OCC only; see ScanSet).
+  bool ValidateScans() {
+    return scans_.empty() || scans_.Validate(node_->db.get(), ws_);
+  }
 
   const CacheEntry* FindCache(int t, int p, uint64_t key) const {
     for (const auto& c : cache_) {
@@ -247,6 +305,7 @@ class DistContext final : public TxnContext {
   WriteSet ws_;
   std::vector<ReadEntry> reads_;
   std::vector<CacheEntry> cache_;
+  ScanSet scans_;
   std::vector<RemoteLock> held_local_;   // S2PL locks on this node
   std::vector<RemoteLock> held_remote_;  // S2PL locks at remote owners
   uint64_t remote_lock_words_ = 0;
@@ -320,7 +379,8 @@ CommitResult DistContext::CommitOcc(const std::atomic<uint64_t>& epoch) {
       }
       local.push_back(&ws);
     } else {
-      assert(!ws.is_insert && "remote inserts unsupported by this workload");
+      assert(!ws.is_insert && !ws.is_delete &&
+             "remote inserts/deletes unsupported by this workload");
       remote[owner].push_back(&ws);
     }
   }
@@ -427,6 +487,10 @@ CommitResult DistContext::CommitOcc(const std::atomic<uint64_t>& epoch) {
       }
     }
   }
+  if (!ValidateScans()) {  // phantom check over scanned ranges
+    abort_cleanup();
+    return {TxnStatus::kAbortConflict, 0};
+  }
 
   // --- TID + (optional) 2PC prepare + synchronous replication ---
   uint64_t tid =
@@ -442,7 +506,7 @@ CommitResult DistContext::CommitOcc(const std::atomic<uint64_t>& epoch) {
     for (uint64_t tok : tokens) {
       ok &= node_->endpoint->Wait(tok, nullptr, timeout_ns_);
     }
-    if (ok) ok = engine_->ReplicateSyncAndWait(*node_, tid, ws_);
+    if (ok) ok = engine_->ReplicateSyncAndWait(*node_, *w_, tid, ws_);
     if (!ok) {
       abort_cleanup();
       return {TxnStatus::kAbortNetwork, 0};
@@ -451,6 +515,10 @@ CommitResult DistContext::CommitOcc(const std::atomic<uint64_t>& epoch) {
 
   // --- install phase ("applies the writes ... releases the write locks") ---
   for (WriteSetEntry* ws : local) {
+    if (ws->is_delete) {
+      ws->row.rec->UnlockWithTidAbsent(tid);
+      continue;
+    }
     ws->row.rec->Store(tid, ws_.ValuePtr(*ws), ws->value_len, ws->row.value,
                        false);
     ws->row.rec->UnlockWithTid(tid);
@@ -505,7 +573,8 @@ CommitResult DistContext::CommitS2pl(const std::atomic<uint64_t>& epoch) {
       }
       local.push_back(&ws);
     } else {
-      assert(!ws.is_insert && "remote inserts unsupported by this workload");
+      assert(!ws.is_insert && !ws.is_delete &&
+             "remote inserts/deletes unsupported by this workload");
       remote[owner].push_back(&ws);
     }
   }
@@ -521,7 +590,7 @@ CommitResult DistContext::CommitS2pl(const std::atomic<uint64_t>& epoch) {
     for (uint64_t tok : tokens) {
       ok &= node_->endpoint->Wait(tok, nullptr, timeout_ns_);
     }
-    if (ok) ok = engine_->ReplicateSyncAndWait(*node_, tid, ws_);
+    if (ok) ok = engine_->ReplicateSyncAndWait(*node_, *w_, tid, ws_);
     if (!ok) {
       Abort();
       return {TxnStatus::kAbortNetwork, 0};
@@ -531,6 +600,10 @@ CommitResult DistContext::CommitS2pl(const std::atomic<uint64_t>& epoch) {
   // Install local writes (record latch shields optimistic readers).
   for (WriteSetEntry* ws : local) {
     ws->row.rec->LockSpin();
+    if (ws->is_delete) {
+      ws->row.rec->UnlockWithTidAbsent(tid);
+      continue;
+    }
     ws->row.rec->Store(tid, ws_.ValuePtr(*ws), ws->value_len, ws->row.value,
                        false);
     ws->row.rec->UnlockWithTid(tid);
@@ -896,10 +969,18 @@ void DistEngine::RunOne(Node& node, WorkerState& w, SiloContext& base_ctx) {
     }
     w.stats.aborted.fetch_add(1, std::memory_order_relaxed);
     if (!running_.load(std::memory_order_acquire)) return;
-    // NO_WAIT backoff before retrying the same transaction (long enough
-    // that a blocker holding locks across a round trip usually finishes).
-    std::this_thread::sleep_for(
-        std::chrono::microseconds(std::min(1000, 50 * (attempt + 1))));
+    // NO_WAIT backoff before retrying the same transaction: exponential
+    // and jittered, both properties load-bearing.  A deterministic,
+    // identical backoff lets workers with overlapping write sets collide
+    // in lockstep indefinitely on an idle host, and a cap near the attempt
+    // duration sustains a stable distributed livelock: cross-partition
+    // attempts hold their local write locks across ~1 ms of remote lock
+    // rounds, so at a ~1 ms retry cadence every participant keeps its hot
+    // locks at a high duty cycle and nobody gets through.  Growing the gap
+    // until someone succeeds breaks the ring.
+    int base_us = 50 << std::min(attempt, 9);  // 50 us .. ~25 ms
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        base_us / 2 + static_cast<int>(w.rng.Uniform(base_us))));
   }
 }
 

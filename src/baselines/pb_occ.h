@@ -52,7 +52,7 @@ class PbOccEngine final : public ClusterEngine {
         // latency, low commit latency — Figure 9).
         cr = SiloOccCommit(ctx, w.gen, epoch_mgr_.counter(),
                            [&](uint64_t tid, WriteSet& ws) {
-                             return ReplicateSyncAndWait(node, tid, ws);
+                             return ReplicateSyncAndWait(node, w, tid, ws);
                            });
       } else {
         cr = SiloOccCommit(ctx, w.gen, epoch_mgr_.counter());

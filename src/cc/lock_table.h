@@ -1,82 +1,130 @@
 #ifndef STAR_CC_LOCK_TABLE_H_
 #define STAR_CC_LOCK_TABLE_H_
 
-#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
+#include "common/spinlock.h"
 #include "storage/hash_table.h"
 
 namespace star {
 
-/// Striped reader-writer lock table with NO_WAIT semantics, used by the
+/// Exact reader-writer lock table with NO_WAIT semantics, used by the
 /// Dist. S2PL baseline (Section 7.1.2): "a transaction aborts if it fails to
 /// acquire some lock", the deadlock-prevention policy shown most scalable by
 /// Harding et al.
 ///
-/// Locks are keyed by (table, key) hashes onto a fixed array of lock words;
-/// distinct records may share a slot, which can only create false conflicts,
-/// never missed ones.  Slot word layout: [writer:1][readers:63].
+/// Locks are identity-checked: each held lock is an (ns, key) entry in a
+/// striped bucket, so distinct records NEVER conflict.  An earlier version
+/// hashed locks onto bare slot words; two keys of one transaction could
+/// then collide on a slot, and under NO_WAIT the transaction would abort
+/// against its own read lock — deterministically, on every retry, wedging
+/// the worker forever (a TPC-C NewOrder holds ~30 locks, making a self
+/// collision on 2^16 slots roughly a 1-in-130 event per transaction).
+///
+/// Entry words use the layout [writer:1][readers:63].  Buckets recycle
+/// their entry storage (swap-pop erase, capacity kept), so steady-state
+/// lock traffic does not touch the allocator.
 class LockTable {
  public:
-  explicit LockTable(size_t slots = 1 << 16) : words_(slots) {
-    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
-    mask_ = slots - 1;
-  }
-
-  static uint64_t SlotKey(int table, uint64_t key) {
-    return HashKey(key * 31 + static_cast<uint64_t>(table) + 1);
+  explicit LockTable(size_t stripes = 1 << 12) : stripes_(stripes) {
+    mask_ = stripes - 1;
   }
 
   /// NO_WAIT shared lock; false means the caller must abort.
-  bool TryReadLock(int table, uint64_t key) {
-    auto& w = words_[SlotKey(table, key) & mask_];
-    uint64_t cur = w.load(std::memory_order_relaxed);
-    for (;;) {
-      if ((cur & kWriterBit) != 0) return false;
-      if (w.compare_exchange_weak(cur, cur + 1, std::memory_order_acquire)) {
-        return true;
-      }
+  bool TryReadLock(int ns, uint64_t key) {
+    Stripe& s = StripeFor(ns, key);
+    std::lock_guard<SpinLock> g(s.mu);
+    Entry* e = Find(s, ns, key);
+    if (e == nullptr) {
+      s.entries.push_back({ns, key, 1});
+      return true;
     }
+    if ((e->word & kWriterBit) != 0) return false;
+    ++e->word;
+    return true;
   }
 
-  void ReadUnlock(int table, uint64_t key) {
-    words_[SlotKey(table, key) & mask_].fetch_sub(1,
-                                                  std::memory_order_release);
+  void ReadUnlock(int ns, uint64_t key) {
+    Stripe& s = StripeFor(ns, key);
+    std::lock_guard<SpinLock> g(s.mu);
+    Entry* e = Find(s, ns, key);
+    if (e == nullptr) return;  // tolerated: unlock of a never-locked key
+    if (--e->word == 0) Erase(s, e);
   }
 
   /// NO_WAIT exclusive lock.
-  bool TryWriteLock(int table, uint64_t key) {
-    auto& w = words_[SlotKey(table, key) & mask_];
-    uint64_t expected = 0;
-    return w.compare_exchange_strong(expected, kWriterBit,
-                                     std::memory_order_acquire);
+  bool TryWriteLock(int ns, uint64_t key) {
+    Stripe& s = StripeFor(ns, key);
+    std::lock_guard<SpinLock> g(s.mu);
+    if (Find(s, ns, key) != nullptr) return false;  // any holder blocks
+    s.entries.push_back({ns, key, kWriterBit});
+    return true;
   }
 
-  void WriteUnlock(int table, uint64_t key) {
-    words_[SlotKey(table, key) & mask_].store(0, std::memory_order_release);
+  void WriteUnlock(int ns, uint64_t key) {
+    Stripe& s = StripeFor(ns, key);
+    std::lock_guard<SpinLock> g(s.mu);
+    Entry* e = Find(s, ns, key);
+    if (e != nullptr && (e->word & kWriterBit) != 0) Erase(s, e);
   }
 
   /// Read-to-write upgrade: succeeds only when the caller holds the sole
   /// read lock (TPC-C read-modify-write pattern).
-  bool TryUpgrade(int table, uint64_t key) {
-    auto& w = words_[SlotKey(table, key) & mask_];
-    uint64_t expected = 1;
-    return w.compare_exchange_strong(expected, kWriterBit,
-                                     std::memory_order_acquire);
+  bool TryUpgrade(int ns, uint64_t key) {
+    Stripe& s = StripeFor(ns, key);
+    std::lock_guard<SpinLock> g(s.mu);
+    Entry* e = Find(s, ns, key);
+    if (e == nullptr || e->word != 1) return false;
+    e->word = kWriterBit;
+    return true;
   }
 
   /// Testing hook: true when no lock is held anywhere.
   bool AllFree() const {
-    for (const auto& w : words_) {
-      if (w.load(std::memory_order_relaxed) != 0) return false;
+    for (const Stripe& s : stripes_) {
+      std::lock_guard<SpinLock> g(s.mu);
+      if (!s.entries.empty()) return false;
     }
     return true;
   }
 
  private:
   static constexpr uint64_t kWriterBit = 1ull << 63;
-  std::vector<std::atomic<uint64_t>> words_;
+
+  struct Entry {
+    int32_t ns;
+    uint64_t key;
+    uint64_t word;
+  };
+
+  struct alignas(64) Stripe {
+    mutable SpinLock mu;
+    std::vector<Entry> entries;  // live locks; capacity recycled
+  };
+
+  Stripe& StripeFor(int ns, uint64_t key) {
+    return stripes_[HashKey(key * 31 + static_cast<uint64_t>(ns) + 1) &
+                    mask_];
+  }
+  const Stripe& StripeFor(int ns, uint64_t key) const {
+    return const_cast<LockTable*>(this)->StripeFor(ns, key);
+  }
+
+  static Entry* Find(Stripe& s, int ns, uint64_t key) {
+    for (Entry& e : s.entries) {
+      if (e.key == key && e.ns == ns) return &e;
+    }
+    return nullptr;
+  }
+
+  static void Erase(Stripe& s, Entry* e) {
+    *e = s.entries.back();
+    s.entries.pop_back();
+  }
+
+  std::vector<Stripe> stripes_;
   size_t mask_;
 };
 

@@ -1,0 +1,142 @@
+#ifndef STAR_CC_SCAN_SET_H_
+#define STAR_CC_SCAN_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cc/txn.h"
+#include "cc/write_set.h"
+#include "storage/database.h"
+#include "storage/hash_table.h"
+
+namespace star {
+
+/// One executed range scan: the requested range plus the sequence of
+/// records observed visible, re-walked at validation to detect phantoms
+/// (the scan-set analogue of Silo's B-tree node-set validation; we
+/// re-traverse the ordered index instead of versioning interior nodes).
+struct ScanSetEntry {
+  int32_t table = 0;
+  int32_t partition = 0;
+  uint64_t lo = 0;
+  uint64_t hi = 0;  // effective upper bound: last visited key if truncated
+  uint32_t begin = 0;  // range into the owning ScanSet's row vector
+  uint32_t count = 0;
+};
+
+/// A transaction's scan footprint, shared by every scan-capable execution
+/// context (SiloContext, Dist. OCC's DistContext) so the phantom-safety
+/// logic lives in exactly one place.  Capacity is recycled across
+/// transactions like the read and write sets.
+class ScanSet {
+ public:
+  /// Executes one scan over `ht`'s ordered index: visits visible records in
+  /// [lo, hi] in key order (at most `limit` when limit > 0), preferring the
+  /// transaction's own buffered state in `ws` (deletes hide the record,
+  /// writes surface the buffered value; records only Insert()ed this
+  /// transaction are not yet materialised and are not visited).  `on_read`
+  /// (key, row, observed word) is invoked for each record read from
+  /// storage, so the context can grow its optimistic read set.  The range
+  /// is recorded for Validate.
+  template <typename OnRead>
+  void Walk(HashTable* ht, int table, int partition, uint64_t lo, uint64_t hi,
+            int limit, TxnContext::ScanVisitor visit, void* arg, WriteSet& ws,
+            OnRead&& on_read) {
+    uint32_t size = ht->value_size();
+    if (scratch_.size() < size) scratch_.resize(size);
+    ScanSetEntry se;
+    se.table = table;
+    se.partition = partition;
+    se.lo = lo;
+    se.hi = hi;
+    se.begin = static_cast<uint32_t>(rows_.size());
+    int taken = 0;
+    ht->index()->Scan(lo, hi, [&](uint64_t key, Record* rec) {
+      if (WriteSetEntry* w = ws.Find(table, partition, key)) {
+        if (w->is_delete) return true;
+        rows_.push_back(rec);
+        ++se.count;
+        ++taken;
+        if (!visit(arg, key, ws.ValuePtr(*w)) ||
+            (limit > 0 && taken >= limit)) {
+          se.hi = key;  // phantoms past the stop point cannot matter
+          return false;
+        }
+        return true;
+      }
+      uint64_t word = rec->ReadStable(scratch_.data(), size,
+                                      ht->ValueOfRecord(rec));
+      if (Record::IsAbsent(word)) return true;  // invisible: skip
+      on_read(key, HashTable::Row{rec, ht->ValueOfRecord(rec), size}, word);
+      rows_.push_back(rec);
+      ++se.count;
+      ++taken;
+      if (!visit(arg, key, scratch_.data()) || (limit > 0 && taken >= limit)) {
+        se.hi = key;
+        return false;
+      }
+      return true;
+    });
+    entries_.push_back(se);
+  }
+
+  /// Phantom validation (call with the write set locked, after read-set
+  /// validation): re-walks every scanned range and fails if any record not
+  /// observed by the original scan has become visible — or is mid-insert by
+  /// another transaction.  Records observed originally are guaranteed
+  /// unchanged by read-set validation (or are lock-held by this
+  /// transaction), so the re-walk only needs to match the sequence.
+  /// Records in `ws` — the transaction's own pending inserts, deletes and
+  /// writes — are never phantoms.
+  bool Validate(Database* db, const WriteSet& ws) const {
+    for (const ScanSetEntry& se : entries_) {
+      HashTable* ht = db->table(se.table, se.partition);
+      uint32_t cursor = se.begin;
+      const uint32_t end = se.begin + se.count;
+      bool ok = true;
+      ht->index()->Scan(se.lo, se.hi, [&](uint64_t, Record* rec) {
+        if (cursor < end && rows_[cursor] == rec) {
+          ++cursor;
+          return true;
+        }
+        uint64_t w = rec->LoadWord();
+        if (Record::IsAbsent(w) && !Record::IsLocked(w)) {
+          return true;  // invisible to everyone: not a phantom
+        }
+        // Own pending work is not a phantom: an insert materialised at
+        // commit (absent + locked), or a record the scan skipped because
+        // this transaction buffered a delete for it (present + locked).
+        if (InWriteSet(ws, rec)) return true;
+        ok = false;  // committed phantom, or foreign insert mid-commit
+        return false;
+      });
+      if (!ok || cursor != end) return false;
+    }
+    return true;
+  }
+
+  bool empty() const { return entries_.empty(); }
+
+  /// Forgets the footprint, keeping capacity (like WriteSet::Clear).
+  void Clear() {
+    entries_.clear();
+    rows_.clear();
+  }
+
+ private:
+  static bool InWriteSet(const WriteSet& ws, const Record* rec) {
+    for (const auto& w : ws.entries()) {
+      if (w.row.rec == rec) return true;
+    }
+    return false;
+  }
+
+  std::vector<ScanSetEntry> entries_;
+  std::vector<Record*> rows_;
+  std::string scratch_;
+};
+
+}  // namespace star
+
+#endif  // STAR_CC_SCAN_SET_H_

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cc/scan_set.h"
 #include "cc/txn.h"
 #include "cc/write_set.h"
 #include "common/tid.h"
@@ -36,6 +37,7 @@ class SiloContext : public TxnContext {
 
   bool Read(int table, int partition, uint64_t key, void* out) override {
     if (WriteSetEntry* w = write_set_.Find(table, partition, key)) {
+      if (w->is_delete) return false;  // own delete: the row reads absent
       std::memcpy(out, write_set_.ValuePtr(*w), w->value_len);
       return true;
     }
@@ -56,6 +58,7 @@ class SiloContext : public TxnContext {
     uint32_t size = ht->value_size();
     if (WriteSetEntry* w = write_set_.Find(table, partition, key)) {
       write_set_.AssignValue(*w, value, size);
+      w->is_delete = false;  // write-after-delete resurrects the row
       w->ops_only = false;
       return;
     }
@@ -68,6 +71,18 @@ class SiloContext : public TxnContext {
   void ApplyOperation(int table, int partition, uint64_t key,
                       const Operation& op) override {
     if (WriteSetEntry* w = write_set_.Find(table, partition, key)) {
+      if (w->is_delete) {
+        // Operating on a row this transaction deleted (reads observe it as
+        // absent, so no correct procedure does this): resurrect from a
+        // zeroed seed, shipped as a full value.
+        HashTable* ht2 = db_->table(table, partition);
+        char* value = write_set_.AllocValue(*w, ht2->value_size());
+        std::memset(value, 0, w->value_len);
+        w->is_delete = false;
+        op.ApplyTo(value);
+        w->ops_only = false;
+        return;
+      }
       op.ApplyTo(write_set_.ValuePtr(*w));
       write_set_.AppendOp(*w, op);
       return;
@@ -92,10 +107,55 @@ class SiloContext : public TxnContext {
   void Insert(int table, int partition, uint64_t key,
               const void* value) override {
     HashTable* ht = db_->table(table, partition);
+    if (WriteSetEntry* w = write_set_.Find(table, partition, key)) {
+      // Re-inserting a key this transaction already deleted or wrote:
+      // becomes a plain value write (the underlying record exists, so
+      // insert's unique-key semantics do not apply), resurrecting any
+      // pending delete.
+      write_set_.AssignValue(*w, value, ht->value_size());
+      w->is_delete = false;
+      w->ops_only = false;
+      return;
+    }
     WriteSetEntry& e = write_set_.Add(table, partition, key);
     write_set_.AssignValue(e, value, ht->value_size());
     e.is_insert = true;
     e.ops_only = false;
+  }
+
+  void Delete(int table, int partition, uint64_t key) override {
+    if (WriteSetEntry* w = write_set_.Find(table, partition, key)) {
+      w->is_delete = true;
+      w->ops_only = false;
+      return;
+    }
+    HashTable* ht = db_->table(table, partition);
+    if (ht == nullptr) return;
+    HashTable::Row row = ht->GetRow(key);
+    if (!row.valid()) return;  // deleting a never-inserted key: no-op
+    WriteSetEntry& e = write_set_.Add(table, partition, key);
+    e.row = row;
+    e.is_delete = true;
+    e.ops_only = false;
+  }
+
+  bool Scan(int table, int partition, uint64_t lo, uint64_t hi, int limit,
+            ScanVisitor visit, void* arg) override {
+    HashTable* ht = db_->table(table, partition);
+    if (ht == nullptr || ht->index() == nullptr) return false;
+    scans_.Walk(ht, table, partition, lo, hi, limit, visit, arg, write_set_,
+                [&](uint64_t, const HashTable::Row& row, uint64_t word) {
+                  read_set_.push_back(ReadSetEntry{row, word});
+                  max_observed_ =
+                      std::max(max_observed_, Record::TidOf(word));
+                });
+    return true;
+  }
+
+  /// Phantom validation over the scanned ranges (see ScanSet::Validate);
+  /// call with the write set locked, after read-set validation.
+  bool ValidateScans() {
+    return scans_.empty() || scans_.Validate(db_, write_set_);
   }
 
   Rng& rng() override { return *rng_; }
@@ -111,6 +171,7 @@ class SiloContext : public TxnContext {
   void Reset() {
     read_set_.clear();
     write_set_.Clear();
+    scans_.Clear();
     max_observed_ = 0;
   }
 
@@ -120,6 +181,7 @@ class SiloContext : public TxnContext {
   int worker_id_;
   std::vector<ReadSetEntry> read_set_;
   WriteSet write_set_;
+  ScanSet scans_;
   uint64_t max_observed_ = 0;
 };
 
@@ -215,6 +277,15 @@ inline CommitResult SiloOccCommit(SiloContext& ctx, TidGenerator& gen,
     }
   }
 
+  // (4b) Scan validation: re-walk every scanned range to catch phantoms
+  // (inserts into the range that committed — or are mid-commit — since the
+  // scan).  Runs after read validation so surviving observed records are
+  // known unchanged.
+  if (!ctx.ValidateScans()) {
+    abort_unlock();
+    return {TxnStatus::kAbortConflict, 0};
+  }
+
   // (5) + (6) Generate the TID, install, unlock.
   uint64_t tid = gen.Generate(max_tid, epoch);
   if (pre_install && !pre_install(tid, ws)) {
@@ -222,6 +293,13 @@ inline CommitResult SiloOccCommit(SiloContext& ctx, TidGenerator& gen,
     return {TxnStatus::kAbortNetwork, 0};
   }
   for (auto& w : writes) {
+    if (w.is_delete) {
+      if (db->two_version()) {
+        w.row.rec->PrepareBackup(tid, w.row.size, w.row.value);
+      }
+      w.row.rec->UnlockWithTidAbsent(tid);
+      continue;
+    }
     w.row.rec->Store(tid, ws.ValuePtr(w), w.value_len, w.row.value,
                      db->two_version());
     w.row.rec->UnlockWithTid(tid);
@@ -256,6 +334,13 @@ inline CommitResult SiloSerialCommit(SiloContext& ctx, TidGenerator& gen,
   uint64_t tid = gen.Generate(max_tid, epoch);
   for (auto& w : writes) {
     w.row.rec->LockSpin();  // uncontended: single writer per partition
+    if (w.is_delete) {
+      if (db->two_version()) {
+        w.row.rec->PrepareBackup(tid, w.row.size, w.row.value);
+      }
+      w.row.rec->UnlockWithTidAbsent(tid);
+      continue;
+    }
     w.row.rec->Store(tid, ws.ValuePtr(w), w.value_len, w.row.value,
                      db->two_version());
     w.row.rec->UnlockWithTid(tid);

@@ -49,6 +49,44 @@ class TxnContext {
   virtual void Insert(int table, int partition, uint64_t key,
                       const void* value) = 0;
 
+  /// Buffers a logical delete of an existing record (the record becomes a
+  /// TID-carrying tombstone at commit).  Deleting a key that does not exist
+  /// is a no-op.
+  virtual void Delete(int table, int partition, uint64_t key) {
+    (void)table;
+    (void)partition;
+    (void)key;
+  }
+
+  /// Visitor for Scan results: `arg` is caller state, `key` the index key,
+  /// `value` the record's bytes (valid only during the call).  Return false
+  /// to stop the scan early.  A plain function pointer rather than
+  /// std::function keeps the scan path allocation-free.
+  using ScanVisitor = bool (*)(void* arg, uint64_t key, const void* value);
+
+  /// Range scan over an ordered table: visits every visible record with key
+  /// in [lo, hi] in ascending order, at most `limit` of them (0 = no limit).
+  /// The scan observes the transaction's own earlier writes and deletes on
+  /// existing records; keys Insert()ed by this transaction are NOT visited
+  /// (inserts materialise at commit — scan after inserting into the same
+  /// range is unsupported, and no workload does it).  The scanned range
+  /// joins the transaction's validation footprint, so a concurrent insert
+  /// into it aborts this transaction at commit (phantom protection,
+  /// Silo-style).  Returns false only for permanent conditions — the
+  /// context or table does not support scans — never for transient
+  /// conflicts, so procedures should map it to a non-retried abort.
+  virtual bool Scan(int table, int partition, uint64_t lo, uint64_t hi,
+                    int limit, ScanVisitor visit, void* arg) {
+    (void)table;
+    (void)partition;
+    (void)lo;
+    (void)hi;
+    (void)limit;
+    (void)visit;
+    (void)arg;
+    return false;
+  }
+
   /// Per-worker RNG (kept on the context so procedures are deterministic
   /// given a seed).
   virtual Rng& rng() = 0;

@@ -33,6 +33,9 @@ struct WriteSetEntry {
   uint32_t ops_begin = 0;  // range in the WriteSet's operation pool
   uint32_t ops_count = 0;
   bool is_insert = false;
+  /// Logical delete: commit installs a tombstone (absent bit + new TID)
+  /// instead of value bytes; replication ships a delete entry.
+  bool is_delete = false;
   /// True while every modification came in via ApplyOperation — only then
   /// may the engine replicate operations instead of the value.
   bool ops_only = false;
@@ -59,7 +62,9 @@ class WriteSet {
     return nullptr;
   }
 
-  /// Appends a blank entry (no value storage yet).
+  /// Appends a blank entry (no value storage yet).  The returned reference
+  /// is invalidated by the next Add (the entry vector may grow); callers
+  /// must finish with it — or re-resolve through Find — before adding more.
   WriteSetEntry& Add(int table, int partition, uint64_t key) {
     entries_.emplace_back();
     WriteSetEntry& e = entries_.back();

@@ -19,14 +19,28 @@ struct alignas(64) WorkerStats {
   std::atomic<uint64_t> single_partition{0};
   std::atomic<uint64_t> cross_partition{0};
   Histogram latency;  // written only by the owning worker / release thread
+  /// Set by a cross-thread ResetStats, consumed by the owning worker before
+  /// its next latency write — the histogram stays single-writer.
+  std::atomic<bool> latency_reset_pending{false};
 
+  /// Cross-thread-safe reset request: counters are zeroed directly (they
+  /// are atomics), the latency histogram is reset by its owning worker at
+  /// the next MaybeResetLatency().  Engines whose workers are stopped may
+  /// follow up with a direct `latency.Reset()`.
   void Reset() {
     committed.store(0, std::memory_order_relaxed);
     aborted.store(0, std::memory_order_relaxed);
     aborted_user.store(0, std::memory_order_relaxed);
     single_partition.store(0, std::memory_order_relaxed);
     cross_partition.store(0, std::memory_order_relaxed);
-    latency.Reset();
+    latency_reset_pending.store(true, std::memory_order_release);
+  }
+
+  /// Owning-worker side of Reset(); call before recording latency.
+  void MaybeResetLatency() {
+    if (latency_reset_pending.exchange(false, std::memory_order_acq_rel)) {
+      latency.Reset();
+    }
   }
 };
 

@@ -79,10 +79,15 @@ StarEngine::StarEngine(const StarOptions& options, const Workload& workload)
       }
       node->applier->set_wal_hook(
           [this, n = node.get(), workers](int32_t t, int32_t p, uint64_t key,
-                                          uint64_t tid, std::string_view val) {
+                                          uint64_t tid, std::string_view val,
+                                          bool deleted) {
             // io threads share the trailing WAL writers; with one io thread
             // (the default) this is the single writer at index `workers`.
-            n->wals[workers]->Append(t, p, key, tid, val);
+            if (deleted) {
+              n->wals[workers]->AppendDelete(t, p, key, tid);
+            } else {
+              n->wals[workers]->Append(t, p, key, tid, val);
+            }
           });
       if (options_.checkpointing) {
         node->checkpointer = std::make_unique<wal::Checkpointer>(
@@ -285,7 +290,13 @@ void StarEngine::UpdateTaus() {
     return;
   }
   if (tau_s_ms_ <= 0) {  // bootstrap: assume t_p == t_s
-    tau_s_ms_ = P * e;
+    // Clamp both phases into [min_phase_ms, e - min_phase_ms]: with P close
+    // to 0 or 1 the raw split would assign one phase a vanishing (or, with
+    // out-of-range P inputs, negative) share and that phase would never run
+    // — the feedback step below can then never correct it, because it only
+    // rescales a nonzero tau.
+    tau_s_ms_ = std::clamp(P * e, options_.min_phase_ms,
+                           e - options_.min_phase_ms);
     tau_p_ms_ = e - tau_s_ms_;
     return;
   }
@@ -629,8 +640,14 @@ void StarEngine::ControlLoop(Node& node) {
         for (auto& w : node.workers) {
           committed += w->stats.committed.load(std::memory_order_relaxed);
         }
+        // ResetStats() may have zeroed the worker counters since the last
+        // fence; a plain subtraction would underflow and report a garbage
+        // delta to the throughput monitor for one iteration.
+        uint64_t delta = committed >= node.reported_committed
+                             ? committed - node.reported_committed
+                             : committed;
         WriteBuffer b;
-        b.Write<uint64_t>(committed - node.reported_committed);
+        b.Write<uint64_t>(delta);
         node.reported_committed = committed;
         b.Write<uint32_t>(static_cast<uint32_t>(num_nodes_));
         for (int d = 0; d < num_nodes_; ++d) {
@@ -743,8 +760,19 @@ void StarEngine::WorkerLoop(Node& node, int worker_index) {
   WorkerState& w = *node.workers[worker_index];
   SiloContext ctx(node.db.get(), &w.rng,
                   node.id * options_.cluster.workers_per_node + worker_index);
+  PreInstallHook sync_hook;
+  if (options_.replication == ReplicationMode::kSyncValue) {
+    sync_hook = [this, &node, &w](uint64_t tid, WriteSet& ws) {
+      return SyncReplicate(node, w, tid, ws);
+    };
+  }
   bool parked_this_seq = false;
   for (;;) {
+    // Consume a pending cross-thread latency reset at the top of every
+    // iteration — including parked/standby ones — so a ResetStats issued
+    // during a fence is not left pending into the measured window.
+    w.stats.MaybeResetLatency();
+
     uint64_t word = node.phase_word.load(std::memory_order_acquire);
     Phase phase = PhaseOf(word);
     uint64_t seq = SeqOf(word);
@@ -793,7 +821,7 @@ void StarEngine::WorkerLoop(Node& node, int worker_index) {
         std::this_thread::sleep_for(std::chrono::microseconds(100));
         continue;
       }
-      RunSingleMasterTxn(node, w, ctx);
+      RunSingleMasterTxn(node, w, ctx, sync_hook);
     }
     // On hosts with fewer cores than workers, rotate the run queue often so
     // every worker observes fence flags quickly (keeps the stop round — and
@@ -835,7 +863,8 @@ void StarEngine::RunPartitionedTxn(Node& node, WorkerState& w,
 }
 
 void StarEngine::RunSingleMasterTxn(Node& node, WorkerState& w,
-                                    SiloContext& ctx) {
+                                    SiloContext& ctx,
+                                    const PreInstallHook& sync_hook) {
   int home = static_cast<int>(w.rng.Uniform(num_partitions_));
   TxnRequest req = workload_.MakeCrossPartition(w.rng, home, num_partitions_);
   uint64_t start = NowNanos();
@@ -853,10 +882,7 @@ void StarEngine::RunSingleMasterTxn(Node& node, WorkerState& w,
     if (status != TxnStatus::kCommitted) {
       cr.status = TxnStatus::kAbortConflict;
     } else if (is_sync) {
-      cr = SiloOccCommit(ctx, w.gen, node.epoch,
-                         [&](uint64_t tid, WriteSet& ws) {
-                           return SyncReplicate(node, tid, ws);
-                         });
+      cr = SiloOccCommit(ctx, w.gen, node.epoch, sync_hook);
     } else {
       cr = SiloOccCommit(ctx, w.gen, node.epoch);
     }
@@ -888,21 +914,37 @@ void StarEngine::ReplicateCommit(WorkerState& w, uint64_t tid,
   }
 }
 
-bool StarEngine::SyncReplicate(Node& node, uint64_t tid, WriteSet& writes) {
+bool StarEngine::SyncReplicate(Node& node, WorkerState& w, uint64_t tid,
+                               WriteSet& writes) {
   // Build one batch per replica target and wait for every ack while the
-  // commit holds its write locks (Figure 9's SYNC column).
-  std::vector<WriteBuffer> batches(num_nodes_);
-  std::vector<uint64_t> counts(num_nodes_, 0);
+  // commit holds its write locks (Figure 9's SYNC column).  The batch
+  // buffers live in the worker state so a warmed-up sync commit, like the
+  // async one, never touches the allocator.
+  if (w.sync_batches.size() != static_cast<size_t>(num_nodes_)) {
+    w.sync_batches.resize(num_nodes_);
+    w.sync_counts.assign(num_nodes_, 0);
+  }
+  auto& batches = w.sync_batches;
+  auto& counts = w.sync_counts;
   for (const auto& entry : writes.entries()) {
     for (int dst : sm_targets_[entry.partition]) {
-      SerializeValueEntry(batches[dst], entry.table, entry.partition,
-                          entry.key, tid, writes.ValueView(entry));
+      if (entry.is_delete) {
+        SerializeDeleteEntry(batches[dst], entry.table, entry.partition,
+                             entry.key, tid);
+      } else {
+        SerializeValueEntry(batches[dst], entry.table, entry.partition,
+                            entry.key, tid, writes.ValueView(entry));
+      }
       ++counts[dst];
     }
   }
-  std::vector<std::pair<int, uint64_t>> tokens;
+  auto& tokens = w.sync_tokens;
+  tokens.clear();
   for (int dst = 0; dst < num_nodes_; ++dst) {
-    if (batches[dst].empty()) continue;
+    if (batches[dst].empty()) {
+      counts[dst] = 0;
+      continue;
+    }
     // Counted before the call on purpose: an ack timeout does not mean the
     // replica skipped the batch (it may apply late), so skipping AddSent
     // here could leave applied > sent and let a fence drain round exit
@@ -911,9 +953,11 @@ bool StarEngine::SyncReplicate(Node& node, uint64_t tid, WriteSet& writes) {
     // (The one-way stream path in ReplicationStream::Flush does get exact
     // drop information from the fabric and counts only accepted batches.)
     node.counters->AddSent(dst, counts[dst]);
+    counts[dst] = 0;
     tokens.emplace_back(
         dst, node.endpoint->CallAsync(dst, net::MsgType::kReplicationBatch,
                                       batches[dst].Release()));
+    batches[dst].Adopt(node.endpoint->AcquirePayload());
   }
   bool ok = true;
   for (auto& [dst, tok] : tokens) {
@@ -953,17 +997,21 @@ void StarEngine::RequestRejoin(int node) {
 }
 
 void StarEngine::ResetStats() {
+  bool live = running_.load(std::memory_order_acquire);
   for (auto& node : nodes_) {
     for (auto& w : node->workers) {
-      w->stats.committed.store(0, std::memory_order_relaxed);
-      w->stats.aborted.store(0, std::memory_order_relaxed);
-      w->stats.aborted_user.store(0, std::memory_order_relaxed);
-      w->stats.single_partition.store(0, std::memory_order_relaxed);
-      w->stats.cross_partition.store(0, std::memory_order_relaxed);
+      // Also clears the latency histogram — without that, warm-up samples
+      // pollute every measured window.  While running, the histogram reset
+      // is deferred to the owning worker (the histogram is single-writer);
+      // on a stopped engine the workers are joined, so reset it directly.
+      w->stats.Reset();
+      if (!live) w->stats.MaybeResetLatency();
     }
   }
   fence_count_.store(0, std::memory_order_relaxed);
   fence_ns_.store(0, std::memory_order_relaxed);
+  fence_stop_ns_.store(0, std::memory_order_relaxed);
+  fence_drain_ns_.store(0, std::memory_order_relaxed);
   fabric_bytes_at_reset_ = fabric_->total_bytes();
   fabric_msgs_at_reset_ = fabric_->total_messages();
   measure_start_ns_ = NowNanos();

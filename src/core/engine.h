@@ -90,6 +90,12 @@ class StarEngine {
                fence_ns_.load(std::memory_order_relaxed)) /
            1e9;
   }
+  uint64_t fence_stop_ns() const {
+    return fence_stop_ns_.load(std::memory_order_relaxed);
+  }
+  uint64_t fence_drain_ns() const {
+    return fence_drain_ns_.load(std::memory_order_relaxed);
+  }
   double current_tau_p_ms() const { return tau_p_ms_; }
   double current_tau_s_ms() const { return tau_s_ms_; }
   int master_node() const { return master_node_; }
@@ -109,6 +115,12 @@ class StarEngine {
     /// Partitions this worker masters in the partitioned phase (rebuilt on
     /// view changes, while workers are parked).
     std::vector<int> partitions;
+    /// Per-destination scratch for synchronous replication, so the sync
+    /// commit path reuses buffer capacity instead of allocating per commit
+    /// (mirrors ReplicationStream's recycling on the async path).
+    std::vector<WriteBuffer> sync_batches;
+    std::vector<uint64_t> sync_counts;
+    std::vector<std::pair<int, uint64_t>> sync_tokens;  // (dst, rpc token)
     size_t rr = 0;              // round-robin cursor over `partitions`
     uint64_t seen_seq = 0;      // last phase sequence acted upon
     uint32_t txn_since_yield = 0;
@@ -156,11 +168,17 @@ class StarEngine {
   // Worker helpers.
   void RunPartitionedTxn(Node& node, WorkerState& w, SiloContext& ctx,
                          int partition);
-  void RunSingleMasterTxn(Node& node, WorkerState& w, SiloContext& ctx);
+  /// `sync_hook` is the worker's pre-constructed synchronous-replication
+  /// hook (empty unless ReplicationMode::kSyncValue) — constructed once per
+  /// worker so the sync commit path does not allocate a std::function per
+  /// transaction.
+  void RunSingleMasterTxn(Node& node, WorkerState& w, SiloContext& ctx,
+                          const PreInstallHook& sync_hook);
   void ReplicateCommit(WorkerState& w, uint64_t tid, const WriteSet& writes,
                        bool allow_ops,
                        const std::vector<std::vector<int>>& targets);
-  bool SyncReplicate(Node& node, uint64_t tid, WriteSet& writes);
+  bool SyncReplicate(Node& node, WorkerState& w, uint64_t tid,
+                     WriteSet& writes);
   void LogCommitToWal(WorkerState& w, uint64_t tid, const WriteSet& writes);
 
   // Coordinator helpers.
@@ -217,12 +235,8 @@ class StarEngine {
 
   std::atomic<uint64_t> fence_count_{0};
   std::atomic<uint64_t> fence_ns_{0};
-
- public:
   std::atomic<uint64_t> fence_stop_ns_{0};   // stop+stats round time
   std::atomic<uint64_t> fence_drain_ns_{0};  // drain round time
-
- private:
 
   uint64_t measure_start_ns_ = 0;
   uint64_t fabric_bytes_at_reset_ = 0;

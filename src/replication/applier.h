@@ -29,10 +29,11 @@ namespace star {
 /// log in any order with the Thomas write rule.
 class ReplicationApplier {
  public:
-  /// wal_hook(table, partition, key, tid, full_value) — invoked after an
-  /// entry is applied, with the complete record value.
+  /// wal_hook(table, partition, key, tid, full_value, deleted) — invoked
+  /// after an entry is applied, with the complete record value (empty and
+  /// `deleted == true` for tombstones).
   using WalHook = std::function<void(int32_t, int32_t, uint64_t, uint64_t,
-                                     std::string_view)>;
+                                     std::string_view, bool)>;
 
   ReplicationApplier(Database* db, ReplicationCounters* counters)
       : db_(db), counters_(counters) {}
@@ -47,6 +48,8 @@ class ReplicationApplier {
       RepEntryHeader h = RepEntryHeader::Deserialize(in);
       if (h.kind == RepKind::kValue) {
         ApplyValue(h, in.ReadBytes());
+      } else if (h.kind == RepKind::kDelete) {
+        ApplyDelete(h);
       } else {
         ApplyOperations(h, in);
       }
@@ -64,7 +67,21 @@ class ReplicationApplier {
                          db_->two_version());
     if (wal_hook_) {
       wal_hook_(h.table, h.partition, h.key, h.tid,
-                std::string_view(row.value, row.size));
+                std::string_view(row.value, row.size), false);
+    }
+  }
+
+  void ApplyDelete(const RepEntryHeader& h) {
+    HashTable* ht = db_->table(h.table, h.partition);
+    if (ht == nullptr) return;
+    // GetOrInsert, not Get: a delete may overtake the value write it
+    // follows in another stream; the tombstone's TID then wins the Thomas
+    // race when the stale value arrives.
+    HashTable::Row row = ht->GetOrInsertRow(h.key);
+    row.rec->ApplyThomasDelete(h.tid, row.size, row.value,
+                               db_->two_version());
+    if (wal_hook_) {
+      wal_hook_(h.table, h.partition, h.key, h.tid, std::string_view(), true);
     }
   }
 
@@ -100,7 +117,7 @@ class ReplicationApplier {
     }
     if (wal_hook_) {
       wal_hook_(h.table, h.partition, h.key, h.tid,
-                std::string_view(row.value, row.size));
+                std::string_view(row.value, row.size), false);
     }
   }
 

@@ -17,7 +17,9 @@ namespace star {
 ///  * kOperation: field operations; must be applied in stream order, which
 ///    the partitioned phase guarantees (one writer per partition, FIFO
 ///    links).
-enum class RepKind : uint8_t { kValue = 0, kOperation = 1 };
+///  * kDelete: a logical delete; applied with the Thomas write rule as a
+///    TID-carrying tombstone, so it orders correctly against value writes.
+enum class RepKind : uint8_t { kValue = 0, kOperation = 1, kDelete = 2 };
 
 /// Serialises one replication entry into a batch buffer.
 inline void SerializeValueEntry(WriteBuffer& out, int32_t table,
@@ -29,6 +31,17 @@ inline void SerializeValueEntry(WriteBuffer& out, int32_t table,
   out.Write<uint64_t>(key);
   out.Write<uint64_t>(tid);
   out.WriteBytes(value.data(), value.size());
+}
+
+/// Serialises a delete entry (header only: a tombstone carries no value).
+inline void SerializeDeleteEntry(WriteBuffer& out, int32_t table,
+                                 int32_t partition, uint64_t key,
+                                 uint64_t tid) {
+  out.Write<uint8_t>(static_cast<uint8_t>(RepKind::kDelete));
+  out.Write<int32_t>(table);
+  out.Write<int32_t>(partition);
+  out.Write<uint64_t>(key);
+  out.Write<uint64_t>(tid);
 }
 
 inline void SerializeOperationEntry(WriteBuffer& out, int32_t table,
@@ -117,6 +130,8 @@ struct RepEntry {
     e.tid = h.tid;
     if (e.kind == RepKind::kValue) {
       e.value = in.ReadBytes();
+    } else if (e.kind == RepKind::kDelete) {
+      // header only
     } else {
       uint16_t n = in.Read<uint16_t>();
       e.ops.reserve(n);

@@ -90,7 +90,9 @@ class ReplicationStream {
   void AppendEntry(int dst, uint64_t tid, const WriteSet& ws,
                    const WriteSetEntry& w, bool allow_operations) {
     WriteBuffer& buf = buffers_[dst];
-    if (allow_operations && w.ops_only && !w.is_insert) {
+    if (w.is_delete) {
+      SerializeDeleteEntry(buf, w.table, w.partition, w.key, tid);
+    } else if (allow_operations && w.ops_only && !w.is_insert) {
       SerializeOperationEntry(buf, w.table, w.partition, w.key, tid,
                               ws.ops(w), w.ops_count);
     } else {

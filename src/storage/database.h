@@ -18,6 +18,10 @@ struct TableSchema {
   uint32_t value_size = 0;
   /// Sizing hint per partition for the bucket array.
   size_t expected_rows_per_partition = 1024;
+  /// Maintain an OrderedIndex over the primary keys so the table supports
+  /// `Scan` (range queries).  Key packings must therefore be order-preserving
+  /// for the ranges the workload scans.
+  bool ordered = false;
 };
 
 /// One node's copy of the database: a [table x partition] grid of hash
@@ -38,9 +42,7 @@ class Database {
     for (int p : present_partitions) {
       present_[p] = true;
       for (size_t t = 0; t < schemas_.size(); ++t) {
-        tables_[t][p] = std::make_unique<HashTable>(
-            schemas_[t].value_size, schemas_[t].expected_rows_per_partition,
-            two_version_);
+        tables_[t][p] = MakeTable(t);
       }
     }
   }
@@ -60,9 +62,7 @@ class Database {
     if (present_[partition]) return;
     present_[partition] = true;
     for (size_t t = 0; t < schemas_.size(); ++t) {
-      tables_[t][partition] = std::make_unique<HashTable>(
-          schemas_[t].value_size, schemas_[t].expected_rows_per_partition,
-          two_version_);
+      tables_[t][partition] = MakeTable(t);
     }
   }
 
@@ -102,9 +102,7 @@ class Database {
     for (size_t t = 0; t < tables_.size(); ++t) {
       for (int p = 0; p < num_partitions_; ++p) {
         if (tables_[t][p] != nullptr) {
-          tables_[t][p] = std::make_unique<HashTable>(
-              schemas_[t].value_size, schemas_[t].expected_rows_per_partition,
-              two_version_);
+          tables_[t][p] = MakeTable(t);
         }
       }
     }
@@ -117,6 +115,12 @@ class Database {
   const std::vector<TableSchema>& schemas() const { return schemas_; }
 
  private:
+  std::unique_ptr<HashTable> MakeTable(size_t t) const {
+    return std::make_unique<HashTable>(
+        schemas_[t].value_size, schemas_[t].expected_rows_per_partition,
+        two_version_, schemas_[t].ordered);
+  }
+
   std::vector<TableSchema> schemas_;
   int num_partitions_;
   std::vector<bool> present_;

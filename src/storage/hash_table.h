@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/spinlock.h"
+#include "storage/ordered_index.h"
 #include "storage/record.h"
 
 namespace star {
@@ -38,7 +39,12 @@ class HashTable {
  public:
   /// `expected_rows` sizes the bucket array (no resizing; chains absorb
   /// growth).  `two_version` reserves the backup slot in every node.
-  HashTable(uint32_t value_size, size_t expected_rows, bool two_version)
+  /// `ordered` additionally maintains an OrderedIndex over the primary keys,
+  /// kept in sync with the hash table by every insert path (bulk load,
+  /// transactional insert materialisation, replication apply, snapshot
+  /// fetch) so scans and point lookups always agree.
+  HashTable(uint32_t value_size, size_t expected_rows, bool two_version,
+            bool ordered = false)
       : value_size_(value_size),
         two_version_(two_version),
         node_bytes_((sizeof(NodeHeader) + sizeof(Record) +
@@ -50,6 +56,7 @@ class HashTable {
     while (cap < want) cap <<= 1;
     buckets_ = std::vector<Bucket>(cap);
     mask_ = cap - 1;
+    if (ordered) index_ = std::make_unique<OrderedIndex>();
   }
 
   HashTable(const HashTable&) = delete;
@@ -98,6 +105,10 @@ class HashTable {
     Record* rec = RecordOf(n);
     rec->Init(/*absent=*/true);
     std::memset(ValueOf(n), 0, value_size_);
+    // Index before publishing in the bucket: the record is still absent, so
+    // the ordering is unobservable, but this way a key reachable by Get is
+    // always reachable by Scan.
+    if (index_ != nullptr) index_->Insert(key, rec);
     b.head.store(n, std::memory_order_release);
     size_.fetch_add(1, std::memory_order_relaxed);
     if (inserted != nullptr) *inserted = true;
@@ -157,6 +168,9 @@ class HashTable {
   bool two_version() const { return two_version_; }
   size_t size() const { return size_.load(std::memory_order_relaxed); }
 
+  /// The ordered primary-key index, or nullptr for hash-only tables.
+  OrderedIndex* index() const { return index_.get(); }
+
  private:
   struct NodeHeader {
     NodeHeader* next;
@@ -203,6 +217,7 @@ class HashTable {
   SpinLock arena_mu_;
   std::vector<char*> chunks_;
   size_t arena_used_ = 0;
+  std::unique_ptr<OrderedIndex> index_;
 };
 
 }  // namespace star

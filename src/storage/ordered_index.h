@@ -1,0 +1,166 @@
+#ifndef STAR_STORAGE_ORDERED_INDEX_H_
+#define STAR_STORAGE_ORDERED_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/spinlock.h"
+#include "storage/record.h"
+
+namespace star {
+
+/// Ordered secondary index over one partition of one table: a skip list
+/// mapping 64-bit index keys to the table's stable `Record*`s, giving the
+/// storage layer the range scans the paper's hash-table-only design lacks
+/// ("Tables in STAR are implemented as collections of hash tables" — scans
+/// are the one access path that model cannot serve).
+///
+/// Properties, matching the guarantees engines already rely on from
+/// HashTable:
+///  * Insert-only and arena-backed: nodes are never moved or freed, so a
+///    scan may hand out `Record*`s that stay valid for the index's lifetime.
+///    Logical deletion is the record's absent bit; scans skip absent rows.
+///  * Writers serialise on one spinlock per index (one partition has one
+///    writer in the partitioned phase; single-master-phase writers contend
+///    only on inserts into the same partition, which the workloads make
+///    rare).  Links are published bottom-up with release stores.
+///  * Readers are latch-free: a scan concurrent with an insert sees the new
+///    node or not, atomically per node.  Transactional phantom safety is the
+///    concurrency-control layer's job (scan re-validation in cc/silo.h),
+///    exactly as Silo validates its B-tree node sets.
+class OrderedIndex {
+ public:
+  OrderedIndex() {
+    head_ = AllocateNode(kMaxHeight, 0, nullptr);
+    for (int i = 0; i < kMaxHeight; ++i) {
+      head_->next[i].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+
+  OrderedIndex(const OrderedIndex&) = delete;
+  OrderedIndex& operator=(const OrderedIndex&) = delete;
+
+  ~OrderedIndex() {
+    for (char* chunk : chunks_) delete[] chunk;
+  }
+
+  /// Inserts `key -> rec`.  Duplicate keys are ignored (the hash table
+  /// already deduplicates primary keys; an index key maps to exactly one
+  /// record for the packings our workloads use).
+  void Insert(uint64_t key, Record* rec) {
+    std::lock_guard<SpinLock> g(mu_);
+    Node* preds[kMaxHeight];
+    Node* x = head_;
+    for (int level = kMaxHeight - 1; level >= 0; --level) {
+      for (Node* nxt = x->next[level].load(std::memory_order_relaxed);
+           nxt != nullptr && nxt->key < key;
+           nxt = x->next[level].load(std::memory_order_relaxed)) {
+        x = nxt;
+      }
+      preds[level] = x;
+    }
+    Node* at = preds[0]->next[0].load(std::memory_order_relaxed);
+    if (at != nullptr && at->key == key) return;  // already indexed
+    int height = RandomHeight();
+    Node* n = AllocateNode(height, key, rec);
+    // Link bottom-up: once next[0] is published a scan can reach the node,
+    // and all of the node's own pointers are already in place.
+    for (int level = 0; level < height; ++level) {
+      n->next[level].store(preds[level]->next[level].load(
+                               std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    }
+    for (int level = 0; level < height; ++level) {
+      preds[level]->next[level].store(n, std::memory_order_release);
+    }
+    size_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Walks every indexed entry with key in [lo, hi] in ascending key order,
+  /// calling `fn(key, rec)` until it returns false.  Latch-free; safe
+  /// against concurrent Insert.  Visits absent records too — visibility is
+  /// the caller's concern (transactions skip them, validation inspects
+  /// them).
+  template <typename F>
+  void Scan(uint64_t lo, uint64_t hi, F&& fn) const {
+    const Node* x = head_;
+    for (int level = kMaxHeight - 1; level >= 0; --level) {
+      for (const Node* nxt = x->next[level].load(std::memory_order_acquire);
+           nxt != nullptr && nxt->key < lo;
+           nxt = x->next[level].load(std::memory_order_acquire)) {
+        x = nxt;
+      }
+    }
+    for (const Node* n = x->next[0].load(std::memory_order_acquire);
+         n != nullptr && n->key <= hi;
+         n = n->next[0].load(std::memory_order_acquire)) {
+      if (!fn(n->key, n->rec)) return;
+    }
+  }
+
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+ private:
+  static constexpr int kMaxHeight = 16;
+
+  struct Node {
+    uint64_t key;
+    Record* rec;
+    /// Trailing array of `height` links (over-declared; nodes are allocated
+    /// with exactly the space their height needs).
+    std::atomic<Node*> next[1];
+  };
+
+  static size_t NodeBytes(int height) {
+    return sizeof(Node) + sizeof(std::atomic<Node*>) * (height - 1);
+  }
+
+  /// Geometric height with p = 1/4 (classic skip-list balance), drawn from a
+  /// per-index xorshift so population stays deterministic per partition.
+  int RandomHeight() {
+    uint64_t x = rng_state_;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    rng_state_ = x;
+    int h = 1;
+    while (h < kMaxHeight && (x & 3) == 0) {
+      ++h;
+      x >>= 2;
+    }
+    return h;
+  }
+
+  /// Bump allocator over large chunks; called under mu_ (constructor aside).
+  Node* AllocateNode(int height, uint64_t key, Record* rec) {
+    size_t bytes = (NodeBytes(height) + 15) & ~size_t{15};
+    if (chunks_.empty() || arena_used_ + bytes > kChunkBytes) {
+      size_t chunk = bytes > kChunkBytes ? bytes : kChunkBytes;
+      chunks_.push_back(new char[chunk]);
+      arena_used_ = 0;
+    }
+    char* p = chunks_.back() + arena_used_;
+    arena_used_ += bytes;
+    Node* n = reinterpret_cast<Node*>(p);
+    n->key = key;
+    n->rec = rec;
+    for (int i = 0; i < height; ++i) {
+      new (&n->next[i]) std::atomic<Node*>(nullptr);
+    }
+    return n;
+  }
+
+  static constexpr size_t kChunkBytes = 1 << 18;
+
+  SpinLock mu_;
+  Node* head_;
+  uint64_t rng_state_ = 0x9E3779B97F4A7C15ull;
+  std::atomic<size_t> size_{0};
+  std::vector<char*> chunks_;
+  size_t arena_used_ = 0;
+};
+
+}  // namespace star
+
+#endif  // STAR_STORAGE_ORDERED_INDEX_H_

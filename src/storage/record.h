@@ -84,6 +84,14 @@ class Record {
   /// for a record created by this transaction's insert.
   void UnlockMarkAbsent() { word_.store(kAbsentBit, std::memory_order_release); }
 
+  /// Releases the lock installing a delete: the record becomes a tombstone
+  /// carrying `tid`, so later reads observe absence, scans skip it, and the
+  /// Thomas write rule on replicas correctly orders the delete against
+  /// concurrent value writes of the same record.
+  void UnlockWithTidAbsent(uint64_t tid) {
+    word_.store(kAbsentBit | (tid & Tid::kTidMask), std::memory_order_release);
+  }
+
   // --- data access ---
 
   /// Optimistic consistent read: copies `size` bytes of the value into `out`
@@ -154,7 +162,10 @@ class Record {
                    bool keep_backup) {
     LockSpin();
     uint64_t w = word_.load(std::memory_order_relaxed);
-    if (!IsAbsent(w) && TidOf(w) >= tid) {
+    // Compare TIDs regardless of the absent bit: a never-written record has
+    // TID 0 (always loses), and a tombstone's TID must outrank stale value
+    // writes so a replayed delete is not resurrected by an older update.
+    if (TidOf(w) >= tid) {
       Unlock();
       return false;
     }
@@ -163,12 +174,31 @@ class Record {
     return true;
   }
 
+  /// Thomas write rule for deletes: installs a tombstone iff `tid` exceeds
+  /// the record's current TID.  The value bytes are preserved (and backed up
+  /// under `keep_backup`) so an epoch revert can resurrect the record.
+  bool ApplyThomasDelete(uint64_t tid, size_t size, char* value,
+                         bool keep_backup) {
+    LockSpin();
+    uint64_t w = word_.load(std::memory_order_relaxed);
+    if (TidOf(w) >= tid) {
+      Unlock();
+      return false;
+    }
+    if (keep_backup) PrepareBackup(tid, size, value);
+    UnlockWithTidAbsent(tid);
+    return true;
+  }
+
   /// Reverts the record to the previous-epoch version if its current version
   /// belongs to `epoch` (the epoch being discarded after a failure).  Caller
   /// must have quiesced all writers.
   void RevertEpoch(uint64_t epoch, size_t size, char* value) {
     uint64_t w = word_.load(std::memory_order_relaxed);
-    if (IsAbsent(w) || Tid::Epoch(TidOf(w)) != epoch) return;
+    // Tombstones deleted in the reverted epoch carry that epoch's TID and
+    // must be resurrected; never-written absent records have TID 0 (epoch 0)
+    // and fall out of the epoch comparison.
+    if (Tid::Epoch(TidOf(w)) != epoch) return;
     if (backup_tid_ == kNoBackup || backup_tid_ == kBackupAbsent) {
       // The record was created in the reverted epoch: it logically
       // disappears again.

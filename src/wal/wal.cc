@@ -50,10 +50,29 @@ void WalWriter::Append(int32_t table, int32_t partition, uint64_t key,
   if (buf_.size() >= flush_bytes_) FlushLocked();
 }
 
+void WalWriter::AppendDelete(int32_t table, int32_t partition, uint64_t key,
+                             uint64_t tid) {
+  std::lock_guard<SpinLock> g(mu_);
+  buf_.Write<uint8_t>(kDeleteTag);
+  buf_.Write<int32_t>(table);
+  buf_.Write<int32_t>(partition);
+  buf_.Write<uint64_t>(key);
+  buf_.Write<uint64_t>(tid);
+  if (buf_.size() >= flush_bytes_) FlushLocked();
+}
+
 void WalWriter::AppendCommit(uint64_t tid, const WriteSet& writes) {
   std::lock_guard<SpinLock> g(mu_);
   for (const auto& e : writes.entries()) {
-    AppendLocked(e.table, e.partition, e.key, tid, writes.ValueView(e));
+    if (e.is_delete) {
+      buf_.Write<uint8_t>(kDeleteTag);
+      buf_.Write<int32_t>(e.table);
+      buf_.Write<int32_t>(e.partition);
+      buf_.Write<uint64_t>(e.key);
+      buf_.Write<uint64_t>(tid);
+    } else {
+      AppendLocked(e.table, e.partition, e.key, tid, writes.ValueView(e));
+    }
   }
   if (buf_.size() >= flush_bytes_) FlushLocked();
 }
@@ -206,7 +225,7 @@ RecoveryResult Recover(Database* db, const std::string& dir, int node,
         max_marker = std::max(max_marker, in.Read<uint64_t>());
       } else {
         in.Skip(4 + 4 + 8 + 8);
-        (void)in.ReadBytes();
+        if (tag == WalWriter::kWriteTag) (void)in.ReadBytes();
       }
     }
     committed = std::min(committed, max_marker);
@@ -229,7 +248,8 @@ RecoveryResult Recover(Database* db, const std::string& dir, int node,
       int32_t p = in.Read<int32_t>();
       uint64_t key = in.Read<uint64_t>();
       uint64_t tid = in.Read<uint64_t>();
-      std::string_view value = in.ReadBytes();
+      std::string_view value;
+      if (tag == WalWriter::kWriteTag) value = in.ReadBytes();
       if (Tid::Epoch(tid) > committed) {
         ++result.log_entries_skipped;
         continue;
@@ -237,8 +257,13 @@ RecoveryResult Recover(Database* db, const std::string& dir, int node,
       HashTable* ht = db->table(t, p);
       if (ht == nullptr) continue;
       HashTable::Row row = ht->GetOrInsertRow(key);
-      row.rec->ApplyThomas(tid, value.data(), row.size, row.value,
-                           db->two_version());
+      if (tag == WalWriter::kDeleteTag) {
+        row.rec->ApplyThomasDelete(tid, row.size, row.value,
+                                   db->two_version());
+      } else {
+        row.rec->ApplyThomas(tid, value.data(), row.size, row.value,
+                             db->two_version());
+      }
       ++result.log_entries_replayed;
     }
   }

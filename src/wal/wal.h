@@ -36,6 +36,11 @@ class WalWriter {
   void Append(int32_t table, int32_t partition, uint64_t key, uint64_t tid,
               std::string_view value);
 
+  /// Buffers one committed delete (tombstone; replayed with the Thomas rule
+  /// like every other entry, so log order stays irrelevant to recovery).
+  void AppendDelete(int32_t table, int32_t partition, uint64_t key,
+                    uint64_t tid);
+
   /// Buffers every entry of a committed transaction's write set (values
   /// serialised straight from the arena views) under a single latch
   /// acquisition — the per-commit fast path for worker logs.
@@ -54,6 +59,7 @@ class WalWriter {
   // Entry tags in the on-disk stream.
   static constexpr uint8_t kWriteTag = 0;
   static constexpr uint8_t kEpochTag = 1;
+  static constexpr uint8_t kDeleteTag = 2;
 
  private:
   void AppendLocked(int32_t table, int32_t partition, uint64_t key,

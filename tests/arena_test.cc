@@ -55,10 +55,17 @@ TEST(WriteSet, ClearRecyclesWithoutStaleBytes) {
 
 TEST(WriteSet, InterleavedOpsStayContiguousPerEntry) {
   WriteSet ws;
-  WriteSetEntry& a = ws.Add(0, 0, 1);
+  // Add() invalidates previously returned entry references (vector growth);
+  // resolve both through Find() once the entry list is final, as the
+  // execution contexts do.  (The original version of this test held the
+  // first reference across the second Add — a use-after-free the ci ASan
+  // job caught.)
+  ws.Add(0, 0, 1);
+  ws.Add(0, 0, 2);
+  WriteSetEntry& a = *ws.Find(0, 0, 1);
+  WriteSetEntry& b = *ws.Find(0, 0, 2);
   ws.AllocValue(a, 16);
   std::memset(ws.ValuePtr(a), 0, 16);
-  WriteSetEntry& b = ws.Add(0, 0, 2);
   ws.AllocValue(b, 16);
   std::memset(ws.ValuePtr(b), 0, 16);
 

@@ -163,7 +163,7 @@ TEST(Replication, WalHookSeesFullRecordForOperations) {
   ReplicationApplier applier(db.get(), &counters);
   std::string logged;
   applier.set_wal_hook([&](int32_t, int32_t, uint64_t, uint64_t,
-                           std::string_view value) {
+                           std::string_view value, bool) {
     logged = std::string(value);
   });
   WriteBuffer batch;

@@ -1,0 +1,392 @@
+// Transactional range scans: visibility, read-your-writes, logical deletes,
+// phantom-abort validation under concurrency (Silo-style scan-set
+// re-validation), delete replication, and the full-mix TPC-C transactions
+// built on top of them.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "cc/silo.h"
+#include "replication/applier.h"
+#include "replication/log_entry.h"
+#include "workload/tpcc.h"
+
+namespace star {
+namespace {
+
+struct KeyCollector {
+  std::vector<uint64_t> keys;
+  std::vector<int64_t> values;
+
+  static bool Visit(void* arg, uint64_t key, const void* value) {
+    auto* c = static_cast<KeyCollector*>(arg);
+    c->keys.push_back(key);
+    c->values.push_back(*static_cast<const int64_t*>(value));
+    return true;
+  }
+};
+
+std::unique_ptr<Database> MakeOrderedDb() {
+  std::vector<TableSchema> schemas{
+      {"t", sizeof(int64_t), 256, /*ordered=*/true}};
+  auto db = std::make_unique<Database>(schemas, 1, std::vector<int>{0},
+                                       /*two_version=*/false);
+  for (uint64_t k = 10; k <= 50; k += 10) {
+    int64_t v = static_cast<int64_t>(k * 100);
+    db->Load(0, 0, k, &v);
+  }
+  return db;
+}
+
+TEST(ScanTxn, ScanSeesCommittedRecordsInOrder) {
+  auto db = MakeOrderedDb();
+  Rng rng(1);
+  SiloContext ctx(db.get(), &rng, 0);
+  KeyCollector c;
+  ASSERT_TRUE(ctx.Scan(0, 0, 15, 45, 0, KeyCollector::Visit, &c));
+  EXPECT_EQ(c.keys, (std::vector<uint64_t>{20, 30, 40}));
+  EXPECT_EQ(c.values, (std::vector<int64_t>{2000, 3000, 4000}));
+}
+
+TEST(ScanTxn, ScanLimitStopsEarly) {
+  auto db = MakeOrderedDb();
+  Rng rng(1);
+  SiloContext ctx(db.get(), &rng, 0);
+  KeyCollector c;
+  ASSERT_TRUE(ctx.Scan(0, 0, 0, 100, 2, KeyCollector::Visit, &c));
+  EXPECT_EQ(c.keys, (std::vector<uint64_t>{10, 20}));
+}
+
+TEST(ScanTxn, ScanObservesOwnWritesAndDeletes) {
+  auto db = MakeOrderedDb();
+  Rng rng(1);
+  SiloContext ctx(db.get(), &rng, 0);
+  int64_t v = 7777;
+  ctx.Write(0, 0, 30, &v);   // buffered update
+  ctx.Delete(0, 0, 40);      // buffered delete
+  KeyCollector c;
+  ASSERT_TRUE(ctx.Scan(0, 0, 0, 100, 0, KeyCollector::Visit, &c));
+  EXPECT_EQ(c.keys, (std::vector<uint64_t>{10, 20, 30, 50}))
+      << "own delete hides the row before commit";
+  EXPECT_EQ(c.values[2], 7777) << "own write is visible to the scan";
+}
+
+TEST(ScanTxn, CommittedDeleteHidesRecordFromScansAndReads) {
+  auto db = MakeOrderedDb();
+  Rng rng(1);
+  TidGenerator gen(0);
+  std::atomic<uint64_t> epoch{1};
+  {
+    SiloContext ctx(db.get(), &rng, 0);
+    ctx.Delete(0, 0, 30);
+    ASSERT_EQ(SiloOccCommit(ctx, gen, epoch).status, TxnStatus::kCommitted);
+  }
+  SiloContext ctx(db.get(), &rng, 0);
+  int64_t out;
+  EXPECT_FALSE(ctx.Read(0, 0, 30, &out)) << "tombstone reads as absent";
+  KeyCollector c;
+  ASSERT_TRUE(ctx.Scan(0, 0, 0, 100, 0, KeyCollector::Visit, &c));
+  EXPECT_EQ(c.keys, (std::vector<uint64_t>{10, 20, 40, 50}));
+  // Re-inserting the key resurrects the record with a fresh TID.
+  {
+    SiloContext ctx2(db.get(), &rng, 0);
+    int64_t v = 1;
+    ctx2.Insert(0, 0, 30, &v);
+    ASSERT_EQ(SiloOccCommit(ctx2, gen, epoch).status, TxnStatus::kCommitted);
+  }
+  EXPECT_TRUE(SiloContext(db.get(), &rng, 0).Read(0, 0, 30, &out));
+}
+
+TEST(ScanTxn, PhantomInsertIntoScannedRangeAbortsTheScanner) {
+  auto db = MakeOrderedDb();
+  Rng rng(1);
+  TidGenerator gen(0);
+  std::atomic<uint64_t> epoch{1};
+
+  // T1 scans [0, 100], then T2 inserts key 25 inside the range and commits
+  // before T1.  T1's commit must abort: its scan no longer holds.
+  SiloContext t1(db.get(), &rng, 0);
+  KeyCollector c;
+  ASSERT_TRUE(t1.Scan(0, 0, 0, 100, 0, KeyCollector::Visit, &c));
+  int64_t v = 1;
+  t1.Write(0, 0, 10, &v);  // give T1 a write so the commit does work
+
+  {
+    SiloContext t2(db.get(), &rng, 1);
+    int64_t nv = 2500;
+    t2.Insert(0, 0, 25, &nv);
+    ASSERT_EQ(SiloOccCommit(t2, gen, epoch).status, TxnStatus::kCommitted);
+  }
+  EXPECT_EQ(SiloOccCommit(t1, gen, epoch).status, TxnStatus::kAbortConflict)
+      << "insert into a scanned range between read and commit must abort";
+
+  // Control: an insert outside the scanned range does not abort the scanner.
+  SiloContext t3(db.get(), &rng, 0);
+  KeyCollector c3;
+  ASSERT_TRUE(t3.Scan(0, 0, 0, 30, 0, KeyCollector::Visit, &c3));
+  t3.Write(0, 0, 10, &v);
+  {
+    SiloContext t4(db.get(), &rng, 1);
+    int64_t nv = 9900;
+    t4.Insert(0, 0, 99, &nv);
+    ASSERT_EQ(SiloOccCommit(t4, gen, epoch).status, TxnStatus::kCommitted);
+  }
+  EXPECT_EQ(SiloOccCommit(t3, gen, epoch).status, TxnStatus::kCommitted);
+}
+
+TEST(ScanTxn, TruncatedScanOnlyValidatesTheVisitedPrefix) {
+  auto db = MakeOrderedDb();
+  Rng rng(1);
+  TidGenerator gen(0);
+  std::atomic<uint64_t> epoch{1};
+
+  // T1 scans with limit 2 (stops at key 20); an insert at 35 — beyond the
+  // truncation point — must NOT abort it, an insert at 15 must.
+  SiloContext t1(db.get(), &rng, 0);
+  KeyCollector c;
+  ASSERT_TRUE(t1.Scan(0, 0, 0, 100, 2, KeyCollector::Visit, &c));
+  int64_t v = 1;
+  t1.Write(0, 0, 50, &v);
+  {
+    SiloContext t2(db.get(), &rng, 1);
+    int64_t nv = 3500;
+    t2.Insert(0, 0, 35, &nv);
+    ASSERT_EQ(SiloOccCommit(t2, gen, epoch).status, TxnStatus::kCommitted);
+  }
+  EXPECT_EQ(SiloOccCommit(t1, gen, epoch).status, TxnStatus::kCommitted);
+
+  SiloContext t3(db.get(), &rng, 0);
+  KeyCollector c3;
+  ASSERT_TRUE(t3.Scan(0, 0, 0, 100, 2, KeyCollector::Visit, &c3));
+  t3.Write(0, 0, 50, &v);
+  {
+    SiloContext t4(db.get(), &rng, 1);
+    int64_t nv = 1500;
+    t4.Insert(0, 0, 15, &nv);
+    ASSERT_EQ(SiloOccCommit(t4, gen, epoch).status, TxnStatus::kCommitted);
+  }
+  EXPECT_EQ(SiloOccCommit(t3, gen, epoch).status, TxnStatus::kAbortConflict);
+}
+
+TEST(ScanTxn, DeleteInteractsCorrectlyWithOtherBufferedAccesses) {
+  auto db = MakeOrderedDb();
+  Rng rng(1);
+  TidGenerator gen(0);
+  std::atomic<uint64_t> epoch{1};
+  int64_t out;
+
+  // Read-after-delete observes absence.
+  {
+    SiloContext t(db.get(), &rng, 0);
+    t.Delete(0, 0, 30);
+    EXPECT_FALSE(t.Read(0, 0, 30, &out));
+  }
+  // Write-after-delete resurrects the row: the write wins at commit.
+  {
+    SiloContext t(db.get(), &rng, 0);
+    t.Delete(0, 0, 30);
+    int64_t v = 12345;
+    t.Write(0, 0, 30, &v);
+    ASSERT_TRUE(t.Read(0, 0, 30, &out));
+    EXPECT_EQ(out, 12345);
+    ASSERT_EQ(SiloOccCommit(t, gen, epoch).status, TxnStatus::kCommitted);
+  }
+  ASSERT_TRUE(SiloContext(db.get(), &rng, 0).Read(0, 0, 30, &out));
+  EXPECT_EQ(out, 12345);
+  // Insert-after-delete within one transaction also resurrects.
+  {
+    SiloContext t(db.get(), &rng, 0);
+    t.Delete(0, 0, 40);
+    int64_t v = 777;
+    t.Insert(0, 0, 40, &v);
+    ASSERT_EQ(SiloOccCommit(t, gen, epoch).status, TxnStatus::kCommitted);
+  }
+  ASSERT_TRUE(SiloContext(db.get(), &rng, 0).Read(0, 0, 40, &out));
+  EXPECT_EQ(out, 777);
+}
+
+TEST(ScanTxn, OwnDeleteInsideScannedRangeIsNotAPhantom) {
+  // Regression: the delete leaves the underlying record present (and, at
+  // validation, locked by this very transaction); the re-walk must treat it
+  // as own pending work, not as a committed phantom.
+  auto db = MakeOrderedDb();
+  Rng rng(1);
+  TidGenerator gen(0);
+  std::atomic<uint64_t> epoch{1};
+  SiloContext t1(db.get(), &rng, 0);
+  t1.Delete(0, 0, 30);
+  KeyCollector c;
+  ASSERT_TRUE(t1.Scan(0, 0, 0, 100, 0, KeyCollector::Visit, &c));
+  EXPECT_EQ(c.keys, (std::vector<uint64_t>{10, 20, 40, 50}));
+  EXPECT_EQ(SiloOccCommit(t1, gen, epoch).status, TxnStatus::kCommitted)
+      << "delete-then-scan of the same range must commit";
+  int64_t out;
+  EXPECT_FALSE(SiloContext(db.get(), &rng, 0).Read(0, 0, 30, &out));
+}
+
+TEST(ScanTxn, ConcurrentDeleteOfScannedRecordAbortsTheScanner) {
+  auto db = MakeOrderedDb();
+  Rng rng(1);
+  TidGenerator gen(0);
+  std::atomic<uint64_t> epoch{1};
+  SiloContext t1(db.get(), &rng, 0);
+  KeyCollector c;
+  ASSERT_TRUE(t1.Scan(0, 0, 0, 100, 0, KeyCollector::Visit, &c));
+  int64_t v = 1;
+  t1.Write(0, 0, 10, &v);
+  {
+    SiloContext t2(db.get(), &rng, 1);
+    t2.Delete(0, 0, 30);
+    ASSERT_EQ(SiloOccCommit(t2, gen, epoch).status, TxnStatus::kCommitted);
+  }
+  EXPECT_EQ(SiloOccCommit(t1, gen, epoch).status, TxnStatus::kAbortConflict)
+      << "a scanned record vanishing before commit fails TID validation";
+}
+
+TEST(ScanTxn, DeleteReplicatesAsTombstoneAndOrdersByTid) {
+  auto db = MakeOrderedDb();
+  auto replica = MakeOrderedDb();
+  ReplicationCounters counters(2);
+  ReplicationApplier applier(replica.get(), &counters);
+
+  // Apply a delete with TID t9, then a stale value write with TID t5: the
+  // tombstone must win (Thomas write rule over deletes).
+  uint64_t t9 = Tid::Make(1, 9, 0);
+  uint64_t t5 = Tid::Make(1, 5, 0);
+  WriteBuffer batch;
+  SerializeDeleteEntry(batch, 0, 0, 30, t9);
+  int64_t stale = 4242;
+  SerializeValueEntry(batch, 0, 0, 30, t5,
+                      std::string_view(reinterpret_cast<char*>(&stale), 8));
+  applier.ApplyBatch(0, batch.data());
+
+  HashTable::Row row = replica->table(0, 0)->GetRow(30);
+  ASSERT_TRUE(row.valid());
+  uint64_t w = row.rec->LoadWord();
+  EXPECT_TRUE(Record::IsAbsent(w));
+  EXPECT_EQ(Record::TidOf(w), t9) << "stale value must not resurrect";
+  // And the ordered index skips it like any absent record.
+  Rng rng(1);
+  SiloContext ctx(replica.get(), &rng, 0);
+  KeyCollector c;
+  ASSERT_TRUE(ctx.Scan(0, 0, 0, 100, 0, KeyCollector::Visit, &c));
+  EXPECT_EQ(c.keys, (std::vector<uint64_t>{10, 20, 40, 50}));
+}
+
+// --- full-mix TPC-C transaction bodies against a populated partition ---
+
+class TpccFullMixTest : public ::testing::Test {
+ protected:
+  TpccFullMixTest() {
+    TpccOptions o;
+    o.districts_per_warehouse = 4;
+    o.customers_per_district = 60;
+    o.items = 200;
+    o.full_mix = true;
+    wl_ = std::make_unique<TpccWorkload>(o);
+    db_ = std::make_unique<Database>(wl_->Schemas(), 1, std::vector<int>{0},
+                                     false);
+    wl_->PopulatePartition(*db_, 0);
+  }
+
+  TxnStatus Run(const TxnRequest& req) {
+    SiloContext ctx(db_.get(), &rng_, 0);
+    TxnStatus st = req.proc(ctx);
+    if (st != TxnStatus::kCommitted) return st;
+    return SiloSerialCommit(ctx, gen_, epoch_).status;
+  }
+
+  std::unique_ptr<TpccWorkload> wl_;
+  std::unique_ptr<Database> db_;
+  Rng rng_{7};
+  TidGenerator gen_{0};
+  std::atomic<uint64_t> epoch_{1};
+};
+
+TEST_F(TpccFullMixTest, PopulationLoadsInitialOrders) {
+  int C = wl_->options().customers_per_district;
+  int D = wl_->options().districts_per_warehouse;
+  EXPECT_EQ(db_->table(TpccWorkload::kOrder, 0)->size(),
+            static_cast<size_t>(C * D));
+  EXPECT_EQ(db_->table(TpccWorkload::kOrderCustIndex, 0)->size(),
+            static_cast<size_t>(C * D));
+  // ~30% of each district's orders are undelivered.
+  size_t pending = db_->table(TpccWorkload::kNewOrder, 0)->size();
+  EXPECT_NEAR(static_cast<double>(pending), 0.3 * C * D, D + 1);
+}
+
+TEST_F(TpccFullMixTest, DeliveryDrainsOldestOrdersAndPaysCustomers) {
+  HashTable* no_table = db_->table(TpccWorkload::kNewOrder, 0);
+  auto pending = [&] {
+    // Count visible (non-tombstone) NEW-ORDER rows via the index.
+    size_t n = 0;
+    no_table->index()->Scan(0, ~0ull, [&](uint64_t, Record* rec) {
+      if (rec->IsPresent()) ++n;
+      return true;
+    });
+    return n;
+  };
+  size_t before = pending();
+  ASSERT_GT(before, 0u);
+  ASSERT_EQ(Run(wl_->MakeDelivery(rng_, 0)), TxnStatus::kCommitted);
+  size_t after = pending();
+  EXPECT_EQ(before - after,
+            static_cast<size_t>(wl_->options().districts_per_warehouse))
+      << "one order delivered per non-empty district";
+  // Drain everything; Delivery on an empty warehouse still commits.
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_EQ(Run(wl_->MakeDelivery(rng_, 0)), TxnStatus::kCommitted);
+  }
+  EXPECT_EQ(pending(), 0u);
+  ASSERT_EQ(Run(wl_->MakeDelivery(rng_, 0)), TxnStatus::kCommitted);
+}
+
+TEST_F(TpccFullMixTest, OrderStatusAndStockLevelAreReadOnlyAndCommit) {
+  uint64_t orders = db_->table(TpccWorkload::kOrder, 0)->size();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(Run(wl_->MakeOrderStatus(rng_, 0)), TxnStatus::kCommitted);
+    ASSERT_EQ(Run(wl_->MakeStockLevel(rng_, 0)), TxnStatus::kCommitted);
+  }
+  EXPECT_EQ(db_->table(TpccWorkload::kOrder, 0)->size(), orders)
+      << "read-only transactions must not create rows";
+}
+
+TEST_F(TpccFullMixTest, MixedRunKeepsOrderBookConsistent) {
+  int committed = 0;
+  for (int i = 0; i < 600; ++i) {
+    TxnStatus st = Run(wl_->MakeSinglePartition(rng_, 0, 1));
+    ASSERT_NE(st, TxnStatus::kAbortConflict)
+        << "serial execution cannot conflict";
+    committed += st == TxnStatus::kCommitted;
+  }
+  EXPECT_GT(committed, 550);
+  // Every NEW-ORDER row still pairs with an undelivered ORDER row, and the
+  // order-cust index never points at a missing order.
+  for (int d = 0; d < wl_->options().districts_per_warehouse; ++d) {
+    HashTable* orders = db_->table(TpccWorkload::kOrder, 0);
+    db_->table(TpccWorkload::kNewOrder, 0)
+        ->index()
+        ->Scan(TpccWorkload::OrderKey(d, 0), TpccWorkload::OrderKey(d + 1, 0) - 1,
+               [&](uint64_t key, Record* rec) {
+                 if (!rec->IsPresent()) return true;
+                 HashTable::Row row = orders->GetRow(key);
+                 EXPECT_TRUE(row.valid() && row.rec->IsPresent());
+                 OrderRow orow;
+                 row.ReadStable(&orow);
+                 EXPECT_EQ(orow.carrier_id, 0) << "pending ⇒ no carrier";
+                 return true;
+               });
+  }
+  // Generation counters cover all five classes.
+  EXPECT_GT(wl_->generated(TpccWorkload::kClassNewOrder), 0u);
+  EXPECT_GT(wl_->generated(TpccWorkload::kClassPayment), 0u);
+  EXPECT_GT(wl_->generated(TpccWorkload::kClassOrderStatus), 0u);
+  EXPECT_GT(wl_->generated(TpccWorkload::kClassDelivery), 0u);
+  EXPECT_GT(wl_->generated(TpccWorkload::kClassStockLevel), 0u);
+}
+
+}  // namespace
+}  // namespace star

@@ -246,5 +246,26 @@ TEST(LockTable, NoWaitSemantics) {
   EXPECT_TRUE(lt.AllFree());
 }
 
+TEST(LockTable, DistinctKeysNeverFalselyConflict) {
+  // Regression: the table used to hash locks onto bare slot words, so two
+  // of one transaction's keys could collide and NO_WAIT-abort the
+  // transaction against its own read lock on every retry (a permanent
+  // worker wedge under TPC-C's ~30-lock NewOrders).  With thousands of
+  // held locks a hashed table would collide with near certainty; the exact
+  // table must grant every one.
+  LockTable lt;
+  for (uint64_t k = 0; k < 3000; ++k) {
+    ASSERT_TRUE(lt.TryReadLock(7, k)) << "read key " << k;
+  }
+  for (uint64_t k = 0; k < 3000; ++k) {
+    ASSERT_TRUE(lt.TryWriteLock(8, 1'000'000 + k)) << "write key " << k;
+  }
+  for (uint64_t k = 0; k < 3000; ++k) {
+    lt.ReadUnlock(7, k);
+    lt.WriteUnlock(8, 1'000'000 + k);
+  }
+  EXPECT_TRUE(lt.AllFree());
+}
+
 }  // namespace
 }  // namespace star

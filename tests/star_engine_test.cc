@@ -199,6 +199,108 @@ TEST(StarEngine, TpccMoneyInvariantsHold) {
   }
 }
 
+TEST(StarEngine, AllCrossPartitionMixCommitsAndConverges) {
+  // P = 1: every transaction is cross-partition, so the controller must run
+  // a pure single-master schedule (tau_p = 0) without stalling — the
+  // regression mode for the tau bootstrap going non-positive.
+  YcsbWorkload wl(SmallYcsb());
+  StarOptions o = FastStar();
+  o.cross_fraction = 1.0;
+  StarEngine engine(o, wl);
+  Metrics m = RunFor(engine, 200, 1000);
+  EXPECT_GT(m.committed, 100u);
+  EXPECT_EQ(m.single_partition, 0u);
+  EXPECT_GT(m.cross_partition, 0u);
+  EXPECT_GT(engine.fence_count(), 5u) << "fences must keep cycling at P=1";
+  ExpectReplicasConverged(engine, o.cluster.nodes(),
+                          o.cluster.num_partitions());
+}
+
+TEST(StarEngine, NearOneCrossFractionStillRunsBothPhases) {
+  // P close to 1 must clamp the bootstrap so the partitioned phase keeps a
+  // min_phase_ms share instead of being starved from the first iteration.
+  YcsbWorkload wl(SmallYcsb());
+  StarOptions o = FastStar();
+  o.cross_fraction = 0.99;
+  StarEngine engine(o, wl);
+  Metrics m = RunFor(engine, 200, 1000);
+  EXPECT_GT(m.committed, 100u);
+  EXPECT_GE(engine.current_tau_p_ms(), o.min_phase_ms * 0.99);
+  EXPECT_GE(engine.current_tau_s_ms(), o.min_phase_ms * 0.99);
+}
+
+TEST(StarEngine, ResetStatsClearsLatencyAndFenceTimers) {
+  // Regression: ResetStats used to keep warm-up latency samples (and fence
+  // timer accumulations), polluting every measured window.
+  YcsbWorkload wl(SmallYcsb());
+  StarEngine engine(FastStar(), wl);
+  Metrics m = RunFor(engine, 200, 600);
+  ASSERT_GT(m.committed, 0u);
+  ASSERT_GT(m.latency.count(), 0u);
+  engine.ResetStats();
+  Metrics after = engine.Snapshot();
+  EXPECT_EQ(after.committed, 0u);
+  EXPECT_EQ(after.latency.count(), 0u)
+      << "Snapshot after ResetStats must not see old latency samples";
+  EXPECT_EQ(engine.fence_stop_ns(), 0u);
+  EXPECT_EQ(engine.fence_drain_ns(), 0u);
+  EXPECT_EQ(engine.fence_count(), 0u);
+}
+
+TEST(StarEngine, FullMixReplicasConvergeIndexVisible) {
+  // The full five-transaction TPC-C mix end-to-end: Delivery's scans +
+  // deletes and NewOrder's index-maintained inserts must leave every
+  // replica's ordered indexes returning identical visible sequences after
+  // the final fence.
+  TpccOptions topt;
+  topt.districts_per_warehouse = 4;
+  topt.customers_per_district = 60;
+  topt.items = 300;
+  topt.full_mix = true;
+  TpccWorkload wl(topt);
+  StarOptions o = FastStar();
+  StarEngine engine(o, wl);
+  Metrics m = RunFor(engine, 300, 1500);
+  ASSERT_GT(m.committed, 100u);
+  EXPECT_GT(wl.generated(TpccWorkload::kClassDelivery), 0u);
+  EXPECT_GT(wl.generated(TpccWorkload::kClassOrderStatus), 0u);
+  EXPECT_GT(wl.generated(TpccWorkload::kClassStockLevel), 0u);
+  ExpectReplicasConverged(engine, o.cluster.nodes(),
+                          o.cluster.num_partitions());
+
+  // Index-visible convergence: what a Scan returns — (key, tid) over
+  // visible records — matches on every replica of each partition, for every
+  // ordered table.
+  for (int p = 0; p < o.cluster.num_partitions(); ++p) {
+    for (int t : {static_cast<int>(TpccWorkload::kNewOrder),
+                  static_cast<int>(TpccWorkload::kOrderLine),
+                  static_cast<int>(TpccWorkload::kOrderCustIndex)}) {
+      std::vector<std::pair<uint64_t, uint64_t>> expect;
+      bool first = true;
+      for (int n = 0; n < o.cluster.nodes(); ++n) {
+        Database* db = engine.database(n);
+        if (!db->HasPartition(p)) continue;
+        HashTable* ht = db->table(t, p);
+        ASSERT_NE(ht->index(), nullptr);
+        std::vector<std::pair<uint64_t, uint64_t>> got;
+        ht->index()->Scan(0, ~0ull, [&](uint64_t key, Record* rec) {
+          uint64_t w = rec->LoadWord();
+          if (!Record::IsAbsent(w)) got.emplace_back(key, Record::TidOf(w));
+          return true;
+        });
+        if (first) {
+          expect = std::move(got);
+          first = false;
+        } else {
+          EXPECT_EQ(got, expect) << "index divergence: table " << t
+                                 << " partition " << p << " node " << n;
+        }
+      }
+      EXPECT_FALSE(first) << "partition stored nowhere?";
+    }
+  }
+}
+
 TEST(StarEngine, DurableLoggingRecoversCommittedState) {
   std::string dir = "/tmp/star_engine_test_logs";
   std::filesystem::remove_all(dir);
