@@ -181,14 +181,20 @@ inline void PrintRow(const std::string& system, double p_percent,
               system.c_str(), p_percent, m.Tps(), m.latency.p50() / 1e6,
               m.latency.p99() / 1e6, 100 * m.AbortRate(), m.BytesPerCommit());
   std::fflush(stdout);
-  JsonLog::Instance().Row({{"system", system},
-                           {"p_percent", JsonLog::Format(p_percent)},
-                           {"tps", JsonLog::Format(m.Tps())},
-                           {"p50_ms", JsonLog::Format(m.latency.p50() / 1e6)},
-                           {"p99_ms", JsonLog::Format(m.latency.p99() / 1e6)},
-                           {"abort_rate", JsonLog::Format(m.AbortRate())},
-                           {"bytes_per_commit",
-                            JsonLog::Format(m.BytesPerCommit())}});
+  JsonLog::Instance().Row(
+      {{"system", system},
+       {"p_percent", JsonLog::Format(p_percent)},
+       {"tps", JsonLog::Format(m.Tps())},
+       {"p50_ms", JsonLog::Format(m.latency.p50() / 1e6)},
+       {"p99_ms", JsonLog::Format(m.latency.p99() / 1e6)},
+       {"abort_rate", JsonLog::Format(m.AbortRate())},
+       {"bytes_per_commit", JsonLog::Format(m.BytesPerCommit())},
+       // Fail-stop drop accounting (always 0 outside failure experiments;
+       // nonzero values flag a sick transport in the perf trajectory).
+       {"dropped_msgs",
+        JsonLog::Format(static_cast<double>(m.network_dropped_messages))},
+       {"dropped_bytes",
+        JsonLog::Format(static_cast<double>(m.network_dropped_bytes))}});
 }
 
 }  // namespace star::bench

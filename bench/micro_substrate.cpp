@@ -77,8 +77,8 @@ std::unique_ptr<Database> MakeDb() {
 
 /// An ideal wire: the hot-path benches measure the send/apply code, not the
 /// simulated link.
-net::FabricOptions IdealNet() {
-  net::FabricOptions o;
+net::SimNetOptions IdealNet() {
+  net::SimNetOptions o;
   o.link_latency_us = 0;
   o.local_latency_us = 0;
   o.bandwidth_gbps = 0;  // unlimited
@@ -124,7 +124,7 @@ HotPathResult MeasureHotPath(uint64_t txns, bool allow_operations,
                              uint64_t seed, Commit&& commit) {
   auto db = MakeDb();
   auto replica = MakeDb();
-  net::Fabric fabric(2, IdealNet());
+  net::SimTransport fabric(2, IdealNet());
   net::Endpoint ep(&fabric, 0);  // never Start()ed: we drain inline
   ReplicationCounters counters(2);
   ReplicationStream stream(&ep, &counters, 2);
@@ -204,7 +204,7 @@ HotPathResult BenchSingleMasterPhase(uint64_t txns) {
 HotPathResult BenchSyncReplicationPath(uint64_t txns) {
   auto db = MakeDb();
   auto replica = MakeDb();
-  net::Fabric fabric(2, IdealNet());
+  net::SimTransport fabric(2, IdealNet());
   net::Endpoint ep(&fabric, 0);  // never Start()ed: we drain inline
   ReplicationCounters counters(2);
   ReplicationApplier applier(replica.get(), &counters);

@@ -4,9 +4,14 @@
 // then rejoin the node, which re-fetches its partitions from healthy
 // replicas while the cluster keeps running.
 //
-//   ./build/examples/fault_tolerance
+//   ./build/example_fault_tolerance [--transport=sim|tcp]
+//
+// --transport=tcp runs the identical scenario over real loopback sockets
+// (failure injection cuts the node's connections; rejoin reconnects and
+// refetches snapshots over the wire).
 
 #include <cstdio>
+#include <cstring>
 #include <thread>
 
 #include "core/engine.h"
@@ -14,7 +19,14 @@
 
 using namespace std::chrono_literals;
 
-int main() {
+int main(int argc, char** argv) {
+  star::net::TransportKind transport = star::net::TransportKind::kSim;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--transport=tcp") == 0) {
+      transport = star::net::TransportKind::kTcp;
+    }
+  }
+
   star::YcsbOptions yopt;
   yopt.rows_per_partition = 5'000;
   star::YcsbWorkload workload(yopt);
@@ -26,10 +38,12 @@ int main() {
   options.cross_fraction = 0.1;
   options.two_version = true;        // enables epoch revert on failure
   options.fence_timeout_ms = 300;    // snappy failure detection for the demo
+  options.transport = transport;     // tcp: ephemeral loopback ports
 
   star::StarEngine engine(options, workload);
   engine.Start();
-  std::printf("cluster up: 1 full replica + 3 partial replicas\n");
+  std::printf("cluster up: 1 full replica + 3 partial replicas (%s)\n",
+              star::net::TransportKindName(transport));
   std::this_thread::sleep_for(500ms);
 
   auto snapshot = [&](const char* label) {

@@ -3,18 +3,59 @@
 // transaction mix, and the replication-bandwidth saving from shipping
 // operations instead of values in the partitioned phase.
 //
-//   ./build/examples/tpcc_cluster [cross_fraction=0.1] [seconds=3]
+//   ./build/example_tpcc_cluster [cross_fraction=0.1] [seconds=3]
+//       [--transport=sim|tcp] [--multiprocess]
+//
+// --transport=tcp runs the same single-process cluster over real loopback
+// sockets instead of the simulated fabric (useful for eyeballing what the
+// latency/bandwidth model adds).  --multiprocess deploys the full cluster
+// as separate OS processes over localhost TCP (one per node plus the
+// coordinator) and verifies replica convergence at shutdown — the paper's
+// actual deployment shape (Section 7.1).
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <thread>
 
 #include "core/engine.h"
+#include "driver/cluster_driver.h"
 #include "workload/tpcc.h"
 
 int main(int argc, char** argv) {
-  double cross = argc > 1 ? std::atof(argv[1]) : 0.1;
-  int seconds = argc > 2 ? std::atoi(argv[2]) : 3;
+  double cross = 0.1;
+  int seconds = 3;
+  star::net::TransportKind transport = star::net::TransportKind::kSim;
+  bool multiprocess = false;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--transport=tcp") == 0) {
+      transport = star::net::TransportKind::kTcp;
+    } else if (std::strcmp(argv[i], "--transport=sim") == 0) {
+      transport = star::net::TransportKind::kSim;
+    } else if (std::strcmp(argv[i], "--multiprocess") == 0) {
+      multiprocess = true;
+    } else if (positional == 0) {
+      cross = std::atof(argv[i]);
+      ++positional;
+    } else {
+      seconds = std::atoi(argv[i]);
+      ++positional;
+    }
+  }
+
+  if (multiprocess) {
+    star::driver::ClusterRunSpec spec;
+    spec.base.cluster.full_replicas = 1;
+    spec.base.cluster.partial_replicas = 3;
+    spec.base.cluster.workers_per_node = 2;
+    spec.base.cross_fraction = cross;
+    spec.base.two_version = true;
+    spec.base.fence_timeout_ms = 1500;
+    spec.workload = "tpcc";
+    spec.seconds = seconds;
+    return star::driver::LaunchCluster(spec);
+  }
 
   star::TpccOptions topt;
   topt.customers_per_district = 300;
@@ -28,6 +69,7 @@ int main(int argc, char** argv) {
     options.cluster.workers_per_node = 2;
     options.cross_fraction = cross;
     options.replication = mode;
+    options.transport = transport;  // tcp: ephemeral loopback ports
     star::StarEngine engine(options, workload);
     engine.Start();
     std::this_thread::sleep_for(std::chrono::milliseconds(400));
@@ -42,8 +84,8 @@ int main(int argc, char** argv) {
     return m.BytesPerCommit();
   };
 
-  std::printf("TPC-C (NewOrder+Payment), 4-node STAR, P=%.0f%%\n\n",
-              cross * 100);
+  std::printf("TPC-C (NewOrder+Payment), 4-node STAR, P=%.0f%%, %s transport\n\n",
+              cross * 100, star::net::TransportKindName(transport));
   double value_bytes = run(star::ReplicationMode::kValue, "value rep");
   double hybrid_bytes = run(star::ReplicationMode::kHybrid, "hybrid rep");
   std::printf("\nhybrid replication ships %.1fx fewer bytes per transaction "

@@ -156,7 +156,7 @@ CalvinEngine::CalvinEngine(const CalvinOptions& options,
       copts_(options) {
   assert(copts_.lock_managers >= 1 &&
          copts_.lock_managers < options_.workers_per_node);
-  sequencer_ = std::make_unique<net::Endpoint>(fabric_.get(), num_nodes_, 1);
+  sequencer_ = std::make_unique<net::Endpoint>(transport_.get(), num_nodes_, 1);
   sequencer_->RegisterHandler(
       net::MsgType::kCalvinBatchAck, [this](net::Message&& m) {
         uint64_t batch = ReadBuffer(m.payload).Read<uint64_t>();

@@ -1,5 +1,8 @@
 #include "baselines/cluster_engine.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace star {
 
 ClusterEngine::ClusterEngine(const BaselineOptions& options,
@@ -11,11 +14,14 @@ ClusterEngine::ClusterEngine(const BaselineOptions& options,
       num_partitions_(options.num_partitions()),
       placement_(std::move(placement)),
       epoch_mgr_(options.epoch_ms) {
-  net::FabricOptions fopts;
-  fopts.link_latency_us = options_.link_latency_us;
-  fopts.local_latency_us = options_.local_latency_us;
-  fopts.bandwidth_gbps = options_.bandwidth_gbps;
-  fabric_ = std::make_unique<net::Fabric>(num_nodes_ + extra_endpoints, fopts);
+  net::TransportConfig tc;
+  tc.kind = options_.transport;
+  tc.sim.link_latency_us = options_.link_latency_us;
+  tc.sim.local_latency_us = options_.local_latency_us;
+  tc.sim.bandwidth_gbps = options_.bandwidth_gbps;
+  tc.tcp.host = options_.tcp_host;
+  tc.tcp.base_port = options_.tcp_base_port;
+  transport_ = net::MakeTransport(num_nodes_ + extra_endpoints, tc);
 
   auto schemas = workload_.Schemas();
   for (int i = 0; i < num_nodes_; ++i) {
@@ -25,7 +31,7 @@ ClusterEngine::ClusterEngine(const BaselineOptions& options,
                                           placement_.StoredPartitions(i),
                                           /*two_version=*/false);
     node->endpoint = std::make_unique<net::Endpoint>(
-        fabric_.get(), i, options_.io_threads_per_node);
+        transport_.get(), i, options_.io_threads_per_node);
     node->counters = std::make_unique<ReplicationCounters>(num_nodes_);
     node->applier = std::make_unique<ReplicationApplier>(node->db.get(),
                                                          node->counters.get());
@@ -58,6 +64,10 @@ ClusterEngine::~ClusterEngine() {
 }
 
 void ClusterEngine::Start() {
+  if (!transport_->Start()) {
+    std::fprintf(stderr, "[star] transport failed to start (port taken?)\n");
+    std::abort();
+  }
   for (auto& node : nodes_) {
     for (int p = 0; p < num_partitions_; ++p) {
       if (node->db->HasPartition(p)) workload_.PopulatePartition(*node->db, p);
@@ -155,8 +165,12 @@ Metrics ClusterEngine::Snapshot() const {
     }
   }
   m.seconds = (NowNanos() - measure_start_ns_) / 1e9;
-  m.network_bytes = fabric_->total_bytes() - fabric_bytes_at_reset_;
-  m.network_messages = fabric_->total_messages() - fabric_msgs_at_reset_;
+  m.network_bytes = transport_->total_bytes() - net_bytes_at_reset_;
+  m.network_messages = transport_->total_messages() - net_msgs_at_reset_;
+  m.network_dropped_bytes =
+      transport_->dropped_bytes() - net_dropped_bytes_at_reset_;
+  m.network_dropped_messages =
+      transport_->dropped_messages() - net_dropped_msgs_at_reset_;
   return m;
 }
 
@@ -171,8 +185,10 @@ void ClusterEngine::ResetStats() {
       if (!live) w->stats.MaybeResetLatency();
     }
   }
-  fabric_bytes_at_reset_ = fabric_->total_bytes();
-  fabric_msgs_at_reset_ = fabric_->total_messages();
+  net_bytes_at_reset_ = transport_->total_bytes();
+  net_msgs_at_reset_ = transport_->total_messages();
+  net_dropped_bytes_at_reset_ = transport_->dropped_bytes();
+  net_dropped_msgs_at_reset_ = transport_->dropped_messages();
   measure_start_ns_ = NowNanos();
 }
 
@@ -189,6 +205,7 @@ Metrics ClusterEngine::Stop() {
   }
   epoch_mgr_.StopTimer();
   for (auto& node : nodes_) node->endpoint->Stop();
+  transport_->Stop();
   Metrics m = Snapshot();
   m.seconds = seconds;
   return m;

@@ -14,13 +14,13 @@
 #include "common/config.h"
 #include "common/stats.h"
 #include "net/endpoint.h"
-#include "net/fabric.h"
+#include "net/transport.h"
 #include "replication/applier.h"
 #include "replication/stream.h"
 
 namespace star {
 
-/// Shared chassis for the baseline engines: a fabric, one database replica
+/// Shared chassis for the baseline engines: a transport, one database replica
 /// per node (per a Placement), endpoints with a replication applier, an
 /// epoch timer for group commit, and worker threads.  Subclasses implement
 /// RunOne() (one transaction attempt cycle) and may register extra message
@@ -40,7 +40,7 @@ class ClusterEngine {
   void ResetStats();
 
   Database* database(int node) { return nodes_[node]->db.get(); }
-  net::Fabric* fabric() { return fabric_.get(); }
+  net::Transport* transport() { return transport_.get(); }
   const Placement& placement() const { return placement_; }
   uint64_t epoch() const { return epoch_mgr_.Current(); }
 
@@ -126,13 +126,15 @@ class ClusterEngine {
   Placement placement_;
   EpochManager epoch_mgr_;
 
-  std::unique_ptr<net::Fabric> fabric_;
+  std::unique_ptr<net::Transport> transport_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::atomic<bool> running_{false};
 
   uint64_t measure_start_ns_ = 0;
-  uint64_t fabric_bytes_at_reset_ = 0;
-  uint64_t fabric_msgs_at_reset_ = 0;
+  uint64_t net_bytes_at_reset_ = 0;
+  uint64_t net_msgs_at_reset_ = 0;
+  uint64_t net_dropped_bytes_at_reset_ = 0;
+  uint64_t net_dropped_msgs_at_reset_ = 0;
 };
 
 }  // namespace star

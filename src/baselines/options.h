@@ -2,6 +2,9 @@
 #define STAR_BASELINES_OPTIONS_H_
 
 #include <cstdint>
+#include <string>
+
+#include "net/transport.h"
 
 namespace star {
 
@@ -28,7 +31,12 @@ struct BaselineOptions {
   /// Fraction of generated transactions that are cross-partition.
   double cross_fraction = 0.1;
 
-  // Fabric parameters (same defaults as STAR's cluster).
+  // Transport parameters (same defaults as STAR's cluster).  kSim keeps
+  // the simulated latency/bandwidth model; kTcp runs the baseline over
+  // real loopback sockets (single-process).
+  net::TransportKind transport = net::TransportKind::kSim;
+  std::string tcp_host = "127.0.0.1";
+  int tcp_base_port = 0;  // 0 = ephemeral ports
   double link_latency_us = 50.0;
   double local_latency_us = 0.0;
   double bandwidth_gbps = 4.8;

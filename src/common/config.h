@@ -14,9 +14,13 @@ enum class ReplicationMode : uint8_t {
 };
 
 /// Cluster-wide configuration shared by STAR and the baseline engines.
-/// The simulated fabric (src/net) stands in for the paper's EC2 cluster;
-/// latency/bandwidth defaults approximate the m5.4xlarge testbed (Section
-/// 7.1): ~100 microsecond round trips and a 4.8 Gbit/s per-node network.
+/// The default message substrate is the simulated fabric (src/net/fabric.h)
+/// standing in for the paper's EC2 cluster; latency/bandwidth defaults
+/// approximate the m5.4xlarge testbed (Section 7.1): ~100 microsecond round
+/// trips and a 4.8 Gbit/s per-node network.  Engines can instead run over
+/// real TCP sockets — substrate selection lives in StarOptions /
+/// BaselineOptions (net::TransportKind); the fields below parameterise the
+/// sim.
 struct ClusterConfig {
   int full_replicas = 1;     // f: nodes holding a complete copy (Figure 2)
   int partial_replicas = 3;  // k: nodes holding a partition subset

@@ -2,6 +2,7 @@
 #define STAR_COMMON_HISTOGRAM_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <vector>
@@ -14,59 +15,98 @@ namespace star {
 /// relative error, which is plenty for the p50/p99 columns of Figure 12.
 ///
 /// Recording is single-writer (each worker owns one); Merge combines worker
-/// histograms at the end of a measurement window.
+/// histograms at the end of a measurement window.  Cells are relaxed
+/// atomics so a live Snapshot() may Merge a histogram that its worker is
+/// still recording into: the result is approximate (documented behaviour)
+/// but well-defined — plain loads/stores on every relevant target, zero
+/// cost over the non-atomic version.
 class Histogram {
  public:
   static constexpr int kSubBuckets = 128;  // per power of two
   static constexpr int kDecades = 36;      // covers up to ~2^36 ns (~68 s)
 
-  Histogram() : buckets_(kSubBuckets * kDecades, 0) {}
+  Histogram() : buckets_(kSubBuckets * kDecades) {}
+  Histogram(const Histogram& other) : buckets_(kSubBuckets * kDecades) {
+    CopyFrom(other);
+  }
+  Histogram& operator=(const Histogram& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
 
   void Record(uint64_t value_ns) {
-    ++count_;
-    sum_ += value_ns;
-    max_ = std::max(max_, value_ns);
-    buckets_[Index(value_ns)]++;
+    // Single-writer: load+store beats an atomic RMW.
+    Bump(count_, 1);
+    Bump(sum_, value_ns);
+    uint64_t m = max_.load(std::memory_order_relaxed);
+    if (value_ns > m) max_.store(value_ns, std::memory_order_relaxed);
+    Bump(buckets_[Index(value_ns)], 1);
   }
 
   void Merge(const Histogram& other) {
-    count_ += other.count_;
-    sum_ += other.sum_;
-    max_ = std::max(max_, other.max_);
+    Bump(count_, other.count_.load(std::memory_order_relaxed));
+    Bump(sum_, other.sum_.load(std::memory_order_relaxed));
+    uint64_t om = other.max_.load(std::memory_order_relaxed);
+    if (om > max_.load(std::memory_order_relaxed)) {
+      max_.store(om, std::memory_order_relaxed);
+    }
     for (size_t i = 0; i < buckets_.size(); ++i) {
-      buckets_[i] += other.buckets_[i];
+      Bump(buckets_[i], other.buckets_[i].load(std::memory_order_relaxed));
     }
   }
 
   /// Value (ns) at quantile q in [0, 1].  Returns 0 for an empty histogram.
   uint64_t Quantile(double q) const {
-    if (count_ == 0) return 0;
-    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_));
-    if (rank >= count_) rank = count_ - 1;
+    uint64_t count = count_.load(std::memory_order_relaxed);
+    if (count == 0) return 0;
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+    if (rank >= count) rank = count - 1;
     uint64_t seen = 0;
     for (size_t i = 0; i < buckets_.size(); ++i) {
-      seen += buckets_[i];
+      seen += buckets_[i].load(std::memory_order_relaxed);
       if (seen > rank) return UpperBound(i);
     }
-    return max_;
+    return max_.load(std::memory_order_relaxed);
   }
 
   uint64_t p50() const { return Quantile(0.50); }
   uint64_t p99() const { return Quantile(0.99); }
-  uint64_t max() const { return max_; }
-  uint64_t count() const { return count_; }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double MeanNs() const {
-    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+    uint64_t count = count_.load(std::memory_order_relaxed);
+    return count == 0
+               ? 0.0
+               : static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+                     count;
   }
 
   void Reset() {
-    count_ = 0;
-    sum_ = 0;
-    max_ = 0;
-    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   }
 
  private:
+  static void Bump(std::atomic<uint64_t>& cell, uint64_t by) {
+    cell.store(cell.load(std::memory_order_relaxed) + by,
+               std::memory_order_relaxed);
+  }
+
+  void CopyFrom(const Histogram& other) {
+    count_.store(other.count_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    sum_.store(other.sum_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    max_.store(other.max_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i].store(other.buckets_[i].load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    }
+  }
+
   static size_t Index(uint64_t v) {
     if (v < kSubBuckets) return static_cast<size_t>(v);
     int msb = 63 - __builtin_clzll(v);
@@ -84,10 +124,10 @@ class Histogram {
            << (decade - 1);
   }
 
-  std::vector<uint64_t> buckets_;
-  uint64_t count_ = 0;
-  uint64_t sum_ = 0;
-  uint64_t max_ = 0;
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
 };
 
 }  // namespace star

@@ -54,6 +54,11 @@ struct Metrics {
   double seconds = 0;
   uint64_t network_bytes = 0;
   uint64_t network_messages = 0;
+  /// Fail-stop drop accounting surfaced from the transport: messages the
+  /// substrate refused (down peer, dead link, over-cap backlog).  Nonzero
+  /// values outside failure experiments indicate a sick cluster.
+  uint64_t network_dropped_bytes = 0;
+  uint64_t network_dropped_messages = 0;
   Histogram latency;
 
   double Tps() const { return seconds > 0 ? committed / seconds : 0.0; }

@@ -1,10 +1,15 @@
 #include "core/engine.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
+#include <map>
+
+#include "storage/checksum.h"
 
 namespace star {
 
@@ -27,6 +32,20 @@ std::string EncodeExpected(const std::vector<uint64_t>& expected) {
   return b.Release();
 }
 
+/// The generation-numbered view broadcast: every process installs the same
+/// health/mastership state, so multi-process deployments never rely on
+/// shared memory.
+std::string EncodeView(uint64_t gen, uint64_t revert_epoch, int master,
+                       const std::vector<uint8_t>& status) {
+  WriteBuffer b;
+  b.Write<uint64_t>(gen);
+  b.Write<uint64_t>(revert_epoch);
+  b.Write<int32_t>(master);
+  b.Write<uint32_t>(static_cast<uint32_t>(status.size()));
+  for (uint8_t s : status) b.Write<uint8_t>(s);
+  return b.Release();
+}
+
 }  // namespace
 
 StarEngine::StarEngine(const StarOptions& options, const Workload& workload)
@@ -38,15 +57,69 @@ StarEngine::StarEngine(const StarOptions& options, const Workload& workload)
                                  options.cluster.partial_replicas,
                                  num_partitions_)),
       node_healthy_(num_nodes_) {
-  net::FabricOptions fopts;
-  fopts.link_latency_us = options_.cluster.link_latency_us;
-  fopts.local_latency_us = options_.cluster.local_latency_us;
-  fopts.bandwidth_gbps = options_.cluster.bandwidth_gbps;
+  // Hosting scope: by default one process hosts the whole cluster; in
+  // multi-process mode only the listed nodes (and maybe the coordinator).
+  coordinator_here_ = !options_.multiprocess || options_.hosted_coordinator;
+  std::vector<bool> hosted(num_nodes_, !options_.multiprocess);
+  if (options_.multiprocess) {
+    assert(options_.transport == net::TransportKind::kTcp &&
+           "multi-process deployment requires the TCP transport");
+    for (int i : options_.hosted_nodes) {
+      if (i >= 0 && i < num_nodes_) hosted[i] = true;
+    }
+  }
+
+  net::TransportConfig tc;
+  tc.kind = options_.transport;
+  tc.sim.link_latency_us = options_.cluster.link_latency_us;
+  tc.sim.local_latency_us = options_.cluster.local_latency_us;
+  tc.sim.bandwidth_gbps = options_.cluster.bandwidth_gbps;
+  tc.tcp.host = options_.tcp_host;
+  tc.tcp.base_port = options_.tcp_base_port;
+  if (options_.multiprocess) {
+    for (int i = 0; i < num_nodes_; ++i) {
+      if (hosted[i]) tc.tcp.local_endpoints.push_back(i);
+    }
+    if (coordinator_here_) tc.tcp.local_endpoints.push_back(num_nodes_);
+  }
   // +1 endpoint: the stand-alone phase-switching coordinator (Section 4.3).
   // It needs an io thread of its own to receive fence responses.
-  fabric_ = std::make_unique<net::Fabric>(num_nodes_ + 1, fopts);
-  coordinator_ = std::make_unique<net::Endpoint>(fabric_.get(), num_nodes_,
-                                                 /*io_threads=*/1);
+  transport_ = net::MakeTransport(num_nodes_ + 1, tc);
+  if (coordinator_here_) {
+    coordinator_ = std::make_unique<net::Endpoint>(transport_.get(),
+                                                   num_nodes_,
+                                                   /*io_threads=*/1);
+    // Restarted node processes announce themselves here.  A request is
+    // itself proof the node's process restarted — under fail-stop the old
+    // incarnation cannot speak — so it is queued even when the crash has
+    // not been detected by a fence timeout yet (PerformRejoin runs the
+    // failure handling first in that case).  The ack is only sent once the
+    // rejoin has been granted; until then the requester keeps retrying.
+    coordinator_->RegisterHandler(
+        net::MsgType::kRejoinRequest, [this](net::Message&& m) {
+          ReadBuffer in(m.payload);
+          int32_t id = in.Read<int32_t>();
+          uint64_t nonce = in.Read<uint64_t>();
+          if (id < 0 || id >= num_nodes_ || nonce == 0) return;
+          if (std::getenv("STAR_DEBUG_FAILURES") != nullptr) {
+            std::fprintf(stderr,
+                         "[star] %.3f kRejoinRequest id=%d nonce=%llu "
+                         "granted=%llu\n",
+                         NowNanos() / 1e9, id, (unsigned long long)nonce,
+                         (unsigned long long)granted_nonce_[id].load());
+          }
+          if (granted_nonce_[id].load(std::memory_order_acquire) == nonce) {
+            coordinator_->Respond(m, net::MsgType::kRejoinRequest, "");
+          } else {
+            std::lock_guard<std::mutex> g(rejoin_mu_);
+            bool pending = false;
+            for (auto& [r, n] : rejoin_requests_) {
+              pending |= (r == id && n == nonce);
+            }
+            if (!pending) rejoin_requests_.emplace_back(id, nonce);
+          }
+        });
+  }
 
   bool durable = options_.durable_logging;
   if (durable) {
@@ -59,13 +132,17 @@ StarEngine::StarEngine(const StarOptions& options, const Workload& workload)
 
   for (int i = 0; i < num_nodes_; ++i) {
     node_healthy_[i].store(true, std::memory_order_relaxed);
+    if (!hosted[i]) {
+      nodes_.push_back(nullptr);
+      continue;
+    }
     auto node = std::make_unique<Node>();
     node->id = i;
     node->db = std::make_unique<Database>(schemas, num_partitions_,
                                           placement_.StoredPartitions(i),
                                           options_.two_version);
     node->endpoint =
-        std::make_unique<net::Endpoint>(fabric_.get(), i, io_threads);
+        std::make_unique<net::Endpoint>(transport_.get(), i, io_threads);
     node->counters = std::make_unique<ReplicationCounters>(num_nodes_);
     node->applier = std::make_unique<ReplicationApplier>(node->db.get(),
                                                          node->counters.get());
@@ -139,11 +216,19 @@ StarEngine::StarEngine(const StarOptions& options, const Workload& workload)
           n->endpoint->Respond(m, net::MsgType::kSnapshotResponse,
                                out.Release());
         });
+    // Liveness probe for the multi-process startup barrier.  Gated on
+    // admission like the fence messages: a fresh rejoin process must look
+    // dead until the coordinator re-admits it.
+    node->endpoint->RegisterHandler(
+        net::MsgType::kPing, [this, n](net::Message&& m) {
+          if (!admitted_.load(std::memory_order_acquire)) return;
+          n->endpoint->Respond(m, net::MsgType::kPong, "");
+        });
     // Control-plane messages are executed serially by the control thread.
     for (auto type :
          {net::MsgType::kPhaseStart, net::MsgType::kFenceStop,
           net::MsgType::kFenceExpect, net::MsgType::kViewChange,
-          net::MsgType::kRejoinFetch}) {
+          net::MsgType::kRejoinFetch, net::MsgType::kShutdown}) {
       node->endpoint->RegisterHandler(type, [n](net::Message&& m) {
         {
           std::lock_guard<std::mutex> g(n->mail_mu);
@@ -158,7 +243,18 @@ StarEngine::StarEngine(const StarOptions& options, const Workload& workload)
 
   replica_targets_.resize(num_partitions_);
   sm_targets_.resize(num_partitions_);
-  RecomputeAssignments();
+
+  // A rejoining process stays invisible to fences and pings until the
+  // coordinator's re-admission view arrives; everyone else is a member
+  // from the start.
+  admitted_.store(!options_.rejoining, std::memory_order_release);
+
+  // Initial view: everyone healthy, first full replica designated master.
+  granted_nonce_ = std::vector<std::atomic<uint64_t>>(num_nodes_);
+  for (auto& g : granted_nonce_) g.store(0, std::memory_order_relaxed);
+  node_status_.assign(num_nodes_, kNodeHealthy);
+  applied_status_.assign(num_nodes_, kNodeHealthy);
+  ApplyView(view_gen_, ComputeMaster(), node_status_);
 }
 
 StarEngine::~StarEngine() {
@@ -173,38 +269,79 @@ std::vector<int> StarEngine::HealthyNodes() const {
   return out;
 }
 
-void StarEngine::RecomputeAssignments() {
-  // Called while every worker is parked (construction, fences, view
-  // changes); rebuilds replication targets and per-worker partition lists.
+int StarEngine::ComputeMaster() const {
+  // Designated master for the single-master phase: the first fully healthy
+  // full replica (a rejoining one masters nothing until its fetch is done).
+  for (int i = 0; i < options_.cluster.full_replicas; ++i) {
+    if (node_status_[i] == kNodeHealthy) return i;
+  }
+  return master_node_.load(std::memory_order_relaxed);
+}
+
+bool StarEngine::ApplyView(uint64_t gen, int master,
+                           const std::vector<uint8_t>& status) {
+  std::lock_guard<std::mutex> g(view_mu_);
+  if (gen <= applied_view_gen_) return false;
+  applied_view_gen_ = gen;
+  master_node_.store(master, std::memory_order_relaxed);
+  for (int i = 0; i < num_nodes_; ++i) {
+    bool healthy = status[i] != kNodeDown;
+    node_healthy_[i].store(healthy, std::memory_order_release);
+    // Transport links follow *transitions* only: a node the view still
+    // believes healthy may have been cut manually by InjectFailure and must
+    // not be resurrected by an unrelated view change.
+    if (status[i] == kNodeDown && applied_status_[i] != kNodeDown) {
+      transport_->SetDown(i, true);
+    } else if (status[i] != kNodeDown && applied_status_[i] == kNodeDown) {
+      transport_->SetDown(i, false);
+    }
+    applied_status_[i] = status[i];
+  }
+  RebuildAssignmentsLocked(status);
+  return true;
+}
+
+void StarEngine::RebuildAssignmentsLocked(const std::vector<uint8_t>& status) {
+  // Deterministic function of (placement, status, master): every process
+  // computes the same assignment from the same broadcast, so mastership
+  // never depends on shared memory.  Callers hold view_mu_ and hosted
+  // workers are parked.
   int workers = options_.cluster.workers_per_node;
 
-  // Effective master of each partition: its placement master if healthy,
-  // otherwise the first healthy full replica (Case 3's "mastership of
-  // records on lost partitions [is] reassigned to the nodes with full
-  // replicas").
-  std::vector<int> eff_master(num_partitions_, -1);
+  // Effective master of each partition: its placement master if fully
+  // healthy, otherwise the first healthy full replica (Case 3's "mastership
+  // of records on lost partitions [is] reassigned to the nodes with full
+  // replicas"; a rejoining node's partitions park there too until its
+  // snapshot fetch completes).
   int full_fallback = -1;
   for (int i = 0; i < options_.cluster.full_replicas; ++i) {
-    if (node_healthy_[i].load(std::memory_order_acquire)) {
+    if (status[i] == kNodeHealthy) {
       full_fallback = i;
       break;
     }
   }
+  std::vector<int> eff_master(num_partitions_, -1);
   for (int p = 0; p < num_partitions_; ++p) {
     int m = placement_.master(p);
-    if (!node_healthy_[m].load(std::memory_order_acquire)) m = full_fallback;
+    if (status[m] != kNodeHealthy) m = full_fallback;
     eff_master[p] = m;
     replica_targets_[p].clear();
     for (int s : placement_.storing(p)) {
-      if (s != m && node_healthy_[s].load(std::memory_order_acquire)) {
+      if (s != m && status[s] != kNodeDown) {
         replica_targets_[p].push_back(s);
       }
     }
+    sm_targets_[p].clear();
+    int master = master_node_.load(std::memory_order_relaxed);
+    for (int s : placement_.storing(p)) {
+      if (s != master && status[s] != kNodeDown) {
+        sm_targets_[p].push_back(s);
+      }
+    }
   }
-  // Single-master-phase targets are filled below, once the designated
-  // master is known.
 
   for (auto& node : nodes_) {
+    if (node == nullptr) continue;
     for (auto& w : node->workers) w->partitions.clear();
     int next = 0;
     for (int p = 0; p < num_partitions_; ++p) {
@@ -213,17 +350,44 @@ void StarEngine::RecomputeAssignments() {
       ++next;
     }
   }
+}
 
-  // Designated master for the single-master phase: first healthy full
-  // replica.
-  if (full_fallback >= 0) master_node_ = full_fallback;
-  for (int p = 0; p < num_partitions_; ++p) {
-    sm_targets_[p].clear();
-    for (int s : placement_.storing(p)) {
-      if (s != master_node_ &&
-          node_healthy_[s].load(std::memory_order_acquire)) {
-        sm_targets_[p].push_back(s);
+void StarEngine::RevertLocal(uint64_t revert_epoch) {
+  for (auto& node : nodes_) {
+    if (node == nullptr) continue;
+    // Failed nodes are out of the view: they are never revert targets (the
+    // broadcast only reaches healthy nodes), and — when hosted — their
+    // parked workers may already be exiting through a concurrent Stop(),
+    // so their trackers must not be touched from this thread.
+    if (!node_healthy_[node->id].load(std::memory_order_acquire)) continue;
+    if (revert_epoch != 0) {
+      node->db->RevertEpoch(revert_epoch);
+      for (auto& w : node->workers) {
+        w->tracker.DropFrom(revert_epoch);
       }
+    }
+    node->counters->Reset();
+  }
+}
+
+void StarEngine::BroadcastView(uint64_t gen, uint64_t revert_epoch,
+                               int master) {
+  std::string payload = EncodeView(gen, revert_epoch, master, node_status_);
+  auto healthy = HealthyNodes();
+  std::vector<uint64_t> tokens;
+  for (int i : healthy) {
+    tokens.push_back(
+        coordinator_->CallAsync(i, net::MsgType::kViewChange, payload));
+  }
+  for (size_t k = 0; k < tokens.size(); ++k) {
+    uint64_t t0 = NowNanos();
+    bool ok = coordinator_->Wait(tokens[k], nullptr,
+                                 MillisToNanos(options_.fence_timeout_ms));
+    if (std::getenv("STAR_DEBUG_FAILURES") != nullptr) {
+      std::fprintf(stderr,
+                   "[star] %.3f view gen %llu ack node %d ok=%d %.0fms\n",
+                   NowNanos() / 1e9, (unsigned long long)gen, healthy[k],
+                   ok ? 1 : 0, (NowNanos() - t0) / 1e6);
     }
   }
 }
@@ -231,11 +395,23 @@ void StarEngine::RecomputeAssignments() {
 void StarEngine::Start() {
   assert(!running_.load(std::memory_order_acquire));
 
-  // Populate every replica of every partition deterministically.
-  for (auto& node : nodes_) {
-    for (int p = 0; p < num_partitions_; ++p) {
-      if (node->db->HasPartition(p)) {
-        workload_.PopulatePartition(*node->db, p);
+  if (!transport_->Start()) {
+    // A node that cannot listen must die loudly, not limp along silently
+    // (Release builds compile assert() out; the smoke tests run Release).
+    std::fprintf(stderr, "[star] transport failed to start (port taken?)\n");
+    std::abort();
+  }
+
+  // Populate every hosted replica of every partition deterministically.  A
+  // rejoining process starts empty on purpose: its state comes from the
+  // snapshot fetch plus live replication (Section 4.5.3, Case 1).
+  if (!options_.rejoining) {
+    for (auto& node : nodes_) {
+      if (node == nullptr) continue;
+      for (int p = 0; p < num_partitions_; ++p) {
+        if (node->db->HasPartition(p)) {
+          workload_.PopulatePartition(*node->db, p);
+        }
       }
     }
   }
@@ -246,6 +422,7 @@ void StarEngine::Start() {
   UpdateTaus();
 
   for (auto& node : nodes_) {
+    if (node == nullptr) continue;
     node->endpoint->Start();
     node->control_running.store(true, std::memory_order_release);
     node->control_thread = std::thread([this, n = node.get()] {
@@ -260,8 +437,10 @@ void StarEngine::Start() {
       node->checkpointer->StartPeriodic(options_.checkpoint_period_ms);
     }
   }
-  coordinator_->Start();  // no io threads; Call() polls via Wait on pending
-  coordinator_thread_ = std::thread([this] { CoordinatorLoop(); });
+  if (coordinator_here_) {
+    coordinator_->Start();
+    coordinator_thread_ = std::thread([this] { CoordinatorLoop(); });
+  }
 
   ResetStats();
 }
@@ -314,16 +493,21 @@ void StarEngine::UpdateTaus() {
 
 void StarEngine::StartPhaseOnNodes(Phase phase) {
   uint64_t epoch = epoch_.load(std::memory_order_acquire);
-  std::string payload = EncodePhaseStart(phase, epoch, master_node_);
+  std::string payload = EncodePhaseStart(
+      phase, epoch, master_node_.load(std::memory_order_relaxed));
   std::vector<std::pair<int, uint64_t>> tokens;
   for (int i : HealthyNodes()) {
     tokens.emplace_back(
         i, coordinator_->CallAsync(i, net::MsgType::kPhaseStart, payload));
   }
+  // The acks only pace the coordinator (per-link FIFO already guarantees a
+  // node sees the phase start before the following fence messages), so cap
+  // the wait: blocking a full fence timeout here would serialise with the
+  // fence's own timeout and double failure-detection latency.
+  uint64_t wait_ns = MillisToNanos(std::min(options_.fence_timeout_ms, 500.0));
   for (auto& [i, tok] : tokens) {
     (void)i;
-    coordinator_->Wait(tok, nullptr,
-                       MillisToNanos(options_.fence_timeout_ms));
+    coordinator_->Wait(tok, nullptr, wait_ns);
   }
 }
 
@@ -412,14 +596,31 @@ StarEngine::FenceOutcome StarEngine::Fence(Phase ended_phase,
 }
 
 void StarEngine::CoordinatorLoop() {
+  if (options_.multiprocess) {
+    // Startup barrier: node processes may still be binding/connecting.
+    // Ping each one until it answers, so the first fence is not a spurious
+    // failure detection; genuine stragglers fail the usual way afterwards.
+    uint64_t deadline = NowNanos() + MillisToNanos(options_.startup_barrier_ms);
+    for (int i = 0; i < num_nodes_; ++i) {
+      while (running_.load(std::memory_order_acquire) &&
+             NowNanos() < deadline) {
+        std::string resp;
+        if (coordinator_->Call(i, net::MsgType::kPing, "", &resp,
+                               MillisToNanos(250))) {
+          break;
+        }
+      }
+    }
+  }
+
   while (running_.load(std::memory_order_acquire)) {
     // Handle rejoin requests at iteration boundaries (all nodes parked).
-    std::vector<int> rejoin;
+    std::vector<std::pair<int, uint64_t>> rejoin;
     {
       std::lock_guard<std::mutex> g(rejoin_mu_);
       rejoin.swap(rejoin_requests_);
     }
-    for (int j : rejoin) PerformRejoin(j);
+    for (auto& [j, nonce] : rejoin) PerformRejoin(j, nonce);
 
     UpdateTaus();
 
@@ -458,23 +659,53 @@ void StarEngine::CoordinatorLoop() {
 
 void StarEngine::HandleFailures(const std::vector<int>& newly_failed) {
   if (std::getenv("STAR_DEBUG_FAILURES") != nullptr) {
-    std::fprintf(stderr, "[star] HandleFailures:");
+    std::fprintf(stderr, "[star] %.3f HandleFailures:", NowNanos() / 1e9);
     for (int f : newly_failed) std::fprintf(stderr, " %d", f);
     std::fprintf(stderr, "\n");
   }
   uint64_t reverted_epoch = epoch_.load(std::memory_order_acquire);
 
-  // 1. Update the view: io threads immediately start ignoring replication
-  //    from failed nodes; the fabric cuts their links (fail-stop), and the
-  //    crashed process stops executing (park its workers).
+  // 1. Update the authoritative view: io threads immediately start ignoring
+  //    replication from failed nodes, the transport cuts their links
+  //    (fail-stop), and — if a "crashed" node is hosted here (failure
+  //    injection) — its workers park.
   for (int f : newly_failed) {
-    node_healthy_[f].store(false, std::memory_order_release);
-    fabric_->SetDown(f, true);
-    Node& n = *nodes_[f];
-    uint64_t word = n.phase_word.load(std::memory_order_acquire);
-    n.phase_word.store(PackPhase(Phase::kStopped, SeqOf(word) + 1),
-                       std::memory_order_release);
+    node_status_[f] = kNodeDown;
+    granted_nonce_[f].store(0, std::memory_order_release);
+    if (nodes_[f] != nullptr) {
+      Node& n = *nodes_[f];
+      n.fenced.store(true, std::memory_order_release);
+      uint64_t word = n.phase_word.load(std::memory_order_acquire);
+      n.phase_word.store(PackPhase(Phase::kStopped, SeqOf(word) + 1),
+                         std::memory_order_release);
+    }
   }
+  // Healthy nodes' workers are provably parked (they answered the fence
+  // stop round).  Fenced-off hosted nodes park asynchronously — and that
+  // set is wider than `newly_failed`: a node cut by InjectFailure moments
+  // ago may not have been *detected* yet (it is neither in this failure
+  // batch nor did it answer the fence, its acks were dropped) while its
+  // workers are still draining their last transaction.  Wait for every
+  // hosted node carrying the fenced latch, so the assignment rebuild below
+  // cannot race any straggler.  The wait terminates: every worker code
+  // path re-checks the phase word within one transaction, a transaction's
+  // length is bounded (synchronous-replication waits carry timeouts), and
+  // the fenced latch keeps stale phase starts from un-parking anyone.
+  // Like the kFenceStop handler's own park loop, this must not give up
+  // early.
+  for (auto& node : nodes_) {
+    if (node == nullptr) continue;
+    if (!node->fenced.load(std::memory_order_acquire)) continue;
+    for (auto& w : node->workers) {
+      while (!w->parked_flag.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+  }
+  uint64_t gen = ++view_gen_;
+  int master = ComputeMaster();
+  ApplyView(gen, master, node_status_);
+
   // Give io threads a moment to finish in-flight batches from the failed
   // node (they belong to the epoch being reverted anyway).
   std::this_thread::sleep_for(std::chrono::milliseconds(2));
@@ -497,23 +728,11 @@ void StarEngine::HandleFailures(const std::vector<int>& newly_failed) {
     if (!covered) partial_complete = false;
   }
 
-  // 3. Revert the uncommitted epoch on every healthy node and resync the
-  //    replication accounting (Figure 6).
-  auto healthy = HealthyNodes();
-  WriteBuffer vb;
-  vb.Write<uint64_t>(reverted_epoch);
-  std::string payload = vb.Release();
-  std::vector<uint64_t> tokens;
-  for (int i : healthy) {
-    tokens.push_back(
-        coordinator_->CallAsync(i, net::MsgType::kViewChange, payload));
-  }
-  for (uint64_t t : tokens) {
-    coordinator_->Wait(t, nullptr, MillisToNanos(options_.fence_timeout_ms));
-  }
-
-  // 4. Re-master lost partitions / pick a new designated master.
-  RecomputeAssignments();
+  // 3. Revert the uncommitted epoch on every hosted node, then broadcast
+  //    the view + revert epoch so sibling processes do the same and resync
+  //    their replication accounting (Figure 6).
+  RevertLocal(reverted_epoch);
+  BroadcastView(gen, reverted_epoch, master);
 
   if (!full_ok) {
     state_.store(partial_complete ? SystemState::kFallbackDistributed
@@ -527,57 +746,60 @@ void StarEngine::HandleFailures(const std::vector<int>& newly_failed) {
   // is the paper's "runs transactions only on full replicas" mode.)
 }
 
-void StarEngine::PerformRejoin(int j) {
-  // Stage 1: re-admit the node as a storage target.  Its database restarts
-  // empty (crash lost memory); live replication resumes immediately, and a
+void StarEngine::PerformRejoin(int j, uint64_t nonce) {
+  if (granted_nonce_[j].load(std::memory_order_acquire) == nonce) {
+    return;  // stale duplicate from an incarnation already admitted
+  }
+  if (node_status_[j] == kNodeRejoining) return;  // already in progress
+  if (node_status_[j] == kNodeHealthy) {
+    // The rejoin request outran failure detection: the fresh incarnation
+    // came up before a fence timed out on the dead one (or the node
+    // restarted *again* during a rejoin).  The request itself is the crash
+    // notice — under fail-stop the admitted incarnation cannot have sent a
+    // nonce we have not granted — so run the failure path now instead of
+    // waiting for the timeout.
+    HandleFailures({j});
+    if (state_.load(std::memory_order_acquire) != SystemState::kRunning) {
+      return;
+    }
+  }
+  if (node_status_[j] != kNodeDown) return;
+
+  // Stage 1: re-admit the node as a storage target with no masterships.
+  // Its database restarts empty (crash lost memory — explicit reset when
+  // the node lives in this process, a genuinely fresh incarnation when it
+  // is a restarted process); live replication resumes immediately, and a
   // background fetch copies the partitions from healthy replicas (Case 1:
   // "it copies data from remote nodes ... In parallel, it processes updates
   // from the relevant currently healthy nodes using the Thomas write rule").
-  nodes_[j]->db->ResetStorage();
-  fabric_->SetDown(j, false);
-  node_healthy_[j].store(true, std::memory_order_release);
+  if (nodes_[j] != nullptr) {
+    // Quiesce the node's io threads across the storage swap: an ApplyBatch
+    // that started before the failure cut must not overlap (and must
+    // happen-before) the table teardown.
+    nodes_[j]->endpoint->Stop();
+    nodes_[j]->db->ResetStorage();
+    nodes_[j]->endpoint->Start();
+    nodes_[j]->fenced.store(false, std::memory_order_release);
+  }
+  node_status_[j] = kNodeRejoining;
+  uint64_t gen = ++view_gen_;
+  int master = ComputeMaster();
+  ApplyView(gen, master, node_status_);
+  // The node's counters are stale; reset the accounting everywhere while
+  // all workers are parked (nothing to revert; the broadcast's gen guard
+  // makes sibling processes do the same).
+  RevertLocal(0);
+  BroadcastView(gen, /*revert_epoch=*/0, master);
+  // From here on, retried kRejoinRequests from this incarnation are
+  // acknowledged (and recognised as duplicates by the rejoin queue).
+  granted_nonce_[j].store(nonce, std::memory_order_release);
 
-  // The node's counters are stale; reset everyone's accounting while all
-  // workers are parked.
-  auto healthy = HealthyNodes();
-  WriteBuffer vb;
-  vb.Write<uint64_t>(0);  // nothing to revert; counter resync only
-  std::string payload = vb.Release();
-  std::vector<uint64_t> tokens;
-  for (int i : healthy) {
-    tokens.push_back(
-        coordinator_->CallAsync(i, net::MsgType::kViewChange, payload));
+  if (std::getenv("STAR_DEBUG_FAILURES") != nullptr) {
+    std::fprintf(stderr,
+                 "[star] %.3f PerformRejoin(%d): stage 1 view gen %llu\n",
+                 NowNanos() / 1e9, j, static_cast<unsigned long long>(gen));
   }
-  for (uint64_t t : tokens) {
-    coordinator_->Wait(t, nullptr, MillisToNanos(options_.fence_timeout_ms));
-  }
-
-  // Stage 2: replication targets now include j again, but j masters nothing
-  // until the fetch completes.
-  std::vector<int> save_masters;  // partitions whose mastership returns to j
-  RecomputeAssignments();
-  // Temporarily strip j's masterships: reassign to the designated master.
-  for (auto& w : nodes_[j]->workers) {
-    for (int p : w->partitions) save_masters.push_back(p);
-    w->partitions.clear();
-  }
-  if (!save_masters.empty()) {
-    int workers = options_.cluster.workers_per_node;
-    Node* m = nodes_[master_node_].get();
-    int next = 0;
-    for (int p : save_masters) {
-      m->workers[(next++) % workers]->partitions.push_back(p);
-      replica_targets_[p].clear();
-      for (int s : placement_.storing(p)) {
-        if (s != master_node_ &&
-            node_healthy_[s].load(std::memory_order_acquire)) {
-          replica_targets_[p].push_back(s);
-        }
-      }
-    }
-  }
-
-  // Kick off the snapshot fetch on node j's control thread.
+  // Stage 2: kick off the snapshot fetch on node j's control thread.
   uint64_t tok = coordinator_->CallAsync(j, net::MsgType::kRejoinFetch, "");
 
   // Let the system run while the fetch proceeds; poll for completion.
@@ -602,9 +824,17 @@ void StarEngine::PerformRejoin(int j) {
       break;
     }
   }
+  if (std::getenv("STAR_DEBUG_FAILURES") != nullptr) {
+    std::fprintf(stderr, "[star] %.3f PerformRejoin(%d): fetch done=%d\n",
+                 NowNanos() / 1e9, j, done ? 1 : 0);
+  }
   if (done) {
-    // Stage 3: restore j's masterships.
-    RecomputeAssignments();
+    // Stage 3: fully healthy — restore j's masterships everywhere.
+    node_status_[j] = kNodeHealthy;
+    gen = ++view_gen_;
+    master = ComputeMaster();
+    ApplyView(gen, master, node_status_);
+    BroadcastView(gen, /*revert_epoch=*/0, master);
   }
 }
 
@@ -628,6 +858,7 @@ void StarEngine::ControlLoop(Node& node) {
     }
     switch (msg.type) {
       case net::MsgType::kFenceStop: {
+        if (!admitted_.load(std::memory_order_acquire)) break;
         // Enter the fence: park workers, then report statistics.
         node.parked.store(0, std::memory_order_release);
         node.phase_word.store(PackPhase(Phase::kFence, ++seq),
@@ -657,6 +888,7 @@ void StarEngine::ControlLoop(Node& node) {
         break;
       }
       case net::MsgType::kFenceExpect: {
+        if (!admitted_.load(std::memory_order_acquire)) break;
         ReadBuffer in(msg.payload);
         uint32_t n = in.Read<uint32_t>();
         std::vector<uint64_t> expected(n);
@@ -668,7 +900,7 @@ void StarEngine::ControlLoop(Node& node) {
           if (static_cast<int>(s) == node.id) continue;
           while (node.counters->applied_from(s) < expected[s] &&
                  NowNanos() < deadline &&
-                 !fabric_->IsDown(static_cast<int>(s))) {
+                 !transport_->IsDown(static_cast<int>(s))) {
             std::this_thread::yield();
           }
         }
@@ -682,10 +914,18 @@ void StarEngine::ControlLoop(Node& node) {
         break;
       }
       case net::MsgType::kPhaseStart: {
+        if (!admitted_.load(std::memory_order_acquire)) break;
+        if (node.fenced.load(std::memory_order_acquire)) {
+          // This node was written off while the phase start was in flight;
+          // unparking its workers now would race the coordinator's
+          // assignment rebuild.  Ack and stay parked.
+          node.endpoint->Respond(msg, net::MsgType::kPhaseStart, "");
+          break;
+        }
         ReadBuffer in(msg.payload);
         Phase phase = static_cast<Phase>(in.Read<uint8_t>());
         uint64_t epoch = in.Read<uint64_t>();
-        (void)in.Read<int32_t>();  // master id: engine-global in this build
+        (void)in.Read<int32_t>();  // master id: carried by view broadcasts
         node.epoch.store(epoch, std::memory_order_release);
         node.parked.store(0, std::memory_order_release);
         node.phase_word.store(PackPhase(phase, ++seq),
@@ -695,15 +935,56 @@ void StarEngine::ControlLoop(Node& node) {
       }
       case net::MsgType::kViewChange: {
         ReadBuffer in(msg.payload);
+        uint64_t gen = in.Read<uint64_t>();
         uint64_t revert_epoch = in.Read<uint64_t>();
-        if (revert_epoch != 0) {
-          node.db->RevertEpoch(revert_epoch);
-          for (auto& w : node.workers) {
-            w->tracker.DropFrom(revert_epoch);
-          }
+        int32_t master = in.Read<int32_t>();
+        uint32_t n = in.Read<uint32_t>();
+        if (n != static_cast<uint32_t>(num_nodes_) || master < 0 ||
+            master >= num_nodes_) {
+          // Malformed/truncated view (version skew, corrupt frame):
+          // applying it would index out of bounds.  Drop without acking so
+          // the sender retries or times out.
+          break;
         }
-        node.counters->Reset();
+        std::vector<uint8_t> status(n);
+        for (uint32_t i = 0; i < n; ++i) status[i] = in.Read<uint8_t>();
+        // The first control thread in this process installs the view (the
+        // coordinator's own process applied it before broadcasting, so its
+        // nodes just ack); the revert only runs where the view was new.
+        if (ApplyView(gen, master, status)) {
+          if (revert_epoch != 0) {
+            // Let io threads finish in-flight batches from failed nodes
+            // (they belong to the epoch being reverted anyway).
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          }
+          RevertLocal(revert_epoch);
+        }
+        // Receiving any view broadcast means the coordinator counts this
+        // node as a member (re-admission for a rejoining process).
+        admitted_.store(true, std::memory_order_release);
         node.endpoint->Respond(msg, net::MsgType::kViewChange, "");
+        break;
+      }
+      case net::MsgType::kShutdown: {
+        // Final round of the multi-process protocol: report this node's
+        // totals and per-partition checksums (workers are parked and the
+        // final fence drained all replication, so the store is quiescent).
+        uint64_t committed = 0, cross = 0;
+        for (auto& w : node.workers) {
+          committed += w->stats.committed.load(std::memory_order_relaxed);
+          cross += w->stats.cross_partition.load(std::memory_order_relaxed);
+        }
+        WriteBuffer b;
+        b.Write<uint64_t>(committed);
+        b.Write<uint64_t>(cross);
+        std::vector<int> parts = placement_.StoredPartitions(node.id);
+        b.Write<uint32_t>(static_cast<uint32_t>(parts.size()));
+        for (int p : parts) {
+          b.Write<int32_t>(p);
+          b.Write<uint64_t>(DatabasePartitionChecksum(*node.db, p));
+        }
+        node.endpoint->Respond(msg, net::MsgType::kShutdown, b.Release());
+        shutdown_seen_.fetch_add(1, std::memory_order_acq_rel);
         break;
       }
       case net::MsgType::kRejoinFetch: {
@@ -728,6 +1009,12 @@ void StarEngine::ControlLoop(Node& node) {
             std::string resp;
             if (!node.endpoint->Call(donor, net::MsgType::kSnapshotRequest,
                                      req.Release(), &resp)) {
+              if (std::getenv("STAR_DEBUG_FAILURES") != nullptr) {
+                std::fprintf(stderr,
+                             "[star] node %d: snapshot fetch t%d p%d from %d "
+                             "FAILED\n",
+                             node.id, t, p, donor);
+              }
               continue;
             }
             HashTable* ht = node.db->table(t, p);
@@ -782,6 +1069,7 @@ void StarEngine::WorkerLoop(Node& node, int worker_index) {
     }
 
     if (phase == Phase::kFence || phase == Phase::kStopped) {
+      w.parked_flag.store(true, std::memory_order_release);
       if (!parked_this_seq) {
         // Flush outbound replication and the local log, then park.  The
         // epoch marker certifies "all my writes up to this epoch are
@@ -804,6 +1092,8 @@ void StarEngine::WorkerLoop(Node& node, int worker_index) {
       continue;
     }
 
+    w.parked_flag.store(false, std::memory_order_relaxed);
+
     // Release transactions whose epoch has closed (group commit).
     w.tracker.Drain(node.epoch.load(std::memory_order_acquire), NowNanos(),
                     w.stats.latency);
@@ -816,7 +1106,7 @@ void StarEngine::WorkerLoop(Node& node, int worker_index) {
       int partition = w.partitions[w.rr++ % w.partitions.size()];
       RunPartitionedTxn(node, w, ctx, partition);
     } else {  // kSingleMaster
-      if (node.id != master_node_) {
+      if (node.id != master_node_.load(std::memory_order_relaxed)) {
         // Standby: io threads apply the master's replication stream.
         std::this_thread::sleep_for(std::chrono::microseconds(100));
         continue;
@@ -951,7 +1241,7 @@ bool StarEngine::SyncReplicate(Node& node, WorkerState& w, uint64_t tid,
     // early.  Over-counting toward a genuinely dead node is benign — failed
     // nodes are excluded from fences and counters reset on view changes.
     // (The one-way stream path in ReplicationStream::Flush does get exact
-    // drop information from the fabric and counts only accepted batches.)
+    // drop information from the transport and counts only accepted batches.)
     node.counters->AddSent(dst, counts[dst]);
     counts[dst] = 0;
     tokens.emplace_back(
@@ -981,24 +1271,110 @@ void StarEngine::LogCommitToWal(WorkerState& w, uint64_t tid,
 // ---------------------------------------------------------------------------
 
 void StarEngine::InjectFailure(int node) {
-  // Fail-stop: cut the node off the fabric; the coordinator notices at the
-  // next fence (Section 4.5.2's definition of a failed node).  The crashed
-  // process stops executing: park its workers.
-  fabric_->SetDown(node, true);
-  Node& n = *nodes_[node];
-  uint64_t word = n.phase_word.load(std::memory_order_acquire);
-  n.phase_word.store(PackPhase(Phase::kStopped, SeqOf(word) + 1),
-                     std::memory_order_release);
+  // Fail-stop: cut the node off the transport; the coordinator notices at
+  // the next fence (Section 4.5.2's definition of a failed node).  The
+  // crashed process stops executing: park its workers.  (In a multi-process
+  // deployment the real equivalent is killing the node's process.)
+  transport_->SetDown(node, true);
+  if (nodes_[node] != nullptr) {
+    Node& n = *nodes_[node];
+    n.fenced.store(true, std::memory_order_release);
+    uint64_t word = n.phase_word.load(std::memory_order_acquire);
+    n.phase_word.store(PackPhase(Phase::kStopped, SeqOf(word) + 1),
+                       std::memory_order_release);
+  }
 }
 
 void StarEngine::RequestRejoin(int node) {
+  // In-process re-admission of a previously failed node; uses a fixed
+  // incarnation nonce (the store restarts via ResetStorage, so there is
+  // only ever one in-process incarnation at a time).
   std::lock_guard<std::mutex> g(rejoin_mu_);
-  rejoin_requests_.push_back(node);
+  if (node_healthy_[node].load(std::memory_order_acquire)) return;
+  for (auto& [r, n] : rejoin_requests_) {
+    if (r == node) return;
+  }
+  rejoin_requests_.emplace_back(node, kInProcessNonce);
+}
+
+bool StarEngine::RequestRejoinFromCoordinator(double timeout_ms) {
+  Node* n = nullptr;
+  for (auto& node : nodes_) {
+    if (node != nullptr) {
+      n = node.get();
+      break;
+    }
+  }
+  if (n == nullptr) return false;
+  // Incarnation nonce: lets the coordinator tell a retried request from
+  // this process apart from a request by yet another restart.
+  uint64_t nonce =
+      (static_cast<uint64_t>(getpid()) << 32) ^ NowNanos() ^ 1;
+  if (nonce == 0) nonce = 1;
+  WriteBuffer b;
+  b.Write<int32_t>(n->id);
+  b.Write<uint64_t>(nonce);
+  std::string payload = b.Release();
+  uint64_t deadline = NowNanos() + MillisToNanos(timeout_ms);
+  while (running_.load(std::memory_order_acquire) && NowNanos() < deadline) {
+    std::string resp;
+    // The ack leg is dropped while this node is still marked down at the
+    // coordinator; keep retrying until the re-admission view opens the
+    // link and an ack arrives.
+    if (n->endpoint->Call(num_nodes_, net::MsgType::kRejoinRequest, payload,
+                          &resp, MillisToNanos(300))) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  return false;
+}
+
+bool StarEngine::WaitForShutdown(double timeout_ms) {
+  int want = 0;
+  for (auto& node : nodes_) {
+    if (node != nullptr) ++want;
+  }
+  uint64_t deadline = NowNanos() + MillisToNanos(timeout_ms);
+  while (NowNanos() < deadline) {
+    if (shutdown_seen_.load(std::memory_order_acquire) >= want) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return shutdown_seen_.load(std::memory_order_acquire) >= want;
+}
+
+void StarEngine::CollectClusterSummary() {
+  ClusterSummary s;
+  // checksum per partition, as first reported; replicas must match it.
+  std::map<int, uint64_t> first_sum;
+  bool converged = true;
+  for (int i : HealthyNodes()) {
+    std::string resp;
+    if (!coordinator_->Call(i, net::MsgType::kShutdown, "", &resp,
+                            MillisToNanos(options_.fence_timeout_ms))) {
+      continue;
+    }
+    ReadBuffer in(resp);
+    s.committed += in.Read<uint64_t>();
+    s.cross_partition += in.Read<uint64_t>();
+    uint32_t np = in.Read<uint32_t>();
+    for (uint32_t k = 0; k < np; ++k) {
+      int32_t p = in.Read<int32_t>();
+      uint64_t sum = in.Read<uint64_t>();
+      auto [it, inserted] = first_sum.emplace(p, sum);
+      if (!inserted && it->second != sum) converged = false;
+    }
+    ++s.nodes_reporting;
+  }
+  s.converged = converged && s.nodes_reporting > 0;
+  s.valid = true;
+  summary_ = s;
 }
 
 void StarEngine::ResetStats() {
   bool live = running_.load(std::memory_order_acquire);
   for (auto& node : nodes_) {
+    if (node == nullptr) continue;
     for (auto& w : node->workers) {
       // Also clears the latency histogram — without that, warm-up samples
       // pollute every measured window.  While running, the histogram reset
@@ -1012,14 +1388,17 @@ void StarEngine::ResetStats() {
   fence_ns_.store(0, std::memory_order_relaxed);
   fence_stop_ns_.store(0, std::memory_order_relaxed);
   fence_drain_ns_.store(0, std::memory_order_relaxed);
-  fabric_bytes_at_reset_ = fabric_->total_bytes();
-  fabric_msgs_at_reset_ = fabric_->total_messages();
+  net_bytes_at_reset_ = transport_->total_bytes();
+  net_msgs_at_reset_ = transport_->total_messages();
+  net_dropped_bytes_at_reset_ = transport_->dropped_bytes();
+  net_dropped_msgs_at_reset_ = transport_->dropped_messages();
   measure_start_ns_ = NowNanos();
 }
 
 Metrics StarEngine::Snapshot() const {
   Metrics m;
   for (const auto& node : nodes_) {
+    if (node == nullptr) continue;
     for (const auto& w : node->workers) {
       m.committed += w->stats.committed.load(std::memory_order_relaxed);
       m.aborted += w->stats.aborted.load(std::memory_order_relaxed);
@@ -1032,8 +1411,12 @@ Metrics StarEngine::Snapshot() const {
     }
   }
   m.seconds = (NowNanos() - measure_start_ns_) / 1e9;
-  m.network_bytes = fabric_->total_bytes() - fabric_bytes_at_reset_;
-  m.network_messages = fabric_->total_messages() - fabric_msgs_at_reset_;
+  m.network_bytes = transport_->total_bytes() - net_bytes_at_reset_;
+  m.network_messages = transport_->total_messages() - net_msgs_at_reset_;
+  m.network_dropped_bytes =
+      transport_->dropped_bytes() - net_dropped_bytes_at_reset_;
+  m.network_dropped_messages =
+      transport_->dropped_messages() - net_dropped_msgs_at_reset_;
   return m;
 }
 
@@ -1044,7 +1427,17 @@ Metrics StarEngine::Stop() {
   running_.store(false, std::memory_order_release);
   if (coordinator_thread_.joinable()) coordinator_thread_.join();
 
+  if (options_.multiprocess && coordinator_here_) {
+    // The coordinator loop's exit broadcast parked every node in kStopped
+    // (streams flushed).  Run one more stop+drain round so every accepted
+    // replication batch is applied cluster-wide, then collect the final
+    // stats + checksums; node processes exit once they have served it.
+    Fence(Phase::kStopped, 0.0);
+    CollectClusterSummary();
+  }
+
   for (auto& node : nodes_) {
+    if (node == nullptr) continue;
     // The coordinator only messages healthy nodes; make sure every worker
     // (including those on failed nodes) observes the stop.
     uint64_t word = node->phase_word.load(std::memory_order_acquire);
@@ -1064,17 +1457,20 @@ Metrics StarEngine::Stop() {
   // threads stop (workers flushed their streams when they parked).
   uint64_t drain_deadline = NowNanos() + MillisToNanos(500);
   for (auto& node : nodes_) {
+    if (node == nullptr) continue;
     if (!node_healthy_[node->id].load(std::memory_order_acquire)) continue;
-    while (fabric_->HasTraffic(node->id) && NowNanos() < drain_deadline) {
+    while (transport_->HasTraffic(node->id) && NowNanos() < drain_deadline) {
       std::this_thread::sleep_for(std::chrono::microseconds(100));
     }
   }
   std::this_thread::sleep_for(std::chrono::milliseconds(2));
   for (auto& node : nodes_) {
+    if (node == nullptr) continue;
     node->endpoint->Stop();
     for (auto& wal : node->wals) wal->Flush();
   }
-  coordinator_->Stop();
+  if (coordinator_ != nullptr) coordinator_->Stop();
+  transport_->Stop();
   state_.store(SystemState::kStopped, std::memory_order_release);
 
   Metrics m = Snapshot();

@@ -18,21 +18,31 @@
 #include "common/stats.h"
 #include "core/options.h"
 #include "net/endpoint.h"
-#include "net/fabric.h"
+#include "net/transport.h"
 #include "replication/applier.h"
 #include "replication/stream.h"
 #include "wal/wal.h"
 
 namespace star {
 
-/// The STAR engine: a simulated cluster of f full replicas and k partial
-/// replicas running the phase-switching protocol of Section 4.
+/// The STAR engine: a cluster of f full replicas and k partial replicas
+/// running the phase-switching protocol of Section 4 over an abstract
+/// message transport (simulated fabric or real TCP sockets — see
+/// net/transport.h).
 ///
 /// Threads per node: `workers_per_node` transaction workers, one control
-/// thread (fence participation, Figure 5), and `io_threads_per_node` fabric
-/// pollers that apply inbound replication.  A stand-alone coordinator thread
-/// (its own fabric endpoint, as the paper deploys it "outside of STAR
-/// instances") drives phase transitions.
+/// thread (fence participation, Figure 5), and `io_threads_per_node`
+/// transport pollers that apply inbound replication.  A stand-alone
+/// coordinator thread (its own transport endpoint, as the paper deploys it
+/// "outside of STAR instances") drives phase transitions.
+///
+/// Deployment scope: by default one engine hosts the whole cluster in one
+/// process.  With StarOptions::multiprocess, each process constructs the
+/// engine from identical options but hosts only its `hosted_nodes` (and
+/// the coordinator where `hosted_coordinator` is set); cluster state that
+/// used to be poked directly (health, mastership, partition assignment) is
+/// then carried by a generation-numbered view broadcast (kViewChange) that
+/// every process applies deterministically.
 ///
 /// Usage:
 ///   StarEngine engine(options, workload);
@@ -47,12 +57,13 @@ class StarEngine {
   StarEngine(const StarEngine&) = delete;
   StarEngine& operator=(const StarEngine&) = delete;
 
-  /// Populates all replicas and launches worker/control/io/coordinator
-  /// threads.  Returns once the first partitioned phase has begun.
+  /// Populates all hosted replicas and launches worker/control/io (and,
+  /// where hosted, coordinator) threads.
   void Start();
 
   /// Runs a final fence, stops all threads, and returns the metrics
-  /// accumulated since Start()/ResetStats().
+  /// accumulated since Start()/ResetStats().  The multi-process coordinator
+  /// additionally runs the shutdown round (see cluster_summary()).
   Metrics Stop();
 
   /// Snapshot of the counters without stopping (approximate while running).
@@ -64,14 +75,38 @@ class StarEngine {
 
   // --- fault tolerance (Section 4.5) ---
 
-  /// Fail-stop failure injection: the node's endpoint drops off the fabric.
-  /// Detected by the coordinator at the next fence.
+  /// Fail-stop failure injection: the node's endpoint drops off the
+  /// transport.  Detected by the coordinator at the next fence.  (In a
+  /// multi-process deployment the equivalent is killing the node process.)
   void InjectFailure(int node);
 
   /// Asks the coordinator to re-admit a previously failed node at the next
   /// fence: the node re-fetches its partitions from healthy replicas
   /// (Case 1's "copies data from remote nodes"), then regains mastership.
   void RequestRejoin(int node);
+
+  // --- multi-process deployment ---
+
+  /// Node-process side of rejoin: RPCs kRejoinRequest to the coordinator
+  /// (with retries — the ack may be dropped while this node is still
+  /// marked down) until acknowledged.  Returns false on timeout.
+  bool RequestRejoinFromCoordinator(double timeout_ms = 15000.0);
+
+  /// Node-process side of shutdown: blocks until every hosted node has
+  /// served the coordinator's kShutdown round (or the timeout expires).
+  bool WaitForShutdown(double timeout_ms);
+
+  /// Result of the multi-process shutdown round: cluster-wide committed
+  /// counts and whether every reported replica of every partition carried
+  /// the same checksum.
+  struct ClusterSummary {
+    bool valid = false;
+    uint64_t committed = 0;
+    uint64_t cross_partition = 0;
+    int nodes_reporting = 0;
+    bool converged = false;
+  };
+  const ClusterSummary& cluster_summary() const { return summary_; }
 
   SystemState state() const { return state_.load(std::memory_order_acquire); }
   bool IsNodeHealthy(int node) const {
@@ -98,9 +133,12 @@ class StarEngine {
   }
   double current_tau_p_ms() const { return tau_p_ms_; }
   double current_tau_s_ms() const { return tau_s_ms_; }
-  int master_node() const { return master_node_; }
+  int master_node() const {
+    return master_node_.load(std::memory_order_relaxed);
+  }
   const StarOptions& options() const { return options_; }
-  net::Fabric* fabric() { return fabric_.get(); }
+  net::Transport* transport() { return transport_.get(); }
+  bool Hosts(int node) const { return nodes_[node] != nullptr; }
 
  private:
   struct WorkerState {
@@ -121,6 +159,14 @@ class StarEngine {
     std::vector<WriteBuffer> sync_batches;
     std::vector<uint64_t> sync_counts;
     std::vector<std::pair<int, uint64_t>> sync_tokens;  // (dst, rpc token)
+    /// True while this worker sits in the parked loop; false whenever it
+    /// may touch shared engine state (targets, partitions).  Unlike the
+    /// node-level `parked` *counter* (which a worker bumps once per phase
+    /// sequence, so it inflates across un-reset sequence bumps), this flag
+    /// is a faithful per-worker quiescence bit: on a fenced node no phase
+    /// start can unpark the worker, so flag==true is stable and the
+    /// coordinator may rebuild shared state.
+    std::atomic<bool> parked_flag{false};
     size_t rr = 0;              // round-robin cursor over `partitions`
     uint64_t seen_seq = 0;      // last phase sequence acted upon
     uint32_t txn_since_yield = 0;
@@ -141,6 +187,13 @@ class StarEngine {
     /// Phase word: [ phase : 8 | sequence : 56 ].  Written by the control
     /// thread, polled by workers.
     std::atomic<uint64_t> phase_word{0};
+    /// Sticky fail-stop latch: set when this node is declared failed
+    /// (InjectFailure / fence detection), cleared on rejoin.  The control
+    /// thread ignores phase starts while set — a kPhaseStart that was
+    /// already queued when the failure was declared must not unpark the
+    /// workers of a written-off node (it would race the coordinator's
+    /// assignment rebuild).
+    std::atomic<bool> fenced{false};
     std::atomic<uint64_t> epoch{1};
     std::atomic<int> parked{0};
     uint64_t reported_committed = 0;  // control-thread only
@@ -151,6 +204,13 @@ class StarEngine {
     std::deque<net::Message> mail;
     std::atomic<bool> control_running{false};
   };
+
+  /// Per-node health in the generation-numbered cluster view.
+  static constexpr uint8_t kNodeDown = 0;
+  static constexpr uint8_t kNodeHealthy = 1;
+  /// Healthy as a replication target, but masters nothing yet (rejoining
+  /// node whose snapshot fetch is in flight).
+  static constexpr uint8_t kNodeRejoining = 2;
 
   static uint64_t PackPhase(Phase p, uint64_t seq) {
     return (static_cast<uint64_t>(p) << 56) | seq;
@@ -190,9 +250,27 @@ class StarEngine {
   FenceOutcome Fence(Phase ended_phase, double phase_seconds);
   void StartPhaseOnNodes(Phase phase);
   void HandleFailures(const std::vector<int>& newly_failed);
-  void PerformRejoin(int node);
-  void RecomputeAssignments();
+  void PerformRejoin(int node, uint64_t nonce);
   void UpdateTaus();
+  /// First full replica healthy in the coordinator's authoritative view,
+  /// falling back to the current designation.
+  int ComputeMaster() const;
+  /// Ships the authoritative view (plus the epoch to revert, 0 for none)
+  /// to every healthy node and waits for the acks.
+  void BroadcastView(uint64_t gen, uint64_t revert_epoch, int master);
+  void CollectClusterSummary();
+
+  // View application (every process).
+  /// Installs a cluster view: health bits, transport up/down, designated
+  /// master, replication targets, and hosted workers' partition lists.
+  /// Generation-guarded and idempotent; returns true when `gen` was newly
+  /// applied.  Callers must only invoke this while hosted workers are
+  /// parked (construction, fences, view changes).
+  bool ApplyView(uint64_t gen, int master, const std::vector<uint8_t>& status);
+  void RebuildAssignmentsLocked(const std::vector<uint8_t>& status);
+  /// Reverts the uncommitted epoch (nonzero `revert_epoch`) and resets the
+  /// replication counters on every hosted node.
+  void RevertLocal(uint64_t revert_epoch);
 
   std::vector<int> HealthyNodes() const;
 
@@ -201,13 +279,15 @@ class StarEngine {
   int num_nodes_;
   int num_partitions_;
   Placement placement_;
+  bool coordinator_here_ = true;
 
-  std::unique_ptr<net::Fabric> fabric_;
+  std::unique_ptr<net::Transport> transport_;
   std::unique_ptr<net::Endpoint> coordinator_;  // endpoint id == num_nodes_
+  /// nodes_[i] is null when node i lives in another process.
   std::vector<std::unique_ptr<Node>> nodes_;
 
-  /// Replication targets per partition, derived from placement_ and node
-  /// health; only mutated while all workers are parked (fence).
+  /// Replication targets per partition, derived from the applied view;
+  /// only mutated while all hosted workers are parked (fence).
   /// replica_targets_: for partitioned-phase writers (storing minus the
   /// partition's master).  sm_targets_: for the single-master phase (every
   /// healthy node storing the partition except the designated master).
@@ -220,9 +300,36 @@ class StarEngine {
   std::atomic<SystemState> state_{SystemState::kStopped};
   std::vector<std::atomic<bool>> node_healthy_;
 
-  // Rejoin requests (coordinator picks them up between iterations).
+  /// Authoritative view, written only by the coordinator thread.
+  std::vector<uint8_t> node_status_;
+  uint64_t view_gen_ = 1;
+  /// Applied-view guard: handlers on several control threads may receive
+  /// the same broadcast; the first applies, the rest ack.
+  std::mutex view_mu_;
+  uint64_t applied_view_gen_ = 0;
+  /// Last status applied per node, so transport up/down only follows
+  /// *transitions* (an InjectFailure cut must survive unrelated views).
+  std::vector<uint8_t> applied_status_;
+
+  // Rejoin requests: (node, incarnation nonce) pairs the coordinator picks
+  // up between iterations.
+  static constexpr uint64_t kInProcessNonce = 1;
   std::mutex rejoin_mu_;
-  std::vector<int> rejoin_requests_;
+  std::vector<std::pair<int, uint64_t>> rejoin_requests_;
+  /// Per node: the incarnation nonce whose rejoin was granted (0 = none).
+  /// The coordinator acks retried kRejoinRequests carrying this nonce and
+  /// treats any other nonce as evidence of a fresh restart.  Cleared when
+  /// the node fails (again).
+  std::vector<std::atomic<uint64_t>> granted_nonce_;
+
+  /// False only in a rejoining process before its re-admission view: the
+  /// control plane ignores fences/pings so the fresh incarnation cannot
+  /// impersonate the dead node it replaces.
+  std::atomic<bool> admitted_{true};
+
+  // Multi-process shutdown handshake.
+  std::atomic<int> shutdown_seen_{0};
+  ClusterSummary summary_;
 
   // Monitored throughputs for Equations (1)-(2).
   double tp_ = 0;  // partitioned-phase committed txns/sec
@@ -231,7 +338,10 @@ class StarEngine {
   double tau_s_ms_ = 0;
   uint64_t last_single_delta_ = 0;  // committed in the last partitioned phase
   uint64_t last_cross_delta_ = 0;   // committed in the last single-master phase
-  int master_node_ = 0;
+  /// Designated single-master; written by ApplyView, read by every worker's
+  /// standby check (hence atomic — a worker of a freshly failed node may
+  /// still be draining its current transaction when the view changes).
+  std::atomic<int> master_node_{0};
 
   std::atomic<uint64_t> fence_count_{0};
   std::atomic<uint64_t> fence_ns_{0};
@@ -239,8 +349,10 @@ class StarEngine {
   std::atomic<uint64_t> fence_drain_ns_{0};  // drain round time
 
   uint64_t measure_start_ns_ = 0;
-  uint64_t fabric_bytes_at_reset_ = 0;
-  uint64_t fabric_msgs_at_reset_ = 0;
+  uint64_t net_bytes_at_reset_ = 0;
+  uint64_t net_msgs_at_reset_ = 0;
+  uint64_t net_dropped_bytes_at_reset_ = 0;
+  uint64_t net_dropped_msgs_at_reset_ = 0;
 };
 
 }  // namespace star

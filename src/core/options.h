@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/config.h"
+#include "net/transport.h"
 
 namespace star {
 
@@ -74,6 +76,34 @@ struct StarOptions {
   /// hosts with fewer cores than workers, every worker observes fence flags
   /// promptly (keeps the stop round short).  0 disables.
   uint32_t yield_every_n_txns = 64;
+
+  // --- deployment (Transport split) ---
+
+  /// Message substrate.  kSim (the default) keeps the latency/bandwidth
+  /// model every figure reproduction depends on; kTcp runs the identical
+  /// protocol over real nonblocking sockets (single- or multi-process).
+  net::TransportKind transport = net::TransportKind::kSim;
+  /// TCP substrate: node i listens on tcp_base_port + i, the coordinator on
+  /// tcp_base_port + nodes().  0 picks ephemeral ports, which only works
+  /// when the whole cluster lives in one process.
+  std::string tcp_host = "127.0.0.1";
+  int tcp_base_port = 0;
+
+  /// Multi-process deployment: when true, this process hosts only
+  /// `hosted_nodes` (plus the phase-switching coordinator if
+  /// `hosted_coordinator`); the rest of the cluster runs in sibling
+  /// processes constructed from the same options.  Requires kTcp.
+  bool multiprocess = false;
+  std::vector<int> hosted_nodes;
+  bool hosted_coordinator = false;
+  /// A rejoining node process starts with an empty database and asks the
+  /// coordinator for re-admission + snapshot fetch instead of populating
+  /// (see RequestRejoinFromCoordinator).
+  bool rejoining = false;
+  /// Multi-process startup: how long the coordinator pings node processes
+  /// (they may still be binding their ports) before starting the first
+  /// phase and letting fence timeouts declare stragglers failed.
+  double startup_barrier_ms = 20000.0;
 };
 
 /// State of the system as a whole, driven by failure handling

@@ -1,0 +1,141 @@
+// star_node — multi-process STAR deployment driver.
+//
+// Three modes:
+//
+//   # Launch a whole cluster (coordinator + f+k node processes) on
+//   # localhost TCP, run TPC-C for 6 seconds, verify convergence:
+//   star_node --launch --seconds=6
+//
+//   # Same, but SIGKILL node 2 mid-run and fork a fresh rejoin process:
+//   star_node --launch --seconds=10 --kill-node=2 --kill-after=2.5 \
+//             --rejoin-after=4.5
+//
+//   # Run one role by hand (every process must use identical cluster
+//   # flags; ports are base..base+nodes, coordinator last):
+//   star_node --role=coordinator --base-port=19000 --seconds=6
+//   star_node --role=node --id=0 --base-port=19000 &
+//   ...
+//   star_node --role=node --id=2 --base-port=19000 --rejoin   # re-admission
+//
+// Exit code 0 means: >0 committed transactions including >0 cross-partition
+// ones, every reporting replica of every partition carried an identical
+// checksum, and every surviving node process saw a clean shutdown round.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "driver/cluster_driver.h"
+
+namespace {
+
+bool FlagValue(const char* arg, const char* name, const char** out) {
+  size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    *out = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: star_node (--launch | --role=coordinator | --role=node --id=K)\n"
+      "  cluster shape (must match across all processes of one cluster):\n"
+      "    --full=N --partial=N --workers=N --cross=F --workload=tpcc|ycsb\n"
+      "    --host=ADDR --base-port=P --fence-timeout-ms=MS --seconds=S\n"
+      "  launch mode only:\n"
+      "    --kill-node=K --kill-after=S --rejoin-after=S --quiet\n"
+      "  node mode only:\n"
+      "    --rejoin   (announce to the coordinator and refetch partitions)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  star::driver::ClusterRunSpec spec;
+  spec.base.cluster.full_replicas = 1;
+  spec.base.cluster.partial_replicas = 3;
+  spec.base.cluster.workers_per_node = 2;
+  spec.base.cross_fraction = 0.1;
+  spec.base.two_version = true;  // failure injection needs epoch revert
+  // Snappier than the in-process default: over real sockets a dead peer is
+  // detected by fence silence, and kill/rejoin tests need detection well
+  // inside the run window.
+  spec.base.fence_timeout_ms = 1500;
+  spec.seconds = 6.0;
+
+  std::string mode;
+  int node_id = -1;
+  bool rejoin = false;
+  const char* v = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--launch") == 0) {
+      mode = "launch";
+    } else if (FlagValue(a, "--role", &v)) {
+      mode = v;
+    } else if (FlagValue(a, "--id", &v)) {
+      node_id = std::atoi(v);
+    } else if (std::strcmp(a, "--rejoin") == 0) {
+      rejoin = true;
+    } else if (std::strcmp(a, "--quiet") == 0) {
+      spec.verbose = false;
+    } else if (FlagValue(a, "--full", &v)) {
+      spec.base.cluster.full_replicas = std::atoi(v);
+    } else if (FlagValue(a, "--partial", &v)) {
+      spec.base.cluster.partial_replicas = std::atoi(v);
+    } else if (FlagValue(a, "--workers", &v)) {
+      spec.base.cluster.workers_per_node = std::atoi(v);
+    } else if (FlagValue(a, "--cross", &v)) {
+      spec.base.cross_fraction = std::atof(v);
+    } else if (FlagValue(a, "--workload", &v)) {
+      spec.workload = v;
+    } else if (FlagValue(a, "--host", &v)) {
+      spec.base.tcp_host = v;
+    } else if (FlagValue(a, "--base-port", &v)) {
+      spec.base.tcp_base_port = std::atoi(v);
+    } else if (FlagValue(a, "--fence-timeout-ms", &v)) {
+      spec.base.fence_timeout_ms = std::atof(v);
+    } else if (FlagValue(a, "--seconds", &v)) {
+      spec.seconds = std::atof(v);
+    } else if (FlagValue(a, "--kill-node", &v)) {
+      spec.kill_node = std::atoi(v);
+    } else if (FlagValue(a, "--kill-after", &v)) {
+      spec.kill_after_s = std::atof(v);
+    } else if (FlagValue(a, "--rejoin-after", &v)) {
+      spec.rejoin_after_s = std::atof(v);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a);
+      Usage();
+      return 64;
+    }
+  }
+
+  if (mode == "launch") {
+    return star::driver::LaunchCluster(spec);
+  }
+  if (mode == "coordinator" || mode == "node") {
+    if (spec.base.tcp_base_port == 0) {
+      std::fprintf(stderr,
+                   "--base-port is required for single-role modes (all "
+                   "processes must agree on the port map)\n");
+      return 64;
+    }
+    if (mode == "coordinator") {
+      return star::driver::RunCoordinatorProcess(spec.base, spec.workload,
+                                                 spec.seconds, spec.verbose);
+    }
+    if (node_id < 0 || node_id >= spec.base.cluster.nodes()) {
+      std::fprintf(stderr, "--role=node requires --id in [0, %d)\n",
+                   spec.base.cluster.nodes());
+      return 64;
+    }
+    return star::driver::RunNodeProcess(spec.base, spec.workload, node_id,
+                                        rejoin, spec.seconds);
+  }
+  Usage();
+  return 64;
+}

@@ -28,11 +28,11 @@ bool Endpoint::Send(int dst, MsgType type, std::string payload) {
   m.dst = dst;
   m.type = type;
   m.payload = std::move(payload);
-  return fabric_->Send(std::move(m));
+  return transport_->Send(std::move(m));
 }
 
 std::string Endpoint::AcquirePayload() {
-  return fabric_->payload_pool().Acquire(node_);
+  return transport_->payload_pool().Acquire(node_);
 }
 
 void Endpoint::Respond(const Message& request, MsgType type,
@@ -44,7 +44,7 @@ void Endpoint::Respond(const Message& request, MsgType type,
   m.flags = kFlagResponse;
   m.rpc_id = request.rpc_id;
   m.payload = std::move(payload);
-  fabric_->Send(std::move(m));
+  transport_->Send(std::move(m));
 }
 
 uint64_t Endpoint::CallAsync(int dst, MsgType type, std::string payload) {
@@ -60,7 +60,7 @@ uint64_t Endpoint::CallAsync(int dst, MsgType type, std::string payload) {
   m.type = type;
   m.rpc_id = id;
   m.payload = std::move(payload);
-  fabric_->Send(std::move(m));
+  transport_->Send(std::move(m));
   return id;
 }
 
@@ -99,7 +99,7 @@ void Endpoint::IoLoop() {
   int idle = 0;
   Message m;
   while (running_.load(std::memory_order_acquire)) {
-    if (!fabric_->Poll(node_, &m)) {
+    if (!transport_->Poll(node_, &m)) {
       // Back off gradually: spin briefly for latency, then sleep with
       // growing intervals to leave CPU for worker threads on small hosts.
       if (++idle > 64) {
@@ -128,7 +128,7 @@ void Endpoint::IoLoop() {
     if (h) h(std::move(m));
     // Delivery complete: recycle the payload buffer unless the handler took
     // ownership (moved-from strings are empty and skipped by the pool).
-    fabric_->payload_pool().Release(node_, std::move(m.payload));
+    transport_->payload_pool().Release(node_, std::move(m.payload));
   }
 }
 

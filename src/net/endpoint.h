@@ -11,12 +11,12 @@
 #include <vector>
 
 #include "common/spinlock.h"
-#include "net/fabric.h"
 #include "net/message.h"
+#include "net/transport.h"
 
 namespace star::net {
 
-/// A node's attachment to the fabric: io threads that poll for inbound
+/// A node's attachment to the transport: io threads that poll for inbound
 /// messages and dispatch them, plus a blocking RPC facility for worker
 /// threads.  This plays the role of the paper's "2 threads for network
 /// communication" per node (Section 7.1).
@@ -32,8 +32,8 @@ class Endpoint {
  public:
   using Handler = std::function<void(Message&&)>;
 
-  Endpoint(Fabric* fabric, int node_id, int io_threads = 1)
-      : fabric_(fabric), node_(node_id), io_threads_(io_threads) {}
+  Endpoint(Transport* transport, int node_id, int io_threads = 1)
+      : transport_(transport), node_(node_id), io_threads_(io_threads) {}
   ~Endpoint() { Stop(); }
 
   Endpoint(const Endpoint&) = delete;
@@ -48,11 +48,11 @@ class Endpoint {
   void Stop();
 
   /// One-way message (replication batches, unlock notifications, ...).
-  /// Returns false if the fabric dropped the message (fail-stop peer), so
+  /// Returns false if the transport dropped the message (fail-stop peer), so
   /// callers tracking delivery accounting can stay exact.
   bool Send(int dst, MsgType type, std::string payload);
 
-  /// A cleared payload buffer with recycled capacity from the fabric's
+  /// A cleared payload buffer with recycled capacity from the transport's
   /// payload pool — serialise into this (WriteBuffer::Adopt) before Send to
   /// keep the send path allocation-free.  Buffers return to the pool when
   /// the receiving endpoint finishes delivering them.
@@ -86,7 +86,7 @@ class Endpoint {
   }
 
   int node() const { return node_; }
-  Fabric* fabric() const { return fabric_; }
+  Transport* transport() const { return transport_; }
 
   static constexpr uint64_t kDefaultTimeoutNs = 5'000'000'000ull;  // 5 s
 
@@ -98,7 +98,7 @@ class Endpoint {
 
   void IoLoop();
 
-  Fabric* fabric_;
+  Transport* transport_;
   int node_;
   int io_threads_;
   std::vector<Handler> handlers_{256};

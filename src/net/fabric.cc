@@ -5,16 +5,18 @@
 namespace star::net {
 
 bool Fabric::Send(Message&& m) {
+  uint64_t wire_bytes = m.payload.size() + options_.per_message_overhead_bytes;
   if (down_[m.src].load(std::memory_order_acquire) ||
       down_[m.dst].load(std::memory_order_acquire)) {
     // Fail-stop: the wire to/from a dead node is cut.  Recycle the payload —
     // the sender keeps committing and needs its buffers back.
+    dropped_bytes_.fetch_add(wire_bytes, std::memory_order_relaxed);
+    dropped_messages_.fetch_add(1, std::memory_order_relaxed);
     pool_.Release(m.src, std::move(m.payload));
     return false;
   }
 
   uint64_t now = NowNanos();
-  uint64_t wire_bytes = m.payload.size() + options_.per_message_overhead_bytes;
   uint64_t depart = now;
 
   if (m.src != m.dst && options_.bandwidth_gbps > 0) {

@@ -10,22 +10,16 @@
 #include "common/spinlock.h"
 #include "net/message.h"
 #include "net/payload_pool.h"
+#include "net/transport.h"
 
 namespace star::net {
 
-/// Parameters of the simulated network.  Defaults approximate the paper's
-/// EC2 testbed (Section 7.1): same-AZ one-way latency of ~50 us and a
-/// 4.8 Gbit/s per-node link as measured by iperf.
-struct FabricOptions {
-  double link_latency_us = 50.0;
-  double local_latency_us = 0.0;  // loopback (src == dst)
-  double bandwidth_gbps = 4.8;    // per-endpoint egress; <= 0 -> unlimited
-  /// Fixed per-message overhead charged against bandwidth, modelling
-  /// TCP/IP + framing headers.
-  uint32_t per_message_overhead_bytes = 54;
-};
+/// Options alias kept for the fabric's historical spelling; the canonical
+/// definition lives in net/transport.h next to the other transport knobs.
+using FabricOptions = SimNetOptions;
 
-/// In-process message fabric standing in for the cluster network.
+/// In-process simulated message fabric — the `TransportKind::kSim`
+/// implementation of the Transport interface.
 ///
 /// Substitution note (DESIGN.md Section 2): the paper's experiments hinge on
 /// (i) round-trip stalls, (ii) message counts, and (iii) bytes shipped.  The
@@ -34,6 +28,15 @@ struct FabricOptions {
 /// delay is produced by a per-endpoint egress token clock (so a 4.8 Gbit/s
 /// node saturates exactly as in Figure 16(b)).
 ///
+/// Since the Transport split, everything above src/net/ talks to the
+/// abstract Transport interface and the same engines also run over real TCP
+/// sockets (net/tcp_transport.h).  The sim remains the default because it
+/// models what TCP-over-localhost cannot: a configurable one-way link
+/// latency and a per-node egress bandwidth cap, both of which the figure
+/// reproductions depend on.  What the sim does *not* model — and the TCP
+/// transport delivers for real — is kernel socket buffering, framing,
+/// connection setup/teardown, and genuinely independent process failure.
+///
 /// Per (src, dst) ordering is FIFO, like a TCP connection; this is what makes
 /// operation replication safe in the partitioned phase (Section 5).
 ///
@@ -41,7 +44,7 @@ struct FabricOptions {
 /// atomic bitmap of sources with queued traffic plus a pending-message
 /// counter, so idle io threads return after one load and busy ones jump
 /// straight to non-empty queues.
-class Fabric {
+class Fabric : public Transport {
  public:
   Fabric(int endpoints, const FabricOptions& options)
       : options_(options),
@@ -61,42 +64,51 @@ class Fabric {
   /// endpoint are dropped (fail-stop model, Section 4.5.2); the return value
   /// reports whether the fabric accepted the message, so senders can keep
   /// delivery accounting (e.g. the replication fence) truthful.
-  bool Send(Message&& m);
+  bool Send(Message&& m) override;
 
   /// Retrieves one ready message for `dst`, scanning ready source queues
   /// round-robin for fairness.  Returns false if nothing is deliverable yet.
-  bool Poll(int dst, Message* out);
+  bool Poll(int dst, Message* out) override;
 
   /// True if any message (ready or in flight) is queued for `dst`.
-  bool HasTraffic(int dst) const {
+  bool HasTraffic(int dst) const override {
     return dst_state_[dst].pending.load(std::memory_order_acquire) != 0;
   }
 
   /// Fail-stop injection: while down, an endpoint sends and receives
   /// nothing.  Bringing it back up does not resurrect dropped messages.
-  void SetDown(int endpoint, bool down) {
+  void SetDown(int endpoint, bool down) override {
     down_[endpoint].store(down, std::memory_order_release);
   }
-  bool IsDown(int endpoint) const {
+  bool IsDown(int endpoint) const override {
     return down_[endpoint].load(std::memory_order_acquire);
   }
 
-  uint64_t total_bytes() const {
+  uint64_t total_bytes() const override {
     return bytes_.load(std::memory_order_relaxed);
   }
-  uint64_t total_messages() const {
+  uint64_t total_messages() const override {
     return messages_.load(std::memory_order_relaxed);
   }
-  void ResetStats() {
+  uint64_t dropped_bytes() const override {
+    return dropped_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t dropped_messages() const override {
+    return dropped_messages_.load(std::memory_order_relaxed);
+  }
+  void ResetStats() override {
     bytes_.store(0, std::memory_order_relaxed);
     messages_.store(0, std::memory_order_relaxed);
+    dropped_bytes_.store(0, std::memory_order_relaxed);
+    dropped_messages_.store(0, std::memory_order_relaxed);
   }
 
   /// Shared payload recycler (see PayloadPool).  Senders acquire their batch
   /// buffers here; endpoints return payloads after delivery.
-  PayloadPool& payload_pool() { return pool_; }
+  PayloadPool& payload_pool() override { return pool_; }
 
-  int endpoints() const { return endpoints_; }
+  int endpoints() const override { return endpoints_; }
+  TransportKind kind() const override { return TransportKind::kSim; }
   const FabricOptions& options() const { return options_; }
 
  private:
@@ -125,6 +137,8 @@ class Fabric {
   std::vector<std::atomic<bool>> down_;
   std::atomic<uint64_t> bytes_{0};
   std::atomic<uint64_t> messages_{0};
+  std::atomic<uint64_t> dropped_bytes_{0};
+  std::atomic<uint64_t> dropped_messages_{0};
 
   /// Per-destination poll state (one cache line each): round-robin cursor
   /// and the count of queued messages (ready or still in flight).
@@ -140,6 +154,11 @@ class Fabric {
 
   PayloadPool pool_;
 };
+
+/// The fabric is the simulated implementation of the Transport split; code
+/// above src/net/ should use this name (or better, the Transport interface
+/// via MakeTransport).
+using SimTransport = Fabric;
 
 }  // namespace star::net
 

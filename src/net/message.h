@@ -22,7 +22,8 @@ enum class MsgType : uint16_t {
   kFenceStats = 22,    // node -> coordinator: per-destination sent counts
   kFenceExpect = 23,   // coordinator -> node: how many writes to wait for
   kFenceDrained = 24,  // node -> coordinator: replication stream drained
-  kViewChange = 25,    // coordinator -> node: failed-node list broadcast
+  kViewChange = 25,    // coordinator -> node: view broadcast (health, master)
+  kShutdown = 26,      // coordinator -> node: final stats + checksum round
 
   // --- generic distributed transaction RPCs (Dist. OCC / Dist. S2PL) ---
   kReadRequest = 40,
@@ -51,6 +52,7 @@ enum class MsgType : uint16_t {
   kSnapshotResponse = 91,  // donor -> rejoining node: record dump
   kRejoinFetch = 92,       // coordinator -> rejoining node: start fetching
   kRejoinDone = 93,        // rejoining node -> coordinator (one-way)
+  kRejoinRequest = 94,     // restarted node process -> coordinator (RPC)
 
   // --- tests/examples ---
   kPing = 100,
@@ -61,12 +63,13 @@ enum class MsgType : uint16_t {
 /// matching pending call instead of invoking a handler.
 inline constexpr uint16_t kFlagResponse = 1;
 
-/// A datagram on the simulated fabric.  `payload` is an opaque byte string
-/// (engines use WriteBuffer/ReadBuffer); `deliver_at` is stamped by the
-/// fabric's latency/bandwidth model at send time.
+/// A datagram on the transport.  `payload` is an opaque byte string
+/// (engines use WriteBuffer/ReadBuffer); `deliver_at` is stamped at send
+/// time by the simulated fabric's latency/bandwidth model (sim) or with the
+/// receive timestamp (tcp).
 ///
 /// Payload ownership: the buffer travels with the message.  Senders that
-/// care about the allocator obtain it from the fabric's PayloadPool
+/// care about the allocator obtain it from the transport's PayloadPool
 /// (Endpoint::AcquirePayload); after a handler runs, the receiving endpoint
 /// returns whatever the handler left in `payload` to the pool, closing the
 /// recycle loop.  A handler that needs the bytes beyond its own invocation

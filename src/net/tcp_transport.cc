@@ -1,0 +1,649 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/clock.h"
+#include "net/fabric.h"
+
+namespace star::net {
+
+namespace {
+
+void EncodeHeader(char* hdr, const Message& m) {
+  uint32_t len = static_cast<uint32_t>(m.payload.size());
+  int32_t src = m.src, dst = m.dst;
+  uint16_t type = static_cast<uint16_t>(m.type);
+  std::memcpy(hdr, &len, 4);
+  std::memcpy(hdr + 4, &src, 4);
+  std::memcpy(hdr + 8, &dst, 4);
+  std::memcpy(hdr + 12, &type, 2);
+  std::memcpy(hdr + 14, &m.flags, 2);
+  std::memcpy(hdr + 16, &m.rpc_id, 8);
+}
+
+void SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(int endpoints, const TcpNetOptions& options)
+    : endpoints_(endpoints),
+      opts_(options),
+      is_local_(endpoints, options.local_endpoints.empty()),
+      ports_(endpoints, 0),
+      out_conn_(static_cast<size_t>(endpoints) * endpoints),
+      in_conn_(static_cast<size_t>(endpoints) * endpoints),
+      retry_at_(static_cast<size_t>(endpoints) * endpoints, 0),
+      inbound_(endpoints),
+      down_(endpoints) {
+  for (int e : opts_.local_endpoints) {
+    if (e >= 0 && e < endpoints_) is_local_[e] = true;
+  }
+  for (auto& d : down_) d.store(false, std::memory_order_relaxed);
+  for (int i = 0; i < endpoints_; ++i) {
+    if (opts_.base_port != 0) ports_[i] = opts_.base_port + i;
+  }
+}
+
+TcpTransport::~TcpTransport() { Stop(); }
+
+bool TcpTransport::Start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+  bool all_local = true;
+  for (int i = 0; i < endpoints_; ++i) all_local &= is_local_[i];
+  if (opts_.base_port == 0 && !all_local) {
+    std::fprintf(stderr,
+                 "[tcp] base_port=0 (ephemeral) requires all endpoints "
+                 "local\n");
+    return false;
+  }
+
+  epfd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epfd_ < 0) return false;
+
+  for (int i = 0; i < endpoints_; ++i) {
+    if (!is_local_[i]) continue;
+    int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return false;
+    int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    ::sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(ports_[i]));
+    if (inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+      close(fd);
+      std::fprintf(stderr, "[tcp] bad host %s\n", opts_.host.c_str());
+      return false;
+    }
+    if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        listen(fd, 128) != 0) {
+      std::fprintf(stderr, "[tcp] cannot listen on %s:%d for endpoint %d: %s\n",
+                   opts_.host.c_str(), ports_[i], i, std::strerror(errno));
+      close(fd);
+      return false;
+    }
+    ::sockaddr_in bound{};
+    socklen_t blen = sizeof(bound);
+    getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen);
+    ports_[i] = ntohs(bound.sin_port);
+    SetNonBlocking(fd);
+
+    auto l = std::make_unique<Listener>();
+    l->is_listener = true;
+    l->fd = fd;
+    l->endpoint = i;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = static_cast<Pollable*>(l.get());
+    epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
+    listeners_.push_back(std::move(l));
+  }
+
+  running_.store(true, std::memory_order_release);
+  io_thread_ = std::thread([this] { IoLoop(); });
+  return true;
+}
+
+void TcpTransport::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  if (io_thread_.joinable()) io_thread_.join();
+
+  // Best-effort flush of outbound backlogs (e.g. a node's final shutdown
+  // response) before tearing sockets down.
+  uint64_t deadline = NowNanos() + MillisToNanos(200);
+  std::vector<std::shared_ptr<Conn>> conns;
+  {
+    std::lock_guard<std::mutex> g(conns_mu_);
+    conns = all_conns_;
+  }
+  for (auto& c : conns) {
+    std::lock_guard<std::mutex> g(c->mu);
+    while (c->fd >= 0 && c->backlog_bytes() > 0 && NowNanos() < deadline) {
+      ssize_t w = send(c->fd, c->out_buf.data() + c->out_off,
+                       c->backlog_bytes(), MSG_NOSIGNAL);
+      if (w > 0) {
+        c->out_off += static_cast<size_t>(w);
+      } else if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        pollfd p{c->fd, POLLOUT, 0};
+        poll(&p, 1, 10);
+      } else {
+        break;
+      }
+    }
+    if (c->fd >= 0) {
+      int fd = c->fd;
+      c->fd = -1;
+      c->dead = true;
+      close(fd);
+    }
+  }
+  for (auto& l : listeners_) {
+    if (l->fd >= 0) close(l->fd);
+    l->fd = -1;
+  }
+  listeners_.clear();
+  {
+    std::lock_guard<std::mutex> g(conns_mu_);
+    all_conns_.clear();
+    std::fill(out_conn_.begin(), out_conn_.end(), nullptr);
+    std::fill(in_conn_.begin(), in_conn_.end(), nullptr);
+  }
+  if (epfd_ >= 0) close(epfd_);
+  epfd_ = -1;
+}
+
+bool TcpTransport::PeerAddr(int dst, ::sockaddr_in* out) const {
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(static_cast<uint16_t>(ports_[dst]));
+  return ports_[dst] != 0 &&
+         inet_pton(AF_INET, opts_.host.c_str(), &out->sin_addr) == 1;
+}
+
+void TcpTransport::DropSend(int src_hint, size_t frame_bytes,
+                            std::string&& payload) {
+  dropped_bytes_.fetch_add(frame_bytes, std::memory_order_relaxed);
+  dropped_messages_.fetch_add(1, std::memory_order_relaxed);
+  pool_.Release(src_hint, std::move(payload));
+}
+
+std::shared_ptr<TcpTransport::Conn> TcpTransport::GetOrConnect(int src,
+                                                               int dst) {
+  size_t slot = static_cast<size_t>(src) * endpoints_ + dst;
+  std::lock_guard<std::mutex> g(conns_mu_);
+  std::shared_ptr<Conn>& cur = out_conn_[slot];
+  if (cur != nullptr && !cur->dead) return cur;
+  uint64_t now = NowNanos();
+  if (now < retry_at_[slot]) return nullptr;
+
+  ::sockaddr_in addr;
+  if (!PeerAddr(dst, &addr)) return nullptr;
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return nullptr;
+  SetNoDelay(fd);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 &&
+      errno != EINPROGRESS) {
+    close(fd);
+    retry_at_[slot] = now + MicrosToNanos(opts_.connect_retry_ms * 1000.0);
+    return nullptr;
+  }
+
+  auto c = std::make_shared<Conn>();
+  c->fd = fd;
+  c->src = src;
+  c->dst = dst;
+  c->outgoing = true;
+  c->hs_done = true;  // this direction only sends; no inbound handshake
+  // Queue the handshake as the first bytes on the wire; it is flushed by
+  // the epoll thread once the connect completes (EPOLLOUT).
+  char hs[kHandshakeSize];
+  uint32_t magic = kMagic;
+  int32_t s = src, d = dst;
+  std::memcpy(hs, &magic, 4);
+  std::memcpy(hs + 4, &s, 4);
+  std::memcpy(hs + 8, &d, 4);
+  c->out_buf.append(hs, kHandshakeSize);
+  c->out_frames.emplace_back(kHandshakeSize, false);
+  c->want_write = true;
+
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLOUT;
+  ev.data.ptr = static_cast<Pollable*>(c.get());
+  epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
+
+  cur = c;
+  all_conns_.push_back(c);
+  return c;
+}
+
+void TcpTransport::ArmWriteLocked(Conn* c) {
+  if (c->want_write || c->fd < 0) return;
+  c->want_write = true;
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLOUT;
+  ev.data.ptr = static_cast<Pollable*>(c);
+  epoll_ctl(epfd_, EPOLL_CTL_MOD, c->fd, &ev);
+}
+
+void TcpTransport::DisarmWriteLocked(Conn* c) {
+  if (!c->want_write || c->fd < 0) return;
+  c->want_write = false;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = static_cast<Pollable*>(c);
+  epoll_ctl(epfd_, EPOLL_CTL_MOD, c->fd, &ev);
+}
+
+void TcpTransport::CloseConn(Conn* c, bool throttle_reconnect) {
+  uint64_t lost_msgs = 0, lost_bytes = 0;
+  {
+    std::lock_guard<std::mutex> g(c->mu);
+    if (c->dead) return;
+    c->dead = true;
+    if (c->fd >= 0) {
+      int fd = c->fd;
+      c->fd = -1;
+      epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+      close(fd);
+    }
+    lost_bytes = c->backlog_bytes();
+    for (auto& [len, is_msg] : c->out_frames) {
+      (void)len;
+      if (is_msg) ++lost_msgs;
+    }
+    c->out_buf.clear();
+    c->out_off = 0;
+    c->out_frames.clear();
+    // A half-read inbound frame dies with the connection; recycle its
+    // partially-filled payload buffer.
+    if (c->in_body) {
+      pool_.Release(c->dst, std::move(c->in_msg.payload));
+      c->in_body = false;
+    }
+  }
+  dropped_messages_.fetch_add(lost_msgs, std::memory_order_relaxed);
+  dropped_bytes_.fetch_add(lost_bytes, std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> g(conns_mu_);
+  if (c->src >= 0 && c->dst >= 0) {
+    size_t slot = static_cast<size_t>(c->src) * endpoints_ + c->dst;
+    if (c->outgoing) {
+      if (out_conn_[slot].get() == c) out_conn_[slot] = nullptr;
+      if (throttle_reconnect) {
+        retry_at_[slot] =
+            NowNanos() + MicrosToNanos(opts_.connect_retry_ms * 1000.0);
+      }
+    } else {
+      if (in_conn_[slot].get() == c) in_conn_[slot] = nullptr;
+    }
+  }
+}
+
+bool TcpTransport::Send(Message&& m) {
+  const int src = m.src, dst = m.dst;
+  const size_t frame_len = kHeaderSize + m.payload.size();
+  if (src < 0 || src >= endpoints_ || dst < 0 || dst >= endpoints_ ||
+      !is_local_[src]) {
+    DropSend(src < 0 ? 0 : src, frame_len, std::move(m.payload));
+    return false;
+  }
+  if (down_[src].load(std::memory_order_acquire) ||
+      down_[dst].load(std::memory_order_acquire)) {
+    DropSend(src, frame_len, std::move(m.payload));
+    return false;
+  }
+  m.deliver_at = NowNanos();
+
+  if (src == dst) {
+    // Loopback within one endpoint: no self-connection, deliver directly.
+    bytes_.fetch_add(frame_len, std::memory_order_relaxed);
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    DstQueue& q = inbound_[dst];
+    std::lock_guard<SpinLock> g(q.mu);
+    q.q.push_back(std::move(m));
+    q.pending.fetch_add(1, std::memory_order_release);
+    return true;
+  }
+
+  std::shared_ptr<Conn> c = GetOrConnect(src, dst);
+  if (c == nullptr) {
+    DropSend(src, frame_len, std::move(m.payload));
+    return false;
+  }
+
+  char hdr[kHeaderSize];
+  EncodeHeader(hdr, m);
+  bool close_it = false;
+  {
+    std::lock_guard<std::mutex> g(c->mu);
+    if (c->dead || c->fd < 0) {
+      DropSend(src, frame_len, std::move(m.payload));
+      return false;
+    }
+    if (c->backlog_bytes() + frame_len > opts_.max_frame_bytes) {
+      // Backlog cap: a receiver this far behind is as good as dead under
+      // the fail-stop model; drop rather than grow without bound.
+      DropSend(src, frame_len, std::move(m.payload));
+      return false;
+    }
+    size_t written = 0;
+    if (c->ready && c->backlog_bytes() == 0) {
+      // Fast path: scatter-gather the header and the payload straight to
+      // the kernel, no intermediate copy of the batch bytes.
+      iovec iov[2];
+      iov[0] = {hdr, kHeaderSize};
+      iov[1] = {const_cast<char*>(m.payload.data()), m.payload.size()};
+      msghdr mh{};
+      mh.msg_iov = iov;
+      mh.msg_iovlen = m.payload.empty() ? 1 : 2;
+      ssize_t w = sendmsg(c->fd, &mh, MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno != EAGAIN && errno != EWOULDBLOCK) {
+          close_it = true;
+        }
+        w = 0;
+      }
+      written = static_cast<size_t>(w);
+    }
+    if (close_it) {
+      // fallthrough: close below, count this message as dropped.
+    } else if (written < frame_len) {
+      size_t hdr_done = written < kHeaderSize ? written : kHeaderSize;
+      size_t pay_done = written - hdr_done;
+      c->out_buf.append(hdr + hdr_done, kHeaderSize - hdr_done);
+      c->out_buf.append(m.payload.data() + pay_done,
+                        m.payload.size() - pay_done);
+      c->out_frames.emplace_back(frame_len - written, true);
+      ArmWriteLocked(c.get());
+    }
+  }
+  if (close_it) {
+    CloseConn(c.get(), /*throttle_reconnect=*/true);
+    DropSend(src, frame_len, std::move(m.payload));
+    return false;
+  }
+  bytes_.fetch_add(frame_len, std::memory_order_relaxed);
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  pool_.Release(src, std::move(m.payload));
+  return true;
+}
+
+bool TcpTransport::Poll(int dst, Message* out) {
+  if (down_[dst].load(std::memory_order_acquire)) return false;
+  DstQueue& q = inbound_[dst];
+  if (q.pending.load(std::memory_order_acquire) == 0) return false;
+  std::lock_guard<SpinLock> g(q.mu);
+  if (q.q.empty()) return false;
+  *out = std::move(q.q.front());
+  q.q.pop_front();
+  q.pending.fetch_sub(1, std::memory_order_release);
+  return true;
+}
+
+bool TcpTransport::HasTraffic(int dst) const {
+  return inbound_[dst].pending.load(std::memory_order_acquire) != 0;
+}
+
+void TcpTransport::SetDown(int endpoint, bool down) {
+  down_[endpoint].store(down, std::memory_order_release);
+  if (down) {
+    // Cut existing links to/from the endpoint; their backlogs count as
+    // dropped (fail-stop).  New sends are rejected by the down_ check.
+    std::vector<std::shared_ptr<Conn>> victims;
+    {
+      std::lock_guard<std::mutex> g(conns_mu_);
+      for (auto& c : all_conns_) {
+        if (c != nullptr && !c->dead &&
+            (c->src == endpoint || c->dst == endpoint)) {
+          victims.push_back(c);
+        }
+      }
+    }
+    for (auto& c : victims) CloseConn(c.get(), /*throttle_reconnect=*/false);
+  } else {
+    // Re-admitted (rejoin): allow immediate reconnects.
+    std::lock_guard<std::mutex> g(conns_mu_);
+    for (int other = 0; other < endpoints_; ++other) {
+      retry_at_[static_cast<size_t>(other) * endpoints_ + endpoint] = 0;
+      retry_at_[static_cast<size_t>(endpoint) * endpoints_ + other] = 0;
+    }
+  }
+}
+
+void TcpTransport::AcceptConns(Listener* l) {
+  for (;;) {
+    int fd = accept4(l->fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;
+    SetNoDelay(fd);
+    auto c = std::make_shared<Conn>();
+    c->fd = fd;  // src/dst unknown until the handshake arrives
+    {
+      std::lock_guard<std::mutex> g(conns_mu_);
+      all_conns_.push_back(c);
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = static_cast<Pollable*>(c.get());
+    epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
+  }
+}
+
+void TcpTransport::DeliverLocked(Conn* c) {
+  Message m = std::move(c->in_msg);
+  c->in_msg = Message();
+  m.deliver_at = NowNanos();
+  int dst = m.dst;
+  if (dst < 0 || dst >= endpoints_ || !is_local_[dst]) {
+    pool_.Release(c->dst.load() < 0 ? 0 : c->dst.load(), std::move(m.payload));
+    dropped_messages_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  DstQueue& q = inbound_[dst];
+  std::lock_guard<SpinLock> g(q.mu);
+  q.q.push_back(std::move(m));
+  q.pending.fetch_add(1, std::memory_order_release);
+}
+
+void TcpTransport::ReadConn(Conn* c) {
+  bool close_it = false;
+  std::shared_ptr<Conn> replaced;
+  {
+    std::lock_guard<std::mutex> g(c->mu);
+    if (c->dead || c->fd < 0) return;
+    // Bound the work per wakeup so one firehose connection cannot starve
+    // the rest; level-triggered epoll re-fires for the remainder.
+    for (int frames = 0; frames < 64 && !close_it;) {
+      if (!c->hs_done) {
+        ssize_t r = read(c->fd, c->hs + c->hs_have,
+                         kHandshakeSize - c->hs_have);
+        if (r <= 0) {
+          if (r == 0 || (errno != EAGAIN && errno != EWOULDBLOCK)) {
+            close_it = true;
+          }
+          break;
+        }
+        c->hs_have += static_cast<size_t>(r);
+        if (c->hs_have < kHandshakeSize) continue;
+        uint32_t magic;
+        int32_t src, dst;
+        std::memcpy(&magic, c->hs, 4);
+        std::memcpy(&src, c->hs + 4, 4);
+        std::memcpy(&dst, c->hs + 8, 4);
+        if (magic != kMagic || src < 0 || src >= endpoints_ || dst < 0 ||
+            dst >= endpoints_ || !is_local_[dst]) {
+          close_it = true;
+          break;
+        }
+        c->src = src;
+        c->dst = dst;
+        c->hs_done = true;
+        // A fresh handshake for a pair replaces any stale connection from
+        // a previous peer incarnation: its unread bytes must not
+        // resurrect after the restart.
+        size_t slot = static_cast<size_t>(src) * endpoints_ + dst;
+        std::lock_guard<std::mutex> cg(conns_mu_);
+        replaced = in_conn_[slot];
+        in_conn_[slot] = c->shared_from_this();
+        continue;
+      }
+      if (!c->in_body) {
+        ssize_t r =
+            read(c->fd, c->hdr + c->hdr_have, kHeaderSize - c->hdr_have);
+        if (r <= 0) {
+          if (r == 0 || (errno != EAGAIN && errno != EWOULDBLOCK)) {
+            close_it = true;
+          }
+          break;
+        }
+        c->hdr_have += static_cast<size_t>(r);
+        if (c->hdr_have < kHeaderSize) continue;
+        uint32_t len;
+        int32_t src, dst;
+        uint16_t type;
+        std::memcpy(&len, c->hdr, 4);
+        std::memcpy(&src, c->hdr + 4, 4);
+        std::memcpy(&dst, c->hdr + 8, 4);
+        std::memcpy(&type, c->hdr + 12, 2);
+        std::memcpy(&c->in_msg.flags, c->hdr + 14, 2);
+        std::memcpy(&c->in_msg.rpc_id, c->hdr + 16, 8);
+        if (len > opts_.max_frame_bytes) {
+          close_it = true;
+          break;
+        }
+        c->in_msg.src = src;
+        c->in_msg.dst = dst;
+        c->in_msg.type = static_cast<MsgType>(type);
+        c->in_msg.payload = pool_.Acquire(c->dst);
+        c->in_msg.payload.resize(len);
+        c->body_len = len;
+        c->body_have = 0;
+        c->in_body = true;
+        c->hdr_have = 0;
+      }
+      if (c->body_have < c->body_len) {
+        ssize_t r = read(c->fd, c->in_msg.payload.data() + c->body_have,
+                         c->body_len - c->body_have);
+        if (r <= 0) {
+          if (r == 0 || (errno != EAGAIN && errno != EWOULDBLOCK)) {
+            close_it = true;
+          }
+          break;
+        }
+        c->body_have += static_cast<size_t>(r);
+      }
+      if (c->body_have == c->body_len) {
+        c->in_body = false;
+        DeliverLocked(c);
+        ++frames;
+      }
+    }
+  }
+  if (replaced != nullptr && replaced.get() != c) {
+    CloseConn(replaced.get(), /*throttle_reconnect=*/false);
+  }
+  if (close_it) CloseConn(c, /*throttle_reconnect=*/true);
+}
+
+void TcpTransport::FlushConn(Conn* c) {
+  bool close_it = false;
+  {
+    std::lock_guard<std::mutex> g(c->mu);
+    if (c->dead || c->fd < 0) return;
+    if (!c->ready && c->outgoing) {
+      int err = 0;
+      socklen_t elen = sizeof(err);
+      getsockopt(c->fd, SOL_SOCKET, SO_ERROR, &err, &elen);
+      if (err != 0) {
+        close_it = true;
+      } else {
+        c->ready = true;
+      }
+    }
+    while (!close_it && c->backlog_bytes() > 0) {
+      ssize_t w = send(c->fd, c->out_buf.data() + c->out_off,
+                       c->backlog_bytes(), MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        close_it = true;
+        break;
+      }
+      c->out_off += static_cast<size_t>(w);
+      size_t consumed = static_cast<size_t>(w);
+      while (consumed > 0 && !c->out_frames.empty()) {
+        auto& [len, is_msg] = c->out_frames.front();
+        (void)is_msg;
+        size_t take = len < consumed ? len : consumed;
+        len -= take;
+        consumed -= take;
+        if (len == 0) c->out_frames.pop_front();
+      }
+    }
+    if (!close_it && c->backlog_bytes() == 0) {
+      c->out_buf.clear();
+      c->out_off = 0;
+      DisarmWriteLocked(c);
+    } else if (!close_it && c->out_off > (1u << 20)) {
+      // Sustained partial backlog: reclaim the consumed prefix, or the
+      // buffer grows by the whole traffic volume of a busy stretch (the
+      // cap in Send() measures backlog_bytes(), not raw buffer size).
+      c->out_buf.erase(0, c->out_off);
+      c->out_off = 0;
+    }
+  }
+  if (close_it) CloseConn(c, /*throttle_reconnect=*/true);
+}
+
+void TcpTransport::IoLoop() {
+  epoll_event evs[64];
+  while (running_.load(std::memory_order_acquire)) {
+    int n = epoll_wait(epfd_, evs, 64, 20 /*ms*/);
+    for (int i = 0; i < n; ++i) {
+      Pollable* p = static_cast<Pollable*>(evs[i].data.ptr);
+      if (p->is_listener) {
+        AcceptConns(static_cast<Listener*>(p));
+        continue;
+      }
+      // Conn objects live until Stop() (which joins this thread first), so
+      // the raw pointer in the event payload is always valid; a stale
+      // event for a closed connection is ignored via the dead flag.
+      Conn* c = static_cast<Conn*>(p);
+      if ((evs[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        // Drain what is readable first (a peer that wrote then closed),
+        // then tear the connection down.
+        if ((evs[i].events & EPOLLIN) != 0) ReadConn(c);
+        CloseConn(c, /*throttle_reconnect=*/true);
+        continue;
+      }
+      if ((evs[i].events & EPOLLOUT) != 0) FlushConn(c);
+      if ((evs[i].events & EPOLLIN) != 0) ReadConn(c);
+    }
+  }
+}
+
+std::unique_ptr<Transport> MakeTransport(int endpoints,
+                                         const TransportConfig& config) {
+  if (config.kind == TransportKind::kTcp) {
+    return std::make_unique<TcpTransport>(endpoints, config.tcp);
+  }
+  return std::make_unique<Fabric>(endpoints, config.sim);
+}
+
+}  // namespace star::net

@@ -1,0 +1,233 @@
+#ifndef STAR_NET_TCP_TRANSPORT_H_
+#define STAR_NET_TCP_TRANSPORT_H_
+
+#include <netinet/in.h>
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/spinlock.h"
+#include "net/message.h"
+#include "net/payload_pool.h"
+#include "net/transport.h"
+
+namespace star::net {
+
+/// Real-socket implementation of Transport: nonblocking TCP + epoll, so the
+/// same engines that run over the simulated fabric run as separate OS
+/// processes over localhost (or a LAN).
+///
+/// Wire model:
+///  * One TCP connection per ordered (src, dst) endpoint pair, established
+///    lazily by the first Send and identified by a 12-byte handshake
+///    carrying (magic, src, dst).  One connection per direction keeps
+///    per-(src, dst) FIFO trivially true and makes reconnection after a
+///    process restart unambiguous: a new handshake for an existing pair
+///    replaces (and closes) the stale connection, so bytes from a previous
+///    incarnation can never resurrect.
+///  * Length-prefixed frames: a fixed 24-byte header (payload length, src,
+///    dst, type, flags, rpc_id) followed by the payload.  The send path
+///    writes header + payload with one scatter-gather sendmsg() straight
+///    from the caller's buffer — the payload (serialised in place from the
+///    arena-backed write-set views) is never re-copied unless the kernel
+///    accepts only part of the frame, in which case the remainder is queued
+///    and flushed by the io thread on EPOLLOUT.
+///  * The receive path reads the body directly into a payload-pool buffer
+///    sized from the header, so a warmed-up receiver does not allocate.
+///
+/// Threading: Send() runs on the caller (worker/io) thread and performs the
+/// socket write itself when the connection is idle; a single background
+/// epoll thread handles accepts, connect completions, reads, and backlog
+/// flushes.  Parsed messages land in per-destination queues that Poll()
+/// drains, mirroring the fabric's interface.
+///
+/// Fail-stop semantics: Send() to or from an endpoint marked down is
+/// dropped at the send side and counted (the receive path is deliberately
+/// not filtered by source — a rejoining process is a *new* incarnation and
+/// its first messages must get through; engines already ignore data-plane
+/// traffic from nodes they consider failed).  Poll() on a down endpoint
+/// returns false.  A connection error (peer process died) closes the
+/// connection and counts any backlogged frames as dropped; subsequent sends
+/// retry the connect with a throttle.
+///
+/// Caveat vs the sim: a frame accepted by Send() can still die with its
+/// connection (backlog dropped on a conn error), so "accepted" is not
+/// "delivered" the way it is on the fabric.  Under the fail-stop model a
+/// connection error between live peers is indistinguishable from a peer
+/// crash, and the system heals through the same machinery: the replication
+/// fence stalls on the lost entries, times out, and the view change that
+/// evicts the stalled side resets the delivery accounting.  Retransmitting
+/// the backlog instead is NOT an option — the head frame may be partially
+/// written, and resuming mid-stream would re-order or tear the per-link
+/// FIFO that operation replication depends on.
+///
+/// What this transport does NOT model, by design: the sim's configurable
+/// link latency and per-node bandwidth cap.  Figure reproductions therefore
+/// keep using SimTransport; this class is the deployment substrate.
+class TcpTransport : public Transport {
+ public:
+  TcpTransport(int endpoints, const TcpNetOptions& options);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// Binds + listens on every local endpoint's port and starts the epoll
+  /// thread.  Returns false if a listen socket cannot be set up (port
+  /// taken, bad host) — or if base_port == 0 while some endpoints are
+  /// remote (peer ports would be unknowable).
+  bool Start() override;
+
+  /// Best-effort flushes pending outbound bytes, then closes every socket
+  /// and joins the epoll thread.
+  void Stop() override;
+
+  bool Send(Message&& m) override;
+  bool Poll(int dst, Message* out) override;
+  bool HasTraffic(int dst) const override;
+
+  void SetDown(int endpoint, bool down) override;
+  bool IsDown(int endpoint) const override {
+    return down_[endpoint].load(std::memory_order_acquire);
+  }
+
+  uint64_t total_bytes() const override {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_messages() const override {
+    return messages_.load(std::memory_order_relaxed);
+  }
+  uint64_t dropped_bytes() const override {
+    return dropped_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t dropped_messages() const override {
+    return dropped_messages_.load(std::memory_order_relaxed);
+  }
+  void ResetStats() override {
+    bytes_.store(0, std::memory_order_relaxed);
+    messages_.store(0, std::memory_order_relaxed);
+    dropped_bytes_.store(0, std::memory_order_relaxed);
+    dropped_messages_.store(0, std::memory_order_relaxed);
+  }
+
+  PayloadPool& payload_pool() override { return pool_; }
+  int endpoints() const override { return endpoints_; }
+  TransportKind kind() const override { return TransportKind::kTcp; }
+
+  /// Actual listen port of local endpoint `i` (interesting when base_port
+  /// == 0 picked ephemeral ports).
+  int listen_port(int i) const { return ports_[i]; }
+
+  static constexpr size_t kHeaderSize = 24;
+  static constexpr size_t kHandshakeSize = 12;
+  static constexpr uint32_t kMagic = 0x52415453;  // "STAR" little-endian
+
+ private:
+  /// Common base for everything registered with epoll, so event.data.ptr
+  /// can be tagged.
+  struct Pollable {
+    bool is_listener = false;
+  };
+
+  struct Listener : Pollable {
+    int fd = -1;
+    int endpoint = -1;
+  };
+
+  /// One direction of one endpoint pair.  All socket operations and state
+  /// transitions happen under `mu`; `fd == -1` marks a closed socket (the
+  /// fd is invalidated under the lock before close(), so no thread can
+  /// write to a recycled descriptor).
+  struct Conn : Pollable, std::enable_shared_from_this<Conn> {
+    std::mutex mu;
+    int fd = -1;
+    // src/dst/dead are read by SetDown()'s registry scan (under conns_mu_,
+    // not this->mu) while the io thread mutates them under mu — atomics
+    // keep that cross-lock-domain traffic defined.
+    std::atomic<int> src{-1};
+    std::atomic<int> dst{-1};
+    std::atomic<bool> dead{false};
+    bool outgoing = false;
+    bool ready = false;       // outgoing: connect completed
+    bool want_write = false;  // EPOLLOUT armed
+
+    // Outbound backlog (bytes the kernel has not yet accepted).
+    std::string out_buf;
+    size_t out_off = 0;
+    /// Byte length of each queued frame (second: counts as a dropped
+    /// *message* if the connection dies), so drop accounting can translate
+    /// a dead backlog back into messages.
+    std::deque<std::pair<size_t, bool>> out_frames;
+
+    // Inbound reassembly state machine: handshake -> header -> body.
+    char hs[kHandshakeSize];
+    size_t hs_have = 0;
+    bool hs_done = false;
+    char hdr[kHeaderSize];
+    size_t hdr_have = 0;
+    bool in_body = false;
+    size_t body_len = 0;
+    size_t body_have = 0;
+    Message in_msg;
+
+    size_t backlog_bytes() const { return out_buf.size() - out_off; }
+  };
+
+  struct alignas(64) DstQueue {
+    mutable SpinLock mu;
+    std::deque<Message> q;
+    std::atomic<uint64_t> pending{0};
+  };
+
+  std::shared_ptr<Conn> GetOrConnect(int src, int dst);
+  void DropSend(int src_hint, size_t frame_bytes, std::string&& payload);
+  void CloseConn(Conn* c, bool throttle_reconnect);
+  void ArmWriteLocked(Conn* c);
+  void DisarmWriteLocked(Conn* c);
+  void FlushConn(Conn* c);
+  void ReadConn(Conn* c);
+  void AcceptConns(Listener* l);
+  void DeliverLocked(Conn* c);
+  void IoLoop();
+  bool PeerAddr(int dst, ::sockaddr_in* out) const;
+
+  int endpoints_;
+  TcpNetOptions opts_;
+  std::vector<bool> is_local_;
+  std::vector<int> ports_;  // actual listen port per endpoint (0 = unknown)
+  std::vector<std::unique_ptr<Listener>> listeners_;
+
+  int epfd_ = -1;
+  std::thread io_thread_;
+  std::atomic<bool> running_{false};
+
+  /// Registry: all_conns_ owns every Conn ever created (graveyard included,
+  /// so epoll data pointers stay valid until Stop); out_conn_/in_conn_ are
+  /// the live slots per ordered (src, dst) pair.
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Conn>> all_conns_;
+  std::vector<std::shared_ptr<Conn>> out_conn_;
+  std::vector<std::shared_ptr<Conn>> in_conn_;
+  std::vector<uint64_t> retry_at_;  // per out slot: no reconnect before this
+
+  std::vector<DstQueue> inbound_;
+  std::vector<std::atomic<bool>> down_;
+
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> messages_{0};
+  std::atomic<uint64_t> dropped_bytes_{0};
+  std::atomic<uint64_t> dropped_messages_{0};
+
+  PayloadPool pool_;
+};
+
+}  // namespace star::net
+
+#endif  // STAR_NET_TCP_TRANSPORT_H_

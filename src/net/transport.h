@@ -1,0 +1,145 @@
+#ifndef STAR_NET_TRANSPORT_H_
+#define STAR_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+#include "net/payload_pool.h"
+
+namespace star::net {
+
+/// Which message substrate a cluster runs on.
+enum class TransportKind : uint8_t {
+  kSim = 0,  // in-process simulated fabric (latency/bandwidth model)
+  kTcp = 1,  // real nonblocking TCP sockets (single- or multi-process)
+};
+
+inline const char* TransportKindName(TransportKind k) {
+  switch (k) {
+    case TransportKind::kSim: return "sim";
+    case TransportKind::kTcp: return "tcp";
+  }
+  return "?";
+}
+
+/// Parameters of the simulated network.  Defaults approximate the paper's
+/// EC2 testbed (Section 7.1): same-AZ one-way latency of ~50 us and a
+/// 4.8 Gbit/s per-node link as measured by iperf.
+struct SimNetOptions {
+  double link_latency_us = 50.0;
+  double local_latency_us = 0.0;  // loopback (src == dst)
+  double bandwidth_gbps = 4.8;    // per-endpoint egress; <= 0 -> unlimited
+  /// Fixed per-message overhead charged against bandwidth, modelling
+  /// TCP/IP + framing headers.
+  uint32_t per_message_overhead_bytes = 54;
+};
+
+/// Parameters of the TCP transport.  Endpoint `i` listens on
+/// `base_port + i` on `host`; with `base_port == 0` every local endpoint
+/// binds an ephemeral port (valid only when all endpoints are local, i.e.
+/// the single-process configurations used by tests and benches).
+struct TcpNetOptions {
+  std::string host = "127.0.0.1";
+  int base_port = 0;
+  /// Endpoint ids hosted by this process (empty = all of them).  Multi-
+  /// process deployments give each process its own subset; Send() to a
+  /// remote endpoint goes over the wire, Poll() is only meaningful for
+  /// local endpoints.
+  std::vector<int> local_endpoints;
+  /// Throttle between reconnect attempts to an unreachable peer; failed
+  /// sends in between are dropped (fail-stop accounting).
+  double connect_retry_ms = 100.0;
+  /// Hard ceiling on a single framed message (sanity check against
+  /// corrupted length prefixes) and on a connection's send backlog.
+  size_t max_frame_bytes = 64u << 20;
+};
+
+/// Everything needed to build a Transport; engines construct this from
+/// their options and hand it to MakeTransport().
+struct TransportConfig {
+  TransportKind kind = TransportKind::kSim;
+  SimNetOptions sim;
+  TcpNetOptions tcp;
+};
+
+/// The message substrate every engine runs on.  Two implementations:
+///
+///  * SimTransport (net/fabric.h) — the in-process simulated fabric with an
+///    explicit latency/bandwidth model; the default, and what every figure
+///    reproduction uses.
+///  * TcpTransport (net/tcp_transport.h) — real nonblocking sockets, so the
+///    same engines run as separate OS processes over localhost or a LAN.
+///
+/// Contract shared by both (and machine-checked by the transport
+/// conformance suite in tests/transport_conformance_test.cc):
+///
+///  * Per-(src, dst) FIFO: messages between one ordered endpoint pair are
+///    delivered in send order.  Operation replication in the partitioned
+///    phase relies on this (Section 5).
+///  * Fail-stop drops: Send() to or from a down endpoint returns false, the
+///    message is dropped (payload recycled) and counted in dropped_*();
+///    bringing an endpoint back up never resurrects dropped messages.
+///  * Poll() on a down endpoint returns false.
+///  * Payload recycling: accepted payloads circulate through payload_pool()
+///    so the steady-state send/receive path does not heap-allocate.
+///  * Byte accounting: total_bytes()/total_messages() count egress accepted
+///    by Send(), including framing overhead.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Brings the substrate up (bind/listen/connect for TCP; no-op for the
+  /// sim).  Must be called before the first Send().  Returns false when the
+  /// substrate cannot start (e.g. a listen port is taken).
+  virtual bool Start() { return true; }
+
+  /// Tears the substrate down; pending outbound bytes are flushed on a best
+  /// effort basis first.
+  virtual void Stop() {}
+
+  /// Queues a message for delivery.  The return value reports whether the
+  /// transport accepted it; rejected messages (fail-stop peer, dead link)
+  /// are counted in dropped_messages()/dropped_bytes() and their payload is
+  /// recycled, so senders can keep delivery accounting exact.
+  virtual bool Send(Message&& m) = 0;
+
+  /// Retrieves one ready message for local endpoint `dst`.  Returns false
+  /// if nothing is deliverable (or `dst` is down).
+  virtual bool Poll(int dst, Message* out) = 0;
+
+  /// True if any message is queued (ready or in flight) for `dst`.  For the
+  /// TCP transport this covers parsed inbound frames only, not bytes still
+  /// in kernel buffers.
+  virtual bool HasTraffic(int dst) const = 0;
+
+  /// Fail-stop injection: while down, an endpoint sends and receives
+  /// nothing.  Bringing it back up does not resurrect dropped messages.
+  virtual void SetDown(int endpoint, bool down) = 0;
+  virtual bool IsDown(int endpoint) const = 0;
+
+  // --- accounting ---
+  virtual uint64_t total_bytes() const = 0;
+  virtual uint64_t total_messages() const = 0;
+  virtual uint64_t dropped_bytes() const = 0;
+  virtual uint64_t dropped_messages() const = 0;
+  virtual void ResetStats() = 0;
+
+  /// Shared payload recycler (see PayloadPool).  Senders acquire their
+  /// batch buffers here; endpoints return payloads after delivery.
+  virtual PayloadPool& payload_pool() = 0;
+
+  virtual int endpoints() const = 0;
+  virtual TransportKind kind() const = 0;
+};
+
+/// Builds the transport selected by `config.kind` with `endpoints` endpoint
+/// slots.  The caller owns the result and must call Start() before use.
+std::unique_ptr<Transport> MakeTransport(int endpoints,
+                                         const TransportConfig& config);
+
+}  // namespace star::net
+
+#endif  // STAR_NET_TRANSPORT_H_

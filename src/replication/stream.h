@@ -58,11 +58,12 @@ class ReplicationCounters {
 ///
 /// Entries are serialised straight from the committing transaction's
 /// write-set views (arena value bytes, pooled operation ranges) into batch
-/// buffers whose backing strings come from the fabric's payload pool, so a
+/// buffers whose backing strings come from the transport's payload pool, so a
 /// warmed-up stream ships batches without heap allocation.
 ///
 /// Fence accounting is exact under fail-stop drops: a batch rejected by the
-/// fabric (peer declared down) is NOT counted as sent, so the fence never
+/// transport (peer declared down or link dead) is NOT counted as sent, so
+/// the fence never
 /// waits on — and the rebuilt accounting never credits — writes that no one
 /// will apply.
 class ReplicationStream {

@@ -129,10 +129,10 @@ TEST(SiloContext, ResetDoesNotLeakValueBytesAcrossTransactions) {
 TEST(WriteSet, OpsOnlyEntriesRoundTripThroughReplication) {
   auto primary = MakeDb();
   auto replica = MakeDb();
-  net::FabricOptions fopts;
+  net::SimNetOptions fopts;
   fopts.link_latency_us = 0;
   fopts.bandwidth_gbps = 0;
-  net::Fabric fabric(2, fopts);
+  net::SimTransport fabric(2, fopts);
   net::Endpoint ep(&fabric, 0);
   ReplicationCounters counters(2);
   ReplicationStream stream(&ep, &counters, 2);
@@ -166,10 +166,10 @@ TEST(WriteSet, OpsOnlyEntriesRoundTripThroughReplication) {
 /// ships exactly one batch, and sent/applied counters agree entry-for-entry.
 TEST(ReplicationStream, FlushThresholdAndCountersExactUnderBatching) {
   auto db = MakeDb();
-  net::FabricOptions fopts;
+  net::SimNetOptions fopts;
   fopts.link_latency_us = 0;
   fopts.bandwidth_gbps = 0;
-  net::Fabric fabric(2, fopts);
+  net::SimTransport fabric(2, fopts);
   net::Endpoint ep(&fabric, 0);
   ReplicationCounters counters(2);
   // Threshold fits ~3 value entries (1+4+4+8+8 header + 4+16 value = 45 B).
@@ -206,9 +206,9 @@ TEST(ReplicationStream, FlushThresholdAndCountersExactUnderBatching) {
 /// counted as sent, or the fence would wait for writes nobody will apply.
 TEST(ReplicationStream, FailStopDropsAreNotCountedAsSent) {
   auto db = MakeDb();
-  net::FabricOptions fopts;
+  net::SimNetOptions fopts;
   fopts.link_latency_us = 0;
-  net::Fabric fabric(2, fopts);
+  net::SimTransport fabric(2, fopts);
   net::Endpoint ep(&fabric, 0);
   ReplicationCounters counters(2);
   ReplicationStream stream(&ep, &counters, 2);
@@ -265,11 +265,11 @@ TEST(WriteBuffer, AdoptReusesBackingCapacity) {
 }
 
 /// The ready-bitmap poll must work past one 64-bit word of sources.
-TEST(Fabric, PollScalesPastSixtyFourEndpoints) {
-  net::FabricOptions fopts;
+TEST(SimTransport, PollScalesPastSixtyFourEndpoints) {
+  net::SimNetOptions fopts;
   fopts.link_latency_us = 0;
   fopts.bandwidth_gbps = 0;
-  net::Fabric fabric(70, fopts);
+  net::SimTransport fabric(70, fopts);
   auto send = [&](int src, const char* body) {
     net::Message m;
     m.src = src;
@@ -294,9 +294,9 @@ TEST(Fabric, PollScalesPastSixtyFourEndpoints) {
   EXPECT_FALSE(fabric.HasTraffic(1));
 }
 
-TEST(Fabric, SendReportsFailStopDrop) {
-  net::FabricOptions fopts;
-  net::Fabric fabric(2, fopts);
+TEST(SimTransport, SendReportsFailStopDrop) {
+  net::SimNetOptions fopts;
+  net::SimTransport fabric(2, fopts);
   fabric.SetDown(1, true);
   net::Message m;
   m.src = 0;

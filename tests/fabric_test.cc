@@ -1,5 +1,8 @@
-// Simulated network fabric and RPC endpoints (the substitution for the
-// paper's EC2 cluster; see DESIGN.md Section 2).
+// Simulated network fabric (SimTransport) and RPC endpoints — the model
+// substituting for the paper's EC2 cluster (see DESIGN.md Section 2) and
+// the bits of it that real TCP does not provide: the latency/bandwidth
+// model.  Cross-implementation behaviour lives in
+// transport_conformance_test.cc.
 
 #include "net/fabric.h"
 
@@ -13,8 +16,8 @@
 namespace star::net {
 namespace {
 
-FabricOptions FastNet() {
-  FabricOptions o;
+SimNetOptions FastNet() {
+  SimNetOptions o;
   o.link_latency_us = 50;
   o.bandwidth_gbps = 4.8;
   return o;
@@ -29,8 +32,8 @@ Message Make(int src, int dst, std::string payload) {
   return m;
 }
 
-TEST(Fabric, DeliversAfterLatency) {
-  Fabric f(2, FastNet());
+TEST(SimTransport, DeliversAfterLatency) {
+  SimTransport f(2, FastNet());
   uint64_t t0 = NowNanos();
   f.Send(Make(0, 1, "hi"));
   Message out;
@@ -43,8 +46,8 @@ TEST(Fabric, DeliversAfterLatency) {
   EXPECT_EQ(out.payload, "hi");
 }
 
-TEST(Fabric, FifoPerLink) {
-  Fabric f(2, FastNet());
+TEST(SimTransport, FifoPerLink) {
+  SimTransport f(2, FastNet());
   for (int i = 0; i < 100; ++i) {
     f.Send(Make(0, 1, std::to_string(i)));
   }
@@ -56,10 +59,10 @@ TEST(Fabric, FifoPerLink) {
   }
 }
 
-TEST(Fabric, BandwidthSerialisesLargeMessages) {
-  FabricOptions o = FastNet();
+TEST(SimTransport, BandwidthSerialisesLargeMessages) {
+  SimNetOptions o = FastNet();
   o.bandwidth_gbps = 0.1;  // 100 Mbit/s: 1 MB takes ~80 ms
-  Fabric f(2, o);
+  SimTransport f(2, o);
   uint64_t t0 = NowNanos();
   f.Send(Make(0, 1, std::string(1 << 20, 'x')));
   Message out;
@@ -68,8 +71,8 @@ TEST(Fabric, BandwidthSerialisesLargeMessages) {
   EXPECT_GT(ms, 50) << "transmission delay must reflect bandwidth";
 }
 
-TEST(Fabric, DownNodeDropsTraffic) {
-  Fabric f(2, FastNet());
+TEST(SimTransport, DownNodeDropsTraffic) {
+  SimTransport f(2, FastNet());
   f.SetDown(1, true);
   f.Send(Make(0, 1, "lost"));
   std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -79,15 +82,15 @@ TEST(Fabric, DownNodeDropsTraffic) {
   EXPECT_FALSE(f.Poll(1, &out)) << "dropped messages do not resurrect";
 }
 
-TEST(Fabric, CountsBytesAndMessages) {
-  Fabric f(2, FastNet());
+TEST(SimTransport, CountsBytesAndMessages) {
+  SimTransport f(2, FastNet());
   f.Send(Make(0, 1, std::string(100, 'a')));
   EXPECT_EQ(f.total_messages(), 1u);
   EXPECT_GT(f.total_bytes(), 100u) << "per-message overhead counted";
 }
 
 TEST(Endpoint, RpcRoundTrip) {
-  Fabric f(2, FastNet());
+  SimTransport f(2, FastNet());
   Endpoint server(&f, 0), client(&f, 1);
   server.RegisterHandler(MsgType::kPing, [&](Message&& m) {
     server.Respond(m, MsgType::kPong, "pong:" + m.payload);
@@ -102,7 +105,7 @@ TEST(Endpoint, RpcRoundTrip) {
 }
 
 TEST(Endpoint, ParallelCallsComplete) {
-  Fabric f(2, FastNet());
+  SimTransport f(2, FastNet());
   Endpoint server(&f, 0), client(&f, 1);
   server.RegisterHandler(MsgType::kPing, [&](Message&& m) {
     server.Respond(m, MsgType::kPong, m.payload);
@@ -123,7 +126,7 @@ TEST(Endpoint, ParallelCallsComplete) {
 }
 
 TEST(Endpoint, CallToDeadNodeTimesOut) {
-  Fabric f(2, FastNet());
+  SimTransport f(2, FastNet());
   Endpoint client(&f, 1);
   client.Start();
   f.SetDown(0, true);
@@ -136,7 +139,7 @@ TEST(Endpoint, CallToDeadNodeTimesOut) {
 }
 
 TEST(Endpoint, IsReadyNonDestructive) {
-  Fabric f(2, FastNet());
+  SimTransport f(2, FastNet());
   Endpoint server(&f, 0), client(&f, 1);
   server.RegisterHandler(MsgType::kPing, [&](Message&& m) {
     server.Respond(m, MsgType::kPong, "done");

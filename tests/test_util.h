@@ -2,43 +2,17 @@
 #define STAR_TESTS_TEST_UTIL_H_
 
 #include <cstdint>
-#include <string>
 
+#include "storage/checksum.h"
 #include "storage/database.h"
 
 namespace star::testutil {
 
-/// Order-independent checksum of one (table, partition): XOR of per-record
-/// hashes over (key, tid, value bytes).  Two replicas of a partition are in
-/// the same state iff their checksums match.
-inline uint64_t PartitionChecksum(Database& db, int table, int partition) {
-  HashTable* ht = db.table(table, partition);
-  if (ht == nullptr) return 0;
-  uint64_t sum = 0;
-  std::string scratch(ht->value_size(), '\0');
-  ht->ForEach([&](uint64_t key, Record* rec, char* value) {
-    uint64_t w = rec->ReadStable(scratch.data(), scratch.size(), value);
-    if (Record::IsAbsent(w)) return;
-    uint64_t h = HashKey(key) ^ HashKey(Record::TidOf(w));
-    for (size_t i = 0; i < scratch.size(); i += 8) {
-      uint64_t chunk = 0;
-      std::memcpy(&chunk, scratch.data() + i,
-                  std::min<size_t>(8, scratch.size() - i));
-      h = HashKey(h ^ chunk);
-    }
-    sum ^= h;
-  });
-  return sum;
-}
-
-/// Checksum across all tables of a partition.
-inline uint64_t DatabasePartitionChecksum(Database& db, int partition) {
-  uint64_t sum = 0;
-  for (int t = 0; t < db.num_tables(); ++t) {
-    sum ^= HashKey(PartitionChecksum(db, t, partition) + t + 1);
-  }
-  return sum;
-}
+/// Replica-convergence checksums moved to src/storage/checksum.h (the
+/// multi-process shutdown round uses them too); these aliases keep the
+/// historical test spelling.
+using star::DatabasePartitionChecksum;
+using star::PartitionChecksum;
 
 }  // namespace star::testutil
 
