@@ -194,7 +194,12 @@ inline void PrintRow(const std::string& system, double p_percent,
        {"dropped_msgs",
         JsonLog::Format(static_cast<double>(m.network_dropped_messages))},
        {"dropped_bytes",
-        JsonLog::Format(static_cast<double>(m.network_dropped_bytes))}});
+        JsonLog::Format(static_cast<double>(m.network_dropped_bytes))},
+       // Replication batches deliberately ignored because their source was
+       // marked failed — previously invisible (engine.cc handler).
+       {"replication_ignored",
+        JsonLog::Format(
+            static_cast<double>(m.replication_ignored_batches))}});
 }
 
 }  // namespace star::bench

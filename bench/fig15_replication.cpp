@@ -36,6 +36,33 @@ int main() {
     }
   }
 
+  std::printf("\n--- (a') parallel replication replay: fence drain time ---\n");
+  // The fence's drain round waits for replicas to finish applying the
+  // phase's writes (Section 4.3); parallel replay shortens it wherever the
+  // replica has cores to drain with.  (On a single-cpu host the replay
+  // workers time-slice one core, so treat these rows as a correctness /
+  // overhead check, not a scaling result — bench/applier_substrate isolates
+  // the apply-path speedup.)
+  for (int shards : {1, 4}) {
+    StarOptions o = DefaultStar(0.1);
+    o.cluster.replay_shards = shards;
+    StarEngine e(o, tpcc);
+    Metrics m = Measure(e);
+    double drain_ms = e.fence_drain_ns() / 1e6;
+    double per_fence_us =
+        e.fence_count() > 0 ? e.fence_drain_ns() / 1e3 / e.fence_count() : 0;
+    std::printf("replay shards=%d  %10.0f txns/sec  drain %7.2f ms total"
+                "  (%6.1f us/fence, %llu fences)\n",
+                shards, m.Tps(), drain_ms, per_fence_us,
+                static_cast<unsigned long long>(e.fence_count()));
+    JsonLog::Instance().Row(
+        {{"system", shards == 1 ? "STAR serial replay" : "STAR 4-shard replay"},
+         {"replay_shards", JsonLog::Format(shards)},
+         {"tps", JsonLog::Format(m.Tps())},
+         {"fence_drain_ms", JsonLog::Format(drain_ms)},
+         {"fence_drain_us_per_fence", JsonLog::Format(per_fence_us)}});
+  }
+
   std::printf("\n--- (b) disk logging + checkpointing overhead ---\n");
   YcsbWorkload ycsb(BenchYcsb());
   auto run = [&](const char* name, const Workload& wl, bool durable) {

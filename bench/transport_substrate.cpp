@@ -55,7 +55,7 @@ namespace {
 
 using bench::JsonLog;
 
-constexpr size_t kBatchBytes = 8 * 1024;  // ReplicationStream's flush size
+constexpr size_t kBatchBytes = 8 * 1024;  // rep_flush_bytes default
 // Max in-flight batches.  Kept under PayloadPool::kMaxPerShard so the
 // recycle loop actually closes — a deeper window would outrun the pool and
 // every excess acquire would hit the allocator.
@@ -65,6 +65,7 @@ struct SubstrateResult {
   double batches_per_sec = 0;
   double mbytes_per_sec = 0;
   double allocs_per_msg = 0;
+  double mean_latency_us = 0;  // send -> delivery, mean over the window
 };
 
 std::unique_ptr<net::Transport> MakeKind(net::TransportKind kind) {
@@ -76,7 +77,8 @@ std::unique_ptr<net::Transport> MakeKind(net::TransportKind kind) {
   return net::MakeTransport(2, c);
 }
 
-SubstrateResult Run(net::TransportKind kind, double seconds) {
+SubstrateResult Run(net::TransportKind kind, double seconds,
+                    size_t batch_bytes = kBatchBytes) {
   auto t = MakeKind(kind);
   if (!t->Start()) {
     std::fprintf(stderr, "transport failed to start\n");
@@ -84,6 +86,7 @@ SubstrateResult Run(net::TransportKind kind, double seconds) {
   }
 
   std::atomic<uint64_t> received{0};
+  std::atomic<uint64_t> latency_ns{0};
   std::atomic<bool> stop{false};
 
   // Consumer: the replica's io loop — poll, "apply", recycle the payload.
@@ -94,6 +97,10 @@ SubstrateResult Run(net::TransportKind kind, double seconds) {
         star::CpuRelax();
         continue;
       }
+      uint64_t sent_at = 0;
+      std::memcpy(&sent_at, m.payload.data() + sizeof(uint64_t),
+                  sizeof(sent_at));
+      latency_ns.fetch_add(NowNanos() - sent_at, std::memory_order_relaxed);
       received.fetch_add(1, std::memory_order_release);
       // Release to the producer's shard: the recycle loop is cross-thread
       // here (producer acquires with hint 0).
@@ -103,8 +110,10 @@ SubstrateResult Run(net::TransportKind kind, double seconds) {
 
   auto send_one = [&](uint64_t seq) {
     std::string payload = t->payload_pool().Acquire(0);
-    payload.resize(kBatchBytes);
+    payload.resize(batch_bytes);
     std::memcpy(payload.data(), &seq, sizeof(seq));
+    uint64_t now = NowNanos();
+    std::memcpy(payload.data() + sizeof(uint64_t), &now, sizeof(now));
     net::Message m;
     m.src = 0;
     m.dst = 1;
@@ -128,6 +137,7 @@ SubstrateResult Run(net::TransportKind kind, double seconds) {
 
   // Measured window.
   uint64_t allocs0 = g_allocations.load(std::memory_order_relaxed);
+  uint64_t latency0 = latency_ns.load(std::memory_order_relaxed);
   uint64_t t0 = NowNanos();
   uint64_t deadline = t0 + static_cast<uint64_t>(seconds * 1e9);
   uint64_t measured0 = sent;
@@ -141,6 +151,7 @@ SubstrateResult Run(net::TransportKind kind, double seconds) {
   double secs = (NowNanos() - t0) / 1e9;
   uint64_t msgs = sent - measured0;
   uint64_t allocs = g_allocations.load(std::memory_order_relaxed) - allocs0;
+  uint64_t lat = latency_ns.load(std::memory_order_relaxed) - latency0;
 
   stop.store(true, std::memory_order_release);
   consumer.join();
@@ -148,20 +159,27 @@ SubstrateResult Run(net::TransportKind kind, double seconds) {
 
   SubstrateResult r;
   r.batches_per_sec = msgs / secs;
-  r.mbytes_per_sec = msgs * double(kBatchBytes) / secs / (1 << 20);
+  r.mbytes_per_sec = msgs * double(batch_bytes) / secs / (1 << 20);
   r.allocs_per_msg = double(allocs) / msgs;
+  r.mean_latency_us = double(lat) / msgs / 1000.0;
   return r;
 }
 
-void Report(const char* name, const SubstrateResult& r) {
-  std::printf("%-18s %10.0f batches/sec  %8.1f MB/s  %8.4f allocs/msg\n",
-              name, r.batches_per_sec, r.mbytes_per_sec, r.allocs_per_msg);
+void Report(const char* name, const SubstrateResult& r,
+            size_t batch_bytes = kBatchBytes) {
+  std::printf(
+      "%-18s %6zuB %10.0f batches/sec  %8.1f MB/s  %8.4f allocs/msg"
+      "  %8.1f us\n",
+      name, batch_bytes, r.batches_per_sec, r.mbytes_per_sec, r.allocs_per_msg,
+      r.mean_latency_us);
   std::fflush(stdout);
   JsonLog::Instance().Row(
       {{"transport", name},
+       {"batch_bytes", JsonLog::Format(static_cast<double>(batch_bytes))},
        {"batches_per_sec", JsonLog::Format(r.batches_per_sec)},
        {"mbytes_per_sec", JsonLog::Format(r.mbytes_per_sec)},
-       {"allocs_per_msg", JsonLog::Format(r.allocs_per_msg)}});
+       {"allocs_per_msg", JsonLog::Format(r.allocs_per_msg)},
+       {"mean_latency_us", JsonLog::Format(r.mean_latency_us)}});
 }
 
 }  // namespace
@@ -180,5 +198,21 @@ int main() {
   std::printf(
       "\nthe TCP path pays one memcpy at the receiver (socket -> pooled\n"
       "buffer); the send side is scatter-gather straight from the batch.\n");
+
+  // The rep_flush_bytes trade-off (ClusterConfig::rep_flush_bytes): bigger
+  // replication batches amortise per-message cost, smaller ones cut the
+  // replica's apply lag.  Sweep the flush sizes a stream would use.
+  std::printf(
+      "\n--- flush-size sweep (batch bytes == ReplicationStream flush "
+      "threshold) ---\n");
+  for (size_t bytes : {size_t{1} << 10, size_t{4} << 10, size_t{8} << 10,
+                       size_t{32} << 10}) {
+    star::SubstrateResult s =
+        star::Run(star::net::TransportKind::kSim, secs * 0.5, bytes);
+    star::Report("sim", s, bytes);
+    star::SubstrateResult c =
+        star::Run(star::net::TransportKind::kTcp, secs * 0.5, bytes);
+    star::Report("tcp-loopback", c, bytes);
+  }
   return 0;
 }

@@ -32,14 +32,33 @@ ClusterEngine::ClusterEngine(const BaselineOptions& options,
                                           /*two_version=*/false);
     node->endpoint = std::make_unique<net::Endpoint>(
         transport_.get(), i, options_.io_threads_per_node);
-    node->counters = std::make_unique<ReplicationCounters>(num_nodes_);
+    int replay_shards = std::max(1, options_.replay_shards);
+    node->counters =
+        std::make_unique<ReplicationCounters>(num_nodes_, replay_shards);
     node->applier = std::make_unique<ReplicationApplier>(node->db.get(),
                                                          node->counters.get());
+    if (replay_shards >= 2) {
+      ShardedApplier::Options so;
+      so.shards = replay_shards;
+      node->sharded = std::make_unique<ShardedApplier>(
+          node->db.get(), node->counters.get(), so);
+      node->sharded->set_release_hook(
+          [ep = node->endpoint.get()](std::string&& payload) {
+            ep->ReleasePayload(std::move(payload));
+          });
+    }
     node->primaries = placement_.mastered_by(i);
 
     Node* n = node.get();
     node->endpoint->RegisterHandler(
         net::MsgType::kReplicationBatch, [n](net::Message&& m) {
+          // Same dispatch as StarEngine: async batches ride the replay
+          // pipeline when it exists; synchronous batches apply inline so
+          // the ack certifies an *applied* write.
+          if (n->sharded != nullptr && m.rpc_id == 0) {
+            n->sharded->Submit(m.src, std::move(m.payload));
+            return;
+          }
           n->applier->ApplyBatch(m.src, m.payload);
           if (m.rpc_id != 0) {
             n->endpoint->Respond(m, net::MsgType::kReplicationAck, "");
@@ -52,7 +71,8 @@ ClusterEngine::ClusterEngine(const BaselineOptions& options,
           static_cast<uint64_t>(i) * options_.workers_per_node + w;
       auto ws = std::make_unique<WorkerState>(seed, tid_thread, w);
       ws->stream = std::make_unique<ReplicationStream>(
-          node->endpoint.get(), node->counters.get(), num_nodes_);
+          node->endpoint.get(), node->counters.get(), num_nodes_,
+          options_.rep_flush_bytes);
       node->workers.push_back(std::move(ws));
     }
     nodes_.push_back(std::move(node));
@@ -75,7 +95,10 @@ void ClusterEngine::Start() {
   }
   running_.store(true, std::memory_order_release);
   epoch_mgr_.StartTimer();
-  for (auto& node : nodes_) node->endpoint->Start();
+  for (auto& node : nodes_) {
+    if (node->sharded != nullptr) node->sharded->Start();
+    node->endpoint->Start();
+  }
   OnStart();
   for (auto& node : nodes_) {
     for (int w = 0; w < options_.workers_per_node; ++w) {
@@ -204,7 +227,12 @@ Metrics ClusterEngine::Stop() {
     node->threads.clear();
   }
   epoch_mgr_.StopTimer();
-  for (auto& node : nodes_) node->endpoint->Stop();
+  for (auto& node : nodes_) {
+    node->endpoint->Stop();
+    // Io threads are gone: drain the shard queues and join the replay
+    // workers so every accepted batch reaches the store before teardown.
+    if (node->sharded != nullptr) node->sharded->Stop();
+  }
   transport_->Stop();
   Metrics m = Snapshot();
   m.seconds = seconds;

@@ -16,6 +16,7 @@
 #include "net/endpoint.h"
 #include "net/transport.h"
 #include "replication/applier.h"
+#include "replication/sharded_applier.h"
 #include "replication/stream.h"
 
 namespace star {
@@ -70,6 +71,9 @@ class ClusterEngine {
     std::unique_ptr<net::Endpoint> endpoint;
     std::unique_ptr<ReplicationCounters> counters;
     std::unique_ptr<ReplicationApplier> applier;
+    /// Parallel replay pipeline (options.replay_shards >= 2); null for the
+    /// inline serial default.  Same pipeline as StarEngine's.
+    std::unique_ptr<ShardedApplier> sharded;
     std::vector<std::unique_ptr<WorkerState>> workers;
     std::vector<std::thread> threads;
     std::vector<int> primaries;  // partitions this node masters

@@ -1,6 +1,7 @@
 #ifndef STAR_BASELINES_OPTIONS_H_
 #define STAR_BASELINES_OPTIONS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -16,6 +17,13 @@ struct BaselineOptions {
   int num_nodes = 4;
   int workers_per_node = 2;
   int io_threads_per_node = 1;
+  /// Replication replay shards per node (see ClusterConfig::replay_shards):
+  /// 1 = inline serial apply on the io thread, >= 2 = parallel replay
+  /// pipeline.  The baselines share STAR's applier stack.
+  int replay_shards = 1;
+  /// Outbound replication batch flush threshold, bytes (see
+  /// ClusterConfig::rep_flush_bytes).
+  size_t rep_flush_bytes = 8 * 1024;
   /// 0 = one partition per worker thread (the paper's setup).
   int partitions = 0;
   /// Copies of each partition (primary + backups), Section 7.1.3.

@@ -1,6 +1,7 @@
 #ifndef STAR_COMMON_CONFIG_H_
 #define STAR_COMMON_CONFIG_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -26,6 +27,19 @@ struct ClusterConfig {
   int partial_replicas = 3;  // k: nodes holding a partition subset
   int workers_per_node = 2;
   int io_threads_per_node = 1;
+
+  /// Replication replay shards per node: >= 2 routes inbound replication
+  /// batches to a pool of replay workers over per-partition-shard queues
+  /// (replication/sharded_applier.h), so replicas drain a W-wide write
+  /// stream in parallel; 1 (the default) applies inline on the io thread —
+  /// the classic serial path, byte-identical final state.
+  int replay_shards = 1;
+
+  /// Outbound replication batching: a worker's per-destination batch is
+  /// shipped once it reaches this many bytes (ReplicationStream).  Bigger
+  /// batches amortise per-message cost, smaller ones cut replica lag; the
+  /// trade-off is measured in bench/transport_substrate.
+  size_t rep_flush_bytes = 8 * 1024;
 
   /// Number of partitions; 0 means "one per worker thread", the paper's
   /// configuration (Section 7.1: partitions == total worker threads).

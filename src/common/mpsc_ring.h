@@ -1,0 +1,93 @@
+#ifndef STAR_COMMON_MPSC_RING_H_
+#define STAR_COMMON_MPSC_RING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/spinlock.h"
+
+namespace star {
+
+/// Bounded multi-producer / single-consumer ring queue (Vyukov's bounded
+/// queue scheme): each cell carries a sequence word, so producers claim
+/// slots with one fetch_add and publish with a release store — no producer
+/// ever takes a lock, and a full ring is detected without sweeping.
+///
+/// Used by the replication replay pipeline: io threads (producers) route
+/// batch segments to replay workers (one consumer per shard queue).  The
+/// bound is the pipeline's backpressure: a producer whose TryPush fails is
+/// expected to yield and retry, which throttles inbound replication to the
+/// speed the replay workers sustain instead of queueing unbounded memory.
+///
+/// T must be nothrow-movable.  Capacity is rounded up to a power of two.
+template <typename T>
+class MpscRing {
+ public:
+  explicit MpscRing(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    cells_ = std::vector<Cell>(cap);
+    mask_ = cap - 1;
+    for (size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  /// Producer side; returns false when the ring is full.
+  bool TryPush(T&& v) {
+    uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& c = cells_[pos & mask_];
+      uint64_t seq = c.seq.load(std::memory_order_acquire);
+      intptr_t dif = static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          c.item = std::move(v);
+          c.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Consumer side (single consumer); returns false when empty.
+  bool TryPop(T* out) {
+    uint64_t pos = head_;
+    Cell& c = cells_[pos & mask_];
+    uint64_t seq = c.seq.load(std::memory_order_acquire);
+    if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1) < 0) {
+      return false;  // empty
+    }
+    *out = std::move(c.item);
+    c.seq.store(pos + mask_ + 1, std::memory_order_release);
+    head_ = pos + 1;
+    return true;
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> seq{0};
+    T item{};
+  };
+
+  std::vector<Cell> cells_;
+  size_t mask_ = 0;
+  alignas(64) std::atomic<uint64_t> tail_{0};  // producers
+  alignas(64) uint64_t head_ = 0;              // consumer-private
+};
+
+}  // namespace star
+
+#endif  // STAR_COMMON_MPSC_RING_H_

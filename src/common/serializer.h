@@ -115,6 +115,8 @@ class ReadBuffer {
   bool Done() const { return pos_ >= size_; }
   size_t remaining() const { return size_ - pos_; }
   size_t position() const { return pos_; }
+  /// Start of the underlying span (for re-viewing ranges already walked).
+  const char* data() const { return data_; }
 
  private:
   const char* data_;

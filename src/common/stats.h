@@ -59,6 +59,12 @@ struct Metrics {
   /// values outside failure experiments indicate a sick cluster.
   uint64_t network_dropped_bytes = 0;
   uint64_t network_dropped_messages = 0;
+  /// Replication batches a node received but deliberately ignored because
+  /// their source was marked failed (Section 4.5.2: healthy nodes "safely
+  /// ignore all replication messages from failed nodes").  Like the drop
+  /// counters, nonzero outside failure experiments flags a sick cluster —
+  /// previously these batches vanished without a trace.
+  uint64_t replication_ignored_batches = 0;
   Histogram latency;
 
   double Tps() const { return seconds > 0 ? committed / seconds : 0.0; }

@@ -129,6 +129,8 @@ StarEngine::StarEngine(const StarOptions& options, const Workload& workload)
   auto schemas = workload_.Schemas();
   int workers = options_.cluster.workers_per_node;
   int io_threads = options_.cluster.io_threads_per_node;
+  int replay_shards = std::max(1, options_.cluster.replay_shards);
+  bool sharded_replay = replay_shards >= 2;
 
   for (int i = 0; i < num_nodes_; ++i) {
     node_healthy_[i].store(true, std::memory_order_relaxed);
@@ -143,14 +145,30 @@ StarEngine::StarEngine(const StarOptions& options, const Workload& workload)
                                           options_.two_version);
     node->endpoint =
         std::make_unique<net::Endpoint>(transport_.get(), i, io_threads);
-    node->counters = std::make_unique<ReplicationCounters>(num_nodes_);
+    // One applied-counter lane per replay shard, so parallel replay workers
+    // never serialise on a shared cacheline (lane 0 doubles as the inline
+    // io-thread applier's lane).
+    node->counters =
+        std::make_unique<ReplicationCounters>(num_nodes_, replay_shards);
     node->applier = std::make_unique<ReplicationApplier>(node->db.get(),
                                                          node->counters.get());
+    if (sharded_replay) {
+      ShardedApplier::Options so;
+      so.shards = replay_shards;
+      node->sharded = std::make_unique<ShardedApplier>(
+          node->db.get(), node->counters.get(), so);
+      node->sharded->set_release_hook(
+          [ep = node->endpoint.get()](std::string&& payload) {
+            ep->ReleasePayload(std::move(payload));
+          });
+    }
 
-    // WAL files: one per worker thread, then one per io thread (replicated
-    // writes are logged by the thread that applies them, Section 5).
+    // WAL files: one per worker thread, then one per io thread, then one
+    // per replay shard (replicated writes are logged by the thread that
+    // applies them, Section 5).
     if (durable) {
-      for (int w = 0; w < workers + io_threads; ++w) {
+      int extra = io_threads + (sharded_replay ? replay_shards : 0);
+      for (int w = 0; w < workers + extra; ++w) {
         node->wals.push_back(std::make_unique<wal::WalWriter>(
             wal::WalPath(options_.log_dir, i, w), options_.fsync));
       }
@@ -166,6 +184,23 @@ StarEngine::StarEngine(const StarOptions& options, const Workload& workload)
               n->wals[workers]->Append(t, p, key, tid, val);
             }
           });
+      if (sharded_replay) {
+        // Each replay worker owns its own log file — appends never contend,
+        // and the control thread's fence marks (kFenceExpect) cover these
+        // trailing writers like the io-thread logs.
+        for (int s = 0; s < replay_shards; ++s) {
+          wal::WalWriter* wal = node->wals[workers + io_threads + s].get();
+          node->sharded->set_wal_hook(
+              s, [wal](int32_t t, int32_t p, uint64_t key, uint64_t tid,
+                       std::string_view val, bool deleted) {
+                if (deleted) {
+                  wal->AppendDelete(t, p, key, tid);
+                } else {
+                  wal->Append(t, p, key, tid, val);
+                }
+              });
+        }
+      }
       if (options_.checkpointing) {
         node->checkpointer = std::make_unique<wal::Checkpointer>(
             node->db.get(), options_.log_dir, i, &epoch_);
@@ -177,7 +212,8 @@ StarEngine::StarEngine(const StarOptions& options, const Workload& workload)
       uint64_t tid_thread = static_cast<uint64_t>(i) * workers + w;
       auto ws = std::make_unique<WorkerState>(seed, tid_thread);
       ws->stream = std::make_unique<ReplicationStream>(
-          node->endpoint.get(), node->counters.get(), num_nodes_);
+          node->endpoint.get(), node->counters.get(), num_nodes_,
+          options_.cluster.rep_flush_bytes);
       if (durable) ws->wal = node->wals[w].get();
       node->workers.push_back(std::move(ws));
     }
@@ -188,8 +224,24 @@ StarEngine::StarEngine(const StarOptions& options, const Workload& workload)
         net::MsgType::kReplicationBatch, [this, n](net::Message&& m) {
           // Replication from a node declared failed is ignored (Section
           // 4.5.2: healthy nodes "safely ignore all replication messages
-          // from failed nodes").
-          if (!node_healthy_[m.src].load(std::memory_order_acquire)) return;
+          // from failed nodes").  Counted: a silently vanishing batch is
+          // indistinguishable from a replication bug otherwise.
+          if (!node_healthy_[m.src].load(std::memory_order_acquire)) {
+            n->replication_ignored.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          if (n->sharded != nullptr && m.rpc_id == 0) {
+            // Route to the replay workers without copying: the batch takes
+            // the payload with it, and the last worker to finish a segment
+            // returns the buffer to the pool (zero-copy dispatch contract).
+            n->sharded->Submit(m.src, std::move(m.payload));
+            return;
+          }
+          // Inline serial apply: the default path, and the synchronous-
+          // replication path even when sharding is on — a sync commit's ack
+          // certifies the write has been *applied*, so it must not ride an
+          // asynchronous queue.  (Sync batches are value entries, order-free
+          // under the Thomas rule against anything the shards apply.)
           n->applier->ApplyBatch(m.src, m.payload);
           if (m.rpc_id != 0) {  // synchronous replication wants an ack
             n->endpoint->Respond(m, net::MsgType::kReplicationAck, "");
@@ -360,6 +412,13 @@ void StarEngine::RevertLocal(uint64_t revert_epoch) {
     // parked workers may already be exiting through a concurrent Stop(),
     // so their trackers must not be touched from this thread.
     if (!node_healthy_[node->id].load(std::memory_order_acquire)) continue;
+    // Quiesce the replay pipeline: queued batches belong to the epoch
+    // being reverted, so they must be applied (the revert below discards
+    // them) — a replay worker installing a reverted-epoch write *after*
+    // RevertEpoch would resurrect discarded data and diverge this replica.
+    // The wait is unbounded on purpose (like PerformRejoin's): all workers
+    // are parked cluster-wide here, so the queues only shrink.
+    if (node->sharded != nullptr) node->sharded->Drain();
     if (revert_epoch != 0) {
       node->db->RevertEpoch(revert_epoch);
       for (auto& w : node->workers) {
@@ -423,6 +482,8 @@ void StarEngine::Start() {
 
   for (auto& node : nodes_) {
     if (node == nullptr) continue;
+    // Replay workers must be up before the io threads can route to them.
+    if (node->sharded != nullptr) node->sharded->Start();
     node->endpoint->Start();
     node->control_running.store(true, std::memory_order_release);
     node->control_thread = std::thread([this, n = node.get()] {
@@ -775,8 +836,12 @@ void StarEngine::PerformRejoin(int j, uint64_t nonce) {
   if (nodes_[j] != nullptr) {
     // Quiesce the node's io threads across the storage swap: an ApplyBatch
     // that started before the failure cut must not overlap (and must
-    // happen-before) the table teardown.
+    // happen-before) the table teardown.  Replay workers hold queued
+    // batches beyond the io threads, so they are drained too (the io
+    // threads are stopped, so the queues only empty) — a replay worker
+    // touching a hash table across ResetStorage would be a use-after-free.
     nodes_[j]->endpoint->Stop();
+    if (nodes_[j]->sharded != nullptr) nodes_[j]->sharded->Drain();
     nodes_[j]->db->ResetStorage();
     nodes_[j]->endpoint->Start();
     nodes_[j]->fenced.store(false, std::memory_order_release);
@@ -1383,6 +1448,7 @@ void StarEngine::ResetStats() {
       w->stats.Reset();
       if (!live) w->stats.MaybeResetLatency();
     }
+    node->replication_ignored.store(0, std::memory_order_relaxed);
   }
   fence_count_.store(0, std::memory_order_relaxed);
   fence_ns_.store(0, std::memory_order_relaxed);
@@ -1409,6 +1475,8 @@ Metrics StarEngine::Snapshot() const {
           w->stats.cross_partition.load(std::memory_order_relaxed);
       m.latency.Merge(w->stats.latency);
     }
+    m.replication_ignored_batches +=
+        node->replication_ignored.load(std::memory_order_relaxed);
   }
   m.seconds = (NowNanos() - measure_start_ns_) / 1e9;
   m.network_bytes = transport_->total_bytes() - net_bytes_at_reset_;
@@ -1467,6 +1535,10 @@ Metrics StarEngine::Stop() {
   for (auto& node : nodes_) {
     if (node == nullptr) continue;
     node->endpoint->Stop();
+    // After the io threads stop, no new segments can arrive; Stop drains
+    // the shard queues (every accepted batch reaches the store — the
+    // convergence checks depend on it) and joins the replay workers.
+    if (node->sharded != nullptr) node->sharded->Stop();
     for (auto& wal : node->wals) wal->Flush();
   }
   if (coordinator_ != nullptr) coordinator_->Stop();

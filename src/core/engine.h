@@ -20,6 +20,7 @@
 #include "net/endpoint.h"
 #include "net/transport.h"
 #include "replication/applier.h"
+#include "replication/sharded_applier.h"
 #include "replication/stream.h"
 #include "wal/wal.h"
 
@@ -139,6 +140,11 @@ class StarEngine {
   const StarOptions& options() const { return options_; }
   net::Transport* transport() { return transport_.get(); }
   bool Hosts(int node) const { return nodes_[node] != nullptr; }
+  /// The node's replay pipeline, or null when replay_shards == 1 (tests use
+  /// this to inject apply delays and inspect routing).
+  ShardedApplier* sharded_applier(int node) {
+    return nodes_[node] != nullptr ? nodes_[node]->sharded.get() : nullptr;
+  }
 
  private:
   struct WorkerState {
@@ -178,7 +184,13 @@ class StarEngine {
     std::unique_ptr<net::Endpoint> endpoint;
     std::unique_ptr<ReplicationCounters> counters;
     std::unique_ptr<ReplicationApplier> applier;
-    std::vector<std::unique_ptr<wal::WalWriter>> wals;  // workers then io
+    /// Parallel replay pipeline (cluster.replay_shards >= 2); null when
+    /// replication applies inline on the io thread (the serial default).
+    std::unique_ptr<ShardedApplier> sharded;
+    /// Batches ignored because their source was marked failed — the
+    /// formerly invisible early-return in the kReplicationBatch handler.
+    std::atomic<uint64_t> replication_ignored{0};
+    std::vector<std::unique_ptr<wal::WalWriter>> wals;  // workers, io, shards
     std::unique_ptr<wal::Checkpointer> checkpointer;
     std::vector<std::unique_ptr<WorkerState>> workers;
     std::vector<std::thread> worker_threads;

@@ -45,6 +45,7 @@ void Usage() {
       "usage: star_node (--launch | --role=coordinator | --role=node --id=K)\n"
       "  cluster shape (must match across all processes of one cluster):\n"
       "    --full=N --partial=N --workers=N --cross=F --workload=tpcc|ycsb\n"
+      "    --replay-shards=N  (parallel replication replay workers per node)\n"
       "    --host=ADDR --base-port=P --fence-timeout-ms=MS --seconds=S\n"
       "  launch mode only:\n"
       "    --kill-node=K --kill-after=S --rejoin-after=S --quiet\n"
@@ -89,6 +90,8 @@ int main(int argc, char** argv) {
       spec.base.cluster.partial_replicas = std::atoi(v);
     } else if (FlagValue(a, "--workers", &v)) {
       spec.base.cluster.workers_per_node = std::atoi(v);
+    } else if (FlagValue(a, "--replay-shards", &v)) {
+      spec.base.cluster.replay_shards = std::atoi(v);
     } else if (FlagValue(a, "--cross", &v)) {
       spec.base.cross_fraction = std::atof(v);
     } else if (FlagValue(a, "--workload", &v)) {

@@ -35,6 +35,10 @@ std::string Endpoint::AcquirePayload() {
   return transport_->payload_pool().Acquire(node_);
 }
 
+void Endpoint::ReleasePayload(std::string&& payload) {
+  transport_->payload_pool().Release(node_, std::move(payload));
+}
+
 void Endpoint::Respond(const Message& request, MsgType type,
                        std::string payload) {
   Message m;

@@ -28,6 +28,12 @@ namespace star::net {
 ///    handled in FIFO order — a property operation replication relies on
 ///    (Section 5).  Engines that enable more io threads must only do so for
 ///    order-insensitive traffic (value replication via the Thomas rule).
+///  * Dispatch is zero-copy hand-off: a handler that needs a payload beyond
+///    its own invocation moves it out of the Message (the io loop then has
+///    nothing to recycle) and whoever finishes consuming it returns the
+///    buffer with ReleasePayload.  The replication replay pipeline routes
+///    batches to replay workers this way — the worker that applies the last
+///    segment of a batch releases its buffer, not the io thread.
 class Endpoint {
  public:
   using Handler = std::function<void(Message&&)>;
@@ -57,6 +63,12 @@ class Endpoint {
   /// keep the send path allocation-free.  Buffers return to the pool when
   /// the receiving endpoint finishes delivering them.
   std::string AcquirePayload();
+
+  /// Returns a payload buffer to the transport's pool.  The release half of
+  /// the zero-copy dispatch contract: handlers that moved a payload out of
+  /// their Message (e.g. to route it to a replay worker) call this — from
+  /// any thread — once the bytes are fully consumed.
+  void ReleasePayload(std::string&& payload);
 
   /// Sends the response leg of an RPC initiated by `request`.
   void Respond(const Message& request, MsgType type, std::string payload);

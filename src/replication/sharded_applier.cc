@@ -1,0 +1,218 @@
+#include "replication/sharded_applier.h"
+
+#include <chrono>
+
+#include "common/clock.h"
+
+namespace star {
+
+ShardedApplier::ShardedApplier(Database* db, ReplicationCounters* counters,
+                               Options opts)
+    : db_(db), counters_(counters), opts_(opts) {
+  if (opts_.shards < 1) opts_.shards = 1;
+  shard_state_.reserve(opts_.shards);
+  for (int s = 0; s < opts_.shards; ++s) {
+    auto st = std::make_unique<ShardState>(opts_.queue_capacity);
+    st->applier =
+        std::make_unique<ReplicationApplier>(db_, counters_, /*lane=*/s);
+    shard_state_.push_back(std::move(st));
+  }
+}
+
+ShardedApplier::~ShardedApplier() {
+  Stop();
+  for (Batch* b : free_batches_) delete b;
+}
+
+void ShardedApplier::set_wal_hook(int shard, WalHook hook) {
+  shard_state_[shard]->applier->set_wal_hook(std::move(hook));
+}
+
+void ShardedApplier::set_release_hook(ReleaseHook hook) {
+  release_hook_ = std::move(hook);
+}
+
+void ShardedApplier::Start() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  for (int s = 0; s < shards(); ++s) {
+    shard_state_[s]->worker = std::thread([this, s] { WorkerLoop(s); });
+  }
+}
+
+void ShardedApplier::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  // Apply everything already routed: batches accepted by Submit must reach
+  // the store (the shutdown convergence checks depend on it).
+  Drain();
+  running_.store(false, std::memory_order_release);
+  for (auto& st : shard_state_) {
+    {
+      std::lock_guard<std::mutex> g(st->mu);
+    }
+    st->cv.notify_all();
+    if (st->worker.joinable()) st->worker.join();
+  }
+}
+
+ShardedApplier::Batch* ShardedApplier::AcquireBatch() {
+  {
+    std::lock_guard<SpinLock> g(free_mu_);
+    if (!free_batches_.empty()) {
+      Batch* b = free_batches_.back();
+      free_batches_.pop_back();
+      return b;
+    }
+  }
+  Batch* b = new Batch();
+  b->spans.resize(shards());
+  return b;
+}
+
+void ShardedApplier::Recycle(Batch* b) {
+  if (release_hook_) {
+    release_hook_(std::move(b->payload));
+  }
+  b->payload.clear();
+  for (auto& v : b->spans) v.clear();  // keep capacity
+  std::lock_guard<SpinLock> g(free_mu_);
+  free_batches_.push_back(b);
+}
+
+uint64_t ShardedApplier::SplitForShard(std::string_view payload, int shard,
+                                       int shards, std::vector<RepSpan>* out) {
+  ReadBuffer in(payload);
+  uint64_t n = 0;
+  while (!in.Done()) {
+    uint32_t begin = static_cast<uint32_t>(in.position());
+    RepEntryHeader h = RepEntryHeader::Deserialize(in);
+    ReplicationApplier::SkipEntryBody(h, in);
+    if (h.partition % shards != shard) continue;
+    uint32_t end = static_cast<uint32_t>(in.position());
+    if (!out->empty() && out->back().end == begin) {
+      out->back().end = end;  // coalesce adjacent entries
+    } else {
+      out->push_back(RepSpan{begin, end});
+    }
+    ++n;
+  }
+  return n;
+}
+
+uint64_t ShardedApplier::Submit(int src, std::string&& payload) {
+  const int num_shards = shards();
+  if (payload.empty()) return 0;
+  Batch* b = AcquireBatch();
+  b->payload = std::move(payload);
+  b->src = src;
+
+  if (num_shards == 1) {
+    // Single replay worker: the whole batch is one segment; skip the split
+    // walk entirely.
+    b->spans[0].push_back(
+        RepSpan{0, static_cast<uint32_t>(b->payload.size())});
+  } else {
+    // One pass over the batch: entry-aligned spans per shard, adjacent
+    // entries coalesced.
+    ReadBuffer in(b->payload);
+    while (!in.Done()) {
+      uint32_t begin = static_cast<uint32_t>(in.position());
+      RepEntryHeader h = RepEntryHeader::Deserialize(in);
+      ReplicationApplier::SkipEntryBody(h, in);
+      uint32_t end = static_cast<uint32_t>(in.position());
+      auto& spans = b->spans[h.partition % num_shards];
+      if (!spans.empty() && spans.back().end == begin) {
+        spans.back().end = end;
+      } else {
+        spans.push_back(RepSpan{begin, end});
+      }
+    }
+  }
+
+  int targets = 0;
+  for (int s = 0; s < num_shards; ++s) {
+    if (!b->spans[s].empty()) ++targets;
+  }
+  if (targets == 0) {
+    Recycle(b);
+    return 0;
+  }
+  b->remaining.store(targets, std::memory_order_release);
+  batches_routed_.fetch_add(1, std::memory_order_relaxed);
+
+  for (int s = 0; s < num_shards; ++s) {
+    if (b->spans[s].empty()) continue;
+    ShardState& st = *shard_state_[s];
+    // Publish the routed count before the segment becomes poppable, so a
+    // Drain that sees done == routed cannot miss in-flight work.
+    st.routed.fetch_add(1, std::memory_order_release);
+    Batch* item = b;
+    while (!st.queue.TryPush(std::move(item))) {
+      // Bounded backpressure: the io thread stalls until the replay worker
+      // frees a slot, throttling inbound replication to apply speed.
+      std::this_thread::yield();
+      item = b;
+    }
+    if (st.sleeping.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> g(st.mu);
+      st.cv.notify_one();
+    }
+  }
+  return static_cast<uint64_t>(targets);
+}
+
+void ShardedApplier::WorkerLoop(int shard) {
+  ShardState& st = *shard_state_[shard];
+  ReplicationApplier& applier = *st.applier;
+  int idle = 0;
+  Batch* b = nullptr;
+  while (true) {
+    if (!st.queue.TryPop(&b)) {
+      if (!running_.load(std::memory_order_acquire)) return;
+      // Back off gradually (io-loop discipline): spin briefly for latency,
+      // then sleep with the cv so parked shards cost nothing on small hosts.
+      if (++idle > 64) {
+        std::unique_lock<std::mutex> lk(st.mu);
+        st.sleeping.store(true, std::memory_order_release);
+        st.cv.wait_for(lk, std::chrono::milliseconds(1));
+        st.sleeping.store(false, std::memory_order_release);
+      } else {
+        CpuRelax();
+      }
+      continue;
+    }
+    idle = 0;
+    const auto& spans = b->spans[shard];
+    applier.ApplySpans(b->src, b->payload, spans.data(), spans.size());
+    uint64_t delay = apply_delay_ns_.load(std::memory_order_relaxed);
+    if (delay != 0) {  // test hook: manufacture a backlog (sleep, don't
+                       // spin — backlog tests run on small hosts)
+      std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
+    }
+    bool last = b->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1;
+    if (last) Recycle(b);
+    // done is the drain fence: published only after the segment's entries
+    // hit the store (and the batch was recycled, so payload reuse is safe).
+    st.done.fetch_add(1, std::memory_order_release);
+  }
+}
+
+bool ShardedApplier::Drain(double timeout_ms) {
+  uint64_t deadline =
+      timeout_ms > 0 ? NowNanos() + MillisToNanos(timeout_ms) : ~0ull;
+  for (;;) {
+    bool drained = true;
+    for (auto& st : shard_state_) {
+      if (st->done.load(std::memory_order_acquire) <
+          st->routed.load(std::memory_order_acquire)) {
+        drained = false;
+        break;
+      }
+    }
+    if (drained) return true;
+    if (NowNanos() >= deadline) return false;
+    if (!running_.load(std::memory_order_acquire)) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+}  // namespace star

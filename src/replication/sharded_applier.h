@@ -1,0 +1,159 @@
+#ifndef STAR_REPLICATION_SHARDED_APPLIER_H_
+#define STAR_REPLICATION_SHARDED_APPLIER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/mpsc_ring.h"
+#include "common/spinlock.h"
+#include "replication/applier.h"
+
+namespace star {
+
+/// Parallel replication replay (Section 3's premise that replicas "replay
+/// updates in parallel"): splits every inbound batch into per-partition-shard
+/// segments and hands them to a pool of replay workers over bounded MPSC
+/// ring queues, so a replica drains the primary's W-wide write stream more
+/// than 1-wide.
+///
+/// Ordering argument:
+///  * All entries of partition p map to shard p % shards, and segments are
+///    enqueued in batch-arrival order by a single router (the io thread).
+///    Per-(src, partition) entry order is therefore exactly the serial
+///    applier's order — which is what operation-entry replay needs (single
+///    writer per partition + FIFO links = commit order, Section 5).
+///  * Across shards, entries commute: they touch disjoint partitions, and
+///    record state depends only on that record's own entry sequence.
+///  * Value/delete entries are additionally order-free under the Thomas
+///    write rule, which is why cross-source interleaving never mattered.
+///
+/// Accounting: each replay worker owns one ReplicationCounters lane and
+/// bumps it only after applying a segment, so the replication fence's drain
+/// round (engine kFenceExpect) transparently waits for backlogged shard
+/// queues — the fence is replay-aware with no extra protocol.
+///
+/// Payload ownership: Submit takes the batch payload; the last replay
+/// worker to finish a batch's segments hands the buffer to `release_hook`
+/// (typically Endpoint::ReleasePayload), closing the payload-pool recycle
+/// loop without a copy.
+///
+/// Threading contract: Submit may be called by one thread per source (the
+/// per-link FIFO producer — io threads); Drain/Start/Stop are control-plane
+/// calls.  Workers must be quiesced via Drain before storage-wide mutation
+/// (epoch revert, ResetStorage), exactly like io threads are today.
+class ShardedApplier {
+ public:
+  struct Options {
+    int shards = 2;
+    /// Segments per shard queue; the bound is the pipeline's backpressure.
+    size_t queue_capacity = 512;
+  };
+
+  using WalHook = ReplicationApplier::WalHook;
+  using ReleaseHook = std::function<void(std::string&&)>;
+
+  ShardedApplier(Database* db, ReplicationCounters* counters, Options opts);
+  ~ShardedApplier();
+
+  ShardedApplier(const ShardedApplier&) = delete;
+  ShardedApplier& operator=(const ShardedApplier&) = delete;
+
+  /// Durable-logging hook for one shard's replay worker (its own WAL lane).
+  /// Must be called before Start().
+  void set_wal_hook(int shard, WalHook hook);
+
+  /// Where consumed batch payloads go (payload-pool recycling).  Optional;
+  /// unset buffers are freed.  Must be called before Start().
+  void set_release_hook(ReleaseHook hook);
+
+  void Start();
+
+  /// Drains all queues, then stops and joins the replay workers.
+  void Stop();
+
+  /// Routes one inbound batch; takes ownership of `payload`.  Blocks
+  /// (yielding) while a target shard queue is full — bounded backpressure,
+  /// the replay-pipeline analogue of a busy io thread.  Returns the number
+  /// of shard segments enqueued (entry accounting happens at apply time,
+  /// in the workers' ReplicationCounters lanes).
+  uint64_t Submit(int src, std::string&& payload);
+
+  /// Blocks until every entry routed so far has been applied (or
+  /// `timeout_ms` elapsed; 0 = wait forever).  Returns true when fully
+  /// drained.  Quiesce point for epoch revert / storage reset / shutdown.
+  bool Drain(double timeout_ms = 0);
+
+  int shards() const { return static_cast<int>(shard_state_.size()); }
+  uint64_t batches_routed() const {
+    return batches_routed_.load(std::memory_order_relaxed);
+  }
+
+  /// Test-only: stalls each replay worker this long per segment, so tests
+  /// can pile up a deliberate queue backlog behind a fence.
+  void set_apply_delay_ns_for_test(uint64_t ns) {
+    apply_delay_ns_.store(ns, std::memory_order_relaxed);
+  }
+
+  /// Entry-aligned split helper: appends the spans of `payload` that belong
+  /// to `shard` (partition % shards) to `out`, coalescing adjacent entries.
+  /// Exposed for tests; the router uses the same walk for all shards in one
+  /// pass.
+  static uint64_t SplitForShard(std::string_view payload, int shard,
+                                int shards, std::vector<RepSpan>* out);
+
+ private:
+  /// One routed batch; shared by every shard that received a segment of it.
+  struct Batch {
+    std::string payload;
+    int src = 0;
+    std::atomic<int> remaining{0};
+    /// spans[shard]: entry-aligned byte ranges for that shard.
+    std::vector<std::vector<RepSpan>> spans;
+  };
+
+  struct alignas(64) ShardState {
+    explicit ShardState(size_t queue_capacity) : queue(queue_capacity) {}
+    MpscRing<Batch*> queue;
+    std::unique_ptr<ReplicationApplier> applier;
+    std::thread worker;
+    /// Exact drained-ness accounting, in segments: routed is bumped
+    /// (release) before the segment is enqueued, done after it is applied.
+    /// routed == done for every shard means the pipeline is empty.
+    std::atomic<uint64_t> routed{0};
+    std::atomic<uint64_t> done{0};
+    /// Parked-consumer wakeup (io-thread-style spin first, then sleep).
+    std::mutex mu;
+    std::condition_variable cv;
+    std::atomic<bool> sleeping{false};
+  };
+
+  void WorkerLoop(int shard);
+  void Recycle(Batch* b);
+  Batch* AcquireBatch();
+
+  Database* db_;
+  ReplicationCounters* counters_;
+  Options opts_;
+  ReleaseHook release_hook_;
+  std::vector<std::unique_ptr<ShardState>> shard_state_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> batches_routed_{0};
+  std::atomic<uint64_t> apply_delay_ns_{0};
+
+  // Recycled Batch descriptors (payload capacity is owned by the payload
+  // pool, but the span vectors keep theirs here).
+  SpinLock free_mu_;
+  std::vector<Batch*> free_batches_;
+};
+
+}  // namespace star
+
+#endif  // STAR_REPLICATION_SHARDED_APPLIER_H_

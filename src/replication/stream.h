@@ -18,9 +18,21 @@ namespace star {
 /// about the number of committed transactions with one another; from these
 /// statistics each node learns how many outstanding writes it is waiting to
 /// see".  We count replication entries per (src, dst) pair.
+///
+/// The applied side is laned: each replication replay worker owns one lane
+/// (a cacheline-padded row of per-source counters), so parallel appliers
+/// never bounce a cacheline on AddApplied.  `applied_from` — a fence-time
+/// polling read, not a hot path — sums the lanes.
 class ReplicationCounters {
  public:
-  explicit ReplicationCounters(int nodes) : sent_(nodes), applied_(nodes) {
+  explicit ReplicationCounters(int nodes, int lanes = 1)
+      : nodes_(nodes),
+        lanes_(lanes < 1 ? 1 : lanes),
+        // Round the lane stride up to a full cacheline of counters so
+        // distinct lanes never share a line.
+        lane_stride_((static_cast<size_t>(nodes) + 7) & ~size_t{7}),
+        sent_(nodes),
+        applied_(lane_stride_ * static_cast<size_t>(lanes_)) {
     for (auto& a : sent_) a.store(0, std::memory_order_relaxed);
     for (auto& a : applied_) a.store(0, std::memory_order_relaxed);
   }
@@ -28,16 +40,23 @@ class ReplicationCounters {
   void AddSent(int dst, uint64_t n) {
     sent_[dst].fetch_add(n, std::memory_order_acq_rel);
   }
-  void AddApplied(int src, uint64_t n) {
-    applied_[src].fetch_add(n, std::memory_order_acq_rel);
+  void AddApplied(int src, uint64_t n, int lane = 0) {
+    applied_[static_cast<size_t>(lane) * lane_stride_ + src].fetch_add(
+        n, std::memory_order_acq_rel);
   }
   uint64_t sent_to(int dst) const {
     return sent_[dst].load(std::memory_order_acquire);
   }
   uint64_t applied_from(int src) const {
-    return applied_[src].load(std::memory_order_acquire);
+    uint64_t sum = 0;
+    for (int l = 0; l < lanes_; ++l) {
+      sum += applied_[static_cast<size_t>(l) * lane_stride_ + src].load(
+          std::memory_order_acquire);
+    }
+    return sum;
   }
-  int nodes() const { return static_cast<int>(sent_.size()); }
+  int nodes() const { return nodes_; }
+  int lanes() const { return lanes_; }
 
   /// Zeroes both directions; used on view changes after an epoch revert,
   /// when the coordinator resynchronises the replication accounting.
@@ -47,6 +66,9 @@ class ReplicationCounters {
   }
 
  private:
+  int nodes_;
+  int lanes_;
+  size_t lane_stride_;
   std::vector<std::atomic<uint64_t>> sent_;
   std::vector<std::atomic<uint64_t>> applied_;
 };

@@ -2,16 +2,91 @@
 #define STAR_STORAGE_HASH_TABLE_H_
 
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <new>
 #include <vector>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
 
 #include "common/spinlock.h"
 #include "storage/ordered_index.h"
 #include "storage/record.h"
 
 namespace star {
+
+/// A heap block for table-sized structures (bucket arrays, node arenas).
+/// A DRAM-resident table on 4 KB pages spends a large share of every lookup
+/// in TLB walks — and software prefetches that miss the dTLB can be dropped,
+/// which would gut the replay pipeline's prefetched apply loop.  Blocks of
+/// >= 2 MB therefore try, in order:
+///   1. explicit 2 MB pages (MAP_HUGETLB; needs a provisioned
+///      /proc/sys/vm/nr_hugepages pool — bench harnesses reserve one),
+///   2. a 2 MB-aligned heap block advised onto transparent huge pages,
+///   3. the plain heap.
+/// Small blocks stay on the regular heap (hundreds of small test tables
+/// must not round up to 2 MB each).
+struct TableBlock {
+  enum class Kind : uint8_t { kHeap, kAligned, kHugeTlb };
+
+  char* p = nullptr;
+  size_t bytes = 0;
+  Kind kind = Kind::kHeap;
+
+  static TableBlock Allocate(size_t bytes) {
+    constexpr size_t kHuge = size_t{2} << 20;
+    TableBlock b;
+    if (bytes >= kHuge) {
+      size_t rounded = (bytes + kHuge - 1) & ~(kHuge - 1);
+#if defined(__linux__)
+      void* m = mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_HUGETLB, -1, 0);
+      if (m != MAP_FAILED) {
+        b.p = static_cast<char*>(m);
+        b.bytes = rounded;
+        b.kind = Kind::kHugeTlb;
+        return b;
+      }
+#endif
+      b.p = static_cast<char*>(std::aligned_alloc(kHuge, rounded));
+      if (b.p != nullptr) {
+        b.bytes = rounded;
+        b.kind = Kind::kAligned;
+#if defined(__linux__)
+        madvise(b.p, rounded, MADV_HUGEPAGE);
+#endif
+        return b;
+      }
+      // Fall through to the plain heap on aligned_alloc failure.
+    }
+    b.p = new char[bytes];
+    b.bytes = bytes;
+    b.kind = Kind::kHeap;
+    return b;
+  }
+
+  void Free() {
+    if (p == nullptr) return;
+    switch (kind) {
+      case Kind::kHeap:
+        delete[] p;
+        break;
+      case Kind::kAligned:
+        std::free(p);
+        break;
+      case Kind::kHugeTlb:
+#if defined(__linux__)
+        munmap(p, bytes);
+#endif
+        break;
+    }
+    p = nullptr;
+  }
+};
 
 /// Mixes a 64-bit key (finalizer of SplitMix64); good avalanche for the
 /// dense integer keys our workloads use.
@@ -54,7 +129,9 @@ class HashTable {
     size_t want = expected_rows + expected_rows / 2 + 16;
     size_t cap = 16;
     while (cap < want) cap <<= 1;
-    buckets_ = std::vector<Bucket>(cap);
+    bucket_block_ = TableBlock::Allocate(cap * sizeof(Bucket));
+    buckets_ = reinterpret_cast<Bucket*>(bucket_block_.p);
+    for (size_t i = 0; i < cap; ++i) new (&buckets_[i]) Bucket();
     mask_ = cap - 1;
     if (ordered) index_ = std::make_unique<OrderedIndex>();
   }
@@ -63,7 +140,10 @@ class HashTable {
   HashTable& operator=(const HashTable&) = delete;
 
   ~HashTable() {
-    for (char* chunk : chunks_) delete[] chunk;
+    // Buckets are trivially destructible (atomics only); just release the
+    // blocks.
+    bucket_block_.Free();
+    for (TableBlock& chunk : chunks_) chunk.Free();
   }
 
   /// Returns the record for `key`, or nullptr if the key has never been
@@ -150,12 +230,51 @@ class HashTable {
     return Row{rec, ValueOfRecord(rec), value_size_};
   }
 
+  // --- pipelined lookups (replication replay, Section 5) ---
+  //
+  // A lookup is a chain of dependent cache misses: bucket cell -> first
+  // node -> value bytes.  The replay apply loop breaks the chain across a
+  // window of entries: PrefetchBucket while decoding headers, LoadHead a
+  // few entries later (issues the node-line prefetch), FindFrom when that
+  // line has arrived.  Each stage only touches memory the previous stage
+  // prefetched, so the misses of neighbouring entries overlap.
+
+  /// Stage 1: prefetch the bucket cell for `key`.
+  void PrefetchBucket(uint64_t key) const {
+    __builtin_prefetch(&buckets_[HashKey(key) & mask_], 0, 1);
+  }
+
+  /// Stage 2: load the bucket head (cell line should be resident by now)
+  /// and prefetch the first node.  The returned cursor is opaque; nullptr
+  /// means the bucket is empty.
+  const void* LoadHead(uint64_t key) const {
+    NodeHeader* n =
+        buckets_[HashKey(key) & mask_].head.load(std::memory_order_acquire);
+    if (n != nullptr) __builtin_prefetch(n, 0, 1);
+    return n;
+  }
+
+  /// Stage 3: walk the chain from a LoadHead cursor.  Row.rec == nullptr
+  /// when the key is not present (the caller falls back to GetOrInsertRow).
+  Row FindFrom(const void* head, uint64_t key) const {
+    for (const NodeHeader* n = static_cast<const NodeHeader*>(head);
+         n != nullptr; n = n->next) {
+      if (n->key == key) {
+        Record* rec = RecordOf(const_cast<NodeHeader*>(n));
+        return Row{rec, const_cast<HashTable*>(this)->ValueOfRecord(rec),
+                   value_size_};
+      }
+    }
+    return Row{};
+  }
+
   /// Iterates every node: fn(key, record, value_bytes).  Takes each bucket
   /// latch; safe against concurrent inserts (used by the checkpointer and
   /// by epoch revert).
   void ForEach(
       const std::function<void(uint64_t, Record*, char*)>& fn) {
-    for (Bucket& b : buckets_) {
+    for (size_t i = 0; i <= mask_; ++i) {
+      Bucket& b = buckets_[i];
       std::lock_guard<SpinLock> g(b.mu);
       for (NodeHeader* n = b.head.load(std::memory_order_relaxed);
            n != nullptr; n = n->next) {
@@ -192,30 +311,37 @@ class HashTable {
   }
 
   /// Bump allocator; called with the bucket latch held, guarded by its own
-  /// latch because different buckets share the arena.
+  /// latch because different buckets share the arena.  Chunks grow from
+  /// kFirstChunkBytes doubling up to kChunkBytes, so small tables stay
+  /// small while big tables converge to huge-page-backed 2 MB chunks.
   NodeHeader* AllocateNode() {
     std::lock_guard<SpinLock> g(arena_mu_);
-    if (arena_used_ + node_bytes_ > kChunkBytes || chunks_.empty()) {
-      size_t chunk_size = node_bytes_ > kChunkBytes ? node_bytes_ : kChunkBytes;
-      chunks_.push_back(new char[chunk_size]);
+    if (chunks_.empty() || arena_used_ + node_bytes_ > chunks_.back().bytes) {
+      size_t want = chunks_.empty() ? kFirstChunkBytes
+                                    : chunks_.back().bytes * 2;
+      if (want > kChunkBytes) want = kChunkBytes;
+      if (want < node_bytes_) want = node_bytes_;
+      chunks_.push_back(TableBlock::Allocate(want));
       arena_used_ = 0;
     }
-    char* p = chunks_.back() + arena_used_;
+    char* p = chunks_.back().p + arena_used_;
     arena_used_ += node_bytes_;
     return reinterpret_cast<NodeHeader*>(p);
   }
 
-  static constexpr size_t kChunkBytes = 1 << 20;
+  static constexpr size_t kFirstChunkBytes = 64 << 10;
+  static constexpr size_t kChunkBytes = 2 << 20;
 
   uint32_t value_size_;
   bool two_version_;
   size_t node_bytes_;
-  std::vector<Bucket> buckets_;
+  TableBlock bucket_block_;
+  Bucket* buckets_ = nullptr;
   size_t mask_;
   std::atomic<size_t> size_{0};
 
   SpinLock arena_mu_;
-  std::vector<char*> chunks_;
+  std::vector<TableBlock> chunks_;
   size_t arena_used_ = 0;
   std::unique_ptr<OrderedIndex> index_;
 };

@@ -1,0 +1,409 @@
+// The parallel replay pipeline: span splitting, routing, payload recycling,
+// backpressure, the prefetched apply loop, and — the load-bearing property —
+// randomized convergence: the same batch corpus delivered under shuffled
+// cross-source interleavings to a serial ReplicationApplier and to
+// ShardedApplier instances of several widths must yield identical
+// per-partition checksums (Sections 3 and 5's ordering argument).
+
+#include "replication/sharded_applier.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "replication/log_entry.h"
+#include "storage/checksum.h"
+#include "tests/test_util.h"
+
+namespace star {
+namespace {
+
+constexpr int kPartitions = 8;
+constexpr uint32_t kValueSize = 32;
+
+std::unique_ptr<Database> MakeDb() {
+  std::vector<TableSchema> schemas{{"t", kValueSize, 256}};
+  std::vector<int> parts;
+  for (int p = 0; p < kPartitions; ++p) parts.push_back(p);
+  return std::make_unique<Database>(schemas, kPartitions, parts, false);
+}
+
+std::string ValueFor(uint64_t key, uint64_t tid) {
+  std::string v(kValueSize, '\0');
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<char>(HashKey(key * 31 + tid * 7 + i) & 0x7f);
+  }
+  return v;
+}
+
+std::vector<uint64_t> Checksums(Database& db) {
+  std::vector<uint64_t> out;
+  for (int p = 0; p < kPartitions; ++p) {
+    out.push_back(testutil::DatabasePartitionChecksum(db, p));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Span splitting
+// ---------------------------------------------------------------------------
+
+TEST(ShardedApplierSplit, SpansCoverEveryEntryExactlyOnceInOrder) {
+  WriteBuffer buf;
+  Rng rng(7);
+  struct Expect {
+    int partition;
+    uint64_t key;
+  };
+  std::vector<Expect> entries;
+  for (int i = 0; i < 64; ++i) {
+    int p = static_cast<int>(rng.Uniform(kPartitions));
+    uint64_t key = rng.Uniform(100);
+    uint64_t tid = Tid::Make(1, i + 1, 0);
+    switch (rng.Uniform(3)) {
+      case 0:
+        SerializeValueEntry(buf, 0, p, key, tid, ValueFor(key, tid));
+        break;
+      case 1:
+        SerializeDeleteEntry(buf, 0, p, key, tid);
+        break;
+      default:
+        SerializeOperationEntry(buf, 0, p, key, tid,
+                                {Operation::AddI64(0, 3)});
+        break;
+    }
+    entries.push_back({p, key});
+  }
+
+  for (int shards : {1, 2, 3, 8}) {
+    uint64_t total = 0;
+    std::vector<Expect> walked;
+    for (int s = 0; s < shards; ++s) {
+      std::vector<RepSpan> spans;
+      total += ShardedApplier::SplitForShard(buf.data(), s, shards, &spans);
+      for (const RepSpan& sp : spans) {
+        ASSERT_LT(sp.begin, sp.end);
+        ReadBuffer in(std::string_view(buf.data()).substr(sp.begin,
+                                                          sp.end - sp.begin));
+        while (!in.Done()) {
+          RepEntryHeader h = RepEntryHeader::Deserialize(in);
+          ReplicationApplier::SkipEntryBody(h, in);
+          EXPECT_EQ(h.partition % shards, s);
+          walked.push_back({h.partition, h.key});
+        }
+      }
+    }
+    EXPECT_EQ(total, entries.size());
+    // Per shard, the span walk must preserve batch order exactly.
+    for (int s = 0; s < shards; ++s) {
+      std::vector<uint64_t> want, got;
+      for (const auto& e : entries) {
+        if (e.partition % shards == s) want.push_back(e.key);
+      }
+      for (const auto& e : walked) {
+        if (e.partition % shards == s) got.push_back(e.key);
+      }
+      EXPECT_EQ(got, want) << "shard " << s << "/" << shards;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined loop == serial loop
+// ---------------------------------------------------------------------------
+
+TEST(PipelinedApply, MatchesSerialApplierState) {
+  auto serial_db = MakeDb();
+  auto pipe_db = MakeDb();
+  ReplicationCounters c1(1), c2(1);
+  ReplicationApplier serial(serial_db.get(), &c1);
+  ReplicationApplier pipelined(pipe_db.get(), &c2);
+
+  Rng rng(11);
+  std::vector<uint64_t> seq(kPartitions, 0);
+  for (int b = 0; b < 32; ++b) {
+    WriteBuffer buf;
+    for (int i = 0; i < 50; ++i) {
+      int p = static_cast<int>(rng.Uniform(kPartitions));
+      uint64_t key = rng.Uniform(64);
+      uint64_t tid = Tid::Make(1, ++seq[p], 0);
+      switch (rng.Uniform(4)) {
+        case 0:
+          SerializeDeleteEntry(buf, 0, p, key, tid);
+          break;
+        case 1:
+          SerializeOperationEntry(
+              buf, 0, p, key, tid,
+              {Operation::AddI64(0, static_cast<int64_t>(key) + 1),
+               Operation::StringPrepend(8, 16, "xy")});
+          break;
+        default:
+          SerializeValueEntry(buf, 0, p, key, tid, ValueFor(key, tid));
+          break;
+      }
+    }
+    EXPECT_EQ(serial.ApplyBatch(0, buf.data()),
+              pipelined.ApplyBatchPipelined(0, buf.data()));
+  }
+  EXPECT_EQ(Checksums(*serial_db), Checksums(*pipe_db));
+  EXPECT_EQ(c1.applied_from(0), c2.applied_from(0));
+}
+
+// ---------------------------------------------------------------------------
+// Routing, recycling, counters, backpressure
+// ---------------------------------------------------------------------------
+
+TEST(ShardedApplier, AppliesRoutedBatchesAndCountsPerLane) {
+  auto db = MakeDb();
+  ReplicationCounters counters(2, /*lanes=*/4);
+  ShardedApplier::Options so;
+  so.shards = 4;
+  ShardedApplier sharded(db.get(), &counters, so);
+  int released = 0;
+  sharded.set_release_hook([&](std::string&&) { ++released; });
+  sharded.Start();
+
+  uint64_t total = 0;
+  for (int b = 0; b < 8; ++b) {
+    WriteBuffer buf;
+    for (int p = 0; p < kPartitions; ++p) {
+      uint64_t tid = Tid::Make(1, b + 1, 0);
+      SerializeValueEntry(buf, 0, p, /*key=*/b, tid, ValueFor(b, tid));
+      ++total;
+    }
+    sharded.Submit(/*src=*/1, buf.Release());
+  }
+  ASSERT_TRUE(sharded.Drain(/*timeout_ms=*/5000));
+  EXPECT_EQ(counters.applied_from(1), total);
+  EXPECT_EQ(sharded.batches_routed(), 8u);
+  sharded.Stop();
+  EXPECT_EQ(released, 8) << "one release per consumed batch payload";
+
+  for (int p = 0; p < kPartitions; ++p) {
+    HashTable::Row row = db->table(0, p)->GetRow(7);
+    ASSERT_TRUE(row.valid());
+    EXPECT_TRUE(row.rec->IsPresent());
+  }
+}
+
+TEST(ShardedApplier, BackpressureWithTinyQueuesLosesNothing) {
+  auto db = MakeDb();
+  ReplicationCounters counters(1, 2);
+  ShardedApplier::Options so;
+  so.shards = 2;
+  so.queue_capacity = 2;  // force Submit to stall on full rings
+  ShardedApplier sharded(db.get(), &counters, so);
+  sharded.set_apply_delay_ns_for_test(200'000);  // 0.2 ms per segment
+  sharded.Start();
+  uint64_t total = 0;
+  for (int b = 0; b < 64; ++b) {
+    WriteBuffer buf;
+    for (int i = 0; i < 4; ++i) {
+      int p = static_cast<int>((b + i) % kPartitions);
+      uint64_t tid = Tid::Make(1, b * 8 + i + 1, 0);
+      SerializeValueEntry(buf, 0, p, i, tid, ValueFor(i, tid));
+      ++total;
+    }
+    sharded.Submit(0, buf.Release());
+  }
+  sharded.set_apply_delay_ns_for_test(0);
+  ASSERT_TRUE(sharded.Drain(/*timeout_ms=*/10000));
+  EXPECT_EQ(counters.applied_from(0), total);
+  sharded.Stop();
+}
+
+TEST(ShardedApplier, DrainTimesOutWhileBackloggedThenCompletes) {
+  auto db = MakeDb();
+  ReplicationCounters counters(1, 2);
+  ShardedApplier::Options so;
+  so.shards = 2;
+  ShardedApplier sharded(db.get(), &counters, so);
+  sharded.set_apply_delay_ns_for_test(50'000'000);  // 50 ms per segment
+  sharded.Start();
+  for (int b = 0; b < 4; ++b) {
+    WriteBuffer buf;
+    uint64_t tid = Tid::Make(1, b + 1, 0);
+    SerializeValueEntry(buf, 0, b % kPartitions, b, tid, ValueFor(b, tid));
+    sharded.Submit(0, buf.Release());
+  }
+  EXPECT_FALSE(sharded.Drain(/*timeout_ms=*/5));
+  sharded.set_apply_delay_ns_for_test(0);
+  EXPECT_TRUE(sharded.Drain(/*timeout_ms=*/10000));
+  sharded.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Randomized convergence fuzz
+// ---------------------------------------------------------------------------
+//
+// Corpus shape mirrors what the phases actually produce:
+//  * "op partitions" have a single writer source; their batches mix
+//    operation, value, and delete entries with per-partition monotonic TIDs
+//    (partitioned phase: single writer + FIFO = commit order).
+//  * "thomas partitions" take value/delete entries from every source with
+//    arbitrary (globally unique) TIDs (single-master phase: the Thomas rule
+//    absorbs any cross-source interleaving).
+//  * One early batch per source is re-delivered at the end: its operation
+//    entries are stale by then and must be skipped, its value entries are
+//    idempotent.
+//  * A dedicated tombstone-overtakes-value pair per seed: the delete
+//    carries the higher TID and must win in every delivery order.
+
+struct Corpus {
+  // per source: FIFO sequence of batch payloads
+  std::vector<std::vector<std::string>> by_source;
+  uint64_t entries = 0;
+};
+
+constexpr int kSources = 3;
+
+Corpus MakeCorpus(uint64_t seed) {
+  Corpus c;
+  c.by_source.resize(kSources);
+  Rng rng(seed);
+  std::vector<uint64_t> op_seq(kPartitions, 0);    // op-partition TIDs
+  std::vector<uint64_t> src_seq(kSources, 1000);   // thomas TIDs per source
+
+  for (int src = 0; src < kSources; ++src) {
+    int batches = 10 + static_cast<int>(rng.Uniform(6));
+    for (int b = 0; b < batches; ++b) {
+      WriteBuffer buf;
+      int n = 8 + static_cast<int>(rng.Uniform(24));
+      for (int i = 0; i < n; ++i) {
+        bool op_partition = rng.Uniform(2) == 0;
+        if (op_partition) {
+          // Op partitions 0..3 each have a single writer source
+          // (p % kSources); pick one of this source's owned partitions.
+          std::vector<int> owned;
+          for (int p = 0; p < 4; ++p) {
+            if (p % kSources == src) owned.push_back(p);
+          }
+          if (owned.empty()) continue;
+          int p = owned[rng.Uniform(owned.size())];
+          uint64_t key = rng.Uniform(32);
+          uint64_t tid = Tid::Make(2, ++op_seq[p], src);
+          switch (rng.Uniform(4)) {
+            case 0:
+              SerializeDeleteEntry(buf, 0, p, key, tid);
+              break;
+            case 1:
+              SerializeValueEntry(buf, 0, p, key, tid, ValueFor(key, tid));
+              break;
+            default:
+              SerializeOperationEntry(
+                  buf, 0, p, key, tid,
+                  {Operation::AddI64(0, static_cast<int64_t>(key + 1)),
+                   Operation::StringPrepend(8, 16, "ab")});
+              break;
+          }
+          ++c.entries;
+        } else {
+          int p = 4 + static_cast<int>(rng.Uniform(4));
+          uint64_t key = rng.Uniform(32);
+          uint64_t tid = Tid::Make(2, ++src_seq[src], src);
+          if (rng.Uniform(5) == 0) {
+            SerializeDeleteEntry(buf, 0, p, key, tid);
+          } else {
+            SerializeValueEntry(buf, 0, p, key, tid, ValueFor(key, tid));
+          }
+          ++c.entries;
+        }
+      }
+      if (buf.empty()) continue;
+      c.by_source[src].push_back(buf.Release());
+    }
+  }
+
+  // Tombstone overtakes value: the delete (src 1) outranks the value
+  // (src 0); whichever arrives first, the key must end absent.
+  {
+    WriteBuffer v, d;
+    SerializeValueEntry(v, 0, 5, /*key=*/999, Tid::Make(2, 5000, 0),
+                        ValueFor(999, 1));
+    SerializeDeleteEntry(d, 0, 5, /*key=*/999, Tid::Make(2, 5001, 1));
+    c.by_source[0].push_back(v.Release());
+    c.by_source[1].push_back(d.Release());
+    c.entries += 2;
+  }
+
+  // Stale replay: re-deliver each source's first batch at its end.
+  for (int src = 0; src < kSources; ++src) {
+    if (c.by_source[src].empty()) continue;
+    std::string replay = c.by_source[src].front();
+    ReadBuffer in(replay);
+    while (!in.Done()) {
+      RepEntryHeader h = RepEntryHeader::Deserialize(in);
+      ReplicationApplier::SkipEntryBody(h, in);
+      ++c.entries;
+    }
+    c.by_source[src].push_back(std::move(replay));
+  }
+  return c;
+}
+
+/// One delivery order: (src, batch index) pairs, per-source FIFO preserved.
+std::vector<std::pair<int, int>> Interleave(const Corpus& c, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> next(kSources, 0);
+  std::vector<std::pair<int, int>> order;
+  for (;;) {
+    std::vector<int> ready;
+    for (int s = 0; s < kSources; ++s) {
+      if (next[s] < static_cast<int>(c.by_source[s].size())) ready.push_back(s);
+    }
+    if (ready.empty()) break;
+    int s = ready[rng.Uniform(ready.size())];
+    order.emplace_back(s, next[s]++);
+  }
+  return order;
+}
+
+TEST(ShardedApplierFuzz, ConvergesAcrossShardCountsAndInterleavings) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    Corpus corpus = MakeCorpus(seed);
+
+    // Reference: the pre-change serial applier, one interleaving.
+    auto ref_db = MakeDb();
+    ReplicationCounters ref_counters(kSources);
+    ReplicationApplier ref(ref_db.get(), &ref_counters);
+    uint64_t ref_applied = 0;
+    for (auto [src, b] : Interleave(corpus, seed * 101)) {
+      ref_applied += ref.ApplyBatch(src, corpus.by_source[src][b]);
+    }
+    EXPECT_EQ(ref_applied, corpus.entries);
+    std::vector<uint64_t> want = Checksums(*ref_db);
+
+    // Sharded instances, each fed a *different* interleaving.
+    for (int shards : {1, 2, 8}) {
+      auto db = MakeDb();
+      ReplicationCounters counters(kSources, shards);
+      ShardedApplier::Options so;
+      so.shards = shards;
+      ShardedApplier sharded(db.get(), &counters, so);
+      sharded.Start();
+      for (auto [src, b] : Interleave(corpus, seed * 677 + shards)) {
+        std::string payload = corpus.by_source[src][b];  // copy: Submit owns
+        sharded.Submit(src, std::move(payload));
+      }
+      ASSERT_TRUE(sharded.Drain(/*timeout_ms=*/20000));
+      sharded.Stop();
+      uint64_t applied = 0;
+      for (int s = 0; s < kSources; ++s) applied += counters.applied_from(s);
+      EXPECT_EQ(applied, corpus.entries) << shards << " shards";
+      EXPECT_EQ(Checksums(*db), want)
+          << "divergence at " << shards << " shards, seed " << seed;
+    }
+
+    // The tombstone-overtakes-value key must have ended absent.
+    HashTable::Row row = ref_db->table(0, 5)->GetRow(999);
+    ASSERT_TRUE(row.valid());
+    EXPECT_FALSE(row.rec->IsPresent());
+  }
+}
+
+}  // namespace
+}  // namespace star
