@@ -1,0 +1,138 @@
+// Replica-served snapshot reads: scaling read throughput with the replica
+// fleet (cc/snapshot.h).
+//
+// The write path is held fixed — the standard STAR YCSB deployment, 4 nodes,
+// 2 workers each — while the number of dedicated replica readers per node
+// sweeps 0/1/2.  Readers execute read-only transactions at their local
+// replica with zero coordination (no locks, no OCC registration, no
+// messages), pinning the applied-epoch watermark the replication fence
+// already publishes and validating Silo-style at commit; a conflict with
+// in-flight replay is retried locally.  Reported per deployment:
+//
+//  * read txns/sec and validated keys/sec (the new capacity),
+//  * write txns/sec (must stay within noise of the reader-free baseline:
+//    readers share nothing with the write path but cores),
+//  * staleness — mean watermark lag behind the live epoch, in epochs and
+//    milliseconds (bounded by a couple of fence iterations by design),
+//  * snapshot conflict/retry rate.
+//
+// Gates (recorded with host_cpus; honestly evaluable only when the host has
+// cores for the extra readers — on a 1-core host every thread time-slices
+// one core, so added readers cannibalise writers by construction):
+//  * read throughput rises with the reader fleet (k=1 -> k=2),
+//  * write throughput at k=2 within 5% of the k=0 baseline.
+// Results are mirrored to BENCH_replica_reads.json.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "bench_common.h"
+
+namespace star {
+namespace {
+
+using bench::JsonLog;
+
+struct RunResult {
+  double write_tps = 0;
+  double read_tps = 0;
+  double read_keys_per_sec = 0;
+  double lag_epochs = 0;
+  double lag_ms = 0;
+  double conflict_rate = 0;
+  double abort_rate = 0;
+};
+
+RunResult RunDeployment(int readers_per_node, ReplicaReadMode mode) {
+  YcsbWorkload wl(bench::BenchYcsb());
+  StarOptions o = bench::DefaultStar(/*cross_fraction=*/0.1);
+  o.replica_read_workers = readers_per_node;
+  o.replica_read_mode = mode;
+  StarEngine engine(o, wl);
+  Metrics m = bench::Measure(engine);
+  RunResult r;
+  r.write_tps = m.Tps();
+  r.read_tps = m.ReplicaReadTps();
+  r.read_keys_per_sec =
+      m.seconds > 0 ? m.replica_read_keys / m.seconds : 0;
+  r.lag_epochs = m.ReplicaReadLagEpochs();
+  // One epoch advances per fence, one fence per iteration: epochs of lag
+  // translate to wall-clock staleness via the iteration time.
+  r.lag_ms = r.lag_epochs * o.iteration_ms;
+  r.conflict_rate = m.ReplicaReadConflictRate();
+  r.abort_rate =
+      m.replica_reads + m.replica_read_aborts > 0
+          ? static_cast<double>(m.replica_read_aborts) /
+                (m.replica_reads + m.replica_read_aborts)
+          : 0;
+  return r;
+}
+
+void Report(const std::string& config, int readers_per_node,
+            const RunResult& r) {
+  std::printf(
+      "%-14s  %9.0f write tps  %9.0f read tps  lag=%5.2f ep (%5.1f ms)"
+      "  conflicts=%5.2f%%  aborts=%5.2f%%\n",
+      config.c_str(), r.write_tps, r.read_tps, r.lag_epochs, r.lag_ms,
+      100 * r.conflict_rate, 100 * r.abort_rate);
+  std::fflush(stdout);
+  JsonLog::Instance().Row(
+      {{"config", config},
+       {"readers_per_node", JsonLog::Format(readers_per_node)},
+       {"write_tps", JsonLog::Format(r.write_tps)},
+       {"read_tps", JsonLog::Format(r.read_tps)},
+       {"read_keys_per_sec", JsonLog::Format(r.read_keys_per_sec)},
+       {"staleness_epochs", JsonLog::Format(r.lag_epochs)},
+       {"staleness_ms", JsonLog::Format(r.lag_ms)},
+       {"conflict_rate", JsonLog::Format(r.conflict_rate)},
+       {"abort_rate", JsonLog::Format(r.abort_rate)}});
+}
+
+}  // namespace
+}  // namespace star
+
+int main() {
+  star::bench::PrintHeader(
+      "replica_reads",
+      "Replica-served snapshot reads (zero-coordination, watermark-pinned)\n"
+      "vs the reader fleet size, write workload held fixed.  Gates: read tps\n"
+      "rises k=1 -> k=2; write tps at k=2 within 5% of k=0 (cores "
+      "permitting).");
+
+  long cpus = std::thread::hardware_concurrency();
+  star::RunResult base = star::RunDeployment(0, star::ReplicaReadMode::kSnapshot);
+  star::Report("readers_0", 0, base);
+  star::RunResult k1 = star::RunDeployment(1, star::ReplicaReadMode::kSnapshot);
+  star::Report("readers_1", 1, k1);
+  star::RunResult k2 = star::RunDeployment(2, star::ReplicaReadMode::kSnapshot);
+  star::Report("readers_2", 2, k2);
+  star::RunResult mono =
+      star::RunDeployment(1, star::ReplicaReadMode::kMonotonic);
+  star::Report("monotonic_1", 1, mono);
+
+  double read_scaling = k1.read_tps > 0 ? k2.read_tps / k1.read_tps : 0;
+  double write_impact = base.write_tps > 0 ? k2.write_tps / base.write_tps : 0;
+  // The deployment runs 4 nodes x (2 workers + k readers) + io + control
+  // threads; the gates measure genuine parallel capacity only when the host
+  // can actually run the added readers alongside the writers.
+  long needed = 4 * (2 + 2) + 2;
+  bool evaluable = cpus >= needed;
+  star::bench::JsonLog::Instance().Row(
+      {{"config", "gate"},
+       {"read_scaling_k1_to_k2", star::bench::JsonLog::Format(read_scaling)},
+       {"write_impact_k2_vs_k0", star::bench::JsonLog::Format(write_impact)},
+       {"gate_evaluable", evaluable ? "true" : "false"},
+       {"host_cpus", star::bench::JsonLog::Format(static_cast<double>(cpus))}});
+  std::printf(
+      "\nread scaling k=1 -> k=2: %.2fx (gate: > 1x)   "
+      "write impact k=2 vs k=0: %.2fx (gate: within 5%%)\n"
+      "%ld cpu(s) on this host, ~%ld threads in the k=2 deployment: gates %s"
+      "\nreaders never block writers by construction (no shared locks, no\n"
+      "fence participation); on a small host they still share cores, which\n"
+      "is scheduling pressure, not coordination.\n",
+      read_scaling, write_impact, cpus, needed,
+      evaluable ? "evaluable on this host"
+                : "recorded but not evaluable on this host");
+  return 0;
+}

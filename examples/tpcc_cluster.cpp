@@ -14,7 +14,9 @@
 // actual deployment shape (Section 7.1).  --replay-shards=N drains inbound
 // replication through N parallel replay workers per node instead of the
 // io thread (replication/sharded_applier.h); the fence drain waits on the
-// replay queues, so convergence is unchanged.
+// replay queues, so convergence is unchanged.  The default (0) autosizes
+// the replay width from the host core budget; =1 forces the old inline
+// io-thread apply.
 
 #include <cstdio>
 #include <cstdlib>
@@ -30,7 +32,7 @@ int main(int argc, char** argv) {
   int seconds = 3;
   star::net::TransportKind transport = star::net::TransportKind::kSim;
   bool multiprocess = false;
-  int replay_shards = 1;
+  int replay_shards = 0;  // 0 = autosize from the host core budget
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--transport=tcp") == 0) {

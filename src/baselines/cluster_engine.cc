@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "cc/snapshot.h"
+
 namespace star {
 
 ClusterEngine::ClusterEngine(const BaselineOptions& options,
@@ -32,12 +34,16 @@ ClusterEngine::ClusterEngine(const BaselineOptions& options,
                                           /*two_version=*/false);
     node->endpoint = std::make_unique<net::Endpoint>(
         transport_.get(), i, options_.io_threads_per_node);
-    int replay_shards = std::max(1, options_.replay_shards);
-    node->counters =
-        std::make_unique<ReplicationCounters>(num_nodes_, replay_shards);
+    // 0 autosizes from the host core budget (ResolveReplayShards); the
+    // resolved 1 then runs the sharded pipeline's single prefetched worker,
+    // while an explicit 1 keeps the inline io-thread apply.
+    int replay_shards = ResolveReplayShards(options_.replay_shards);
+    bool sharded_replay = options_.replay_shards == 0 || replay_shards >= 2;
+    node->counters = std::make_unique<ReplicationCounters>(
+        num_nodes_, replay_shards, /*sent_lanes=*/options_.workers_per_node);
     node->applier = std::make_unique<ReplicationApplier>(node->db.get(),
                                                          node->counters.get());
-    if (replay_shards >= 2) {
+    if (sharded_replay) {
       ShardedApplier::Options so;
       so.shards = replay_shards;
       node->sharded = std::make_unique<ShardedApplier>(
@@ -72,8 +78,12 @@ ClusterEngine::ClusterEngine(const BaselineOptions& options,
       auto ws = std::make_unique<WorkerState>(seed, tid_thread, w);
       ws->stream = std::make_unique<ReplicationStream>(
           node->endpoint.get(), node->counters.get(), num_nodes_,
-          options_.rep_flush_bytes);
+          options_.rep_flush_bytes, /*lane=*/w);
       node->workers.push_back(std::move(ws));
+    }
+    for (int r = 0; r < options_.replica_read_workers; ++r) {
+      uint64_t seed = options_.seed * 888121ull + i * 977 + r;
+      node->readers.push_back(std::make_unique<ReaderState>(seed));
     }
     nodes_.push_back(std::move(node));
   }
@@ -105,8 +115,48 @@ void ClusterEngine::Start() {
       node->threads.emplace_back(
           [this, n = node.get(), w] { WorkerLoop(*n, w); });
     }
+    for (size_t r = 0; r < node->readers.size(); ++r) {
+      node->reader_threads.emplace_back(
+          [this, n = node.get(), r] { ReaderLoop(*n, static_cast<int>(r)); });
+    }
   }
   ResetStats();
+}
+
+void ClusterEngine::ReaderLoop(Node& node, int reader_index) {
+  ReaderState& r = *node.readers[reader_index];
+  // No watermark: the baselines have no replication fence, so readers get
+  // monotonic-fresh semantics only (each record individually committed,
+  // per-record TIDs never regress; no cross-record snapshot).  The chassis
+  // never reverts epochs or resets storage, so no pause handshake either.
+  SnapshotContext ctx(node.db.get(), /*watermark=*/nullptr,
+                      ReplicaReadMode::kMonotonic, &r.rng,
+                      num_nodes_ * options_.workers_per_node +
+                          node.id * static_cast<int>(node.readers.size()) +
+                          reader_index);
+  std::vector<int> parts = placement_.StoredPartitions(node.id);
+  size_t rr = static_cast<size_t>(
+      r.rng.Uniform(static_cast<uint64_t>(parts.size())));
+  uint32_t txn_since_yield = 0;
+  while (running_.load(std::memory_order_acquire)) {
+    int partition = parts[rr++ % parts.size()];
+    TxnRequest req = workload_.MakeReadOnly(r.rng, partition, num_partitions_);
+    if (req.proc == nullptr) return;  // workload has no read-only class
+    ctx.Begin();
+    TxnStatus status = req.proc(ctx);
+    if (status == TxnStatus::kCommitted && ctx.Commit()) {
+      r.committed.fetch_add(1, std::memory_order_relaxed);
+    } else if (ctx.conflicted()) {
+      r.conflicts.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      r.aborted.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (options_.yield_every_n_txns != 0 &&
+        ++txn_since_yield >= options_.yield_every_n_txns) {
+      txn_since_yield = 0;
+      std::this_thread::yield();
+    }
+  }
 }
 
 void ClusterEngine::WorkerLoop(Node& node, int worker_index) {
@@ -186,6 +236,12 @@ Metrics ClusterEngine::Snapshot() const {
           w->stats.cross_partition.load(std::memory_order_relaxed);
       m.latency.Merge(w->stats.latency);
     }
+    for (const auto& r : node->readers) {
+      m.replica_reads += r->committed.load(std::memory_order_relaxed);
+      m.replica_read_aborts += r->aborted.load(std::memory_order_relaxed);
+      m.replica_read_conflicts +=
+          r->conflicts.load(std::memory_order_relaxed);
+    }
   }
   m.seconds = (NowNanos() - measure_start_ns_) / 1e9;
   m.network_bytes = transport_->total_bytes() - net_bytes_at_reset_;
@@ -207,6 +263,11 @@ void ClusterEngine::ResetStats() {
       w->stats.Reset();
       if (!live) w->stats.MaybeResetLatency();
     }
+    for (auto& r : node->readers) {
+      r->committed.store(0, std::memory_order_relaxed);
+      r->aborted.store(0, std::memory_order_relaxed);
+      r->conflicts.store(0, std::memory_order_relaxed);
+    }
   }
   net_bytes_at_reset_ = transport_->total_bytes();
   net_msgs_at_reset_ = transport_->total_messages();
@@ -225,6 +286,10 @@ Metrics ClusterEngine::Stop() {
       if (t.joinable()) t.join();
     }
     node->threads.clear();
+    for (auto& t : node->reader_threads) {
+      if (t.joinable()) t.join();
+    }
+    node->reader_threads.clear();
   }
   epoch_mgr_.StopTimer();
   for (auto& node : nodes_) {

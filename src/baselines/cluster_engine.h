@@ -65,6 +65,16 @@ class ClusterEngine {
     size_t rr = 0;  // cursor over the node's primary partitions
   };
 
+  /// State of one replica-read worker (monotonic-fresh mode; see
+  /// BaselineOptions::replica_read_workers).  Padded against false sharing.
+  struct alignas(64) ReaderState {
+    explicit ReaderState(uint64_t seed) : rng(seed) {}
+    Rng rng;
+    std::atomic<uint64_t> committed{0};
+    std::atomic<uint64_t> aborted{0};    // missing record / user abort
+    std::atomic<uint64_t> conflicts{0};  // bounded optimistic read gave up
+  };
+
   struct Node {
     int id = 0;
     std::unique_ptr<Database> db;
@@ -75,7 +85,9 @@ class ClusterEngine {
     /// inline serial default.  Same pipeline as StarEngine's.
     std::unique_ptr<ShardedApplier> sharded;
     std::vector<std::unique_ptr<WorkerState>> workers;
+    std::vector<std::unique_ptr<ReaderState>> readers;
     std::vector<std::thread> threads;
+    std::vector<std::thread> reader_threads;
     std::vector<int> primaries;  // partitions this node masters
   };
 
@@ -122,6 +134,10 @@ class ClusterEngine {
   /// Default loop: RunOne + group-commit drain + yield cadence.  Calvin
   /// overrides it (its workers split into lock managers and executors).
   virtual void WorkerLoop(Node& node, int worker_index);
+
+  /// Replica-read loop: monotonic-fresh read-only transactions against the
+  /// node's local replica (no watermark — the baselines have no fence).
+  void ReaderLoop(Node& node, int reader_index);
 
   BaselineOptions options_;
   const Workload& workload_;

@@ -18,9 +18,10 @@ struct BaselineOptions {
   int workers_per_node = 2;
   int io_threads_per_node = 1;
   /// Replication replay shards per node (see ClusterConfig::replay_shards):
+  /// 0 (default) = autosize from the host core budget (ResolveReplayShards),
   /// 1 = inline serial apply on the io thread, >= 2 = parallel replay
   /// pipeline.  The baselines share STAR's applier stack.
-  int replay_shards = 1;
+  int replay_shards = 0;
   /// Outbound replication batch flush threshold, bytes (see
   /// ClusterConfig::rep_flush_bytes).
   size_t rep_flush_bytes = 8 * 1024;
@@ -38,6 +39,14 @@ struct BaselineOptions {
 
   /// Fraction of generated transactions that are cross-partition.
   double cross_fraction = 0.1;
+
+  /// Replica-served read-only transactions, per node (cc/snapshot.h).  The
+  /// baselines have no replication fence and therefore no applied-epoch
+  /// watermark, so their readers run in monotonic-fresh mode only: each
+  /// record read is individually a committed version (per-record time never
+  /// runs backwards under the Thomas rule), with no cross-record snapshot
+  /// guarantee.  0 (default) spawns none.
+  int replica_read_workers = 0;
 
   // Transport parameters (same defaults as STAR's cluster).  kSim keeps
   // the simulated latency/bandwidth model; kTcp runs the baseline over

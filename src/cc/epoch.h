@@ -58,6 +58,100 @@ class EpochManager {
   std::thread timer_;
 };
 
+/// Per-source applied-epoch watermark published by the replication fence.
+///
+/// A node that drained source s's replication stream through the fence
+/// ending epoch E (kFenceExpect observed applied_from(s) >= expected[s])
+/// publishes `Publish(s, E)`: every write s committed in epochs <= E has
+/// been applied here, and anything still in flight from s carries an epoch
+/// > E.  The node-wide snapshot watermark is the MINIMUM over all *active*
+/// sources — a replica is consistent at snapshot W when it holds every
+/// committed write of every source through epoch W, so read-only
+/// transactions pin `watermark()` and validate their read-set TIDs against
+/// it (cc/snapshot.h).
+///
+/// Failure handling hooks:
+///  * `SetActive(s, false)` removes a failed source from the minimum (its
+///    stream is ignored from then on, Section 4.5.2), so a dead node cannot
+///    freeze the watermark.
+///  * `Revert(E)` clamps per-source values >= E back to E-1 when the
+///    coordinator reverts the uncommitted epoch E — reads must not pin a
+///    snapshot that is about to be rolled back.
+///  * `Reset()` zeroes everything (rejoin storage reset: the replica is
+///    empty and serves no snapshots until fences re-publish).
+///
+/// All methods are safe against concurrent readers; publication uses a
+/// monotonic max so late or duplicated fence rounds never move a source
+/// backwards (except through the explicit Revert path).
+class AppliedEpochWatermark {
+ public:
+  explicit AppliedEpochWatermark(int sources)
+      : applied_(sources), active_(sources) {
+    for (auto& a : applied_) a.store(0, std::memory_order_relaxed);
+    for (auto& a : active_) a.store(true, std::memory_order_relaxed);
+  }
+
+  /// Source `src` is fully applied through `epoch` (monotonic max).
+  void Publish(int src, uint64_t epoch) {
+    auto& a = applied_[src];
+    uint64_t cur = a.load(std::memory_order_relaxed);
+    while (cur < epoch &&
+           !a.compare_exchange_weak(cur, epoch, std::memory_order_release,
+                                    std::memory_order_relaxed)) {
+    }
+  }
+
+  /// The node-wide snapshot watermark: min applied epoch over active
+  /// sources.  0 until the first fence publishes every active source.
+  uint64_t watermark() const {
+    uint64_t w = ~0ull;
+    bool any = false;
+    for (size_t s = 0; s < applied_.size(); ++s) {
+      if (!active_[s].load(std::memory_order_acquire)) continue;
+      any = true;
+      uint64_t v = applied_[s].load(std::memory_order_acquire);
+      if (v < w) w = v;
+    }
+    return any ? w : 0;
+  }
+
+  uint64_t applied(int src) const {
+    return applied_[src].load(std::memory_order_acquire);
+  }
+
+  /// A failed source leaves the minimum; a live (healthy or rejoining) one
+  /// participates.
+  void SetActive(int src, bool active) {
+    active_[src].store(active, std::memory_order_release);
+  }
+
+  /// Epoch `revert_epoch` is being rolled back: clamp any source already
+  /// published at or past it to the last surviving epoch.
+  void Revert(uint64_t revert_epoch) {
+    if (revert_epoch == 0) return;
+    for (auto& a : applied_) {
+      uint64_t cur = a.load(std::memory_order_acquire);
+      while (cur >= revert_epoch &&
+             !a.compare_exchange_weak(cur, revert_epoch - 1,
+                                      std::memory_order_release,
+                                      std::memory_order_acquire)) {
+      }
+    }
+  }
+
+  /// Rejoin storage reset: the replica holds nothing; no snapshot is
+  /// servable until fences re-publish every source.
+  void Reset() {
+    for (auto& a : applied_) a.store(0, std::memory_order_release);
+  }
+
+  int sources() const { return static_cast<int>(applied_.size()); }
+
+ private:
+  std::vector<std::atomic<uint64_t>> applied_;
+  std::vector<std::atomic<bool>> active_;
+};
+
 /// Tracks transactions awaiting epoch release (group commit) and records
 /// their end-to-end latency once the epoch they committed in has closed.
 /// Single-writer: each worker owns one tracker; the drain happens on the

@@ -7,6 +7,7 @@
 
 #include "cc/txn.h"
 #include "cc/write_set.h"
+#include "common/tid.h"
 #include "storage/database.h"
 #include "storage/hash_table.h"
 
@@ -24,6 +25,54 @@ struct ScanSetEntry {
   uint32_t begin = 0;  // range into the owning ScanSet's row vector
   uint32_t count = 0;
 };
+
+/// Executes one lock-free scan for a replica-served read-only transaction
+/// (cc/snapshot.h): visits records in [lo, hi] in key order via the ordered
+/// index, reading each with a bounded optimistic read and — in snapshot mode
+/// (`check_watermark`) — admitting only versions whose TID epoch is <= the
+/// pinned applied-epoch `watermark`.  There is no write-set awareness and no
+/// phantom range registration: the snapshot invariant (every committed write
+/// through the watermark is applied, anything in flight carries a later
+/// epoch) makes a missing index entry definitively absent at the snapshot,
+/// so only *visited* records need commit-time revalidation, which the caller
+/// collects through `on_read(rec, word)`.
+///
+/// Returns false when the scan observed something unservable at the pinned
+/// snapshot — a record that stayed locked/unstable past the read bound, or
+/// one already carrying an epoch past the watermark (replication replay ran
+/// ahead mid-scan).  The caller marks the transaction conflicted and retries
+/// it locally against a fresh watermark.  Tombstones at or before the
+/// watermark are committed deletes in the snapshot and are skipped.
+template <typename OnRead>
+bool SnapshotWalk(HashTable* ht, uint64_t lo, uint64_t hi, int limit,
+                  uint64_t watermark, bool check_watermark,
+                  std::string& scratch, TxnContext::ScanVisitor visit,
+                  void* arg, OnRead&& on_read) {
+  uint32_t size = ht->value_size();
+  if (scratch.size() < size) scratch.resize(size);
+  bool ok = true;
+  int taken = 0;
+  ht->index()->Scan(lo, hi, [&](uint64_t key, Record* rec) {
+    uint64_t word;
+    if (!rec->TryReadStable(scratch.data(), size, ht->ValueOfRecord(rec),
+                            &word)) {
+      ok = false;  // contended past the read bound: retry the transaction
+      return false;
+    }
+    if (check_watermark && Tid::Epoch(Record::TidOf(word)) > watermark) {
+      ok = false;  // replay ran past the pinned snapshot
+      return false;
+    }
+    if (Record::IsAbsent(word)) return true;  // deleted at the snapshot: skip
+    if (check_watermark) on_read(rec, word);
+    ++taken;
+    if (!visit(arg, key, scratch.data()) || (limit > 0 && taken >= limit)) {
+      return false;
+    }
+    return true;
+  });
+  return ok;
+}
 
 /// A transaction's scan footprint, shared by every scan-capable execution
 /// context (SiloContext, Dist. OCC's DistContext) so the phantom-safety

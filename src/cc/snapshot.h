@@ -1,0 +1,164 @@
+#ifndef STAR_CC_SNAPSHOT_H_
+#define STAR_CC_SNAPSHOT_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cc/epoch.h"
+#include "cc/scan_set.h"
+#include "cc/txn.h"
+#include "common/config.h"
+#include "common/rng.h"
+#include "common/tid.h"
+#include "storage/database.h"
+
+namespace star {
+
+/// Read-only execution context for replica-served transactions: reads a
+/// node's *replica* state with zero coordination — no locks taken, no OCC
+/// registration with writers, no messages — piggybacking entirely on
+/// machinery the system already maintains:
+///
+///  * The replication fence publishes a per-source applied-epoch watermark
+///    (cc/epoch.h AppliedEpochWatermark): once every active source is
+///    applied through epoch W, the replica's state *restricted to versions
+///    with TID epoch <= W* is exactly the committed database as of the
+///    fence that ended W — every committed write through W is applied
+///    (fence drain), and anything still in flight carries a later epoch.
+///  * The Thomas write rule only ever installs increasing TIDs, so the
+///    snapshot-W version of a record is simply its current version whenever
+///    that version's epoch is <= W.
+///
+/// Snapshot mode therefore pins W at Begin, reads records with bounded
+/// optimistic reads, rejects any version from an epoch past W, and at
+/// Commit revalidates that every record read *still* carries an epoch <= W
+/// (Silo-style read-set re-check; a changed record necessarily moved past W
+/// because replica writes come only from replay).  A failed read or commit
+/// means replication replay touched the footprint mid-transaction — the
+/// caller retries locally against a fresh watermark; no coordination, just
+/// another attempt.
+///
+/// Monotonic-fresh mode (ReplicaReadMode::kMonotonic) skips the pin and all
+/// validation: each record read is individually a committed version and
+/// per-record time never moves backwards, but cross-record consistency is
+/// not guaranteed.  It is the only mode available on engines without a
+/// fence (pass a null watermark).
+class SnapshotContext final : public TxnContext {
+ public:
+  SnapshotContext(Database* db, const AppliedEpochWatermark* watermark,
+                  ReplicaReadMode mode, Rng* rng, int worker_id)
+      : db_(db),
+        watermark_(watermark),
+        mode_(mode),
+        rng_(rng),
+        worker_id_(worker_id) {
+    assert(mode_ == ReplicaReadMode::kMonotonic || watermark_ != nullptr);
+  }
+
+  /// Pins the snapshot for one attempt (call before running the procedure;
+  /// each local retry re-pins a fresh watermark).  A watermark of 0 — before
+  /// the first fence — still serves the bulk-loaded state: loaded records
+  /// carry epoch-0 TIDs.
+  void Begin() {
+    pinned_ = mode_ == ReplicaReadMode::kSnapshot ? watermark_->watermark() : 0;
+    reads_.clear();
+    conflict_ = false;
+  }
+
+  bool Read(int table, int partition, uint64_t key, void* out) override {
+    HashTable* ht = db_->table(table, partition);
+    if (ht == nullptr) return false;  // partition not stored on this replica
+    HashTable::Row row = ht->GetRow(key);
+    if (!row.valid()) return false;  // never inserted: absent at any snapshot
+    uint64_t word;
+    if (!row.rec->TryReadStable(out, row.size, row.value, &word)) {
+      conflict_ = true;  // contended past the read bound: retry
+      return false;
+    }
+    if (mode_ == ReplicaReadMode::kSnapshot &&
+        Tid::Epoch(Record::TidOf(word)) > pinned_) {
+      conflict_ = true;  // replay ran past the pinned snapshot: retry
+      return false;
+    }
+    if (Record::IsAbsent(word)) return false;  // deleted at the snapshot
+    if (mode_ == ReplicaReadMode::kSnapshot) {
+      reads_.push_back(ReadEntry{row.rec, word});
+    }
+    return true;
+  }
+
+  bool Scan(int table, int partition, uint64_t lo, uint64_t hi, int limit,
+            ScanVisitor visit, void* arg) override {
+    HashTable* ht = db_->table(table, partition);
+    if (ht == nullptr || ht->index() == nullptr) return false;
+    bool ok = SnapshotWalk(
+        ht, lo, hi, limit, pinned_, mode_ == ReplicaReadMode::kSnapshot,
+        scratch_, visit, arg, [this](Record* rec, uint64_t word) {
+          reads_.push_back(ReadEntry{rec, word});
+        });
+    if (!ok) conflict_ = true;
+    // Scan() == false is reserved for permanently unsupported; a snapshot
+    // conflict surfaces through Commit() and triggers a local retry.
+    return true;
+  }
+
+  // The context is read-only: procedures routed here must not write.  The
+  // engine only routes requests flagged TxnRequest::read_only, whose
+  // procedures issue no mutations by contract.
+  void Write(int, int, uint64_t, const void*) override {
+    assert(false && "write on a read-only snapshot context");
+  }
+  void ApplyOperation(int, int, uint64_t, const Operation&) override {
+    assert(false && "operation on a read-only snapshot context");
+  }
+  void Insert(int, int, uint64_t, const void*) override {
+    assert(false && "insert on a read-only snapshot context");
+  }
+  void Delete(int, int, uint64_t) override {
+    assert(false && "delete on a read-only snapshot context");
+  }
+
+  /// Commit-time snapshot validation: no read failed, and every record read
+  /// still carries a TID epoch <= the pinned watermark.  Always true in
+  /// monotonic mode unless a bounded read gave up.  On false the caller
+  /// retries the transaction locally (Begin re-pins a fresh watermark).
+  bool Commit() const {
+    if (conflict_) return false;
+    for (const ReadEntry& r : reads_) {
+      if (Tid::Epoch(Record::TidOf(r.rec->LoadWord())) > pinned_) return false;
+    }
+    return true;
+  }
+
+  uint64_t pinned() const { return pinned_; }
+  bool conflicted() const { return conflict_; }
+  size_t validated_keys() const { return reads_.size(); }
+  ReplicaReadMode mode() const { return mode_; }
+
+  Rng& rng() override { return *rng_; }
+  int worker_id() const override { return worker_id_; }
+
+ private:
+  struct ReadEntry {
+    Record* rec;
+    uint64_t word;  // word observed at read time (diagnostic; the re-check
+                    // compares the *current* word's epoch to the pin)
+  };
+
+  Database* db_;
+  const AppliedEpochWatermark* watermark_;
+  ReplicaReadMode mode_;
+  Rng* rng_;
+  int worker_id_;
+
+  uint64_t pinned_ = 0;
+  bool conflict_ = false;
+  std::vector<ReadEntry> reads_;
+  std::string scratch_;
+};
+
+}  // namespace star
+
+#endif  // STAR_CC_SNAPSHOT_H_

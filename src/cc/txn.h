@@ -114,6 +114,10 @@ struct TxnRequest {
   std::function<TxnStatus(TxnContext&)> proc;
   bool cross_partition = false;
   int home_partition = 0;
+  /// The procedure performs no writes/inserts/deletes: it may execute at a
+  /// replica on a read-only snapshot context (cc/snapshot.h) instead of on
+  /// the partition master.  Set by Workload::MakeReadOnly.
+  bool read_only = false;
   /// Declared accesses (see AccessDesc).  Filled by every workload since
   /// keys are chosen at generation time.
   std::vector<AccessDesc> accesses;

@@ -43,6 +43,19 @@ class Workload {
   virtual TxnRequest MakeCrossPartition(Rng& rng, int home_partition,
                                         int num_partitions) const = 0;
 
+  /// A read-only transaction confined to `partition`, eligible for
+  /// replica-served snapshot execution (request.read_only set, proc issues
+  /// no writes).  Workloads without a natural read-only class return a
+  /// request with a null proc; engines treat that as "unsupported" and run
+  /// no replica readers.
+  virtual TxnRequest MakeReadOnly(Rng& rng, int partition,
+                                  int num_partitions) const {
+    (void)rng;
+    (void)partition;
+    (void)num_partitions;
+    return TxnRequest{};
+  }
+
   /// Generates the configured mix: cross-partition with probability
   /// `cross_fraction`.
   TxnRequest Make(Rng& rng, int home_partition, int num_partitions,

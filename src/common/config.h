@@ -1,8 +1,10 @@
 #ifndef STAR_COMMON_CONFIG_H_
 #define STAR_COMMON_CONFIG_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 namespace star {
@@ -12,6 +14,24 @@ enum class ReplicationMode : uint8_t {
   kValue,      // full-record value replication everywhere
   kHybrid,     // value in the single-master phase, operation in partitioned
   kSyncValue,  // synchronous value replication (locks held across the wire)
+};
+
+/// Consistency mode for replica-served read-only transactions
+/// (cc/snapshot.h).
+enum class ReplicaReadMode : uint8_t {
+  /// Pin the node's applied-epoch watermark W, admit only record versions
+  /// with TID epoch <= W, and revalidate the read set against W at commit:
+  /// the transaction observes exactly the state as of epoch W (a consistent
+  /// committed snapshot), retrying locally when replication replay runs
+  /// ahead mid-transaction.
+  kSnapshot,
+  /// Best-effort freshness: bounded optimistic reads with no watermark pin
+  /// and no validation.  Each record individually is a committed version and
+  /// per-record time never runs backwards (the Thomas write rule only
+  /// installs increasing TIDs), but different records may be observed at
+  /// different epochs.  Zero validation cost; the only mode available on
+  /// engines without a replication fence (the baseline chassis).
+  kMonotonic,
 };
 
 /// Cluster-wide configuration shared by STAR and the baseline engines.
@@ -31,9 +51,11 @@ struct ClusterConfig {
   /// Replication replay shards per node: >= 2 routes inbound replication
   /// batches to a pool of replay workers over per-partition-shard queues
   /// (replication/sharded_applier.h), so replicas drain a W-wide write
-  /// stream in parallel; 1 (the default) applies inline on the io thread —
-  /// the classic serial path, byte-identical final state.
-  int replay_shards = 1;
+  /// stream in parallel; 1 forces the classic inline serial apply on the io
+  /// thread (byte-identical final state); 0 (the default) autosizes from the
+  /// host core budget via ResolveReplayShards — a 1-core host degrades to a
+  /// single prefetched replay worker.
+  int replay_shards = 0;
 
   /// Outbound replication batching: a worker's per-destination batch is
   /// shipped once it reaches this many bytes (ReplicationStream).  Bigger
@@ -57,6 +79,22 @@ struct ClusterConfig {
     return partitions > 0 ? partitions : total_workers();
   }
 };
+
+/// Resolves a configured replay-shard count to the effective one (shared by
+/// StarEngine, the baseline chassis, and the WAL-lane accounting in tests):
+///  * > 0 — explicit; taken as-is (1 = the legacy inline serial io-thread
+///    path, >= 2 = that many parallel replay workers).
+///  * 0 (autosize, the default) — derived from the host core budget: a
+///    quarter of the hardware threads, clamped to [1, 8].  A 1-core host
+///    resolves to 1, which under autosize still runs the sharded pipeline's
+///    single prefetched worker (ApplySpans) rather than the inline path —
+///    the prefetched window loop wins even without fan-out.
+inline int ResolveReplayShards(int configured) {
+  if (configured > 0) return configured;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return 1;
+  return std::clamp(static_cast<int>(hw) / 4, 1, 8);
+}
 
 /// Which nodes store and master each partition.
 ///

@@ -65,9 +65,34 @@ struct Metrics {
   /// counters, nonzero outside failure experiments flags a sick cluster —
   /// previously these batches vanished without a trace.
   uint64_t replication_ignored_batches = 0;
+  /// Replica-served read-only transactions (cc/snapshot.h).  Kept separate
+  /// from `committed`/`aborted`: replica reads ride a different execution
+  /// path with different semantics, and folding them in would corrupt every
+  /// existing write-throughput figure.
+  uint64_t replica_reads = 0;           // successfully validated read txns
+  uint64_t replica_read_aborts = 0;     // gave up (missing record/user abort)
+  uint64_t replica_read_conflicts = 0;  // snapshot retries (replay in flight)
+  uint64_t replica_read_keys = 0;       // read-set keys validated
+  /// Sum over committed replica reads of (node epoch - pinned watermark):
+  /// divide by replica_reads for the mean staleness in epochs.
+  uint64_t replica_read_lag_epochs = 0;
   Histogram latency;
 
   double Tps() const { return seconds > 0 ? committed / seconds : 0.0; }
+  double ReplicaReadTps() const {
+    return seconds > 0 ? replica_reads / seconds : 0.0;
+  }
+  double ReplicaReadLagEpochs() const {
+    return replica_reads == 0
+               ? 0.0
+               : static_cast<double>(replica_read_lag_epochs) / replica_reads;
+  }
+  double ReplicaReadConflictRate() const {
+    uint64_t attempts = replica_reads + replica_read_conflicts;
+    return attempts == 0
+               ? 0.0
+               : static_cast<double>(replica_read_conflicts) / attempts;
+  }
   double AbortRate() const {
     uint64_t attempts = committed + aborted;
     return attempts == 0 ? 0.0 : static_cast<double>(aborted) / attempts;

@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <map>
 
+#include "cc/snapshot.h"
 #include "storage/checksum.h"
 
 namespace star {
@@ -129,8 +130,12 @@ StarEngine::StarEngine(const StarOptions& options, const Workload& workload)
   auto schemas = workload_.Schemas();
   int workers = options_.cluster.workers_per_node;
   int io_threads = options_.cluster.io_threads_per_node;
-  int replay_shards = std::max(1, options_.cluster.replay_shards);
-  bool sharded_replay = replay_shards >= 2;
+  // replay_shards == 0 autosizes from the host core budget; the resolved
+  // count of 1 then still uses the sharded pipeline's single prefetched
+  // worker, while an explicit 1 keeps the legacy inline io-thread apply.
+  int replay_shards = ResolveReplayShards(options_.cluster.replay_shards);
+  bool sharded_replay =
+      options_.cluster.replay_shards == 0 || replay_shards >= 2;
 
   for (int i = 0; i < num_nodes_; ++i) {
     node_healthy_[i].store(true, std::memory_order_relaxed);
@@ -147,9 +152,15 @@ StarEngine::StarEngine(const StarOptions& options, const Workload& workload)
         std::make_unique<net::Endpoint>(transport_.get(), i, io_threads);
     // One applied-counter lane per replay shard, so parallel replay workers
     // never serialise on a shared cacheline (lane 0 doubles as the inline
-    // io-thread applier's lane).
-    node->counters =
-        std::make_unique<ReplicationCounters>(num_nodes_, replay_shards);
+    // io-thread applier's lane), and one sent-counter lane per worker so hot
+    // senders never false-share one AddSent cacheline.
+    node->counters = std::make_unique<ReplicationCounters>(
+        num_nodes_, replay_shards, /*sent_lanes=*/workers);
+    node->watermark = std::make_unique<AppliedEpochWatermark>(num_nodes_);
+    for (int r = 0; r < options_.replica_read_workers; ++r) {
+      uint64_t seed = options_.cluster.seed * 888121ull + i * 131 + r;
+      node->readers.push_back(std::make_unique<ReaderState>(seed));
+    }
     node->applier = std::make_unique<ReplicationApplier>(node->db.get(),
                                                          node->counters.get());
     if (sharded_replay) {
@@ -213,7 +224,7 @@ StarEngine::StarEngine(const StarOptions& options, const Workload& workload)
       auto ws = std::make_unique<WorkerState>(seed, tid_thread);
       ws->stream = std::make_unique<ReplicationStream>(
           node->endpoint.get(), node->counters.get(), num_nodes_,
-          options_.cluster.rep_flush_bytes);
+          options_.cluster.rep_flush_bytes, /*lane=*/w);
       if (durable) ws->wal = node->wals[w].get();
       node->workers.push_back(std::move(ws));
     }
@@ -349,6 +360,20 @@ bool StarEngine::ApplyView(uint64_t gen, int master,
     }
     applied_status_[i] = status[i];
   }
+  for (auto& node : nodes_) {
+    if (node == nullptr) continue;
+    // A failed source leaves every hosted watermark's minimum (its stream
+    // is ignored from here on, so it could never publish again and would
+    // freeze the snapshot watermark forever).  A rejoining source stays in:
+    // it replicates normally and is fence-drained like a healthy one.
+    for (int i = 0; i < num_nodes_; ++i) {
+      node->watermark->SetActive(i, status[i] != kNodeDown);
+    }
+    // Replica readers serve only from fully healthy nodes (see Node::serving
+    // — a rejoining node's watermark is ahead of its still-fetching store).
+    node->serving.store(status[node->id] == kNodeHealthy,
+                        std::memory_order_release);
+  }
   RebuildAssignmentsLocked(status);
   return true;
 }
@@ -420,13 +445,39 @@ void StarEngine::RevertLocal(uint64_t revert_epoch) {
     // are parked cluster-wide here, so the queues only shrink.
     if (node->sharded != nullptr) node->sharded->Drain();
     if (revert_epoch != 0) {
+      // Replica readers must not race the revert: RevertEpoch restores the
+      // backup copy with a plain memcpy *before* the word store, which a
+      // concurrent optimistic read could observe as a torn value under a
+      // matching word.  Clamp the watermark first so no reader re-pins the
+      // dying epoch, then park them for the duration.
+      node->watermark->Revert(revert_epoch);
+      PauseReaders(*node);
       node->db->RevertEpoch(revert_epoch);
+      ResumeReaders(*node);
       for (auto& w : node->workers) {
         w->tracker.DropFrom(revert_epoch);
       }
     }
     node->counters->Reset();
   }
+}
+
+void StarEngine::PauseReaders(Node& node) {
+  if (node.readers.empty()) return;
+  node.readers_pause.store(true, std::memory_order_release);
+  for (auto& r : node.readers) {
+    // Terminates: a paused reader parks within one bounded transaction
+    // attempt (bounded optimistic reads, bounded retry budget), and an
+    // exiting reader parks on its way out.
+    while (!r->parked.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+    }
+  }
+}
+
+void StarEngine::ResumeReaders(Node& node) {
+  if (node.readers.empty()) return;
+  node.readers_pause.store(false, std::memory_order_release);
 }
 
 void StarEngine::BroadcastView(uint64_t gen, uint64_t revert_epoch,
@@ -493,6 +544,10 @@ void StarEngine::Start() {
     for (int w = 0; w < workers; ++w) {
       node->worker_threads.emplace_back(
           [this, n = node.get(), w] { WorkerLoop(*n, w); });
+    }
+    for (size_t r = 0; r < node->readers.size(); ++r) {
+      node->reader_threads.emplace_back(
+          [this, n = node.get(), r] { ReaderLoop(*n, static_cast<int>(r)); });
     }
     if (node->checkpointer) {
       node->checkpointer->StartPeriodic(options_.checkpoint_period_ms);
@@ -842,7 +897,16 @@ void StarEngine::PerformRejoin(int j, uint64_t nonce) {
     // touching a hash table across ResetStorage would be a use-after-free.
     nodes_[j]->endpoint->Stop();
     if (nodes_[j]->sharded != nullptr) nodes_[j]->sharded->Drain();
+    // Replica readers hold raw Record pointers across a transaction
+    // attempt; park them across the table teardown (use-after-free
+    // otherwise) and zero the watermark — the empty store serves no
+    // snapshot until fences re-publish every source.  Readers stay
+    // effectively out of service anyway until the stage-3 view flips
+    // Node::serving back on.
+    PauseReaders(*nodes_[j]);
+    nodes_[j]->watermark->Reset();
     nodes_[j]->db->ResetStorage();
+    ResumeReaders(*nodes_[j]);
     nodes_[j]->endpoint->Start();
     nodes_[j]->fenced.store(false, std::memory_order_release);
   }
@@ -975,6 +1039,24 @@ void StarEngine::ControlLoop(Node& node) {
         for (size_t i = workers; i < node.wals.size(); ++i) {
           node.wals[i]->MarkEpochAndFlush(epoch);
         }
+        // Stage the applied-epoch watermark for the epoch this fence ends.
+        // Re-check each source's drain rather than trusting the loop exit:
+        // a deadline or IsDown exit means the stream is NOT known applied
+        // and must not count.  Own writes are applied at commit, so the
+        // node itself always drains.  Publication is deferred to the next
+        // phase start (see kPhaseStart): this node draining does not yet
+        // mean the fence committed — a peer's timeout can still revert the
+        // epoch, and a watermark published now would hand replica readers
+        // an uncommitted snapshot.
+        node.staged_epoch = epoch;
+        node.staged_drained.assign(num_nodes_, 0);
+        for (uint32_t s = 0;
+             s < n && s < static_cast<uint32_t>(num_nodes_); ++s) {
+          if (static_cast<int>(s) == node.id ||
+              node.counters->applied_from(s) >= expected[s]) {
+            node.staged_drained[s] = 1;
+          }
+        }
         node.endpoint->Respond(msg, net::MsgType::kFenceDrained, "");
         break;
       }
@@ -991,6 +1073,20 @@ void StarEngine::ControlLoop(Node& node) {
         Phase phase = static_cast<Phase>(in.Read<uint8_t>());
         uint64_t epoch = in.Read<uint64_t>();
         (void)in.Read<int32_t>();  // master id: carried by view broadcasts
+        if (node.staged_epoch != 0 && epoch > node.staged_epoch) {
+          // The epoch advanced past the staged fence, which proves that
+          // fence committed cluster-wide (the coordinator only advances
+          // after every node drained) — the staged epoch can no longer be
+          // reverted, so it is safe to hand to replica readers.  A failed
+          // fence never advances the epoch, so its staging is re-done (with
+          // fresh flags) by the retried fence before any publish.
+          for (int s = 0; s < num_nodes_; ++s) {
+            if (node.staged_drained[s] != 0) {
+              node.watermark->Publish(s, node.staged_epoch);
+            }
+          }
+          node.staged_epoch = 0;
+        }
         node.epoch.store(epoch, std::memory_order_release);
         node.parked.store(0, std::memory_order_release);
         node.phase_word.store(PackPhase(phase, ++seq),
@@ -1189,6 +1285,85 @@ void StarEngine::WorkerLoop(Node& node, int worker_index) {
   }
 }
 
+void StarEngine::ReaderLoop(Node& node, int reader_index) {
+  ReaderState& r = *node.readers[reader_index];
+  SnapshotContext ctx(node.db.get(), node.watermark.get(),
+                      options_.replica_read_mode, &r.rng,
+                      /*worker_id=*/num_nodes_ * options_.cluster.workers_per_node +
+                          node.id * static_cast<int>(node.readers.size()) +
+                          reader_index);
+  std::vector<int> parts = placement_.StoredPartitions(node.id);
+  // Bounded local retry budget per request: a conflicted attempt re-pins a
+  // fresh watermark and re-runs; replay rarely races the same footprint
+  // twice, so a handful of attempts all failing means the node is reverting
+  // or resetting — drop the request rather than spin against the pause.
+  constexpr int kMaxAttempts = 8;
+  size_t rr = static_cast<size_t>(r.rng.Uniform(
+      static_cast<uint64_t>(parts.size())));
+  while (running_.load(std::memory_order_acquire)) {
+    // Readers never park at fences — executing straight through phase
+    // switches is the zero-coordination point — but they do quiesce for
+    // the pause handshake (epoch revert / storage reset), while this node
+    // is not fully healthy in the applied view, and when fenced off.
+    if (node.readers_pause.load(std::memory_order_acquire) ||
+        !node.serving.load(std::memory_order_acquire) ||
+        node.fenced.load(std::memory_order_acquire)) {
+      r.parked.store(true, std::memory_order_release);
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      continue;
+    }
+    r.parked.store(false, std::memory_order_relaxed);
+
+    int partition = parts[rr++ % parts.size()];
+    TxnRequest req = workload_.MakeReadOnly(r.rng, partition, num_partitions_);
+    if (req.proc == nullptr) break;  // workload has no read-only class
+    bool done = false;
+    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+      ctx.Begin();
+      TxnStatus status = req.proc(ctx);
+      if (status == TxnStatus::kCommitted && ctx.Commit()) {
+        r.committed.fetch_add(1, std::memory_order_relaxed);
+        r.keys.fetch_add(ctx.validated_keys(), std::memory_order_relaxed);
+        // Staleness: how far the node's current epoch ran ahead of the
+        // snapshot this read observed.  Monotonic mode has no pin, so its
+        // staleness is unmeasured (each record is individually fresh).
+        if (options_.replica_read_mode == ReplicaReadMode::kSnapshot) {
+          uint64_t now_epoch = node.epoch.load(std::memory_order_acquire);
+          uint64_t pin = ctx.pinned();
+          if (now_epoch > pin) {
+            r.lag_epochs.fetch_add(now_epoch - pin, std::memory_order_relaxed);
+          }
+        }
+        done = true;
+        break;
+      }
+      if (status != TxnStatus::kCommitted && !ctx.conflicted()) {
+        // Genuine application outcome (missing record / user abort): the
+        // same thing happens at every snapshot, so don't retry.
+        r.aborted.fetch_add(1, std::memory_order_relaxed);
+        done = true;
+        break;
+      }
+      // Snapshot conflict: a read tripped on an epoch past the pin, a
+      // bounded optimistic read gave up, or commit-time validation caught
+      // replay moving a read record past the pin.  Re-pin and retry after
+      // yielding once — the conflicting replay window outlasts an immediate
+      // retry, especially when replay workers share this reader's core.
+      r.conflicts.fetch_add(1, std::memory_order_relaxed);
+      if (node.readers_pause.load(std::memory_order_acquire)) break;
+      std::this_thread::yield();
+    }
+    if (!done) r.aborted.fetch_add(1, std::memory_order_relaxed);
+
+    if (options_.yield_every_n_txns != 0 &&
+        ++r.txn_since_yield >= options_.yield_every_n_txns) {
+      r.txn_since_yield = 0;
+      std::this_thread::yield();
+    }
+  }
+  r.parked.store(true, std::memory_order_release);
+}
+
 void StarEngine::RunPartitionedTxn(Node& node, WorkerState& w,
                                    SiloContext& ctx, int partition) {
   TxnRequest req =
@@ -1307,7 +1482,7 @@ bool StarEngine::SyncReplicate(Node& node, WorkerState& w, uint64_t tid,
     // nodes are excluded from fences and counters reset on view changes.
     // (The one-way stream path in ReplicationStream::Flush does get exact
     // drop information from the transport and counts only accepted batches.)
-    node.counters->AddSent(dst, counts[dst]);
+    node.counters->AddSent(dst, counts[dst], w.stream->lane());
     counts[dst] = 0;
     tokens.emplace_back(
         dst, node.endpoint->CallAsync(dst, net::MsgType::kReplicationBatch,
@@ -1448,6 +1623,13 @@ void StarEngine::ResetStats() {
       w->stats.Reset();
       if (!live) w->stats.MaybeResetLatency();
     }
+    for (auto& r : node->readers) {
+      r->committed.store(0, std::memory_order_relaxed);
+      r->aborted.store(0, std::memory_order_relaxed);
+      r->conflicts.store(0, std::memory_order_relaxed);
+      r->keys.store(0, std::memory_order_relaxed);
+      r->lag_epochs.store(0, std::memory_order_relaxed);
+    }
     node->replication_ignored.store(0, std::memory_order_relaxed);
   }
   fence_count_.store(0, std::memory_order_relaxed);
@@ -1474,6 +1656,14 @@ Metrics StarEngine::Snapshot() const {
       m.cross_partition +=
           w->stats.cross_partition.load(std::memory_order_relaxed);
       m.latency.Merge(w->stats.latency);
+    }
+    for (const auto& r : node->readers) {
+      m.replica_reads += r->committed.load(std::memory_order_relaxed);
+      m.replica_read_aborts += r->aborted.load(std::memory_order_relaxed);
+      m.replica_read_conflicts += r->conflicts.load(std::memory_order_relaxed);
+      m.replica_read_keys += r->keys.load(std::memory_order_relaxed);
+      m.replica_read_lag_epochs +=
+          r->lag_epochs.load(std::memory_order_relaxed);
     }
     m.replication_ignored_batches +=
         node->replication_ignored.load(std::memory_order_relaxed);
@@ -1514,6 +1704,9 @@ Metrics StarEngine::Stop() {
                              std::memory_order_release);
     }
     for (auto& t : node->worker_threads) {
+      if (t.joinable()) t.join();
+    }
+    for (auto& t : node->reader_threads) {
       if (t.joinable()) t.join();
     }
     node->control_running.store(false, std::memory_order_release);

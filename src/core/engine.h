@@ -145,6 +145,11 @@ class StarEngine {
   ShardedApplier* sharded_applier(int node) {
     return nodes_[node] != nullptr ? nodes_[node]->sharded.get() : nullptr;
   }
+  /// The node's applied-epoch watermark (published by the fence, pinned by
+  /// replica readers); null for nodes hosted elsewhere.
+  const AppliedEpochWatermark* watermark(int node) const {
+    return nodes_[node] != nullptr ? nodes_[node]->watermark.get() : nullptr;
+  }
 
  private:
   struct WorkerState {
@@ -178,12 +183,44 @@ class StarEngine {
     uint32_t txn_since_yield = 0;
   };
 
+  /// State of one replica-read worker (cc/snapshot.h).  Cache-line padded
+  /// like WorkerStats: readers on neighbouring slots must not false-share.
+  struct alignas(64) ReaderState {
+    explicit ReaderState(uint64_t seed) : rng(seed) {}
+    Rng rng;
+    std::atomic<uint64_t> committed{0};   // validated read-only txns
+    std::atomic<uint64_t> aborted{0};     // gave up (missing record / user)
+    std::atomic<uint64_t> conflicts{0};   // snapshot retries (replay raced)
+    std::atomic<uint64_t> keys{0};        // read-set keys validated
+    std::atomic<uint64_t> lag_epochs{0};  // sum of (node epoch - pinned W)
+    /// True while the reader sits parked (pause request, unhealthy node, or
+    /// thread exit) and provably touches no storage.
+    std::atomic<bool> parked{false};
+    uint32_t txn_since_yield = 0;  // owner-thread only
+  };
+
   struct Node {
     int id = 0;
     std::unique_ptr<Database> db;
     std::unique_ptr<net::Endpoint> endpoint;
     std::unique_ptr<ReplicationCounters> counters;
     std::unique_ptr<ReplicationApplier> applier;
+    /// Per-source applied-epoch watermark, published by this node's control
+    /// thread at every drained fence; pinned by replica readers.
+    std::unique_ptr<AppliedEpochWatermark> watermark;
+    std::vector<std::unique_ptr<ReaderState>> readers;
+    std::vector<std::thread> reader_threads;
+    /// Quiesce request for the replica readers: set (and awaited via each
+    /// reader's `parked` flag) around storage operations optimistic readers
+    /// must not race — epoch revert's backup memcpy and the rejoin storage
+    /// reset.  Workers need no such handshake: they park at fences anyway.
+    std::atomic<bool> readers_pause{false};
+    /// Readers serve only while the applied view says this node is fully
+    /// healthy.  Load-bearing for rejoin: after the storage reset the
+    /// watermark restarts at 0 but the snapshot *fetch* is still copying
+    /// old epochs back in, so until the stage-3 view restores kNodeHealthy
+    /// a "snapshot at W" here would be missing fetched-later records.
+    std::atomic<bool> serving{true};
     /// Parallel replay pipeline (cluster.replay_shards >= 2); null when
     /// replication applies inline on the io thread (the serial default).
     std::unique_ptr<ShardedApplier> sharded;
@@ -209,6 +246,12 @@ class StarEngine {
     std::atomic<uint64_t> epoch{1};
     std::atomic<int> parked{0};
     uint64_t reported_committed = 0;  // control-thread only
+    /// Fence-drain outcome staged at kFenceExpect, published to the
+    /// watermark at the first kPhaseStart whose epoch proves the fence
+    /// committed.  Control-thread only (both handlers run there; the
+    /// coordinator's per-link FIFO orders them).
+    uint64_t staged_epoch = 0;
+    std::vector<uint8_t> staged_drained;
 
     // Control-thread mailbox (requests from the coordinator RPCs).
     std::mutex mail_mu;
@@ -234,8 +277,14 @@ class StarEngine {
 
   // Thread bodies.
   void WorkerLoop(Node& node, int worker_index);
+  void ReaderLoop(Node& node, int reader_index);
   void ControlLoop(Node& node);
   void CoordinatorLoop();
+
+  /// Parks every replica reader of `node` (waits until each is provably out
+  /// of storage) / releases them.  No-ops without readers.
+  void PauseReaders(Node& node);
+  void ResumeReaders(Node& node);
 
   // Worker helpers.
   void RunPartitionedTxn(Node& node, WorkerState& w, SiloContext& ctx,

@@ -77,6 +77,21 @@ struct StarOptions {
   /// promptly (keeps the stop round short).  0 disables.
   uint32_t yield_every_n_txns = 64;
 
+  /// Replica-served read-only transactions (cc/snapshot.h): per node, this
+  /// many dedicated reader threads execute Workload::MakeReadOnly requests
+  /// against the local replica with zero coordination — no locks, no OCC
+  /// registration, no messages — validating against the applied-epoch
+  /// watermark the replication fence publishes.  Readers run through BOTH
+  /// phases (they never park at fences: that independence is the point) and
+  /// scale read throughput with the replica fleet without touching the
+  /// write path.  0 (the default) spawns none.  No effect on workloads
+  /// without a read-only transaction class.
+  int replica_read_workers = 0;
+  /// Consistency served to replica readers: kSnapshot (consistent committed
+  /// snapshot, validated, the default) or kMonotonic (best-effort fresh, no
+  /// validation) — see ReplicaReadMode.
+  ReplicaReadMode replica_read_mode = ReplicaReadMode::kSnapshot;
+
   // --- deployment (Transport split) ---
 
   /// Message substrate.  kSim (the default) keeps the latency/bandwidth

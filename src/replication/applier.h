@@ -135,14 +135,11 @@ class ReplicationApplier {
     return ApplySpans(src, payload, &all, 1);
   }
 
-  /// Advances `in` past the body of the entry whose header was just read.
+  /// Advances `in` past the body of the entry whose header was just read —
+  /// O(1) via the header's body-length word; routing and skipping never
+  /// decode operands.
   static void SkipEntryBody(const RepEntryHeader& h, ReadBuffer& in) {
-    if (h.kind == RepKind::kValue) {
-      (void)in.ReadBytes();
-    } else if (h.kind == RepKind::kOperation) {
-      uint16_t count = in.Read<uint16_t>();
-      for (uint16_t i = 0; i < count; ++i) (void)OpView::Deserialize(in);
-    }  // kDelete: header only
+    in.Skip(h.body_len);
   }
 
   void ApplyValue(const RepEntryHeader& h, std::string_view value) {
@@ -165,13 +162,13 @@ class ReplicationApplier {
   /// Consumes the operation list following `h` from the batch cursor and
   /// replays it onto the record, operands viewed in place.
   void ApplyOperations(const RepEntryHeader& h, ReadBuffer& in) {
-    uint16_t count = in.Read<uint16_t>();
     HashTable* ht = db_->table(h.table, h.partition);
     if (ht == nullptr) {
-      // Not stored here: still consume the entry's bytes.
-      for (uint16_t i = 0; i < count; ++i) (void)OpView::Deserialize(in);
+      // Not stored here: hop over the entry's bytes without decoding.
+      in.Skip(h.body_len);
       return;
     }
+    uint16_t count = in.Read<uint16_t>();
     HashTable::Row row = ht->GetOrInsertRow(h.key);
     // Operation replay: single writer per partition in the partitioned
     // phase, but the record lock still guards against concurrent
@@ -188,8 +185,9 @@ class ReplicationApplier {
       }
       row.rec->UnlockWithTid(h.tid);
     } else {
-      // Stale (already reflected); consume without applying.
-      for (uint16_t i = 0; i < count; ++i) (void)OpView::Deserialize(in);
+      // Stale (already reflected); hop over the remaining operand bytes
+      // (the count word was already consumed).
+      in.Skip(h.body_len - sizeof(uint16_t));
       row.rec->Unlock();
     }
     if (wal_hook_) {
@@ -236,11 +234,7 @@ class ReplicationApplier {
       out->value = in.ReadBytes();
     } else if (out->h.kind == RepKind::kOperation) {
       out->op_count = in.Read<uint16_t>();
-      size_t begin = in.position();
-      for (uint16_t i = 0; i < out->op_count; ++i) {
-        (void)OpView::Deserialize(in);
-      }
-      out->ops = std::string_view(in.data() + begin, in.position() - begin);
+      out->ops = in.View(out->h.body_len - sizeof(uint16_t));
     }
     out->ht = db_->table(out->h.table, out->h.partition);
     if (out->ht != nullptr) out->ht->PrefetchBucket(out->h.key);

@@ -21,6 +21,11 @@ namespace star {
 ///    TID-carrying tombstone, so it orders correctly against value writes.
 enum class RepKind : uint8_t { kValue = 0, kOperation = 1, kDelete = 2 };
 
+/// Every entry carries a body-length word right after the fixed header, so
+/// consumers that only route or filter (the sharded-replay splitter, the
+/// applier's stale/missing-table skips) hop over bodies in O(1) instead of
+/// decoding per-operation operands they will never apply.
+
 /// Serialises one replication entry into a batch buffer.
 inline void SerializeValueEntry(WriteBuffer& out, int32_t table,
                                 int32_t partition, uint64_t key, uint64_t tid,
@@ -30,6 +35,9 @@ inline void SerializeValueEntry(WriteBuffer& out, int32_t table,
   out.Write<int32_t>(partition);
   out.Write<uint64_t>(key);
   out.Write<uint64_t>(tid);
+  // Body = WriteBytes' own u32 length prefix + the value bytes.
+  out.Write<uint32_t>(
+      static_cast<uint32_t>(sizeof(uint32_t) + value.size()));
   out.WriteBytes(value.data(), value.size());
 }
 
@@ -42,6 +50,7 @@ inline void SerializeDeleteEntry(WriteBuffer& out, int32_t table,
   out.Write<int32_t>(partition);
   out.Write<uint64_t>(key);
   out.Write<uint64_t>(tid);
+  out.Write<uint32_t>(0);  // empty body
 }
 
 inline void SerializeOperationEntry(WriteBuffer& out, int32_t table,
@@ -53,8 +62,15 @@ inline void SerializeOperationEntry(WriteBuffer& out, int32_t table,
   out.Write<int32_t>(partition);
   out.Write<uint64_t>(key);
   out.Write<uint64_t>(tid);
+  // Operation operands are variable-length; backpatch the body length once
+  // the ops are serialised.
+  size_t len_off = out.size();
+  out.Write<uint32_t>(0);
   out.Write<uint16_t>(static_cast<uint16_t>(count));
   for (size_t i = 0; i < count; ++i) ops[i].Serialize(out);
+  out.Patch<uint32_t>(
+      len_off,
+      static_cast<uint32_t>(out.size() - len_off - sizeof(uint32_t)));
 }
 
 inline void SerializeOperationEntry(WriteBuffer& out, int32_t table,
@@ -96,6 +112,9 @@ struct RepEntryHeader {
   int32_t partition;
   uint64_t key;
   uint64_t tid;
+  /// Byte length of the entry body following the header; `Skip(body_len)`
+  /// lands exactly on the next entry.
+  uint32_t body_len;
 
   static RepEntryHeader Deserialize(ReadBuffer& in) {
     RepEntryHeader h;
@@ -104,6 +123,7 @@ struct RepEntryHeader {
     h.partition = in.Read<int32_t>();
     h.key = in.Read<uint64_t>();
     h.tid = in.Read<uint64_t>();
+    h.body_len = in.Read<uint32_t>();
     return h;
   }
 };

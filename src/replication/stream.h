@@ -19,33 +19,44 @@ namespace star {
 /// statistics each node learns how many outstanding writes it is waiting to
 /// see".  We count replication entries per (src, dst) pair.
 ///
-/// The applied side is laned: each replication replay worker owns one lane
-/// (a cacheline-padded row of per-source counters), so parallel appliers
-/// never bounce a cacheline on AddApplied.  `applied_from` — a fence-time
-/// polling read, not a hot path — sums the lanes.
+/// Both directions are laned.  On the applied side each replication replay
+/// worker owns one lane (a cacheline-padded row of per-source counters), so
+/// parallel appliers never bounce a cacheline on AddApplied.  On the sent
+/// side each worker thread owns one lane for the same reason: every commit
+/// bumps AddSent once per replica target, and with W workers funnelling into
+/// one counter row the hot senders false-share a single cacheline.
+/// `sent_to`/`applied_from` — fence-time polling reads, not hot paths — sum
+/// the lanes.
 class ReplicationCounters {
  public:
-  explicit ReplicationCounters(int nodes, int lanes = 1)
+  explicit ReplicationCounters(int nodes, int lanes = 1, int sent_lanes = 1)
       : nodes_(nodes),
         lanes_(lanes < 1 ? 1 : lanes),
+        sent_lanes_(sent_lanes < 1 ? 1 : sent_lanes),
         // Round the lane stride up to a full cacheline of counters so
         // distinct lanes never share a line.
         lane_stride_((static_cast<size_t>(nodes) + 7) & ~size_t{7}),
-        sent_(nodes),
+        sent_(lane_stride_ * static_cast<size_t>(sent_lanes_)),
         applied_(lane_stride_ * static_cast<size_t>(lanes_)) {
     for (auto& a : sent_) a.store(0, std::memory_order_relaxed);
     for (auto& a : applied_) a.store(0, std::memory_order_relaxed);
   }
 
-  void AddSent(int dst, uint64_t n) {
-    sent_[dst].fetch_add(n, std::memory_order_acq_rel);
+  void AddSent(int dst, uint64_t n, int lane = 0) {
+    sent_[static_cast<size_t>(lane) * lane_stride_ + dst].fetch_add(
+        n, std::memory_order_acq_rel);
   }
   void AddApplied(int src, uint64_t n, int lane = 0) {
     applied_[static_cast<size_t>(lane) * lane_stride_ + src].fetch_add(
         n, std::memory_order_acq_rel);
   }
   uint64_t sent_to(int dst) const {
-    return sent_[dst].load(std::memory_order_acquire);
+    uint64_t sum = 0;
+    for (int l = 0; l < sent_lanes_; ++l) {
+      sum += sent_[static_cast<size_t>(l) * lane_stride_ + dst].load(
+          std::memory_order_acquire);
+    }
+    return sum;
   }
   uint64_t applied_from(int src) const {
     uint64_t sum = 0;
@@ -57,6 +68,7 @@ class ReplicationCounters {
   }
   int nodes() const { return nodes_; }
   int lanes() const { return lanes_; }
+  int sent_lanes() const { return sent_lanes_; }
 
   /// Zeroes both directions; used on view changes after an epoch revert,
   /// when the coordinator resynchronises the replication accounting.
@@ -68,6 +80,7 @@ class ReplicationCounters {
  private:
   int nodes_;
   int lanes_;
+  int sent_lanes_;
   size_t lane_stride_;
   std::vector<std::atomic<uint64_t>> sent_;
   std::vector<std::atomic<uint64_t>> applied_;
@@ -90,13 +103,18 @@ class ReplicationCounters {
 /// will apply.
 class ReplicationStream {
  public:
+  /// `lane` is this stream's sent-side counter lane — per worker, so hot
+  /// senders never false-share one cacheline of AddSent counters.
   ReplicationStream(net::Endpoint* endpoint, ReplicationCounters* counters,
-                    int nodes, size_t flush_bytes = 8 * 1024)
+                    int nodes, size_t flush_bytes = 8 * 1024, int lane = 0)
       : endpoint_(endpoint),
         counters_(counters),
         flush_bytes_(flush_bytes),
+        lane_(lane),
         buffers_(nodes),
         counts_(nodes, 0) {}
+
+  int lane() const { return lane_; }
 
   /// Appends the write set of a committed transaction for one destination.
   /// `allow_operations` selects operation replication for ops-only writes
@@ -135,7 +153,7 @@ class ReplicationStream {
     buffers_[dst].Adopt(endpoint_->AcquirePayload());
     if (endpoint_->Send(dst, net::MsgType::kReplicationBatch,
                         std::move(payload))) {
-      counters_->AddSent(dst, n);
+      counters_->AddSent(dst, n, lane_);
     }
   }
 
@@ -150,6 +168,7 @@ class ReplicationStream {
   net::Endpoint* endpoint_;
   ReplicationCounters* counters_;
   size_t flush_bytes_;
+  int lane_;
   std::vector<WriteBuffer> buffers_;
   std::vector<uint64_t> counts_;
 };

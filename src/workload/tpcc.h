@@ -287,6 +287,19 @@ class TpccWorkload final : public Workload {
     return MakePayment(rng, home, num_partitions, /*cross=*/true);
   }
 
+  /// Replica-eligible read-only class: the standard mix's two pure-read
+  /// transactions, Order-Status and Stock-Level, in equal shares.  Both are
+  /// warehouse-local per the spec and issue only reads and index scans, so
+  /// they run unmodified on a snapshot context (cc/snapshot.h).
+  TxnRequest MakeReadOnly(Rng& rng, int partition,
+                          int num_partitions) const override {
+    (void)num_partitions;
+    TxnRequest req = rng.Flip(0.5) ? MakeOrderStatus(rng, partition)
+                                   : MakeStockLevel(rng, partition);
+    req.read_only = true;
+    return req;
+  }
+
   TxnRequest MakeNewOrder(Rng& rng, int w, int num_partitions,
                           bool cross) const;
   TxnRequest MakePayment(Rng& rng, int w, int num_partitions,

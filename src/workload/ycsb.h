@@ -67,6 +67,34 @@ class YcsbWorkload final : public Workload {
     return MakeTxn(rng, home_partition, num_partitions, /*cross=*/true);
   }
 
+  /// Pure-read transaction of ops_per_txn point reads confined to one
+  /// partition, eligible for replica-served snapshot execution.
+  TxnRequest MakeReadOnly(Rng& rng, int partition,
+                          int num_partitions) const override {
+    (void)num_partitions;
+    TxnRequest req;
+    req.home_partition = partition;
+    req.read_only = true;
+    req.accesses.reserve(options_.ops_per_txn);
+    for (int i = 0; i < options_.ops_per_txn; ++i) {
+      AccessDesc a;
+      a.table = kTable;
+      a.partition = partition;
+      a.key = SampleKey(rng);
+      req.accesses.push_back(a);
+    }
+    req.proc = [accesses = req.accesses](TxnContext& ctx) {
+      YcsbRow row;
+      for (const auto& a : accesses) {
+        if (!ctx.Read(kTable, a.partition, a.key, &row)) {
+          return TxnStatus::kAbortConflict;
+        }
+      }
+      return TxnStatus::kCommitted;
+    };
+    return req;
+  }
+
   static constexpr int kTable = 0;
 
  private:

@@ -306,6 +306,10 @@ TEST(StarEngine, DurableLoggingRecoversCommittedState) {
   std::filesystem::remove_all(dir);
   YcsbWorkload wl(SmallYcsb());
   StarOptions o = FastStar();
+  // Pin the inline serial applier: this test recovers from the worker and
+  // io-thread WAL lanes only (shard-lane recovery is covered by
+  // ShardedReplayLogsToPerShardWalsAndRecovers).
+  o.cluster.replay_shards = 1;
   o.durable_logging = true;
   o.checkpointing = true;  // base data reaches disk via the checkpointer
   o.checkpoint_period_ms = 150;
@@ -410,10 +414,27 @@ TEST(StarEngine, ShardedReplayLogsToPerShardWalsAndRecovers) {
   std::filesystem::remove_all(dir);
 }
 
-TEST(StarEngine, DefaultReplayIsInlineSerial) {
+TEST(StarEngine, DefaultReplayAutosizesToShardedPipeline) {
+  // replay_shards = 0 (the default) derives a shard count from the host
+  // core budget and always takes the sharded pipeline — on a 1-core host it
+  // degrades to a single prefetched replay worker, never the inline apply.
   YcsbWorkload wl(SmallYcsb());
   StarEngine engine(FastStar(), wl);
+  int expect = ResolveReplayShards(0);
+  EXPECT_GE(expect, 1);
   for (int n = 0; n < FastStar().cluster.nodes(); ++n) {
+    ASSERT_NE(engine.sharded_applier(n), nullptr)
+        << "autosized default must run the sharded pipeline";
+    EXPECT_EQ(engine.sharded_applier(n)->shards(), expect);
+  }
+}
+
+TEST(StarEngine, ExplicitSingleShardKeepsInlineSerialApply) {
+  YcsbWorkload wl(SmallYcsb());
+  StarOptions o = FastStar();
+  o.cluster.replay_shards = 1;
+  StarEngine engine(o, wl);
+  for (int n = 0; n < o.cluster.nodes(); ++n) {
     EXPECT_EQ(engine.sharded_applier(n), nullptr)
         << "replay_shards=1 must keep today's io-thread inline apply";
   }
