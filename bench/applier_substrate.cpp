@@ -165,14 +165,14 @@ struct BufferPool {
   std::vector<std::string> pool;
   SpinLock mu;
   std::string Acquire() {
-    std::lock_guard<SpinLock> g(mu);
+    SpinLockGuard g(mu);
     if (pool.empty()) return std::string();
     std::string s = std::move(pool.back());
     pool.pop_back();
     return s;
   }
   void Release(std::string&& s) {
-    std::lock_guard<SpinLock> g(mu);
+    SpinLockGuard g(mu);
     if (pool.size() < 512) pool.push_back(std::move(s));
   }
 };

@@ -69,7 +69,7 @@ class CalvinContext final : public TxnContext {
     int spins = 0;
     for (;;) {
       {
-        std::lock_guard<SpinLock> g(box->mu);
+        SpinLockGuard g(box->mu);
         auto it = box->values.find({t, p, key});
         if (it != box->values.end()) {
           std::memcpy(out, it->second.data(), it->second.size());
@@ -162,7 +162,7 @@ CalvinEngine::CalvinEngine(const CalvinOptions& options,
         uint64_t batch = ReadBuffer(m.payload).Read<uint64_t>();
         bool done = false;
         {
-          std::lock_guard<SpinLock> g(acks_mu_);
+          SpinLockGuard g(acks_mu_);
           if (++ack_counts_[batch] == num_nodes_) {
             ack_counts_.erase(batch);
             done = true;
@@ -170,7 +170,7 @@ CalvinEngine::CalvinEngine(const CalvinOptions& options,
         }
         if (done) {
           {
-            std::lock_guard<SpinLock> g(batches_mu_);
+            SpinLockGuard g(batches_mu_);
             batches_.erase(batch);
           }
           inflight_.fetch_sub(1, std::memory_order_acq_rel);
@@ -189,7 +189,7 @@ CalvinEngine::CalvinEngine(const CalvinOptions& options,
           ReadBuffer in(m.payload);
           uint64_t batch_id = in.Read<uint64_t>();
           {
-            std::lock_guard<SpinLock> g(nsp->batch_mu);
+            SpinLockGuard g(nsp->batch_mu);
             nsp->pending_batches.push_back(batch_id);
           }
         });
@@ -205,7 +205,7 @@ CalvinEngine::CalvinEngine(const CalvinOptions& options,
             int32_t p = in.Read<int32_t>();
             uint64_t key = in.Read<uint64_t>();
             std::string_view value = in.ReadBytes();
-            std::lock_guard<SpinLock> g(box->mu);
+            SpinLockGuard g(box->mu);
             box->values[{t, p, key}] = std::string(value);
           }
         });
@@ -219,7 +219,7 @@ CalvinEngine::~CalvinEngine() {
 
 CalvinEngine::ForwardBox* CalvinEngine::GetForwardBox(NodeState& ns,
                                                       uint64_t key) {
-  std::lock_guard<SpinLock> g(ns.fwd_mu);
+  SpinLockGuard g(ns.fwd_mu);
   auto& slot = ns.forwards[key];
   if (slot == nullptr) slot = std::make_unique<ForwardBox>();
   return slot.get();
@@ -256,7 +256,7 @@ void CalvinEngine::SequencerLoop() {
     }
     batch->dispatch_ns = NowNanos();
     {
-      std::lock_guard<SpinLock> g(batches_mu_);
+      SpinLockGuard g(batches_mu_);
       batches_[batch_id] = batch;
     }
     inflight_.fetch_add(1, std::memory_order_acq_rel);
@@ -283,7 +283,7 @@ void CalvinEngine::ScheduleBatch(Node& node, uint64_t batch_id) {
   NodeState& ns = *cstate_[node.id];
   std::shared_ptr<Batch> batch;
   {
-    std::lock_guard<SpinLock> g(batches_mu_);
+    SpinLockGuard g(batches_mu_);
     auto it = batches_.find(batch_id);
     if (it == batches_.end()) return;
     batch = it->second;
@@ -331,7 +331,7 @@ void CalvinEngine::ScheduleBatch(Node& node, uint64_t batch_id) {
                              std::memory_order_release);
     NodeTxn* raw = txn.get();
     {
-      std::lock_guard<SpinLock> g(ns.txns_mu);
+      SpinLockGuard g(ns.txns_mu);
       ns.txns[TxnKey(batch_id, i)] = std::move(txn);
     }
     mine.push_back(raw);
@@ -348,7 +348,7 @@ void CalvinEngine::ScheduleBatch(Node& node, uint64_t batch_id) {
   {
     // Retain the batch until this node finishes it (requests are referenced
     // by the NodeTxn instances).
-    std::lock_guard<SpinLock> g(ns.prog_mu);
+    SpinLockGuard g(ns.prog_mu);
     ns.outstanding[batch_id] = local_count;
     ns.held_batches[batch_id] = batch;
   }
@@ -365,7 +365,7 @@ void CalvinEngine::ScheduleBatch(Node& node, uint64_t batch_id) {
     for (const auto& a : txn->local_locks) {
       int shard_idx = static_cast<int>(SlotKey(a) % ns.shards.size());
       LmShard& shard = *ns.shards[shard_idx];
-      std::lock_guard<SpinLock> g(shard.mu);
+      SpinLockGuard g(shard.mu);
       GrantOrQueue(node, shard, txn, a);
     }
   }
@@ -401,7 +401,7 @@ void CalvinEngine::MarkReady(Node& node, NodeTxn* txn) {
   // progress, which keeps the deterministic schedule deadlock-free.
   SendForwards(node, txn);
   diag_ready_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<SpinLock> g(ns.ready_mu);
+  SpinLockGuard g(ns.ready_mu);
   ns.ready[TxnKey(txn->batch, txn->index)] = txn;
 }
 
@@ -458,7 +458,7 @@ void CalvinEngine::LmLoop(Node& node, int lm_index) {
     if (lm_index == 0) {
       uint64_t batch_id = 0;
       {
-        std::lock_guard<SpinLock> g(ns.batch_mu);
+        SpinLockGuard g(ns.batch_mu);
         if (!ns.pending_batches.empty()) {
           batch_id = ns.pending_batches.front();
           ns.pending_batches.pop_front();
@@ -473,7 +473,7 @@ void CalvinEngine::LmLoop(Node& node, int lm_index) {
     LmShard& shard = *ns.shards[lm_index];
     std::deque<std::pair<uint64_t, bool>> releases;
     {
-      std::lock_guard<SpinLock> g(shard.mu);
+      SpinLockGuard g(shard.mu);
       releases.swap(shard.releases);
       for (auto& [slot_key, was_write] : releases) {
         LockSlot& slot = shard.slots[slot_key];
@@ -513,7 +513,7 @@ void CalvinEngine::ExecLoop(Node& node, WorkerState& w) {
       // Oldest runnable first; transactions waiting for forwards are parked
       // behind their retry deadline so they cannot monopolise the executor.
       uint64_t now = NowNanos();
-      std::lock_guard<SpinLock> g(ns.ready_mu);
+      SpinLockGuard g(ns.ready_mu);
       for (auto it = ns.ready.begin(); it != ns.ready.end(); ++it) {
         if (it->second->retry_at_ns <= now) {
           txn = it->second;
@@ -543,7 +543,7 @@ void CalvinEngine::ExecuteTxn(Node& node, WorkerState& w, NodeTxn* txn) {
     // work.
     diag_requeues_.fetch_add(1, std::memory_order_relaxed);
     txn->retry_at_ns = NowNanos() + 500'000;
-    std::lock_guard<SpinLock> g(ns.ready_mu);
+    SpinLockGuard g(ns.ready_mu);
     ns.ready[TxnKey(txn->batch, txn->index)] = txn;
     return;
   }
@@ -580,7 +580,7 @@ void CalvinEngine::ExecuteTxn(Node& node, WorkerState& w, NodeTxn* txn) {
   for (const auto& a : txn->local_locks) {
     int shard_idx = static_cast<int>(SlotKey(a) % ns.shards.size());
     LmShard& shard = *ns.shards[shard_idx];
-    std::lock_guard<SpinLock> g(shard.mu);
+    SpinLockGuard g(shard.mu);
     shard.releases.emplace_back(SlotKey(a), a.write);
   }
 
@@ -588,16 +588,16 @@ void CalvinEngine::ExecuteTxn(Node& node, WorkerState& w, NodeTxn* txn) {
   uint64_t batch_of_txn = txn->batch;
   uint64_t tkey = TxnKey(txn->batch, txn->index);
   {
-    std::lock_guard<SpinLock> g(ns.fwd_mu);
+    SpinLockGuard g(ns.fwd_mu);
     ns.forwards.erase(tkey);
   }
   {
-    std::lock_guard<SpinLock> g(ns.txns_mu);
+    SpinLockGuard g(ns.txns_mu);
     ns.txns.erase(tkey);
   }
   bool batch_done = false;
   {
-    std::lock_guard<SpinLock> g(ns.prog_mu);
+    SpinLockGuard g(ns.prog_mu);
     if (--ns.outstanding[batch_of_txn] == 0) {
       ns.outstanding.erase(batch_of_txn);
       ns.held_batches.erase(batch_of_txn);

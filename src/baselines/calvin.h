@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "baselines/cluster_engine.h"
+#include "common/thread_annotations.h"
 
 namespace star {
 
@@ -71,7 +72,8 @@ class CalvinEngine final : public ClusterEngine {
   struct ForwardBox {
     SpinLock mu;
     /// (table, partition, key) -> value bytes.
-    std::map<std::tuple<int32_t, int32_t, uint64_t>, std::string> values;
+    std::map<std::tuple<int32_t, int32_t, uint64_t>, std::string> values
+        STAR_GUARDED_BY(mu);
   };
 
   struct LockSlot {
@@ -82,8 +84,9 @@ class CalvinEngine final : public ClusterEngine {
 
   struct LmShard {
     SpinLock mu;
-    std::deque<std::pair<uint64_t, bool>> releases;  // (slot key, was_write)
-    std::unordered_map<uint64_t, LockSlot> slots;
+    /// (slot key, was_write)
+    std::deque<std::pair<uint64_t, bool>> releases STAR_GUARDED_BY(mu);
+    std::unordered_map<uint64_t, LockSlot> slots STAR_GUARDED_BY(mu);
   };
 
   struct Batch {
@@ -97,20 +100,23 @@ class CalvinEngine final : public ClusterEngine {
     /// Ready transactions ordered by (batch, index): executors prefer the
     /// oldest, which guarantees progress (see ExecLoop).
     SpinLock ready_mu;
-    std::map<uint64_t, NodeTxn*> ready;
+    std::map<uint64_t, NodeTxn*> ready STAR_GUARDED_BY(ready_mu);
     /// Owned transaction instances for in-flight batches.
     SpinLock txns_mu;
-    std::unordered_map<uint64_t, std::unique_ptr<NodeTxn>> txns;
+    std::unordered_map<uint64_t, std::unique_ptr<NodeTxn>> txns
+        STAR_GUARDED_BY(txns_mu);
     SpinLock fwd_mu;
-    std::unordered_map<uint64_t, std::unique_ptr<ForwardBox>> forwards;
+    std::unordered_map<uint64_t, std::unique_ptr<ForwardBox>> forwards
+        STAR_GUARDED_BY(fwd_mu);
     /// Per-batch unfinished-transaction counts and batch retention (the
     /// requests live in the shared Batch object).
     SpinLock prog_mu;
-    std::unordered_map<uint64_t, int> outstanding;
-    std::unordered_map<uint64_t, std::shared_ptr<Batch>> held_batches;
+    std::unordered_map<uint64_t, int> outstanding STAR_GUARDED_BY(prog_mu);
+    std::unordered_map<uint64_t, std::shared_ptr<Batch>> held_batches
+        STAR_GUARDED_BY(prog_mu);
     /// Batches announced by the sequencer but not yet lock-scheduled.
     SpinLock batch_mu;
-    std::deque<uint64_t> pending_batches;
+    std::deque<uint64_t> pending_batches STAR_GUARDED_BY(batch_mu);
   };
 
   static uint64_t TxnKey(uint64_t batch, uint32_t index) {
@@ -149,14 +155,15 @@ class CalvinEngine final : public ClusterEngine {
   std::thread sequencer_thread_;
   /// Pipelining: per-batch ack counts (sequencer side) and in-flight count.
   SpinLock acks_mu_;
-  std::unordered_map<uint64_t, int> ack_counts_;
+  std::unordered_map<uint64_t, int> ack_counts_ STAR_GUARDED_BY(acks_mu_);
   std::atomic<int> inflight_{0};
 
   // Shared in-process batch store (stands in for input replication; the
   // fabric message carries a realistically-sized payload so byte accounting
   // stays honest).
   SpinLock batches_mu_;
-  std::unordered_map<uint64_t, std::shared_ptr<Batch>> batches_;
+  std::unordered_map<uint64_t, std::shared_ptr<Batch>> batches_
+      STAR_GUARDED_BY(batches_mu_);
 };
 
 }  // namespace star

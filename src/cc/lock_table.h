@@ -2,10 +2,10 @@
 #define STAR_CC_LOCK_TABLE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "common/spinlock.h"
+#include "common/thread_annotations.h"
 #include "storage/hash_table.h"
 
 namespace star {
@@ -35,7 +35,7 @@ class LockTable {
   /// NO_WAIT shared lock; false means the caller must abort.
   bool TryReadLock(int ns, uint64_t key) {
     Stripe& s = StripeFor(ns, key);
-    std::lock_guard<SpinLock> g(s.mu);
+    SpinLockGuard g(s.mu);
     Entry* e = Find(s, ns, key);
     if (e == nullptr) {
       s.entries.push_back({ns, key, 1});
@@ -48,7 +48,7 @@ class LockTable {
 
   void ReadUnlock(int ns, uint64_t key) {
     Stripe& s = StripeFor(ns, key);
-    std::lock_guard<SpinLock> g(s.mu);
+    SpinLockGuard g(s.mu);
     Entry* e = Find(s, ns, key);
     if (e == nullptr) return;  // tolerated: unlock of a never-locked key
     if (--e->word == 0) Erase(s, e);
@@ -57,7 +57,7 @@ class LockTable {
   /// NO_WAIT exclusive lock.
   bool TryWriteLock(int ns, uint64_t key) {
     Stripe& s = StripeFor(ns, key);
-    std::lock_guard<SpinLock> g(s.mu);
+    SpinLockGuard g(s.mu);
     if (Find(s, ns, key) != nullptr) return false;  // any holder blocks
     s.entries.push_back({ns, key, kWriterBit});
     return true;
@@ -65,7 +65,7 @@ class LockTable {
 
   void WriteUnlock(int ns, uint64_t key) {
     Stripe& s = StripeFor(ns, key);
-    std::lock_guard<SpinLock> g(s.mu);
+    SpinLockGuard g(s.mu);
     Entry* e = Find(s, ns, key);
     if (e != nullptr && (e->word & kWriterBit) != 0) Erase(s, e);
   }
@@ -74,7 +74,7 @@ class LockTable {
   /// read lock (TPC-C read-modify-write pattern).
   bool TryUpgrade(int ns, uint64_t key) {
     Stripe& s = StripeFor(ns, key);
-    std::lock_guard<SpinLock> g(s.mu);
+    SpinLockGuard g(s.mu);
     Entry* e = Find(s, ns, key);
     if (e == nullptr || e->word != 1) return false;
     e->word = kWriterBit;
@@ -84,7 +84,7 @@ class LockTable {
   /// Testing hook: true when no lock is held anywhere.
   bool AllFree() const {
     for (const Stripe& s : stripes_) {
-      std::lock_guard<SpinLock> g(s.mu);
+      SpinLockGuard g(s.mu);
       if (!s.entries.empty()) return false;
     }
     return true;
@@ -101,7 +101,7 @@ class LockTable {
 
   struct alignas(64) Stripe {
     mutable SpinLock mu;
-    std::vector<Entry> entries;  // live locks; capacity recycled
+    std::vector<Entry> entries STAR_GUARDED_BY(mu);  // live; capacity kept
   };
 
   Stripe& StripeFor(int ns, uint64_t key) {
@@ -112,14 +112,14 @@ class LockTable {
     return const_cast<LockTable*>(this)->StripeFor(ns, key);
   }
 
-  static Entry* Find(Stripe& s, int ns, uint64_t key) {
+  static Entry* Find(Stripe& s, int ns, uint64_t key) STAR_REQUIRES(s.mu) {
     for (Entry& e : s.entries) {
       if (e.key == key && e.ns == ns) return &e;
     }
     return nullptr;
   }
 
-  static void Erase(Stripe& s, Entry* e) {
+  static void Erase(Stripe& s, Entry* e) STAR_REQUIRES(s.mu) {
     *e = s.entries.back();
     s.entries.pop_back();
   }

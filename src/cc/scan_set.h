@@ -49,6 +49,7 @@ bool SnapshotWalk(HashTable* ht, uint64_t lo, uint64_t hi, int limit,
                   std::string& scratch, TxnContext::ScanVisitor visit,
                   void* arg, OnRead&& on_read) {
   uint32_t size = ht->value_size();
+  // star-lint: allow(hot-path): scratch warm-up; capacity persists per context
   if (scratch.size() < size) scratch.resize(size);
   bool ok = true;
   int taken = 0;

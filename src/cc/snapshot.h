@@ -10,6 +10,7 @@
 #include "cc/scan_set.h"
 #include "cc/txn.h"
 #include "common/config.h"
+#include "common/thread_annotations.h"
 #include "common/rng.h"
 #include "common/tid.h"
 #include "storage/database.h"
@@ -67,7 +68,8 @@ class SnapshotContext final : public TxnContext {
     conflict_ = false;
   }
 
-  bool Read(int table, int partition, uint64_t key, void* out) override {
+  STAR_HOT_PATH bool Read(int table, int partition, uint64_t key,
+                          void* out) override {
     HashTable* ht = db_->table(table, partition);
     if (ht == nullptr) return false;  // partition not stored on this replica
     HashTable::Row row = ht->GetRow(key);
@@ -84,18 +86,21 @@ class SnapshotContext final : public TxnContext {
     }
     if (Record::IsAbsent(word)) return false;  // deleted at the snapshot
     if (mode_ == ReplicaReadMode::kSnapshot) {
+      // star-lint: allow(hot-path): read-set tracking; capacity is recycled
       reads_.push_back(ReadEntry{row.rec, word});
     }
     return true;
   }
 
-  bool Scan(int table, int partition, uint64_t lo, uint64_t hi, int limit,
+  STAR_HOT_PATH bool Scan(int table, int partition, uint64_t lo,
+                          uint64_t hi, int limit,
             ScanVisitor visit, void* arg) override {
     HashTable* ht = db_->table(table, partition);
     if (ht == nullptr || ht->index() == nullptr) return false;
     bool ok = SnapshotWalk(
         ht, lo, hi, limit, pinned_, mode_ == ReplicaReadMode::kSnapshot,
         scratch_, visit, arg, [this](Record* rec, uint64_t word) {
+          // star-lint: allow(hot-path): read-set tracking; capacity recycled
           reads_.push_back(ReadEntry{rec, word});
         });
     if (!ok) conflict_ = true;
@@ -124,7 +129,7 @@ class SnapshotContext final : public TxnContext {
   /// still carries a TID epoch <= the pinned watermark.  Always true in
   /// monotonic mode unless a bounded read gave up.  On false the caller
   /// retries the transaction locally (Begin re-pins a fresh watermark).
-  bool Commit() const {
+  STAR_HOT_PATH bool Commit() const {
     if (conflict_) return false;
     for (const ReadEntry& r : reads_) {
       if (Tid::Epoch(Record::TidOf(r.rec->LoadWord())) > pinned_) return false;

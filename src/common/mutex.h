@@ -1,0 +1,82 @@
+#ifndef STAR_COMMON_MUTEX_H_
+#define STAR_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace star {
+
+/// An annotated std::mutex.  libstdc++'s std::mutex carries no thread-safety
+/// attributes, so Clang's analysis cannot see acquisitions through it; this
+/// wrapper is the capability the analysis tracks.  Control-plane state
+/// (mailboxes, connection registries, view application) uses Mutex; short
+/// data-plane critical sections use star::SpinLock.
+class STAR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() STAR_ACQUIRE() { mu_.lock(); }
+  void Unlock() STAR_RELEASE() { mu_.unlock(); }
+  bool TryLock() STAR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped handle, for CondVar's wait plumbing only.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII guard over Mutex — the annotated replacement for
+/// std::lock_guard/std::unique_lock at every call site in src/.
+class STAR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) STAR_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() STAR_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// The wrapped lock, for CondVar's wait plumbing only.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable paired with star::Mutex.  Waits release and reacquire
+/// the lock internally — invisible to the thread-safety analysis, which
+/// treats the capability as continuously held across the wait; that is the
+/// standard (and sound) model: the caller owns the lock at every point it
+/// can observe.  Prefer deadline loops over predicate lambdas at call
+/// sites: the analysis does not propagate capabilities into lambdas, so a
+/// guarded-field predicate would need an escape.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) { cv_.wait(lock.native()); }
+
+  /// Returns false on timeout.
+  template <class Rep, class Period>
+  bool WaitFor(MutexLock& lock,
+               const std::chrono::duration<Rep, Period>& dur) {
+    return cv_.wait_for(lock.native(), dur) == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace star
+
+#endif  // STAR_COMMON_MUTEX_H_

@@ -107,12 +107,13 @@ StarEngine::StarEngine(const StarOptions& options, const Workload& workload)
                          "[star] %.3f kRejoinRequest id=%d nonce=%llu "
                          "granted=%llu\n",
                          NowNanos() / 1e9, id, (unsigned long long)nonce,
-                         (unsigned long long)granted_nonce_[id].load());
+                         (unsigned long long)granted_nonce_[id].load(
+                             std::memory_order_acquire));
           }
           if (granted_nonce_[id].load(std::memory_order_acquire) == nonce) {
             coordinator_->Respond(m, net::MsgType::kRejoinRequest, "");
           } else {
-            std::lock_guard<std::mutex> g(rejoin_mu_);
+            MutexLock g(rejoin_mu_);
             bool pending = false;
             for (auto& [r, n] : rejoin_requests_) {
               pending |= (r == id && n == nonce);
@@ -294,10 +295,10 @@ StarEngine::StarEngine(const StarOptions& options, const Workload& workload)
           net::MsgType::kRejoinFetch, net::MsgType::kShutdown}) {
       node->endpoint->RegisterHandler(type, [n](net::Message&& m) {
         {
-          std::lock_guard<std::mutex> g(n->mail_mu);
+          MutexLock g(n->mail_mu);
           n->mail.push_back(std::move(m));
         }
-        n->mail_cv.notify_one();
+        n->mail_cv.NotifyOne();
       });
     }
 
@@ -343,7 +344,7 @@ int StarEngine::ComputeMaster() const {
 
 bool StarEngine::ApplyView(uint64_t gen, int master,
                            const std::vector<uint8_t>& status) {
-  std::lock_guard<std::mutex> g(view_mu_);
+  MutexLock g(view_mu_);
   if (gen <= applied_view_gen_) return false;
   applied_view_gen_ = gen;
   master_node_.store(master, std::memory_order_relaxed);
@@ -733,7 +734,7 @@ void StarEngine::CoordinatorLoop() {
     // Handle rejoin requests at iteration boundaries (all nodes parked).
     std::vector<std::pair<int, uint64_t>> rejoin;
     {
-      std::lock_guard<std::mutex> g(rejoin_mu_);
+      MutexLock g(rejoin_mu_);
       rejoin.swap(rejoin_requests_);
     }
     for (auto& [j, nonce] : rejoin) PerformRejoin(j, nonce);
@@ -976,11 +977,14 @@ void StarEngine::ControlLoop(Node& node) {
   while (node.control_running.load(std::memory_order_acquire)) {
     net::Message msg;
     {
-      std::unique_lock<std::mutex> lk(node.mail_mu);
-      node.mail_cv.wait_for(lk, std::chrono::milliseconds(50), [&] {
-        return !node.mail.empty() ||
-               !node.control_running.load(std::memory_order_acquire);
-      });
+      MutexLock lk(node.mail_mu);
+      if (node.mail.empty() &&
+          node.control_running.load(std::memory_order_acquire)) {
+        // Bounded single wait instead of a predicate wait: the outer loop
+        // re-checks both conditions, so a spurious or missed wakeup costs at
+        // most one 50 ms lap (the same bound the timeout already imposed).
+        node.mail_cv.WaitFor(lk, std::chrono::milliseconds(50));
+      }
       if (node.mail.empty()) continue;
       msg = std::move(node.mail.front());
       node.mail.pop_front();
@@ -1529,7 +1533,7 @@ void StarEngine::RequestRejoin(int node) {
   // In-process re-admission of a previously failed node; uses a fixed
   // incarnation nonce (the store restarts via ResetStorage, so there is
   // only ever one in-process incarnation at a time).
-  std::lock_guard<std::mutex> g(rejoin_mu_);
+  MutexLock g(rejoin_mu_);
   if (node_healthy_[node].load(std::memory_order_acquire)) return;
   for (auto& [r, n] : rejoin_requests_) {
     if (r == node) return;
@@ -1710,7 +1714,12 @@ Metrics StarEngine::Stop() {
       if (t.joinable()) t.join();
     }
     node->control_running.store(false, std::memory_order_release);
-    node->mail_cv.notify_all();
+    {
+      // Pair the notify with the mailbox lock so a control thread between
+      // its empty-check and its wait cannot miss the shutdown signal.
+      MutexLock g(node->mail_mu);
+    }
+    node->mail_cv.NotifyAll();
     if (node->control_thread.joinable()) node->control_thread.join();
     if (node->checkpointer) node->checkpointer->Stop();
   }

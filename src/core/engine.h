@@ -2,10 +2,8 @@
 #define STAR_CORE_ENGINE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -15,7 +13,9 @@
 #include "cc/workload.h"
 #include "common/clock.h"
 #include "common/config.h"
+#include "common/mutex.h"
 #include "common/stats.h"
+#include "common/thread_annotations.h"
 #include "core/options.h"
 #include "net/endpoint.h"
 #include "net/transport.h"
@@ -199,7 +199,9 @@ class StarEngine {
     uint32_t txn_since_yield = 0;  // owner-thread only
   };
 
-  struct Node {
+  /// Cacheline-aligned: phase_word/epoch/parked are polled by every hosted
+  /// worker while neighbouring Node allocations take unrelated traffic.
+  struct STAR_CACHELINE_ALIGNED Node {
     int id = 0;
     std::unique_ptr<Database> db;
     std::unique_ptr<net::Endpoint> endpoint;
@@ -254,9 +256,9 @@ class StarEngine {
     std::vector<uint8_t> staged_drained;
 
     // Control-thread mailbox (requests from the coordinator RPCs).
-    std::mutex mail_mu;
-    std::condition_variable mail_cv;
-    std::deque<net::Message> mail;
+    Mutex mail_mu;
+    CondVar mail_cv;
+    std::deque<net::Message> mail STAR_GUARDED_BY(mail_mu);
     std::atomic<bool> control_running{false};
   };
 
@@ -328,7 +330,8 @@ class StarEngine {
   /// applied.  Callers must only invoke this while hosted workers are
   /// parked (construction, fences, view changes).
   bool ApplyView(uint64_t gen, int master, const std::vector<uint8_t>& status);
-  void RebuildAssignmentsLocked(const std::vector<uint8_t>& status);
+  void RebuildAssignmentsLocked(const std::vector<uint8_t>& status)
+      STAR_REQUIRES(view_mu_);
   /// Reverts the uncommitted epoch (nonzero `revert_epoch`) and resets the
   /// replication counters on every hosted node.
   void RevertLocal(uint64_t revert_epoch);
@@ -366,17 +369,18 @@ class StarEngine {
   uint64_t view_gen_ = 1;
   /// Applied-view guard: handlers on several control threads may receive
   /// the same broadcast; the first applies, the rest ack.
-  std::mutex view_mu_;
-  uint64_t applied_view_gen_ = 0;
+  Mutex view_mu_;
+  uint64_t applied_view_gen_ STAR_GUARDED_BY(view_mu_) = 0;
   /// Last status applied per node, so transport up/down only follows
   /// *transitions* (an InjectFailure cut must survive unrelated views).
-  std::vector<uint8_t> applied_status_;
+  std::vector<uint8_t> applied_status_ STAR_GUARDED_BY(view_mu_);
 
   // Rejoin requests: (node, incarnation nonce) pairs the coordinator picks
   // up between iterations.
   static constexpr uint64_t kInProcessNonce = 1;
-  std::mutex rejoin_mu_;
-  std::vector<std::pair<int, uint64_t>> rejoin_requests_;
+  Mutex rejoin_mu_;
+  std::vector<std::pair<int, uint64_t>> rejoin_requests_
+      STAR_GUARDED_BY(rejoin_mu_);
   /// Per node: the incarnation nonce whose rejoin was granted (0 = none).
   /// The coordinator acks retried kRejoinRequests carrying this nonce and
   /// treats any other nonce as evidence of a fresh restart.  Cleared when

@@ -55,7 +55,7 @@ uint64_t Endpoint::CallAsync(int dst, MsgType type, std::string payload) {
   uint64_t id = next_rpc_.fetch_add(1, std::memory_order_relaxed);
   auto pending = std::make_shared<PendingCall>();
   {
-    std::lock_guard<SpinLock> g(pending_mu_);
+    SpinLockGuard g(pending_mu_);
     pending_.emplace(id, pending);
   }
   Message m;
@@ -72,7 +72,7 @@ bool Endpoint::Wait(uint64_t token, std::string* response,
                     uint64_t timeout_ns) {
   std::shared_ptr<PendingCall> pending;
   {
-    std::lock_guard<SpinLock> g(pending_mu_);
+    SpinLockGuard g(pending_mu_);
     auto it = pending_.find(token);
     if (it == pending_.end()) return false;
     pending = it->second;
@@ -87,14 +87,14 @@ bool Endpoint::Wait(uint64_t token, std::string* response,
       std::this_thread::yield();
       spins = 0;
       if (NowNanos() > deadline) {
-        std::lock_guard<SpinLock> g(pending_mu_);
+        SpinLockGuard g(pending_mu_);
         pending_.erase(token);
         return false;
       }
     }
   }
   if (response != nullptr) *response = std::move(pending->payload);
-  std::lock_guard<SpinLock> g(pending_mu_);
+  SpinLockGuard g(pending_mu_);
   pending_.erase(token);
   return true;
 }
@@ -118,7 +118,7 @@ void Endpoint::IoLoop() {
     if ((m.flags & kFlagResponse) != 0) {
       std::shared_ptr<PendingCall> pending;
       {
-        std::lock_guard<SpinLock> g(pending_mu_);
+        SpinLockGuard g(pending_mu_);
         auto it = pending_.find(m.rpc_id);
         if (it != pending_.end()) pending = it->second;
       }

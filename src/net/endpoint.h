@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/spinlock.h"
+#include "common/thread_annotations.h"
 #include "net/message.h"
 #include "net/transport.h"
 
@@ -84,7 +85,7 @@ class Endpoint {
 
   /// Non-destructive readiness check for an outstanding token.
   bool IsReady(uint64_t token) {
-    std::lock_guard<SpinLock> g(pending_mu_);
+    SpinLockGuard g(pending_mu_);
     auto it = pending_.find(token);
     return it != pending_.end() &&
            it->second->ready.load(std::memory_order_acquire);
@@ -118,7 +119,8 @@ class Endpoint {
   std::atomic<bool> running_{false};
 
   SpinLock pending_mu_;
-  std::unordered_map<uint64_t, std::shared_ptr<PendingCall>> pending_;
+  std::unordered_map<uint64_t, std::shared_ptr<PendingCall>> pending_
+      STAR_GUARDED_BY(pending_mu_);
   std::atomic<uint64_t> next_rpc_{1};
 };
 

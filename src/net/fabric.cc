@@ -46,7 +46,7 @@ bool Fabric::Send(Message&& m) {
   int dst = m.dst;
   Link& link = LinkFor(src, dst);
   {
-    std::lock_guard<SpinLock> g(link.mu);
+    SpinLockGuard g(link.mu);
     link.q.push_back(std::move(m));
     // Publish readiness under the link lock (see ready_ docs).
     ReadyWord(dst, static_cast<size_t>(src) / 64)
@@ -85,7 +85,7 @@ bool Fabric::Poll(int dst, Message* out) {
       int src = static_cast<int>(w * 64 + bit);
       if (src >= endpoints_) break;
       Link& link = LinkFor(src, dst);
-      std::lock_guard<SpinLock> g(link.mu);
+      SpinLockGuard g(link.mu);
       if (link.q.empty()) {
         // Stale bit (a racing Poll drained the queue): clear it.
         ReadyWord(dst, w).fetch_and(~(1ull << bit), std::memory_order_release);

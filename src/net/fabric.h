@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/spinlock.h"
+#include "common/thread_annotations.h"
 #include "net/message.h"
 #include "net/payload_pool.h"
 #include "net/transport.h"
@@ -114,7 +115,7 @@ class Fabric : public Transport {
  private:
   struct Link {
     SpinLock mu;
-    std::deque<Message> q;
+    std::deque<Message> q STAR_GUARDED_BY(mu);
   };
 
   Link& LinkFor(int src, int dst) {

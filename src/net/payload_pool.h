@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/spinlock.h"
+#include "common/thread_annotations.h"
 
 namespace star::net {
 
@@ -29,7 +30,7 @@ class PayloadPool {
     size_t home = Shard(hint);
     for (size_t i = 0; i < kShards; ++i) {
       ShardState& s = shards_[(home + i) % kShards];
-      std::lock_guard<SpinLock> g(s.mu);
+      SpinLockGuard g(s.mu);
       if (!s.free.empty()) {
         std::string out = std::move(s.free.back());
         s.free.pop_back();
@@ -46,7 +47,7 @@ class PayloadPool {
     if (cap < kMinUseful || cap > kMaxPooled) return;
     payload.clear();
     ShardState& s = shards_[Shard(hint)];
-    std::lock_guard<SpinLock> g(s.mu);
+    SpinLockGuard g(s.mu);
     if (s.free.size() >= kMaxPerShard) return;  // drop: pool is full
     s.free.push_back(std::move(payload));
   }
@@ -63,7 +64,7 @@ class PayloadPool {
 
   struct alignas(64) ShardState {
     SpinLock mu;
-    std::vector<std::string> free;
+    std::vector<std::string> free STAR_GUARDED_BY(mu);
   };
 
   ShardState shards_[kShards];

@@ -131,11 +131,12 @@ void TcpTransport::Stop() {
   uint64_t deadline = NowNanos() + MillisToNanos(200);
   std::vector<std::shared_ptr<Conn>> conns;
   {
-    std::lock_guard<std::mutex> g(conns_mu_);
+    MutexLock g(conns_mu_);
     conns = all_conns_;
   }
-  for (auto& c : conns) {
-    std::lock_guard<std::mutex> g(c->mu);
+  for (auto& sp : conns) {
+    Conn* c = sp.get();
+    MutexLock g(c->mu);
     while (c->fd >= 0 && c->backlog_bytes() > 0 && NowNanos() < deadline) {
       ssize_t w = send(c->fd, c->out_buf.data() + c->out_off,
                        c->backlog_bytes(), MSG_NOSIGNAL);
@@ -151,7 +152,7 @@ void TcpTransport::Stop() {
     if (c->fd >= 0) {
       int fd = c->fd;
       c->fd = -1;
-      c->dead = true;
+      c->dead.store(true, std::memory_order_release);
       close(fd);
     }
   }
@@ -161,7 +162,7 @@ void TcpTransport::Stop() {
   }
   listeners_.clear();
   {
-    std::lock_guard<std::mutex> g(conns_mu_);
+    MutexLock g(conns_mu_);
     all_conns_.clear();
     std::fill(out_conn_.begin(), out_conn_.end(), nullptr);
     std::fill(in_conn_.begin(), in_conn_.end(), nullptr);
@@ -188,9 +189,11 @@ void TcpTransport::DropSend(int src_hint, size_t frame_bytes,
 std::shared_ptr<TcpTransport::Conn> TcpTransport::GetOrConnect(int src,
                                                                int dst) {
   size_t slot = static_cast<size_t>(src) * endpoints_ + dst;
-  std::lock_guard<std::mutex> g(conns_mu_);
+  MutexLock g(conns_mu_);
   std::shared_ptr<Conn>& cur = out_conn_[slot];
-  if (cur != nullptr && !cur->dead) return cur;
+  if (cur != nullptr && !cur->dead.load(std::memory_order_acquire)) {
+    return cur;
+  }
   uint64_t now = NowNanos();
   if (now < retry_at_[slot]) return nullptr;
 
@@ -206,32 +209,37 @@ std::shared_ptr<TcpTransport::Conn> TcpTransport::GetOrConnect(int src,
     return nullptr;
   }
 
-  auto c = std::make_shared<Conn>();
-  c->fd = fd;
-  c->src = src;
-  c->dst = dst;
-  c->outgoing = true;
-  c->hs_done = true;  // this direction only sends; no inbound handshake
-  // Queue the handshake as the first bytes on the wire; it is flushed by
-  // the epoll thread once the connect completes (EPOLLOUT).
-  char hs[kHandshakeSize];
-  uint32_t magic = kMagic;
-  int32_t s = src, d = dst;
-  std::memcpy(hs, &magic, 4);
-  std::memcpy(hs + 4, &s, 4);
-  std::memcpy(hs + 8, &d, 4);
-  c->out_buf.append(hs, kHandshakeSize);
-  c->out_frames.emplace_back(kHandshakeSize, false);
-  c->want_write = true;
+  auto sp = std::make_shared<Conn>();
+  Conn* c = sp.get();
+  {
+    // The Conn is unpublished here; the lock exists for the analysis.
+    MutexLock init(c->mu);
+    c->fd = fd;
+    c->src.store(src, std::memory_order_relaxed);
+    c->dst.store(dst, std::memory_order_relaxed);
+    c->outgoing = true;
+    c->hs_done = true;  // this direction only sends; no inbound handshake
+    // Queue the handshake as the first bytes on the wire; it is flushed by
+    // the epoll thread once the connect completes (EPOLLOUT).
+    char hs[kHandshakeSize];
+    uint32_t magic = kMagic;
+    int32_t s = src, d = dst;
+    std::memcpy(hs, &magic, 4);
+    std::memcpy(hs + 4, &s, 4);
+    std::memcpy(hs + 8, &d, 4);
+    c->out_buf.append(hs, kHandshakeSize);
+    c->out_frames.emplace_back(kHandshakeSize, false);
+    c->want_write = true;
+  }
 
   epoll_event ev{};
   ev.events = EPOLLIN | EPOLLOUT;
-  ev.data.ptr = static_cast<Pollable*>(c.get());
+  ev.data.ptr = static_cast<Pollable*>(c);
   epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
 
-  cur = c;
-  all_conns_.push_back(c);
-  return c;
+  cur = sp;
+  all_conns_.push_back(sp);
+  return sp;
 }
 
 void TcpTransport::ArmWriteLocked(Conn* c) {
@@ -255,9 +263,9 @@ void TcpTransport::DisarmWriteLocked(Conn* c) {
 void TcpTransport::CloseConn(Conn* c, bool throttle_reconnect) {
   uint64_t lost_msgs = 0, lost_bytes = 0;
   {
-    std::lock_guard<std::mutex> g(c->mu);
-    if (c->dead) return;
-    c->dead = true;
+    MutexLock g(c->mu);
+    if (c->dead.load(std::memory_order_acquire)) return;
+    c->dead.store(true, std::memory_order_release);
     if (c->fd >= 0) {
       int fd = c->fd;
       c->fd = -1;
@@ -275,16 +283,19 @@ void TcpTransport::CloseConn(Conn* c, bool throttle_reconnect) {
     // A half-read inbound frame dies with the connection; recycle its
     // partially-filled payload buffer.
     if (c->in_body) {
-      pool_.Release(c->dst, std::move(c->in_msg.payload));
+      pool_.Release(c->dst.load(std::memory_order_relaxed),
+                    std::move(c->in_msg.payload));
       c->in_body = false;
     }
   }
   dropped_messages_.fetch_add(lost_msgs, std::memory_order_relaxed);
   dropped_bytes_.fetch_add(lost_bytes, std::memory_order_relaxed);
 
-  std::lock_guard<std::mutex> g(conns_mu_);
-  if (c->src >= 0 && c->dst >= 0) {
-    size_t slot = static_cast<size_t>(c->src) * endpoints_ + c->dst;
+  MutexLock g(conns_mu_);
+  const int csrc = c->src.load(std::memory_order_relaxed);
+  const int cdst = c->dst.load(std::memory_order_relaxed);
+  if (csrc >= 0 && cdst >= 0) {
+    size_t slot = static_cast<size_t>(csrc) * endpoints_ + cdst;
     if (c->outgoing) {
       if (out_conn_[slot].get() == c) out_conn_[slot] = nullptr;
       if (throttle_reconnect) {
@@ -317,24 +328,25 @@ bool TcpTransport::Send(Message&& m) {
     bytes_.fetch_add(frame_len, std::memory_order_relaxed);
     messages_.fetch_add(1, std::memory_order_relaxed);
     DstQueue& q = inbound_[dst];
-    std::lock_guard<SpinLock> g(q.mu);
+    SpinLockGuard g(q.mu);
     q.q.push_back(std::move(m));
     q.pending.fetch_add(1, std::memory_order_release);
     return true;
   }
 
-  std::shared_ptr<Conn> c = GetOrConnect(src, dst);
-  if (c == nullptr) {
+  std::shared_ptr<Conn> conn = GetOrConnect(src, dst);
+  if (conn == nullptr) {
     DropSend(src, frame_len, std::move(m.payload));
     return false;
   }
+  Conn* c = conn.get();
 
   char hdr[kHeaderSize];
   EncodeHeader(hdr, m);
   bool close_it = false;
   {
-    std::lock_guard<std::mutex> g(c->mu);
-    if (c->dead || c->fd < 0) {
+    MutexLock g(c->mu);
+    if (c->dead.load(std::memory_order_acquire) || c->fd < 0) {
       DropSend(src, frame_len, std::move(m.payload));
       return false;
     }
@@ -372,11 +384,11 @@ bool TcpTransport::Send(Message&& m) {
       c->out_buf.append(m.payload.data() + pay_done,
                         m.payload.size() - pay_done);
       c->out_frames.emplace_back(frame_len - written, true);
-      ArmWriteLocked(c.get());
+      ArmWriteLocked(c);
     }
   }
   if (close_it) {
-    CloseConn(c.get(), /*throttle_reconnect=*/true);
+    CloseConn(c, /*throttle_reconnect=*/true);
     DropSend(src, frame_len, std::move(m.payload));
     return false;
   }
@@ -390,7 +402,7 @@ bool TcpTransport::Poll(int dst, Message* out) {
   if (down_[dst].load(std::memory_order_acquire)) return false;
   DstQueue& q = inbound_[dst];
   if (q.pending.load(std::memory_order_acquire) == 0) return false;
-  std::lock_guard<SpinLock> g(q.mu);
+  SpinLockGuard g(q.mu);
   if (q.q.empty()) return false;
   *out = std::move(q.q.front());
   q.q.pop_front();
@@ -409,10 +421,11 @@ void TcpTransport::SetDown(int endpoint, bool down) {
     // dropped (fail-stop).  New sends are rejected by the down_ check.
     std::vector<std::shared_ptr<Conn>> victims;
     {
-      std::lock_guard<std::mutex> g(conns_mu_);
+      MutexLock g(conns_mu_);
       for (auto& c : all_conns_) {
-        if (c != nullptr && !c->dead &&
-            (c->src == endpoint || c->dst == endpoint)) {
+        if (c != nullptr && !c->dead.load(std::memory_order_acquire) &&
+            (c->src.load(std::memory_order_relaxed) == endpoint ||
+             c->dst.load(std::memory_order_relaxed) == endpoint)) {
           victims.push_back(c);
         }
       }
@@ -420,7 +433,7 @@ void TcpTransport::SetDown(int endpoint, bool down) {
     for (auto& c : victims) CloseConn(c.get(), /*throttle_reconnect=*/false);
   } else {
     // Re-admitted (rejoin): allow immediate reconnects.
-    std::lock_guard<std::mutex> g(conns_mu_);
+    MutexLock g(conns_mu_);
     for (int other = 0; other < endpoints_; ++other) {
       retry_at_[static_cast<size_t>(other) * endpoints_ + endpoint] = 0;
       retry_at_[static_cast<size_t>(endpoint) * endpoints_ + other] = 0;
@@ -434,9 +447,13 @@ void TcpTransport::AcceptConns(Listener* l) {
     if (fd < 0) return;
     SetNoDelay(fd);
     auto c = std::make_shared<Conn>();
-    c->fd = fd;  // src/dst unknown until the handshake arrives
     {
-      std::lock_guard<std::mutex> g(conns_mu_);
+      // Unpublished Conn; the lock exists for the analysis.
+      MutexLock init(c->mu);
+      c->fd = fd;  // src/dst unknown until the handshake arrives
+    }
+    {
+      MutexLock g(conns_mu_);
       all_conns_.push_back(c);
     }
     epoll_event ev{};
@@ -452,12 +469,13 @@ void TcpTransport::DeliverLocked(Conn* c) {
   m.deliver_at = NowNanos();
   int dst = m.dst;
   if (dst < 0 || dst >= endpoints_ || !is_local_[dst]) {
-    pool_.Release(c->dst.load() < 0 ? 0 : c->dst.load(), std::move(m.payload));
+    const int hint = c->dst.load(std::memory_order_relaxed);
+    pool_.Release(hint < 0 ? 0 : hint, std::move(m.payload));
     dropped_messages_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   DstQueue& q = inbound_[dst];
-  std::lock_guard<SpinLock> g(q.mu);
+  SpinLockGuard g(q.mu);
   q.q.push_back(std::move(m));
   q.pending.fetch_add(1, std::memory_order_release);
 }
@@ -466,8 +484,8 @@ void TcpTransport::ReadConn(Conn* c) {
   bool close_it = false;
   std::shared_ptr<Conn> replaced;
   {
-    std::lock_guard<std::mutex> g(c->mu);
-    if (c->dead || c->fd < 0) return;
+    MutexLock g(c->mu);
+    if (c->dead.load(std::memory_order_acquire) || c->fd < 0) return;
     // Bound the work per wakeup so one firehose connection cannot starve
     // the rest; level-triggered epoll re-fires for the remainder.
     for (int frames = 0; frames < 64 && !close_it;) {
@@ -492,14 +510,14 @@ void TcpTransport::ReadConn(Conn* c) {
           close_it = true;
           break;
         }
-        c->src = src;
-        c->dst = dst;
+        c->src.store(src, std::memory_order_relaxed);
+        c->dst.store(dst, std::memory_order_relaxed);
         c->hs_done = true;
         // A fresh handshake for a pair replaces any stale connection from
         // a previous peer incarnation: its unread bytes must not
         // resurrect after the restart.
         size_t slot = static_cast<size_t>(src) * endpoints_ + dst;
-        std::lock_guard<std::mutex> cg(conns_mu_);
+        MutexLock cg(conns_mu_);
         replaced = in_conn_[slot];
         in_conn_[slot] = c->shared_from_this();
         continue;
@@ -531,7 +549,8 @@ void TcpTransport::ReadConn(Conn* c) {
         c->in_msg.src = src;
         c->in_msg.dst = dst;
         c->in_msg.type = static_cast<MsgType>(type);
-        c->in_msg.payload = pool_.Acquire(c->dst);
+        c->in_msg.payload =
+            pool_.Acquire(c->dst.load(std::memory_order_relaxed));
         c->in_msg.payload.resize(len);
         c->body_len = len;
         c->body_have = 0;
@@ -565,8 +584,8 @@ void TcpTransport::ReadConn(Conn* c) {
 void TcpTransport::FlushConn(Conn* c) {
   bool close_it = false;
   {
-    std::lock_guard<std::mutex> g(c->mu);
-    if (c->dead || c->fd < 0) return;
+    MutexLock g(c->mu);
+    if (c->dead.load(std::memory_order_acquire) || c->fd < 0) return;
     if (!c->ready && c->outgoing) {
       int err = 0;
       socklen_t elen = sizeof(err);

@@ -7,13 +7,14 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/spinlock.h"
+#include "common/thread_annotations.h"
 #include "net/message.h"
 #include "net/payload_pool.h"
 #include "net/transport.h"
@@ -146,55 +147,59 @@ class TcpTransport : public Transport {
   /// fd is invalidated under the lock before close(), so no thread can
   /// write to a recycled descriptor).
   struct Conn : Pollable, std::enable_shared_from_this<Conn> {
-    std::mutex mu;
-    int fd = -1;
+    Mutex mu;
+    int fd STAR_GUARDED_BY(mu) = -1;
     // src/dst/dead are read by SetDown()'s registry scan (under conns_mu_,
     // not this->mu) while the io thread mutates them under mu — atomics
     // keep that cross-lock-domain traffic defined.
     std::atomic<int> src{-1};
     std::atomic<int> dst{-1};
     std::atomic<bool> dead{false};
+    /// Set once before the Conn is published (GetOrConnect/AcceptConns) and
+    /// immutable afterwards, so it is readable under either lock domain.
     bool outgoing = false;
-    bool ready = false;       // outgoing: connect completed
-    bool want_write = false;  // EPOLLOUT armed
+    bool ready STAR_GUARDED_BY(mu) = false;       // outgoing: connected
+    bool want_write STAR_GUARDED_BY(mu) = false;  // EPOLLOUT armed
 
     // Outbound backlog (bytes the kernel has not yet accepted).
-    std::string out_buf;
-    size_t out_off = 0;
+    std::string out_buf STAR_GUARDED_BY(mu);
+    size_t out_off STAR_GUARDED_BY(mu) = 0;
     /// Byte length of each queued frame (second: counts as a dropped
     /// *message* if the connection dies), so drop accounting can translate
     /// a dead backlog back into messages.
-    std::deque<std::pair<size_t, bool>> out_frames;
+    std::deque<std::pair<size_t, bool>> out_frames STAR_GUARDED_BY(mu);
 
     // Inbound reassembly state machine: handshake -> header -> body.
-    char hs[kHandshakeSize];
-    size_t hs_have = 0;
-    bool hs_done = false;
-    char hdr[kHeaderSize];
-    size_t hdr_have = 0;
-    bool in_body = false;
-    size_t body_len = 0;
-    size_t body_have = 0;
-    Message in_msg;
+    char hs[kHandshakeSize] STAR_GUARDED_BY(mu);
+    size_t hs_have STAR_GUARDED_BY(mu) = 0;
+    bool hs_done STAR_GUARDED_BY(mu) = false;
+    char hdr[kHeaderSize] STAR_GUARDED_BY(mu);
+    size_t hdr_have STAR_GUARDED_BY(mu) = 0;
+    bool in_body STAR_GUARDED_BY(mu) = false;
+    size_t body_len STAR_GUARDED_BY(mu) = 0;
+    size_t body_have STAR_GUARDED_BY(mu) = 0;
+    Message in_msg STAR_GUARDED_BY(mu);
 
-    size_t backlog_bytes() const { return out_buf.size() - out_off; }
+    size_t backlog_bytes() const STAR_REQUIRES(mu) {
+      return out_buf.size() - out_off;
+    }
   };
 
   struct alignas(64) DstQueue {
     mutable SpinLock mu;
-    std::deque<Message> q;
+    std::deque<Message> q STAR_GUARDED_BY(mu);
     std::atomic<uint64_t> pending{0};
   };
 
   std::shared_ptr<Conn> GetOrConnect(int src, int dst);
   void DropSend(int src_hint, size_t frame_bytes, std::string&& payload);
   void CloseConn(Conn* c, bool throttle_reconnect);
-  void ArmWriteLocked(Conn* c);
-  void DisarmWriteLocked(Conn* c);
+  void ArmWriteLocked(Conn* c) STAR_REQUIRES(c->mu);
+  void DisarmWriteLocked(Conn* c) STAR_REQUIRES(c->mu);
   void FlushConn(Conn* c);
   void ReadConn(Conn* c);
   void AcceptConns(Listener* l);
-  void DeliverLocked(Conn* c);
+  void DeliverLocked(Conn* c) STAR_REQUIRES(c->mu);
   void IoLoop();
   bool PeerAddr(int dst, ::sockaddr_in* out) const;
 
@@ -211,11 +216,12 @@ class TcpTransport : public Transport {
   /// Registry: all_conns_ owns every Conn ever created (graveyard included,
   /// so epoll data pointers stay valid until Stop); out_conn_/in_conn_ are
   /// the live slots per ordered (src, dst) pair.
-  std::mutex conns_mu_;
-  std::vector<std::shared_ptr<Conn>> all_conns_;
-  std::vector<std::shared_ptr<Conn>> out_conn_;
-  std::vector<std::shared_ptr<Conn>> in_conn_;
-  std::vector<uint64_t> retry_at_;  // per out slot: no reconnect before this
+  Mutex conns_mu_;
+  std::vector<std::shared_ptr<Conn>> all_conns_ STAR_GUARDED_BY(conns_mu_);
+  std::vector<std::shared_ptr<Conn>> out_conn_ STAR_GUARDED_BY(conns_mu_);
+  std::vector<std::shared_ptr<Conn>> in_conn_ STAR_GUARDED_BY(conns_mu_);
+  /// Per out slot: no reconnect before this time.
+  std::vector<uint64_t> retry_at_ STAR_GUARDED_BY(conns_mu_);
 
   std::vector<DstQueue> inbound_;
   std::vector<std::atomic<bool>> down_;

@@ -5,6 +5,7 @@
 #include <functional>
 #include <string_view>
 
+#include "common/thread_annotations.h"
 #include "replication/log_entry.h"
 #include "replication/stream.h"
 #include "storage/database.h"
@@ -66,7 +67,7 @@ class ReplicationApplier {
   int lane() const { return lane_; }
 
   /// Applies one batch from node `src`; returns entries applied.
-  uint64_t ApplyBatch(int src, std::string_view payload) {
+  STAR_HOT_PATH uint64_t ApplyBatch(int src, std::string_view payload) {
     ReadBuffer in(payload);
     uint64_t n = 0;
     while (!in.Done()) {
@@ -88,7 +89,7 @@ class ReplicationApplier {
   /// order with the prefetched window loop; returns entries applied.  The
   /// spans must have been produced by splitting `payload` entry-aligned
   /// (SplitIntoSpans below or ShardedApplier's router).
-  uint64_t ApplySpans(int src, std::string_view payload, const RepSpan* spans,
+  STAR_HOT_PATH uint64_t ApplySpans(int src, std::string_view payload, const RepSpan* spans,
                       size_t span_count) {
     Cursor cur{payload, spans, span_count, 0,
                ReadBuffer(std::string_view())};
@@ -130,7 +131,7 @@ class ReplicationApplier {
   }
 
   /// Whole-batch convenience over ApplySpans (benches, tests).
-  uint64_t ApplyBatchPipelined(int src, std::string_view payload) {
+  STAR_HOT_PATH uint64_t ApplyBatchPipelined(int src, std::string_view payload) {
     RepSpan all{0, static_cast<uint32_t>(payload.size())};
     return ApplySpans(src, payload, &all, 1);
   }
@@ -138,30 +139,32 @@ class ReplicationApplier {
   /// Advances `in` past the body of the entry whose header was just read —
   /// O(1) via the header's body-length word; routing and skipping never
   /// decode operands.
-  static void SkipEntryBody(const RepEntryHeader& h, ReadBuffer& in) {
+  STAR_HOT_PATH static void SkipEntryBody(const RepEntryHeader& h, ReadBuffer& in) {
     in.Skip(h.body_len);
   }
 
-  void ApplyValue(const RepEntryHeader& h, std::string_view value) {
+  STAR_HOT_PATH void ApplyValue(const RepEntryHeader& h, std::string_view value) {
     HashTable* ht = db_->table(h.table, h.partition);
     if (ht == nullptr) return;  // node does not store this partition
+    // star-lint: allow(hot-path): insert materialisation may grow the arena
     HashTable::Row row = ht->GetOrInsertRow(h.key);
     ApplyValueToRow(h, value, row);
   }
 
-  void ApplyDelete(const RepEntryHeader& h) {
+  STAR_HOT_PATH void ApplyDelete(const RepEntryHeader& h) {
     HashTable* ht = db_->table(h.table, h.partition);
     if (ht == nullptr) return;
     // GetOrInsert, not Get: a delete may overtake the value write it
     // follows in another stream; the tombstone's TID then wins the Thomas
     // race when the stale value arrives.
+    // star-lint: allow(hot-path): insert materialisation may grow the arena
     HashTable::Row row = ht->GetOrInsertRow(h.key);
     ApplyDeleteToRow(h, row);
   }
 
   /// Consumes the operation list following `h` from the batch cursor and
   /// replays it onto the record, operands viewed in place.
-  void ApplyOperations(const RepEntryHeader& h, ReadBuffer& in) {
+  STAR_HOT_PATH void ApplyOperations(const RepEntryHeader& h, ReadBuffer& in) {
     HashTable* ht = db_->table(h.table, h.partition);
     if (ht == nullptr) {
       // Not stored here: hop over the entry's bytes without decoding.
@@ -169,6 +172,7 @@ class ReplicationApplier {
       return;
     }
     uint16_t count = in.Read<uint16_t>();
+    // star-lint: allow(hot-path): insert materialisation may grow the arena
     HashTable::Row row = ht->GetOrInsertRow(h.key);
     // Operation replay: single writer per partition in the partitioned
     // phase, but the record lock still guards against concurrent
@@ -218,7 +222,7 @@ class ReplicationApplier {
     ReadBuffer in;  // over the current span
   };
 
-  bool DecodeNext(Cursor& cur, Decoded* out) {
+  STAR_HOT_PATH bool DecodeNext(Cursor& cur, Decoded* out) {
     while (cur.span_i < cur.span_count && cur.in.Done()) {
       ++cur.span_i;
       if (cur.span_i < cur.span_count) {
@@ -241,11 +245,12 @@ class ReplicationApplier {
     return true;
   }
 
-  void ApplyDecoded(Decoded& d) {
+  STAR_HOT_PATH void ApplyDecoded(Decoded& d) {
     if (d.ht == nullptr) return;  // not stored here; bytes already consumed
     // Slow path for keys the pipelined lookup did not find: insert under
     // the bucket latch.  (A key inserted by an *earlier* entry of the same
     // window is found here too — applies run in order, lookups may not.)
+    // star-lint: allow(hot-path): insert materialisation may grow the arena
     if (d.row.rec == nullptr) d.row = d.ht->GetOrInsertRow(d.h.key);
     if (d.h.kind == RepKind::kValue) {
       ApplyValueToRow(d.h, d.value, d.row);
@@ -257,7 +262,7 @@ class ReplicationApplier {
     }
   }
 
-  void ApplyValueToRow(const RepEntryHeader& h, std::string_view value,
+  STAR_HOT_PATH void ApplyValueToRow(const RepEntryHeader& h, std::string_view value,
                        HashTable::Row& row) {
     row.rec->ApplyThomas(h.tid, value.data(), row.size, row.value,
                          db_->two_version());
@@ -267,7 +272,7 @@ class ReplicationApplier {
     }
   }
 
-  void ApplyDeleteToRow(const RepEntryHeader& h, HashTable::Row& row) {
+  STAR_HOT_PATH void ApplyDeleteToRow(const RepEntryHeader& h, HashTable::Row& row) {
     row.rec->ApplyThomasDelete(h.tid, row.size, row.value,
                                db_->two_version());
     if (wal_hook_) {
@@ -276,7 +281,7 @@ class ReplicationApplier {
   }
 
   /// Replays `count` operations read from `ops` onto the record.
-  void ApplyOperationsToRow(const RepEntryHeader& h, ReadBuffer& ops,
+  STAR_HOT_PATH void ApplyOperationsToRow(const RepEntryHeader& h, ReadBuffer& ops,
                             uint16_t count, HashTable::Row& row) {
     // Operation replay: single writer per partition in the partitioned
     // phase, but the record lock still guards against concurrent

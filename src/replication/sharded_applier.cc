@@ -21,7 +21,9 @@ ShardedApplier::ShardedApplier(Database* db, ReplicationCounters* counters,
 
 ShardedApplier::~ShardedApplier() {
   Stop();
+  SpinLockGuard g(free_mu_);  // workers are joined; kept for the analysis
   for (Batch* b : free_batches_) delete b;
+  free_batches_.clear();
 }
 
 void ShardedApplier::set_wal_hook(int shard, WalHook hook) {
@@ -47,16 +49,16 @@ void ShardedApplier::Stop() {
   running_.store(false, std::memory_order_release);
   for (auto& st : shard_state_) {
     {
-      std::lock_guard<std::mutex> g(st->mu);
+      MutexLock g(st->mu);
     }
-    st->cv.notify_all();
+    st->cv.NotifyAll();
     if (st->worker.joinable()) st->worker.join();
   }
 }
 
 ShardedApplier::Batch* ShardedApplier::AcquireBatch() {
   {
-    std::lock_guard<SpinLock> g(free_mu_);
+    SpinLockGuard g(free_mu_);
     if (!free_batches_.empty()) {
       Batch* b = free_batches_.back();
       free_batches_.pop_back();
@@ -74,7 +76,7 @@ void ShardedApplier::Recycle(Batch* b) {
   }
   b->payload.clear();
   for (auto& v : b->spans) v.clear();  // keep capacity
-  std::lock_guard<SpinLock> g(free_mu_);
+  SpinLockGuard g(free_mu_);
   free_batches_.push_back(b);
 }
 
@@ -153,8 +155,8 @@ uint64_t ShardedApplier::Submit(int src, std::string&& payload) {
       item = b;
     }
     if (st.sleeping.load(std::memory_order_acquire)) {
-      std::lock_guard<std::mutex> g(st.mu);
-      st.cv.notify_one();
+      MutexLock g(st.mu);
+      st.cv.NotifyOne();
     }
   }
   return static_cast<uint64_t>(targets);
@@ -171,9 +173,9 @@ void ShardedApplier::WorkerLoop(int shard) {
       // Back off gradually (io-loop discipline): spin briefly for latency,
       // then sleep with the cv so parked shards cost nothing on small hosts.
       if (++idle > 64) {
-        std::unique_lock<std::mutex> lk(st.mu);
+        MutexLock lk(st.mu);
         st.sleeping.store(true, std::memory_order_release);
-        st.cv.wait_for(lk, std::chrono::milliseconds(1));
+        st.cv.WaitFor(lk, std::chrono::milliseconds(1));
         st.sleeping.store(false, std::memory_order_release);
       } else {
         CpuRelax();

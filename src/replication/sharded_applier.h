@@ -2,18 +2,18 @@
 #define STAR_REPLICATION_SHARDED_APPLIER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
 #include "common/mpsc_ring.h"
+#include "common/mutex.h"
 #include "common/spinlock.h"
+#include "common/thread_annotations.h"
 #include "replication/applier.h"
 
 namespace star {
@@ -130,8 +130,10 @@ class ShardedApplier {
     std::atomic<uint64_t> routed{0};
     std::atomic<uint64_t> done{0};
     /// Parked-consumer wakeup (io-thread-style spin first, then sleep).
-    std::mutex mu;
-    std::condition_variable cv;
+    /// `mu` guards no data — it only serialises the sleep/notify handshake
+    /// (`sleeping` is the atomic the producer checks before notifying).
+    Mutex mu;
+    CondVar cv;
     std::atomic<bool> sleeping{false};
   };
 
@@ -151,7 +153,7 @@ class ShardedApplier {
   // Recycled Batch descriptors (payload capacity is owned by the payload
   // pool, but the span vectors keep theirs here).
   SpinLock free_mu_;
-  std::vector<Batch*> free_batches_;
+  std::vector<Batch*> free_batches_ STAR_GUARDED_BY(free_mu_);
 };
 
 }  // namespace star

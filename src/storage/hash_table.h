@@ -14,6 +14,7 @@
 #endif
 
 #include "common/spinlock.h"
+#include "common/thread_annotations.h"
 #include "storage/ordered_index.h"
 #include "storage/record.h"
 
@@ -141,8 +142,9 @@ class HashTable {
 
   ~HashTable() {
     // Buckets are trivially destructible (atomics only); just release the
-    // blocks.
+    // blocks.  The guard is for the analysis: no thread can race a dtor.
     bucket_block_.Free();
+    SpinLockGuard g(arena_mu_);
     for (TableBlock& chunk : chunks_) chunk.Free();
   }
 
@@ -170,7 +172,7 @@ class HashTable {
         return RecordOf(n);
       }
     }
-    std::lock_guard<SpinLock> g(b.mu);
+    SpinLockGuard g(b.mu);
     // Re-check under the latch: another thread may have inserted.
     for (NodeHeader* n = b.head.load(std::memory_order_relaxed); n != nullptr;
          n = n->next) {
@@ -275,7 +277,7 @@ class HashTable {
       const std::function<void(uint64_t, Record*, char*)>& fn) {
     for (size_t i = 0; i <= mask_; ++i) {
       Bucket& b = buckets_[i];
-      std::lock_guard<SpinLock> g(b.mu);
+      SpinLockGuard g(b.mu);
       for (NodeHeader* n = b.head.load(std::memory_order_relaxed);
            n != nullptr; n = n->next) {
         fn(n->key, RecordOf(n), ValueOf(n));
@@ -297,6 +299,9 @@ class HashTable {
     // followed by: Record (16 bytes), value bytes, optional backup bytes
   };
 
+  /// `head` is deliberately NOT guarded by `mu`: lookups are latch-free by
+  /// design (chains are immutable except head insertion, published with a
+  /// release store under the latch).  The latch serialises *writers* only.
   struct Bucket {
     SpinLock mu;
     std::atomic<NodeHeader*> head{nullptr};
@@ -315,7 +320,7 @@ class HashTable {
   /// kFirstChunkBytes doubling up to kChunkBytes, so small tables stay
   /// small while big tables converge to huge-page-backed 2 MB chunks.
   NodeHeader* AllocateNode() {
-    std::lock_guard<SpinLock> g(arena_mu_);
+    SpinLockGuard g(arena_mu_);
     if (chunks_.empty() || arena_used_ + node_bytes_ > chunks_.back().bytes) {
       size_t want = chunks_.empty() ? kFirstChunkBytes
                                     : chunks_.back().bytes * 2;
@@ -341,8 +346,8 @@ class HashTable {
   std::atomic<size_t> size_{0};
 
   SpinLock arena_mu_;
-  std::vector<TableBlock> chunks_;
-  size_t arena_used_ = 0;
+  std::vector<TableBlock> chunks_ STAR_GUARDED_BY(arena_mu_);
+  size_t arena_used_ STAR_GUARDED_BY(arena_mu_) = 0;
   std::unique_ptr<OrderedIndex> index_;
 };
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/spinlock.h"
+#include "common/thread_annotations.h"
 #include "storage/record.h"
 
 namespace star {
@@ -32,6 +33,8 @@ namespace star {
 class OrderedIndex {
  public:
   OrderedIndex() {
+    // Unpublished object; the guard exists for the analysis.
+    SpinLockGuard g(mu_);
     head_ = AllocateNode(kMaxHeight, 0, nullptr);
     for (int i = 0; i < kMaxHeight; ++i) {
       head_->next[i].store(nullptr, std::memory_order_relaxed);
@@ -42,6 +45,7 @@ class OrderedIndex {
   OrderedIndex& operator=(const OrderedIndex&) = delete;
 
   ~OrderedIndex() {
+    SpinLockGuard g(mu_);
     for (char* chunk : chunks_) delete[] chunk;
   }
 
@@ -49,7 +53,7 @@ class OrderedIndex {
   /// already deduplicates primary keys; an index key maps to exactly one
   /// record for the packings our workloads use).
   void Insert(uint64_t key, Record* rec) {
-    std::lock_guard<SpinLock> g(mu_);
+    SpinLockGuard g(mu_);
     Node* preds[kMaxHeight];
     Node* x = head_;
     for (int level = kMaxHeight - 1; level >= 0; --level) {
@@ -118,7 +122,7 @@ class OrderedIndex {
 
   /// Geometric height with p = 1/4 (classic skip-list balance), drawn from a
   /// per-index xorshift so population stays deterministic per partition.
-  int RandomHeight() {
+  int RandomHeight() STAR_REQUIRES(mu_) {
     uint64_t x = rng_state_;
     x ^= x << 13;
     x ^= x >> 7;
@@ -132,8 +136,9 @@ class OrderedIndex {
     return h;
   }
 
-  /// Bump allocator over large chunks; called under mu_ (constructor aside).
-  Node* AllocateNode(int height, uint64_t key, Record* rec) {
+  /// Bump allocator over large chunks; called under mu_.
+  Node* AllocateNode(int height, uint64_t key, Record* rec)
+      STAR_REQUIRES(mu_) {
     size_t bytes = (NodeBytes(height) + 15) & ~size_t{15};
     if (chunks_.empty() || arena_used_ + bytes > kChunkBytes) {
       size_t chunk = bytes > kChunkBytes ? bytes : kChunkBytes;
@@ -154,11 +159,13 @@ class OrderedIndex {
   static constexpr size_t kChunkBytes = 1 << 18;
 
   SpinLock mu_;
+  /// Written once in the constructor, immutable afterwards (scans read it
+  /// without the writer latch by design).
   Node* head_;
-  uint64_t rng_state_ = 0x9E3779B97F4A7C15ull;
+  uint64_t rng_state_ STAR_GUARDED_BY(mu_) = 0x9E3779B97F4A7C15ull;
   std::atomic<size_t> size_{0};
-  std::vector<char*> chunks_;
-  size_t arena_used_ = 0;
+  std::vector<char*> chunks_ STAR_GUARDED_BY(mu_);
+  size_t arena_used_ STAR_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace star

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/spinlock.h"
+#include "common/thread_annotations.h"
 #include "common/tid.h"
 
 namespace star {
@@ -49,7 +50,7 @@ class Record {
   bool IsPresent() const { return !IsAbsent(LoadWord()); }
   uint64_t LoadTid() const { return TidOf(LoadWord()); }
 
-  bool TryLock() {
+  STAR_HOT_PATH bool TryLock() {
     uint64_t w = word_.load(std::memory_order_relaxed);
     if (IsLocked(w)) return false;
     return word_.compare_exchange_strong(w, w | kLockBit,
@@ -58,7 +59,7 @@ class Record {
 
   /// Acquires the record lock, spinning.  Deadlock freedom is the caller's
   /// obligation (write sets are locked in address order).
-  void LockSpin() {
+  STAR_HOT_PATH void LockSpin() {
     int spins = 0;
     while (!TryLock()) {
       CpuRelax();
@@ -69,26 +70,26 @@ class Record {
     }
   }
 
-  void Unlock() {
+  STAR_HOT_PATH void Unlock() {
     word_.store(word_.load(std::memory_order_relaxed) & ~kLockBit,
                 std::memory_order_release);
   }
 
   /// Releases the lock and installs a new TID (and clears the absent bit):
   /// the final step of a Silo commit on this record.
-  void UnlockWithTid(uint64_t tid) {
+  STAR_HOT_PATH void UnlockWithTid(uint64_t tid) {
     word_.store(tid & Tid::kTidMask, std::memory_order_release);
   }
 
   /// Releases the lock leaving the record logically absent — the abort path
   /// for a record created by this transaction's insert.
-  void UnlockMarkAbsent() { word_.store(kAbsentBit, std::memory_order_release); }
+  STAR_HOT_PATH void UnlockMarkAbsent() { word_.store(kAbsentBit, std::memory_order_release); }
 
   /// Releases the lock installing a delete: the record becomes a tombstone
   /// carrying `tid`, so later reads observe absence, scans skip it, and the
   /// Thomas write rule on replicas correctly orders the delete against
   /// concurrent value writes of the same record.
-  void UnlockWithTidAbsent(uint64_t tid) {
+  STAR_HOT_PATH void UnlockWithTidAbsent(uint64_t tid) {
     word_.store(kAbsentBit | (tid & Tid::kTidMask), std::memory_order_release);
   }
 
@@ -97,7 +98,7 @@ class Record {
   /// Optimistic consistent read: copies `size` bytes of the value into `out`
   /// and returns the meta word observed (TID + absent bit).  Spins while the
   /// record is locked or the copy raced with a writer.
-  uint64_t ReadStable(void* out, size_t size, const char* value) const {
+  STAR_HOT_PATH uint64_t ReadStable(void* out, size_t size, const char* value) const {
     for (;;) {
       uint64_t w1 = word_.load(std::memory_order_acquire);
       if (IsLocked(w1)) {
@@ -115,7 +116,7 @@ class Record {
   /// block indefinitely (a handler stuck on a locked record can deadlock
   /// with the lock holder waiting for that handler's own io thread).
   /// Returns false if the record stayed locked/unstable for `max_attempts`.
-  bool TryReadStable(void* out, size_t size, const char* value,
+  STAR_HOT_PATH bool TryReadStable(void* out, size_t size, const char* value,
                      uint64_t* word_out, int max_attempts = 256) const {
     for (int i = 0; i < max_attempts; ++i) {
       uint64_t w1 = word_.load(std::memory_order_acquire);
@@ -137,7 +138,7 @@ class Record {
   /// Saves the current version into the backup slot if `tid` opens a new
   /// epoch for this record.  Callers that mutate the value in place
   /// (operation replay) use this directly; value installs go through Store.
-  void PrepareBackup(uint64_t tid, size_t size, char* value) {
+  STAR_HOT_PATH void PrepareBackup(uint64_t tid, size_t size, char* value) {
     uint64_t cur = word_.load(std::memory_order_relaxed);
     if (Tid::Epoch(TidOf(cur)) != Tid::Epoch(tid)) {
       backup_tid_ = IsAbsent(cur) ? kBackupAbsent : TidOf(cur);
@@ -149,7 +150,7 @@ class Record {
   /// or lock holder).  Maintains the previous-epoch backup when
   /// `keep_backup`: the first write in a new epoch saves the last committed
   /// version so the epoch can be reverted on failure (Section 4.5.2).
-  void Store(uint64_t tid, const void* val, size_t size, char* value,
+  STAR_HOT_PATH void Store(uint64_t tid, const void* val, size_t size, char* value,
              bool keep_backup) {
     if (keep_backup) PrepareBackup(tid, size, value);
     std::memcpy(value, val, size);
@@ -158,7 +159,7 @@ class Record {
   /// Thomas write rule (Section 3): applies the write iff `tid` exceeds the
   /// record's current TID.  Returns true if the value was installed.  Safe
   /// against concurrent appliers and readers; takes the record lock.
-  bool ApplyThomas(uint64_t tid, const void* val, size_t size, char* value,
+  STAR_HOT_PATH bool ApplyThomas(uint64_t tid, const void* val, size_t size, char* value,
                    bool keep_backup) {
     LockSpin();
     uint64_t w = word_.load(std::memory_order_relaxed);
@@ -177,7 +178,7 @@ class Record {
   /// Thomas write rule for deletes: installs a tombstone iff `tid` exceeds
   /// the record's current TID.  The value bytes are preserved (and backed up
   /// under `keep_backup`) so an epoch revert can resurrect the record.
-  bool ApplyThomasDelete(uint64_t tid, size_t size, char* value,
+  STAR_HOT_PATH bool ApplyThomasDelete(uint64_t tid, size_t size, char* value,
                          bool keep_backup) {
     LockSpin();
     uint64_t w = word_.load(std::memory_order_relaxed);

@@ -11,6 +11,7 @@
 #include "cc/write_set.h"
 #include "common/serializer.h"
 #include "common/spinlock.h"
+#include "common/thread_annotations.h"
 #include "storage/database.h"
 
 namespace star::wal {
@@ -63,14 +64,14 @@ class WalWriter {
 
  private:
   void AppendLocked(int32_t table, int32_t partition, uint64_t key,
-                    uint64_t tid, std::string_view value);
-  void FlushLocked();
+                    uint64_t tid, std::string_view value) STAR_REQUIRES(mu_);
+  void FlushLocked() STAR_REQUIRES(mu_);
 
   std::string path_;
-  FILE* file_;
+  FILE* file_ STAR_GUARDED_BY(mu_);
   bool fsync_;
   size_t flush_bytes_;
-  WriteBuffer buf_;
+  WriteBuffer buf_ STAR_GUARDED_BY(mu_);
   std::atomic<uint64_t> bytes_{0};
   /// Appends come from one thread in the common case, but fence-time epoch
   /// markers on io-thread logs are written by the node control thread, so

@@ -1,0 +1,20 @@
+// star_lint fixture (registered in CMake with WILL_FAIL): implicit atomic
+// operators compile to seq_cst without anyone having chosen an ordering.
+// The memory-order check must flag every access here.
+#include <atomic>
+#include <cstdint>
+
+namespace {
+
+std::atomic<uint64_t> counter{0};
+
+uint64_t Bump() {
+  counter++;                  // implicit read-modify-write, seq_cst
+  counter = 7;                // implicit store, seq_cst
+  uint64_t v = counter.load();  // explicit call, but no memory_order argument
+  return v;
+}
+
+}  // namespace
+
+int main() { return Bump() == 7 ? 0 : 1; }

@@ -1,0 +1,23 @@
+// star_lint fixture (registered in CMake with WILL_FAIL): a function tagged
+// STAR_HOT_PATH that heap-allocates.  The hot-path check must flag the
+// allocation — commit/replay/snapshot-read paths are allocation-free by
+// contract.
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace {
+
+std::vector<int> sink;
+
+STAR_HOT_PATH int Commit(int v) {
+  int* boxed = new int(v);  // BUG (deliberate): allocation on a hot path
+  sink.push_back(*boxed);   // BUG (deliberate): growing container op
+  int out = *boxed;
+  delete boxed;
+  return out;
+}
+
+}  // namespace
+
+int main() { return Commit(0); }

@@ -1,0 +1,21 @@
+// star_lint fixture (registered in CMake with WILL_FAIL): two cross-thread
+// atomic counters in one unaligned struct share a cacheline; the padding
+// check must demand alignas(64) / STAR_CACHELINE_ALIGNED.
+#include <atomic>
+#include <cstdint>
+
+namespace {
+
+struct Stats {  // BUG (deliberate): not cacheline-aligned
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> aborted{0};
+};
+
+Stats stats;
+
+}  // namespace
+
+int main() {
+  stats.committed.fetch_add(1, std::memory_order_relaxed);
+  return 0;
+}

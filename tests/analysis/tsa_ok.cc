@@ -1,0 +1,33 @@
+// Positive control for the configure-time thread-safety checks: correctly
+// guarded code must compile cleanly under -Werror=thread-safety.  If this
+// fails, the analysis flags are wrong (or the wrappers lost their
+// annotations) and every negative check below would "pass" vacuously.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(int delta) {
+    star::MutexLock g(mu_);
+    value_ += delta;
+  }
+
+  int Get() {
+    star::MutexLock g(mu_);
+    return value_;
+  }
+
+ private:
+  star::Mutex mu_;
+  int value_ STAR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add(1);
+  return c.Get() == 1 ? 0 : 1;
+}

@@ -1,0 +1,27 @@
+// Negative check: a STAR_GUARDED_BY field touched without holding its mutex
+// must be REJECTED by clang's thread-safety analysis.  CMake try_compiles
+// this expecting failure; if it compiles, the analysis is not actually
+// enforcing the lock contracts.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(int delta) {
+    value_ += delta;  // BUG (deliberate): no lock held
+  }
+
+ private:
+  star::Mutex mu_;
+  int value_ STAR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add(1);
+  return 0;
+}

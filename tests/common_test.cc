@@ -110,7 +110,7 @@ TEST(SpinLock, MutualExclusion) {
   for (int t = 0; t < 4; ++t) {
     ts.emplace_back([&] {
       for (int i = 0; i < 20000; ++i) {
-        std::lock_guard<SpinLock> g(mu);
+        SpinLockGuard g(mu);
         ++counter;
       }
     });

@@ -1,0 +1,620 @@
+#!/usr/bin/env python3
+"""STAR invariant linter: concurrency contracts the compiler cannot check.
+
+Three checks over the C++ sources in src/:
+
+  memory-order   Every std::atomic access must name an explicit
+                 std::memory_order.  Implicit operators (``a = x``, ``a++``,
+                 ``a += x``, reading ``a`` by conversion) compile to
+                 seq_cst, which on the hot paths is both a silent fence and
+                 evidence nobody thought about the required ordering.
+
+  hot-path       Functions tagged STAR_HOT_PATH (commit, replay-apply and
+                 snapshot-read paths) must not reach heap allocation or
+                 blocking calls: no new/malloc/make_shared, no growing
+                 containers, no std::mutex, no sleeps or stdio.  The check
+                 is transitive across functions *defined in src/*: a
+                 hot-path function may only call src/ functions that are
+                 themselves tagged (and therefore checked) or explicitly
+                 escaped at the call site.
+
+  padding        A struct holding two or more cross-thread atomic counters
+                 must be cacheline-aligned (alignas(64) /
+                 STAR_CACHELINE_ALIGNED) so adjacent lanes do not
+                 false-share.
+
+Escapes: a finding on line N is suppressed by a comment on line N or N-1 of
+
+    // star-lint: allow(<check>): <reason>
+
+The reason is mandatory; the escape names exactly one check.
+
+Engine: the default engine is a self-contained lexer (no dependencies
+beyond the standard library) so the linter runs anywhere the repo builds.
+``--engine=libclang`` selects an AST-exact engine when python libclang
+bindings are installed; this container does not ship them, so the flag
+exists for CI images that do.
+
+Exit status: 0 when no findings, 1 when findings, 2 on usage error.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+CHECKS = ("memory-order", "hot-path", "padding")
+
+ALLOW_RE = re.compile(r"//\s*star-lint:\s*allow\(([a-z-]+)\)\s*:\s*(\S.*)")
+
+# ---------------------------------------------------------------------------
+# Source model
+# ---------------------------------------------------------------------------
+
+
+class Source:
+    """One file: raw text, comment-stripped text, and escape annotations."""
+
+    def __init__(self, path):
+        self.path = path
+        with open(path, "r", encoding="utf-8") as f:
+            self.text = f.read()
+        self.lines = self.text.split("\n")
+        # allows[line] = set of check names escaped for that line (1-based).
+        self.allows = {}
+        for i, line in enumerate(self.lines, start=1):
+            m = ALLOW_RE.search(line)
+            if m:
+                check = m.group(1)
+                # An escape covers its own line and the following line (for
+                # comment-above-statement style).
+                self.allows.setdefault(i, set()).add(check)
+                self.allows.setdefault(i + 1, set()).add(check)
+        self.code = strip_comments_and_strings(self.text)
+        self.code_lines = self.code.split("\n")
+
+    def allowed(self, line, check):
+        return check in self.allows.get(line, set())
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments, string and char literals, preserving newlines and
+    column positions so line/offset arithmetic stays valid."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                # Raw strings: R"delim( ... )delim"
+                if out and out[-1] == "R":
+                    m = re.match(r'R"([^(]*)\(', text[i - 1 :])
+                    if m:
+                        end = text.find(")" + m.group(1) + '"', i)
+                        if end < 0:
+                            end = n - 1
+                        end += len(m.group(1)) + 2
+                        seg = text[i : end]
+                        out.append("".join(ch if ch == "\n" else " " for ch in seg))
+                        i = end
+                        continue
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        else:  # string or char
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def line_of(code, offset):
+    return code.count("\n", 0, offset) + 1
+
+
+def matching_paren(code, open_idx):
+    """Index just past the ')' matching the '(' at open_idx, or -1."""
+    depth = 0
+    for i in range(open_idx, len(code)):
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def matching_brace(code, open_idx):
+    depth = 0
+    for i in range(open_idx, len(code)):
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+# ---------------------------------------------------------------------------
+# Check 1: explicit memory_order on every atomic access
+# ---------------------------------------------------------------------------
+
+ATOMIC_CALL_RE = re.compile(
+    r"\.\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
+    r"fetch_xor|compare_exchange_weak|compare_exchange_strong|test_and_set|"
+    r"clear|wait)\s*\("
+)
+
+ATOMIC_DECL_RE = re.compile(
+    r"std\s*::\s*atomic\s*<[^;{}>]*>\s+(\w+)|std::atomic_flag\s+(\w+)"
+)
+
+# Implicit operators on a known atomic lvalue: ++a, a++, a op= x, a = x.
+_IMPLICIT_OPS = (
+    r"(?:\+\+|--)\s*{name}\b",          # ++a / --a
+    r"\b{name}\s*(?:\+\+|--)",          # a++ / a--
+    r"\b{name}\s*(?:\+=|-=|\|=|&=|\^=)",  # a += x ...
+    r"\b{name}\s*=[^=]",                # a = x (not ==)
+)
+
+
+def check_memory_order(src, findings):
+    code = src.code
+    # Explicit member calls missing a memory_order argument.
+    for m in ATOMIC_CALL_RE.finditer(code):
+        open_idx = m.end() - 1
+        close = matching_paren(code, open_idx)
+        if close < 0:
+            continue
+        args = code[open_idx + 1 : close - 1]
+        line = line_of(code, m.start())
+        # Accept a literal std::memory_order argument, or a pass-through of
+        # a parameter named *order (Record::LoadWord-style wrappers whose
+        # callers supply the order).
+        if "memory_order" in args or re.search(r"\border\b", args):
+            continue
+        # Heuristic guard: require the receiver to look atomic-ish — the
+        # method-name set above is distinctive enough in this codebase that
+        # every match is an atomic (std::string has none of these members).
+        if m.group(1) in ("clear", "wait"):
+            # Too generic (containers/condvars); only flag when the receiver
+            # is a declared atomic name.
+            recv = receiver_name(code, m.start())
+            if recv is None or recv not in atomic_names(src):
+                continue
+        if src.allowed(line, "memory-order"):
+            continue
+        findings.append(
+            (
+                src.path,
+                line,
+                "memory-order",
+                "atomic .%s() without an explicit std::memory_order" % m.group(1),
+            )
+        )
+    # Implicit operators on declared atomic variables.
+    names = atomic_names(src)
+    for name in names:
+        for pat in _IMPLICIT_OPS:
+            for m in re.finditer(pat.format(name=re.escape(name)), code):
+                line = line_of(code, m.start())
+                decl_line_hit = ATOMIC_DECL_RE.search(src.code_lines[line - 1])
+                if decl_line_hit:
+                    continue  # `std::atomic<int> a = ...` initialisation
+                if "==" in m.group(0):
+                    continue
+                # A preceding identifier/type token means this is a fresh
+                # declaration of an unrelated local/member that happens to
+                # share the atomic's name (`uint64_t seq = ...`).
+                before = code[: m.start()].rstrip()
+                if before and (before[-1].isalnum() or before[-1] in "_>&*"):
+                    continue
+                if src.allowed(line, "memory-order"):
+                    continue
+                findings.append(
+                    (
+                        src.path,
+                        line,
+                        "memory-order",
+                        "implicit seq_cst operator on atomic '%s' "
+                        "(use .load/.store/.fetch_* with an explicit order)" % name,
+                    )
+                )
+
+
+def receiver_name(code, dot_idx):
+    """Identifier immediately left of '.'/'->' at dot_idx, or None."""
+    j = dot_idx
+    m = re.search(r"(\w+)\s*(?:\.|->)\s*$", code[max(0, j - 64) : j + 1])
+    return m.group(1) if m else None
+
+
+_ATOMIC_NAME_CACHE = {}
+
+
+def atomic_names(src):
+    if src.path not in _ATOMIC_NAME_CACHE:
+        names = set()
+        for m in ATOMIC_DECL_RE.finditer(src.code):
+            names.add(m.group(1) or m.group(2))
+        _ATOMIC_NAME_CACHE[src.path] = names
+    return _ATOMIC_NAME_CACHE[src.path]
+
+
+# ---------------------------------------------------------------------------
+# Check 2: hot-path purity (no allocation / blocking), transitive
+# ---------------------------------------------------------------------------
+
+# Tokens that mean "this line heap-allocates or may block".
+FORBIDDEN = [
+    (re.compile(r"\bnew\b(?!\s*\()"), "operator new"),
+    (re.compile(r"\bnew\s*\("), "placement/operator new"),
+    (re.compile(r"\b(?:malloc|calloc|realloc|free)\s*\("), "malloc-family call"),
+    (re.compile(r"\bmake_(?:unique|shared)\b"), "heap-allocating factory"),
+    (re.compile(r"\.\s*(?:push_back|emplace_back|resize|reserve|insert|"
+                r"emplace|append)\s*\("), "potentially-growing container op"),
+    (re.compile(r"\bstd\s*::\s*mutex\b"), "blocking std::mutex"),
+    (re.compile(r"\bsleep_(?:for|until)\b|\busleep\s*\(|\bnanosleep\s*\("),
+     "sleep"),
+    (re.compile(r"\bf(?:open|close|write|read|flush|printf|sync)\s*\("),
+     "stdio/file IO"),
+    (re.compile(r"\bstd\s*::\s*c(?:out|err)\b"), "iostream IO"),
+    (re.compile(r"\bMutexLock\b|\bCondVar\b"), "blocking mutex/condvar"),
+]
+
+# A `new` appearing as placement-new into pre-reserved storage is spelled
+# `new (ptr) T` — the FORBIDDEN list flags it too (placement-new itself is
+# fine, but on STAR's hot paths it only ever appears in arena code that is
+# escaped explicitly, so the conservative rule stays).
+
+FUNC_DEF_RE = re.compile(
+    r"(?:^|[;}{])\s*(?:template\s*<[^;{}]*>\s*)?"
+    r"((?:[\w:~<>,*&\s]|::)*?)"          # return type + qualifiers
+    r"\b([A-Za-z_]\w*)\s*\("             # function name
+)
+
+
+class Func:
+    def __init__(self, name, path, line, body, hot):
+        self.name = name
+        self.path = path
+        self.line = line
+        self.body = body
+        self.hot = hot
+
+
+def extract_functions(src):
+    """Finds function definitions (name, body) with a brace-matching scan.
+    Lexer-grade: good enough to build a call graph over src/, not a parser."""
+    code = src.code
+    funcs = []
+    i = 0
+    n = len(code)
+    while i < n:
+        m = FUNC_DEF_RE.search(code, i)
+        if not m:
+            break
+        name = m.group(2)
+        open_paren = m.end() - 1
+        close_paren = matching_paren(code, open_paren)
+        if close_paren < 0:
+            i = m.end()
+            continue
+        # Skip trailing qualifiers/attributes up to '{', ';' or next token.
+        j = close_paren
+        while j < n and code[j] not in "{;=":
+            j += 1
+        if j >= n or code[j] != "{":
+            i = m.end()
+            continue
+        # Control-flow keywords match the pattern too; drop them.
+        if name in ("if", "for", "while", "switch", "return", "sizeof",
+                    "catch", "alignas", "alignof", "decltype", "defined",
+                    "static_assert", "noexcept"):
+            i = m.end()
+            continue
+        body_end = matching_brace(code, j)
+        if body_end < 0:
+            i = m.end()
+            continue
+        prefix = m.group(1) or ""
+        qualifiers = code[close_paren:j]
+        hot = "STAR_HOT_PATH" in prefix or "STAR_HOT_PATH" in qualifiers
+        funcs.append(
+            Func(name, src.path, line_of(code, m.start(2)),
+                 code[j:body_end], hot)
+        )
+        # Continue scanning *inside* the body too (nested lambdas/classes
+        # contain further definitions); the outer body is still attributed
+        # to the outer function.
+        i = j + 1
+    return funcs
+
+
+CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+
+_CALL_KEYWORDS = frozenset(
+    "if for while switch return sizeof static_cast const_cast dynamic_cast "
+    "reinterpret_cast alignof alignas decltype noexcept assert defined "
+    "catch throw new delete".split()
+)
+
+
+def check_hot_path(sources, findings):
+    # Index all function definitions across the linted set.
+    by_name = {}
+    for src in sources:
+        for fn in extract_functions(src):
+            by_name.setdefault(fn.name, []).append(fn)
+
+    srcs_by_path = {s.path: s for s in sources}
+
+    def body_findings(fn):
+        """Direct forbidden tokens in fn's body, minus escaped lines."""
+        src = srcs_by_path[fn.path]
+        out = []
+        base = src.code.find(fn.body)
+        for pat, why in FORBIDDEN:
+            for m in pat.finditer(fn.body):
+                line = line_of(src.code, base + m.start()) if base >= 0 else fn.line
+                if src.allowed(line, "hot-path"):
+                    continue
+                out.append((line, why))
+        return out
+
+    # Transitive reachability from hot roots through src/-defined callees.
+    reported = set()
+
+    def visit(fn, chain, depth):
+        src = srcs_by_path[fn.path]
+        key = (fn.path, fn.name, fn.line)
+        if key in reported or depth > 8:
+            return
+        reported.add(key)
+        for line, why in body_findings(fn):
+            findings.append(
+                (
+                    fn.path,
+                    line,
+                    "hot-path",
+                    "%s in hot path %s%s"
+                    % (why, fn.name, chain and " (via %s)" % " -> ".join(chain) or ""),
+                )
+            )
+        base = src.code.find(fn.body)
+        for m in CALL_RE.finditer(fn.body):
+            callee = m.group(1)
+            if callee in _CALL_KEYWORDS or callee == fn.name:
+                continue
+            defs = by_name.get(callee)
+            if not defs:
+                continue  # not defined in src/: stdlib or system, not ours
+            if len(defs) > 1:
+                # Ambiguous name (several definitions across src/).  The
+                # lexer engine has no type information to pick the right
+                # overload, and recursing into all of them manufactures
+                # impossible call chains (e.g. TidGenerator::Generate vs a
+                # workload's Generate).  Same-file definitions are the only
+                # safe bet; otherwise skip rather than guess.
+                defs = [d for d in defs if d.path == fn.path]
+                if len(defs) != 1:
+                    continue
+            line = line_of(src.code, base + m.start()) if base >= 0 else fn.line
+            if src.allowed(line, "hot-path"):
+                continue
+            for target in defs:
+                if target.hot:
+                    continue  # tagged: checked as its own root
+                visit(target, chain + [fn.name], depth + 1)
+
+    for src in sources:
+        for fn in extract_functions(src):
+            if fn.hot:
+                visit(fn, [], 0)
+
+
+# ---------------------------------------------------------------------------
+# Check 3: atomic counter lanes must be cacheline-aligned
+# ---------------------------------------------------------------------------
+
+STRUCT_RE = re.compile(
+    r"\bstruct\s+(alignas\s*\([^)]*\)\s*|STAR_CACHELINE_ALIGNED\s+)?"
+    r"([A-Za-z_]\w*)?\s*(?::[^{;]*)?\{"
+)
+COUNTER_RE = re.compile(
+    r"std\s*::\s*atomic\s*<\s*(?:std\s*::\s*)?"
+    r"(?:u?int(?:8|16|32|64)_t|size_t|long|unsigned(?:\s+long)*)\s*>"
+)
+
+
+def check_padding(src, findings):
+    code = src.code
+    for m in STRUCT_RE.finditer(code):
+        body_open = m.end() - 1
+        body_end = matching_brace(code, body_open)
+        if body_end < 0:
+            continue
+        body = code[body_open:body_end]
+        # Only the struct's own top-level members: blank nested braces.
+        top = blank_nested(body)
+        counters = COUNTER_RE.findall(top)
+        if len(counters) < 2:
+            continue
+        aligned = bool(m.group(1))
+        line = line_of(code, m.start())
+        if aligned or src.allowed(line, "padding"):
+            continue
+        name = m.group(2) or "<anonymous>"
+        findings.append(
+            (
+                src.path,
+                line,
+                "padding",
+                "struct %s holds %d atomic counters but is not "
+                "cacheline-aligned (alignas(64) / STAR_CACHELINE_ALIGNED)"
+                % (name, len(counters)),
+            )
+        )
+
+
+def blank_nested(body):
+    """body starts at '{'; blanks everything inside nested braces."""
+    out = []
+    depth = 0
+    for ch in body:
+        if ch == "{":
+            depth += 1
+            out.append(ch if depth <= 1 else " ")
+        elif ch == "}":
+            out.append(ch if depth <= 1 else " ")
+            depth -= 1
+        else:
+            out.append(ch if depth <= 1 else (ch if ch == "\n" else " "))
+    return "".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def gather_files(paths, compdb):
+    files = set()
+    if compdb:
+        try:
+            with open(compdb, "r", encoding="utf-8") as f:
+                entries = json.load(f)
+        except (OSError, ValueError) as e:
+            print("star_lint: cannot read %s: %s" % (compdb, e), file=sys.stderr)
+            sys.exit(2)
+        for e in entries:
+            p = os.path.normpath(os.path.join(e.get("directory", "."), e["file"]))
+            files.add(p)
+    for root in paths:
+        if os.path.isfile(root):
+            files.add(os.path.normpath(root))
+            continue
+        for dirpath, _, names in os.walk(root):
+            for n in names:
+                if n.endswith((".h", ".hpp", ".cc", ".cpp")):
+                    files.add(os.path.normpath(os.path.join(dirpath, n)))
+    # The concurrency contracts apply to the engine sources; out-of-tree
+    # entries from the compdb (tests, benches) are filtered by the caller's
+    # path arguments.
+    roots = [os.path.abspath(p) for p in paths]
+    return sorted(
+        f
+        for f in files
+        if any(os.path.abspath(f).startswith(r + os.sep) or os.path.abspath(f) == r
+               for r in roots)
+    )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="files or directories to lint (default: src/)")
+    ap.add_argument("--compdb", metavar="FILE",
+                    help="compile_commands.json; its entries under the lint "
+                         "paths are added to the file set")
+    ap.add_argument("--engine", choices=("lexer", "libclang"), default="lexer",
+                    help="analysis engine (default: lexer)")
+    ap.add_argument("--check", action="append", choices=CHECKS,
+                    help="run only the named check (repeatable)")
+    args = ap.parse_args()
+
+    if args.engine == "libclang":
+        try:
+            import clang.cindex  # noqa: F401
+        except ImportError:
+            print(
+                "star_lint: --engine=libclang requires python libclang "
+                "bindings (pip package 'libclang' or distro "
+                "python3-clang); this environment does not have them. "
+                "The default lexer engine needs no dependencies.",
+                file=sys.stderr,
+            )
+            return 2
+        print("star_lint: libclang engine not implemented yet; "
+              "use the lexer engine", file=sys.stderr)
+        return 2
+
+    paths = args.paths or ["src"]
+    files = gather_files(paths, args.compdb)
+    if not files:
+        print("star_lint: no source files found under %s" % paths,
+              file=sys.stderr)
+        return 2
+
+    checks = args.check or list(CHECKS)
+    sources = [Source(f) for f in files]
+    findings = []
+    for src in sources:
+        if "memory-order" in checks:
+            check_memory_order(src, findings)
+        if "padding" in checks:
+            check_padding(src, findings)
+    if "hot-path" in checks:
+        check_hot_path(sources, findings)
+
+    findings.sort()
+    for path, line, check, msg in findings:
+        print("%s:%d: [%s] %s" % (path, line, check, msg))
+    if findings:
+        print("star_lint: %d finding(s) in %d file(s)"
+              % (len(findings), len({f[0] for f in findings})), file=sys.stderr)
+        return 1
+    print("star_lint: %d files clean (checks: %s)" % (len(files),
+                                                      ", ".join(checks)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
