@@ -1,0 +1,264 @@
+// Durable-epoch group-commit substrate: what durability costs, and what the
+// incremental checkpoint chain buys at rejoin.
+//
+// Three sections, mirrored to BENCH_durability.json:
+//
+//  * engine commit latency with durable logging, commit_wait=none vs
+//    durable — the visible price of "results release only once their epoch
+//    is durable" (fsyncs amortise across the whole epoch, so the tax shows
+//    up in p50/p99, not throughput);
+//  * raw logger-pool append throughput and fsyncs-per-epoch at 1 vs 2
+//    logger threads — group commit means the fsync count tracks epochs,
+//    not transactions;
+//  * recovery cost vs delta size — a rejoin that recovers base + delta +
+//    log tail must re-read O(changed rows), not O(table).
+//
+// Gates (recorded with host_cpus; the latency gate needs a host with
+// enough cores that logger threads are not time-slicing with workers):
+//  * durable commit_wait engine commits work and publishes a nonzero
+//    cluster durable epoch;
+//  * delta checkpoint entries == rows actually touched (exact O(delta)).
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/tid.h"
+#include "wal/logger.h"
+#include "wal/wal.h"
+
+namespace star {
+namespace {
+
+using bench::JsonLog;
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string FreshDir(const std::string& tag) {
+  std::string dir = "/tmp/star_bench_dur_" + std::to_string(::getpid()) +
+                    "_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// --- section 1: engine commit latency, commit_wait none vs durable -------
+
+Metrics RunEngine(CommitWait wait, const std::string& dir) {
+  StarOptions o = bench::DefaultStar(0.1);
+  o.durable_logging = true;
+  o.fsync = true;
+  o.log_workers = 2;
+  o.log_dir = dir;
+  o.commit_wait = wait;
+  auto wl = std::make_unique<YcsbWorkload>(bench::BenchYcsb());
+  StarEngine engine(o, *wl);
+  return bench::Measure(engine);
+}
+
+void CommitWaitSection() {
+  bench::PrintHeader(
+      "Durability substrate",
+      "commit latency under durable logging (group commit, fsync on)");
+  for (CommitWait wait : {CommitWait::kNone, CommitWait::kDurable}) {
+    const char* name = wait == CommitWait::kDurable ? "wait=durable"
+                                                    : "wait=none";
+    std::string dir = FreshDir(name + 5);
+    Metrics m = RunEngine(wait, dir);
+    double fsyncs_per_epoch =
+        static_cast<double>(m.wal_fsyncs) /
+        std::max<uint64_t>(1, m.durable_epoch);
+    std::printf(
+        "%-14s %10.0f txns/sec  p50=%7.2f ms  p99=%7.2f ms  "
+        "durable_epoch=%llu  fsyncs/epoch=%.1f\n",
+        name, m.Tps(), m.latency.p50() / 1e6, m.latency.p99() / 1e6,
+        static_cast<unsigned long long>(m.durable_epoch), fsyncs_per_epoch);
+    JsonLog::Instance().Row(
+        {{"config", name},
+         {"tps", JsonLog::Format(m.Tps())},
+         {"p50_ms", JsonLog::Format(m.latency.p50() / 1e6)},
+         {"p99_ms", JsonLog::Format(m.latency.p99() / 1e6)},
+         {"durable_epoch",
+          JsonLog::Format(static_cast<double>(m.durable_epoch))},
+         {"wal_fsyncs", JsonLog::Format(static_cast<double>(m.wal_fsyncs))},
+         {"fsyncs_per_epoch", JsonLog::Format(fsyncs_per_epoch)},
+         {"committed", JsonLog::Format(static_cast<double>(m.committed))}});
+    if (wait == CommitWait::kDurable) {
+      bool ok = m.committed > 0 && m.durable_epoch > 0;
+      long cpus = ::sysconf(_SC_NPROCESSORS_ONLN);
+      JsonLog::Instance().Row(
+          {{"config", "gate"},
+           {"gate", "durable_wait_commits"},
+           {"pass", ok ? "true" : "false"},
+           {"host_cpus", JsonLog::Format(static_cast<double>(cpus))}});
+      std::printf("gate durable_wait_commits: %s (%ld cpus)\n",
+                  ok ? "PASS" : "FAIL", cpus);
+    }
+    std::filesystem::remove_all(dir);
+  }
+}
+
+// --- section 2: raw logger-pool appends + fsyncs per epoch ---------------
+
+void LoggerPoolSection() {
+  constexpr int kLanes = 2;
+  const double seconds = 0.5 * bench::Scale();
+  for (int loggers : {1, 2}) {
+    std::string dir = FreshDir("pool" + std::to_string(loggers));
+    wal::LoggerPoolOptions lo;
+    lo.dir = dir;
+    lo.num_lanes = kLanes;
+    lo.num_loggers = loggers;
+    lo.fsync = true;
+    wal::LoggerPool pool(lo);
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> appends{0};
+    std::vector<std::thread> writers;
+    for (int l = 0; l < kLanes; ++l) {
+      writers.emplace_back([&, l] {
+        wal::LogLane* lane = pool.lane(l);
+        uint64_t v = 0;
+        uint64_t seq = 1;
+        while (!stop.load(std::memory_order_relaxed)) {
+          ++v;
+          lane->Append(0, 0, v & 1023, Tid::Make(1, seq++, static_cast<uint64_t>(l)),
+                       {reinterpret_cast<const char*>(&v), sizeof(v)});
+          appends.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    // An epoch fence every 10 ms, like the engine's iteration cadence.
+    int64_t start = NowNs();
+    uint64_t epoch = 0;
+    while (NowNs() - start < static_cast<int64_t>(seconds * 1e9)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      ++epoch;
+      for (int l = 0; l < kLanes; ++l) pool.lane(l)->MarkEpoch(epoch);
+    }
+    stop.store(true);
+    for (auto& t : writers) t.join();
+    pool.Drain();
+    double secs = (NowNs() - start) / 1e9;
+    double aps = appends.load() / secs;
+    double fsyncs_per_epoch =
+        static_cast<double>(pool.fsyncs()) /
+        std::max<uint64_t>(1, pool.durable_epoch());
+    std::printf(
+        "loggers=%d       %10.0f appends/sec  durable_epoch=%llu  "
+        "fsyncs/epoch=%.1f  bytes=%llu\n",
+        loggers, aps, static_cast<unsigned long long>(pool.durable_epoch()),
+        fsyncs_per_epoch, static_cast<unsigned long long>(pool.bytes_written()));
+    JsonLog::Instance().Row(
+        {{"config", "pool_loggers_" + std::to_string(loggers)},
+         {"appends_per_sec", JsonLog::Format(aps)},
+         {"durable_epoch",
+          JsonLog::Format(static_cast<double>(pool.durable_epoch()))},
+         {"fsyncs_per_epoch", JsonLog::Format(fsyncs_per_epoch)},
+         {"bytes", JsonLog::Format(static_cast<double>(pool.bytes_written()))}});
+    pool.Stop();
+    std::filesystem::remove_all(dir);
+  }
+}
+
+// --- section 3: recovery time vs delta size ------------------------------
+
+void RecoverySection() {
+  constexpr uint64_t kRows = 20'000;
+  for (uint64_t touched : {100ull, 2000ull}) {
+    std::string dir = FreshDir("rec" + std::to_string(touched));
+    std::vector<TableSchema> schemas{{"t", 8, kRows * 2}};
+    Database db(schemas, 1, std::vector<int>{0}, false);
+    std::atomic<uint64_t> stable{0};
+    wal::LoggerPoolOptions lo;
+    lo.dir = dir;
+    wal::LoggerPool pool(lo);
+    pool.MarkComplete();
+    wal::LogLane* lane = pool.lane(0);
+
+    for (uint64_t key = 1; key <= kRows; ++key) {
+      uint64_t tid = Tid::Make(1, key, 0);
+      uint64_t v = key;
+      lane->Append(0, 0, key, tid,
+                   {reinterpret_cast<const char*>(&v), sizeof(v)});
+      HashTable::Row row = db.table(0, 0)->GetOrInsertRow(key);
+      row.rec->ApplyThomas(tid, &v, row.size, row.value, db.two_version());
+    }
+    lane->MarkEpoch(1);
+    pool.Drain();
+    wal::Checkpointer ckpt(&db, dir, 0, &stable);
+    stable.store(1);
+    ckpt.RunOnce();
+    uint64_t base_entries = ckpt.entries_written();
+
+    for (uint64_t key = 1; key <= touched; ++key) {
+      uint64_t tid = Tid::Make(2, key, 0);
+      uint64_t v = key * 3;
+      lane->Append(0, 0, key, tid,
+                   {reinterpret_cast<const char*>(&v), sizeof(v)});
+      HashTable::Row row = db.table(0, 0)->GetOrInsertRow(key);
+      row.rec->ApplyThomas(tid, &v, row.size, row.value, db.two_version());
+    }
+    lane->MarkEpoch(2);
+    pool.Drain();
+    stable.store(2);
+    ckpt.RunOnce();
+    uint64_t delta_entries = ckpt.entries_written() - base_entries;
+    pool.Stop();
+
+    Database fresh(schemas, 1, std::vector<int>{0}, false);
+    int64_t t0 = NowNs();
+    wal::RecoveryResult r = wal::Recover(&fresh, dir, 0);
+    double recover_ms = (NowNs() - t0) / 1e6;
+    std::printf(
+        "delta=%5llu/%llu rows  recover=%7.2f ms  ckpt_entries=%llu  "
+        "delta_entries=%llu\n",
+        static_cast<unsigned long long>(touched),
+        static_cast<unsigned long long>(kRows), recover_ms,
+        static_cast<unsigned long long>(r.checkpoint_entries),
+        static_cast<unsigned long long>(delta_entries));
+    JsonLog::Instance().Row(
+        {{"config", "recover_delta_" + std::to_string(touched)},
+         {"rows", JsonLog::Format(static_cast<double>(kRows))},
+         {"touched", JsonLog::Format(static_cast<double>(touched))},
+         {"recover_ms", JsonLog::Format(recover_ms)},
+         {"delta_entries", JsonLog::Format(static_cast<double>(delta_entries))},
+         {"committed_epoch",
+          JsonLog::Format(static_cast<double>(r.committed_epoch))}});
+    bool o_delta = delta_entries == touched;
+    if (!o_delta) {
+      std::printf("gate delta_is_o_delta: FAIL (%llu entries for %llu rows)\n",
+                  static_cast<unsigned long long>(delta_entries),
+                  static_cast<unsigned long long>(touched));
+    }
+    long cpus = ::sysconf(_SC_NPROCESSORS_ONLN);
+    JsonLog::Instance().Row(
+        {{"config", "gate"},
+         {"gate", "delta_is_o_delta"},
+         {"pass", o_delta ? "true" : "false"},
+         {"host_cpus", JsonLog::Format(static_cast<double>(cpus))}});
+    std::filesystem::remove_all(dir);
+  }
+}
+
+}  // namespace
+}  // namespace star
+
+int main() {
+  star::CommitWaitSection();
+  star::LoggerPoolSection();
+  star::RecoverySection();
+  return 0;
+}

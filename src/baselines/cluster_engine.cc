@@ -55,6 +55,18 @@ ClusterEngine::ClusterEngine(const BaselineOptions& options,
     }
     node->primaries = placement_.mastered_by(i);
 
+    if (options_.durable_logging) {
+      wal::LoggerPoolOptions lo;
+      lo.dir = options_.log_dir;
+      lo.node = i;
+      lo.num_lanes = options_.workers_per_node;
+      lo.num_loggers = options_.log_workers;
+      lo.fsync = options_.fsync;
+      node->logs = std::make_unique<wal::LoggerPool>(lo);
+      // Baselines never rejoin mid-run; every incarnation is complete.
+      node->logs->MarkComplete();
+    }
+
     Node* n = node.get();
     node->endpoint->RegisterHandler(
         net::MsgType::kReplicationBatch, [n](net::Message&& m) {
@@ -79,6 +91,7 @@ ClusterEngine::ClusterEngine(const BaselineOptions& options,
       ws->stream = std::make_unique<ReplicationStream>(
           node->endpoint.get(), node->counters.get(), num_nodes_,
           options_.rep_flush_bytes, /*lane=*/w);
+      if (node->logs != nullptr) ws->wal = node->logs->lane(w);
       node->workers.push_back(std::move(ws));
     }
     for (int r = 0; r < options_.replica_read_workers; ++r) {
@@ -167,7 +180,16 @@ void ClusterEngine::WorkerLoop(Node& node, int worker_index) {
     ctx.Reset();
     w.stats.MaybeResetLatency();
     RunOne(node, w, ctx);
-    w.tracker.Drain(epoch_mgr_.Current(), NowNanos(), w.stats.latency);
+    uint64_t cur = epoch_mgr_.Current();
+    // Silo durable-epoch protocol: between transactions, every future
+    // commit from this worker carries epoch >= cur, so everything below
+    // cur is final for this lane — certify it to the logger fleet (the
+    // on-disk durable epoch is then the min over lanes).
+    if (w.wal != nullptr && cur - 1 > w.wal_marked) {
+      w.wal_marked = cur - 1;
+      w.wal->MarkEpoch(w.wal_marked);
+    }
+    w.tracker.Drain(cur, NowNanos(), w.stats.latency);
     if (options_.yield_every_n_txns != 0 &&
         ++w.txn_since_yield >= options_.yield_every_n_txns) {
       w.txn_since_yield = 0;
@@ -176,6 +198,7 @@ void ClusterEngine::WorkerLoop(Node& node, int worker_index) {
   }
   // Flush outstanding replication and release remaining group commits.
   w.stream->FlushAll();
+  if (w.wal != nullptr) w.wal->MarkEpoch(epoch_mgr_.Current());
   w.tracker.DrainAll(NowNanos(), w.stats.latency);
 }
 
@@ -242,7 +265,14 @@ Metrics ClusterEngine::Snapshot() const {
       m.replica_read_conflicts +=
           r->conflicts.load(std::memory_order_relaxed);
     }
+    if (node->logs != nullptr) {
+      m.wal_bytes += node->logs->bytes_written();
+      m.wal_fsyncs += node->logs->fsyncs();
+      m.wal_batches += node->logs->batches();
+      m.wal_epoch_markers += node->logs->epoch_markers();
+    }
   }
+  m.durable_epoch = durable_epoch();
   m.seconds = (NowNanos() - measure_start_ns_) / 1e9;
   m.network_bytes = transport_->total_bytes() - net_bytes_at_reset_;
   m.network_messages = transport_->total_messages() - net_msgs_at_reset_;
@@ -297,6 +327,7 @@ Metrics ClusterEngine::Stop() {
     // Io threads are gone: drain the shard queues and join the replay
     // workers so every accepted batch reaches the store before teardown.
     if (node->sharded != nullptr) node->sharded->Stop();
+    if (node->logs != nullptr) node->logs->Stop();
   }
   transport_->Stop();
   Metrics m = Snapshot();

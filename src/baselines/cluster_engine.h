@@ -1,6 +1,7 @@
 #ifndef STAR_BASELINES_CLUSTER_ENGINE_H_
 #define STAR_BASELINES_CLUSTER_ENGINE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <thread>
@@ -18,6 +19,7 @@
 #include "replication/applier.h"
 #include "replication/sharded_applier.h"
 #include "replication/stream.h"
+#include "wal/logger.h"
 
 namespace star {
 
@@ -44,6 +46,15 @@ class ClusterEngine {
   net::Transport* transport() { return transport_.get(); }
   const Placement& placement() const { return placement_; }
   uint64_t epoch() const { return epoch_mgr_.Current(); }
+  /// Silo durable epoch: min over every node's logger fleet (0 when
+  /// durable logging is off).
+  uint64_t durable_epoch() const {
+    uint64_t d = ~0ull;
+    for (const auto& node : nodes_) {
+      if (node->logs != nullptr) d = std::min(d, node->logs->durable_epoch());
+    }
+    return d == ~0ull ? 0 : d;
+  }
 
  protected:
   struct WorkerState {
@@ -63,6 +74,11 @@ class ClusterEngine {
     int index;  // worker index within the node
     uint32_t txn_since_yield = 0;
     size_t rr = 0;  // cursor over the node's primary partitions
+    /// Log lane when durable_logging is on (owned by the node's pool).
+    wal::LogLane* wal = nullptr;
+    /// Highest epoch this worker has certified complete to its lane
+    /// (Silo durable-epoch protocol, see WorkerLoop).
+    uint64_t wal_marked = 0;
   };
 
   /// State of one replica-read worker (monotonic-fresh mode; see
@@ -89,6 +105,8 @@ class ClusterEngine {
     std::vector<std::thread> threads;
     std::vector<std::thread> reader_threads;
     std::vector<int> primaries;  // partitions this node masters
+    /// Group-commit logger fleet (durable_logging); null otherwise.
+    std::unique_ptr<wal::LoggerPool> logs;
   };
 
   /// One unit of work for a worker; called in a loop until Stop().
@@ -118,9 +136,13 @@ class ClusterEngine {
                             const WriteSet& writes);
 
   /// Records a commit in the stats and the group-commit tracker (async) or
-  /// directly in the latency histogram (sync).
+  /// directly in the latency histogram (sync).  With durable logging on,
+  /// `writes` (when provided) is appended to the worker's log lane first.
   void FinishCommit(WorkerState& w, uint64_t tid, uint64_t start_ns,
-                    bool cross) {
+                    bool cross, const WriteSet* writes = nullptr) {
+    if (w.wal != nullptr && writes != nullptr) {
+      w.wal->AppendCommit(tid, *writes);
+    }
     w.stats.committed.fetch_add(1, std::memory_order_relaxed);
     (cross ? w.stats.cross_partition : w.stats.single_partition)
         .fetch_add(1, std::memory_order_relaxed);

@@ -964,7 +964,7 @@ void DistEngine::RunOne(Node& node, WorkerState& w, SiloContext& base_ctx) {
           }
         }
       }
-      FinishCommit(w, cr.tid, start, cross);
+      FinishCommit(w, cr.tid, start, cross, &ctx.writes());
       return;
     }
     w.stats.aborted.fetch_add(1, std::memory_order_relaxed);

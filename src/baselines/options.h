@@ -32,6 +32,16 @@ struct BaselineOptions {
 
   /// Group-commit epoch for asynchronous replication (Silo-style timer).
   double epoch_ms = 10.0;
+
+  /// Durability: per-node logger pool (wal/logger.h), one log lane per
+  /// worker, Silo-style durable epoch = min over lane watermarks.  Same
+  /// group-commit machinery as StarEngine so durability costs are
+  /// comparable across engines.  Off by default, as in the paper.
+  bool durable_logging = false;
+  std::string log_dir = "/tmp/star_logs";
+  bool fsync = false;
+  /// Dedicated logger threads per node; clamped to [1, workers_per_node].
+  int log_workers = 1;
   /// Synchronous replication: transactions hold write locks across the
   /// replication round trip, and the distributed engines add two-phase
   /// commit rounds (Figure 11(c,d)).

@@ -61,7 +61,7 @@ class PbOccEngine final : public ClusterEngine {
         if (!options_.sync_replication) {
           ReplicateAsync(w, node.id, cr.tid, ctx.write_set());
         }
-        FinishCommit(w, cr.tid, start, cross);
+        FinishCommit(w, cr.tid, start, cross, &ctx.write_set());
         return;
       }
       w.stats.aborted.fetch_add(1, std::memory_order_relaxed);

@@ -28,6 +28,7 @@ class WriteBuffer {
 
   void WriteRaw(const void* p, size_t n) {
     size_t off = data_.size();
+    // star-lint: allow(hot-path): Clear() keeps capacity; recycled buffers stop growing after warm-up
     data_.resize(off + n);
     std::memcpy(data_.data() + off, p, n);
   }

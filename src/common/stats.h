@@ -76,6 +76,22 @@ struct Metrics {
   /// Sum over committed replica reads of (node epoch - pinned watermark):
   /// divide by replica_reads for the mean staleness in epochs.
   uint64_t replica_read_lag_epochs = 0;
+  /// Durability (wal/logger.h).  durable_epoch is the cluster durable epoch
+  /// E_d — every transaction with epoch <= E_d is fsynced on every healthy
+  /// node; the byte/fsync/batch counters aggregate the logger fleet; the
+  /// checkpoint counters aggregate the incremental checkpointers; and
+  /// rejoin_fetch_bytes is what a rejoining node streamed from donors
+  /// (O(delta) with a recovered base, O(table) without).  All zero when
+  /// durable logging is off.
+  uint64_t durable_epoch = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t wal_fsyncs = 0;
+  uint64_t wal_batches = 0;
+  uint64_t wal_epoch_markers = 0;
+  uint64_t checkpoints = 0;
+  uint64_t checkpoint_entries = 0;
+  uint64_t checkpoint_bytes = 0;
+  uint64_t rejoin_fetch_bytes = 0;
   Histogram latency;
 
   double Tps() const { return seconds > 0 ? committed / seconds : 0.0; }

@@ -18,11 +18,16 @@ namespace {
 
 /// Payload helpers for the coordination messages (Figure 5's protocol).
 
-std::string EncodePhaseStart(Phase phase, uint64_t epoch, int master) {
+std::string EncodePhaseStart(Phase phase, uint64_t epoch, int master,
+                             uint64_t durable) {
   WriteBuffer b;
   b.Write<uint8_t>(static_cast<uint8_t>(phase));
   b.Write<uint64_t>(epoch);
   b.Write<int32_t>(master);
+  // Trailing field (readers treat it as optional for compatibility): the
+  // cluster durable epoch E_d the fence derived — the coordinator's
+  // "durable through E_d" announcement piggybacking on the phase start.
+  b.Write<uint64_t>(durable);
   return b.Release();
 }
 
@@ -175,47 +180,67 @@ StarEngine::StarEngine(const StarOptions& options, const Workload& workload)
           });
     }
 
-    // WAL files: one per worker thread, then one per io thread, then one
+    // Log lanes: one per worker thread, then one per io thread, then one
     // per replay shard (replicated writes are logged by the thread that
-    // applies them, Section 5).
+    // applies them, Section 5).  The lanes hand published buffers to the
+    // logger-pool fleet, which owns write()/fsync() and advances this
+    // node's durable epoch — commit latency no longer contains storage
+    // latency (group commit, wal/logger.h).
     if (durable) {
-      int extra = io_threads + (sharded_replay ? replay_shards : 0);
-      for (int w = 0; w < workers + extra; ++w) {
-        node->wals.push_back(std::make_unique<wal::WalWriter>(
-            wal::WalPath(options_.log_dir, i, w), options_.fsync));
+      wal::LoggerPoolOptions lo;
+      lo.dir = options_.log_dir;
+      lo.node = i;
+      lo.num_lanes =
+          workers + io_threads + (sharded_replay ? replay_shards : 0);
+      lo.num_loggers = options_.log_workers;
+      lo.fsync = options_.fsync;
+      lo.affinity = options_.logger_affinity;
+      node->logs = std::make_unique<wal::LoggerPool>(lo);
+      if (!options_.rejoining) {
+        // This incarnation's logs are a complete recovery basis from the
+        // start (the node populates or recovers locally).  A rejoining
+        // process must wait: its basis is complete only once the rejoin
+        // fetch finishes (kRejoinFetch marks it then).
+        node->logs->MarkComplete();
       }
       node->applier->set_wal_hook(
-          [this, n = node.get(), workers](int32_t t, int32_t p, uint64_t key,
-                                          uint64_t tid, std::string_view val,
-                                          bool deleted) {
-            // io threads share the trailing WAL writers; with one io thread
-            // (the default) this is the single writer at index `workers`.
+          [lane = node->logs->lane(workers)](int32_t t, int32_t p,
+                                             uint64_t key, uint64_t tid,
+                                             std::string_view val,
+                                             bool deleted) {
+            // io threads share the trailing lanes; with one io thread (the
+            // default) this is the single lane at index `workers`.
             if (deleted) {
-              n->wals[workers]->AppendDelete(t, p, key, tid);
+              lane->AppendDelete(t, p, key, tid);
             } else {
-              n->wals[workers]->Append(t, p, key, tid, val);
+              lane->Append(t, p, key, tid, val);
             }
           });
       if (sharded_replay) {
-        // Each replay worker owns its own log file — appends never contend,
+        // Each replay worker owns its own lane — appends never contend,
         // and the control thread's fence marks (kFenceExpect) cover these
-        // trailing writers like the io-thread logs.
+        // trailing lanes like the io-thread lanes.
         for (int s = 0; s < replay_shards; ++s) {
-          wal::WalWriter* wal = node->wals[workers + io_threads + s].get();
+          wal::LogLane* lane = node->logs->lane(workers + io_threads + s);
           node->sharded->set_wal_hook(
-              s, [wal](int32_t t, int32_t p, uint64_t key, uint64_t tid,
-                       std::string_view val, bool deleted) {
+              s, [lane](int32_t t, int32_t p, uint64_t key, uint64_t tid,
+                        std::string_view val, bool deleted) {
                 if (deleted) {
-                  wal->AppendDelete(t, p, key, tid);
+                  lane->AppendDelete(t, p, key, tid);
                 } else {
-                  wal->Append(t, p, key, tid, val);
+                  lane->Append(t, p, key, tid, val);
                 }
               });
         }
       }
       if (options_.checkpointing) {
+        // The checkpoint ceiling is the cluster durable epoch: a checkpoint
+        // must never capture an epoch that could still revert, and E_d by
+        // construction only covers committed, everywhere-fsynced epochs.
         node->checkpointer = std::make_unique<wal::Checkpointer>(
-            node->db.get(), options_.log_dir, i, &epoch_);
+            node->db.get(), options_.log_dir, i, &node->durable_cluster);
+        node->logs->AttachCheckpointer(node->checkpointer.get(),
+                                       options_.checkpoint_period_ms);
       }
     }
 
@@ -226,7 +251,7 @@ StarEngine::StarEngine(const StarOptions& options, const Workload& workload)
       ws->stream = std::make_unique<ReplicationStream>(
           node->endpoint.get(), node->counters.get(), num_nodes_,
           options_.cluster.rep_flush_bytes, /*lane=*/w);
-      if (durable) ws->wal = node->wals[w].get();
+      if (durable) ws->wal = node->logs->lane(w);
       node->workers.push_back(std::move(ws));
     }
 
@@ -278,6 +303,36 @@ StarEngine::StarEngine(const StarOptions& options, const Workload& workload)
             });
           }
           n->endpoint->Respond(m, net::MsgType::kSnapshotResponse,
+                               out.Release());
+        });
+    // Delta donor for the incremental rejoin path: streams only records —
+    // including tombstones — whose TID epoch moved past `since_epoch`.  A
+    // rejoining node that recovered locally through epoch R asks for
+    // (R, now] instead of the whole table; bytes shipped scale with the
+    // delta, not the data size.
+    node->endpoint->RegisterHandler(
+        net::MsgType::kDeltaRequest, [n](net::Message&& m) {
+          ReadBuffer in(m.payload);
+          int32_t t = in.Read<int32_t>();
+          int32_t p = in.Read<int32_t>();
+          uint64_t since = in.Read<uint64_t>();
+          WriteBuffer out;
+          HashTable* ht = n->db->table(t, p);
+          if (ht != nullptr) {
+            std::string scratch(ht->value_size(), '\0');
+            ht->ForEach([&](uint64_t key, Record* rec, char* value) {
+              uint64_t w =
+                  rec->ReadStable(scratch.data(), scratch.size(), value);
+              uint64_t tid = Record::TidOf(w);
+              if (tid == 0 || Tid::Epoch(tid) <= since) return;
+              bool deleted = Record::IsAbsent(w);
+              out.Write<uint64_t>(key);
+              out.Write<uint64_t>(tid);
+              out.Write<uint8_t>(deleted ? 1 : 0);
+              if (!deleted) out.WriteBytes(scratch.data(), scratch.size());
+            });
+          }
+          n->endpoint->Respond(m, net::MsgType::kDeltaResponse,
                                out.Release());
         });
     // Liveness probe for the multi-process startup barrier.  Gated on
@@ -446,6 +501,11 @@ void StarEngine::RevertLocal(uint64_t revert_epoch) {
     // are parked cluster-wide here, so the queues only shrink.
     if (node->sharded != nullptr) node->sharded->Drain();
     if (revert_epoch != 0) {
+      // Poison the reverted epoch in the WAL *before* discarding it from
+      // memory: the revert entry drags every lane's durable watermark below
+      // revert_epoch, so a crash after this point can never replay writes
+      // the cluster just agreed to discard (wal/logger.h).
+      if (node->logs != nullptr) node->logs->MarkRevert(revert_epoch);
       // Replica readers must not race the revert: RevertEpoch restores the
       // backup copy with a plain memcpy *before* the word store, which a
       // concurrent optimistic read could observe as a torn value under a
@@ -514,9 +574,13 @@ void StarEngine::Start() {
   }
 
   // Populate every hosted replica of every partition deterministically.  A
-  // rejoining process starts empty on purpose: its state comes from the
-  // snapshot fetch plus live replication (Section 4.5.3, Case 1).
-  if (!options_.rejoining) {
+  // rejoining process without local logs starts empty on purpose: its state
+  // comes from the snapshot fetch plus live replication (Section 4.5.3,
+  // Case 1).  A rejoining process *with* recover_on_start populates first —
+  // the deterministic load is the base the WAL replay below builds on, and
+  // the delta fetch only ships records whose epoch exceeds what recovery
+  // reconstructed (load records carry epoch 0 and are never in a delta).
+  if (!options_.rejoining || options_.recover_on_start) {
     for (auto& node : nodes_) {
       if (node == nullptr) continue;
       for (int p = 0; p < num_partitions_; ++p) {
@@ -524,6 +588,20 @@ void StarEngine::Start() {
           workload_.PopulatePartition(*node->db, p);
         }
       }
+    }
+  }
+
+  // Crash recovery: rebuild each hosted node's database from its checkpoint
+  // chain + WAL tail (wal::Recover) before any thread serves it.  Must run
+  // after populate — Database::Load would clobber recovered rows — and the
+  // recovered epoch is what turns a rejoin's full snapshot refetch into a
+  // delta fetch (ControlLoop, kRejoinFetch).
+  if (options_.recover_on_start && options_.durable_logging) {
+    for (auto& node : nodes_) {
+      if (node == nullptr) continue;
+      wal::RecoveryResult rr =
+          wal::Recover(node->db.get(), options_.log_dir, node->id);
+      node->recovered_epoch = rr.committed_epoch;
     }
   }
 
@@ -550,9 +628,9 @@ void StarEngine::Start() {
       node->reader_threads.emplace_back(
           [this, n = node.get(), r] { ReaderLoop(*n, static_cast<int>(r)); });
     }
-    if (node->checkpointer) {
-      node->checkpointer->StartPeriodic(options_.checkpoint_period_ms);
-    }
+    // Checkpoint cadence is driven by logger thread 0 (AttachCheckpointer in
+    // the constructor) — a checkpoint taken off the logger's own clock can
+    // never outrun the durable epoch it snapshots against.
   }
   if (coordinator_here_) {
     coordinator_->Start();
@@ -611,7 +689,8 @@ void StarEngine::UpdateTaus() {
 void StarEngine::StartPhaseOnNodes(Phase phase) {
   uint64_t epoch = epoch_.load(std::memory_order_acquire);
   std::string payload = EncodePhaseStart(
-      phase, epoch, master_node_.load(std::memory_order_relaxed));
+      phase, epoch, master_node_.load(std::memory_order_relaxed),
+      cluster_durable_.load(std::memory_order_acquire));
   std::vector<std::pair<int, uint64_t>> tokens;
   for (int i : HealthyNodes()) {
     tokens.emplace_back(
@@ -646,6 +725,12 @@ StarEngine::FenceOutcome StarEngine::Fence(Phase ended_phase,
   std::vector<std::vector<uint64_t>> sent(num_nodes_,
                                           std::vector<uint64_t>(num_nodes_, 0));
   uint64_t committed_delta = 0;
+  // Durable-epoch piggyback: each stats response may carry the node's local
+  // durable epoch (min over its loggers); the cluster durable epoch E_d is
+  // the min over healthy nodes — but never past epoch_-1, because an epoch
+  // only *commits* when its fence succeeds.  A node whose loggers fsynced
+  // epoch E just before the fence that reverts E must not push E into E_d.
+  uint64_t durable_min = ~0ull;
   for (int i : healthy) {
     std::string resp;
     if (!coordinator_->Wait(tokens[i], &resp,
@@ -657,8 +742,19 @@ StarEngine::FenceOutcome StarEngine::Fence(Phase ended_phase,
     committed_delta += in.Read<uint64_t>();
     uint32_t n = in.Read<uint32_t>();
     for (uint32_t d = 0; d < n; ++d) sent[i][d] = in.Read<uint64_t>();
+    if (in.remaining() >= sizeof(uint64_t)) {
+      durable_min = std::min(durable_min, in.Read<uint64_t>());
+    } else {
+      durable_min = 0;  // node without durable logging: E_d stays at 0
+    }
   }
   out.committed_delta = committed_delta;
+  if (out.failed_nodes.empty() && durable_min != ~0ull) {
+    uint64_t committed = epoch_.load(std::memory_order_acquire) - 1;
+    uint64_t ed = std::min(durable_min, committed);
+    uint64_t cur = cluster_durable_.load(std::memory_order_relaxed);
+    if (ed > cur) cluster_durable_.store(ed, std::memory_order_release);
+  }
 
   // Throughput monitoring (t_p, t_s of Equation 2), measured over the real
   // execution window: phase start until the stop round completed (workers
@@ -1017,6 +1113,12 @@ void StarEngine::ControlLoop(Node& node) {
         for (int d = 0; d < num_nodes_; ++d) {
           b.Write<uint64_t>(node.counters->sent_to(d));
         }
+        // Durable-epoch piggyback: the fence already synchronises every
+        // node, so the local durable epoch rides the stats reply for free
+        // (trailing field — old parsers simply stop short of it).  ~0 means
+        // "no logging here": it never constrains the coordinator's min.
+        b.Write<uint64_t>(node.logs != nullptr ? node.logs->durable_epoch()
+                                               : ~0ull);
         node.endpoint->Respond(msg, net::MsgType::kFenceStats, b.Release());
         break;
       }
@@ -1037,11 +1139,16 @@ void StarEngine::ControlLoop(Node& node) {
             std::this_thread::yield();
           }
         }
-        // Flush + mark the io-thread logs; workers marked theirs at park.
+        // Mark the io/replay-shard lanes; workers marked theirs at park.
+        // MarkEpoch only publishes the buffered batch to the logger threads
+        // — no disk I/O on the fence path; durability catches up through
+        // the durable epoch instead of stalling the fence.
         uint64_t epoch = node.epoch.load(std::memory_order_acquire);
-        size_t workers = node.workers.size();
-        for (size_t i = workers; i < node.wals.size(); ++i) {
-          node.wals[i]->MarkEpochAndFlush(epoch);
+        if (node.logs != nullptr) {
+          for (int i = static_cast<int>(node.workers.size());
+               i < node.logs->num_lanes(); ++i) {
+            node.logs->lane(i)->MarkEpoch(epoch);
+          }
         }
         // Stage the applied-epoch watermark for the epoch this fence ends.
         // Re-check each source's drain rather than trusting the loop exit:
@@ -1077,6 +1184,16 @@ void StarEngine::ControlLoop(Node& node) {
         Phase phase = static_cast<Phase>(in.Read<uint8_t>());
         uint64_t epoch = in.Read<uint64_t>();
         (void)in.Read<int32_t>();  // master id: carried by view broadcasts
+        // Optional trailing field: the cluster durable epoch E_d computed
+        // at the last fence.  Workers in commit_wait=durable mode release
+        // results against this (monotonic — a rebooted coordinator may
+        // briefly broadcast a smaller value).
+        if (in.remaining() >= sizeof(uint64_t)) {
+          uint64_t ed = in.Read<uint64_t>();
+          if (ed > node.durable_cluster.load(std::memory_order_relaxed)) {
+            node.durable_cluster.store(ed, std::memory_order_release);
+          }
+        }
         if (node.staged_epoch != 0 && epoch > node.staged_epoch) {
           // The epoch advanced past the staged fence, which proves that
           // fence committed cluster-wide (the coordinator only advances
@@ -1156,6 +1273,16 @@ void StarEngine::ControlLoop(Node& node) {
         // Fetch on a helper thread: the control loop must stay responsive
         // to fences while recovery proceeds in parallel (Case 1).
         std::thread([this, &node, msg = std::move(msg)] {
+        // With a recovered epoch (local checkpoint chain + log tail already
+        // replayed in Start) the node asks donors only for records whose
+        // epoch exceeds it: bytes streamed are O(changes since the crash),
+        // not O(table).  Fetched records go through the io log lane like
+        // any other applied write, so a crash mid-rejoin replays them.
+        uint64_t since = node.recovered_epoch;
+        wal::LogLane* lane =
+            node.logs != nullptr
+                ? node.logs->lane(static_cast<int>(node.workers.size()))
+                : nullptr;
         for (int p = 0; p < num_partitions_; ++p) {
           if (!placement_.IsStored(node.id, p)) continue;
           int donor = -1;
@@ -1171,29 +1298,59 @@ void StarEngine::ControlLoop(Node& node) {
             WriteBuffer req;
             req.Write<int32_t>(t);
             req.Write<int32_t>(p);
+            if (since > 0) req.Write<uint64_t>(since);
+            net::MsgType kind = since > 0 ? net::MsgType::kDeltaRequest
+                                          : net::MsgType::kSnapshotRequest;
             std::string resp;
-            if (!node.endpoint->Call(donor, net::MsgType::kSnapshotRequest,
-                                     req.Release(), &resp)) {
+            if (!node.endpoint->Call(donor, kind, req.Release(), &resp)) {
               if (std::getenv("STAR_DEBUG_FAILURES") != nullptr) {
                 std::fprintf(stderr,
-                             "[star] node %d: snapshot fetch t%d p%d from %d "
+                             "[star] node %d: %s fetch t%d p%d from %d "
                              "FAILED\n",
-                             node.id, t, p, donor);
+                             node.id, since > 0 ? "delta" : "snapshot", t, p,
+                             donor);
               }
               continue;
             }
+            node.rejoin_bytes.fetch_add(resp.size(),
+                                        std::memory_order_relaxed);
             HashTable* ht = node.db->table(t, p);
             ReadBuffer in(resp);
-            while (!in.Done()) {
-              uint64_t key = in.Read<uint64_t>();
-              uint64_t tid = in.Read<uint64_t>();
-              std::string_view value = in.ReadBytes();
-              HashTable::Row row = ht->GetOrInsertRow(key);
-              row.rec->ApplyThomas(tid, value.data(), row.size, row.value,
-                                   node.db->two_version());
+            if (since > 0) {
+              // Delta frame: key, tid, deleted flag, value when present
+              // (tombstones ship without a payload).
+              while (!in.Done()) {
+                uint64_t key = in.Read<uint64_t>();
+                uint64_t tid = in.Read<uint64_t>();
+                uint8_t deleted = in.Read<uint8_t>();
+                HashTable::Row row = ht->GetOrInsertRow(key);
+                if (deleted != 0) {
+                  row.rec->ApplyThomasDelete(tid, row.size, row.value,
+                                             node.db->two_version());
+                  if (lane != nullptr) lane->AppendDelete(t, p, key, tid);
+                } else {
+                  std::string_view value = in.ReadBytes();
+                  row.rec->ApplyThomas(tid, value.data(), row.size,
+                                       row.value, node.db->two_version());
+                  if (lane != nullptr) lane->Append(t, p, key, tid, value);
+                }
+              }
+            } else {
+              while (!in.Done()) {
+                uint64_t key = in.Read<uint64_t>();
+                uint64_t tid = in.Read<uint64_t>();
+                std::string_view value = in.ReadBytes();
+                HashTable::Row row = ht->GetOrInsertRow(key);
+                row.rec->ApplyThomas(tid, value.data(), row.size, row.value,
+                                     node.db->two_version());
+                if (lane != nullptr) lane->Append(t, p, key, tid, value);
+              }
             }
           }
         }
+        // The incarnation now holds a complete image (recovered base +
+        // fetched delta): mark it so a later crash may trust these logs.
+        if (node.logs != nullptr) node.logs->MarkComplete();
         node.endpoint->Respond(msg, net::MsgType::kRejoinDone, "");
         }).detach();
         break;
@@ -1236,12 +1393,14 @@ void StarEngine::WorkerLoop(Node& node, int worker_index) {
     if (phase == Phase::kFence || phase == Phase::kStopped) {
       w.parked_flag.store(true, std::memory_order_release);
       if (!parked_this_seq) {
-        // Flush outbound replication and the local log, then park.  The
-        // epoch marker certifies "all my writes up to this epoch are
+        // Flush outbound replication and publish the log lane's watermark,
+        // then park.  MarkEpoch hands the buffered batch to the logger
+        // threads without blocking on storage; the logger's on-disk epoch
+        // marker is what certifies "all my writes up to this epoch are
         // durable" (Section 4.5.1).
         w.stream->FlushAll();
         if (w.wal != nullptr) {
-          w.wal->MarkEpochAndFlush(node.epoch.load(std::memory_order_acquire));
+          w.wal->MarkEpoch(node.epoch.load(std::memory_order_acquire));
         }
         parked_this_seq = true;
         node.parked.fetch_add(1, std::memory_order_acq_rel);
@@ -1259,9 +1418,16 @@ void StarEngine::WorkerLoop(Node& node, int worker_index) {
 
     w.parked_flag.store(false, std::memory_order_relaxed);
 
-    // Release transactions whose epoch has closed (group commit).
-    w.tracker.Drain(node.epoch.load(std::memory_order_acquire), NowNanos(),
-                    w.stats.latency);
+    // Release transactions whose epoch has closed (group commit).  With
+    // commit_wait=durable, additionally hold them until the cluster durable
+    // epoch covers them: Drain releases epochs strictly below its argument,
+    // so E_d durable means epochs <= E_d — i.e. < E_d + 1 — may go.
+    uint64_t release = node.epoch.load(std::memory_order_acquire);
+    if (options_.commit_wait == CommitWait::kDurable) {
+      release = std::min(
+          release, node.durable_cluster.load(std::memory_order_acquire) + 1);
+    }
+    w.tracker.Drain(release, NowNanos(), w.stats.latency);
 
     if (phase == Phase::kPartitioned) {
       if (w.partitions.empty()) {
@@ -1671,7 +1837,21 @@ Metrics StarEngine::Snapshot() const {
     }
     m.replication_ignored_batches +=
         node->replication_ignored.load(std::memory_order_relaxed);
+    if (node->logs != nullptr) {
+      m.wal_bytes += node->logs->bytes_written();
+      m.wal_fsyncs += node->logs->fsyncs();
+      m.wal_batches += node->logs->batches();
+      m.wal_epoch_markers += node->logs->epoch_markers();
+    }
+    if (node->checkpointer != nullptr) {
+      m.checkpoints += node->checkpointer->checkpoints_taken();
+      m.checkpoint_entries += node->checkpointer->entries_written();
+      m.checkpoint_bytes += node->checkpointer->bytes_written();
+    }
+    m.rejoin_fetch_bytes +=
+        node->rejoin_bytes.load(std::memory_order_relaxed);
   }
+  m.durable_epoch = durable_epoch();
   m.seconds = (NowNanos() - measure_start_ns_) / 1e9;
   m.network_bytes = transport_->total_bytes() - net_bytes_at_reset_;
   m.network_messages = transport_->total_messages() - net_msgs_at_reset_;
@@ -1741,7 +1921,9 @@ Metrics StarEngine::Stop() {
     // the shard queues (every accepted batch reaches the store — the
     // convergence checks depend on it) and joins the replay workers.
     if (node->sharded != nullptr) node->sharded->Stop();
-    for (auto& wal : node->wals) wal->Flush();
+    // Drain every lane into the loggers, fsync, emit final epoch markers,
+    // and join the logger threads.
+    if (node->logs != nullptr) node->logs->Stop();
   }
   if (coordinator_ != nullptr) coordinator_->Stop();
   transport_->Stop();

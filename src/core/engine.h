@@ -22,6 +22,7 @@
 #include "replication/applier.h"
 #include "replication/sharded_applier.h"
 #include "replication/stream.h"
+#include "wal/logger.h"
 #include "wal/wal.h"
 
 namespace star {
@@ -134,6 +135,32 @@ class StarEngine {
   }
   double current_tau_p_ms() const { return tau_p_ms_; }
   double current_tau_s_ms() const { return tau_s_ms_; }
+  /// Cluster-wide durable epoch E_d: every transaction of every epoch
+  /// <= E_d is fsynced on every healthy node.  On the coordinator this is
+  /// the authoritative value; node processes report the last E_d a phase
+  /// start published to them.
+  uint64_t durable_epoch() const {
+    if (coordinator_here_) {
+      return cluster_durable_.load(std::memory_order_acquire);
+    }
+    uint64_t d = 0;
+    for (const auto& n : nodes_) {
+      if (n != nullptr) {
+        d = std::max(d, n->durable_cluster.load(std::memory_order_acquire));
+      }
+    }
+    return d;
+  }
+  /// Bytes fetched over the rejoin path by hosted nodes (delta or full).
+  uint64_t rejoin_fetch_bytes() const {
+    uint64_t b = 0;
+    for (const auto& n : nodes_) {
+      if (n != nullptr) {
+        b += n->rejoin_bytes.load(std::memory_order_relaxed);
+      }
+    }
+    return b;
+  }
   int master_node() const {
     return master_node_.load(std::memory_order_relaxed);
   }
@@ -160,7 +187,7 @@ class StarEngine {
     WorkerStats stats;
     GroupCommitTracker tracker;
     std::unique_ptr<ReplicationStream> stream;
-    wal::WalWriter* wal = nullptr;  // owned by Node
+    wal::LogLane* wal = nullptr;  // owned by Node's logger pool
     /// Partitions this worker masters in the partitioned phase (rebuilt on
     /// view changes, while workers are parked).
     std::vector<int> partitions;
@@ -229,8 +256,21 @@ class StarEngine {
     /// Batches ignored because their source was marked failed — the
     /// formerly invisible early-return in the kReplicationBatch handler.
     std::atomic<uint64_t> replication_ignored{0};
-    std::vector<std::unique_ptr<wal::WalWriter>> wals;  // workers, io, shards
+    /// Group-commit substrate: one lane per log producer (workers, io
+    /// threads, replay shards), flushed by dedicated logger threads that
+    /// advance this node's durable epoch (wal/logger.h).
+    std::unique_ptr<wal::LoggerPool> logs;
     std::unique_ptr<wal::Checkpointer> checkpointer;
+    /// Cluster durable epoch E_d as last published by the coordinator's
+    /// phase starts: every epoch <= E_d is fsynced on every healthy node.
+    /// Read by workers in commit_wait=durable mode and used as the
+    /// checkpointer's stable ceiling.
+    std::atomic<uint64_t> durable_cluster{0};
+    /// Epoch this process recovered its database through at startup
+    /// (recover_on_start); gates the delta rejoin fetch.
+    uint64_t recovered_epoch = 0;
+    /// Payload bytes fetched by this node's rejoin fetch (delta or full).
+    std::atomic<uint64_t> rejoin_bytes{0};
     std::vector<std::unique_ptr<WorkerState>> workers;
     std::vector<std::thread> worker_threads;
     std::thread control_thread;
@@ -361,6 +401,11 @@ class StarEngine {
   std::thread coordinator_thread_;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> epoch_{1};
+  /// Coordinator-side cluster durable epoch: min over healthy nodes'
+  /// fence-reported durable watermarks, clamped to the last committed
+  /// epoch (epoch_ - 1) so a node that fsynced an epoch the fence later
+  /// reverted can never drag E_d past what actually committed.
+  std::atomic<uint64_t> cluster_durable_{0};
   std::atomic<SystemState> state_{SystemState::kStopped};
   std::vector<std::atomic<bool>> node_healthy_;
 

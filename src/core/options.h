@@ -28,6 +28,16 @@ inline const char* PhaseName(Phase p) {
   return "?";
 }
 
+/// When workers release committed results to the client-visible counters
+/// (GroupCommitTracker).  kNone releases at the epoch boundary (fence
+/// success), the paper's default; kDurable additionally holds results until
+/// the cluster durable epoch E_d covers them — every release is then backed
+/// by an fsync on every healthy node.
+enum class CommitWait : uint8_t {
+  kNone = 0,
+  kDurable = 1,
+};
+
 /// Configuration of a StarEngine instance.
 struct StarOptions {
   ClusterConfig cluster;
@@ -55,6 +65,19 @@ struct StarOptions {
   double checkpoint_period_ms = 500.0;
   std::string log_dir = "/tmp/star_logs";
   bool fsync = false;
+  /// Dedicated logger threads per node (group commit, wal/logger.h): the
+  /// fleet that batches published lane buffers into per-shard WAL files and
+  /// advances the node's durable epoch.  Clamped to [1, lanes].
+  int log_workers = 1;
+  /// Pin logger threads to cores (Linux; off by default — pointless on the
+  /// single-vCPU dev container).
+  bool logger_affinity = false;
+  /// See CommitWait.  kDurable requires durable_logging.
+  CommitWait commit_wait = CommitWait::kNone;
+  /// Recover the hosted nodes' databases from log_dir before serving
+  /// (checkpoint chain + log tail, wal::Recover).  A rejoining process sets
+  /// this to turn the snapshot refetch into a delta fetch.
+  bool recover_on_start = false;
 
   /// Maintain two versions per record so an uncommitted epoch can be
   /// reverted after a failure (Section 4.5.2).  Required for failure

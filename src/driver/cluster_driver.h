@@ -94,6 +94,10 @@ inline StarOptions ForRole(const StarOptions& base, bool coordinator,
   o.hosted_nodes.clear();
   if (!coordinator) o.hosted_nodes.push_back(node_id);
   o.rejoining = rejoining;
+  // A rejoining node with local logs recovers from its checkpoint chain +
+  // log tail first; the coordinator-driven refetch then streams only the
+  // delta (records with epochs past what recovery rebuilt).
+  if (rejoining && o.durable_logging) o.recover_on_start = true;
   return o;
 }
 
@@ -116,6 +120,22 @@ inline int RunNodeProcess(const StarOptions& base, const std::string& workload,
                static_cast<unsigned long long>(m.committed),
                static_cast<unsigned long long>(m.cross_partition),
                served ? "clean shutdown" : "TIMEOUT waiting for shutdown");
+  if (rejoining) {
+    // O(delta) rejoin check: with a recovered base the refetch must stream
+    // far less than the full tables.  STAR_REJOIN_MAX_BYTES (set by the
+    // delta-rejoin ctest) turns the printed number into a hard gate.
+    std::fprintf(stderr, "[node %d] rejoin_fetch_bytes=%llu\n", id,
+                 static_cast<unsigned long long>(m.rejoin_fetch_bytes));
+    const char* cap = std::getenv("STAR_REJOIN_MAX_BYTES");
+    if (cap != nullptr && m.rejoin_fetch_bytes >
+                              std::strtoull(cap, nullptr, 10)) {
+      std::fprintf(stderr,
+                   "[node %d] rejoin fetch exceeded cap %s — delta path "
+                   "regressed to a full-table stream\n",
+                   id, cap);
+      return 4;
+    }
+  }
   return served ? 0 : 2;
 }
 
@@ -152,6 +172,12 @@ inline int RunCoordinatorProcess(const StarOptions& base,
 inline int LaunchCluster(ClusterRunSpec spec) {
   spec.base.transport = net::TransportKind::kTcp;
   int n = spec.base.cluster.nodes();
+  if (spec.base.durable_logging) {
+    // Fresh log directory per launch: a rejoin recovery must never read
+    // WAL incarnations or checkpoint chains left by a previous run (the
+    // forked children inherit the amended path).
+    spec.base.log_dir += "/run_" + std::to_string(getpid());
+  }
   if (spec.base.tcp_base_port == 0) {
     spec.base.tcp_base_port = PickFreeBasePort(n + 1);
   }

@@ -47,10 +47,18 @@ void Usage() {
       "    --full=N --partial=N --workers=N --cross=F --workload=tpcc|ycsb\n"
       "    --replay-shards=N  (parallel replication replay workers per node)\n"
       "    --host=ADDR --base-port=P --fence-timeout-ms=MS --seconds=S\n"
+      "  durability (must also match across processes):\n"
+      "    --durable          (per-node logger pool, durable epochs)\n"
+      "    --fsync            (fsync each logger batch)\n"
+      "    --checkpoint       (incremental checkpoints off logger thread 0)\n"
+      "    --checkpoint-ms=MS --log-dir=PATH --log-workers=N\n"
+      "    --commit-wait=none|durable\n"
       "  launch mode only:\n"
       "    --kill-node=K --kill-after=S --rejoin-after=S --quiet\n"
       "  node mode only:\n"
-      "    --rejoin   (announce to the coordinator and refetch partitions)\n");
+      "    --rejoin   (announce to the coordinator and refetch partitions;\n"
+      "                with --durable, recovers locally first and fetches\n"
+      "                only the delta)\n");
 }
 
 }  // namespace
@@ -100,6 +108,27 @@ int main(int argc, char** argv) {
       spec.base.tcp_host = v;
     } else if (FlagValue(a, "--base-port", &v)) {
       spec.base.tcp_base_port = std::atoi(v);
+    } else if (std::strcmp(a, "--durable") == 0) {
+      spec.base.durable_logging = true;
+    } else if (std::strcmp(a, "--fsync") == 0) {
+      spec.base.fsync = true;
+    } else if (std::strcmp(a, "--checkpoint") == 0) {
+      spec.base.checkpointing = true;
+    } else if (FlagValue(a, "--checkpoint-ms", &v)) {
+      spec.base.checkpoint_period_ms = std::atof(v);
+    } else if (FlagValue(a, "--log-dir", &v)) {
+      spec.base.log_dir = v;
+    } else if (FlagValue(a, "--log-workers", &v)) {
+      spec.base.log_workers = std::atoi(v);
+    } else if (FlagValue(a, "--commit-wait", &v)) {
+      if (std::strcmp(v, "durable") == 0) {
+        spec.base.commit_wait = star::CommitWait::kDurable;
+      } else if (std::strcmp(v, "none") == 0) {
+        spec.base.commit_wait = star::CommitWait::kNone;
+      } else {
+        std::fprintf(stderr, "--commit-wait must be none|durable\n");
+        return 64;
+      }
     } else if (FlagValue(a, "--fence-timeout-ms", &v)) {
       spec.base.fence_timeout_ms = std::atof(v);
     } else if (FlagValue(a, "--seconds", &v)) {

@@ -53,6 +53,9 @@ enum class MsgType : uint16_t {
   kRejoinFetch = 92,       // coordinator -> rejoining node: start fetching
   kRejoinDone = 93,        // rejoining node -> coordinator (one-way)
   kRejoinRequest = 94,     // restarted node process -> coordinator (RPC)
+  kDeltaRequest = 95,      // rejoining node -> donor: {table, partition,
+                           //   since_epoch} — records changed after since
+  kDeltaResponse = 96,     // donor -> rejoining node: delta record dump
 
   // --- tests/examples ---
   kPing = 100,

@@ -1,0 +1,62 @@
+#ifndef STAR_WAL_CRASH_POINT_H_
+#define STAR_WAL_CRASH_POINT_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#include <atomic>
+#include <unistd.h>
+
+namespace star::wal {
+
+/// Deterministic crash injection for the durability tests.
+///
+/// The crash-recovery harness forks a child with STAR_CRASH_POINT set to a
+/// named durability boundary; when execution reaches that boundary the
+/// process dies with `_exit(2)` — no atexit handlers, no buffered-IO
+/// flushing, the closest a unit test gets to yanking the power cord (the
+/// kernel page cache still survives, which the torn-tail fixtures cover by
+/// corrupting files explicitly).
+///
+/// STAR_CRASH_SKIP=N delays death until the (N+1)-th time the named point
+/// is reached, so randomized iterations can kill the process at an
+/// arbitrary depth into the workload rather than always on first contact.
+///
+/// Defined boundaries (grep for MaybeCrash to keep this list honest):
+///   "pre-fsync"                     after WAL batch write, before fsync
+///   "post-fsync-pre-epoch-publish"  after epoch-marker fsync, before the
+///                                   durable epoch is published
+///   "mid-checkpoint-delta"          checkpoint data file partially written
+///   "mid-manifest-rename"           new data file durable, manifest not
+///                                   yet switched
+struct CrashPoint {
+  const char* point;   // nullptr => disabled
+  long skip;           // hits to survive before dying
+
+  static CrashPoint FromEnv() {
+    CrashPoint cp{nullptr, 0};
+    const char* p = std::getenv("STAR_CRASH_POINT");
+    if (p != nullptr && *p != '\0') {
+      cp.point = p;
+      if (const char* s = std::getenv("STAR_CRASH_SKIP")) {
+        cp.skip = std::strtol(s, nullptr, 10);
+      }
+    }
+    return cp;
+  }
+};
+
+inline void MaybeCrash(const char* point) {
+  static const CrashPoint cp = CrashPoint::FromEnv();
+  if (cp.point == nullptr) return;
+  if (std::strcmp(cp.point, point) != 0) return;
+  static std::atomic<long> hits{0};
+  if (hits.fetch_add(1, std::memory_order_relaxed) >= cp.skip) {
+    _exit(2);
+  }
+}
+
+}  // namespace star::wal
+
+#endif  // STAR_WAL_CRASH_POINT_H_

@@ -1,0 +1,180 @@
+#ifndef STAR_WAL_FORMAT_H_
+#define STAR_WAL_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include <string_view>
+
+#include "common/crc32.h"
+#include "common/serializer.h"
+
+namespace star::wal {
+
+/// Shared on-disk record framing for WAL shard files, the legacy per-worker
+/// WAL, and checkpoint data files.  Every entry is CRC-framed: the trailing
+/// u32 is a CRC-32 over all preceding bytes of the entry, so recovery can
+/// stop cleanly at a torn or bit-flipped tail instead of installing garbage.
+///
+///   write:  u8 tag=0 | i32 table | i32 partition | u64 key | u64 tid
+///           | u32 len | len value bytes | u32 crc
+///   epoch:  u8 tag=1 | u64 epoch | u32 crc
+///   delete: u8 tag=2 | i32 table | i32 partition | u64 key | u64 tid
+///           | u32 crc
+///   revert: u8 tag=3 | u64 epoch | u32 crc
+///
+/// Epoch markers mean "every entry written to THIS file before this point
+/// belongs to an epoch <= marker, and all of the writer's data for epochs
+/// <= marker is in the file".  Revert markers record a failed fence: epoch
+/// E was rolled back, so entries for E written before the marker must not
+/// be replayed (E can legitimately reappear later, after a successful
+/// re-fence — position matters, which is why it is a log entry and not
+/// file metadata).
+inline constexpr uint8_t kWriteTag = 0;
+inline constexpr uint8_t kEpochTag = 1;
+inline constexpr uint8_t kDeleteTag = 2;
+inline constexpr uint8_t kRevertTag = 3;
+
+// ---------------------------------------------------------------------------
+// Append helpers.  Each appends one fully-framed entry to `out`; the CRC is
+// computed over the bytes appended before it.
+
+inline void SealEntry(WriteBuffer* out, size_t start) {
+  const std::string& bytes = out->data();
+  uint32_t crc = Crc32(bytes.data() + start, bytes.size() - start);
+  out->Write<uint32_t>(crc);
+}
+
+inline void AppendWriteEntry(WriteBuffer* out, int32_t table,
+                             int32_t partition, uint64_t key, uint64_t tid,
+                             const void* value, uint32_t len) {
+  size_t start = out->data().size();
+  out->Write<uint8_t>(kWriteTag);
+  out->Write<int32_t>(table);
+  out->Write<int32_t>(partition);
+  out->Write<uint64_t>(key);
+  out->Write<uint64_t>(tid);
+  out->Write<uint32_t>(len);
+  out->WriteRaw(value, len);
+  SealEntry(out, start);
+}
+
+inline void AppendDeleteEntry(WriteBuffer* out, int32_t table,
+                              int32_t partition, uint64_t key, uint64_t tid) {
+  size_t start = out->data().size();
+  out->Write<uint8_t>(kDeleteTag);
+  out->Write<int32_t>(table);
+  out->Write<int32_t>(partition);
+  out->Write<uint64_t>(key);
+  out->Write<uint64_t>(tid);
+  SealEntry(out, start);
+}
+
+inline void AppendEpochEntry(WriteBuffer* out, uint64_t epoch) {
+  size_t start = out->data().size();
+  out->Write<uint8_t>(kEpochTag);
+  out->Write<uint64_t>(epoch);
+  SealEntry(out, start);
+}
+
+inline void AppendRevertEntry(WriteBuffer* out, uint64_t epoch) {
+  size_t start = out->data().size();
+  out->Write<uint8_t>(kRevertTag);
+  out->Write<uint64_t>(epoch);
+  SealEntry(out, start);
+}
+
+// ---------------------------------------------------------------------------
+// Cursor.  Bounds- and CRC-checked iteration over a byte span; unlike
+// ReadBuffer (whose checks are debug asserts) every read here is validated
+// in release builds, because log tails after a crash are expected to be
+// garbage and must be rejected, not trusted.
+
+struct LogEntry {
+  uint8_t tag = 0;
+  int32_t table = 0;
+  int32_t partition = 0;
+  uint64_t key = 0;
+  uint64_t tid = 0;
+  uint64_t epoch = 0;            // kEpochTag / kRevertTag
+  std::string_view value;        // kWriteTag
+};
+
+class LogCursor {
+ public:
+  explicit LogCursor(std::string_view data) : data_(data) {}
+
+  /// Advances to the next entry.  Returns false at end of data or at the
+  /// first torn/corrupt entry; `valid_bytes()` then marks the durable
+  /// prefix and `torn()` distinguishes the two outcomes.
+  bool Next(LogEntry* e) {
+    size_t pos = pos_;
+    uint8_t tag;
+    if (!Read(&pos, &tag)) return Stop();
+    e->tag = tag;
+    switch (tag) {
+      case kWriteTag: {
+        uint32_t len;
+        if (!Read(&pos, &e->table) || !Read(&pos, &e->partition) ||
+            !Read(&pos, &e->key) || !Read(&pos, &e->tid) ||
+            !Read(&pos, &len)) {
+          return Stop();
+        }
+        if (len > data_.size() - pos) return Stop();
+        e->value = data_.substr(pos, len);
+        pos += len;
+        break;
+      }
+      case kDeleteTag:
+        if (!Read(&pos, &e->table) || !Read(&pos, &e->partition) ||
+            !Read(&pos, &e->key) || !Read(&pos, &e->tid)) {
+          return Stop();
+        }
+        break;
+      case kEpochTag:
+      case kRevertTag:
+        if (!Read(&pos, &e->epoch)) return Stop();
+        break;
+      default:
+        return Stop();
+    }
+    uint32_t stored;
+    if (!Read(&pos, &stored)) return Stop();
+    uint32_t actual = Crc32(data_.data() + pos_, pos - sizeof(uint32_t) - pos_);
+    if (stored != actual) return Stop();
+    pos_ = pos;
+    ++index_;
+    return true;
+  }
+
+  /// Byte length of the valid prefix (end of the last good entry).
+  size_t valid_bytes() const { return pos_; }
+  /// Number of entries successfully decoded so far.
+  uint64_t index() const { return index_; }
+  /// True once iteration stopped before consuming all input — a torn or
+  /// corrupt tail (false while entries remain or after a clean end).
+  bool torn() const { return stopped_ && pos_ != data_.size(); }
+
+ private:
+  template <typename T>
+  bool Read(size_t* pos, T* out) {
+    if (data_.size() - *pos < sizeof(T)) return false;
+    std::memcpy(out, data_.data() + *pos, sizeof(T));
+    *pos += sizeof(T);
+    return true;
+  }
+
+  bool Stop() {
+    stopped_ = true;
+    return false;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  uint64_t index_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace star::wal
+
+#endif  // STAR_WAL_FORMAT_H_

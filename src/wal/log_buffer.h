@@ -1,0 +1,161 @@
+#ifndef STAR_WAL_LOG_BUFFER_H_
+#define STAR_WAL_LOG_BUFFER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string_view>
+
+#include "cc/write_set.h"
+#include "common/serializer.h"
+#include "common/spinlock.h"
+#include "common/thread_annotations.h"
+#include "wal/format.h"
+
+namespace star::wal {
+
+/// One in-flight log batch.  Buffers are owned by the logger pool and
+/// recycled through a freelist exactly like the replication payload pool:
+/// a lane fills one, hands it to its logger, and gets a recycled (already
+/// grown) buffer back, so the steady-state commit path never allocates.
+struct LogBuffer {
+  WriteBuffer data;
+  int lane = 0;
+  /// Highest epoch the lane had fully written when this buffer was
+  /// published (0 = no watermark).  The logger may advance its durable
+  /// bookkeeping for the lane only after this buffer — and everything the
+  /// lane published before it — is on disk.
+  uint64_t marked_epoch = 0;
+  /// Highest epoch rolled back by a failed fence while this buffer was
+  /// current (0 = none).  Forces the logger's watermark for the lane back
+  /// below the reverted epoch.
+  uint64_t revert_epoch = 0;
+
+  void Reset() {
+    data.Clear();
+    lane = 0;
+    marked_epoch = 0;
+    revert_epoch = 0;
+  }
+};
+
+/// Where full buffers go.  Implemented by the logger pool; split out as an
+/// interface so the lane layer (and its tests) need no logger threads.
+class BufferSink {
+ public:
+  virtual ~BufferSink() = default;
+  /// Returns a recycled (or fresh) buffer; never nullptr.
+  virtual LogBuffer* AcquireBuffer() = 0;
+  /// Takes ownership of a published buffer.
+  virtual void Submit(LogBuffer* buf) = 0;
+};
+
+/// A worker-side log lane: the append API of the old WalWriter, minus the
+/// file.  Commits buffer entries under a spinlock; once the buffer crosses
+/// the handoff threshold (or the fence marks an epoch) it is published to
+/// the dedicated logger thread, which owns write() and fsync().  This is
+/// the decoupling the durable-epoch design is built on — commit latency no
+/// longer contains storage latency.
+class LogLane {
+ public:
+  LogLane(int id, BufferSink* sink, size_t handoff_bytes)
+      : id_(id), sink_(sink), handoff_bytes_(handoff_bytes) {
+    cur_ = sink_->AcquireBuffer();
+    cur_->lane = id_;
+  }
+
+  LogLane(const LogLane&) = delete;
+  LogLane& operator=(const LogLane&) = delete;
+
+  ~LogLane() {
+    // The pool drains lanes before destruction; anything still here is a
+    // buffer with no published content.
+    SpinLockGuard g(mu_);
+    PublishLocked();
+  }
+
+  /// Buffers one committed write.
+  STAR_HOT_PATH void Append(int32_t table, int32_t partition, uint64_t key,
+                            uint64_t tid, std::string_view value) {
+    SpinLockGuard g(mu_);
+    AppendWriteEntry(&cur_->data, table, partition, key, tid, value.data(),
+                     static_cast<uint32_t>(value.size()));
+    if (cur_->data.size() >= handoff_bytes_) PublishLocked();
+  }
+
+  /// Buffers one committed delete (tombstone).
+  STAR_HOT_PATH void AppendDelete(int32_t table, int32_t partition,
+                                  uint64_t key, uint64_t tid) {
+    SpinLockGuard g(mu_);
+    AppendDeleteEntry(&cur_->data, table, partition, key, tid);
+    if (cur_->data.size() >= handoff_bytes_) PublishLocked();
+  }
+
+  /// Buffers a committed transaction's whole write set under one latch
+  /// acquisition — the per-commit fast path.
+  STAR_HOT_PATH void AppendCommit(uint64_t tid, const WriteSet& writes) {
+    SpinLockGuard g(mu_);
+    for (const auto& e : writes.entries()) {
+      if (e.is_delete) {
+        AppendDeleteEntry(&cur_->data, e.table, e.partition, e.key, tid);
+      } else {
+        std::string_view v = writes.ValueView(e);
+        AppendWriteEntry(&cur_->data, e.table, e.partition, e.key, tid,
+                         v.data(), static_cast<uint32_t>(v.size()));
+      }
+    }
+    if (cur_->data.size() >= handoff_bytes_) PublishLocked();
+  }
+
+  /// Fence: everything this lane will ever write for epochs <= `epoch` has
+  /// been appended.  Publishes immediately (even an empty buffer — the
+  /// watermark itself must reach the logger) and returns without touching
+  /// the disk; the logger thread turns the watermark into an on-disk epoch
+  /// marker once the batch is durable.
+  void MarkEpoch(uint64_t epoch) {
+    SpinLockGuard g(mu_);
+    cur_->marked_epoch = std::max(cur_->marked_epoch, epoch);
+    PublishLocked();
+  }
+
+  /// Failed fence: epoch `epoch` was rolled back.  Logged as a revert entry
+  /// (position in the file matters: the same epoch can commit later after a
+  /// successful re-fence) and published immediately.
+  void MarkRevert(uint64_t epoch) {
+    SpinLockGuard g(mu_);
+    AppendRevertEntry(&cur_->data, epoch);
+    cur_->revert_epoch = std::max(cur_->revert_epoch, epoch);
+    PublishLocked();
+  }
+
+  /// Hands whatever is buffered to the logger (drain/shutdown path).
+  void Publish() {
+    SpinLockGuard g(mu_);
+    PublishLocked();
+  }
+
+  int id() const { return id_; }
+
+ private:
+  void PublishLocked() STAR_REQUIRES(mu_) {
+    if (cur_->data.empty() && cur_->marked_epoch == 0 &&
+        cur_->revert_epoch == 0) {
+      return;
+    }
+    sink_->Submit(cur_);
+    cur_ = sink_->AcquireBuffer();
+    cur_->lane = id_;
+  }
+
+  const int id_;
+  BufferSink* const sink_;
+  const size_t handoff_bytes_;
+  LogBuffer* cur_ STAR_GUARDED_BY(mu_);
+  /// Appends come from one worker in the common case, but fence-time marks
+  /// on io/shard lanes arrive from the node control thread, and the rejoin
+  /// fetch thread shares the io lane — every mutation takes this latch.
+  SpinLock mu_;
+};
+
+}  // namespace star::wal
+
+#endif  // STAR_WAL_LOG_BUFFER_H_

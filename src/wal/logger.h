@@ -1,0 +1,155 @@
+#ifndef STAR_WAL_LOGGER_H_
+#define STAR_WAL_LOGGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/spinlock.h"
+#include "common/thread_annotations.h"
+#include "wal/log_buffer.h"
+
+namespace star::wal {
+
+class Checkpointer;
+
+struct LoggerPoolOptions {
+  std::string dir;
+  int node = 0;
+  /// Lanes = log producers (workers + io threads + replay shards).
+  int num_lanes = 1;
+  /// Dedicated logger threads; each owns one shard WAL file and serves the
+  /// lanes with `lane % num_loggers == logger`.  Clamped to [1, num_lanes].
+  int num_loggers = 1;
+  bool fsync = false;
+  /// Pin logger threads to cores (Linux only; off by default — the dev
+  /// container is single-vCPU and pinning there just fights the scheduler).
+  bool affinity = false;
+  /// A lane hands its buffer to the logger once it holds this many bytes
+  /// (epoch marks publish immediately regardless).
+  size_t handoff_bytes = 1 << 16;
+};
+
+/// Durable-epoch group commit (paper §4.5.1, exemplar: enclaveSilo's
+/// LogBufferPool / durableEpochWork).  Workers append to in-memory lanes;
+/// a configurable fleet of logger threads batches the published buffers
+/// into per-shard WAL files, fsyncs, and advances a per-logger durable
+/// watermark = min over its lanes' epoch marks.  The node's durable epoch
+/// is the min over loggers: every entry of every epoch <= it is on disk.
+///
+/// Each engine restart writes a fresh *incarnation* of shard files
+/// (`wal_node<N>_inc<I>_shard<S>.log`) — appending "wb"-style truncation
+/// destroyed history across restarts before.  An incarnation only counts
+/// toward recovery's global committed epoch once its `.ok` completeness
+/// marker exists (`MarkComplete()`): a process that crashes mid-rejoin has
+/// real durable markers but an incomplete state basis, and must not
+/// overclaim.
+class LoggerPool : public BufferSink {
+ public:
+  explicit LoggerPool(LoggerPoolOptions opts);
+  ~LoggerPool() override;
+
+  LoggerPool(const LoggerPool&) = delete;
+  LoggerPool& operator=(const LoggerPool&) = delete;
+
+  LogLane* lane(int i) { return lanes_[static_cast<size_t>(i)].get(); }
+  int num_lanes() const { return static_cast<int>(lanes_.size()); }
+  int incarnation() const { return incarnation_; }
+
+  // BufferSink: recycled buffers, freelist-backed like the payload pool.
+  LogBuffer* AcquireBuffer() override;
+  void Submit(LogBuffer* buf) override;
+
+  /// Hands the checkpointer to logger thread 0, which runs it on its own
+  /// cadence — checkpoints are written by the logger fleet, off the
+  /// worker's lane.
+  void AttachCheckpointer(Checkpointer* ckpt, double period_ms);
+
+  /// Every entry of every epoch <= this is fsynced (min over loggers).
+  uint64_t durable_epoch() const;
+
+  /// Declares this incarnation's files a complete recovery basis (writes
+  /// the `.ok` marker + directory fsync).  Called at startup for nodes
+  /// that populated or recovered locally, and at rejoin-fetch completion
+  /// for rejoining nodes.
+  void MarkComplete();
+
+  /// Records a failed fence on every lane (revert entries + watermark
+  /// rollback); see LogLane::MarkRevert.
+  void MarkRevert(uint64_t epoch);
+
+  /// Publishes all lanes and blocks until every logger's queue is on disk.
+  void Drain();
+
+  /// Drain, stop and join the logger threads, close the files.  Idempotent.
+  void Stop();
+
+  uint64_t bytes_written() const { return Sum(&Logger::bytes); }
+  uint64_t fsyncs() const { return Sum(&Logger::fsyncs); }
+  uint64_t batches() const { return Sum(&Logger::batches); }
+  uint64_t epoch_markers() const { return Sum(&Logger::markers); }
+
+  static std::string ShardPath(const std::string& dir, int node, int inc,
+                               int shard);
+  static std::string CompletePath(const std::string& dir, int node, int inc);
+  /// Highest incarnation number present in `dir` for `node` (0 if none;
+  /// the legacy `_worker` files are incarnation 0).
+  static int ScanMaxIncarnation(const std::string& dir, int node);
+
+ private:
+  /// One logger thread + its shard file.  `marked`/`last_marker` are owned
+  /// by the logger thread exclusively (no lock); the queue is the only
+  /// cross-thread state.
+  struct STAR_CACHELINE_ALIGNED Logger {
+    int id = 0;
+    int fd = -1;
+    std::vector<int> lanes;                   // lane ids this logger serves
+    std::vector<uint64_t> marked;             // per-lane watermark (by id)
+    uint64_t last_marker = 0;                 // last epoch marker on disk
+    Mutex mu;
+    CondVar cv;
+    std::vector<LogBuffer*> queue STAR_GUARDED_BY(mu);
+    bool busy STAR_GUARDED_BY(mu) = false;    // batch in flight off-queue
+    bool running STAR_GUARDED_BY(mu) = true;
+    std::atomic<uint64_t> durable{0};
+    std::atomic<uint64_t> bytes{0};
+    std::atomic<uint64_t> fsyncs{0};
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> markers{0};
+    std::thread thread;
+  };
+
+  void RunLogger(Logger& lg);
+  void WriteBatch(Logger& lg, std::vector<LogBuffer*>& batch);
+  void MaybeCheckpoint();
+
+  uint64_t Sum(std::atomic<uint64_t> Logger::*field) const {
+    uint64_t total = 0;
+    for (const auto& lg : loggers_) {
+      total += (lg.get()->*field).load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  LoggerPoolOptions opts_;
+  int incarnation_ = 1;
+  std::vector<std::unique_ptr<Logger>> loggers_;
+  std::vector<std::unique_ptr<LogLane>> lanes_;
+
+  SpinLock free_mu_;
+  std::vector<std::unique_ptr<LogBuffer>> all_buffers_ STAR_GUARDED_BY(free_mu_);
+  std::vector<LogBuffer*> free_buffers_ STAR_GUARDED_BY(free_mu_);
+
+  std::atomic<Checkpointer*> ckpt_{nullptr};  // attached after threads start
+  std::atomic<int64_t> ckpt_period_ns_{0};
+  std::atomic<int64_t> ckpt_last_ns_{0};
+  bool stopped_ = false;
+};
+
+}  // namespace star::wal
+
+#endif  // STAR_WAL_LOGGER_H_

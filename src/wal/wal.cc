@@ -1,17 +1,61 @@
 #include "wal/wal.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "common/tid.h"
 #include "storage/record.h"
+#include "wal/crash_point.h"
 
 namespace star::wal {
+
+namespace {
+
+constexpr uint64_t kCkptMagic = 0x31504B4352415453ull;      // "STARCKP1"
+constexpr uint64_t kManifestMagic = 0x314D4B4352415453ull;  // "STARCKM1"
+
+std::string ReadWholeFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string data(static_cast<size_t>(size), '\0');
+  size_t got = std::fread(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  data.resize(got);
+  return data;
+}
+
+/// Write + flush + fsync + close, returning false on any failure.
+bool WriteFileDurably(const std::string& path, const std::string& bytes) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  ok = std::fflush(f) == 0 && ok;
+  ok = ::fsync(::fileno(f)) == 0 && ok;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+void FsyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
 
 std::string WalPath(const std::string& dir, int node, int worker) {
   return dir + "/wal_node" + std::to_string(node) + "_worker" +
@@ -24,7 +68,12 @@ WalWriter::WalWriter(std::string path, bool fsync_on_flush, size_t flush_bytes)
     : path_(std::move(path)),
       file_(std::fopen(path_.c_str(), "wb")),
       fsync_(fsync_on_flush),
-      flush_bytes_(flush_bytes) {}
+      flush_bytes_(flush_bytes) {
+  // The newly-created file's directory entry must survive a crash too.
+  if (fsync_) {
+    FsyncDir(std::filesystem::path(path_).parent_path().string());
+  }
+}
 
 WalWriter::~WalWriter() {
   // No thread can race a dtor; the guard satisfies the analysis and keeps
@@ -36,31 +85,18 @@ WalWriter::~WalWriter() {
   }
 }
 
-void WalWriter::AppendLocked(int32_t table, int32_t partition, uint64_t key,
-                             uint64_t tid, std::string_view value) {
-  buf_.Write<uint8_t>(kWriteTag);
-  buf_.Write<int32_t>(table);
-  buf_.Write<int32_t>(partition);
-  buf_.Write<uint64_t>(key);
-  buf_.Write<uint64_t>(tid);
-  buf_.WriteBytes(value.data(), value.size());
-}
-
 void WalWriter::Append(int32_t table, int32_t partition, uint64_t key,
                        uint64_t tid, std::string_view value) {
   SpinLockGuard g(mu_);
-  AppendLocked(table, partition, key, tid, value);
+  AppendWriteEntry(&buf_, table, partition, key, tid, value.data(),
+                   static_cast<uint32_t>(value.size()));
   if (buf_.size() >= flush_bytes_) FlushLocked();
 }
 
 void WalWriter::AppendDelete(int32_t table, int32_t partition, uint64_t key,
                              uint64_t tid) {
   SpinLockGuard g(mu_);
-  buf_.Write<uint8_t>(kDeleteTag);
-  buf_.Write<int32_t>(table);
-  buf_.Write<int32_t>(partition);
-  buf_.Write<uint64_t>(key);
-  buf_.Write<uint64_t>(tid);
+  AppendDeleteEntry(&buf_, table, partition, key, tid);
   if (buf_.size() >= flush_bytes_) FlushLocked();
 }
 
@@ -68,13 +104,11 @@ void WalWriter::AppendCommit(uint64_t tid, const WriteSet& writes) {
   SpinLockGuard g(mu_);
   for (const auto& e : writes.entries()) {
     if (e.is_delete) {
-      buf_.Write<uint8_t>(kDeleteTag);
-      buf_.Write<int32_t>(e.table);
-      buf_.Write<int32_t>(e.partition);
-      buf_.Write<uint64_t>(e.key);
-      buf_.Write<uint64_t>(tid);
+      AppendDeleteEntry(&buf_, e.table, e.partition, e.key, tid);
     } else {
-      AppendLocked(e.table, e.partition, e.key, tid, writes.ValueView(e));
+      std::string_view v = writes.ValueView(e);
+      AppendWriteEntry(&buf_, e.table, e.partition, e.key, tid, v.data(),
+                       static_cast<uint32_t>(v.size()));
     }
   }
   if (buf_.size() >= flush_bytes_) FlushLocked();
@@ -82,8 +116,7 @@ void WalWriter::AppendCommit(uint64_t tid, const WriteSet& writes) {
 
 void WalWriter::MarkEpochAndFlush(uint64_t epoch) {
   SpinLockGuard g(mu_);
-  buf_.Write<uint8_t>(kEpochTag);
-  buf_.Write<uint64_t>(epoch);
+  AppendEpochEntry(&buf_, epoch);
   FlushLocked();
 }
 
@@ -96,6 +129,7 @@ void WalWriter::FlushLocked() {
   if (buf_.empty() || file_ == nullptr) return;
   std::fwrite(buf_.data().data(), 1, buf_.size(), file_);
   std::fflush(file_);
+  MaybeCrash("pre-fsync");
   if (fsync_) {
     ::fsync(::fileno(file_));
   }
@@ -103,24 +137,111 @@ void WalWriter::FlushLocked() {
   buf_.Clear();
 }
 
+// --- Checkpoint manifest ---
+
+std::string CheckpointManifestPath(const std::string& dir, int node) {
+  return dir + "/ckpt_node" + std::to_string(node) + ".manifest";
+}
+
+bool LoadCheckpointManifest(const std::string& path,
+                            std::vector<CheckpointChainEntry>* out) {
+  out->clear();
+  std::string data = ReadWholeFile(path);
+  if (data.size() < sizeof(uint64_t) + sizeof(uint32_t) * 2) return false;
+
+  uint32_t stored;
+  std::memcpy(&stored, data.data() + data.size() - sizeof(uint32_t),
+              sizeof(uint32_t));
+  if (stored != Crc32(data.data(), data.size() - sizeof(uint32_t))) {
+    return false;
+  }
+
+  size_t pos = 0;
+  size_t end = data.size() - sizeof(uint32_t);
+  auto read = [&](void* dst, size_t n) {
+    if (end - pos < n) return false;
+    std::memcpy(dst, data.data() + pos, n);
+    pos += n;
+    return true;
+  };
+  uint64_t magic;
+  uint32_t count;
+  if (!read(&magic, sizeof(magic)) || magic != kManifestMagic) return false;
+  if (!read(&count, sizeof(count))) return false;
+  for (uint32_t i = 0; i < count; ++i) {
+    CheckpointChainEntry e;
+    uint32_t name_len;
+    if (!read(&e.kind, 1) || !read(&e.from_epoch, 8) ||
+        !read(&e.stable_epoch, 8) || !read(&name_len, 4) ||
+        name_len > end - pos) {
+      out->clear();
+      return false;
+    }
+    e.file.assign(data.data() + pos, name_len);
+    pos += name_len;
+    out->push_back(std::move(e));
+  }
+  if (pos != end) {
+    out->clear();
+    return false;
+  }
+  return true;
+}
+
 // --- Checkpointer ---
 
-std::string Checkpointer::FinalPath() const {
-  return dir_ + "/ckpt_node" + std::to_string(node_) + ".dat";
+Checkpointer::Checkpointer(Database* db, std::string dir, int node,
+                           const std::atomic<uint64_t>* stable_epoch)
+    : db_(db), dir_(std::move(dir)), node_(node), stable_epoch_(stable_epoch) {
+  // Continue an existing chain across restarts; a torn manifest means the
+  // chain is unusable, so start a fresh one (the first run writes a base).
+  MutexLock l(run_mu_);
+  if (LoadCheckpointManifest(ManifestPath(), &chain_)) {
+    for (const auto& e : chain_) {
+      // Seq numbers are embedded in filenames: ckpt_node<N>_<seq>.dat.
+      size_t us = e.file.rfind('_');
+      if (us != std::string::npos) {
+        next_seq_ = std::max(
+            next_seq_, static_cast<uint64_t>(
+                           std::atoll(e.file.c_str() + us + 1)) + 1);
+      }
+    }
+  }
+}
+
+std::string Checkpointer::ManifestPath() const {
+  return CheckpointManifestPath(dir_, node_);
 }
 
 uint64_t Checkpointer::RunOnce() {
-  // Record the epoch e_c at checkpoint start; after completion all logs
-  // earlier than e_c could be truncated (we keep them: replay via the
-  // Thomas rule is idempotent, and the benches measure logging cost, not
-  // disk reclamation).
-  uint64_t start_epoch = epoch_->load(std::memory_order_acquire);
-  std::string tmp = FinalPath() + ".tmp";
+  MutexLock l(run_mu_);
+  uint64_t stable = stable_epoch_->load(std::memory_order_acquire);
+  if (stable == 0) return 0;
+  uint64_t from = chain_.empty() ? 0 : chain_.back().stable_epoch;
+  uint8_t kind = chain_.empty() ? 0 : 1;
+  if (kind == 1 && stable <= from) return from;  // nothing new is durable
+
+  std::string name = "ckpt_node" + std::to_string(node_) + "_" +
+                     std::to_string(next_seq_) + ".dat";
+  std::string tmp = dir_ + "/" + name + ".tmp";
   FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) return start_epoch;
+  if (f == nullptr) return from;
 
   WriteBuffer buf;
-  buf.Write<uint64_t>(start_epoch);
+  {
+    size_t start = buf.data().size();
+    buf.Write<uint64_t>(kCkptMagic);
+    buf.Write<uint8_t>(kind);
+    buf.Write<uint64_t>(from);
+    buf.Write<uint64_t>(stable);
+    SealEntry(&buf, start);
+  }
+  std::fwrite(buf.data().data(), 1, buf.size(), f);
+  uint64_t file_bytes = buf.size();
+  buf.Clear();
+  MaybeCrash("mid-checkpoint-delta");
+
+  uint64_t entries = 0;
   std::string scratch;
   for (int t = 0; t < db_->num_tables(); ++t) {
     for (int p = 0; p < db_->num_partitions(); ++p) {
@@ -130,25 +251,80 @@ uint64_t Checkpointer::RunOnce() {
       ht->ForEach([&](uint64_t key, Record* rec, char* value) {
         // Consistent per-record read; the snapshot as a whole is fuzzy.
         uint64_t w = rec->ReadStable(scratch.data(), scratch.size(), value);
-        if (Record::IsAbsent(w)) return;
-        buf.Write<int32_t>(t);
-        buf.Write<int32_t>(p);
-        buf.Write<uint64_t>(key);
-        buf.Write<uint64_t>(Record::TidOf(w));
-        buf.WriteBytes(scratch.data(), scratch.size());
+        uint64_t tid = Record::TidOf(w);
+        uint64_t epoch = Tid::Epoch(tid);
+        // Above the stable ceiling the log tail is authoritative — and the
+        // epoch might yet revert; never bake it into a checkpoint.
+        if (epoch > stable) return;
+        if (Record::IsAbsent(w)) {
+          // Tombstones matter only to deltas: the base encodes absence by
+          // omission, and pre-history absences (tid 0) never moved.
+          if (kind == 1 && tid != 0 && epoch > from) {
+            AppendDeleteEntry(&buf, t, p, key, tid);
+            ++entries;
+          }
+          return;
+        }
+        if (kind == 1 && epoch <= from) return;  // unchanged since last link
+        AppendWriteEntry(&buf, t, p, key, tid, scratch.data(),
+                         static_cast<uint32_t>(scratch.size()));
+        ++entries;
         if (buf.size() >= (1u << 20)) {
           std::fwrite(buf.data().data(), 1, buf.size(), f);
+          file_bytes += buf.size();
           buf.Clear();
         }
       });
     }
   }
   std::fwrite(buf.data().data(), 1, buf.size(), f);
+  file_bytes += buf.size();
   std::fflush(f);
   ::fsync(::fileno(f));
   std::fclose(f);
-  std::filesystem::rename(tmp, FinalPath());
-  return start_epoch;
+
+  if (kind == 1 && entries == 0) {
+    // An empty delta would only grow the chain; the log tail already covers
+    // (from, stable] and recovery does not need a placeholder link.
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return from;
+  }
+
+  std::error_code ec;
+  std::filesystem::rename(tmp, dir_ + "/" + name, ec);
+  if (ec) return from;
+  FsyncDir(dir_);
+
+  chain_.push_back(CheckpointChainEntry{kind, from, stable, name});
+  ++next_seq_;
+
+  WriteBuffer mf;
+  mf.Write<uint64_t>(kManifestMagic);
+  mf.Write<uint32_t>(static_cast<uint32_t>(chain_.size()));
+  for (const auto& e : chain_) {
+    mf.Write<uint8_t>(e.kind);
+    mf.Write<uint64_t>(e.from_epoch);
+    mf.Write<uint64_t>(e.stable_epoch);
+    mf.Write<uint32_t>(static_cast<uint32_t>(e.file.size()));
+    mf.WriteRaw(e.file.data(), e.file.size());
+  }
+  mf.Write<uint32_t>(Crc32(mf.data().data(), mf.size()));
+
+  std::string mtmp = ManifestPath() + ".tmp";
+  if (WriteFileDurably(mtmp, mf.data())) {
+    // The new link's data file is durable but the manifest still names the
+    // old chain: dying exactly here must leave recovery on the old chain
+    // with the new file a harmless orphan.
+    MaybeCrash("mid-manifest-rename");
+    std::filesystem::rename(mtmp, ManifestPath(), ec);
+    if (!ec) FsyncDir(dir_);
+  }
+
+  taken_.fetch_add(1, std::memory_order_relaxed);
+  entries_.fetch_add(entries, std::memory_order_relaxed);
+  bytes_.fetch_add(file_bytes, std::memory_order_relaxed);
+  return stable;
 }
 
 void Checkpointer::StartPeriodic(double period_ms) {
@@ -173,100 +349,198 @@ void Checkpointer::Stop() {
 
 namespace {
 
-std::string ReadWholeFile(const std::string& path) {
-  FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return {};
-  std::fseek(f, 0, SEEK_END);
-  long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  std::string data(static_cast<size_t>(size), '\0');
-  size_t got = std::fread(data.data(), 1, data.size(), f);
-  std::fclose(f);
-  data.resize(got);
-  return data;
+/// One scanned log file: its bytes, the revert-aware recoverable epoch, and
+/// where the last revert of each epoch sits (entry ordinal) so replay can
+/// skip entries shadowed by a rollback.
+struct ScannedLog {
+  std::string path;
+  int incarnation = 0;
+  std::string data;
+  uint64_t recoverable = 0;
+  std::unordered_map<uint64_t, uint64_t> last_revert;  // epoch -> ordinal
+  bool torn = false;
+};
+
+void ScanLog(ScannedLog* log) {
+  LogCursor cur(log->data);
+  LogEntry e;
+  uint64_t running = 0;
+  uint64_t ordinal = 0;
+  while (cur.Next(&e)) {
+    if (e.tag == kEpochTag) {
+      running = std::max(running, e.epoch);
+    } else if (e.tag == kRevertTag) {
+      if (e.epoch > 0) running = std::min(running, e.epoch - 1);
+      log->last_revert[e.epoch] = ordinal;
+    }
+    ++ordinal;
+  }
+  log->recoverable = running;
+  log->torn = cur.torn();
+}
+
+struct ParsedCheckpoint {
+  std::string data;
+  size_t entries_off = 0;
+};
+
+/// Validates magic + header CRC + every entry (a checkpoint file is written
+/// via tmp/rename, so a torn one is corruption, not a crash artifact — the
+/// whole chain is rejected rather than half-trusted).
+bool ParseCheckpointFile(const std::string& path,
+                         const CheckpointChainEntry& link,
+                         ParsedCheckpoint* out) {
+  out->data = ReadWholeFile(path);
+  constexpr size_t kHeader = 8 + 1 + 8 + 8 + 4;
+  if (out->data.size() < kHeader) return false;
+  uint32_t stored;
+  std::memcpy(&stored, out->data.data() + kHeader - 4, sizeof(uint32_t));
+  if (stored != Crc32(out->data.data(), kHeader - 4)) return false;
+  uint64_t magic;
+  std::memcpy(&magic, out->data.data(), sizeof(magic));
+  if (magic != kCkptMagic) return false;
+  if (static_cast<uint8_t>(out->data[8]) != link.kind) return false;
+  out->entries_off = kHeader;
+  LogCursor cur(std::string_view(out->data).substr(kHeader));
+  LogEntry e;
+  while (cur.Next(&e)) {
+    if (e.tag != kWriteTag && e.tag != kDeleteTag) return false;
+  }
+  return !cur.torn();
+}
+
+void ApplyEntry(Database* db, const LogEntry& e) {
+  HashTable* ht = db->table(e.table, e.partition);
+  if (ht == nullptr) return;
+  HashTable::Row row = ht->GetOrInsertRow(e.key);
+  if (e.tag == kDeleteTag) {
+    row.rec->ApplyThomasDelete(e.tid, row.size, row.value, db->two_version());
+  } else {
+    row.rec->ApplyThomas(e.tid, e.value.data(), row.size, row.value,
+                         db->two_version());
+  }
 }
 
 }  // namespace
 
-RecoveryResult Recover(Database* db, const std::string& dir, int node,
-                       int num_workers) {
+RecoveryResult Recover(Database* db, const std::string& dir, int node) {
   RecoveryResult result;
 
-  // 1. Load the checkpoint, if any.  It may be fuzzy; the Thomas write rule
-  //    during log replay corrects it.
-  std::string ckpt =
-      ReadWholeFile(dir + "/ckpt_node" + std::to_string(node) + ".dat");
-  if (!ckpt.empty()) {
-    ReadBuffer in(ckpt);
-    (void)in.Read<uint64_t>();  // e_c: informational
-    while (!in.Done()) {
-      int32_t t = in.Read<int32_t>();
-      int32_t p = in.Read<int32_t>();
-      uint64_t key = in.Read<uint64_t>();
-      uint64_t tid = in.Read<uint64_t>();
-      std::string_view value = in.ReadBytes();
-      HashTable* ht = db->table(t, p);
-      if (ht == nullptr) continue;
-      HashTable::Row row = ht->GetOrInsertRow(key);
-      row.rec->ApplyThomas(tid, value.data(), row.size, row.value,
-                           db->two_version());
-      ++result.checkpoint_entries;
+  // 1. Glob the directory: legacy per-worker files are incarnation 0;
+  //    logger-pool shard files carry their incarnation in the name, with a
+  //    sibling `.ok` marking the incarnation as a complete recovery basis.
+  std::vector<ScannedLog> logs;
+  std::map<int, bool> incarnation_complete;
+  const std::string worker_prefix =
+      "wal_node" + std::to_string(node) + "_worker";
+  const std::string inc_prefix = "wal_node" + std::to_string(node) + "_inc";
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind(worker_prefix, 0) == 0) {
+      ScannedLog log;
+      log.path = entry.path().string();
+      log.incarnation = 0;
+      incarnation_complete[0] = true;  // legacy files predate the marker
+      logs.push_back(std::move(log));
+    } else if (name.rfind(inc_prefix, 0) == 0) {
+      int inc = std::atoi(name.c_str() + inc_prefix.size());
+      if (name.size() > 3 && name.compare(name.size() - 3, 3, ".ok") == 0) {
+        incarnation_complete[inc] = true;
+      } else if (name.find("_shard") != std::string::npos) {
+        ScannedLog log;
+        log.path = entry.path().string();
+        log.incarnation = inc;
+        if (incarnation_complete.find(inc) == incarnation_complete.end()) {
+          incarnation_complete[inc] = false;
+        }
+        logs.push_back(std::move(log));
+      }
     }
   }
 
-  // 2. First pass over the logs: the recoverable epoch is the largest epoch
-  //    whose commit marker every worker log contains.
-  std::vector<std::string> logs(num_workers);
-  uint64_t committed = ~0ull;
-  for (int w = 0; w < num_workers; ++w) {
-    logs[w] = ReadWholeFile(WalPath(dir, node, w));
-    uint64_t max_marker = 0;
-    ReadBuffer in(logs[w]);
-    while (!in.Done()) {
-      uint8_t tag = in.Read<uint8_t>();
-      if (tag == WalWriter::kEpochTag) {
-        max_marker = std::max(max_marker, in.Read<uint64_t>());
-      } else {
-        in.Skip(4 + 4 + 8 + 8);
-        if (tag == WalWriter::kWriteTag) (void)in.ReadBytes();
-      }
+  // 2. Scan: per incarnation the recoverable epoch is the min over its
+  //    files of the (revert-adjusted) highest marker; the global committed
+  //    epoch is the max over complete incarnations.  An incomplete
+  //    incarnation (crashed mid-rejoin-fetch) has honest markers but an
+  //    incomplete state basis — its entries still replay below its own
+  //    recoverable epoch, it just cannot *claim* that epoch for the node.
+  std::map<int, uint64_t> inc_recoverable;
+  for (auto& log : logs) {
+    log.data = ReadWholeFile(log.path);
+    ScanLog(&log);
+    if (log.torn) ++result.torn_files;
+    auto it = inc_recoverable.find(log.incarnation);
+    if (it == inc_recoverable.end()) {
+      inc_recoverable[log.incarnation] = log.recoverable;
+    } else {
+      it->second = std::min(it->second, log.recoverable);
     }
-    committed = std::min(committed, max_marker);
   }
-  if (committed == ~0ull) committed = 0;
+  uint64_t committed = 0;
+  for (const auto& [inc, rec] : inc_recoverable) {
+    if (incarnation_complete[inc]) committed = std::max(committed, rec);
+  }
   result.committed_epoch = committed;
+  result.incarnations = static_cast<int>(inc_recoverable.size());
 
-  // 3. Replay writes with epoch <= committed under the Thomas write rule;
-  //    newer entries belong to an epoch that never committed (Figure 6's
-  //    "revert to epoch" behaviour falls out of skipping them).
-  for (int w = 0; w < num_workers; ++w) {
-    ReadBuffer in(logs[w]);
-    while (!in.Done()) {
-      uint8_t tag = in.Read<uint8_t>();
-      if (tag == WalWriter::kEpochTag) {
-        (void)in.Read<uint64_t>();
-        continue;
+  // 3. Install the checkpoint chain (base, then deltas), if the manifest
+  //    and every link validate.  Entries above the committed epoch are
+  //    skipped: a checkpoint written by a later-crashed incarnation may
+  //    cover epochs this recovery cannot prove durable, and under-install
+  //    is always safe (logs or the rejoin delta fetch re-cover them).
+  std::vector<CheckpointChainEntry> chain;
+  if (LoadCheckpointManifest(CheckpointManifestPath(dir, node), &chain) &&
+      !chain.empty()) {
+    std::vector<ParsedCheckpoint> files(chain.size());
+    bool ok = true;
+    for (size_t i = 0; i < chain.size(); ++i) {
+      if (!ParseCheckpointFile(dir + "/" + chain[i].file, chain[i],
+                               &files[i])) {
+        ok = false;
+        break;
       }
-      int32_t t = in.Read<int32_t>();
-      int32_t p = in.Read<int32_t>();
-      uint64_t key = in.Read<uint64_t>();
-      uint64_t tid = in.Read<uint64_t>();
-      std::string_view value;
-      if (tag == WalWriter::kWriteTag) value = in.ReadBytes();
-      if (Tid::Epoch(tid) > committed) {
+    }
+    if (ok) {
+      for (const auto& pc : files) {
+        LogCursor cur(std::string_view(pc.data).substr(pc.entries_off));
+        LogEntry e;
+        while (cur.Next(&e)) {
+          if (e.tid != Database::kLoadTid && Tid::Epoch(e.tid) > committed) {
+            continue;
+          }
+          ApplyEntry(db, e);
+          ++result.checkpoint_entries;
+        }
+      }
+      result.used_checkpoint = true;
+      result.has_base = chain.front().kind == 0;
+    }
+  }
+
+  // 4. Replay log entries with epoch <= their own incarnation's recoverable
+  //    epoch under the Thomas write rule; entries of an epoch that a later
+  //    revert entry in the same file rolled back are skipped (the same
+  //    epoch may recommit after the revert — position decides).
+  for (const auto& log : logs) {
+    uint64_t ceiling = inc_recoverable[log.incarnation];
+    LogCursor cur(log.data);
+    LogEntry e;
+    uint64_t ordinal = 0;
+    while (cur.Next(&e)) {
+      uint64_t this_ordinal = ordinal++;
+      if (e.tag != kWriteTag && e.tag != kDeleteTag) continue;
+      uint64_t epoch = Tid::Epoch(e.tid);
+      if (epoch > ceiling) {
         ++result.log_entries_skipped;
         continue;
       }
-      HashTable* ht = db->table(t, p);
-      if (ht == nullptr) continue;
-      HashTable::Row row = ht->GetOrInsertRow(key);
-      if (tag == WalWriter::kDeleteTag) {
-        row.rec->ApplyThomasDelete(tid, row.size, row.value,
-                                   db->two_version());
-      } else {
-        row.rec->ApplyThomas(tid, value.data(), row.size, row.value,
-                             db->two_version());
+      auto rv = log.last_revert.find(epoch);
+      if (rv != log.last_revert.end() && rv->second > this_ordinal) {
+        ++result.log_entries_skipped;
+        continue;
       }
+      ApplyEntry(db, e);
       ++result.log_entries_replayed;
     }
   }

@@ -7,23 +7,37 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <vector>
 
 #include "cc/write_set.h"
+#include "common/mutex.h"
 #include "common/serializer.h"
 #include "common/spinlock.h"
 #include "common/thread_annotations.h"
 #include "storage/database.h"
+#include "wal/format.h"
 
 namespace star::wal {
+
+/// fsyncs a directory so that file creations and renames inside it survive
+/// a crash — fsyncing the file alone pins the *bytes*, not the directory
+/// entry that names them.
+void FsyncDir(const std::string& dir);
 
 /// Per-worker write-ahead log (Section 4.5.1): "each worker thread has a
 /// local recovery log.  The writes of committed transactions along with some
 /// metadata are buffered in memory and periodically flushed."
 ///
-/// Record entry: key, value and TID (the TID embeds the epoch).  Epoch
-/// markers are appended at every replication fence; recovery replays only
-/// epochs whose marker is present in *every* worker log, which restores the
-/// database "to the end of the last epoch" (Section 4.5.3, Case 4).
+/// Record entry: key, value and TID (the TID embeds the epoch), CRC-framed
+/// per wal/format.h.  Epoch markers are appended at every replication fence;
+/// recovery replays only epochs whose marker is present in *every* log,
+/// which restores the database "to the end of the last epoch" (Section
+/// 4.5.3, Case 4).
+///
+/// This is the synchronous single-writer log (durability in the appender's
+/// lane).  The engine's group-commit path uses wal/logger.h LogLane +
+/// LoggerPool instead, which share the on-disk format; WalWriter remains
+/// the simple substrate for tests and tools.
 class WalWriter {
  public:
   WalWriter(std::string path, bool fsync_on_flush, size_t flush_bytes = 1 << 20);
@@ -57,14 +71,7 @@ class WalWriter {
   }
   const std::string& path() const { return path_; }
 
-  // Entry tags in the on-disk stream.
-  static constexpr uint8_t kWriteTag = 0;
-  static constexpr uint8_t kEpochTag = 1;
-  static constexpr uint8_t kDeleteTag = 2;
-
  private:
-  void AppendLocked(int32_t table, int32_t partition, uint64_t key,
-                    uint64_t tid, std::string_view value) STAR_REQUIRES(mu_);
   void FlushLocked() STAR_REQUIRES(mu_);
 
   std::string path_;
@@ -79,31 +86,84 @@ class WalWriter {
   SpinLock mu_;
 };
 
-/// Non-quiescent checkpointer (Section 4.5.1): scans the database and logs
-/// each record with its TID.  The snapshot need not be transactionally
-/// consistent — recovery fixes it up with the Thomas write rule — so workers
-/// keep running.
+/// One link in a node's checkpoint chain: a base (full fuzzy scan) or a
+/// delta (records whose TID epoch moved since the previous link), both
+/// epoch-bounded — a link covers exactly (from_epoch, stable_epoch].
+struct CheckpointChainEntry {
+  uint8_t kind = 0;  // 0 = base, 1 = delta
+  uint64_t from_epoch = 0;
+  uint64_t stable_epoch = 0;
+  std::string file;  // filename relative to the log dir
+};
+
+std::string CheckpointManifestPath(const std::string& dir, int node);
+
+/// Parses the manifest; returns false (and leaves `out` empty) on a
+/// missing, torn or corrupt manifest — recovery then falls back to logs
+/// alone, never to a half-trusted chain.
+bool LoadCheckpointManifest(const std::string& path,
+                            std::vector<CheckpointChainEntry>* out);
+
+/// Incremental non-quiescent checkpointer (Section 4.5.1).  The first run
+/// writes a base: every present record with TID epoch <= the stable epoch,
+/// read per-record-consistently while workers keep running (the snapshot as
+/// a whole is fuzzy; the Thomas rule during recovery fixes it up).  Later
+/// runs write deltas: only records — including tombstones — whose TID epoch
+/// moved past the previous link's stable epoch.  Records above the stable
+/// ceiling are skipped entirely: the log tail covers them, and the ceiling
+/// (the cluster durable epoch) can never contain an epoch that later
+/// reverts, so checkpoints never capture doomed data.
+///
+/// Each link is written tmp -> fsync -> rename -> dir-fsync, then the
+/// manifest is rewritten the same way; a crash at any point leaves either
+/// the old chain or the new one, never a torn mix (orphan data files are
+/// simply never referenced).
 class Checkpointer {
  public:
+  /// `stable_epoch` is the ceiling the checkpoints chase — the engine
+  /// passes the cluster durable epoch.
   Checkpointer(Database* db, std::string dir, int node,
-               const std::atomic<uint64_t>* epoch)
-      : db_(db), dir_(std::move(dir)), node_(node), epoch_(epoch) {}
+               const std::atomic<uint64_t>* stable_epoch);
   ~Checkpointer() { Stop(); }
 
-  /// Writes one full checkpoint; returns the epoch recorded at its start.
+  /// Writes one link (base if the chain is empty, else delta); returns the
+  /// stable epoch it covered through (0 = nothing to do yet).
   uint64_t RunOnce();
 
-  /// Background loop checkpointing every `period_ms`.
+  /// Background loop checkpointing every `period_ms`.  The engine instead
+  /// attaches this checkpointer to the logger pool (logger thread 0 runs
+  /// the cadence); the thread here serves tests and standalone use.
   void StartPeriodic(double period_ms);
   void Stop();
 
-  std::string FinalPath() const;
+  std::string ManifestPath() const;
+
+  uint64_t checkpoints_taken() const {
+    return taken_.load(std::memory_order_relaxed);
+  }
+  uint64_t entries_written() const {
+    return entries_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_written() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
   Database* db_;
   std::string dir_;
   int node_;
-  const std::atomic<uint64_t>* epoch_;
+  const std::atomic<uint64_t>* stable_epoch_;
+
+  /// RunOnce may be invoked by a logger thread, the periodic thread, or a
+  /// test; one link at a time.
+  Mutex run_mu_;
+  std::vector<CheckpointChainEntry> chain_ STAR_GUARDED_BY(run_mu_);
+  uint64_t next_seq_ STAR_GUARDED_BY(run_mu_) = 0;
+
+  std::atomic<uint64_t> taken_{0};
+  std::atomic<uint64_t> entries_{0};
+  std::atomic<uint64_t> bytes_{0};
+
   std::atomic<bool> running_{false};
   std::thread thread_;
 };
@@ -112,15 +172,25 @@ struct RecoveryResult {
   uint64_t committed_epoch = 0;  // database restored to the end of this epoch
   uint64_t checkpoint_entries = 0;
   uint64_t log_entries_replayed = 0;
-  uint64_t log_entries_skipped = 0;  // newer than the committed epoch
+  uint64_t log_entries_skipped = 0;  // newer than committed, or reverted
+  uint64_t torn_files = 0;           // logs with an invalid (torn) tail
+  int incarnations = 0;              // log incarnations found
+  bool used_checkpoint = false;      // a valid chain was installed
+  bool has_base = false;             // ...and it includes a base link
 };
 
-/// Rebuilds a node's database from its checkpoint + worker logs (Section
-/// 4.5.3, Case 4).  The checkpoint is loaded first (possibly inconsistent),
-/// then every log entry with epoch <= committed_epoch is replayed under the
-/// Thomas write rule; order is irrelevant.
-RecoveryResult Recover(Database* db, const std::string& dir, int node,
-                       int num_workers);
+/// Rebuilds a node's database from its checkpoint chain + logs (Section
+/// 4.5.3, Case 4).  Globs the directory for every log incarnation (legacy
+/// `_worker` files and logger-pool `_inc<I>_shard<S>` files); per
+/// incarnation the recoverable epoch is the min over its files of the
+/// highest epoch marker, walked sequentially so revert entries cancel the
+/// markers of rolled-back fences.  The global committed epoch is the max
+/// over *complete* incarnations (see LoggerPool::MarkComplete).  The
+/// checkpoint chain installs first (entries gated to epochs <= committed),
+/// then every log entry with epoch <= its own incarnation's recoverable
+/// epoch — and not shadowed by a later revert of that epoch in the same
+/// file — is replayed under the Thomas write rule; order is irrelevant.
+RecoveryResult Recover(Database* db, const std::string& dir, int node);
 
 /// Helper naming scheme shared by writer and recovery.
 std::string WalPath(const std::string& dir, int node, int worker);

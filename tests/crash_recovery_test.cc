@@ -1,0 +1,233 @@
+// Crash-point recovery harness (wal/crash_point.h): a forked child drives
+// the durable-epoch group-commit stack — LoggerPool lanes, fsyncing logger
+// threads, incremental Checkpointer — through a deterministic keyed
+// workload, reporting each *published* durable epoch to the parent over a
+// pipe, and dies with _exit(2) at a named durability boundary.  The parent
+// then recovers the directory into a fresh database and checks the one
+// contract everything else rests on:
+//
+//   every epoch <= the last durable epoch the child published survives,
+//   and the recovered state is *exactly* the deterministic state at the
+//   epoch recovery reports — no lost committed writes, no resurrected
+//   deleted rows, no half-applied epochs.
+//
+// Every boundary is exercised at randomized depths (STAR_CRASH_SKIP): the
+// default 3 iterations per point keep ctest fast; STAR_CRASH_FUZZ_ITERS
+// raises the quota for long fuzz runs.
+//
+// _exit(2) cannot lose the kernel page cache, so un-fsynced bytes survive
+// these crashes; the torn-tail fixtures (wal_torn_tail_test.cc) cover that
+// half by corrupting files explicitly.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/tid.h"
+#include "storage/database.h"
+#include "tests/crash_util.h"
+#include "wal/logger.h"
+#include "wal/wal.h"
+
+namespace star::wal {
+namespace {
+
+constexpr int kLanes = 2;
+constexpr int kLoggers = 2;
+constexpr int kKeysPerLane = 16;
+constexpr uint64_t kLaneStride = 100;
+constexpr uint64_t kEpochs = 30;
+constexpr uint64_t kCkptEvery = 5;  // RunOnce cadence (epochs)
+
+std::unique_ptr<Database> MakeDb() {
+  std::vector<TableSchema> schemas{{"t", 8, 1024}};
+  return std::make_unique<Database>(schemas, 1, std::vector<int>{0}, false);
+}
+
+/// Deterministic value: a function of (lane, key, epoch) only, so the
+/// parent can reconstruct the exact expected state at any epoch.
+uint64_t ValueFor(int lane, uint64_t key, uint64_t epoch) {
+  return (epoch << 40) ^ (key * 0x9E3779B97F4A7C15ull) ^
+         (static_cast<uint64_t>(lane) << 8);
+}
+
+/// Key 0 of each lane is deleted on even epochs and rewritten on odd ones —
+/// the deterministic tombstone churn that makes delta checkpoints and
+/// tombstone replay part of every crash.
+bool IsDeleteOp(int k, uint64_t epoch) { return k == 0 && epoch % 2 == 0; }
+
+/// The child: per epoch, every lane appends its keys (writes + the
+/// deterministic delete) to both the WAL lanes and its own database, marks
+/// the epoch, drains the loggers to disk, periodically checkpoints, and
+/// reports the published durable epoch.  Dies wherever STAR_CRASH_POINT
+/// says.
+void ChildWorkload(const std::string& dir, int report_fd) {
+  auto db = MakeDb();
+  std::atomic<uint64_t> stable{0};
+  Checkpointer ckpt(db.get(), dir, 0, &stable);
+
+  LoggerPoolOptions lo;
+  lo.dir = dir;
+  lo.node = 0;
+  lo.num_lanes = kLanes;
+  lo.num_loggers = kLoggers;
+  lo.fsync = true;
+  LoggerPool pool(lo);
+  pool.MarkComplete();  // fresh population: a complete recovery basis
+
+  uint64_t seq = 1;
+  for (uint64_t e = 1; e <= kEpochs; ++e) {
+    for (int lane = 0; lane < kLanes; ++lane) {
+      LogLane* l = pool.lane(lane);
+      for (int k = 0; k < kKeysPerLane; ++k) {
+        uint64_t key = static_cast<uint64_t>(lane) * kLaneStride +
+                       static_cast<uint64_t>(k);
+        uint64_t tid = Tid::Make(e, seq++, static_cast<uint64_t>(lane));
+        HashTable::Row row = db->table(0, 0)->GetOrInsertRow(key);
+        if (IsDeleteOp(k, e)) {
+          l->AppendDelete(0, 0, key, tid);
+          row.rec->ApplyThomasDelete(tid, row.size, row.value,
+                                     db->two_version());
+        } else {
+          uint64_t v = ValueFor(lane, key, e);
+          l->Append(0, 0, key, tid,
+                    {reinterpret_cast<const char*>(&v), sizeof(v)});
+          row.rec->ApplyThomas(tid, &v, row.size, row.value,
+                               db->two_version());
+        }
+      }
+    }
+    for (int lane = 0; lane < kLanes; ++lane) pool.lane(lane)->MarkEpoch(e);
+    pool.Drain();
+    if (e % kCkptEvery == 0) {
+      stable.store(pool.durable_epoch(), std::memory_order_release);
+      ckpt.RunOnce();
+    }
+    test::ReportDurable(report_fd, pool.durable_epoch());
+  }
+  pool.Stop();
+}
+
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "/tmp/star_crash_test_" + std::to_string(::getpid());
+    ResetDir();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void ResetDir() {
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+
+  static int Iterations() {
+    const char* s = std::getenv("STAR_CRASH_FUZZ_ITERS");
+    int n = s != nullptr ? std::atoi(s) : 3;
+    return n > 0 ? n : 3;
+  }
+
+  /// Recovers the directory and asserts the durability contract against
+  /// the child's last published durable epoch.
+  void VerifyRecovery(uint64_t reported_durable) {
+    auto db = MakeDb();
+    RecoveryResult r = Recover(db.get(), dir_, 0);
+    ASSERT_GE(r.committed_epoch, reported_durable)
+        << "recovery lost epochs the child had published as durable";
+    ASSERT_LE(r.committed_epoch, kEpochs);
+    uint64_t c = r.committed_epoch;
+    if (c == 0) return;  // died before the first epoch became durable
+
+    for (int lane = 0; lane < kLanes; ++lane) {
+      for (int k = 0; k < kKeysPerLane; ++k) {
+        uint64_t key = static_cast<uint64_t>(lane) * kLaneStride +
+                       static_cast<uint64_t>(k);
+        HashTable::Row row = db->table(0, 0)->GetRow(key);
+        if (IsDeleteOp(k, c)) {
+          bool absent = !row.valid();
+          if (row.valid()) {
+            uint64_t tmp = 0;
+            absent = Record::IsAbsent(row.ReadStable(&tmp));
+          }
+          EXPECT_TRUE(absent)
+              << "key " << key << " deleted in epoch " << c << " came back";
+        } else {
+          ASSERT_TRUE(row.valid()) << "key " << key << " missing at " << c;
+          uint64_t out = 0;
+          uint64_t w = row.ReadStable(&out);
+          EXPECT_FALSE(Record::IsAbsent(w)) << "key " << key;
+          EXPECT_EQ(out, ValueFor(lane, key, c))
+              << "key " << key << " holds a value from the wrong epoch";
+        }
+      }
+    }
+  }
+
+  /// Randomized-depth crash loop for one boundary.  `max_skip` bounds how
+  /// many boundary hits the child may survive, so deaths land anywhere
+  /// from the first contact to deep into the run (or past it: a skip
+  /// beyond the run's hits means the child simply completes — exit 0).
+  void RunPoint(const char* point, long max_skip) {
+    std::mt19937 rng(0xC0FFEEu ^ static_cast<uint32_t>(std::hash<std::string>{}(point)));
+    for (int i = 0; i < Iterations(); ++i) {
+      ResetDir();
+      long skip = static_cast<long>(rng() % static_cast<uint32_t>(max_skip));
+      std::string dir = dir_;
+      test::CrashChildResult res = test::RunCrashChild(
+          point, skip, [&dir](int fd) { ChildWorkload(dir, fd); });
+      ASSERT_TRUE(res.exited) << point << " child died of a signal";
+      ASSERT_TRUE(res.exit_code == 0 || res.exit_code == 2)
+          << point << " child exited " << res.exit_code;
+      VerifyRecovery(res.reported_durable);
+      if (res.exit_code == 0) {
+        // Survived the whole run: the final report must be the last epoch.
+        EXPECT_EQ(res.reported_durable, kEpochs);
+      }
+    }
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CrashRecoveryTest, NoCrashControl) {
+  std::string dir = dir_;
+  test::CrashChildResult res = test::RunCrashChild(
+      nullptr, 0, [&dir](int fd) { ChildWorkload(dir, fd); });
+  ASSERT_TRUE(res.exited);
+  ASSERT_EQ(res.exit_code, 0);
+  EXPECT_EQ(res.reported_durable, kEpochs);
+  VerifyRecovery(kEpochs);
+}
+
+// Batch bytes written, fsync not yet issued.  The page cache survives
+// _exit, so recovery may see *more* than the durable promise — never less.
+TEST_F(CrashRecoveryTest, PreFsync) {
+  RunPoint("pre-fsync", static_cast<long>(kEpochs) * kLoggers);
+}
+
+// Epoch marker fsynced but the durable epoch not yet published: the crash
+// loses only the announcement; recovery re-derives the epoch from disk.
+TEST_F(CrashRecoveryTest, PostFsyncPreEpochPublish) {
+  RunPoint("post-fsync-pre-epoch-publish",
+           static_cast<long>(kEpochs) * kLoggers);
+}
+
+// Checkpoint data file partially written (still a .tmp): recovery must use
+// the previous chain, never a torn link.
+TEST_F(CrashRecoveryTest, MidCheckpointDelta) {
+  RunPoint("mid-checkpoint-delta", static_cast<long>(kEpochs / kCkptEvery));
+}
+
+// New checkpoint link durable but the manifest not yet switched: recovery
+// lands on the old chain, with the new data file a harmless orphan.
+TEST_F(CrashRecoveryTest, MidManifestRename) {
+  RunPoint("mid-manifest-rename", static_cast<long>(kEpochs / kCkptEvery));
+}
+
+}  // namespace
+}  // namespace star::wal

@@ -1,0 +1,92 @@
+#ifndef STAR_TESTS_CRASH_UTIL_H_
+#define STAR_TESTS_CRASH_UTIL_H_
+
+// Fork-based crash injection for the durability tests (wal/crash_point.h).
+//
+// The harness forks a child with STAR_CRASH_POINT / STAR_CRASH_SKIP set;
+// the child runs a workload that reports progress (its latest *published*
+// durable epoch) over a pipe, and dies with _exit(2) when execution reaches
+// the named boundary.  The parent keeps the last fully-received report —
+// exactly what a client that was told "epoch E is durable" knew at the
+// moment the power went out — and then recovers the directory and checks
+// that everything up to that promise survived.
+//
+// fork() is safe here because gtest's main process is single-threaded when
+// the test body runs; the child never returns into gtest (always _exit).
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+namespace star::test {
+
+struct CrashChildResult {
+  bool exited = false;        // WIFEXITED (false => signalled, a harness bug)
+  int exit_code = -1;         // 2 = crash point fired, 0 = workload completed
+  uint64_t reported_durable = 0;  // last durable epoch the child published
+  bool reported_any = false;
+};
+
+/// Forks a child that runs `workload(report_fd)` under the given crash
+/// point.  `skip` survives that many hits of the boundary before dying
+/// (STAR_CRASH_SKIP), so randomized iterations crash at varying depths.
+/// The workload reports by writing uint64_t durable epochs to report_fd;
+/// the parent keeps the last complete one.
+inline CrashChildResult RunCrashChild(
+    const char* crash_point, long skip,
+    const std::function<void(int report_fd)>& workload) {
+  int fds[2];
+  if (::pipe(fds) != 0) return {};
+  pid_t pid = ::fork();
+  if (pid == 0) {
+    ::close(fds[0]);
+    if (crash_point != nullptr) {
+      ::setenv("STAR_CRASH_POINT", crash_point, 1);
+      ::setenv("STAR_CRASH_SKIP", std::to_string(skip).c_str(), 1);
+    } else {
+      ::unsetenv("STAR_CRASH_POINT");
+    }
+    workload(fds[1]);
+    ::_exit(0);
+  }
+  ::close(fds[1]);
+
+  CrashChildResult out;
+  uint64_t value = 0;
+  size_t have = 0;
+  char buf[512];
+  for (;;) {
+    ssize_t n = ::read(fds[0], buf, sizeof(buf));
+    if (n <= 0) break;
+    for (ssize_t i = 0; i < n; ++i) {
+      reinterpret_cast<char*>(&value)[have++] = buf[i];
+      if (have == sizeof(uint64_t)) {
+        out.reported_durable = value;
+        out.reported_any = true;
+        have = 0;
+      }
+    }
+  }
+  ::close(fds[0]);
+
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  out.exited = WIFEXITED(status);
+  out.exit_code = out.exited ? WEXITSTATUS(status) : -1;
+  return out;
+}
+
+/// Reports one durable epoch observation to the parent.
+inline void ReportDurable(int fd, uint64_t durable) {
+  ssize_t n = ::write(fd, &durable, sizeof(durable));
+  (void)n;
+}
+
+}  // namespace star::test
+
+#endif  // STAR_TESTS_CRASH_UTIL_H_

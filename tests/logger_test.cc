@@ -1,0 +1,237 @@
+// LoggerPool / durable-epoch units: lane->logger handoff, the min-over-
+// lanes durable watermark, revert poisoning, incarnation completeness
+// gating, and the incremental checkpoint chain (base + O(delta) links).
+
+#include "wal/logger.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/tid.h"
+#include "storage/database.h"
+#include "wal/wal.h"
+
+namespace star::wal {
+namespace {
+
+std::unique_ptr<Database> MakeDb() {
+  std::vector<TableSchema> schemas{{"t", 8, 1024}};
+  return std::make_unique<Database>(schemas, 1, std::vector<int>{0}, false);
+}
+
+void AppendU64(LogLane* lane, uint64_t key, uint64_t tid, uint64_t v) {
+  lane->Append(0, 0, key, tid, {reinterpret_cast<const char*>(&v), sizeof(v)});
+}
+
+uint64_t ReadKey(Database* db, uint64_t key) {
+  uint64_t out = 0;
+  db->table(0, 0)->GetRow(key).ReadStable(&out);
+  return out;
+}
+
+class LoggerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "/tmp/star_logger_test_" + std::to_string(::getpid());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  LoggerPoolOptions Opts(int lanes, int loggers) {
+    LoggerPoolOptions lo;
+    lo.dir = dir_;
+    lo.node = 0;
+    lo.num_lanes = lanes;
+    lo.num_loggers = loggers;
+    return lo;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(LoggerTest, DurableEpochIsMinOverLanes) {
+  LoggerPool pool(Opts(2, 2));
+  AppendU64(pool.lane(0), 1, Tid::Make(1, 1, 0), 10);
+  AppendU64(pool.lane(1), 2, Tid::Make(1, 2, 1), 20);
+  pool.lane(0)->MarkEpoch(1);
+  pool.Drain();
+  EXPECT_EQ(pool.durable_epoch(), 0u)
+      << "an epoch is durable only once EVERY lane has sealed it";
+  pool.lane(1)->MarkEpoch(1);
+  pool.Drain();
+  EXPECT_EQ(pool.durable_epoch(), 1u);
+  EXPECT_GT(pool.epoch_markers(), 0u);
+  EXPECT_GT(pool.batches(), 0u);
+}
+
+TEST_F(LoggerTest, ShardFilesOnePerLogger) {
+  LoggerPool pool(Opts(4, 2));
+  EXPECT_EQ(pool.num_lanes(), 4);
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_TRUE(std::filesystem::exists(
+        LoggerPool::ShardPath(dir_, 0, pool.incarnation(), s)))
+        << "shard " << s;
+  }
+  EXPECT_FALSE(std::filesystem::exists(
+      LoggerPool::ShardPath(dir_, 0, pool.incarnation(), 2)));
+}
+
+TEST_F(LoggerTest, IncompleteIncarnationCannotClaimEpochs) {
+  // Incarnation 1 writes a durable epoch but never MarkComplete()s —
+  // the shape of a process that died mid-rejoin-fetch: its markers are
+  // honest, its state basis is not.
+  {
+    LoggerPool pool(Opts(1, 1));
+    EXPECT_EQ(pool.incarnation(), 1);
+    AppendU64(pool.lane(0), 7, Tid::Make(1, 1, 0), 111);
+    pool.lane(0)->MarkEpoch(1);
+    pool.Drain();
+    EXPECT_EQ(pool.durable_epoch(), 1u);
+    pool.Stop();
+  }
+  {
+    auto db = MakeDb();
+    RecoveryResult r = Recover(db.get(), dir_, 0);
+    EXPECT_EQ(r.committed_epoch, 0u)
+        << "an incomplete incarnation claimed its epochs for the node";
+    EXPECT_EQ(r.incarnations, 1);
+  }
+
+  // Incarnation 2 completes: it claims its own epochs, and incarnation 1's
+  // entries still replay under the Thomas rule below their own ceiling.
+  {
+    LoggerPool pool(Opts(1, 1));
+    EXPECT_EQ(pool.incarnation(), 2);
+    pool.MarkComplete();
+    AppendU64(pool.lane(0), 8, Tid::Make(2, 1, 0), 222);
+    pool.lane(0)->MarkEpoch(2);
+    pool.Drain();
+    pool.Stop();
+  }
+  auto db = MakeDb();
+  RecoveryResult r = Recover(db.get(), dir_, 0);
+  EXPECT_EQ(r.committed_epoch, 2u);
+  EXPECT_EQ(r.incarnations, 2);
+  EXPECT_EQ(ReadKey(db.get(), 7), 111u);
+  EXPECT_EQ(ReadKey(db.get(), 8), 222u);
+}
+
+TEST_F(LoggerTest, RevertPoisonsEpochUntilRecommit) {
+  LoggerPool pool(Opts(1, 1));
+  pool.MarkComplete();
+  LogLane* lane = pool.lane(0);
+  AppendU64(lane, 1, Tid::Make(1, 1, 0), 10);
+  lane->MarkEpoch(1);
+  pool.Drain();
+  EXPECT_EQ(pool.durable_epoch(), 1u);
+
+  // Failed fence: epoch 2's write hits the lane, then the fence reverts.
+  // The doomed write carries a HIGHER sequence than the recommit below, so
+  // only the revert entry's position — not the Thomas rule — can save us.
+  AppendU64(lane, 1, Tid::Make(2, 9, 0), 20);
+  pool.MarkRevert(2);
+  pool.Drain();
+  EXPECT_EQ(pool.durable_epoch(), 1u)
+      << "a reverted epoch must not count as durable";
+
+  // Epoch 2 recommits after the revert with a fresh (lower) sequence.
+  AppendU64(lane, 1, Tid::Make(2, 1, 0), 30);
+  lane->MarkEpoch(2);
+  pool.Drain();
+  EXPECT_EQ(pool.durable_epoch(), 2u);
+  pool.Stop();
+
+  auto db = MakeDb();
+  RecoveryResult r = Recover(db.get(), dir_, 0);
+  EXPECT_EQ(r.committed_epoch, 2u);
+  EXPECT_EQ(r.log_entries_skipped, 1u) << "the pre-revert write must be skipped";
+  EXPECT_EQ(ReadKey(db.get(), 1), 30u)
+      << "recovery replayed a write from before the revert";
+}
+
+TEST_F(LoggerTest, IncrementalCheckpointChainIsODelta) {
+  constexpr uint64_t kRows = 200;
+  auto db = MakeDb();
+  std::atomic<uint64_t> stable{0};
+  LoggerPool pool(Opts(1, 1));
+  pool.MarkComplete();
+  LogLane* lane = pool.lane(0);
+
+  for (uint64_t key = 1; key <= kRows; ++key) {
+    uint64_t tid = Tid::Make(1, key, 0);
+    uint64_t v = 1000 + key;
+    AppendU64(lane, key, tid, v);
+    HashTable::Row row = db->table(0, 0)->GetOrInsertRow(key);
+    row.rec->ApplyThomas(tid, &v, row.size, row.value, db->two_version());
+  }
+  lane->MarkEpoch(1);
+  pool.Drain();
+
+  Checkpointer ckpt(db.get(), dir_, 0, &stable);
+  stable.store(1);
+  EXPECT_EQ(ckpt.RunOnce(), 1u);
+  uint64_t base_entries = ckpt.entries_written();
+  EXPECT_EQ(base_entries, kRows);
+
+  // Epoch 2 touches 3 rows out of 200; the delta must record exactly those.
+  for (uint64_t key = 1; key <= 3; ++key) {
+    uint64_t tid = Tid::Make(2, key, 0);
+    uint64_t v = 2000 + key;
+    AppendU64(lane, key, tid, v);
+    HashTable::Row row = db->table(0, 0)->GetOrInsertRow(key);
+    row.rec->ApplyThomas(tid, &v, row.size, row.value, db->two_version());
+  }
+  lane->MarkEpoch(2);
+  pool.Drain();
+  stable.store(2);
+  EXPECT_EQ(ckpt.RunOnce(), 2u);
+  EXPECT_EQ(ckpt.entries_written() - base_entries, 3u)
+      << "delta link recorded unchanged rows";
+  pool.Stop();
+
+  std::vector<CheckpointChainEntry> chain;
+  ASSERT_TRUE(LoadCheckpointManifest(CheckpointManifestPath(dir_, 0), &chain));
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0].kind, 0);
+  EXPECT_EQ(chain[1].kind, 1);
+  EXPECT_EQ(chain[0].stable_epoch, 1u);
+  EXPECT_EQ(chain[1].from_epoch, 1u);
+  EXPECT_EQ(chain[1].stable_epoch, 2u);
+
+  auto fresh = MakeDb();
+  RecoveryResult r = Recover(fresh.get(), dir_, 0);
+  EXPECT_TRUE(r.used_checkpoint);
+  EXPECT_TRUE(r.has_base);
+  EXPECT_EQ(r.committed_epoch, 2u);
+  EXPECT_EQ(ReadKey(fresh.get(), 1), 2001u);
+  EXPECT_EQ(ReadKey(fresh.get(), 2), 2002u);
+  EXPECT_EQ(ReadKey(fresh.get(), 100), 1100u);
+}
+
+TEST_F(LoggerTest, EmptyDeltaAddsNoChainLink) {
+  auto db = MakeDb();
+  std::atomic<uint64_t> stable{0};
+  uint64_t tid = Tid::Make(1, 1, 0);
+  uint64_t v = 5;
+  HashTable::Row row = db->table(0, 0)->GetOrInsertRow(9);
+  row.rec->ApplyThomas(tid, &v, row.size, row.value, db->two_version());
+
+  Checkpointer ckpt(db.get(), dir_, 0, &stable);
+  stable.store(1);
+  EXPECT_EQ(ckpt.RunOnce(), 1u);
+  stable.store(2);  // durable advanced, but nothing changed
+  ckpt.RunOnce();
+  std::vector<CheckpointChainEntry> chain;
+  ASSERT_TRUE(LoadCheckpointManifest(CheckpointManifestPath(dir_, 0), &chain));
+  EXPECT_EQ(chain.size(), 1u)
+      << "an empty delta only grows the chain; the log tail covers it";
+}
+
+}  // namespace
+}  // namespace star::wal

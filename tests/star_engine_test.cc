@@ -314,8 +314,6 @@ TEST(StarEngine, DurableLoggingRecoversCommittedState) {
   o.checkpointing = true;  // base data reaches disk via the checkpointer
   o.checkpoint_period_ms = 150;
   o.log_dir = dir;
-  int workers_and_io =
-      o.cluster.workers_per_node + o.cluster.io_threads_per_node;
   StarEngine engine(o, wl);
   Metrics m = RunFor(engine, 200, 800);
   ASSERT_GT(m.committed, 0u);
@@ -332,7 +330,7 @@ TEST(StarEngine, DurableLoggingRecoversCommittedState) {
                      return parts;
                    }(),
                    false);
-  wal::RecoveryResult r = wal::Recover(&rebuilt, dir, 1, workers_and_io);
+  wal::RecoveryResult r = wal::Recover(&rebuilt, dir, 1);
   EXPECT_GT(r.committed_epoch, 0u);
   EXPECT_GT(r.log_entries_replayed, 0u);
 
@@ -368,35 +366,37 @@ TEST(StarEngine, DurableLoggingRecoversCommittedState) {
 }
 
 TEST(StarEngine, ShardedReplayLogsToPerShardWalsAndRecovers) {
-  // With durable logging, each replay worker owns a WAL lane (workers,
-  // then io threads, then shards); the fence's epoch markers cover them,
-  // so Case-4 recovery over ALL the node's logs still reaches a nonzero
-  // committed epoch and replays replicated writes.
+  // With durable logging, each replay worker owns a log lane (workers,
+  // then io threads, then shards) that multiplexes into the logger pool's
+  // per-shard WAL files; the fence's epoch markers cover them, so Case-4
+  // recovery over ALL the node's logs still reaches a nonzero committed
+  // epoch and replays replicated writes.
   std::string dir = "/tmp/star_engine_sharded_wal_logs";
   std::filesystem::remove_all(dir);
   YcsbWorkload wl(SmallYcsb());
   StarOptions o = FastStar();
   o.cluster.replay_shards = 2;
   o.durable_logging = true;
+  o.log_workers = 2;  // two logger threads -> two shard WAL files per node
   o.log_dir = dir;
-  int wal_files = o.cluster.workers_per_node +
-                  o.cluster.io_threads_per_node + o.cluster.replay_shards;
   StarEngine engine(o, wl);
   Metrics m = RunFor(engine, 200, 800);
   ASSERT_GT(m.committed, 0u);
+  EXPECT_GT(m.wal_bytes, 0u);
+  EXPECT_GT(m.wal_epoch_markers, 0u);
+  EXPECT_GT(m.durable_epoch, 0u)
+      << "a clean run's fences must have advanced the cluster durable epoch";
 
-  // Node 1 is a replica target: its shard WAL lanes (trailing files) must
-  // have logged applied replication as full-record values.
+  // Node 1 is a replica target: both of its logger shard files (fresh
+  // incarnation 1) must exist and hold the applied replication.
   uintmax_t shard_wal_bytes = 0;
-  for (int s = 0; s < o.cluster.replay_shards; ++s) {
-    std::string path = wal::WalPath(
-        dir, 1,
-        o.cluster.workers_per_node + o.cluster.io_threads_per_node + s);
+  for (int s = 0; s < o.log_workers; ++s) {
+    std::string path = wal::LoggerPool::ShardPath(dir, 1, /*inc=*/1, s);
     ASSERT_TRUE(std::filesystem::exists(path)) << path;
     shard_wal_bytes += std::filesystem::file_size(path);
   }
   EXPECT_GT(shard_wal_bytes, 0u)
-      << "replay workers must log what they apply";
+      << "logger threads must persist what the lanes publish";
 
   Database* live = engine.database(1);
   Database rebuilt(wl.Schemas(), o.cluster.num_partitions(),
@@ -408,7 +408,7 @@ TEST(StarEngine, ShardedReplayLogsToPerShardWalsAndRecovers) {
                      return parts;
                    }(),
                    false);
-  wal::RecoveryResult r = wal::Recover(&rebuilt, dir, 1, wal_files);
+  wal::RecoveryResult r = wal::Recover(&rebuilt, dir, 1);
   EXPECT_GT(r.committed_epoch, 0u);
   EXPECT_GT(r.log_entries_replayed, 0u);
   std::filesystem::remove_all(dir);

@@ -38,7 +38,7 @@ TEST_F(WalTest, RoundTripThroughRecovery) {
     w.MarkEpochAndFlush(1);
   }
   auto db = MakeDb();
-  RecoveryResult r = Recover(db.get(), dir_, 0, 1);
+  RecoveryResult r = Recover(db.get(), dir_, 0);
   EXPECT_EQ(r.committed_epoch, 1u);
   EXPECT_EQ(r.log_entries_replayed, 2u);
   uint64_t out;
@@ -59,7 +59,7 @@ TEST_F(WalTest, UncommittedEpochIsNotReplayed) {
     w.Flush();
   }
   auto db = MakeDb();
-  RecoveryResult r = Recover(db.get(), dir_, 0, 1);
+  RecoveryResult r = Recover(db.get(), dir_, 0);
   EXPECT_EQ(r.committed_epoch, 1u);
   EXPECT_EQ(r.log_entries_skipped, 1u);
   uint64_t out;
@@ -89,7 +89,7 @@ TEST_F(WalTest, CommittedEpochIsMinAcrossWorkers) {
     w1.Flush();  // no epoch-2 marker
   }
   auto db = MakeDb();
-  RecoveryResult r = Recover(db.get(), dir_, 0, 2);
+  RecoveryResult r = Recover(db.get(), dir_, 0);
   EXPECT_EQ(r.committed_epoch, 1u);
   uint64_t out;
   db->table(0, 0)->GetRow(1).ReadStable(&out);
@@ -122,7 +122,7 @@ TEST_F(WalTest, CheckpointPlusLogReplay) {
   }
 
   auto fresh = MakeDb();
-  RecoveryResult r = Recover(fresh.get(), dir_, 0, 1);
+  RecoveryResult r = Recover(fresh.get(), dir_, 0);
   EXPECT_GT(r.checkpoint_entries, 0u);
   uint64_t out;
   fresh->table(0, 0)->GetRow(5).ReadStable(&out);
@@ -137,8 +137,8 @@ TEST_F(WalTest, RecoveryIsIdempotent) {
     w.MarkEpochAndFlush(1);
   }
   auto db = MakeDb();
-  Recover(db.get(), dir_, 0, 1);
-  RecoveryResult again = Recover(db.get(), dir_, 0, 1);
+  Recover(db.get(), dir_, 0);
+  RecoveryResult again = Recover(db.get(), dir_, 0);
   EXPECT_EQ(again.committed_epoch, 1u);
   uint64_t out;
   db->table(0, 0)->GetRow(1).ReadStable(&out);
@@ -147,7 +147,7 @@ TEST_F(WalTest, RecoveryIsIdempotent) {
 
 TEST_F(WalTest, EmptyDirectoryRecoversToEpochZero) {
   auto db = MakeDb();
-  RecoveryResult r = Recover(db.get(), dir_, 0, 2);
+  RecoveryResult r = Recover(db.get(), dir_, 0);
   EXPECT_EQ(r.committed_epoch, 0u);
   EXPECT_EQ(r.log_entries_replayed, 0u);
 }

@@ -1,0 +1,226 @@
+// Torn-tail fixtures: the half of crash damage _exit(2) cannot produce.
+// A real power loss can leave the last WAL batch truncated or scrambled
+// (the page cache dies with the machine); these tests corrupt shard WALs
+// and checkpoint deltas explicitly and check that recovery stops cleanly
+// at the last valid record — per-record CRC framing — and never installs
+// garbage or half-trusts a damaged checkpoint chain.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/tid.h"
+#include "storage/database.h"
+#include "wal/logger.h"
+#include "wal/wal.h"
+
+namespace star::wal {
+namespace {
+
+std::unique_ptr<Database> MakeDb() {
+  std::vector<TableSchema> schemas{{"t", 8, 1024}};
+  return std::make_unique<Database>(schemas, 1, std::vector<int>{0}, false);
+}
+
+void ApplyWrite(Database* db, uint64_t key, uint64_t tid, uint64_t v) {
+  HashTable::Row row = db->table(0, 0)->GetOrInsertRow(key);
+  row.rec->ApplyThomas(tid, &v, row.size, row.value, db->two_version());
+}
+
+void ApplyDelete(Database* db, uint64_t key, uint64_t tid) {
+  HashTable::Row row = db->table(0, 0)->GetOrInsertRow(key);
+  row.rec->ApplyThomasDelete(tid, row.size, row.value, db->two_version());
+}
+
+uint64_t ReadKey(Database* db, uint64_t key) {
+  uint64_t out = 0;
+  db->table(0, 0)->GetRow(key).ReadStable(&out);
+  return out;
+}
+
+size_t FileSize(const std::string& path) {
+  std::error_code ec;
+  return static_cast<size_t>(std::filesystem::file_size(path, ec));
+}
+
+void TruncateTail(const std::string& path, size_t bytes) {
+  std::filesystem::resize_file(path, FileSize(path) - bytes);
+}
+
+void FlipByte(const std::string& path, size_t offset) {
+  FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, static_cast<long>(offset), SEEK_SET);
+  int c = std::fgetc(f);
+  std::fseek(f, static_cast<long>(offset), SEEK_SET);
+  std::fputc(c ^ 0x5A, f);
+  std::fclose(f);
+}
+
+class TornTailTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "/tmp/star_torn_test_" + std::to_string(::getpid());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Writes two epochs through a single-lane logger pool: epoch 1 values
+  /// 1000+key, epoch 2 values 2000+key, each sealed by its marker.  The
+  /// shard file therefore ends with the epoch-2 marker — the natural
+  /// victim for tail damage.
+  std::string WriteTwoEpochShard() {
+    LoggerPoolOptions lo;
+    lo.dir = dir_;
+    lo.node = 0;
+    LoggerPool pool(lo);
+    pool.MarkComplete();
+    LogLane* lane = pool.lane(0);
+    for (uint64_t e = 1; e <= 2; ++e) {
+      for (uint64_t key = 1; key <= 4; ++key) {
+        uint64_t v = e * 1000 + key;
+        lane->Append(0, 0, key, Tid::Make(e, key, 0),
+                     {reinterpret_cast<const char*>(&v), sizeof(v)});
+      }
+      lane->MarkEpoch(e);
+      pool.Drain();
+    }
+    pool.Stop();
+    return LoggerPool::ShardPath(dir_, 0, pool.incarnation(), 0);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(TornTailTest, TruncatedWalTailStopsAtLastValidRecord) {
+  std::string path = WriteTwoEpochShard();
+  // Cut into the final entry (the epoch-2 marker): the tail is torn, the
+  // records before it are intact.
+  TruncateTail(path, 4);
+
+  auto db = MakeDb();
+  RecoveryResult r = Recover(db.get(), dir_, 0);
+  EXPECT_EQ(r.torn_files, 1u);
+  EXPECT_EQ(r.committed_epoch, 1u)
+      << "a torn epoch-2 marker must roll the file back to epoch 1";
+  for (uint64_t key = 1; key <= 4; ++key) {
+    EXPECT_EQ(ReadKey(db.get(), key), 1000 + key)
+        << "epoch-2 write leaked past its torn marker";
+  }
+}
+
+TEST_F(TornTailTest, BitFlippedWalTailIsRejectedByRecordCrc) {
+  std::string path = WriteTwoEpochShard();
+  FlipByte(path, FileSize(path) - 6);  // inside the epoch-2 marker
+
+  auto db = MakeDb();
+  RecoveryResult r = Recover(db.get(), dir_, 0);
+  EXPECT_EQ(r.torn_files, 1u);
+  EXPECT_EQ(r.committed_epoch, 1u);
+  for (uint64_t key = 1; key <= 4; ++key) {
+    EXPECT_EQ(ReadKey(db.get(), key), 1000 + key);
+  }
+}
+
+TEST_F(TornTailTest, MidFileCorruptionNeverInstallsGarbage) {
+  std::string path = WriteTwoEpochShard();
+  // Scramble a byte in the middle: everything from the first bad record on
+  // (including the later markers) is unreadable, so recovery falls to
+  // whatever prefix still validates — possibly nothing — but never applies
+  // a record whose CRC fails.
+  FlipByte(path, FileSize(path) / 2);
+
+  auto db = MakeDb();
+  RecoveryResult r = Recover(db.get(), dir_, 0);
+  EXPECT_EQ(r.torn_files, 1u);
+  EXPECT_LE(r.committed_epoch, 1u);
+  for (uint64_t key = 1; key <= 4; ++key) {
+    HashTable::Row row = db->table(0, 0)->GetRow(key);
+    if (!row.valid()) continue;  // prefix ended before this key: fine
+    uint64_t out = 0;
+    row.ReadStable(&out);
+    EXPECT_TRUE(out == 1000 + key || out == 0)
+        << "key " << key << " holds bytes from a corrupt record: " << out;
+  }
+}
+
+class TornCheckpointTest : public TornTailTest {
+ protected:
+  /// Builds a base + delta chain alongside a WAL that covers everything:
+  /// epoch 1 writes keys 1..4 (base), epoch 2 rewrites key 1 and deletes
+  /// key 2 (delta).  Returns the delta link's file path.
+  std::string BuildChainWithDelta() {
+    auto db = MakeDb();
+    std::atomic<uint64_t> stable{0};
+    WalWriter w(WalPath(dir_, 0, 0), false);
+    for (uint64_t key = 1; key <= 4; ++key) {
+      uint64_t tid = Tid::Make(1, key, 0);
+      uint64_t v = 1000 + key;
+      w.Append(0, 0, key, tid, {reinterpret_cast<const char*>(&v), sizeof(v)});
+      ApplyWrite(db.get(), key, tid, v);
+    }
+    w.MarkEpochAndFlush(1);
+    Checkpointer ckpt(db.get(), dir_, 0, &stable);
+    stable.store(1);
+    EXPECT_EQ(ckpt.RunOnce(), 1u);
+
+    uint64_t v = 2001;
+    w.Append(0, 0, 1, Tid::Make(2, 1, 0),
+             {reinterpret_cast<const char*>(&v), sizeof(v)});
+    ApplyWrite(db.get(), 1, Tid::Make(2, 1, 0), v);
+    w.AppendDelete(0, 0, 2, Tid::Make(2, 2, 0));
+    ApplyDelete(db.get(), 2, Tid::Make(2, 2, 0));
+    w.MarkEpochAndFlush(2);
+    stable.store(2);
+    EXPECT_EQ(ckpt.RunOnce(), 2u);
+
+    std::vector<CheckpointChainEntry> chain;
+    EXPECT_TRUE(LoadCheckpointManifest(CheckpointManifestPath(dir_, 0),
+                                       &chain));
+    EXPECT_EQ(chain.size(), 2u);
+    EXPECT_EQ(chain[1].kind, 1);  // delta link
+    return dir_ + "/" + chain[1].file;
+  }
+
+  /// The damaged chain must be rejected wholesale; the logs alone still
+  /// rebuild the exact state.
+  void VerifyFallsBackToLogs() {
+    auto db = MakeDb();
+    RecoveryResult r = Recover(db.get(), dir_, 0);
+    EXPECT_FALSE(r.used_checkpoint)
+        << "recovery half-trusted a chain with a damaged link";
+    EXPECT_EQ(r.checkpoint_entries, 0u);
+    EXPECT_EQ(r.committed_epoch, 2u);
+    EXPECT_EQ(ReadKey(db.get(), 1), 2001u);
+    HashTable::Row row = db->table(0, 0)->GetRow(2);
+    bool absent = !row.valid();
+    if (row.valid()) {
+      uint64_t tmp = 0;
+      absent = Record::IsAbsent(row.ReadStable(&tmp));
+    }
+    EXPECT_TRUE(absent) << "deleted key resurrected by a corrupt chain";
+    EXPECT_EQ(ReadKey(db.get(), 3), 1003u);
+    EXPECT_EQ(ReadKey(db.get(), 4), 1004u);
+  }
+};
+
+TEST_F(TornCheckpointTest, BitFlippedDeltaRejectsWholeChain) {
+  std::string delta = BuildChainWithDelta();
+  FlipByte(delta, FileSize(delta) / 2);
+  VerifyFallsBackToLogs();
+}
+
+TEST_F(TornCheckpointTest, TruncatedDeltaRejectsWholeChain) {
+  std::string delta = BuildChainWithDelta();
+  TruncateTail(delta, 3);
+  VerifyFallsBackToLogs();
+}
+
+}  // namespace
+}  // namespace star::wal
