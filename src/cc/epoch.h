@@ -158,20 +158,47 @@ class AppliedEpochWatermark {
 /// worker's own thread when it notices the epoch advanced.
 class GroupCommitTracker {
  public:
+  /// Completion hook for externally submitted transactions (the serving
+  /// front end): invoked exactly once, on the tracker owner's thread, when
+  /// the transaction's epoch is released (`committed = true`), dropped by a
+  /// revert (`committed = false`), or force-drained at shutdown.
+  using DoneFn = void (*)(void* ctx, bool committed, uint64_t epoch);
+
   /// A transaction committed in `epoch`, having started at `start_ns`.
   void Add(uint64_t epoch, uint64_t start_ns) {
-    pending_.push_back(Pending{epoch, start_ns});
+    pending_.push_back(Pending{epoch, start_ns, nullptr, nullptr, false});
+  }
+
+  /// As above, with a completion hook.  `wait_durable` holds the release
+  /// behind the durable gate passed to Drain even when fire-and-forget
+  /// transactions release at the plain epoch gate — this is how a single
+  /// request opts into `commit_wait = durable` on an engine running with
+  /// engine-wide `commit_wait = none`.
+  void Add(uint64_t epoch, uint64_t start_ns, DoneFn done, void* ctx,
+           bool wait_durable) {
+    pending_.push_back(Pending{epoch, start_ns, done, ctx, wait_durable});
   }
 
   /// Releases every transaction whose epoch is now closed (epoch <
   /// current_epoch), recording latency against `now_ns`.  Returns the number
   /// released.
   size_t Drain(uint64_t current_epoch, uint64_t now_ns, Histogram& latency) {
+    return Drain(current_epoch, current_epoch, now_ns, latency);
+  }
+
+  /// Two-gate drain: plain entries release at `release_epoch`, entries
+  /// added with `wait_durable` release only at `durable_release_epoch`
+  /// (normally cluster durable epoch + 1, which trails the phase epoch).
+  size_t Drain(uint64_t release_epoch, uint64_t durable_release_epoch,
+               uint64_t now_ns, Histogram& latency) {
     size_t released = 0;
     size_t w = 0;
     for (size_t i = 0; i < pending_.size(); ++i) {
-      if (pending_[i].epoch < current_epoch) {
-        latency.Record(now_ns - pending_[i].start_ns);
+      const Pending& p = pending_[i];
+      uint64_t gate = p.wait_durable ? durable_release_epoch : release_epoch;
+      if (p.epoch < gate) {
+        latency.Record(now_ns - p.start_ns);
+        if (p.done != nullptr) p.done(p.ctx, true, p.epoch);
         ++released;
       } else {
         pending_[w++] = pending_[i];
@@ -183,12 +210,15 @@ class GroupCommitTracker {
 
   /// Discards pending transactions from `epoch` and later without recording
   /// latency — they were reverted by failure handling (Section 4.5.2) and
-  /// never released to clients.
+  /// never released to clients.  External completions fire with
+  /// `committed = false` so their clients see the abort instead of a hang.
   size_t DropFrom(uint64_t epoch) {
     size_t dropped = 0;
     size_t w = 0;
     for (size_t i = 0; i < pending_.size(); ++i) {
-      if (pending_[i].epoch >= epoch) {
+      const Pending& p = pending_[i];
+      if (p.epoch >= epoch) {
+        if (p.done != nullptr) p.done(p.ctx, false, p.epoch);
         ++dropped;
       } else {
         pending_[w++] = pending_[i];
@@ -198,10 +228,14 @@ class GroupCommitTracker {
     return dropped;
   }
 
-  /// Releases everything unconditionally (engine shutdown).
+  /// Releases everything unconditionally (engine shutdown; the final fence
+  /// and log drain have already made every pending epoch stable).
   size_t DrainAll(uint64_t now_ns, Histogram& latency) {
     size_t released = pending_.size();
-    for (const auto& p : pending_) latency.Record(now_ns - p.start_ns);
+    for (const auto& p : pending_) {
+      latency.Record(now_ns - p.start_ns);
+      if (p.done != nullptr) p.done(p.ctx, true, p.epoch);
+    }
     pending_.clear();
     return released;
   }
@@ -212,6 +246,9 @@ class GroupCommitTracker {
   struct Pending {
     uint64_t epoch;
     uint64_t start_ns;
+    DoneFn done;
+    void* ctx;
+    bool wait_durable;
   };
   std::vector<Pending> pending_;
 };

@@ -62,10 +62,24 @@ class SnapshotContext final : public TxnContext {
   /// each local retry re-pins a fresh watermark).  A watermark of 0 — before
   /// the first fence — still serves the bulk-loaded state: loaded records
   /// carry epoch-0 TIDs.
-  void Begin() {
+  ///
+  /// `min_epoch` is the read-your-writes session floor: a session that
+  /// committed a write in epoch E must not be served a snapshot older than
+  /// E.  If the watermark has not yet caught up to `min_epoch` the attempt
+  /// fails immediately as a conflict (Begin returns false) — the caller
+  /// retries once replication applies the session's own epoch, typically
+  /// within one fence round.  Monotonic mode cannot honour a floor (there
+  /// is no pin); it reports failure the same way so callers don't silently
+  /// read stale data.
+  bool Begin(uint64_t min_epoch = 0) {
     pinned_ = mode_ == ReplicaReadMode::kSnapshot ? watermark_->watermark() : 0;
     reads_.clear();
     conflict_ = false;
+    if (min_epoch > pinned_) {
+      conflict_ = true;
+      return false;
+    }
+    return true;
   }
 
   STAR_HOT_PATH bool Read(int table, int partition, uint64_t key,

@@ -56,21 +56,34 @@ class Histogram {
   }
 
   /// Value (ns) at quantile q in [0, 1].  Returns 0 for an empty histogram.
+  /// Exact to within one sub-bucket (< 1% relative error), clamped to the
+  /// recorded maximum: a lone sample in a wide bucket reports itself rather
+  /// than the bucket's upper bound, and a quantile landing in the saturated
+  /// top decade reports the true max instead of a fabricated bound.
   uint64_t Quantile(double q) const {
     uint64_t count = count_.load(std::memory_order_relaxed);
     if (count == 0) return 0;
+    uint64_t m = max_.load(std::memory_order_relaxed);
     uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
     if (rank >= count) rank = count - 1;
     uint64_t seen = 0;
     for (size_t i = 0; i < buckets_.size(); ++i) {
       seen += buckets_[i].load(std::memory_order_relaxed);
-      if (seen > rank) return UpperBound(i);
+      if (seen > rank) {
+        uint64_t ub = UpperBound(i);
+        // Top-decade buckets absorb every overflowing value, so ub may lie
+        // far below the samples they hold; the recorded max is then the
+        // only honest answer.
+        if (i / kSubBuckets == kDecades - 1 && m > ub) return m;
+        return std::min(ub, m);
+      }
     }
-    return max_.load(std::memory_order_relaxed);
+    return m;
   }
 
   uint64_t p50() const { return Quantile(0.50); }
   uint64_t p99() const { return Quantile(0.99); }
+  uint64_t p999() const { return Quantile(0.999); }
   uint64_t max() const { return max_.load(std::memory_order_relaxed); }
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double MeanNs() const {

@@ -195,6 +195,7 @@ StarEngine::StarEngine(const StarOptions& options, const Workload& workload)
       lo.num_loggers = options_.log_workers;
       lo.fsync = options_.fsync;
       lo.affinity = options_.logger_affinity;
+      lo.segment_bytes = options_.wal_segment_bytes;
       node->logs = std::make_unique<wal::LoggerPool>(lo);
       if (!options_.rejoining) {
         // This incarnation's logs are a complete recovery basis from the
@@ -238,7 +239,8 @@ StarEngine::StarEngine(const StarOptions& options, const Workload& workload)
         // must never capture an epoch that could still revert, and E_d by
         // construction only covers committed, everywhere-fsynced epochs.
         node->checkpointer = std::make_unique<wal::Checkpointer>(
-            node->db.get(), options_.log_dir, i, &node->durable_cluster);
+            node->db.get(), options_.log_dir, i, &node->durable_cluster,
+            static_cast<size_t>(std::max(0, options_.checkpoint_max_chain)));
         node->logs->AttachCheckpointer(node->checkpointer.get(),
                                        options_.checkpoint_period_ms);
       }
@@ -362,6 +364,22 @@ StarEngine::StarEngine(const StarOptions& options, const Workload& workload)
 
   replica_targets_.resize(num_partitions_);
   sm_targets_.resize(num_partitions_);
+
+  // External request queues (serving front end).  Allocated even when no
+  // server attaches: the per-iteration cost for workers is one relaxed
+  // depth load per poll.
+  external_part_q_.reserve(static_cast<size_t>(num_partitions_));
+  for (int p = 0; p < num_partitions_; ++p) {
+    external_part_q_.push_back(std::make_unique<ExternalQueue>());
+  }
+  external_cross_q_ = std::make_unique<ExternalQueue>();
+  external_read_q_.resize(static_cast<size_t>(num_nodes_));
+  for (int n = 0; n < num_nodes_; ++n) {
+    if (nodes_[n] != nullptr) {
+      external_read_q_[n] = std::make_unique<ExternalQueue>();
+    }
+  }
+  read_route_.resize(static_cast<size_t>(num_partitions_));
 
   // A rejoining process stays invisible to fences and pings until the
   // coordinator's re-admission view arrives; everyone else is a member
@@ -602,6 +620,11 @@ void StarEngine::Start() {
       wal::RecoveryResult rr =
           wal::Recover(node->db.get(), options_.log_dir, node->id);
       node->recovered_epoch = rr.committed_epoch;
+      // Once the checkpoint chain durably covers this epoch, the logger
+      // pool may sweep the prior incarnations' files it was rebuilt from.
+      if (node->logs != nullptr) {
+        node->logs->SetPriorCommitted(rr.committed_epoch);
+      }
     }
   }
 
@@ -636,6 +659,17 @@ void StarEngine::Start() {
     coordinator_->Start();
     coordinator_thread_ = std::thread([this] { CoordinatorLoop(); });
   }
+
+  // Static read routing for external read-only requests: every hosted node
+  // with replica readers that stores the partition.
+  for (int p = 0; p < num_partitions_; ++p) {
+    read_route_[p].clear();
+    for (const auto& node : nodes_) {
+      if (node == nullptr || node->readers.empty()) continue;
+      if (node->db->HasPartition(p)) read_route_[p].push_back(node->id);
+    }
+  }
+  external_accepting_.store(true, std::memory_order_release);
 
   ResetStats();
 }
@@ -1422,27 +1456,61 @@ void StarEngine::WorkerLoop(Node& node, int worker_index) {
     // commit_wait=durable, additionally hold them until the cluster durable
     // epoch covers them: Drain releases epochs strictly below its argument,
     // so E_d durable means epochs <= E_d — i.e. < E_d + 1 — may go.
-    uint64_t release = node.epoch.load(std::memory_order_acquire);
-    if (options_.commit_wait == CommitWait::kDurable) {
-      release = std::min(
-          release, node.durable_cluster.load(std::memory_order_acquire) + 1);
-    }
-    w.tracker.Drain(release, NowNanos(), w.stats.latency);
+    // External requests that asked for wait_durable individually are gated
+    // on the durable release even when the engine-wide wait is kNone.
+    uint64_t epoch_now = node.epoch.load(std::memory_order_acquire);
+    uint64_t durable_release = std::min(
+        epoch_now, node.durable_cluster.load(std::memory_order_acquire) + 1);
+    uint64_t release = options_.commit_wait == CommitWait::kDurable
+                           ? durable_release
+                           : epoch_now;
+    w.tracker.Drain(release, durable_release, NowNanos(), w.stats.latency);
 
     if (phase == Phase::kPartitioned) {
       if (w.partitions.empty()) {
         std::this_thread::sleep_for(std::chrono::microseconds(100));
         continue;
       }
-      int partition = w.partitions[w.rr++ % w.partitions.size()];
-      RunPartitionedTxn(node, w, ctx, partition);
+      // External requests first (a client is waiting on them); the scan
+      // starts at the round-robin cursor so multi-partition workers drain
+      // their queues fairly.
+      ExternalTxn* ext = nullptr;
+      for (size_t k = 0; k < w.partitions.size() && ext == nullptr; ++k) {
+        int p = w.partitions[(w.rr + k) % w.partitions.size()];
+        ext = external_part_q_[static_cast<size_t>(p)]->Pop();
+      }
+      if (ext != nullptr) {
+        ++w.rr;
+        RunExternalPartitioned(node, w, ctx, ext);
+      } else if (options_.synthetic_load) {
+        int partition = w.partitions[w.rr++ % w.partitions.size()];
+        RunPartitionedTxn(node, w, ctx, partition);
+      } else {
+        // Open-loop serving with an empty queue: idle, don't burn the core.
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        continue;
+      }
     } else {  // kSingleMaster
       if (node.id != master_node_.load(std::memory_order_relaxed)) {
         // Standby: io threads apply the master's replication stream.
         std::this_thread::sleep_for(std::chrono::microseconds(100));
         continue;
       }
-      RunSingleMasterTxn(node, w, ctx, sync_hook);
+      // Cross-partition queue first (only this phase can serve it), then
+      // stranded single-partition requests — OCC executes those fine, and
+      // leaving them queued for a whole tau_s would double their latency.
+      ExternalTxn* ext = external_cross_q_->Pop();
+      for (int p = 0; p < num_partitions_ && ext == nullptr; ++p) {
+        ext = external_part_q_[static_cast<size_t>(p)]->Pop();
+      }
+      if (ext != nullptr) {
+        RunExternalSingleMaster(node, w, ctx, sync_hook, ext);
+      } else if (options_.synthetic_load) {
+        RunSingleMasterTxn(node, w, ctx, sync_hook);
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        continue;
+      }
     }
     // On hosts with fewer cores than workers, rotate the run queue often so
     // every worker observes fence flags quickly (keeps the stop round — and
@@ -1483,6 +1551,18 @@ void StarEngine::ReaderLoop(Node& node, int reader_index) {
       continue;
     }
     r.parked.store(false, std::memory_order_relaxed);
+
+    // External read-only requests first: a client is waiting, and in
+    // open-loop serving mode (synthetic_load off) they are the only work.
+    ExternalTxn* ext = external_read_q_[static_cast<size_t>(node.id)]->Pop();
+    if (ext != nullptr) {
+      RunExternalRead(node, r, ctx, ext);
+      continue;
+    }
+    if (!options_.synthetic_load) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      continue;
+    }
 
     int partition = parts[rr++ % parts.size()];
     TxnRequest req = workload_.MakeReadOnly(r.rng, partition, num_partitions_);
@@ -1602,6 +1682,218 @@ void StarEngine::RunSingleMasterTxn(Node& node, WorkerState& w,
     uint64_t word = node.phase_word.load(std::memory_order_acquire);
     if (PhaseOf(word) != Phase::kSingleMaster) return;
   }
+}
+
+// ---------------------------------------------------------------------------
+// External requests (serving front end, src/serve/)
+// ---------------------------------------------------------------------------
+
+void StarEngine::CompleteExternal(ExternalTxn* t, TxnStatus status,
+                                  uint64_t epoch) {
+  auto done = t->done;
+  if (done != nullptr) {
+    done(t, status, epoch);  // callee owns t from here
+  } else {
+    delete t;
+  }
+}
+
+void StarEngine::ExternalReleased(void* ctx, bool committed, uint64_t epoch) {
+  auto* t = static_cast<ExternalTxn*>(ctx);
+  CompleteExternal(
+      t, committed ? TxnStatus::kCommitted : TxnStatus::kAbortConflict, epoch);
+}
+
+bool StarEngine::SubmitExternal(ExternalTxn* t) {
+  if (!external_accepting_.load(std::memory_order_acquire)) return false;
+  if (t->submit_ns == 0) t->submit_ns = NowNanos();
+  // Without durable logging there is no durable epoch to wait for; honour
+  // the request by not wedging it behind a gate that never opens.
+  if (!options_.durable_logging) t->wait_durable = false;
+  if (t->req.read_only) {
+    const std::vector<int>& route =
+        read_route_[static_cast<size_t>(t->req.home_partition)];
+    if (route.empty()) return false;  // no replica readers can serve this
+    size_t i = read_rr_.fetch_add(1, std::memory_order_relaxed);
+    for (size_t k = 0; k < route.size(); ++k) {
+      int n = route[(i + k) % route.size()];
+      if (!nodes_[static_cast<size_t>(n)]->serving.load(
+              std::memory_order_acquire)) {
+        continue;
+      }
+      if (external_read_q_[static_cast<size_t>(n)]->Push(
+              t, options_.external_queue_cap)) {
+        return true;
+      }
+    }
+    return false;
+  }
+  if (t->req.cross_partition) {
+    // Drained by the designated master's workers in the single-master
+    // phase.  Serving assumes the server is colocated with a process that
+    // hosts the master (single-process clusters always are).
+    if (nodes_[static_cast<size_t>(
+            master_node_.load(std::memory_order_relaxed))] == nullptr) {
+      return false;
+    }
+    return external_cross_q_->Push(t, options_.external_queue_cap);
+  }
+  return external_part_q_[static_cast<size_t>(t->req.home_partition)]->Push(
+      t, options_.external_queue_cap);
+}
+
+size_t StarEngine::ExternalDepth() const {
+  size_t d = external_cross_q_->depth.load(std::memory_order_relaxed);
+  for (const auto& q : external_part_q_) {
+    d += q->depth.load(std::memory_order_relaxed);
+  }
+  for (const auto& q : external_read_q_) {
+    if (q != nullptr) d += q->depth.load(std::memory_order_relaxed);
+  }
+  return d;
+}
+
+void StarEngine::FailExternalQueues() {
+  auto fail_all = [](ExternalQueue* q) {
+    if (q == nullptr) return;
+    for (ExternalTxn* t = q->Pop(); t != nullptr; t = q->Pop()) {
+      CompleteExternal(t, TxnStatus::kAbortNetwork, 0);
+    }
+  };
+  for (const auto& q : external_part_q_) fail_all(q.get());
+  fail_all(external_cross_q_.get());
+  for (const auto& q : external_read_q_) fail_all(q.get());
+}
+
+void StarEngine::RunExternalPartitioned(Node& node, WorkerState& w,
+                                        SiloContext& ctx, ExternalTxn* t) {
+  uint64_t start = t->submit_ns;  // latency includes queue wait
+  ctx.Reset();
+  TxnStatus status = t->req.proc(ctx);
+  if (status == TxnStatus::kAbortUser) {
+    w.stats.aborted_user.fetch_add(1, std::memory_order_relaxed);
+    CompleteExternal(t, status, 0);
+    return;
+  }
+  if (status != TxnStatus::kCommitted) {
+    w.stats.aborted.fetch_add(1, std::memory_order_relaxed);
+    CompleteExternal(t, TxnStatus::kAbortConflict, 0);
+    return;
+  }
+  CommitResult cr = SiloSerialCommit(ctx, w.gen, node.epoch);
+  if (cr.status != TxnStatus::kCommitted) {
+    w.stats.aborted.fetch_add(1, std::memory_order_relaxed);
+    CompleteExternal(t, cr.status, 0);
+    return;
+  }
+  bool allow_ops = options_.replication == ReplicationMode::kHybrid;
+  ReplicateCommit(w, cr.tid, ctx.write_set(), allow_ops, replica_targets_);
+  LogCommitToWal(w, cr.tid, ctx.write_set());
+  w.stats.committed.fetch_add(1, std::memory_order_relaxed);
+  w.stats.single_partition.fetch_add(1, std::memory_order_relaxed);
+  w.tracker.Add(Tid::Epoch(cr.tid), start, &StarEngine::ExternalReleased, t,
+                t->wait_durable);
+}
+
+bool StarEngine::RunExternalSingleMaster(Node& node, WorkerState& w,
+                                         SiloContext& ctx,
+                                         const PreInstallHook& sync_hook,
+                                         ExternalTxn* t) {
+  uint64_t start = t->submit_ns;
+  bool is_sync = options_.replication == ReplicationMode::kSyncValue;
+  for (;;) {
+    ctx.Reset();
+    TxnStatus status = t->req.proc(ctx);
+    if (status == TxnStatus::kAbortUser) {
+      w.stats.aborted_user.fetch_add(1, std::memory_order_relaxed);
+      CompleteExternal(t, status, 0);
+      return true;
+    }
+    CommitResult cr;
+    if (status != TxnStatus::kCommitted) {
+      cr.status = TxnStatus::kAbortConflict;
+    } else if (is_sync) {
+      cr = SiloOccCommit(ctx, w.gen, node.epoch, sync_hook);
+    } else {
+      cr = SiloOccCommit(ctx, w.gen, node.epoch);
+    }
+    if (cr.status == TxnStatus::kCommitted) {
+      if (!is_sync) {
+        ReplicateCommit(w, cr.tid, ctx.write_set(), /*allow_ops=*/false,
+                        sm_targets_);
+      }
+      LogCommitToWal(w, cr.tid, ctx.write_set());
+      w.stats.committed.fetch_add(1, std::memory_order_relaxed);
+      if (t->req.cross_partition) {
+        w.stats.cross_partition.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        w.stats.single_partition.fetch_add(1, std::memory_order_relaxed);
+      }
+      w.tracker.Add(Tid::Epoch(cr.tid), start, &StarEngine::ExternalReleased,
+                    t, t->wait_durable);
+      return true;
+    }
+    w.stats.aborted.fetch_add(1, std::memory_order_relaxed);
+    uint64_t word = node.phase_word.load(std::memory_order_acquire);
+    if (PhaseOf(word) != Phase::kSingleMaster) {
+      // The phase ended mid-retry: requeue for the next owner instead of
+      // holding the stop round hostage.  A full queue fails the request —
+      // the client retries against fresh admission control.
+      ExternalQueue& q =
+          t->req.cross_partition
+              ? *external_cross_q_
+              : *external_part_q_[static_cast<size_t>(t->req.home_partition)];
+      if (!q.Push(t, options_.external_queue_cap)) {
+        CompleteExternal(t, TxnStatus::kAbortConflict, 0);
+      }
+      return false;
+    }
+  }
+}
+
+void StarEngine::RunExternalRead(Node& node, ReaderState& r,
+                                 SnapshotContext& ctx, ExternalTxn* t) {
+  constexpr int kMaxAttempts = 8;
+  // Read-your-writes floor: a watermark below the session's last commit
+  // epoch fails Begin; the fence normally publishes that epoch within one
+  // iteration, so wait for it (bounded) instead of failing the request.
+  uint64_t floor_deadline =
+      NowNanos() +
+      MillisToNanos(4.0 * options_.iteration_ms + options_.min_phase_ms);
+  TxnStatus final_status = TxnStatus::kAbortConflict;
+  uint64_t pinned = 0;
+  for (int attempt = 0; attempt < kMaxAttempts;) {
+    if (node.readers_pause.load(std::memory_order_acquire) ||
+        !node.serving.load(std::memory_order_acquire) ||
+        !running_.load(std::memory_order_acquire)) {
+      break;
+    }
+    if (!ctx.Begin(t->min_epoch)) {
+      if (NowNanos() > floor_deadline) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      continue;  // floor waits don't consume conflict attempts
+    }
+    TxnStatus status = t->req.proc(ctx);
+    if (status == TxnStatus::kCommitted && ctx.Commit()) {
+      r.keys.fetch_add(ctx.validated_keys(), std::memory_order_relaxed);
+      final_status = TxnStatus::kCommitted;
+      pinned = ctx.pinned();
+      break;
+    }
+    if (status != TxnStatus::kCommitted && !ctx.conflicted()) {
+      final_status = status;  // genuine user outcome, same at any snapshot
+      break;
+    }
+    r.conflicts.fetch_add(1, std::memory_order_relaxed);
+    ++attempt;
+    std::this_thread::yield();
+  }
+  if (final_status == TxnStatus::kCommitted) {
+    r.committed.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    r.aborted.fetch_add(1, std::memory_order_relaxed);
+  }
+  CompleteExternal(t, final_status, pinned);
 }
 
 void StarEngine::ReplicateCommit(WorkerState& w, uint64_t tid,
@@ -1866,6 +2158,9 @@ Metrics StarEngine::Stop() {
   Metrics before = Snapshot();
   double seconds = before.seconds;
 
+  // Refuse new external requests before any thread winds down; requests
+  // already queued are failed below once their executors have exited.
+  external_accepting_.store(false, std::memory_order_release);
   running_.store(false, std::memory_order_release);
   if (coordinator_thread_.joinable()) coordinator_thread_.join();
 
@@ -1903,6 +2198,8 @@ Metrics StarEngine::Stop() {
     if (node->control_thread.joinable()) node->control_thread.join();
     if (node->checkpointer) node->checkpointer->Stop();
   }
+  // Workers and readers are gone; anything still queued can never execute.
+  FailExternalQueues();
   // Drain in-flight replication so all replicas converge before the io
   // threads stop (workers flushed their streams when they parked).
   uint64_t drain_deadline = NowNanos() + MillisToNanos(500);

@@ -14,6 +14,7 @@
 #include "common/clock.h"
 #include "common/config.h"
 #include "common/mutex.h"
+#include "common/spinlock.h"
 #include "common/stats.h"
 #include "common/thread_annotations.h"
 #include "core/options.h"
@@ -26,6 +27,8 @@
 #include "wal/wal.h"
 
 namespace star {
+
+class SnapshotContext;
 
 /// The STAR engine: a cluster of f full replicas and k partial replicas
 /// running the phase-switching protocol of Section 4 over an abstract
@@ -178,6 +181,39 @@ class StarEngine {
     return nodes_[node] != nullptr ? nodes_[node]->watermark.get() : nullptr;
   }
 
+  // --- external request submission (serving front end, src/serve/) ---
+
+  /// An externally submitted stored-procedure invocation.  The engine
+  /// executes it on the thread class that owns its routing: partitioned
+  /// workers for single-partition writes, the designated master's workers
+  /// for cross-partition writes, replica readers for read-only requests.
+  /// `done` is invoked exactly once, on the executing thread — at
+  /// group-commit release for writes (results are never released before
+  /// their epoch closes; `wait_durable` additionally holds them until the
+  /// cluster durable epoch covers the commit, i.e. per-request
+  /// commit_wait=durable), immediately for read-only snapshots and aborts.
+  /// Ownership transfers to `done`; a null `done` makes the engine delete
+  /// the object itself.
+  struct ExternalTxn {
+    TxnRequest req;
+    uint64_t submit_ns = 0;     // injection timestamp; 0 = stamp at submit
+    uint64_t min_epoch = 0;     // read-your-writes floor (read-only only)
+    bool wait_durable = false;  // per-request commit_wait=durable
+    void (*done)(ExternalTxn* t, TxnStatus status, uint64_t epoch) = nullptr;
+    void* owner = nullptr;      // callback context (e.g. the serve server)
+    uint64_t tag0 = 0, tag1 = 0, tag2 = 0;  // opaque callback words
+  };
+
+  /// Queues `t` for execution.  Returns false — ownership stays with the
+  /// caller — when the target queue is full (backpressure: the caller
+  /// sheds) or no hosted thread can serve the class (e.g. a read-only
+  /// request with no replica readers for its partition).
+  bool SubmitExternal(ExternalTxn* t);
+
+  /// Queued-but-not-yet-executing external requests: the admission
+  /// controller's queue-depth signal.
+  size_t ExternalDepth() const;
+
  private:
   struct WorkerState {
     explicit WorkerState(uint64_t seed, uint64_t tid_thread)
@@ -328,6 +364,53 @@ class StarEngine {
   void PauseReaders(Node& node);
   void ResumeReaders(Node& node);
 
+  /// A bounded multi-producer queue of externally submitted requests.
+  /// Spinlocked deque rather than an MPSC ring because the consumer
+  /// migrates with phase switches and view changes (partitioned-phase owner
+  /// vs the single-master's workers) — there is no single consumer to
+  /// dedicate a ring to — and serving rates sit far below the lock's
+  /// capacity.  `depth` shadows q.size() so admission control and the
+  /// workers' empty-poll never take the lock.
+  struct STAR_CACHELINE_ALIGNED ExternalQueue {
+    SpinLock mu;
+    std::deque<ExternalTxn*> q STAR_GUARDED_BY(mu);
+    std::atomic<size_t> depth{0};
+
+    bool Push(ExternalTxn* t, size_t cap) {
+      SpinLockGuard g(mu);
+      if (q.size() >= cap) return false;
+      q.push_back(t);
+      depth.store(q.size(), std::memory_order_relaxed);
+      return true;
+    }
+    ExternalTxn* Pop() {
+      if (depth.load(std::memory_order_relaxed) == 0) return nullptr;
+      SpinLockGuard g(mu);
+      if (q.empty()) return nullptr;
+      ExternalTxn* t = q.front();
+      q.pop_front();
+      depth.store(q.size(), std::memory_order_relaxed);
+      return t;
+    }
+  };
+
+  // External-request execution (see ExternalTxn).
+  void RunExternalPartitioned(Node& node, WorkerState& w, SiloContext& ctx,
+                              ExternalTxn* t);
+  bool RunExternalSingleMaster(Node& node, WorkerState& w, SiloContext& ctx,
+                               const PreInstallHook& sync_hook,
+                               ExternalTxn* t);
+  void RunExternalRead(Node& node, ReaderState& r, SnapshotContext& ctx,
+                       ExternalTxn* t);
+  /// GroupCommitTracker::DoneFn trampoline: epoch released (or dropped by a
+  /// revert) → fire the request's completion.
+  static void ExternalReleased(void* ctx, bool committed, uint64_t epoch);
+  /// Fires `done` exactly once and hands it ownership of `t`.
+  static void CompleteExternal(ExternalTxn* t, TxnStatus status,
+                               uint64_t epoch);
+  /// Fails every queued external request (engine shutdown).
+  void FailExternalQueues();
+
   // Worker helpers.
   void RunPartitionedTxn(Node& node, WorkerState& w, SiloContext& ctx,
                          int partition);
@@ -389,6 +472,22 @@ class StarEngine {
   std::unique_ptr<net::Endpoint> coordinator_;  // endpoint id == num_nodes_
   /// nodes_[i] is null when node i lives in another process.
   std::vector<std::unique_ptr<Node>> nodes_;
+
+  /// External request queues (serving front end): one per partition for
+  /// single-partition writes (drained by the partitioned-phase owner, or by
+  /// the master's workers during the single-master phase), one for
+  /// cross-partition writes (master's workers only), one per hosted node
+  /// for read-only requests (replica readers).
+  std::vector<std::unique_ptr<ExternalQueue>> external_part_q_;
+  std::unique_ptr<ExternalQueue> external_cross_q_;
+  std::vector<std::unique_ptr<ExternalQueue>> external_read_q_;
+  /// partition → hosted nodes with replica readers storing it (computed at
+  /// Start; static routing — rejoin/failure re-routing is the serve layer's
+  /// retry problem, not the queue's).
+  std::vector<std::vector<int>> read_route_;
+  std::atomic<size_t> read_rr_{0};
+  /// Gate for SubmitExternal: true between Start() and the head of Stop().
+  std::atomic<bool> external_accepting_{false};
 
   /// Replication targets per partition, derived from the applied view;
   /// only mutated while all hosted workers are parked (fence).

@@ -72,6 +72,14 @@ struct StarOptions {
   /// Pin logger threads to cores (Linux; off by default — pointless on the
   /// single-vCPU dev container).
   bool logger_affinity = false;
+  /// WAL/checkpoint GC: rotate each shard WAL into segments of this size;
+  /// segments (and prior incarnations) fully covered by a durable
+  /// checkpoint link are deleted, so sustained serving load cannot grow
+  /// the log directory unboundedly.  0 = never rotate.
+  size_t wal_segment_bytes = 64ull << 20;
+  /// Compact the checkpoint chain into a fresh base once it reaches this
+  /// many links, sweeping the superseded link files.  0 = never compact.
+  int checkpoint_max_chain = 16;
   /// See CommitWait.  kDurable requires durable_logging.
   CommitWait commit_wait = CommitWait::kNone;
   /// Recover the hosted nodes' databases from log_dir before serving
@@ -114,6 +122,18 @@ struct StarOptions {
   /// snapshot, validated, the default) or kMonotonic (best-effort fresh, no
   /// validation) — see ReplicaReadMode.
   ReplicaReadMode replica_read_mode = ReplicaReadMode::kSnapshot;
+
+  // --- external requests (serving front end, src/serve/) ---
+
+  /// When true (the default, and what every closed-loop bench measures),
+  /// workers and readers generate their own Workload transactions whenever
+  /// no external request is queued.  The serving bench turns this off so
+  /// the engine executes exactly the offered open-loop load and idle
+  /// threads sleep instead of saturating the machine.
+  bool synthetic_load = true;
+  /// Per-queue bound on externally submitted requests; SubmitExternal
+  /// returns false at the bound (backpressure → the server sheds).
+  size_t external_queue_cap = 8192;
 
   // --- deployment (Transport split) ---
 

@@ -1,0 +1,138 @@
+#ifndef STAR_SERVE_ADMISSION_H_
+#define STAR_SERVE_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/thread_annotations.h"
+
+namespace star::serve {
+
+/// Queue-depth / SLO-budget admission gate.
+///
+/// The estimator is Little's law run backwards: the server's drain rate is
+/// tracked as an EWMA of the interval between request completions, so a
+/// newly arriving request behind `inflight` others can expect to wait about
+/// `inflight × inter_completion`.  When that estimate exceeds the SLO
+/// budget the request is shed *at the door* — an open-loop arrival process
+/// has no self-throttling, so without this gate the queue (and p99) grows
+/// without bound the moment offered load crosses capacity.  Shedding early
+/// converts overload into a bounded-p99 + explicit-shed-rate regime, which
+/// is the degradation mode a front end wants (and what the kShed frame
+/// reports back to clients, 429-style).
+///
+/// Admit() runs on the server's io thread; OnComplete() on whichever engine
+/// thread finishes the request — everything is relaxed atomics, no locks.
+/// Bursty completion is expected (group commit releases a whole epoch at
+/// once): the EWMA spans bursts and gaps alike, which is exactly the
+/// average drain rate the estimate needs.
+class AdmissionController {
+ public:
+  struct Options {
+    /// The tail budget: shed when the estimated queue wait exceeds this.
+    /// Must comfortably exceed the group-commit floor (one iteration_ms),
+    /// which every write pays regardless of load.
+    uint64_t slo_budget_ns = 50ull * 1000 * 1000;
+    /// Hard ceiling on admitted-but-uncompleted requests; a backstop for
+    /// the estimator, not the primary gate.
+    size_t max_inflight = 4096;
+    /// Always admit below this depth: bootstraps the drain-rate estimate
+    /// from idle and keeps a trickle flowing to refresh a stale one.
+    size_t bootstrap_inflight = 8;
+    /// EWMA weight as a right-shift (4 → alpha = 1/16).
+    unsigned ewma_shift = 4;
+  };
+
+  explicit AdmissionController(Options opts) : opts_(opts) {}
+
+  /// Gate one request.  On admit, the caller owes exactly one OnComplete()
+  /// or OnCancel().  On shed, `est_wait_ns` (if non-null) receives the
+  /// estimate that tripped the gate.
+  bool Admit(uint64_t now_ns, uint64_t* est_wait_ns) {
+    (void)now_ns;
+    size_t inflight = inflight_.load(std::memory_order_relaxed);
+    if (inflight >= opts_.max_inflight) {
+      if (est_wait_ns != nullptr) *est_wait_ns = EstimateWait(inflight);
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (inflight >= opts_.bootstrap_inflight) {
+      uint64_t est = EstimateWait(inflight);
+      if (est > opts_.slo_budget_ns) {
+        if (est_wait_ns != nullptr) *est_wait_ns = est;
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// A previously admitted request finished (any outcome the client saw).
+  void OnComplete(uint64_t now_ns) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t last = last_complete_ns_.exchange(now_ns,
+                                               std::memory_order_relaxed);
+    if (last == 0 || now_ns <= last) return;
+    uint64_t sample = now_ns - last;
+    uint64_t cur = inter_complete_ns_.load(std::memory_order_relaxed);
+    uint64_t next =
+        cur == 0 ? sample
+                 : cur - (cur >> opts_.ewma_shift) +
+                       (sample >> opts_.ewma_shift);
+    inter_complete_ns_.store(next, std::memory_order_relaxed);
+  }
+
+  /// A previously admitted request never reached the engine (submit
+  /// bounced); undo the inflight charge without polluting the drain rate.
+  void OnCancel() { inflight_.fetch_sub(1, std::memory_order_relaxed); }
+
+  uint64_t EstimateWait(size_t inflight) const {
+    return static_cast<uint64_t>(inflight) *
+           inter_complete_ns_.load(std::memory_order_relaxed);
+  }
+
+  size_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+  uint64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+  uint64_t inter_complete_ns() const {
+    return inter_complete_ns_.load(std::memory_order_relaxed);
+  }
+  const Options& options() const { return opts_; }
+
+ private:
+  Options opts_;
+  /// Io-thread written (Admit) vs engine-thread written (OnComplete)
+  /// atomics live on separate cache lines.
+  struct alignas(64) {
+    std::atomic<size_t> v{0};
+  } inflight_pad_;
+  std::atomic<size_t>& inflight_ = inflight_pad_.v;
+  struct alignas(64) {
+    std::atomic<uint64_t> admitted{0};
+    std::atomic<uint64_t> shed{0};
+  } gate_;
+  std::atomic<uint64_t>& admitted_ = gate_.admitted;
+  std::atomic<uint64_t>& shed_ = gate_.shed;
+  struct alignas(64) {
+    std::atomic<uint64_t> completed{0};
+    std::atomic<uint64_t> last_complete_ns{0};
+    std::atomic<uint64_t> inter_complete_ns{0};
+  } drain_;
+  std::atomic<uint64_t>& completed_ = drain_.completed;
+  std::atomic<uint64_t>& last_complete_ns_ = drain_.last_complete_ns;
+  std::atomic<uint64_t>& inter_complete_ns_ = drain_.inter_complete_ns;
+};
+
+}  // namespace star::serve
+
+#endif  // STAR_SERVE_ADMISSION_H_

@@ -1,0 +1,290 @@
+#include "serve/loadgen.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <fcntl.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "serve/protocol.h"
+
+namespace star::serve {
+
+namespace {
+
+void SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+int DialLoopback(uint16_t port) {
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    close(fd);
+    return -1;
+  }
+  SetNoDelay(fd);
+  SetNonBlocking(fd);
+  return fd;
+}
+
+/// One simulated client: a connection, its session, its outstanding
+/// requests keyed by request id → scheduled arrival time.
+struct Client {
+  int fd = -1;
+  uint64_t session = 0;
+  bool hello_acked = false;
+  std::string out;          // unsent bytes (honest open loop: never blocks)
+  size_t out_off = 0;
+  char hdr[kHeaderSize];
+  size_t hdr_have = 0;
+  FrameHeader head;
+  bool in_body = false;
+  char body[64];
+  size_t body_have = 0;
+  std::unordered_map<uint64_t, uint64_t> outstanding;  // req id → sched ns
+};
+
+struct ThreadStats {
+  uint64_t offered = 0, sent = 0, ok = 0, aborted = 0, retry = 0, bad = 0,
+           shed = 0, lost = 0;
+  Histogram latency;
+};
+
+void FlushClient(Client& c) {
+  while (c.out_off < c.out.size()) {
+    ssize_t n = send(c.fd, c.out.data() + c.out_off, c.out.size() - c.out_off,
+                     MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EAGAIN: keep the backlog, the arrival clock keeps ticking
+  }
+  if (c.out_off == c.out.size()) {
+    c.out.clear();
+    c.out_off = 0;
+  } else if (c.out_off > (1u << 16)) {
+    c.out.erase(0, c.out_off);
+    c.out_off = 0;
+  }
+}
+
+/// Parses whatever responses are readable; records latencies.
+void PumpResponses(Client& c, ThreadStats& st, uint64_t now) {
+  for (;;) {
+    if (!c.in_body) {
+      ssize_t n = recv(c.fd, c.hdr + c.hdr_have, kHeaderSize - c.hdr_have, 0);
+      if (n <= 0) return;
+      c.hdr_have += static_cast<size_t>(n);
+      if (c.hdr_have < kHeaderSize) continue;
+      c.hdr_have = 0;
+      if (!DecodeHeader(c.hdr, &c.head) || c.head.body_len > sizeof(c.body)) {
+        return;  // server never sends this; treat as stream end
+      }
+      if (c.head.body_len == 0) {
+        if (static_cast<FrameType>(c.head.type) == FrameType::kHelloAck) {
+          c.session = c.head.session;
+          c.hello_acked = true;
+        }
+        continue;
+      }
+      c.in_body = true;
+      c.body_have = 0;
+      continue;
+    }
+    ssize_t n = recv(c.fd, c.body + c.body_have, c.head.body_len - c.body_have,
+                     0);
+    if (n <= 0) return;
+    c.body_have += static_cast<size_t>(n);
+    if (c.body_have < c.head.body_len) continue;
+    c.in_body = false;
+    FrameType ft = static_cast<FrameType>(c.head.type);
+    auto it = c.outstanding.find(c.head.request_id);
+    uint64_t sched = it != c.outstanding.end() ? it->second : 0;
+    if (it != c.outstanding.end()) c.outstanding.erase(it);
+    if (ft == FrameType::kShed) {
+      ++st.shed;
+      continue;
+    }
+    if (ft != FrameType::kResult) continue;
+    ResultBody r;
+    if (!DecodeResult(c.body, c.head.body_len, &r)) continue;
+    switch (static_cast<Status>(r.status)) {
+      case Status::kOk:
+        ++st.ok;
+        break;
+      case Status::kAbortConflict:
+      case Status::kAbortUser:
+        ++st.aborted;
+        break;
+      case Status::kRetry:
+        ++st.retry;
+        continue;  // never completed service; no latency sample
+      default:
+        ++st.bad;
+        continue;
+    }
+    // Accepted-request latency from the scheduled arrival: this is the
+    // anti-coordinated-omission measurement the bench reports.
+    if (sched != 0 && now > sched) st.latency.Record(now - sched);
+  }
+}
+
+void InjectorThread(const LoadGenOptions& opts, int tid, ThreadStats* st) {
+  Rng rng(opts.seed * 7919 + static_cast<uint64_t>(tid) * 104729 + 1);
+  std::vector<Client> clients(static_cast<size_t>(opts.conns_per_thread));
+  for (auto& c : clients) {
+    c.fd = DialLoopback(opts.port);
+    if (c.fd < 0) continue;
+    FrameHeader hello;
+    hello.type = static_cast<uint16_t>(FrameType::kHello);
+    char buf[kHeaderSize];
+    EncodeHeader(buf, hello);
+    c.out.append(buf, sizeof(buf));
+    FlushClient(c);
+  }
+
+  double per_thread_tps = opts.offered_tps / opts.threads;
+  double mean_gap_ns = 1e9 / (per_thread_tps > 0 ? per_thread_tps : 1.0);
+  uint64_t start = NowNanos();
+  uint64_t end = start + static_cast<uint64_t>(opts.duration_s * 1e9);
+  uint64_t drain_end = end + static_cast<uint64_t>(opts.drain_s * 1e9);
+  // First arrival after one exponential gap, not at t=0 (all threads
+  // starting with a synchronized burst would not be a Poisson process).
+  double u0 = rng.NextDouble();
+  uint64_t next_arrival =
+      start + static_cast<uint64_t>(-std::log(1.0 - u0) * mean_gap_ns);
+  uint64_t next_req = 1;
+  size_t rr = 0;
+
+  for (;;) {
+    uint64_t now = NowNanos();
+    if (now >= end) break;
+    // Inject every arrival the Poisson clock says is due — even if the
+    // socket is backed up, the request's latency clock starts now.
+    while (next_arrival <= now) {
+      Client& c = clients[rr++ % clients.size()];
+      if (c.fd >= 0) {
+        bool read = rng.Flip(opts.read_fraction);
+        bool cross = !read && rng.Flip(opts.cross_fraction);
+        CallBody call;
+        call.partition =
+            static_cast<uint32_t>(rng.Uniform(
+                static_cast<uint64_t>(opts.num_partitions > 0
+                                          ? opts.num_partitions
+                                          : 1)));
+        call.seed = rng.Next();
+        call.flags = (!read && rng.Flip(opts.durable_fraction))
+                         ? kCallWaitDurable
+                         : 0;
+        FrameHeader h;
+        h.type = static_cast<uint16_t>(FrameType::kCall);
+        h.body_len = kCallBodySize;
+        h.proc = read ? opts.read_proc
+                      : (cross ? opts.cross_proc : opts.write_proc);
+        h.session = c.session;
+        h.request_id = next_req++;
+        char buf[kHeaderSize + kCallBodySize];
+        EncodeHeader(buf, h);
+        EncodeCall(buf + kHeaderSize, call);
+        c.out.append(buf, sizeof(buf));
+        c.outstanding.emplace(h.request_id, next_arrival);
+        ++st->offered;
+        ++st->sent;
+      } else {
+        ++st->offered;  // nowhere to send it: still offered, will be lost
+        ++st->lost;
+      }
+      double u = rng.NextDouble();
+      next_arrival += static_cast<uint64_t>(-std::log(1.0 - u) * mean_gap_ns);
+    }
+    for (auto& c : clients) {
+      if (c.fd < 0) continue;
+      FlushClient(c);
+      PumpResponses(c, *st, now);
+    }
+    uint64_t wake = next_arrival < end ? next_arrival : end;
+    now = NowNanos();
+    if (wake > now + 200'000) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+
+  // Drain: flush backlogs and collect stragglers until quiet or deadline.
+  for (;;) {
+    uint64_t now = NowNanos();
+    if (now >= drain_end) break;
+    size_t pending = 0;
+    for (auto& c : clients) {
+      if (c.fd < 0) continue;
+      FlushClient(c);
+      PumpResponses(c, *st, now);
+      pending += c.outstanding.size() + (c.out.size() - c.out_off);
+    }
+    if (pending == 0) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  for (auto& c : clients) {
+    if (c.fd < 0) continue;
+    st->lost += c.outstanding.size();
+    close(c.fd);
+  }
+}
+
+}  // namespace
+
+LoadGenResult RunOpenLoopLoad(const LoadGenOptions& opts) {
+  std::vector<ThreadStats> stats(static_cast<size_t>(opts.threads));
+  std::vector<std::thread> threads;
+  threads.reserve(stats.size());
+  uint64_t t0 = NowNanos();
+  for (int i = 0; i < opts.threads; ++i) {
+    threads.emplace_back(InjectorThread, std::cref(opts), i, &stats[i]);
+  }
+  for (auto& t : threads) t.join();
+  uint64_t t1 = NowNanos();
+
+  LoadGenResult r;
+  for (const ThreadStats& s : stats) {
+    r.offered += s.offered;
+    r.sent += s.sent;
+    r.ok += s.ok;
+    r.aborted += s.aborted;
+    r.retry += s.retry;
+    r.bad += s.bad;
+    r.shed += s.shed;
+    r.lost += s.lost;
+    r.latency.Merge(s.latency);
+  }
+  double secs = (t1 - t0) / 1e9;
+  uint64_t completed = r.ok + r.aborted;
+  r.achieved_tps = secs > 0 ? completed / secs : 0.0;
+  uint64_t judged = completed + r.shed;
+  r.shed_rate = judged > 0 ? static_cast<double>(r.shed) / judged : 0.0;
+  return r;
+}
+
+}  // namespace star::serve

@@ -1,0 +1,149 @@
+#ifndef STAR_SERVE_PROTOCOL_H_
+#define STAR_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace star::serve {
+
+/// Client-facing wire protocol: length-prefixed frames in the style of the
+/// cluster transport (net/tcp_transport.h), but versioned and hardened
+/// separately — clients are untrusted, so every field is bounds-checked and
+/// a malformed frame closes the connection instead of asserting.
+///
+/// Frame = fixed 32-byte header + body of header.body_len bytes.  All
+/// integers are host-order (client and server share the machine or the
+/// architecture, same as the cluster protocol).  The body of a kCall is
+/// decoded zero-copy out of a payload-pool buffer; responses are batched
+/// per connection by the server's io thread.
+
+constexpr uint32_t kMagic = 0x31565253;  // "SRV1"
+constexpr size_t kHeaderSize = 32;
+/// Requests and responses are tiny; anything bigger is a protocol error
+/// (and closes the connection) rather than an allocation request.
+constexpr uint32_t kMaxBody = 1u << 20;
+
+enum class FrameType : uint16_t {
+  kHello = 1,     // open a session; server replies kHelloAck (session in hdr)
+  kHelloAck = 2,
+  kCall = 3,      // invoke a stored procedure; body = CallBody
+  kResult = 4,    // outcome of a kCall; body = ResultBody
+  kShed = 5,      // admission control rejected the call (the 429 analogue);
+                  // body = ShedBody
+  kGoodbye = 6,   // close the session (fire-and-forget)
+};
+
+/// ResultBody::status values.
+enum class Status : uint8_t {
+  kOk = 0,
+  kAbortConflict = 1,  // CC abort after server-side retries; retryable
+  kAbortUser = 2,      // application abort (e.g. TPC-C invalid item id)
+  kRetry = 3,          // transient server condition (pause/shutdown)
+  kBadRequest = 4,     // unknown procedure id or malformed body
+};
+
+struct FrameHeader {
+  uint32_t magic = kMagic;
+  uint32_t body_len = 0;
+  uint16_t type = 0;       // FrameType
+  uint16_t flags = 0;
+  uint32_t proc = 0;       // kCall: procedure id, echoed on the response
+  uint64_t session = 0;    // 0 until kHelloAck assigns one
+  uint64_t request_id = 0; // client-chosen, echoed verbatim
+};
+static_assert(sizeof(uint32_t) * 2 + sizeof(uint16_t) * 2 + sizeof(uint32_t) +
+                      sizeof(uint64_t) * 2 ==
+                  kHeaderSize,
+              "header layout drifted");
+
+inline void EncodeHeader(char* out, const FrameHeader& h) {
+  std::memcpy(out, &h.magic, 4);
+  std::memcpy(out + 4, &h.body_len, 4);
+  std::memcpy(out + 8, &h.type, 2);
+  std::memcpy(out + 10, &h.flags, 2);
+  std::memcpy(out + 12, &h.proc, 4);
+  std::memcpy(out + 16, &h.session, 8);
+  std::memcpy(out + 24, &h.request_id, 8);
+}
+
+/// Returns false on a bad magic or an oversized body — the caller must
+/// treat either as a protocol error and drop the connection.
+inline bool DecodeHeader(const char* in, FrameHeader* h) {
+  std::memcpy(&h->magic, in, 4);
+  std::memcpy(&h->body_len, in + 4, 4);
+  std::memcpy(&h->type, in + 8, 2);
+  std::memcpy(&h->flags, in + 10, 2);
+  std::memcpy(&h->proc, in + 12, 4);
+  std::memcpy(&h->session, in + 16, 8);
+  std::memcpy(&h->request_id, in + 24, 8);
+  return h->magic == kMagic && h->body_len <= kMaxBody;
+}
+
+/// kCall body: the procedure's deterministic argument seed.  The registry
+/// regenerates the full argument surface (keys, item counts, amounts) from
+/// (seed, partition) with the workload's own generator, so the wire stays a
+/// fixed 13 bytes while exercising every proc the engine knows.
+constexpr uint8_t kCallWaitDurable = 1;  // per-request commit_wait=durable
+
+struct CallBody {
+  uint32_t partition = 0;
+  uint64_t seed = 0;
+  uint8_t flags = 0;  // kCallWaitDurable
+};
+constexpr size_t kCallBodySize = 13;
+
+inline void EncodeCall(char* out, const CallBody& c) {
+  std::memcpy(out, &c.partition, 4);
+  std::memcpy(out + 4, &c.seed, 8);
+  std::memcpy(out + 12, &c.flags, 1);
+}
+
+inline bool DecodeCall(const char* in, size_t len, CallBody* c) {
+  if (len < kCallBodySize) return false;
+  std::memcpy(&c->partition, in, 4);
+  std::memcpy(&c->seed, in + 4, 8);
+  std::memcpy(&c->flags, in + 12, 1);
+  return true;
+}
+
+/// kResult body: outcome + the commit epoch (clients feed the epoch back as
+/// their session's read-your-writes floor; 0 for aborts and reads served
+/// from snapshots before any commit).
+struct ResultBody {
+  uint8_t status = 0;  // Status
+  uint64_t epoch = 0;
+};
+constexpr size_t kResultBodySize = 9;
+
+inline void EncodeResult(char* out, const ResultBody& r) {
+  std::memcpy(out, &r.status, 1);
+  std::memcpy(out + 1, &r.epoch, 8);
+}
+
+inline bool DecodeResult(const char* in, size_t len, ResultBody* r) {
+  if (len < kResultBodySize) return false;
+  std::memcpy(&r->status, in, 1);
+  std::memcpy(&r->epoch, in + 1, 8);
+  return true;
+}
+
+/// kShed body: the queue-wait estimate that tripped the gate, so clients
+/// can back off proportionally instead of hammering a saturated server.
+struct ShedBody {
+  uint64_t est_wait_ns = 0;
+};
+constexpr size_t kShedBodySize = 8;
+
+inline void EncodeShed(char* out, const ShedBody& s) {
+  std::memcpy(out, &s.est_wait_ns, 8);
+}
+
+inline bool DecodeShed(const char* in, size_t len, ShedBody* s) {
+  if (len < kShedBodySize) return false;
+  std::memcpy(&s->est_wait_ns, in, 8);
+  return true;
+}
+
+}  // namespace star::serve
+
+#endif  // STAR_SERVE_PROTOCOL_H_

@@ -1,0 +1,80 @@
+#include "serve/registry.h"
+
+#include <algorithm>
+
+#include "workload/tpcc.h"
+#include "workload/ycsb.h"
+
+namespace star::serve {
+
+void ProcRegistry::Register(Proc p) { procs_.push_back(std::move(p)); }
+
+const ProcRegistry::Proc* ProcRegistry::Find(uint32_t id) const {
+  for (const Proc& p : procs_) {
+    if (p.id == id) return &p;
+  }
+  return nullptr;
+}
+
+bool ProcRegistry::Make(uint32_t id, uint64_t seed, int partition,
+                        int num_partitions, TxnRequest* out) const {
+  const Proc* p = Find(id);
+  if (p == nullptr || num_partitions <= 0) return false;
+  partition = std::clamp(partition, 0, num_partitions - 1);
+  Rng rng(seed);
+  *out = p->make(rng, partition, num_partitions);
+  if (out->proc == nullptr) return false;
+  // The entry's routing flags are the contract, not whatever the maker set:
+  // a request routed to the replica readers must really be read-only.
+  out->read_only = p->read_only;
+  out->cross_partition = p->cross_partition;
+  out->home_partition = partition;
+  return true;
+}
+
+ProcRegistry ProcRegistry::ForWorkload(const Workload& w) {
+  ProcRegistry r;
+  r.Register({kSingle, "single", /*read_only=*/false, /*cross=*/false,
+              [&w](Rng& rng, int p, int n) {
+                return w.MakeSinglePartition(rng, p, n);
+              }});
+  r.Register({kCross, "cross", /*read_only=*/false, /*cross=*/true,
+              [&w](Rng& rng, int p, int n) {
+                return w.MakeCrossPartition(rng, p, n);
+              }});
+  r.Register({kReadOnly, "read_only", /*read_only=*/true, /*cross=*/false,
+              [&w](Rng& rng, int p, int n) {
+                return w.MakeReadOnly(rng, p, n);
+              }});
+  return r;
+}
+
+ProcRegistry ProcRegistry::ForTpcc(const TpccWorkload& w) {
+  ProcRegistry r = ForWorkload(w);
+  r.Register({kTpccNewOrder, "new_order", /*read_only=*/false,
+              /*cross=*/false, [&w](Rng& rng, int p, int n) {
+                return w.MakeNewOrder(rng, p, n, /*cross=*/false);
+              }});
+  r.Register({kTpccPayment, "payment", /*read_only=*/false, /*cross=*/false,
+              [&w](Rng& rng, int p, int n) {
+                return w.MakePayment(rng, p, n, /*cross=*/false);
+              }});
+  r.Register({kTpccOrderStatus, "order_status", /*read_only=*/true,
+              /*cross=*/false, [&w](Rng& rng, int p, int n) {
+                (void)n;
+                return w.MakeOrderStatus(rng, p);
+              }});
+  r.Register({kTpccDelivery, "delivery", /*read_only=*/false,
+              /*cross=*/false, [&w](Rng& rng, int p, int n) {
+                (void)n;
+                return w.MakeDelivery(rng, p);
+              }});
+  r.Register({kTpccStockLevel, "stock_level", /*read_only=*/true,
+              /*cross=*/false, [&w](Rng& rng, int p, int n) {
+                (void)n;
+                return w.MakeStockLevel(rng, p);
+              }});
+  return r;
+}
+
+}  // namespace star::serve

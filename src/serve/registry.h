@@ -1,0 +1,77 @@
+#ifndef STAR_SERVE_REGISTRY_H_
+#define STAR_SERVE_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cc/txn.h"
+#include "cc/workload.h"
+#include "common/rng.h"
+
+namespace star {
+class TpccWorkload;
+class YcsbWorkload;
+}  // namespace star
+
+namespace star::serve {
+
+/// A registry of named stored procedures over the function-shaped workload
+/// procs (the YDB grpc_services→executer layering, scaled to this repo: the
+/// wire names a procedure, the registry turns it into a TxnRequest, the
+/// engine's queues execute it on whichever phase owns it).
+///
+/// Invocation model: a kCall carries (proc id, partition, seed).  The maker
+/// regenerates the procedure's full argument surface deterministically from
+/// an Rng seeded with the client's seed — TPC-C item lists, amounts and
+/// customer selections, YCSB key sets — so the wire format stays a fixed
+/// 13 bytes while the server executes exactly the transactions the paper's
+/// workloads define.  `read_only` / `cross_partition` on the entry are the
+/// routing contract: the registry stamps them onto the produced request so
+/// a client cannot smuggle a write into the replica-reader path.
+class ProcRegistry {
+ public:
+  struct Proc {
+    uint32_t id = 0;
+    std::string name;
+    bool read_only = false;
+    bool cross_partition = false;
+    std::function<TxnRequest(Rng&, int partition, int num_partitions)> make;
+  };
+
+  void Register(Proc p);
+  /// nullptr for unknown ids (the server answers Status::kBadRequest).
+  const Proc* Find(uint32_t id) const;
+  const std::vector<Proc>& procs() const { return procs_; }
+
+  /// Builds the request for `id` or returns false.  Stamps the entry's
+  /// routing flags and clamps the partition into range.
+  bool Make(uint32_t id, uint64_t seed, int partition, int num_partitions,
+            TxnRequest* out) const;
+
+  // --- standard registries ---
+
+  /// Workload-generic procs (any Workload): kSingle / kCross / kReadOnly
+  /// dispatch to the workload's Make{SinglePartition,CrossPartition,
+  /// ReadOnly}.  `w` must outlive the registry.
+  static constexpr uint32_t kSingle = 1;
+  static constexpr uint32_t kCross = 2;
+  static constexpr uint32_t kReadOnly = 3;
+  static ProcRegistry ForWorkload(const Workload& w);
+
+  /// TPC-C named procedures on top of the generic three.
+  static constexpr uint32_t kTpccNewOrder = 10;
+  static constexpr uint32_t kTpccPayment = 11;
+  static constexpr uint32_t kTpccOrderStatus = 12;
+  static constexpr uint32_t kTpccDelivery = 13;
+  static constexpr uint32_t kTpccStockLevel = 14;
+  static ProcRegistry ForTpcc(const TpccWorkload& w);
+
+ private:
+  std::vector<Proc> procs_;
+};
+
+}  // namespace star::serve
+
+#endif  // STAR_SERVE_REGISTRY_H_

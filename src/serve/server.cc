@@ -1,0 +1,525 @@
+#include "serve/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <fcntl.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/clock.h"
+
+namespace star::serve {
+
+namespace {
+
+void SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+// epoll user-data: connection slots are small indices; the listener and
+// the wake eventfd get sentinels well above max_conns.
+constexpr uint64_t kListenerTag = ~0ull;
+constexpr uint64_t kWakeTag = ~0ull - 1;
+
+uint8_t MapStatus(TxnStatus s) {
+  switch (s) {
+    case TxnStatus::kCommitted:
+      return static_cast<uint8_t>(Status::kOk);
+    case TxnStatus::kAbortConflict:
+      return static_cast<uint8_t>(Status::kAbortConflict);
+    case TxnStatus::kAbortUser:
+      return static_cast<uint8_t>(Status::kAbortUser);
+    default:
+      return static_cast<uint8_t>(Status::kRetry);
+  }
+}
+
+}  // namespace
+
+ServeServer::ServeServer(StarEngine* engine, const ProcRegistry* registry,
+                         const ServeOptions& opts)
+    : engine_(engine),
+      registry_(registry),
+      opts_(opts),
+      num_partitions_(engine->options().cluster.num_partitions()),
+      ring_(std::max(opts.response_ring, opts.admission.max_inflight + 1)),
+      admission_(opts.admission) {}
+
+ServeServer::~ServeServer() { Stop(); }
+
+bool ServeServer::Start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return false;
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(opts_.port);
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      listen(listen_fd_, 256) < 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
+  port_ = ntohs(bound.sin_port);
+  SetNonBlocking(listen_fd_);
+
+  epfd_ = epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epfd_ < 0 || wake_fd_ < 0) {
+    Stop();
+    return false;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerTag;
+  epoll_ctl(epfd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = kWakeTag;
+  epoll_ctl(epfd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  conns_.resize(opts_.max_conns);
+  free_slots_.clear();
+  for (size_t i = opts_.max_conns; i > 0; --i) {
+    free_slots_.push_back(static_cast<uint32_t>(i - 1));
+  }
+
+  running_.store(true, std::memory_order_release);
+  io_ = std::thread([this] { IoLoop(); });
+  return true;
+}
+
+void ServeServer::Stop() {
+  if (running_.exchange(false, std::memory_order_acq_rel)) {
+    WakeIo();
+    if (io_.joinable()) io_.join();
+  } else if (io_.joinable()) {
+    io_.join();
+  }
+  for (uint32_t i = 0; i < conns_.size(); ++i) {
+    if (conns_[i].live) CloseConn(i);
+  }
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (wake_fd_ >= 0) close(wake_fd_);
+  if (epfd_ >= 0) close(epfd_);
+  listen_fd_ = wake_fd_ = epfd_ = -1;
+}
+
+ServeServer::Counters ServeServer::counters() const {
+  Counters c;
+  c.conns_accepted = count_.conns_accepted.load(std::memory_order_relaxed);
+  c.conns_dropped = count_.conns_dropped.load(std::memory_order_relaxed);
+  c.frames = count_.frames.load(std::memory_order_relaxed);
+  c.bad_frames = count_.bad_frames.load(std::memory_order_relaxed);
+  c.calls = count_.calls.load(std::memory_order_relaxed);
+  c.shed = count_.shed.load(std::memory_order_relaxed);
+  c.rejected = count_.rejected.load(std::memory_order_relaxed);
+  c.results = count_.results.load(std::memory_order_relaxed);
+  c.ring_overflow = ring_overflow_.v.load(std::memory_order_relaxed);
+  return c;
+}
+
+void ServeServer::WakeIo() {
+  uint64_t one = 1;
+  ssize_t ignored = write(wake_fd_, &one, sizeof(one));
+  (void)ignored;
+}
+
+void ServeServer::IoLoop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (running_.load(std::memory_order_acquire)) {
+    int n = epoll_wait(epfd_, events, kMaxEvents, 100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      uint64_t tag = events[i].data.u64;
+      if (tag == kListenerTag) {
+        AcceptConns();
+        continue;
+      }
+      if (tag == kWakeTag) {
+        uint64_t buf;
+        while (read(wake_fd_, &buf, sizeof(buf)) > 0) {
+        }
+        DrainCompletions();
+        continue;
+      }
+      uint32_t slot = static_cast<uint32_t>(tag);
+      if (slot >= conns_.size() || !conns_[slot].live) continue;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConn(slot);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) FlushConn(slot);
+      if (conns_[slot].live && (events[i].events & EPOLLIN) != 0) {
+        ReadConn(slot);
+      }
+    }
+    // The eventfd is level-cleared above; catch completions that raced in
+    // after the read but before epoll_wait rearms.
+    DrainCompletions();
+  }
+}
+
+void ServeServer::AcceptConns() {
+  for (;;) {
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (free_slots_.empty()) {
+      // At connection capacity: refusing at accept is the connection-level
+      // analogue of admission shedding.
+      close(fd);
+      count_.conns_dropped.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    SetNonBlocking(fd);
+    SetNoDelay(fd);
+    uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    Conn& c = conns_[slot];
+    c.fd = fd;
+    c.live = true;
+    c.want_write = false;
+    c.session = 0;
+    c.hdr_have = 0;
+    c.in_body = false;
+    c.body_have = 0;
+    c.out = pool_.Acquire(static_cast<int>(slot));
+    c.out_off = 0;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = slot;
+    epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
+    count_.conns_accepted.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ServeServer::CloseConn(uint32_t slot) {
+  Conn& c = conns_[slot];
+  if (!c.live) return;
+  if (epfd_ >= 0) epoll_ctl(epfd_, EPOLL_CTL_DEL, c.fd, nullptr);
+  close(c.fd);
+  c.fd = -1;
+  c.live = false;
+  // Bump the generation so in-flight completions addressed here are
+  // recognised as stale and dropped instead of landing on a reused slot.
+  ++c.gen;
+  pool_.Release(static_cast<int>(slot), std::move(c.body));
+  c.body = std::string();
+  pool_.Release(static_cast<int>(slot), std::move(c.out));
+  c.out = std::string();
+  c.out_off = 0;
+  free_slots_.push_back(slot);
+}
+
+void ServeServer::UpdateInterest(uint32_t slot) {
+  Conn& c = conns_[slot];
+  bool want = c.out_off < c.out.size();
+  if (want == c.want_write) return;
+  c.want_write = want;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+  ev.data.u64 = slot;
+  epoll_ctl(epfd_, EPOLL_CTL_MOD, c.fd, &ev);
+}
+
+void ServeServer::FlushConn(uint32_t slot) {
+  Conn& c = conns_[slot];
+  while (c.out_off < c.out.size()) {
+    ssize_t n = send(c.fd, c.out.data() + c.out_off, c.out.size() - c.out_off,
+                     MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    CloseConn(slot);
+    count_.conns_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (c.out_off == c.out.size()) {
+    c.out.clear();
+    c.out_off = 0;
+  }
+  UpdateInterest(slot);
+}
+
+void ServeServer::ReadConn(uint32_t slot) {
+  Conn& c = conns_[slot];
+  for (;;) {
+    if (!c.in_body) {
+      ssize_t n = recv(c.fd, c.hdr + c.hdr_have, kHeaderSize - c.hdr_have, 0);
+      if (n == 0) {
+        CloseConn(slot);
+        return;
+      }
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        CloseConn(slot);
+        count_.conns_dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      c.hdr_have += static_cast<size_t>(n);
+      if (c.hdr_have < kHeaderSize) continue;
+      if (!DecodeHeader(c.hdr, &c.head)) {
+        // Bad magic or oversized body: untrusted input, drop the
+        // connection rather than resynchronise.
+        count_.bad_frames.fetch_add(1, std::memory_order_relaxed);
+        CloseConn(slot);
+        count_.conns_dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      c.hdr_have = 0;
+      if (c.head.body_len == 0) {
+        if (!HandleFrame(slot)) return;
+        continue;
+      }
+      c.in_body = true;
+      c.body = pool_.Acquire(static_cast<int>(slot));
+      c.body.resize(c.head.body_len);
+      c.body_have = 0;
+      continue;
+    }
+    ssize_t n = recv(c.fd, c.body.data() + c.body_have,
+                     c.body.size() - c.body_have, 0);
+    if (n == 0) {
+      CloseConn(slot);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      CloseConn(slot);
+      count_.conns_dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    c.body_have += static_cast<size_t>(n);
+    if (c.body_have < c.body.size()) continue;
+    c.in_body = false;
+    bool ok = HandleFrame(slot);
+    if (conns_[slot].live) {
+      pool_.Release(static_cast<int>(slot), std::move(conns_[slot].body));
+      conns_[slot].body = std::string();
+    }
+    if (!ok) return;
+  }
+}
+
+void ServeServer::AppendFrame(Conn& c, const FrameHeader& h, const char* body,
+                              size_t body_len) {
+  size_t at = c.out.size();
+  c.out.resize(at + kHeaderSize + body_len);
+  EncodeHeader(c.out.data() + at, h);
+  if (body_len > 0) std::memcpy(c.out.data() + at + kHeaderSize, body, body_len);
+}
+
+bool ServeServer::HandleFrame(uint32_t slot) {
+  Conn& c = conns_[slot];
+  count_.frames.fetch_add(1, std::memory_order_relaxed);
+  switch (static_cast<FrameType>(c.head.type)) {
+    case FrameType::kHello: {
+      uint32_t id = next_session_++;
+      c.session = id;
+      sessions_[id] = 0;
+      FrameHeader ack;
+      ack.type = static_cast<uint16_t>(FrameType::kHelloAck);
+      ack.session = id;
+      ack.request_id = c.head.request_id;
+      AppendFrame(c, ack, nullptr, 0);
+      FlushConn(slot);
+      return c.live;
+    }
+    case FrameType::kGoodbye: {
+      uint32_t id = static_cast<uint32_t>(c.head.session);
+      if (id != 0) sessions_.erase(id);
+      return true;
+    }
+    case FrameType::kCall:
+      HandleCall(slot);
+      return conns_[slot].live;
+    default:
+      // Unknown or server-to-client frame type from a client: protocol
+      // error, close.
+      count_.bad_frames.fetch_add(1, std::memory_order_relaxed);
+      CloseConn(slot);
+      count_.conns_dropped.fetch_add(1, std::memory_order_relaxed);
+      return false;
+  }
+}
+
+void ServeServer::HandleCall(uint32_t slot) {
+  Conn& c = conns_[slot];
+  uint32_t session = c.head.session != 0
+                         ? static_cast<uint32_t>(c.head.session)
+                         : c.session;
+  FrameHeader rh;
+  rh.proc = c.head.proc;
+  rh.session = session;
+  rh.request_id = c.head.request_id;
+
+  CallBody call;
+  if (!DecodeCall(c.body.data(), c.body.size(), &call)) {
+    count_.bad_frames.fetch_add(1, std::memory_order_relaxed);
+    ResultBody r;
+    r.status = static_cast<uint8_t>(Status::kBadRequest);
+    char buf[kResultBodySize];
+    EncodeResult(buf, r);
+    rh.type = static_cast<uint16_t>(FrameType::kResult);
+    rh.body_len = kResultBodySize;
+    AppendFrame(c, rh, buf, sizeof(buf));
+    FlushConn(slot);
+    return;
+  }
+
+  uint64_t now = NowNanos();
+  uint64_t est = 0;
+  if (!admission_.Admit(now, &est)) {
+    count_.shed.fetch_add(1, std::memory_order_relaxed);
+    ShedBody s;
+    s.est_wait_ns = est;
+    char buf[kShedBodySize];
+    EncodeShed(buf, s);
+    rh.type = static_cast<uint16_t>(FrameType::kShed);
+    rh.body_len = kShedBodySize;
+    AppendFrame(c, rh, buf, sizeof(buf));
+    FlushConn(slot);
+    return;
+  }
+
+  auto* t = new StarEngine::ExternalTxn();
+  if (!registry_->Make(c.head.proc, call.seed,
+                       static_cast<int>(call.partition), num_partitions_,
+                       &t->req)) {
+    delete t;
+    admission_.OnCancel();
+    count_.bad_frames.fetch_add(1, std::memory_order_relaxed);
+    ResultBody r;
+    r.status = static_cast<uint8_t>(Status::kBadRequest);
+    char buf[kResultBodySize];
+    EncodeResult(buf, r);
+    rh.type = static_cast<uint16_t>(FrameType::kResult);
+    rh.body_len = kResultBodySize;
+    AppendFrame(c, rh, buf, sizeof(buf));
+    FlushConn(slot);
+    return;
+  }
+
+  t->submit_ns = now;
+  t->wait_durable = (call.flags & kCallWaitDurable) != 0;
+  if (t->req.read_only && session != 0) {
+    auto it = sessions_.find(session);
+    if (it != sessions_.end()) t->min_epoch = it->second;
+  }
+  t->done = &ServeServer::OnExternalDone;
+  t->owner = this;
+  t->tag0 = static_cast<uint64_t>(slot) |
+            (static_cast<uint64_t>(c.gen) << 32);
+  t->tag1 = c.head.request_id;
+  t->tag2 = (static_cast<uint64_t>(c.head.proc) << 32) | session;
+
+  if (!engine_->SubmitExternal(t)) {
+    // Queue full (backpressure below the admission gate) or the request
+    // class has no serving thread: bounce as retryable.
+    delete t;
+    admission_.OnCancel();
+    count_.rejected.fetch_add(1, std::memory_order_relaxed);
+    ResultBody r;
+    r.status = static_cast<uint8_t>(Status::kRetry);
+    char buf[kResultBodySize];
+    EncodeResult(buf, r);
+    rh.type = static_cast<uint16_t>(FrameType::kResult);
+    rh.body_len = kResultBodySize;
+    AppendFrame(c, rh, buf, sizeof(buf));
+    FlushConn(slot);
+    return;
+  }
+  count_.calls.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServeServer::OnExternalDone(StarEngine::ExternalTxn* t, TxnStatus status,
+                                 uint64_t epoch) {
+  auto* s = static_cast<ServeServer*>(t->owner);
+  Response r;
+  r.slot = static_cast<uint32_t>(t->tag0 & 0xffffffffu);
+  r.gen = static_cast<uint32_t>(t->tag0 >> 32);
+  r.request_id = t->tag1;
+  r.proc = static_cast<uint32_t>(t->tag2 >> 32);
+  r.session = static_cast<uint32_t>(t->tag2 & 0xffffffffu);
+  r.status = MapStatus(status);
+  r.epoch = epoch;
+  delete t;
+  s->admission_.OnComplete(NowNanos());
+  if (s->ring_.TryPush(std::move(r))) {
+    s->WakeIo();
+  } else {
+    // Sized above max_inflight, so this cannot fire under the admission
+    // cap; counted rather than asserted because clients own the timeout.
+    s->ring_overflow_.v.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ServeServer::DrainCompletions() {
+  Response r;
+  while (ring_.TryPop(&r)) {
+    // Advance the session's read-your-writes floor before anything else:
+    // even if the connection died, the session may reconnect and must not
+    // see state older than what this response certified.
+    if (r.session != 0 && r.status == static_cast<uint8_t>(Status::kOk) &&
+        r.epoch > 0) {
+      auto it = sessions_.find(r.session);
+      if (it != sessions_.end() && it->second < r.epoch) it->second = r.epoch;
+    }
+    if (r.slot >= conns_.size()) continue;
+    Conn& c = conns_[r.slot];
+    if (!c.live || c.gen != r.gen) continue;  // stale: connection turned over
+    FrameHeader h;
+    h.type = static_cast<uint16_t>(FrameType::kResult);
+    h.body_len = kResultBodySize;
+    h.proc = r.proc;
+    h.session = r.session;
+    h.request_id = r.request_id;
+    ResultBody body;
+    body.status = r.status;
+    body.epoch = r.epoch;
+    char buf[kResultBodySize];
+    EncodeResult(buf, body);
+    AppendFrame(c, h, buf, sizeof(buf));
+    count_.results.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Batched flush: one send per connection per drain, not per response.
+  for (uint32_t i = 0; i < conns_.size(); ++i) {
+    if (conns_[i].live && conns_[i].out_off < conns_[i].out.size()) {
+      FlushConn(i);
+    }
+  }
+}
+
+}  // namespace star::serve

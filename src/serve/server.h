@@ -1,0 +1,196 @@
+#ifndef STAR_SERVE_SERVER_H_
+#define STAR_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mpsc_ring.h"
+#include "core/engine.h"
+#include "net/payload_pool.h"
+#include "serve/admission.h"
+#include "serve/protocol.h"
+#include "serve/registry.h"
+
+namespace star::serve {
+
+struct ServeOptions {
+  /// Listen port; 0 binds an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  size_t max_conns = 1024;
+  /// Capacity of the engine→io completion ring.  Start() raises it to at
+  /// least admission.max_inflight so a full ring (dropped response, client
+  /// timeout) cannot happen under the admission cap.
+  size_t response_ring = 16384;
+  AdmissionController::Options admission;
+};
+
+/// The client-facing serving front end: one io thread multiplexing every
+/// client connection over epoll, speaking the length-prefixed frame
+/// protocol of serve/protocol.h, dispatching stored procedures from the
+/// ProcRegistry into the engine's external queues (StarEngine::
+/// SubmitExternal) and batching responses back per connection.
+///
+/// Structure (the YDB grpc_services → executer → datashard layering at this
+/// repo's scale): the io thread owns all connection and session state —
+/// no locks on the request path.  Engine threads finish requests by
+/// enqueueing a POD Response on an MPSC ring and nudging an eventfd; the io
+/// thread drains the ring, updates session read-your-writes floors, and
+/// writes result frames.  Session floors are safe to keep io-thread-only:
+/// a client cannot issue a read that depends on its write before it has
+/// *received* the write's result, and receiving it means the io thread
+/// already drained that completion and advanced the floor.
+///
+/// Request bodies are read zero-copy into payload-pool buffers (the same
+/// recycling scheme the cluster transport uses) and released after decode;
+/// the steady-state request path does not heap-allocate.
+///
+/// Admission control: every kCall passes the AdmissionController before it
+/// touches the engine.  Shed requests are answered immediately with a
+/// kShed frame carrying the queue-wait estimate, keeping accepted-request
+/// tail latency bounded while the open-loop arrival rate exceeds capacity.
+///
+/// Lifecycle: Start() after engine.Start(); Stop() whenever — but the
+/// ServeServer object must outlive engine.Stop(), because in-flight
+/// completions fire the engine→server callback until the engine has fully
+/// drained (pattern: server.Stop(); engine.Stop(); ~ServeServer).
+class ServeServer {
+ public:
+  /// `engine` and `registry` must outlive the server.  The engine should
+  /// normally run with synthetic_load=false so it executes exactly the
+  /// offered client load.
+  ServeServer(StarEngine* engine, const ProcRegistry* registry,
+              const ServeOptions& opts);
+  ~ServeServer();
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  /// Binds, listens and launches the io thread.  False on socket errors.
+  bool Start();
+  /// Stops the io thread and closes every connection.  Idempotent.
+  void Stop();
+
+  /// The bound port (after Start(); meaningful with opts.port == 0).
+  uint16_t port() const { return port_; }
+
+  struct Counters {
+    uint64_t conns_accepted = 0;
+    uint64_t conns_dropped = 0;   // at capacity, protocol error, or hangup
+    uint64_t frames = 0;          // well-formed frames parsed
+    uint64_t bad_frames = 0;      // header/body decode failures
+    uint64_t calls = 0;           // kCall frames admitted into the engine
+    uint64_t shed = 0;            // kCall frames rejected by admission
+    uint64_t rejected = 0;        // kCall frames bounced by SubmitExternal
+    uint64_t results = 0;         // kResult frames sent
+    uint64_t ring_overflow = 0;   // completions dropped (ring full)
+  };
+  Counters counters() const;
+
+  const AdmissionController& admission() const { return admission_; }
+  AdmissionController& admission() { return admission_; }
+
+ private:
+  /// What an engine thread hands back to the io thread: pure POD so the
+  /// completion ring never owns memory.
+  struct Response {
+    uint32_t slot = 0;
+    uint32_t gen = 0;
+    uint32_t proc = 0;
+    uint32_t session = 0;
+    uint64_t request_id = 0;
+    uint8_t status = 0;  // protocol Status
+    uint64_t epoch = 0;
+  };
+
+  /// Per-connection state machine, io-thread-only.  Slots are reused; the
+  /// generation counter invalidates completions addressed to a connection
+  /// that died while its request was in flight.
+  struct Conn {
+    int fd = -1;
+    uint32_t gen = 0;
+    bool live = false;
+    bool want_write = false;
+    uint32_t session = 0;  // last kHello-assigned session on this conn
+    // Read side: fixed header staging, then body into a pooled buffer.
+    char hdr[kHeaderSize];
+    size_t hdr_have = 0;
+    FrameHeader head;
+    bool in_body = false;
+    std::string body;
+    size_t body_have = 0;
+    // Write side: batched response bytes (pooled buffer).
+    std::string out;
+    size_t out_off = 0;
+  };
+
+  void IoLoop();
+  void AcceptConns();
+  void DrainCompletions();
+  void ReadConn(uint32_t slot);
+  void FlushConn(uint32_t slot);
+  void CloseConn(uint32_t slot);
+  /// Dispatches one fully received frame; false = protocol error, caller
+  /// closes the connection.
+  bool HandleFrame(uint32_t slot);
+  void HandleCall(uint32_t slot);
+  void AppendFrame(Conn& c, const FrameHeader& h, const char* body,
+                   size_t body_len);
+  void UpdateInterest(uint32_t slot);
+  void WakeIo();
+
+  /// Engine-thread completion trampoline (ExternalTxn::done).
+  static void OnExternalDone(StarEngine::ExternalTxn* t, TxnStatus status,
+                             uint64_t epoch);
+
+  StarEngine* engine_;
+  const ProcRegistry* registry_;
+  ServeOptions opts_;
+  int num_partitions_ = 0;
+
+  int listen_fd_ = -1;
+  int epfd_ = -1;
+  int wake_fd_ = -1;  // eventfd: engine completions + Stop() nudge the poll
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread io_;
+
+  std::vector<Conn> conns_;
+  std::vector<uint32_t> free_slots_;
+  net::PayloadPool pool_;
+
+  /// Session id → read-your-writes floor (last result epoch delivered on
+  /// the session).  Io-thread-only; see class comment for why that holds.
+  std::unordered_map<uint32_t, uint64_t> sessions_;
+  uint32_t next_session_ = 1;
+
+  MpscRing<Response> ring_;
+  AdmissionController admission_;
+
+  /// Io-thread counters, read cross-thread by counters(): relaxed atomics,
+  /// one padded block (single writer, so no contention to isolate).
+  struct alignas(64) CounterBlock {
+    std::atomic<uint64_t> conns_accepted{0};
+    std::atomic<uint64_t> conns_dropped{0};
+    std::atomic<uint64_t> frames{0};
+    std::atomic<uint64_t> bad_frames{0};
+    std::atomic<uint64_t> calls{0};
+    std::atomic<uint64_t> shed{0};
+    std::atomic<uint64_t> rejected{0};
+    std::atomic<uint64_t> results{0};
+  };
+  CounterBlock count_;
+  /// Written by engine threads, so it lives outside the io-thread block.
+  struct alignas(64) RingOverflow {
+    std::atomic<uint64_t> v{0};
+  };
+  RingOverflow ring_overflow_;
+};
+
+}  // namespace star::serve
+
+#endif  // STAR_SERVE_SERVER_H_

@@ -9,6 +9,7 @@
 #include "common/serializer.h"
 #include "common/spinlock.h"
 #include "common/thread_annotations.h"
+#include "common/tid.h"
 #include "wal/format.h"
 
 namespace star::wal {
@@ -29,12 +30,18 @@ struct LogBuffer {
   /// current (0 = none).  Forces the logger's watermark for the lane back
   /// below the reverted epoch.
   uint64_t revert_epoch = 0;
+  /// Highest epoch any entry (write, delete or revert) in `data` belongs
+  /// to.  Segment GC may delete a closed WAL segment only once a durable
+  /// checkpoint link covers every epoch written into it; this is how the
+  /// logger knows that ceiling without parsing its own bytes back.
+  uint64_t max_epoch = 0;
 
   void Reset() {
     data.Clear();
     lane = 0;
     marked_epoch = 0;
     revert_epoch = 0;
+    max_epoch = 0;
   }
 };
 
@@ -79,6 +86,7 @@ class LogLane {
     SpinLockGuard g(mu_);
     AppendWriteEntry(&cur_->data, table, partition, key, tid, value.data(),
                      static_cast<uint32_t>(value.size()));
+    cur_->max_epoch = std::max(cur_->max_epoch, Tid::Epoch(tid));
     if (cur_->data.size() >= handoff_bytes_) PublishLocked();
   }
 
@@ -87,6 +95,7 @@ class LogLane {
                                   uint64_t key, uint64_t tid) {
     SpinLockGuard g(mu_);
     AppendDeleteEntry(&cur_->data, table, partition, key, tid);
+    cur_->max_epoch = std::max(cur_->max_epoch, Tid::Epoch(tid));
     if (cur_->data.size() >= handoff_bytes_) PublishLocked();
   }
 
@@ -103,6 +112,7 @@ class LogLane {
                          v.data(), static_cast<uint32_t>(v.size()));
       }
     }
+    cur_->max_epoch = std::max(cur_->max_epoch, Tid::Epoch(tid));
     if (cur_->data.size() >= handoff_bytes_) PublishLocked();
   }
 
@@ -124,6 +134,11 @@ class LogLane {
     SpinLockGuard g(mu_);
     AppendRevertEntry(&cur_->data, epoch);
     cur_->revert_epoch = std::max(cur_->revert_epoch, epoch);
+    // The revert entry is itself position-significant content of `epoch`;
+    // it must pin the segment it lands in just like a write of that epoch
+    // (GC deletes whole stream prefixes, so the revert can never be
+    // dropped while an older pre-revert write of the epoch survives).
+    cur_->max_epoch = std::max(cur_->max_epoch, epoch);
     PublishLocked();
   }
 

@@ -50,6 +50,14 @@ std::string LoggerPool::ShardPath(const std::string& dir, int node, int inc,
          std::to_string(inc) + "_shard" + std::to_string(shard) + ".log";
 }
 
+std::string LoggerPool::SegmentPath(const std::string& dir, int node, int inc,
+                                    int shard, int seg) {
+  if (seg == 0) return ShardPath(dir, node, inc, shard);
+  return dir + "/wal_node" + std::to_string(node) + "_inc" +
+         std::to_string(inc) + "_shard" + std::to_string(shard) + "_seg" +
+         std::to_string(seg) + ".log";
+}
+
 std::string LoggerPool::CompletePath(const std::string& dir, int node,
                                      int inc) {
   return dir + "/wal_node" + std::to_string(node) + "_inc" +
@@ -91,6 +99,7 @@ LoggerPool::LoggerPool(LoggerPoolOptions opts) : opts_(std::move(opts)) {
   // after creating the incarnation's shard files (the old WalWriter never
   // did this — a crash right after creation could lose the files entirely).
   FsyncDir(opts_.dir);
+  closed_.resize(static_cast<size_t>(opts_.num_loggers));
 
   lanes_.reserve(static_cast<size_t>(opts_.num_lanes));
   for (int i = 0; i < opts_.num_lanes; ++i) {
@@ -162,6 +171,7 @@ void LoggerPool::MarkComplete() {
     ::close(fd);
   }
   FsyncDir(opts_.dir);
+  complete_.store(true, std::memory_order_release);
 }
 
 void LoggerPool::MarkRevert(uint64_t epoch) {
@@ -230,6 +240,10 @@ void LoggerPool::RunLogger(Logger& lg) {
     }
     if (!batch.empty()) {
       WriteBatch(lg, batch);
+      if (opts_.segment_bytes > 0 && lg.fd >= 0 &&
+          lg.seg_bytes >= opts_.segment_bytes) {
+        RotateSegment(lg);
+      }
       {
         MutexLock l(lg.mu);
         lg.busy = false;
@@ -264,6 +278,10 @@ void LoggerPool::WriteBatch(Logger& lg, std::vector<LogBuffer*>& batch) {
     }
     lg.bytes.fetch_add(total, std::memory_order_relaxed);
     lg.batches.fetch_add(1, std::memory_order_relaxed);
+    lg.seg_bytes += total;
+  }
+  for (LogBuffer* b : batch) {
+    lg.seg_max_epoch = std::max(lg.seg_max_epoch, b->max_epoch);
   }
 
   // Watermark bookkeeping, in publish order: a mark means "the lane is
@@ -303,6 +321,7 @@ void LoggerPool::WriteBatch(Logger& lg, std::vector<LogBuffer*>& batch) {
   }
   lg.bytes.fetch_add(marker.size(), std::memory_order_relaxed);
   lg.markers.fetch_add(1, std::memory_order_relaxed);
+  lg.seg_bytes += marker.size();
   lg.last_marker = lane_min;
   // Everything up to and including the marker is fsynced; dying here (the
   // harness's post-fsync-pre-epoch-publish point) must lose only the
@@ -314,6 +333,110 @@ void LoggerPool::WriteBatch(Logger& lg, std::vector<LogBuffer*>& batch) {
   }
 }
 
+void LoggerPool::RotateSegment(Logger& lg) {
+  // Runs on the logger's own thread between batches, so the cut lands on an
+  // entry boundary: recovery re-forms the stream by concatenating segments
+  // in order.
+  std::string next =
+      SegmentPath(opts_.dir, opts_.node, incarnation_, lg.id,
+                  lg.seg_index + 1);
+  int nfd = ::open(next.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC,
+                   0644);
+  if (nfd < 0) return;  // keep appending to the current segment
+  // Carry-over marker: a fresh segment must re-state the shard's durability
+  // watermark as its first entry, or — once older segments are deleted —
+  // recovery's min-over-files scan would see a markerless file and drag the
+  // incarnation's recoverable epoch to zero.
+  uint64_t head_bytes = 0;
+  if (lg.last_marker > 0) {
+    WriteBuffer head;
+    AppendEpochEntry(&head, lg.last_marker);
+    WriteAll(nfd, head.data().data(), head.size());
+    if (opts_.fsync) ::fsync(nfd);
+    head_bytes = head.size();
+    lg.bytes.fetch_add(head_bytes, std::memory_order_relaxed);
+  }
+  // New file (and its carry-over marker) durable before the old fd closes:
+  // a crash anywhere in between leaves both segments present and recovery
+  // simply concatenates them.
+  FsyncDir(opts_.dir);
+
+  if (opts_.fsync) ::fsync(lg.fd);
+  ::close(lg.fd);
+  {
+    SpinLockGuard g(gc_mu_);
+    closed_[static_cast<size_t>(lg.id)].push_back(ClosedSegment{
+        SegmentPath(opts_.dir, opts_.node, incarnation_, lg.id,
+                    lg.seg_index),
+        lg.seg_max_epoch});
+  }
+  lg.fd = nfd;
+  ++lg.seg_index;
+  lg.seg_bytes = head_bytes;
+  lg.seg_max_epoch = 0;
+  rotations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void LoggerPool::Gc(uint64_t covered_epoch) {
+  if (covered_epoch == 0) return;
+  // An incomplete incarnation's recovery basis is still being assembled
+  // (rejoin fetch in flight); nothing may be deleted under it.
+  if (!complete_.load(std::memory_order_acquire)) return;
+
+  std::vector<std::string> victims;
+  bool sweep_prior = false;
+  uint64_t prior = prior_committed_.load(std::memory_order_acquire);
+  {
+    SpinLockGuard g(gc_mu_);
+    for (auto& segs : closed_) {
+      // Prefix-only deletion: a stream suffix must never lose an earlier
+      // segment's revert entry while keeping the pre-revert writes it
+      // shadows, and the next surviving segment's carry-over marker keeps
+      // the watermark scan exact.
+      size_t n = 0;
+      while (n < segs.size() && segs[n].max_epoch <= covered_epoch) {
+        victims.push_back(std::move(segs[n].path));
+        ++n;
+      }
+      segs.erase(segs.begin(), segs.begin() + static_cast<long>(n));
+    }
+    if (!prior_gc_done_ && prior != ~0ull && covered_epoch >= prior) {
+      prior_gc_done_ = true;
+      sweep_prior = true;
+    }
+  }
+
+  std::error_code ec;
+  for (const auto& path : victims) {
+    if (std::filesystem::remove(path, ec)) {
+      gc_deleted_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  if (sweep_prior) {
+    // The chain now durably covers everything this process recovered from
+    // the old logs; recovery never replays them above that epoch, so every
+    // prior incarnation (shards, segments, `.ok` markers) and every legacy
+    // per-worker file is superseded in full.
+    const std::string worker_prefix =
+        "wal_node" + std::to_string(opts_.node) + "_worker";
+    const std::string inc_prefix =
+        "wal_node" + std::to_string(opts_.node) + "_inc";
+    for (const auto& entry :
+         std::filesystem::directory_iterator(opts_.dir, ec)) {
+      std::string name = entry.path().filename().string();
+      bool victim = name.rfind(worker_prefix, 0) == 0;
+      if (!victim && name.rfind(inc_prefix, 0) == 0) {
+        victim = std::atoi(name.c_str() + inc_prefix.size()) < incarnation_;
+      }
+      std::error_code rc;
+      if (victim && std::filesystem::remove(entry.path(), rc)) {
+        gc_deleted_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
 void LoggerPool::MaybeCheckpoint() {
   Checkpointer* ckpt = ckpt_.load(std::memory_order_acquire);
   if (ckpt == nullptr) return;
@@ -322,7 +445,9 @@ void LoggerPool::MaybeCheckpoint() {
   int64_t now = SteadyNowNs();
   if (now - ckpt_last_ns_.load(std::memory_order_relaxed) < period) return;
   ckpt_last_ns_.store(now, std::memory_order_relaxed);
-  ckpt->RunOnce();
+  // The chain's covered-through epoch doubles as the WAL GC horizon:
+  // everything at or below it is reconstructible from checkpoints alone.
+  Gc(ckpt->RunOnce());
 }
 
 }  // namespace star::wal

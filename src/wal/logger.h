@@ -32,6 +32,11 @@ struct LoggerPoolOptions {
   /// A lane hands its buffer to the logger once it holds this many bytes
   /// (epoch marks publish immediately regardless).
   size_t handoff_bytes = 1 << 16;
+  /// Rotate a shard's WAL into a fresh segment file once the current one
+  /// crosses this size; closed segments whose every entry is covered by a
+  /// durable checkpoint link are garbage-collected (Gc).  0 = never rotate
+  /// (one unbounded file per shard, the pre-GC behaviour).
+  size_t segment_bytes = 64ull << 20;
 };
 
 /// Durable-epoch group commit (paper §4.5.1, exemplar: enclaveSilo's
@@ -43,7 +48,12 @@ struct LoggerPoolOptions {
 ///
 /// Each engine restart writes a fresh *incarnation* of shard files
 /// (`wal_node<N>_inc<I>_shard<S>.log`) — appending "wb"-style truncation
-/// destroyed history across restarts before.  An incarnation only counts
+/// destroyed history across restarts before.  Under sustained load a shard
+/// rotates into bounded segment files (`..._seg<K>.log`), each opening with
+/// a carry-over epoch marker; segments and incarnations fully covered by a
+/// durable checkpoint link are deleted (Gc), so the WAL's on-disk footprint
+/// stays proportional to the checkpoint interval, not to uptime.  An
+/// incarnation only counts
 /// toward recovery's global committed epoch once its `.ok` completeness
 /// marker exists (`MarkComplete()`): a process that crashes mid-rejoin has
 /// real durable markers but an incomplete state basis, and must not
@@ -82,6 +92,30 @@ class LoggerPool : public BufferSink {
   /// rollback); see LogLane::MarkRevert.
   void MarkRevert(uint64_t epoch);
 
+  /// WAL garbage collection, driven by the checkpoint cadence (logger
+  /// thread 0 calls this with the epoch the chain durably covers through).
+  /// Two reclaim paths, both gated on this incarnation being a complete
+  /// recovery basis (MarkComplete):
+  ///  * closed segments: per shard, the longest *prefix* of closed segment
+  ///    files whose entries all have epoch <= `covered_epoch` is deleted —
+  ///    prefix-only so a retained pre-revert write can never outlive the
+  ///    revert entry that shadows it, and each surviving segment opens with
+  ///    a carry-over epoch marker so recovery's min-over-files watermark is
+  ///    unaffected by the deletions;
+  ///  * prior incarnations: once the chain covers the epoch this process
+  ///    recovered to (SetPriorCommitted), every older incarnation's files
+  ///    (and legacy `_worker` logs) are superseded in full — recovery only
+  ///    ever replays them below that epoch — and deleted in one sweep.
+  /// Safe to call from tests directly; idempotent.
+  void Gc(uint64_t covered_epoch);
+
+  /// The committed epoch wal::Recover rebuilt this process's state to.
+  /// Until it is set, Gc never deletes prior-incarnation files (a process
+  /// that did not recover cannot know what the old logs still cover).
+  void SetPriorCommitted(uint64_t epoch) {
+    prior_committed_.store(epoch, std::memory_order_release);
+  }
+
   /// Publishes all lanes and blocks until every logger's queue is on disk.
   void Drain();
 
@@ -92,9 +126,19 @@ class LoggerPool : public BufferSink {
   uint64_t fsyncs() const { return Sum(&Logger::fsyncs); }
   uint64_t batches() const { return Sum(&Logger::batches); }
   uint64_t epoch_markers() const { return Sum(&Logger::markers); }
+  uint64_t segments_rotated() const {
+    return rotations_.load(std::memory_order_relaxed);
+  }
+  uint64_t wal_files_deleted() const {
+    return gc_deleted_.load(std::memory_order_relaxed);
+  }
 
   static std::string ShardPath(const std::string& dir, int node, int inc,
                                int shard);
+  /// Segment 0 is ShardPath itself (backward-compatible name); later
+  /// segments append a `_seg<K>` suffix.
+  static std::string SegmentPath(const std::string& dir, int node, int inc,
+                                 int shard, int seg);
   static std::string CompletePath(const std::string& dir, int node, int inc);
   /// Highest incarnation number present in `dir` for `node` (0 if none;
   /// the legacy `_worker` files are incarnation 0).
@@ -110,6 +154,9 @@ class LoggerPool : public BufferSink {
     std::vector<int> lanes;                   // lane ids this logger serves
     std::vector<uint64_t> marked;             // per-lane watermark (by id)
     uint64_t last_marker = 0;                 // last epoch marker on disk
+    int seg_index = 0;                        // current segment number
+    uint64_t seg_bytes = 0;                   // bytes in current segment
+    uint64_t seg_max_epoch = 0;               // max entry epoch in it
     Mutex mu;
     CondVar cv;
     std::vector<LogBuffer*> queue STAR_GUARDED_BY(mu);
@@ -125,6 +172,7 @@ class LoggerPool : public BufferSink {
 
   void RunLogger(Logger& lg);
   void WriteBatch(Logger& lg, std::vector<LogBuffer*>& batch);
+  void RotateSegment(Logger& lg);
   void MaybeCheckpoint();
 
   uint64_t Sum(std::atomic<uint64_t> Logger::*field) const {
@@ -148,6 +196,21 @@ class LoggerPool : public BufferSink {
   std::atomic<int64_t> ckpt_period_ns_{0};
   std::atomic<int64_t> ckpt_last_ns_{0};
   bool stopped_ = false;
+
+  /// A rotated-out segment file awaiting checkpoint coverage.  Per-logger
+  /// lists stay in rotation order — Gc's prefix rule depends on it.
+  struct ClosedSegment {
+    std::string path;
+    uint64_t max_epoch = 0;
+  };
+  SpinLock gc_mu_;
+  std::vector<std::vector<ClosedSegment>> closed_ STAR_GUARDED_BY(gc_mu_);
+  bool prior_gc_done_ STAR_GUARDED_BY(gc_mu_) = false;
+  std::atomic<bool> complete_{false};  // MarkComplete() has run
+  /// ~0 = "never recovered, coverage of the old logs unknown" sentinel.
+  std::atomic<uint64_t> prior_committed_{~0ull};
+  std::atomic<uint64_t> rotations_{0};
+  std::atomic<uint64_t> gc_deleted_{0};
 };
 
 }  // namespace star::wal

@@ -10,6 +10,7 @@
 #include <filesystem>
 #include <map>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/tid.h"
@@ -191,8 +192,13 @@ bool LoadCheckpointManifest(const std::string& path,
 // --- Checkpointer ---
 
 Checkpointer::Checkpointer(Database* db, std::string dir, int node,
-                           const std::atomic<uint64_t>* stable_epoch)
-    : db_(db), dir_(std::move(dir)), node_(node), stable_epoch_(stable_epoch) {
+                           const std::atomic<uint64_t>* stable_epoch,
+                           size_t max_chain_links)
+    : db_(db),
+      dir_(std::move(dir)),
+      node_(node),
+      stable_epoch_(stable_epoch),
+      max_chain_links_(max_chain_links) {
   // Continue an existing chain across restarts; a torn manifest means the
   // chain is unusable, so start a fresh one (the first run writes a base).
   MutexLock l(run_mu_);
@@ -218,8 +224,13 @@ uint64_t Checkpointer::RunOnce() {
   uint64_t stable = stable_epoch_->load(std::memory_order_acquire);
   if (stable == 0) return 0;
   uint64_t from = chain_.empty() ? 0 : chain_.back().stable_epoch;
-  uint8_t kind = chain_.empty() ? 0 : 1;
+  // At the link bound the next run compacts: it writes a fresh base (even
+  // if the stable epoch has not moved) and the superseded links are swept
+  // once the manifest durably names the one-link chain.
+  bool compact = max_chain_links_ > 0 && chain_.size() >= max_chain_links_;
+  uint8_t kind = (chain_.empty() || compact) ? 0 : 1;
   if (kind == 1 && stable <= from) return from;  // nothing new is durable
+  if (compact) from = 0;  // a base re-covers (0, stable] in full
 
   std::string name = "ckpt_node" + std::to_string(node_) + "_" +
                      std::to_string(next_seq_) + ".dat";
@@ -296,6 +307,7 @@ uint64_t Checkpointer::RunOnce() {
   if (ec) return from;
   FsyncDir(dir_);
 
+  if (compact) chain_.clear();  // the fresh base supersedes every old link
   chain_.push_back(CheckpointChainEntry{kind, from, stable, name});
   ++next_seq_;
 
@@ -312,13 +324,38 @@ uint64_t Checkpointer::RunOnce() {
   mf.Write<uint32_t>(Crc32(mf.data().data(), mf.size()));
 
   std::string mtmp = ManifestPath() + ".tmp";
+  bool manifest_ok = false;
   if (WriteFileDurably(mtmp, mf.data())) {
     // The new link's data file is durable but the manifest still names the
     // old chain: dying exactly here must leave recovery on the old chain
     // with the new file a harmless orphan.
     MaybeCrash("mid-manifest-rename");
     std::filesystem::rename(mtmp, ManifestPath(), ec);
-    if (!ec) FsyncDir(dir_);
+    if (!ec) {
+      FsyncDir(dir_);
+      manifest_ok = true;
+    }
+  }
+
+  if (manifest_ok && compact) {
+    // Sweep every data file the manifest no longer references: the links
+    // the base just superseded, plus any orphan a crash between link
+    // rename and manifest rename left behind earlier.  Deletion needs no
+    // dir fsync — a file resurrected by a crash is unreferenced and inert.
+    const std::string prefix = "ckpt_node" + std::to_string(node_) + "_";
+    for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+      std::string fname = entry.path().filename().string();
+      if (fname.rfind(prefix, 0) != 0 ||
+          fname.find(".dat") == std::string::npos) {
+        continue;
+      }
+      bool referenced = false;
+      for (const auto& e : chain_) referenced |= (e.file == fname);
+      std::error_code rc;
+      if (!referenced && std::filesystem::remove(entry.path(), rc)) {
+        swept_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
   }
 
   taken_.fetch_add(1, std::memory_order_relaxed);
@@ -429,8 +466,13 @@ RecoveryResult Recover(Database* db, const std::string& dir, int node) {
   // 1. Glob the directory: legacy per-worker files are incarnation 0;
   //    logger-pool shard files carry their incarnation in the name, with a
   //    sibling `.ok` marking the incarnation as a complete recovery basis.
+  //    A rotated shard's `_seg<K>` files re-form one logical stream when
+  //    concatenated in segment order — rotation cuts on entry boundaries,
+  //    GC deletes only a checkpoint-covered prefix, and each segment after
+  //    the first opens with a carry-over marker re-stating the watermark.
   std::vector<ScannedLog> logs;
   std::map<int, bool> incarnation_complete;
+  std::map<std::pair<int, int>, std::map<int, std::string>> shard_segs;
   const std::string worker_prefix =
       "wal_node" + std::to_string(node) + "_worker";
   const std::string inc_prefix = "wal_node" + std::to_string(node) + "_inc";
@@ -441,22 +483,35 @@ RecoveryResult Recover(Database* db, const std::string& dir, int node) {
       ScannedLog log;
       log.path = entry.path().string();
       log.incarnation = 0;
+      log.data = ReadWholeFile(log.path);
       incarnation_complete[0] = true;  // legacy files predate the marker
       logs.push_back(std::move(log));
     } else if (name.rfind(inc_prefix, 0) == 0) {
       int inc = std::atoi(name.c_str() + inc_prefix.size());
       if (name.size() > 3 && name.compare(name.size() - 3, 3, ".ok") == 0) {
         incarnation_complete[inc] = true;
-      } else if (name.find("_shard") != std::string::npos) {
-        ScannedLog log;
-        log.path = entry.path().string();
-        log.incarnation = inc;
-        if (incarnation_complete.find(inc) == incarnation_complete.end()) {
-          incarnation_complete[inc] = false;
+      } else {
+        size_t sp = name.find("_shard");
+        if (sp != std::string::npos) {
+          int shard = std::atoi(name.c_str() + sp + 6);
+          size_t gp = name.find("_seg", sp);
+          int seg = gp == std::string::npos
+                        ? 0
+                        : std::atoi(name.c_str() + gp + 4);
+          shard_segs[{inc, shard}][seg] = entry.path().string();
+          if (incarnation_complete.find(inc) == incarnation_complete.end()) {
+            incarnation_complete[inc] = false;
+          }
         }
-        logs.push_back(std::move(log));
       }
     }
+  }
+  for (auto& [key, segs] : shard_segs) {
+    ScannedLog log;
+    log.incarnation = key.first;
+    log.path = segs.begin()->second;
+    for (auto& [seg, path] : segs) log.data += ReadWholeFile(path);
+    logs.push_back(std::move(log));
   }
 
   // 2. Scan: per incarnation the recoverable epoch is the min over its
@@ -467,7 +522,6 @@ RecoveryResult Recover(Database* db, const std::string& dir, int node) {
   //    recoverable epoch, it just cannot *claim* that epoch for the node.
   std::map<int, uint64_t> inc_recoverable;
   for (auto& log : logs) {
-    log.data = ReadWholeFile(log.path);
     ScanLog(&log);
     if (log.torn) ++result.torn_files;
     auto it = inc_recoverable.find(log.incarnation);

@@ -118,16 +118,26 @@ bool LoadCheckpointManifest(const std::string& path,
 /// manifest is rewritten the same way; a crash at any point leaves either
 /// the old chain or the new one, never a torn mix (orphan data files are
 /// simply never referenced).
+///
+/// The chain is kept bounded: once it reaches `max_chain_links`, the next
+/// run writes a fresh base instead of a delta, and — after the manifest
+/// durably names the one-link chain — every data file the manifest no
+/// longer references (superseded links and crash orphans alike) is swept
+/// from the directory.  Sustained load therefore costs O(max_chain_links)
+/// checkpoint files, not an ever-growing chain.
 class Checkpointer {
  public:
   /// `stable_epoch` is the ceiling the checkpoints chase — the engine
-  /// passes the cluster durable epoch.
+  /// passes the cluster durable epoch.  `max_chain_links` bounds the chain
+  /// (0 = never compact, the unbounded pre-GC behaviour).
   Checkpointer(Database* db, std::string dir, int node,
-               const std::atomic<uint64_t>* stable_epoch);
+               const std::atomic<uint64_t>* stable_epoch,
+               size_t max_chain_links = 16);
   ~Checkpointer() { Stop(); }
 
-  /// Writes one link (base if the chain is empty, else delta); returns the
-  /// stable epoch it covered through (0 = nothing to do yet).
+  /// Writes one link (base if the chain is empty or due for compaction,
+  /// else delta); returns the stable epoch the chain covers through
+  /// (0 = nothing to do yet).
   uint64_t RunOnce();
 
   /// Background loop checkpointing every `period_ms`.  The engine instead
@@ -147,12 +157,20 @@ class Checkpointer {
   uint64_t bytes_written() const {
     return bytes_.load(std::memory_order_relaxed);
   }
+  uint64_t chain_files_deleted() const {
+    return swept_.load(std::memory_order_relaxed);
+  }
+  size_t chain_length() {
+    MutexLock l(run_mu_);
+    return chain_.size();
+  }
 
  private:
   Database* db_;
   std::string dir_;
   int node_;
   const std::atomic<uint64_t>* stable_epoch_;
+  size_t max_chain_links_;
 
   /// RunOnce may be invoked by a logger thread, the periodic thread, or a
   /// test; one link at a time.
@@ -163,6 +181,7 @@ class Checkpointer {
   std::atomic<uint64_t> taken_{0};
   std::atomic<uint64_t> entries_{0};
   std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> swept_{0};
 
   std::atomic<bool> running_{false};
   std::thread thread_;
@@ -181,7 +200,11 @@ struct RecoveryResult {
 
 /// Rebuilds a node's database from its checkpoint chain + logs (Section
 /// 4.5.3, Case 4).  Globs the directory for every log incarnation (legacy
-/// `_worker` files and logger-pool `_inc<I>_shard<S>` files); per
+/// `_worker` files and logger-pool `_inc<I>_shard<S>` files); a rotated
+/// shard's `_seg<K>` files are concatenated in segment order back into one
+/// logical stream (rotation cuts on entry boundaries, and GC only ever
+/// removes a covered prefix, whose watermark the next segment's carry-over
+/// marker re-states).  Per
 /// incarnation the recoverable epoch is the min over its files of the
 /// highest epoch marker, walked sequentially so revert entries cancel the
 /// markers of rolled-back fences.  The global committed epoch is the max

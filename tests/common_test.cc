@@ -65,6 +65,61 @@ TEST(Histogram, QuantilesOfUniformRamp) {
   EXPECT_EQ(h.count(), 100000u);
 }
 
+TEST(Histogram, P999OfUniformRamp) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100000; ++v) h.Record(v);
+  EXPECT_NEAR(static_cast<double>(h.p999()), 99900, 99900 * 0.02);
+}
+
+TEST(Histogram, EmptyQuantilesAreZero) {
+  Histogram h;
+  EXPECT_EQ(h.p50(), 0u);
+  EXPECT_EQ(h.p99(), 0u);
+  EXPECT_EQ(h.p999(), 0u);
+  EXPECT_EQ(h.Quantile(1.0), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, SingleSampleIsExactAtEveryQuantile) {
+  // A lone sample sits in one bucket; the quantile must report the sample
+  // itself, not the bucket's upper bound.
+  Histogram h;
+  h.Record(777777);
+  EXPECT_EQ(h.p50(), 777777u);
+  EXPECT_EQ(h.p99(), 777777u);
+  EXPECT_EQ(h.p999(), 777777u);
+  EXPECT_EQ(h.Quantile(0.0), 777777u);
+  EXPECT_EQ(h.Quantile(1.0), 777777u);
+}
+
+TEST(Histogram, SingleBucketRepeatedSamplesAreExact) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Record(1000000);
+  EXPECT_EQ(h.p50(), 1000000u);
+  EXPECT_EQ(h.p999(), 1000000u);
+}
+
+TEST(Histogram, SaturatedTopDecadeReportsTrueMax) {
+  // Values past the top decade all clamp into the last bucket row; the
+  // quantile must fall back to the recorded max, not a fabricated bound.
+  Histogram h;
+  h.Record(1ull << 45);
+  h.Record(1ull << 50);
+  h.Record(1ull << 60);
+  EXPECT_EQ(h.Quantile(1.0), 1ull << 60);
+  EXPECT_EQ(h.p999(), 1ull << 60);
+  EXPECT_LE(h.p50(), 1ull << 60);
+}
+
+TEST(Histogram, QuantileNeverExceedsMax) {
+  Histogram h;
+  Rng rng(123);
+  for (int i = 0; i < 10000; ++i) h.Record(rng.Uniform(1 << 20) + 1);
+  for (double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_LE(h.Quantile(q), h.max());
+  }
+}
+
 TEST(Histogram, MergeEqualsCombined) {
   Histogram a, b, all;
   Rng rng(9);

@@ -214,6 +214,190 @@ TEST_F(LoggerTest, IncrementalCheckpointChainIsODelta) {
   EXPECT_EQ(ReadKey(fresh.get(), 100), 1100u);
 }
 
+int CountFiles(const std::string& dir, const std::string& substr) {
+  int n = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().filename().string().find(substr) != std::string::npos) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TEST_F(LoggerTest, RotatedSegmentsRecoverWithoutGc) {
+  // Rotation alone (no checkpointer, nothing deleted): the per-shard
+  // segment files must concatenate back into one logical stream, with each
+  // segment's head carry-over marker a harmless restatement.
+  constexpr uint64_t kEpochs = 10;
+  {
+    LoggerPoolOptions lo = Opts(1, 1);
+    lo.segment_bytes = 512;  // a handful of entries per segment
+    LoggerPool pool(lo);
+    pool.MarkComplete();
+    for (uint64_t e = 1; e <= kEpochs; ++e) {
+      for (uint64_t key = 1; key <= 10; ++key) {
+        AppendU64(pool.lane(0), key, Tid::Make(e, key, 0), e * 100 + key);
+      }
+      pool.lane(0)->MarkEpoch(e);
+      pool.Drain();
+    }
+    pool.Stop();
+    EXPECT_GT(pool.segments_rotated(), 2u) << "rotation never engaged";
+    EXPECT_EQ(pool.wal_files_deleted(), 0u) << "nothing may GC without Gc()";
+  }
+  auto db = MakeDb();
+  RecoveryResult r = Recover(db.get(), dir_, 0);
+  EXPECT_EQ(r.committed_epoch, kEpochs);
+  EXPECT_EQ(ReadKey(db.get(), 3), kEpochs * 100 + 3);
+  EXPECT_EQ(ReadKey(db.get(), 10), kEpochs * 100 + 10);
+}
+
+TEST_F(LoggerTest, WalGcBoundsTheLogDirUnderSustainedLoad) {
+  // The durability disk-footprint bound (ISSUE 9): sustained load with
+  // rotation + chain compaction + segment GC must hold the directory at a
+  // constant file count — segments covered by the chain are deleted, the
+  // chain itself compacts into a fresh base — while recovery from whatever
+  // survives stays exact.
+  constexpr uint64_t kEpochs = 30;
+  auto db = MakeDb();
+  std::atomic<uint64_t> stable{0};
+  LoggerPoolOptions lo = Opts(1, 1);
+  lo.segment_bytes = 512;
+  LoggerPool pool(lo);
+  pool.MarkComplete();
+  Checkpointer ckpt(db.get(), dir_, 0, &stable, /*max_chain_links=*/3);
+
+  for (uint64_t e = 1; e <= kEpochs; ++e) {
+    for (uint64_t key = 1; key <= 10; ++key) {
+      uint64_t tid = Tid::Make(e, key, 0);
+      uint64_t v = e * 100 + key;
+      AppendU64(pool.lane(0), key, tid, v);
+      HashTable::Row row = db->table(0, 0)->GetOrInsertRow(key);
+      row.rec->ApplyThomas(tid, &v, row.size, row.value, db->two_version());
+    }
+    pool.lane(0)->MarkEpoch(e);
+    pool.Drain();
+    stable.store(e);
+    pool.Gc(ckpt.RunOnce());
+    // The bound, asserted at every step: the live segment, at most a
+    // couple of closed-but-not-yet-covered segments, and the `.ok` marker.
+    EXPECT_LE(CountFiles(dir_, "wal_node0"), 5) << "epoch " << e;
+    EXPECT_LE(CountFiles(dir_, ".dat"), 4) << "epoch " << e;
+  }
+  EXPECT_GT(pool.segments_rotated(), 5u);
+  EXPECT_GT(pool.wal_files_deleted(), 0u) << "segment GC never engaged";
+  EXPECT_GT(ckpt.chain_files_deleted(), 0u) << "chain never compacted";
+  EXPECT_LE(ckpt.chain_length(), 3u);
+  pool.Stop();
+
+  // The carry-over markers must make the GC'd prefix invisible to the
+  // watermark scan: recovery still claims the final epoch.
+  auto fresh = MakeDb();
+  RecoveryResult r = Recover(fresh.get(), dir_, 0);
+  EXPECT_TRUE(r.used_checkpoint);
+  EXPECT_EQ(r.committed_epoch, kEpochs);
+  for (uint64_t key = 1; key <= 10; ++key) {
+    EXPECT_EQ(ReadKey(fresh.get(), key), kEpochs * 100 + key) << key;
+  }
+}
+
+TEST_F(LoggerTest, ChainCompactionSweepsSupersededLinks) {
+  auto db = MakeDb();
+  std::atomic<uint64_t> stable{0};
+  LoggerPool pool(Opts(1, 1));
+  pool.MarkComplete();
+  Checkpointer ckpt(db.get(), dir_, 0, &stable, /*max_chain_links=*/3);
+
+  for (uint64_t e = 1; e <= 8; ++e) {
+    uint64_t tid = Tid::Make(e, 1, 0);
+    uint64_t v = 1000 + e;
+    AppendU64(pool.lane(0), 1, tid, v);
+    HashTable::Row row = db->table(0, 0)->GetOrInsertRow(1);
+    row.rec->ApplyThomas(tid, &v, row.size, row.value, db->two_version());
+    pool.lane(0)->MarkEpoch(e);
+    pool.Drain();
+    stable.store(e);
+    EXPECT_EQ(ckpt.RunOnce(), e);
+  }
+  pool.Stop();
+
+  EXPECT_LE(ckpt.chain_length(), 3u);
+  EXPECT_GT(ckpt.chain_files_deleted(), 0u);
+  EXPECT_EQ(CountFiles(dir_, ".dat"), static_cast<int>(ckpt.chain_length()))
+      << "a swept chain leaves exactly the manifest's files on disk";
+
+  std::vector<CheckpointChainEntry> chain;
+  ASSERT_TRUE(LoadCheckpointManifest(CheckpointManifestPath(dir_, 0), &chain));
+  ASSERT_FALSE(chain.empty());
+  EXPECT_EQ(chain[0].kind, 0) << "a compacted chain restarts from a base";
+
+  auto fresh = MakeDb();
+  RecoveryResult r = Recover(fresh.get(), dir_, 0);
+  EXPECT_TRUE(r.used_checkpoint);
+  EXPECT_TRUE(r.has_base);
+  EXPECT_EQ(r.committed_epoch, 8u);
+  EXPECT_EQ(ReadKey(fresh.get(), 1), 1008u);
+}
+
+TEST_F(LoggerTest, PriorIncarnationsAreSweptOnceTheChainCoversThem) {
+  // Incarnation 1 commits epoch 1 and stops cleanly.
+  {
+    LoggerPool pool(Opts(1, 1));
+    pool.MarkComplete();
+    for (uint64_t key = 1; key <= 5; ++key) {
+      AppendU64(pool.lane(0), key, Tid::Make(1, key, 0), 100 + key);
+    }
+    pool.lane(0)->MarkEpoch(1);
+    pool.Drain();
+    pool.Stop();
+  }
+
+  // The restart recovers, then runs with a checkpointer; once the chain
+  // covers the recovered epoch, incarnation 1's files are superseded.
+  auto db = MakeDb();
+  RecoveryResult rr = Recover(db.get(), dir_, 0);
+  ASSERT_EQ(rr.committed_epoch, 1u);
+  {
+    LoggerPool pool(Opts(1, 1));
+    ASSERT_EQ(pool.incarnation(), 2);
+    pool.MarkComplete();
+    pool.SetPriorCommitted(rr.committed_epoch);
+    std::atomic<uint64_t> stable{0};
+    Checkpointer ckpt(db.get(), dir_, 0, &stable);
+
+    uint64_t tid = Tid::Make(2, 6, 0);
+    uint64_t v = 106;
+    AppendU64(pool.lane(0), 6, tid, v);
+    HashTable::Row row = db->table(0, 0)->GetOrInsertRow(6);
+    row.rec->ApplyThomas(tid, &v, row.size, row.value, db->two_version());
+    pool.lane(0)->MarkEpoch(2);
+    pool.Drain();
+
+    // Not yet covered: no chain link has landed (stable is still 0, so
+    // RunOnce returns 0) and nothing may be deleted.
+    pool.Gc(ckpt.RunOnce());
+    EXPECT_TRUE(std::filesystem::exists(LoggerPool::ShardPath(dir_, 0, 1, 0)));
+
+    stable.store(2);
+    pool.Gc(ckpt.RunOnce());
+    EXPECT_FALSE(std::filesystem::exists(LoggerPool::ShardPath(dir_, 0, 1, 0)))
+        << "superseded incarnation's shard survived GC";
+    EXPECT_FALSE(std::filesystem::exists(LoggerPool::CompletePath(dir_, 0, 1)));
+    EXPECT_GE(pool.wal_files_deleted(), 2u);
+    pool.Stop();
+  }
+
+  // Everything incarnation 1 held now comes back through the chain.
+  auto fresh = MakeDb();
+  RecoveryResult r = Recover(fresh.get(), dir_, 0);
+  EXPECT_TRUE(r.used_checkpoint);
+  EXPECT_EQ(r.committed_epoch, 2u);
+  for (uint64_t key = 1; key <= 5; ++key) {
+    EXPECT_EQ(ReadKey(fresh.get(), key), 100 + key) << key;
+  }
+  EXPECT_EQ(ReadKey(fresh.get(), 6), 106u);
+}
+
 TEST_F(LoggerTest, EmptyDeltaAddsNoChainLink) {
   auto db = MakeDb();
   std::atomic<uint64_t> stable{0};

@@ -162,6 +162,57 @@ TEST(SnapshotContext, RejectsVersionPastThePinnedWatermark) {
   EXPECT_TRUE(ctx.Commit());
 }
 
+TEST(SnapshotContext, ReadYourWritesFloorBlocksStaleSnapshots) {
+  auto db = MakeDb();
+  ReplicationCounters counters(1);
+  ReplicationApplier applier(db.get(), &counters);
+  ApplyWrite(applier, 0, 1, /*epoch=*/3, 1);  // the session's own write
+  AppliedEpochWatermark w(1);
+  w.Publish(0, 2);  // replication has not yet applied epoch 3
+  Rng rng(1);
+  SnapshotContext ctx(db.get(), &w, ReplicaReadMode::kSnapshot, &rng, 0);
+
+  // A session that committed in epoch 3 must not read a snapshot at 2.
+  EXPECT_FALSE(ctx.Begin(/*min_epoch=*/3))
+      << "watermark 2 cannot serve a session floor of 3";
+  EXPECT_TRUE(ctx.conflicted()) << "the floor miss is reported as a conflict";
+
+  // Once the fence publishes the session's epoch, the same Begin succeeds
+  // and the session's own write is visible.
+  w.Publish(0, 3);
+  ASSERT_TRUE(ctx.Begin(/*min_epoch=*/3));
+  EXPECT_EQ(ctx.pinned(), 3u);
+  std::string out(kValueSize, '\0');
+  ASSERT_TRUE(ctx.Read(0, 0, 1, out.data()))
+      << "the session reads its own epoch-3 write";
+  EXPECT_EQ(out, ValueAt(1, 3));
+  EXPECT_TRUE(ctx.Commit());
+}
+
+TEST(SnapshotContext, FloorAtOrBelowTheWatermarkIsFree) {
+  auto db = MakeDb();
+  AppliedEpochWatermark w(1);
+  w.Publish(0, 5);
+  Rng rng(1);
+  SnapshotContext ctx(db.get(), &w, ReplicaReadMode::kSnapshot, &rng, 0);
+  EXPECT_TRUE(ctx.Begin(/*min_epoch=*/5)) << "floor == watermark is servable";
+  EXPECT_EQ(ctx.pinned(), 5u);
+  EXPECT_TRUE(ctx.Begin(/*min_epoch=*/0)) << "no floor always begins";
+  EXPECT_TRUE(ctx.Begin(/*min_epoch=*/2)) << "older floor is subsumed";
+  EXPECT_FALSE(ctx.conflicted());
+}
+
+TEST(SnapshotContext, MonotonicModeCannotHonorAFloor) {
+  auto db = MakeDb();
+  Rng rng(1);
+  // Monotonic mode has no pin (null watermark is legal): any nonzero floor
+  // must fail loudly rather than silently serve possibly-stale reads.
+  SnapshotContext ctx(db.get(), nullptr, ReplicaReadMode::kMonotonic, &rng, 0);
+  EXPECT_TRUE(ctx.Begin(/*min_epoch=*/0));
+  EXPECT_FALSE(ctx.Begin(/*min_epoch=*/1));
+  EXPECT_TRUE(ctx.conflicted());
+}
+
 TEST(SnapshotContext, CommitFailsWhenReplayOvertakesTheReadSet) {
   auto db = MakeDb();
   ReplicationCounters counters(1);

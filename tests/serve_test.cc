@@ -1,0 +1,474 @@
+// Serving front end: wire protocol round trips, the admission gate's
+// shed/admit algebra, the group-commit tracker's two-gate release (the
+// per-request commit_wait=durable mechanism), the stored-procedure
+// registry's routing contract, and the full client path — hello / call /
+// result over TCP loopback against a live engine, including the
+// read-your-writes session floor end to end.
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cc/epoch.h"
+#include "common/clock.h"
+#include "core/engine.h"
+#include "serve/admission.h"
+#include "serve/loadgen.h"
+#include "serve/protocol.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "workload/ycsb.h"
+
+namespace star {
+namespace {
+
+YcsbOptions SmallYcsb() {
+  YcsbOptions o;
+  o.rows_per_partition = 2000;
+  return o;
+}
+
+using serve::AdmissionController;
+using serve::CallBody;
+using serve::FrameHeader;
+using serve::FrameType;
+using serve::ProcRegistry;
+using serve::ResultBody;
+using serve::ServeOptions;
+using serve::ServeServer;
+using serve::ShedBody;
+using serve::Status;
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------------
+
+TEST(ServeProtocol, HeaderRoundTrips) {
+  FrameHeader h;
+  h.body_len = 13;
+  h.type = static_cast<uint16_t>(FrameType::kCall);
+  h.flags = 7;
+  h.proc = ProcRegistry::kTpccNewOrder;
+  h.session = 0x1122334455667788ull;
+  h.request_id = 0x99aabbccddeeff00ull;
+  char buf[serve::kHeaderSize];
+  EncodeHeader(buf, h);
+  FrameHeader d;
+  ASSERT_TRUE(DecodeHeader(buf, &d));
+  EXPECT_EQ(d.magic, serve::kMagic);
+  EXPECT_EQ(d.body_len, h.body_len);
+  EXPECT_EQ(d.type, h.type);
+  EXPECT_EQ(d.flags, h.flags);
+  EXPECT_EQ(d.proc, h.proc);
+  EXPECT_EQ(d.session, h.session);
+  EXPECT_EQ(d.request_id, h.request_id);
+}
+
+TEST(ServeProtocol, RejectsBadMagicAndOversizedBody) {
+  FrameHeader h;
+  char buf[serve::kHeaderSize];
+  EncodeHeader(buf, h);
+  buf[0] ^= 0x5a;  // corrupt the magic
+  FrameHeader d;
+  EXPECT_FALSE(DecodeHeader(buf, &d));
+
+  h.body_len = serve::kMaxBody + 1;
+  EncodeHeader(buf, h);
+  EXPECT_FALSE(DecodeHeader(buf, &d))
+      << "an oversized body length is a protocol error, not an allocation";
+}
+
+TEST(ServeProtocol, BodiesRoundTripAndShortBuffersFail) {
+  CallBody c;
+  c.partition = 3;
+  c.seed = 0xdeadbeefcafef00dull;
+  c.flags = serve::kCallWaitDurable;
+  char cb[serve::kCallBodySize];
+  EncodeCall(cb, c);
+  CallBody cd;
+  ASSERT_TRUE(DecodeCall(cb, sizeof(cb), &cd));
+  EXPECT_EQ(cd.partition, c.partition);
+  EXPECT_EQ(cd.seed, c.seed);
+  EXPECT_EQ(cd.flags, c.flags);
+  EXPECT_FALSE(DecodeCall(cb, serve::kCallBodySize - 1, &cd));
+
+  ResultBody r;
+  r.status = static_cast<uint8_t>(Status::kAbortConflict);
+  r.epoch = 42;
+  char rb[serve::kResultBodySize];
+  EncodeResult(rb, r);
+  ResultBody rd;
+  ASSERT_TRUE(DecodeResult(rb, sizeof(rb), &rd));
+  EXPECT_EQ(rd.status, r.status);
+  EXPECT_EQ(rd.epoch, r.epoch);
+  EXPECT_FALSE(DecodeResult(rb, serve::kResultBodySize - 1, &rd));
+
+  ShedBody s;
+  s.est_wait_ns = 123456789;
+  char sb[serve::kShedBodySize];
+  EncodeShed(sb, s);
+  ShedBody sd;
+  ASSERT_TRUE(DecodeShed(sb, sizeof(sb), &sd));
+  EXPECT_EQ(sd.est_wait_ns, s.est_wait_ns);
+  EXPECT_FALSE(DecodeShed(sb, serve::kShedBodySize - 1, &sd));
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+TEST(Admission, BootstrapDepthAlwaysAdmits) {
+  AdmissionController::Options o;
+  o.bootstrap_inflight = 4;
+  o.slo_budget_ns = 1;  // a budget nothing could meet
+  AdmissionController a(o);
+  // Poison the drain estimate so the SLO test would reject if consulted.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(a.Admit(1000, nullptr)) << "below bootstrap depth";
+  }
+  EXPECT_EQ(a.inflight(), 4u);
+}
+
+TEST(Admission, ShedsWhenEstimatedWaitExceedsBudget) {
+  AdmissionController::Options o;
+  o.bootstrap_inflight = 2;
+  o.slo_budget_ns = 1000;  // 1 us budget
+  AdmissionController a(o);
+  // Establish a slow drain: completions 1 ms apart -> EWMA ~1 ms each.
+  uint64_t now = 1;
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(a.Admit(now, nullptr));
+    a.OnComplete(now);
+    now += 1'000'000;
+  }
+  EXPECT_GT(a.inter_complete_ns(), 100'000u);
+  // Fill past the bootstrap floor, then the estimate (inflight x ~1 ms)
+  // dwarfs the 1 us budget.
+  ASSERT_TRUE(a.Admit(now, nullptr));
+  ASSERT_TRUE(a.Admit(now, nullptr));
+  uint64_t est = 0;
+  EXPECT_FALSE(a.Admit(now, &est));
+  EXPECT_GT(est, o.slo_budget_ns);
+  EXPECT_EQ(a.shed(), 1u);
+}
+
+TEST(Admission, HardCapAndCancelRestoreInflight) {
+  AdmissionController::Options o;
+  o.bootstrap_inflight = 64;  // keep the SLO estimate out of the way
+  o.max_inflight = 2;
+  AdmissionController a(o);
+  ASSERT_TRUE(a.Admit(1, nullptr));
+  ASSERT_TRUE(a.Admit(1, nullptr));
+  EXPECT_FALSE(a.Admit(1, nullptr)) << "hard cap";
+  a.OnCancel();
+  EXPECT_TRUE(a.Admit(1, nullptr)) << "cancel released the slot";
+  a.OnComplete(2);
+  a.OnComplete(3);
+  EXPECT_EQ(a.inflight(), 0u);
+  EXPECT_EQ(a.completed(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Two-gate group-commit release (per-request commit_wait=durable)
+// ---------------------------------------------------------------------------
+
+struct DoneRecord {
+  int calls = 0;
+  bool committed = false;
+  uint64_t epoch = 0;
+};
+
+void RecordDone(void* ctx, bool committed, uint64_t epoch) {
+  auto* r = static_cast<DoneRecord*>(ctx);
+  ++r->calls;
+  r->committed = committed;
+  r->epoch = epoch;
+}
+
+TEST(GroupCommitTracker, DurableEntriesHoldAtThePlainGate) {
+  GroupCommitTracker t;
+  Histogram lat;
+  DoneRecord plain, durable;
+  t.Add(5, 100, &RecordDone, &plain, /*wait_durable=*/false);
+  t.Add(5, 100, &RecordDone, &durable, /*wait_durable=*/true);
+
+  // Epoch 5 closed (release gate 6), but durability only covers epoch 4.
+  EXPECT_EQ(t.Drain(/*release=*/6, /*durable_release=*/5, 200, lat), 1u);
+  EXPECT_EQ(plain.calls, 1);
+  EXPECT_TRUE(plain.committed);
+  EXPECT_EQ(plain.epoch, 5u);
+  EXPECT_EQ(durable.calls, 0) << "held for the durable gate";
+  EXPECT_EQ(t.pending(), 1u);
+
+  // Durability catches up: the held entry releases with committed=true.
+  EXPECT_EQ(t.Drain(6, 6, 300, lat), 1u);
+  EXPECT_EQ(durable.calls, 1);
+  EXPECT_TRUE(durable.committed);
+  EXPECT_EQ(t.pending(), 0u);
+}
+
+TEST(GroupCommitTracker, DropFromFiresAbortedCompletions) {
+  GroupCommitTracker t;
+  Histogram lat;
+  DoneRecord kept, dropped;
+  t.Add(3, 100, &RecordDone, &kept, false);
+  t.Add(7, 100, &RecordDone, &dropped, false);
+  EXPECT_EQ(t.DropFrom(5), 1u);
+  EXPECT_EQ(dropped.calls, 1);
+  EXPECT_FALSE(dropped.committed) << "reverted epochs report the abort";
+  EXPECT_EQ(kept.calls, 0);
+  EXPECT_EQ(t.DrainAll(200, lat), 1u);
+  EXPECT_EQ(kept.calls, 1);
+  EXPECT_TRUE(kept.committed) << "shutdown drain releases survivors";
+}
+
+// ---------------------------------------------------------------------------
+// Stored-procedure registry
+// ---------------------------------------------------------------------------
+
+TEST(ProcRegistryTest, StampsTheRoutingContract) {
+  YcsbWorkload wl(SmallYcsb());
+  ProcRegistry reg = ProcRegistry::ForWorkload(wl);
+  TxnRequest req;
+  ASSERT_TRUE(reg.Make(ProcRegistry::kReadOnly, /*seed=*/1, /*partition=*/0,
+                       /*num_partitions=*/4, &req));
+  EXPECT_TRUE(req.read_only) << "the registry entry decides routing";
+  EXPECT_NE(req.proc, nullptr);
+
+  ASSERT_TRUE(reg.Make(ProcRegistry::kCross, 1, 0, 4, &req));
+  EXPECT_TRUE(req.cross_partition);
+  EXPECT_FALSE(req.read_only);
+
+  ASSERT_TRUE(reg.Make(ProcRegistry::kSingle, 1, 9999, 4, &req));
+  EXPECT_EQ(req.home_partition, 3) << "partition clamped into range";
+
+  EXPECT_FALSE(reg.Make(/*id=*/777, 1, 0, 4, &req)) << "unknown procedure";
+}
+
+TEST(ProcRegistryTest, SameSeedSameArguments) {
+  YcsbWorkload wl(SmallYcsb());
+  ProcRegistry reg = ProcRegistry::ForWorkload(wl);
+  TxnRequest a, b;
+  ASSERT_TRUE(reg.Make(ProcRegistry::kSingle, 42, 1, 4, &a));
+  ASSERT_TRUE(reg.Make(ProcRegistry::kSingle, 42, 1, 4, &b));
+  // The argument surface is regenerated deterministically from the seed:
+  // both requests touch the identical access list.
+  ASSERT_EQ(a.accesses.size(), b.accesses.size());
+  for (size_t i = 0; i < a.accesses.size(); ++i) {
+    EXPECT_EQ(a.accesses[i].key, b.accesses[i].key);
+    EXPECT_EQ(a.accesses[i].partition, b.accesses[i].partition);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End to end over TCP loopback
+// ---------------------------------------------------------------------------
+
+/// A deliberately simple blocking client (the loadgen's nonblocking pump is
+/// exercised by serving_smoke; tests want determinism).
+class BlockingClient {
+ public:
+  bool Connect(uint16_t port) {
+    fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      return false;
+    }
+    int one = 1;
+    setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return true;
+  }
+  ~BlockingClient() {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  bool SendAll(const char* data, size_t len) {
+    size_t off = 0;
+    while (off < len) {
+      ssize_t n = send(fd_, data + off, len - off, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool RecvAll(char* data, size_t len) {
+    size_t off = 0;
+    while (off < len) {
+      ssize_t n = recv(fd_, data + off, len - off, 0);
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool Hello(uint64_t* session) {
+    FrameHeader h;
+    h.type = static_cast<uint16_t>(FrameType::kHello);
+    char buf[serve::kHeaderSize];
+    EncodeHeader(buf, h);
+    if (!SendAll(buf, sizeof(buf))) return false;
+    FrameHeader ack;
+    if (!RecvAll(buf, sizeof(buf)) || !DecodeHeader(buf, &ack)) return false;
+    if (ack.type != static_cast<uint16_t>(FrameType::kHelloAck)) return false;
+    *session = ack.session;
+    return true;
+  }
+
+  /// One call, waiting for its response frame.  Returns the frame type;
+  /// fills `result` for kResult frames.
+  FrameType Call(uint32_t proc, uint64_t session, uint64_t seed,
+                 uint32_t partition, uint8_t flags, ResultBody* result) {
+    FrameHeader h;
+    h.type = static_cast<uint16_t>(FrameType::kCall);
+    h.body_len = serve::kCallBodySize;
+    h.proc = proc;
+    h.session = session;
+    h.request_id = ++next_req_;
+    CallBody c;
+    c.partition = partition;
+    c.seed = seed;
+    c.flags = flags;
+    char buf[serve::kHeaderSize + serve::kCallBodySize];
+    EncodeHeader(buf, h);
+    EncodeCall(buf + serve::kHeaderSize, c);
+    if (!SendAll(buf, sizeof(buf))) return FrameType::kGoodbye;
+    FrameHeader rh;
+    char hdr[serve::kHeaderSize];
+    if (!RecvAll(hdr, sizeof(hdr)) || !DecodeHeader(hdr, &rh)) {
+      return FrameType::kGoodbye;
+    }
+    char body[64];
+    if (rh.body_len > sizeof(body)) return FrameType::kGoodbye;
+    if (rh.body_len > 0 && !RecvAll(body, rh.body_len)) {
+      return FrameType::kGoodbye;
+    }
+    EXPECT_EQ(rh.request_id, h.request_id) << "responses echo the request id";
+    if (rh.type == static_cast<uint16_t>(FrameType::kResult) &&
+        result != nullptr) {
+      EXPECT_TRUE(DecodeResult(body, rh.body_len, result));
+    }
+    return static_cast<FrameType>(rh.type);
+  }
+
+  int fd_ = -1;
+  uint64_t next_req_ = 0;
+};
+
+StarOptions ServeStar() {
+  StarOptions o;
+  o.cluster.full_replicas = 1;
+  o.cluster.partial_replicas = 3;
+  o.cluster.workers_per_node = 2;
+  o.iteration_ms = 10;
+  o.synthetic_load = false;   // the engine executes only what clients send
+  o.replica_read_workers = 1; // read-only procs need replica readers
+  return o;
+}
+
+TEST(ServeServerTest, WritesReadsAndReadYourWrites) {
+  YcsbWorkload wl(SmallYcsb());
+  StarOptions o = ServeStar();
+  ProcRegistry reg = ProcRegistry::ForWorkload(wl);
+  StarEngine engine(o, wl);
+  engine.Start();
+  {
+    ServeOptions so;
+    ServeServer server(&engine, &reg, so);
+    ASSERT_TRUE(server.Start());
+
+    BlockingClient cli;
+    ASSERT_TRUE(cli.Connect(server.port()));
+    uint64_t session = 0;
+    ASSERT_TRUE(cli.Hello(&session));
+    EXPECT_NE(session, 0u);
+
+    // A single-partition write: blocks until group-commit release, so the
+    // result carries the commit epoch.
+    ResultBody wr;
+    ASSERT_EQ(cli.Call(ProcRegistry::kSingle, session, /*seed=*/7,
+                       /*partition=*/0, /*flags=*/0, &wr),
+              FrameType::kResult);
+    ASSERT_EQ(static_cast<Status>(wr.status), Status::kOk);
+    EXPECT_GT(wr.epoch, 0u) << "committed writes report their epoch";
+
+    // Read-your-writes: the io thread advanced this session's floor to the
+    // write's epoch before the client could even see the result, so the
+    // read's snapshot must pin at least that epoch.
+    ResultBody rd;
+    ASSERT_EQ(cli.Call(ProcRegistry::kReadOnly, session, /*seed=*/8,
+                       /*partition=*/0, /*flags=*/0, &rd),
+              FrameType::kResult);
+    ASSERT_EQ(static_cast<Status>(rd.status), Status::kOk);
+    EXPECT_GE(rd.epoch, wr.epoch)
+        << "session read served below its read-your-writes floor";
+
+    // A cross-partition write commits through the single-master path.
+    ResultBody cr;
+    ASSERT_EQ(cli.Call(ProcRegistry::kCross, session, /*seed=*/9,
+                       /*partition=*/1, /*flags=*/0, &cr),
+              FrameType::kResult);
+    EXPECT_EQ(static_cast<Status>(cr.status), Status::kOk);
+
+    // wait_durable on an engine without durable logging degrades to the
+    // plain release gate instead of hanging forever.
+    ResultBody dr;
+    ASSERT_EQ(cli.Call(ProcRegistry::kSingle, session, /*seed=*/10,
+                       /*partition=*/0, serve::kCallWaitDurable, &dr),
+              FrameType::kResult);
+    EXPECT_EQ(static_cast<Status>(dr.status), Status::kOk);
+
+    // Unknown procedure id answers kBadRequest without killing the
+    // connection.
+    ResultBody br;
+    ASSERT_EQ(cli.Call(/*proc=*/999, session, 1, 0, 0, &br),
+              FrameType::kResult);
+    EXPECT_EQ(static_cast<Status>(br.status), Status::kBadRequest);
+
+    ServeServer::Counters c = server.counters();
+    EXPECT_EQ(c.conns_accepted, 1u);
+    EXPECT_GE(c.results, 4u);
+
+    server.Stop();
+  }
+  engine.Stop();
+}
+
+TEST(ServeServerTest, ZeroCapacityGateShedsEveryCall) {
+  YcsbWorkload wl(SmallYcsb());
+  StarOptions o = ServeStar();
+  ProcRegistry reg = ProcRegistry::ForWorkload(wl);
+  StarEngine engine(o, wl);
+  engine.Start();
+  {
+    ServeOptions so;
+    so.admission.max_inflight = 0;
+    so.admission.bootstrap_inflight = 0;
+    ServeServer server(&engine, &reg, so);
+    ASSERT_TRUE(server.Start());
+
+    BlockingClient cli;
+    ASSERT_TRUE(cli.Connect(server.port()));
+    uint64_t session = 0;
+    ASSERT_TRUE(cli.Hello(&session));
+    EXPECT_EQ(cli.Call(ProcRegistry::kSingle, session, 1, 0, 0, nullptr),
+              FrameType::kShed)
+        << "a zero-capacity gate sheds at the door with a kShed frame";
+    EXPECT_EQ(server.counters().shed, 1u);
+    server.Stop();
+  }
+  engine.Stop();
+}
+
+}  // namespace
+}  // namespace star
