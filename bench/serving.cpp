@@ -121,6 +121,8 @@ void Report(const std::string& label, const Point& p) {
        {"ok", JsonLog::Format(static_cast<double>(r.ok))},
        {"aborted", JsonLog::Format(static_cast<double>(r.aborted))},
        {"shed", JsonLog::Format(static_cast<double>(r.shed))},
+       {"shed_retried", JsonLog::Format(static_cast<double>(r.shed_retried))},
+       {"shed_give_up", JsonLog::Format(static_cast<double>(r.shed_give_up))},
        {"retry", JsonLog::Format(static_cast<double>(r.retry))},
        {"lost", JsonLog::Format(static_cast<double>(r.lost))},
        {"slo_ms", JsonLog::Format(kSloMs)}});

@@ -82,6 +82,7 @@ StarEngine::StarEngine(const StarOptions& options, const Workload& workload)
   tc.sim.bandwidth_gbps = options_.cluster.bandwidth_gbps;
   tc.tcp.host = options_.tcp_host;
   tc.tcp.base_port = options_.tcp_base_port;
+  tc.fault = options_.fault;
   if (options_.multiprocess) {
     for (int i = 0; i < num_nodes_; ++i) {
       if (hosted[i]) tc.tcp.local_endpoints.push_back(i);
@@ -568,10 +569,26 @@ void StarEngine::BroadcastView(uint64_t gen, uint64_t revert_epoch,
     tokens.push_back(
         coordinator_->CallAsync(i, net::MsgType::kViewChange, payload));
   }
+  Rng rng(gen ^ 0x5bd1e995ull);
   for (size_t k = 0; k < tokens.size(); ++k) {
     uint64_t t0 = NowNanos();
     bool ok = coordinator_->Wait(tokens[k], nullptr,
                                  MillisToNanos(options_.fence_timeout_ms));
+    // A node that never receives this view runs on a stale one until the
+    // silence watchdog parks it; bounded re-sends (safe — ApplyView is
+    // generation-guarded and idempotent) close that window under message
+    // loss.  Still best-effort: a genuinely dead node fails fences anyway.
+    double backoff = options_.coord_backoff_min_ms;
+    for (int a = 0; !ok && a < options_.coord_rpc_retries; ++a) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          static_cast<int64_t>(backoff * (0.5 + rng.NextDouble()) * 1000)));
+      backoff = std::min(backoff * 2, options_.coord_backoff_max_ms);
+      uint64_t tok =
+          coordinator_->CallAsync(healthy[k], net::MsgType::kViewChange,
+                                  payload);
+      ok = coordinator_->Wait(tok, nullptr,
+                              MillisToNanos(options_.fence_timeout_ms));
+    }
     if (std::getenv("STAR_DEBUG_FAILURES") != nullptr) {
       std::fprintf(stderr,
                    "[star] %.3f view gen %llu ack node %d ok=%d %.0fms\n",
@@ -734,10 +751,24 @@ void StarEngine::StartPhaseOnNodes(Phase phase) {
   // node sees the phase start before the following fence messages), so cap
   // the wait: blocking a full fence timeout here would serialise with the
   // fence's own timeout and double failure-detection latency.
-  uint64_t wait_ns = MillisToNanos(std::min(options_.fence_timeout_ms, 500.0));
+  uint64_t wait_ns = MillisToNanos(
+      std::min(options_.fence_timeout_ms, options_.phase_ack_wait_ms));
+  Rng rng(epoch ^ 0xA5A5A5A5ull);
   for (auto& [i, tok] : tokens) {
-    (void)i;
-    coordinator_->Wait(tok, nullptr, wait_ns);
+    bool ok = coordinator_->Wait(tok, nullptr, wait_ns);
+    // A missed ack under a gray network may mean the phase start itself was
+    // lost; bounded re-sends keep the node from sitting parked for a whole
+    // iteration.  Safe: phase re-entry is idempotent (same phase + epoch,
+    // fresh seq), and a genuinely dead node fails the fence as before.
+    double backoff = options_.coord_backoff_min_ms;
+    for (int a = 0; !ok && a < options_.coord_rpc_retries; ++a) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          static_cast<int64_t>(backoff * (0.5 + rng.NextDouble()) * 1000)));
+      backoff = std::min(backoff * 2, options_.coord_backoff_max_ms);
+      uint64_t retok =
+          coordinator_->CallAsync(i, net::MsgType::kPhaseStart, payload);
+      ok = coordinator_->Wait(retok, nullptr, wait_ns);
+    }
   }
 }
 
@@ -878,8 +909,12 @@ void StarEngine::CoordinatorLoop() {
           std::chrono::microseconds(static_cast<int64_t>(tau_p_ms_ * 1000)));
       double secs = (NowNanos() - t0) / 1e9;
       FenceOutcome out = Fence(Phase::kPartitioned, secs);
+      std::vector<int> dead = RegisterFenceMisses(out);
       if (!out.ok) {
-        HandleFailures(out.failed_nodes);
+        // Below the miss threshold the fence simply retries next iteration:
+        // no epoch was advanced, re-fencing is idempotent, and a slow node
+        // gets another chance to answer before being written off.
+        if (!dead.empty()) HandleFailures(dead);
         continue;
       }
     }
@@ -891,8 +926,9 @@ void StarEngine::CoordinatorLoop() {
           std::chrono::microseconds(static_cast<int64_t>(tau_s_ms_ * 1000)));
       double secs = (NowNanos() - t0) / 1e9;
       FenceOutcome out = Fence(Phase::kSingleMaster, secs);
+      std::vector<int> dead = RegisterFenceMisses(out);
       if (!out.ok) {
-        HandleFailures(out.failed_nodes);
+        if (!dead.empty()) HandleFailures(dead);
         continue;
       }
     }
@@ -902,6 +938,41 @@ void StarEngine::CoordinatorLoop() {
   }
   // Park everyone.
   StartPhaseOnNodes(Phase::kStopped);
+}
+
+std::vector<int> StarEngine::RegisterFenceMisses(const FenceOutcome& out) {
+  if (fence_miss_.size() != static_cast<size_t>(num_nodes_)) {
+    fence_miss_.assign(static_cast<size_t>(num_nodes_), 0);
+  }
+  std::vector<int> write_off;
+  if (out.ok) {
+    std::fill(fence_miss_.begin(), fence_miss_.end(), 0);
+    return write_off;
+  }
+  std::vector<bool> missed(static_cast<size_t>(num_nodes_), false);
+  for (int f : out.failed_nodes) missed[static_cast<size_t>(f)] = true;
+  const int threshold = std::max(1, options_.fence_miss_threshold);
+  for (int i = 0; i < num_nodes_; ++i) {
+    if (!node_healthy_[i].load(std::memory_order_acquire)) continue;
+    if (missed[static_cast<size_t>(i)]) {
+      if (++fence_miss_[static_cast<size_t>(i)] >= threshold) {
+        write_off.push_back(i);
+      }
+    } else {
+      // It answered this fence: slow earlier, not dead.
+      fence_miss_[static_cast<size_t>(i)] = 0;
+    }
+  }
+  if (std::getenv("STAR_DEBUG_FAILURES") != nullptr && write_off.empty()) {
+    std::fprintf(stderr, "[star] %.3f fence miss below threshold:",
+                 NowNanos() / 1e9);
+    for (int f : out.failed_nodes) {
+      std::fprintf(stderr, " %d(%d/%d)", f,
+                   fence_miss_[static_cast<size_t>(f)], threshold);
+    }
+    std::fprintf(stderr, "\n");
+  }
+  return write_off;
 }
 
 void StarEngine::HandleFailures(const std::vector<int>& newly_failed) {
@@ -919,6 +990,9 @@ void StarEngine::HandleFailures(const std::vector<int>& newly_failed) {
   for (int f : newly_failed) {
     node_status_[f] = kNodeDown;
     granted_nonce_[f].store(0, std::memory_order_release);
+    if (static_cast<size_t>(f) < fence_miss_.size()) {
+      fence_miss_[static_cast<size_t>(f)] = 0;  // fresh streak if it rejoins
+    }
     if (nodes_[f] != nullptr) {
       Node& n = *nodes_[f];
       n.fenced.store(true, std::memory_order_release);
@@ -1074,9 +1148,13 @@ void StarEngine::PerformRejoin(int j, uint64_t nonce) {
     std::this_thread::sleep_for(
         std::chrono::microseconds(static_cast<int64_t>(tau_p_ms_ * 1000)));
     FenceOutcome out = Fence(Phase::kPartitioned, (NowNanos() - t0) / 1e9);
+    std::vector<int> dead = RegisterFenceMisses(out);
     if (!out.ok) {
-      HandleFailures(out.failed_nodes);
-      return;
+      if (!dead.empty()) {
+        HandleFailures(dead);
+        return;
+      }
+      continue;  // below threshold: retry the fence, keep the fetch going
     }
     if (coordinator_->IsReady(tok)) {
       coordinator_->Wait(tok, nullptr, 1);
@@ -1104,8 +1182,22 @@ void StarEngine::PerformRejoin(int j, uint64_t nonce) {
 
 void StarEngine::ControlLoop(Node& node) {
   uint64_t seq = 0;
+  // Gray-partition self-defence: every mailbox message is coordinator-
+  // originated, so prolonged mailbox silence on a running cluster means
+  // this node cannot hear the coordinator — it may be running on a stale
+  // view (e.g. serving a partition whose mastership moved).  After the
+  // silence budget it parks itself (workers stop committing, replica
+  // readers stop serving) and the next coordinator message un-parks it.
+  const double silence_ms =
+      options_.coordinator_silence_ms == 0
+          ? std::max(3000.0, options_.fence_timeout_ms * 8)
+          : options_.coordinator_silence_ms;
+  const uint64_t silence_ns = MillisToNanos(std::max(silence_ms, 0.0));
+  uint64_t last_coord_ns = NowNanos();
+  bool self_parked = false;
   while (node.control_running.load(std::memory_order_acquire)) {
     net::Message msg;
+    bool have_msg = false;
     {
       MutexLock lk(node.mail_mu);
       if (node.mail.empty() &&
@@ -1115,9 +1207,44 @@ void StarEngine::ControlLoop(Node& node) {
         // most one 50 ms lap (the same bound the timeout already imposed).
         node.mail_cv.WaitFor(lk, std::chrono::milliseconds(50));
       }
-      if (node.mail.empty()) continue;
-      msg = std::move(node.mail.front());
-      node.mail.pop_front();
+      if (!node.mail.empty()) {
+        msg = std::move(node.mail.front());
+        node.mail.pop_front();
+        have_msg = true;
+      }
+    }
+    if (!have_msg) {
+      if (silence_ms > 0 && !self_parked &&
+          NowNanos() - last_coord_ns >= silence_ns &&
+          admitted_.load(std::memory_order_acquire) &&
+          !node.fenced.load(std::memory_order_acquire) &&
+          running_.load(std::memory_order_acquire)) {
+        self_parked = true;
+        uint64_t word = node.phase_word.load(std::memory_order_acquire);
+        if (PhaseOf(word) != Phase::kStopped) {
+          node.phase_word.store(PackPhase(Phase::kStopped, SeqOf(word) + 1),
+                                std::memory_order_release);
+        }
+        PauseReaders(node);
+        if (std::getenv("STAR_DEBUG_FAILURES") != nullptr) {
+          std::fprintf(stderr,
+                       "[star] %.3f node %d self-parked: coordinator silent "
+                       "%.0f ms\n",
+                       NowNanos() / 1e9, node.id, silence_ms);
+        }
+      }
+      continue;
+    }
+    last_coord_ns = NowNanos();
+    if (self_parked) {
+      // The coordinator is reachable again; the message being dispatched
+      // (typically the next kPhaseStart or view) restores worker state.
+      self_parked = false;
+      ResumeReaders(node);
+      if (std::getenv("STAR_DEBUG_FAILURES") != nullptr) {
+        std::fprintf(stderr, "[star] %.3f node %d un-parked: coordinator back\n",
+                     NowNanos() / 1e9, node.id);
+      }
     }
     switch (msg.type) {
       case net::MsgType::kFenceStop: {
@@ -2017,7 +2144,14 @@ bool StarEngine::RequestRejoinFromCoordinator(double timeout_ms) {
   b.Write<int32_t>(n->id);
   b.Write<uint64_t>(nonce);
   std::string payload = b.Release();
-  uint64_t deadline = NowNanos() + MillisToNanos(timeout_ms);
+  double budget_ms =
+      timeout_ms > 0 ? timeout_ms : options_.rejoin_timeout_ms;
+  uint64_t deadline = NowNanos() + MillisToNanos(budget_ms);
+  // Jittered exponential backoff between attempts: under a gray network the
+  // fixed-period retry storm both congests the recovering link and
+  // synchronises with other rejoiners; the jitter (x0.5..x1.5) breaks that.
+  Rng rng(nonce);
+  double backoff_ms = std::max(1.0, options_.rejoin_backoff_min_ms);
   while (running_.load(std::memory_order_acquire) && NowNanos() < deadline) {
     std::string resp;
     // The ack leg is dropped while this node is still marked down at the
@@ -2027,7 +2161,13 @@ bool StarEngine::RequestRejoinFromCoordinator(double timeout_ms) {
                           &resp, MillisToNanos(300))) {
       return true;
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    double sleep_ms = backoff_ms * (0.5 + rng.NextDouble());
+    uint64_t now = NowNanos();
+    if (now >= deadline) break;
+    uint64_t remain_ns = deadline - now;
+    uint64_t sleep_ns = std::min(MillisToNanos(sleep_ms), remain_ns);
+    std::this_thread::sleep_for(std::chrono::nanoseconds(sleep_ns));
+    backoff_ms = std::min(backoff_ms * 2, options_.rejoin_backoff_max_ms);
   }
   return false;
 }

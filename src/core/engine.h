@@ -93,9 +93,10 @@ class StarEngine {
   // --- multi-process deployment ---
 
   /// Node-process side of rejoin: RPCs kRejoinRequest to the coordinator
-  /// (with retries — the ack may be dropped while this node is still
-  /// marked down) until acknowledged.  Returns false on timeout.
-  bool RequestRejoinFromCoordinator(double timeout_ms = 15000.0);
+  /// with jittered exponential backoff (the ack may be dropped while this
+  /// node is still marked down) until acknowledged.  Returns false once the
+  /// budget expires; <= 0 uses StarOptions::rejoin_timeout_ms.
+  bool RequestRejoinFromCoordinator(double timeout_ms = -1.0);
 
   /// Node-process side of shutdown: blocks until every hosted node has
   /// served the coordinator's kShutdown round (or the timeout expires).
@@ -435,6 +436,12 @@ class StarEngine {
   };
   FenceOutcome Fence(Phase ended_phase, double phase_seconds);
   void StartPhaseOnNodes(Phase phase);
+  /// Folds a fence outcome into the per-node consecutive-miss streaks
+  /// (coordinator thread only) and returns the nodes whose streak reached
+  /// StarOptions::fence_miss_threshold — the ones to actually write off.
+  /// A node that answered (or a fully clean fence) resets its streak:
+  /// that is what distinguishes slow from dead.
+  std::vector<int> RegisterFenceMisses(const FenceOutcome& out);
   void HandleFailures(const std::vector<int>& newly_failed);
   void PerformRejoin(int node, uint64_t nonce);
   void UpdateTaus();
@@ -511,6 +518,9 @@ class StarEngine {
   /// Authoritative view, written only by the coordinator thread.
   std::vector<uint8_t> node_status_;
   uint64_t view_gen_ = 1;
+  /// Consecutive fence misses per node (coordinator thread only; see
+  /// RegisterFenceMisses / StarOptions::fence_miss_threshold).
+  std::vector<int> fence_miss_;
   /// Applied-view guard: handlers on several control threads may receive
   /// the same broadcast; the first applies, the rest ack.
   Mutex view_mu_;

@@ -100,6 +100,47 @@ struct StarOptions {
   /// before declaring a node failed (Section 4.5.2).
   double fence_timeout_ms = 3000.0;
 
+  // --- gray-failure hardening (fault injection + chaos, net/fault_transport) ---
+
+  /// Consecutive missed fences before the coordinator writes a node off.
+  /// 1 (the default) is the paper's fail-stop assumption: the first timeout
+  /// is a crash.  Under gray networks (delay, loss, flaps) raise it so a
+  /// slow-but-alive node survives: a fence that misses anyone below the
+  /// threshold simply retries — safe because a failed fence never advances
+  /// the epoch and re-fencing is idempotent.  Answering any fence resets a
+  /// node's streak (slow, not dead).
+  int fence_miss_threshold = 1;
+  /// Cap on the phase-start ack wait (previously a fixed 500 ms).  The acks
+  /// only pace the coordinator — per-link FIFO already orders the phase
+  /// start before the following fence — so this stays well under the fence
+  /// timeout; chaos tests shrink it to keep iterations short under faults.
+  double phase_ack_wait_ms = 500.0;
+  /// Extra attempts for coordinator-side control RPCs that would otherwise
+  /// be one-shot (phase-start acks, view-change acks).  Re-sends are safe:
+  /// both handlers are idempotent (phase re-entry re-parks, views are
+  /// generation-guarded).  0 restores single-shot behavior.
+  int coord_rpc_retries = 2;
+  /// Jittered exponential backoff between those re-sends.
+  double coord_backoff_min_ms = 20.0;
+  double coord_backoff_max_ms = 250.0;
+  /// Total budget for RequestRejoinFromCoordinator when its caller does not
+  /// pass one explicitly (previously a fixed 15 s).
+  double rejoin_timeout_ms = 15000.0;
+  /// Jittered exponential backoff between rejoin-request attempts
+  /// (previously a fixed 100 ms sleep).
+  double rejoin_backoff_min_ms = 50.0;
+  double rejoin_backoff_max_ms = 1000.0;
+  /// A node that hears nothing from the coordinator for this long parks
+  /// itself — workers stop committing and replica readers stop serving —
+  /// instead of running on a potentially stale view across a partition;
+  /// the next coordinator message un-parks it.  0 (default) auto-derives
+  /// max(3000 ms, 8 x fence_timeout_ms); negative disables self-parking.
+  double coordinator_silence_ms = 0.0;
+  /// Network fault injection (delay/jitter, drops, asymmetric partitions,
+  /// flaps) executed by the net::FaultTransport decorator over whichever
+  /// substrate `transport` selects.  Disabled by default.
+  net::FaultOptions fault;
+
   /// Exponential smoothing for the monitored throughputs t_p, t_s.
   double throughput_ewma = 0.5;
 

@@ -19,6 +19,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -108,8 +109,12 @@ inline int RunNodeProcess(const StarOptions& base, const std::string& workload,
   auto wl = MakeClusterWorkload(workload);
   StarEngine engine(ForRole(base, /*coordinator=*/false, id, rejoining), *wl);
   engine.Start();
+  // The rejoin budget honours the configured knob but never shrinks below
+  // the run window + slack: in this harness an admission can only arrive
+  // while the coordinator process is still driving phases.
   if (rejoining &&
-      !engine.RequestRejoinFromCoordinator(seconds * 1000.0 + 30'000.0)) {
+      !engine.RequestRejoinFromCoordinator(std::max(
+          base.rejoin_timeout_ms, seconds * 1000.0 + 30'000.0))) {
     std::fprintf(stderr, "[node %d] rejoin request never acknowledged\n", id);
     engine.Stop();
     return 3;

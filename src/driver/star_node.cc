@@ -47,6 +47,16 @@ void Usage() {
       "    --full=N --partial=N --workers=N --cross=F --workload=tpcc|ycsb\n"
       "    --replay-shards=N  (parallel replication replay workers per node)\n"
       "    --host=ADDR --base-port=P --fence-timeout-ms=MS --seconds=S\n"
+      "  gray-failure hardening (see StarOptions in core/options.h):\n"
+      "    --fence-miss-threshold=N   (consecutive missed fences before a\n"
+      "                                node is written off; 1 = fail-stop)\n"
+      "    --phase-ack-wait-ms=MS     (phase-start ack wait, was fixed 500)\n"
+      "    --coord-rpc-retries=N --coord-backoff-min-ms=MS\n"
+      "    --coord-backoff-max-ms=MS  (control-RPC resend budget/backoff)\n"
+      "    --rejoin-timeout-ms=MS     (rejoin budget, was fixed 15000)\n"
+      "    --rejoin-backoff-min-ms=MS --rejoin-backoff-max-ms=MS\n"
+      "    --coordinator-silence-ms=MS (node self-parks after this much\n"
+      "                                coordinator silence; 0 auto, <0 off)\n"
       "  durability (must also match across processes):\n"
       "    --durable          (per-node logger pool, durable epochs)\n"
       "    --fsync            (fsync each logger batch)\n"
@@ -131,6 +141,24 @@ int main(int argc, char** argv) {
       }
     } else if (FlagValue(a, "--fence-timeout-ms", &v)) {
       spec.base.fence_timeout_ms = std::atof(v);
+    } else if (FlagValue(a, "--fence-miss-threshold", &v)) {
+      spec.base.fence_miss_threshold = std::atoi(v);
+    } else if (FlagValue(a, "--phase-ack-wait-ms", &v)) {
+      spec.base.phase_ack_wait_ms = std::atof(v);
+    } else if (FlagValue(a, "--coord-rpc-retries", &v)) {
+      spec.base.coord_rpc_retries = std::atoi(v);
+    } else if (FlagValue(a, "--coord-backoff-min-ms", &v)) {
+      spec.base.coord_backoff_min_ms = std::atof(v);
+    } else if (FlagValue(a, "--coord-backoff-max-ms", &v)) {
+      spec.base.coord_backoff_max_ms = std::atof(v);
+    } else if (FlagValue(a, "--rejoin-timeout-ms", &v)) {
+      spec.base.rejoin_timeout_ms = std::atof(v);
+    } else if (FlagValue(a, "--rejoin-backoff-min-ms", &v)) {
+      spec.base.rejoin_backoff_min_ms = std::atof(v);
+    } else if (FlagValue(a, "--rejoin-backoff-max-ms", &v)) {
+      spec.base.rejoin_backoff_max_ms = std::atof(v);
+    } else if (FlagValue(a, "--coordinator-silence-ms", &v)) {
+      spec.base.coordinator_silence_ms = std::atof(v);
     } else if (FlagValue(a, "--seconds", &v)) {
       spec.seconds = std::atof(v);
     } else if (FlagValue(a, "--kill-node", &v)) {

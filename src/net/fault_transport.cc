@@ -1,0 +1,196 @@
+#include "net/fault_transport.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/clock.h"
+
+namespace star::net {
+
+FaultTransport::FaultTransport(std::unique_ptr<Transport> inner,
+                               const FaultOptions& options)
+    : inner_(std::move(inner)),
+      options_(options),
+      links_(static_cast<size_t>(inner_->endpoints()) *
+             static_cast<size_t>(inner_->endpoints())),
+      held_for_dst_(static_cast<size_t>(inner_->endpoints())) {
+  for (auto& h : held_for_dst_) h.store(0, std::memory_order_relaxed);
+  const int n = inner_->endpoints();
+  for (uint32_t i = 0; i < options_.episodes.size(); ++i) {
+    const FaultEpisode& e = options_.episodes[i];
+    if (e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n) continue;
+    LinkState& link = LinkFor(e.src, e.dst);
+    SpinLockGuard g(link.mu);  // construction-time; satisfies the analysis
+    link.episodes.push_back(i);
+  }
+  // One RNG stream per link, derived from the schedule seed and the link
+  // coordinates, so a seed replays identically no matter how threads
+  // interleave across links.
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      LinkState& link = LinkFor(s, d);
+      SpinLockGuard g(link.mu);
+      link.rng.Seed(options_.seed ^
+                    (static_cast<uint64_t>(s) * 0x9E3779B97F4A7C15ull +
+                     static_cast<uint64_t>(d) * 0xC2B2AE3D27D4EB4Full + 1));
+    }
+  }
+}
+
+FaultTransport::~FaultTransport() {
+  running_.store(false, std::memory_order_release);
+  if (pacer_.joinable()) pacer_.join();
+}
+
+bool FaultTransport::Start() {
+  uint64_t origin =
+      options_.origin_ns != 0 ? options_.origin_ns : NowNanos();
+  origin_ns_.store(origin, std::memory_order_release);
+  if (!inner_->Start()) return false;
+  if (!options_.episodes.empty()) {
+    running_.store(true, std::memory_order_release);
+    pacer_ = std::thread([this] { PacerLoop(); });
+  }
+  return true;
+}
+
+void FaultTransport::Stop() {
+  running_.store(false, std::memory_order_release);
+  if (pacer_.joinable()) pacer_.join();
+  // Best-effort flush: release everything still held, in link order, so the
+  // inner Stop() sees (and flushes) the full backlog.  Messages to a peer
+  // that went down get dropped by the inner fail-stop accounting, exactly as
+  // an undelayed send would.
+  for (auto& link : links_) {
+    SpinLockGuard g(link.mu);
+    while (!link.q.empty()) {
+      Message m = std::move(link.q.front().m);
+      link.q.pop_front();
+      int dst = m.dst;
+      inner_->Send(std::move(m));
+      held_for_dst_[static_cast<size_t>(dst)].fetch_sub(
+          1, std::memory_order_acq_rel);
+      held_total_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+  inner_->Stop();
+}
+
+bool FaultTransport::EvalEpisodes(LinkState& link, uint64_t now,
+                                  uint64_t* delay_ns) {
+  const uint64_t origin = origin_ns_.load(std::memory_order_acquire);
+  const double elapsed_ms =
+      (static_cast<double>(now) - static_cast<double>(origin)) / 1e6;
+  uint64_t delay = 0;
+  for (uint32_t idx : link.episodes) {
+    const FaultEpisode& e = options_.episodes[idx];
+    if (elapsed_ms < e.start_ms || elapsed_ms >= e.end_ms) continue;
+    switch (e.kind) {
+      case FaultEpisode::Kind::kDelay: {
+        double us = e.delay_min_us +
+                    (e.delay_max_us - e.delay_min_us) * link.rng.NextDouble();
+        delay += MicrosToNanos(us);
+        break;
+      }
+      case FaultEpisode::Kind::kDrop: {
+        if (link.rng.Flip(e.drop_p)) {
+          if (e.loss) return false;
+          // Retransmission model: the "lost" message is still delivered,
+          // after an RTO-like penalty — what packet loss does to TCP.
+          delay += MillisToNanos(e.penalty_ms);
+        }
+        break;
+      }
+      case FaultEpisode::Kind::kPartition: {
+        // Dead directed link: hold until the window closes.
+        uint64_t end_ns = origin + MillisToNanos(e.end_ms);
+        if (end_ns > now) delay = std::max(delay, end_ns - now);
+        break;
+      }
+    }
+  }
+  *delay_ns = delay;
+  return true;
+}
+
+bool FaultTransport::Send(Message&& m) {
+  LinkState& link = LinkFor(m.src, m.dst);
+  if (link.episodes.empty()) return inner_->Send(std::move(m));
+  // Down endpoints keep fail-stop semantics: forward so the inner transport
+  // rejects, counts and recycles exactly as it would without the decorator.
+  if (inner_->IsDown(m.src) || inner_->IsDown(m.dst)) {
+    return inner_->Send(std::move(m));
+  }
+  const uint64_t now = NowNanos();
+  SpinLockGuard g(link.mu);
+  uint64_t delay = 0;
+  if (!EvalEpisodes(link, now, &delay)) {
+    loss_bytes_.fetch_add(m.payload.size(), std::memory_order_relaxed);
+    loss_messages_.fetch_add(1, std::memory_order_relaxed);
+    inner_->payload_pool().Release(m.src, std::move(m.payload));
+    return false;
+  }
+  if (delay == 0 && link.q.empty()) {
+    // Undelayed and nothing held ahead of it: straight through.  Done under
+    // the link lock so a racing delayed send cannot overtake (per-link FIFO).
+    return inner_->Send(std::move(m));
+  }
+  uint64_t release = now + delay;
+  // Monotone release stamps per link: a later send never releases before an
+  // earlier one, so delivery order within the link is preserved.
+  if (release < link.last_release) release = link.last_release;
+  link.last_release = release;
+  const int dst = m.dst;
+  link.q.push_back(Held{release, std::move(m)});
+  held_for_dst_[static_cast<size_t>(dst)].fetch_add(1,
+                                                    std::memory_order_acq_rel);
+  held_total_.fetch_add(1, std::memory_order_acq_rel);
+  return true;
+}
+
+uint64_t FaultTransport::PumpAll() {
+  uint64_t released = 0;
+  const uint64_t now = NowNanos();
+  for (auto& link : links_) {
+    if (held_total_.load(std::memory_order_acquire) == 0) break;
+    if (link.episodes.empty()) continue;  // never holds anything
+    SpinLockGuard g(link.mu);
+    while (!link.q.empty() && link.q.front().release_at <= now) {
+      Message m = std::move(link.q.front().m);
+      link.q.pop_front();
+      const int dst = m.dst;
+      // A rejection here (peer went down while the message was held) lands
+      // in the inner fail-stop accounting, same as an undelayed send.
+      inner_->Send(std::move(m));
+      held_for_dst_[static_cast<size_t>(dst)].fetch_sub(
+          1, std::memory_order_acq_rel);
+      held_total_.fetch_sub(1, std::memory_order_acq_rel);
+      ++released;
+    }
+  }
+  return released;
+}
+
+void FaultTransport::PacerLoop() {
+  // Held messages must progress even when their destination lives in another
+  // process (nobody polls it locally), so a dedicated pacer re-injects due
+  // messages.  100 us resolution is far below any injected delay.
+  while (running_.load(std::memory_order_acquire)) {
+    if (held_total_.load(std::memory_order_acquire) != 0) PumpAll();
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+bool FaultTransport::Poll(int dst, Message* out) {
+  return inner_->Poll(dst, out);
+}
+
+bool FaultTransport::HasTraffic(int dst) const {
+  // Held traffic counts: engine shutdown drains on HasTraffic and must not
+  // declare the network quiet while the fault layer still holds messages.
+  return held_for_dst_[static_cast<size_t>(dst)].load(
+             std::memory_order_acquire) != 0 ||
+         inner_->HasTraffic(dst);
+}
+
+}  // namespace star::net

@@ -1,0 +1,143 @@
+#ifndef STAR_NET_FAULT_TRANSPORT_H_
+#define STAR_NET_FAULT_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/spinlock.h"
+#include "common/thread_annotations.h"
+#include "net/message.h"
+#include "net/payload_pool.h"
+#include "net/transport.h"
+
+namespace star::net {
+
+/// Deterministic network-fault injection as a Transport decorator: wraps any
+/// substrate (sim or TCP) and executes a seeded schedule of per-directed-link
+/// FaultEpisodes — delivery delay/jitter, probabilistic and burst drops,
+/// asymmetric partitions and connection flaps (see FaultEpisode in
+/// net/transport.h for the fault classes and their semantics).
+///
+/// Design: faults never reorder a link.  A message that must be delayed goes
+/// into the link's hold queue stamped with a release time that is clamped to
+/// be monotone per link, and while a link holds anything, every later send on
+/// that link queues behind it — so the per-(src, dst) FIFO contract the
+/// replication protocol depends on survives arbitrary schedules.  A drop (in
+/// the default retransmission model) is just a large delay: that mirrors what
+/// packet loss does to a TCP link and keeps one-way replication lossless,
+/// which is a correctness requirement — the sender's fence accounting only
+/// counts batches the transport accepted, and an accepted-then-lost batch
+/// would diverge replicas silently.  Visible fail-stop drops (Send() ->
+/// false) are available per episode via `loss` for request/response traffic.
+///
+/// Held messages are re-injected into the inner transport by a pacer thread
+/// (~100 us tick), so delivery progresses even when the destination lives in
+/// another process and nobody locally polls it.  If the inner transport
+/// refuses a released message (endpoint went down meanwhile), the inner
+/// fail-stop accounting applies, same as an undelayed send.
+///
+/// With no episodes every call forwards straight to the inner transport;
+/// the pass-through configuration is held to the full Transport contract by
+/// the conformance suite (tests/transport_conformance_test.cc).
+class FaultTransport : public Transport {
+ public:
+  FaultTransport(std::unique_ptr<Transport> inner, const FaultOptions& options);
+  ~FaultTransport() override;
+
+  bool Start() override;
+  void Stop() override;
+
+  bool Send(Message&& m) override;
+  bool Poll(int dst, Message* out) override;
+  bool HasTraffic(int dst) const override;
+
+  void SetDown(int endpoint, bool down) override {
+    inner_->SetDown(endpoint, down);
+  }
+  bool IsDown(int endpoint) const override { return inner_->IsDown(endpoint); }
+
+  uint64_t total_bytes() const override { return inner_->total_bytes(); }
+  uint64_t total_messages() const override { return inner_->total_messages(); }
+  uint64_t dropped_bytes() const override {
+    return inner_->dropped_bytes() +
+           loss_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t dropped_messages() const override {
+    return inner_->dropped_messages() +
+           loss_messages_.load(std::memory_order_relaxed);
+  }
+  void ResetStats() override {
+    inner_->ResetStats();
+    loss_bytes_.store(0, std::memory_order_relaxed);
+    loss_messages_.store(0, std::memory_order_relaxed);
+  }
+
+  PayloadPool& payload_pool() override { return inner_->payload_pool(); }
+  int endpoints() const override { return inner_->endpoints(); }
+  TransportKind kind() const override { return inner_->kind(); }
+
+  Transport& inner() { return *inner_; }
+  /// Messages currently held by the fault layer (all links).
+  uint64_t held_messages() const {
+    return held_total_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Held {
+    uint64_t release_at = 0;
+    Message m;
+  };
+
+  /// Per directed link: hold queue, monotone release clock, and the link's
+  /// private RNG stream (drop flips, jitter) so schedules replay exactly
+  /// regardless of cross-link interleaving.
+  struct LinkState {
+    SpinLock mu;
+    std::deque<Held> q STAR_GUARDED_BY(mu);
+    uint64_t last_release STAR_GUARDED_BY(mu) = 0;
+    Rng rng STAR_GUARDED_BY(mu);
+    /// Indices into options_.episodes that target this link (immutable after
+    /// construction; empty for the vast majority of links).
+    std::vector<uint32_t> episodes;
+  };
+
+  LinkState& LinkFor(int src, int dst) {
+    return links_[static_cast<size_t>(src) *
+                      static_cast<size_t>(inner_->endpoints()) +
+                  static_cast<size_t>(dst)];
+  }
+
+  /// Evaluates the link's active episodes at `now`.  Returns false when the
+  /// message must be visibly dropped; otherwise sets *delay_ns (0 = deliver
+  /// immediately, subject to FIFO behind the hold queue).
+  bool EvalEpisodes(LinkState& link, uint64_t now, uint64_t* delay_ns)
+      STAR_REQUIRES(link.mu);
+
+  /// Re-injects every due held message, in per-link order.  Returns the
+  /// number of messages released.
+  uint64_t PumpAll();
+  void PacerLoop();
+
+  std::unique_ptr<Transport> inner_;
+  FaultOptions options_;
+  std::vector<LinkState> links_;
+  /// Count of held messages destined for each endpoint (HasTraffic must see
+  /// held traffic or engine shutdown drains would miss in-flight messages).
+  std::vector<std::atomic<uint64_t>> held_for_dst_;
+  std::atomic<uint64_t> held_total_{0};
+  std::atomic<uint64_t> loss_bytes_{0};
+  std::atomic<uint64_t> loss_messages_{0};
+  /// Schedule origin (monotonic ns); set at Start() unless options pin it.
+  std::atomic<uint64_t> origin_ns_{0};
+  std::atomic<bool> running_{false};
+  std::thread pacer_;
+};
+
+}  // namespace star::net
+
+#endif  // STAR_NET_FAULT_TRANSPORT_H_

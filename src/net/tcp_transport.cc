@@ -15,6 +15,7 @@
 
 #include "common/clock.h"
 #include "net/fabric.h"
+#include "net/fault_transport.h"
 
 namespace star::net {
 
@@ -659,10 +660,16 @@ void TcpTransport::IoLoop() {
 
 std::unique_ptr<Transport> MakeTransport(int endpoints,
                                          const TransportConfig& config) {
+  std::unique_ptr<Transport> t;
   if (config.kind == TransportKind::kTcp) {
-    return std::make_unique<TcpTransport>(endpoints, config.tcp);
+    t = std::make_unique<TcpTransport>(endpoints, config.tcp);
+  } else {
+    t = std::make_unique<Fabric>(endpoints, config.sim);
   }
-  return std::make_unique<Fabric>(endpoints, config.sim);
+  if (config.fault.enabled) {
+    t = std::make_unique<FaultTransport>(std::move(t), config.fault);
+  }
+  return t;
 }
 
 }  // namespace star::net

@@ -57,12 +57,75 @@ struct TcpNetOptions {
   size_t max_frame_bytes = 64u << 20;
 };
 
+/// One scheduled fault on one directed link.  Windows are measured from the
+/// schedule origin (FaultOptions::origin_ns, or Start() when 0), so a
+/// multi-process cluster on one machine shares exactly aligned windows — the
+/// Linux monotonic clock is process-independent.
+struct FaultEpisode {
+  enum class Kind : uint8_t {
+    /// Every message gets an extra uniform delay in [delay_min_us,
+    /// delay_max_us] (gray link: slow but alive).
+    kDelay = 0,
+    /// Each message independently "drops" with probability drop_p.  By
+    /// default a drop models TCP loss: the message is held for penalty_ms
+    /// (the retransmission timeout) and still delivered in order.  With
+    /// `loss = true` the drop is visible — Send() returns false, the payload
+    /// is recycled and dropped_*() counts it — which silently diverges
+    /// replicas fed by one-way replication, so schedules restrict loss mode
+    /// to request/response links.
+    kDrop = 1,
+    /// The directed link src->dst is dead for the whole window; traffic is
+    /// held and delivered (in order) when the window closes, like TCP
+    /// retransmitting across a partition.  The reverse link is unaffected
+    /// unless the schedule also includes it — that asymmetry is the point.
+    /// A connection flap is just a short partition on both directions.
+    kPartition = 2,
+  };
+
+  int src = 0;
+  int dst = 0;
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  Kind kind = Kind::kDelay;
+  double delay_min_us = 0.0;  // kDelay
+  double delay_max_us = 0.0;  // kDelay
+  double drop_p = 0.0;        // kDrop
+  double penalty_ms = 50.0;   // kDrop: per-drop retransmission penalty
+  bool loss = false;          // kDrop: visible fail-stop drop instead
+};
+
+inline const char* FaultKindName(FaultEpisode::Kind k) {
+  switch (k) {
+    case FaultEpisode::Kind::kDelay: return "delay";
+    case FaultEpisode::Kind::kDrop: return "drop";
+    case FaultEpisode::Kind::kPartition: return "partition";
+  }
+  return "?";
+}
+
+/// Configuration of the fault-injection decorator (net/fault_transport.h).
+/// When `enabled`, MakeTransport wraps the selected substrate in a
+/// FaultTransport executing `episodes`; with no episodes the wrapper is a
+/// pass-through that still honors the full Transport contract.
+struct FaultOptions {
+  bool enabled = false;
+  /// Seeds the per-link RNG streams (drop coin flips, delay jitter); the
+  /// same seed and schedule reproduce the same fault behavior.
+  uint64_t seed = 1;
+  /// Absolute monotonic-clock origin of the schedule windows (NowNanos
+  /// units); 0 means "this transport's Start() time".  Multi-process
+  /// drivers stamp this before forking so all processes agree.
+  uint64_t origin_ns = 0;
+  std::vector<FaultEpisode> episodes;
+};
+
 /// Everything needed to build a Transport; engines construct this from
 /// their options and hand it to MakeTransport().
 struct TransportConfig {
   TransportKind kind = TransportKind::kSim;
   SimNetOptions sim;
   TcpNetOptions tcp;
+  FaultOptions fault;
 };
 
 /// The message substrate every engine runs on.  Two implementations:

@@ -7,6 +7,7 @@
 
 #include <fcntl.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
@@ -49,8 +50,18 @@ int DialLoopback(uint16_t port) {
   return fd;
 }
 
+/// One in-flight request: the scheduled Poisson arrival that owns its
+/// latency clock, plus everything needed to re-offer the identical call if
+/// the server sheds it.
+struct Pending {
+  uint64_t sched = 0;    // scheduled arrival ns (kept across retries)
+  uint32_t proc = 0;
+  uint8_t attempts = 0;  // shed-retry attempts consumed
+  CallBody call;
+};
+
 /// One simulated client: a connection, its session, its outstanding
-/// requests keyed by request id → scheduled arrival time.
+/// requests keyed by request id, and its shed-retry queue.
 struct Client {
   int fd = -1;
   uint64_t session = 0;
@@ -63,12 +74,14 @@ struct Client {
   bool in_body = false;
   char body[64];
   size_t body_have = 0;
-  std::unordered_map<uint64_t, uint64_t> outstanding;  // req id → sched ns
+  std::unordered_map<uint64_t, Pending> outstanding;  // req id → request
+  /// Shed calls waiting out their backoff before re-injection.
+  std::vector<std::pair<uint64_t, Pending>> retries;  // due ns → request
 };
 
 struct ThreadStats {
   uint64_t offered = 0, sent = 0, ok = 0, aborted = 0, retry = 0, bad = 0,
-           shed = 0, lost = 0;
+           shed = 0, shed_retried = 0, shed_give_up = 0, lost = 0;
   Histogram latency;
 };
 
@@ -92,8 +105,43 @@ void FlushClient(Client& c) {
   }
 }
 
-/// Parses whatever responses are readable; records latencies.
-void PumpResponses(Client& c, ThreadStats& st, uint64_t now) {
+/// Appends one encoded kCall frame for `p` and registers it outstanding.
+void SendCall(Client& c, Pending p, uint64_t request_id) {
+  FrameHeader h;
+  h.type = static_cast<uint16_t>(FrameType::kCall);
+  h.body_len = kCallBodySize;
+  h.proc = p.proc;
+  h.session = c.session;
+  h.request_id = request_id;
+  char buf[kHeaderSize + kCallBodySize];
+  EncodeHeader(buf, h);
+  EncodeCall(buf + kHeaderSize, p.call);
+  c.out.append(buf, sizeof(buf));
+  c.outstanding.emplace(request_id, std::move(p));
+}
+
+/// Re-injects every shed call whose backoff has expired (fresh request id,
+/// original arrival clock).
+void ServiceRetries(Client& c, ThreadStats& st, Rng& rng, uint64_t now,
+                    uint64_t* next_req) {
+  (void)rng;
+  for (size_t i = 0; i < c.retries.size();) {
+    if (c.retries[i].first > now) {
+      ++i;
+      continue;
+    }
+    Pending p = std::move(c.retries[i].second);
+    c.retries[i] = std::move(c.retries.back());
+    c.retries.pop_back();
+    SendCall(c, std::move(p), (*next_req)++);
+    ++st.sent;  // a resend, not a new offered arrival
+  }
+}
+
+/// Parses whatever responses are readable; records latencies and queues
+/// shed calls for retry per the server's wait hint.
+void PumpResponses(const LoadGenOptions& opts, Client& c, ThreadStats& st,
+                   Rng& rng, uint64_t now) {
   for (;;) {
     if (!c.in_body) {
       ssize_t n = recv(c.fd, c.hdr + c.hdr_have, kHeaderSize - c.hdr_have, 0);
@@ -123,10 +171,34 @@ void PumpResponses(Client& c, ThreadStats& st, uint64_t now) {
     c.in_body = false;
     FrameType ft = static_cast<FrameType>(c.head.type);
     auto it = c.outstanding.find(c.head.request_id);
-    uint64_t sched = it != c.outstanding.end() ? it->second : 0;
-    if (it != c.outstanding.end()) c.outstanding.erase(it);
+    bool known = it != c.outstanding.end();
+    Pending p;
+    if (known) {
+      p = std::move(it->second);
+      c.outstanding.erase(it);
+    }
+    uint64_t sched = known ? p.sched : 0;
     if (ft == FrameType::kShed) {
       ++st.shed;
+      if (known && p.attempts < opts.shed_retries) {
+        // Honour the server's wait estimate: clamp it into the configured
+        // band, double per attempt (capped), jitter by U(0.5, 1.5).
+        ShedBody sb;
+        double est_ms = DecodeShed(c.body, c.head.body_len, &sb)
+                            ? sb.est_wait_ns / 1e6
+                            : opts.retry_backoff_min_ms;
+        double base_ms = std::min(
+            std::max(est_ms, opts.retry_backoff_min_ms) *
+                static_cast<double>(1u << p.attempts),
+            opts.retry_backoff_max_ms);
+        uint64_t backoff_ns = static_cast<uint64_t>(
+            base_ms * 1e6 * (0.5 + rng.NextDouble()));
+        ++p.attempts;
+        ++st.shed_retried;
+        c.retries.emplace_back(now + backoff_ns, std::move(p));
+      } else if (known) {
+        ++st.shed_give_up;
+      }
       continue;
     }
     if (ft != FrameType::kResult) continue;
@@ -200,18 +272,12 @@ void InjectorThread(const LoadGenOptions& opts, int tid, ThreadStats* st) {
         call.flags = (!read && rng.Flip(opts.durable_fraction))
                          ? kCallWaitDurable
                          : 0;
-        FrameHeader h;
-        h.type = static_cast<uint16_t>(FrameType::kCall);
-        h.body_len = kCallBodySize;
-        h.proc = read ? opts.read_proc
+        Pending p;
+        p.sched = next_arrival;
+        p.proc = read ? opts.read_proc
                       : (cross ? opts.cross_proc : opts.write_proc);
-        h.session = c.session;
-        h.request_id = next_req++;
-        char buf[kHeaderSize + kCallBodySize];
-        EncodeHeader(buf, h);
-        EncodeCall(buf + kHeaderSize, call);
-        c.out.append(buf, sizeof(buf));
-        c.outstanding.emplace(h.request_id, next_arrival);
+        p.call = call;
+        SendCall(c, std::move(p), next_req++);
         ++st->offered;
         ++st->sent;
       } else {
@@ -223,8 +289,9 @@ void InjectorThread(const LoadGenOptions& opts, int tid, ThreadStats* st) {
     }
     for (auto& c : clients) {
       if (c.fd < 0) continue;
+      ServiceRetries(c, *st, rng, now, &next_req);
       FlushClient(c);
-      PumpResponses(c, *st, now);
+      PumpResponses(opts, c, *st, rng, now);
     }
     uint64_t wake = next_arrival < end ? next_arrival : end;
     now = NowNanos();
@@ -240,16 +307,18 @@ void InjectorThread(const LoadGenOptions& opts, int tid, ThreadStats* st) {
     size_t pending = 0;
     for (auto& c : clients) {
       if (c.fd < 0) continue;
+      ServiceRetries(c, *st, rng, now, &next_req);
       FlushClient(c);
-      PumpResponses(c, *st, now);
-      pending += c.outstanding.size() + (c.out.size() - c.out_off);
+      PumpResponses(opts, c, *st, rng, now);
+      pending += c.outstanding.size() + c.retries.size() +
+                 (c.out.size() - c.out_off);
     }
     if (pending == 0) break;
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
   for (auto& c : clients) {
     if (c.fd < 0) continue;
-    st->lost += c.outstanding.size();
+    st->lost += c.outstanding.size() + c.retries.size();
     close(c.fd);
   }
 }
@@ -276,6 +345,8 @@ LoadGenResult RunOpenLoopLoad(const LoadGenOptions& opts) {
     r.retry += s.retry;
     r.bad += s.bad;
     r.shed += s.shed;
+    r.shed_retried += s.shed_retried;
+    r.shed_give_up += s.shed_give_up;
     r.lost += s.lost;
     r.latency.Merge(s.latency);
   }

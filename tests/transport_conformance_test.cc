@@ -41,6 +41,47 @@ struct TcpFactory {
   }
 };
 
+/// FaultTransport in pass-through configuration (enabled, no episodes) over
+/// TCP: the decorator must preserve the full contract verbatim.
+struct FaultPassFactory {
+  static std::unique_ptr<Transport> Make(int endpoints) {
+    TransportConfig c;
+    c.kind = TransportKind::kTcp;
+    c.tcp.base_port = 0;
+    c.fault.enabled = true;
+    c.fault.seed = 7;
+    return MakeTransport(endpoints, c);
+  }
+};
+
+/// FaultTransport with an active delay/jitter schedule on every link over
+/// the sim: the contract (FIFO, fail-stop, accounting, RPC) must hold while
+/// faults are firing, not just when the wrapper is idle.
+struct FaultDelayFactory {
+  static std::unique_ptr<Transport> Make(int endpoints) {
+    TransportConfig c;
+    c.kind = TransportKind::kSim;
+    c.sim.link_latency_us = 1;
+    c.sim.bandwidth_gbps = 0;
+    c.fault.enabled = true;
+    c.fault.seed = 7;
+    for (int s = 0; s < endpoints; ++s) {
+      for (int d = 0; d < endpoints; ++d) {
+        FaultEpisode e;
+        e.src = s;
+        e.dst = d;
+        e.start_ms = 0.0;
+        e.end_ms = 1e9;  // the whole test
+        e.kind = FaultEpisode::Kind::kDelay;
+        e.delay_min_us = 50;
+        e.delay_max_us = 400;
+        c.fault.episodes.push_back(e);
+      }
+    }
+    return MakeTransport(endpoints, c);
+  }
+};
+
 template <typename Factory>
 class TransportConformance : public ::testing::Test {
  protected:
@@ -73,13 +114,17 @@ class TransportConformance : public ::testing::Test {
   std::unique_ptr<Transport> t_;
 };
 
-using Impls = ::testing::Types<SimFactory, TcpFactory>;
+using Impls =
+    ::testing::Types<SimFactory, TcpFactory, FaultPassFactory,
+                     FaultDelayFactory>;
 
 class ImplNames {
  public:
   template <typename T>
   static std::string GetName(int) {
     if (std::is_same<T, SimFactory>::value) return "Sim";
+    if (std::is_same<T, FaultPassFactory>::value) return "FaultPassTcp";
+    if (std::is_same<T, FaultDelayFactory>::value) return "FaultDelaySim";
     return "Tcp";
   }
 };
